@@ -1,0 +1,94 @@
+//! E2.1 — Section 2.1 ablation: path-specific indexing vs. indexing
+//! everything.
+//!
+//! Paper motivation: "If DB2 only supported indexing every item in the XML
+//! document, then the index storage would be several-fold larger than the
+//! original document. Moreover, the number of I/Os required to
+//! transactionally maintain the indexes would be staggering." We measure
+//! both halves: insert throughput under different index sets, and index
+//! bytes relative to document bytes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqdb_core::Catalog;
+use xqdb_storage::SqlValue;
+use xqdb_workload::{create_paper_schema, OrderGenerator, OrderParams};
+
+fn insert_n(n: usize, indexes: &[(&str, &str, &str)]) -> Catalog {
+    let mut c = Catalog::new();
+    create_paper_schema(&mut c);
+    for (name, pattern, ty) in indexes {
+        c.create_index(name, "orders", "orddoc", pattern, ty)
+            .expect("bench index DDL is valid");
+    }
+    let mut g = OrderGenerator::new(OrderParams::default());
+    for i in 0..n {
+        let xml = g.next_order();
+        let doc = xqdb_xmlparse::parse_document(&xml).expect("generated XML parses");
+        c.insert("orders", vec![SqlValue::Integer(i as i64), SqlValue::Xml(doc.root())])
+            .expect("insert succeeds");
+    }
+    c
+}
+
+/// "Index everything": every element, every text node, every attribute, as
+/// both double and varchar — the strawman the paper rejects.
+const EVERYTHING: &[(&str, &str, &str)] = &[
+    ("all_elems_s", "//*", "varchar"),
+    ("all_elems_d", "//*", "double"),
+    ("all_text_s", "//text()", "varchar"),
+    ("all_attrs_s", "//@*", "varchar"),
+    ("all_attrs_d", "//@*", "double"),
+];
+
+/// Path-specific: the three indexes the workload's queries actually need.
+const PATH_SPECIFIC: &[(&str, &str, &str)] = &[
+    ("li_price", "//lineitem/@price", "double"),
+    ("o_custid", "//custid", "double"),
+    ("o_date", "//shipdate", "date"),
+];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec21_indexing");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for (label, indexes) in [
+        ("no_indexes", &[][..]),
+        ("path_specific_3", PATH_SPECIFIC),
+        ("index_everything_5", EVERYTHING),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("insert_500_docs", label),
+            &indexes,
+            |b, idx| b.iter(|| insert_n(500, idx)),
+        );
+    }
+    group.finish();
+
+    // One-shot size accounting, printed alongside the timing results.
+    let docs_bytes: usize = {
+        let mut g = OrderGenerator::new(OrderParams::default());
+        (0..2000).map(|_| g.next_order().len()).sum()
+    };
+    let specific = insert_n(2000, PATH_SPECIFIC);
+    let everything = insert_n(2000, EVERYTHING);
+    let spec_bytes: usize = specific.all_indexes().iter().map(|i| i.approx_bytes()).sum();
+    let every_bytes: usize =
+        everything.all_indexes().iter().map(|i| i.approx_bytes()).sum();
+    println!(
+        "\nsec21 size accounting over 2000 docs ({} KiB of XML):\n\
+         \tpath-specific indexes: {} entries, {} KiB ({:.2}x the documents)\n\
+         \tindex-everything:      {} entries, {} KiB ({:.2}x the documents)",
+        docs_bytes / 1024,
+        specific.all_indexes().iter().map(|i| i.len()).sum::<usize>(),
+        spec_bytes / 1024,
+        spec_bytes as f64 / docs_bytes as f64,
+        everything.all_indexes().iter().map(|i| i.len()).sum::<usize>(),
+        every_bytes / 1024,
+        every_bytes as f64 / docs_bytes as f64,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E3.10 — Section 3.10 (Query 30): "between" predicates.
+//!
+//! Paper claim: a pair of general range predicates is existential and needs
+//! two index scans ANDed — "which may be significantly more costly" than
+//! the single range scan that value comparisons, the self axis, or
+//! attributes allow. We sweep the range width to expose the gap: the wider
+//! the two half-ranges relative to their intersection, the worse the
+//! two-scan plan.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqdb_bench::{orders_catalog, run_count, DEFAULT_DOCS};
+use xqdb_workload::OrderParams;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec310_between");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // Attribute prices: the @price form merges into ONE range scan.
+    let attr_catalog = orders_catalog(
+        DEFAULT_DOCS,
+        OrderParams::default(),
+        &[("li_price", "//lineitem/@price", "double")],
+    );
+    // Element prices (possibly repeated): general comparisons stay two scans.
+    let elem_params = OrderParams {
+        element_prices: true,
+        multi_price_fraction: 0.2,
+        ..Default::default()
+    };
+    let elem_catalog = orders_catalog(
+        DEFAULT_DOCS,
+        elem_params,
+        &[("e_price", "//price", "double")],
+    );
+
+    for &(lo, hi) in &[(495.0f64, 505.0), (450.0, 550.0), (250.0, 750.0)] {
+        let width = hi - lo;
+        // Query 30 shape: attribute between — single range scan.
+        let attr_q = format!(
+            "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem[@price>{lo} and @price<{hi}]] return $i"
+        );
+        // Element general-comparison 'between' — two scans, ANDed.
+        let elem_q = format!(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[price > {lo} and price < {hi}]"
+        );
+        // Self-axis between over elements — single range scan again.
+        let self_q = format!(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/price/data()[. > {lo} and . < {hi}]"
+        );
+        // The explicit between function (paper Section 4's proposal,
+        // implemented as a vendor extension) — single range scan with
+        // per-item semantics even over multi-valued prices.
+        let fn_q = format!(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[db2-fn:between(price, {lo}, {hi})]"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("attribute_single_scan", width),
+            &width,
+            |b, _| b.iter(|| run_count(&attr_catalog, &attr_q)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("element_two_scans", width),
+            &width,
+            |b, _| b.iter(|| run_count(&elem_catalog, &elem_q)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("self_axis_single_scan", width),
+            &width,
+            |b, _| b.iter(|| run_count(&elem_catalog, &self_q)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("between_function_single_scan", width),
+            &width,
+            |b, _| b.iter(|| run_count(&elem_catalog, &fn_q)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

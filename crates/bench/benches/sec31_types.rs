@@ -1,0 +1,69 @@
+//! E3.1 — Section 3.1 (Queries 3–4, Tip 1): predicate/index data-type
+//! matching.
+//!
+//! Paper claim: a numeric predicate needs a double index; a quoted literal
+//! turns the comparison into a string comparison, making the double index
+//! ineligible (and vice versa). The wrong pairing degrades to a scan.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xqdb_bench::{orders_catalog, run_count, DEFAULT_DOCS};
+use xqdb_workload::OrderParams;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec31_types");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let params = OrderParams::default();
+    let threshold = params.price_threshold(0.01);
+    let both = orders_catalog(
+        DEFAULT_DOCS,
+        params,
+        &[
+            ("li_price_d", "//lineitem/@price", "double"),
+            ("li_price_s", "//lineitem/@price", "varchar"),
+        ],
+    );
+    let double_only = orders_catalog(
+        DEFAULT_DOCS,
+        OrderParams::default(),
+        &[("li_price_d", "//lineitem/@price", "double")],
+    );
+
+    let numeric = format!("db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > {threshold}]");
+    let stringy =
+        format!("db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \"{threshold}\"]");
+
+    // Matched types: probe.
+    group.bench_function("numeric_pred_double_index", |b| {
+        b.iter(|| run_count(&both, &numeric))
+    });
+    // String predicate with a varchar index available: probe.
+    group.bench_function("string_pred_varchar_index", |b| {
+        b.iter(|| run_count(&both, &stringy))
+    });
+    // String predicate but only a double index: ineligible → scan.
+    group.bench_function("string_pred_double_index_scan", |b| {
+        b.iter(|| run_count(&double_only, &stringy))
+    });
+
+    // Tip 1: cast against a constant enables the double index even when the
+    // data is untyped.
+    let cast_query = "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid/xs:double(.) = 7]".to_string();
+    group.bench_function("cast_predicate_no_index_scan", |b| {
+        b.iter(|| run_count(&double_only, &cast_query))
+    });
+    let with_custid = orders_catalog(
+        DEFAULT_DOCS,
+        OrderParams::default(),
+        &[("o_custid", "//custid", "double")],
+    );
+    group.bench_function("cast_predicate_custid_index", |b| {
+        b.iter(|| run_count(&with_custid, &cast_query))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E3.2 — Section 3.2 (Queries 5–12, Tips 2–4): placement of predicates in
+//! SQL/XML query functions.
+//!
+//! Paper claim: the same predicate is index-eligible inside `XMLEXISTS` and
+//! the `XMLTABLE` row producer, but not in an `XMLQUERY` select-list item or
+//! an `XMLTABLE` column expression. Eligible placements run at probe speed;
+//! the others degrade to table scans.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqdb_bench::{orders_session, sql_count, DEFAULT_DOCS};
+use xqdb_workload::OrderParams;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec32_sqlxml");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let params = OrderParams::default();
+    for &sel in &[0.001f64, 0.01, 0.1] {
+        let threshold = params.price_threshold(sel);
+        let mut s = orders_session(
+            DEFAULT_DOCS,
+            OrderParams::default(),
+            &[("li_price", "//lineitem/@price", "double")],
+        );
+
+        // Query 5: XMLQUERY in the select list — returns every row, no index.
+        let q5 = format!(
+            "SELECT XMLQuery('$order//lineitem[@price > {threshold}]' passing orddoc as \"order\") FROM orders"
+        );
+        // Query 8: XMLEXISTS — filters rows, index eligible.
+        let q8 = format!(
+            "SELECT ordid, orddoc FROM orders WHERE XMLExists('$order//lineitem[@price > {threshold}]' passing orddoc as \"order\")"
+        );
+        // Query 10: both (Tip 3's recommended shape for fragments+filter).
+        let q10 = format!(
+            "SELECT ordid, XMLQuery('$order//lineitem[@price > {threshold}]' passing orddoc as \"order\") \
+             FROM orders WHERE XMLExists('$order//lineitem[@price > {threshold}]' passing orddoc as \"order\")"
+        );
+        // Query 11: XMLTABLE with the predicate in the row producer.
+        let q11 = format!(
+            "SELECT o.ordid, t.lineitem FROM orders o, \
+             XMLTable('$order//lineitem[@price > {threshold}]' passing o.orddoc as \"order\" \
+             COLUMNS \"lineitem\" XML BY REF PATH '.') as t(lineitem)"
+        );
+        // Query 12: predicate moved to a column expression — not eligible.
+        let q12 = format!(
+            "SELECT o.ordid, t.price FROM orders o, \
+             XMLTable('$order//lineitem' passing o.orddoc as \"order\" \
+             COLUMNS \"price\" DOUBLE PATH '@price[. > {threshold}]') as t(price)"
+        );
+
+        let tag = format!("sel={sel}");
+        group.bench_with_input(BenchmarkId::new("q5_select_list_scan", &tag), &sel, |b, _| {
+            b.iter(|| sql_count(&mut s, &q5))
+        });
+        group.bench_with_input(BenchmarkId::new("q8_xmlexists_probe", &tag), &sel, |b, _| {
+            b.iter(|| sql_count(&mut s, &q8))
+        });
+        group.bench_with_input(BenchmarkId::new("q10_query_plus_exists", &tag), &sel, |b, _| {
+            b.iter(|| sql_count(&mut s, &q10))
+        });
+        group.bench_with_input(BenchmarkId::new("q11_xmltable_rowproducer", &tag), &sel, |b, _| {
+            b.iter(|| sql_count(&mut s, &q11))
+        });
+        group.bench_with_input(BenchmarkId::new("q12_column_expr_scan", &tag), &sel, |b, _| {
+            b.iter(|| sql_count(&mut s, &q12))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E3.3 — Section 3.3 (Queries 13–16, Tips 5–6): join-side placement.
+//!
+//! Paper claim: expressing the join in XQuery keeps XML indexes in play and
+//! avoids the XMLCAST singleton hazards; SQL-side comparisons over XML
+//! require per-row extraction. We measure the relational-scan join cost of
+//! both formulations (and the failure probability of the XMLCAST form on
+//! multi-lineitem data is covered by the test suite).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xqdb_bench::orders_session;
+use xqdb_workload::OrderParams;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec33_joins");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // Single-lineitem orders so the XMLCAST form does not error.
+    let params = OrderParams { min_lineitems: 1, max_lineitems: 1, ..Default::default() };
+    let mut s = orders_session(400, params, &[]);
+    // products table: ids matching the generated p<N> ids.
+    for i in 0..100 {
+        s.execute(&format!("INSERT INTO products VALUES ('p{i}', 'product {i}')"))
+            .unwrap();
+    }
+
+    // Query 13: join condition in XQuery.
+    let q13 = "SELECT p.name FROM products p, orders o \
+               WHERE XMLExists('$order//lineitem/product[id eq $pid]' \
+               passing o.orddoc as \"order\", p.id as \"pid\")";
+    // Query 14: join condition in SQL via XMLCAST extraction.
+    let q14 = "SELECT p.name FROM products p, orders o \
+               WHERE p.id = XMLCast(XMLQuery('$order//lineitem/product/id' \
+               passing o.orddoc as \"order\") as VARCHAR(13))";
+    // Query 16: XML-to-XML join in XQuery with casts (orders ⋈ customer).
+    let q16 = "SELECT c.cid FROM orders o, customer c \
+               WHERE XMLExists('$order/order[custid/xs:double(.) = $cust/customer/id/xs:double(.)]' \
+               passing o.orddoc as \"order\", c.cdoc as \"cust\")";
+    // Query 15: same join via SQL-side XMLCAST extraction.
+    let q15 = "SELECT c.cid FROM orders o, customer c \
+               WHERE XMLCast(XMLQuery('$order/order/custid' passing o.orddoc as \"order\") as DOUBLE) \
+                   = XMLCast(XMLQuery('$cust/customer/id' passing c.cdoc as \"cust\") as DOUBLE)";
+
+    group.bench_function("q13_xquery_side_join", |b| {
+        b.iter(|| xqdb_bench::sql_count(&mut s, q13))
+    });
+    group.bench_function("q14_sql_side_xmlcast_join", |b| {
+        b.iter(|| xqdb_bench::sql_count(&mut s, q14))
+    });
+    group.bench_function("q15_sql_side_xml_join", |b| {
+        b.iter(|| xqdb_bench::sql_count(&mut s, q15))
+    });
+    group.bench_function("q16_xquery_side_xml_join", |b| {
+        b.iter(|| xqdb_bench::sql_count(&mut s, q16))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E3.4 — Section 3.4 (Queries 17–22, Tip 7): let vs for, and where-clauses
+//! rescuing let-bindings.
+//!
+//! Paper claim: Query 17 (for) and Queries 20–22 (where / bind-out) are
+//! index-eligible; Queries 18–19 (bare let / constructor) are not and pay
+//! the full collection scan.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqdb_bench::{orders_catalog, run_count, DEFAULT_DOCS};
+use xqdb_workload::OrderParams;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec34_letfor");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let params = OrderParams::default();
+    for &sel in &[0.01f64, 0.1] {
+        let threshold = params.price_threshold(sel);
+        let catalog = orders_catalog(
+            DEFAULT_DOCS,
+            OrderParams::default(),
+            &[("li_price", "//lineitem/@price", "double")],
+        );
+        let q17 = format!(
+            "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+             for $item in $doc//lineitem[@price > {threshold}] \
+             return <result>{{$item}}</result>"
+        );
+        let q18 = format!(
+            "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+             let $item := $doc//lineitem[@price > {threshold}] \
+             return <result>{{$item}}</result>"
+        );
+        let q20 = format!(
+            "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+             where $ord/lineitem/@price > {threshold} \
+             return <result>{{$ord/lineitem}}</result>"
+        );
+        let q21 = format!(
+            "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+             let $price := $ord/lineitem/@price \
+             where $price > {threshold} \
+             return <result>{{$ord/lineitem}}</result>"
+        );
+        let q22 = format!(
+            "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+             return $ord/lineitem[@price > {threshold}]"
+        );
+
+        let tag = format!("sel={sel}");
+        group.bench_with_input(BenchmarkId::new("q17_for_probe", &tag), &sel, |b, _| {
+            b.iter(|| run_count(&catalog, &q17))
+        });
+        group.bench_with_input(BenchmarkId::new("q18_let_scan", &tag), &sel, |b, _| {
+            b.iter(|| run_count(&catalog, &q18))
+        });
+        group.bench_with_input(BenchmarkId::new("q20_where_probe", &tag), &sel, |b, _| {
+            b.iter(|| run_count(&catalog, &q20))
+        });
+        group.bench_with_input(BenchmarkId::new("q21_let_where_probe", &tag), &sel, |b, _| {
+            b.iter(|| run_count(&catalog, &q21))
+        });
+        group.bench_with_input(BenchmarkId::new("q22_bindout_probe", &tag), &sel, |b, _| {
+            b.iter(|| run_count(&catalog, &q22))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

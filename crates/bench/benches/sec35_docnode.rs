@@ -1,0 +1,44 @@
+//! E3.5 — Section 3.5 (Queries 23–25, Tip 8): document vs element nodes.
+//!
+//! The pitfalls here are semantic (extra navigation level, type errors on
+//! absolute paths over constructed trees); the measurable aspect is the
+//! navigation cost of the correct formulations and the overhead of the
+//! needless re-construction in Query 24's inner FLWOR.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xqdb_bench::{orders_catalog, run_count, DEFAULT_DOCS};
+use xqdb_workload::OrderParams;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec35_docnode");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let catalog = orders_catalog(DEFAULT_DOCS, OrderParams::default(), &[]);
+
+    // Query 23: navigation from the document node.
+    group.bench_function("q23_document_rooted_navigation", |b| {
+        b.iter(|| run_count(&catalog, "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem"))
+    });
+    // Equivalent descendant formulation (extra matching work).
+    group.bench_function("descendant_navigation", |b| {
+        b.iter(|| run_count(&catalog, "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem"))
+    });
+    // Query 24 (fixed with self axis): wraps every order in a constructed
+    // element first — paying a full re-copy of each document.
+    group.bench_function("q24_reconstruction_overhead", |b| {
+        b.iter(|| {
+            run_count(
+                &catalog,
+                "for $ord in (for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+                   return <my_order>{$o/*}</my_order>) \
+                 return $ord/self::my_order",
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E3.7 — Section 3.7 (Query 28, Tip 10): namespace alignment between data,
+//! query, and index.
+//!
+//! Paper claim: indexes without namespace declarations only cover
+//! no-namespace elements, so they are ineligible for namespaced queries —
+//! silently. The fixes (declared-namespace index, `*:` wildcard index, or
+//! attribute-only `//@price`) restore probe performance.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xqdb_bench::{orders_catalog, run_count, DEFAULT_DOCS};
+use xqdb_workload::OrderParams;
+
+const NS: &str = "http://ournamespaces.com/order";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec37_namespaces");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let params = OrderParams { namespace: Some(NS.into()), ..Default::default() };
+    let threshold = params.price_threshold(0.01);
+    let query = format!(
+        "declare default element namespace \"{NS}\"; \
+         db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[lineitem/@price > {threshold}]"
+    );
+
+    // Mismatched index: no namespace declarations → ineligible → scan.
+    let mismatched = orders_catalog(
+        DEFAULT_DOCS,
+        params.clone(),
+        &[("li_price", "//lineitem/@price", "double")],
+    );
+    group.bench_function("mismatched_index_scan", |b| b.iter(|| run_count(&mismatched, &query)));
+
+    // Fix 1: declared namespace in the index pattern.
+    let declared = orders_catalog(
+        DEFAULT_DOCS,
+        params.clone(),
+        &[(
+            "li_price_ns1",
+            "declare default element namespace \"http://ournamespaces.com/order\"; //lineitem/@price",
+            "double",
+        )],
+    );
+    group.bench_function("declared_ns_index_probe", |b| b.iter(|| run_count(&declared, &query)));
+
+    // Fix 2: namespace wildcard.
+    let wildcard = orders_catalog(
+        DEFAULT_DOCS,
+        params.clone(),
+        &[("li_price_w", "//*:lineitem/@price", "double")],
+    );
+    group.bench_function("wildcard_ns_index_probe", |b| b.iter(|| run_count(&wildcard, &query)));
+
+    // Fix 3: attribute-only pattern (attributes have no default namespace).
+    let attr_only =
+        orders_catalog(DEFAULT_DOCS, params, &[("li_price_ns", "//@price", "double")]);
+    group.bench_function("attr_only_index_probe", |b| b.iter(|| run_count(&attr_only, &query)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

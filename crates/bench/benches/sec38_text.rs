@@ -1,0 +1,55 @@
+//! E3.8 — Section 3.8 (Query 29, Tip 11): text() alignment between query
+//! and index.
+//!
+//! Paper claim: a `//price` element index cannot answer a
+//! `price/text() = ...` predicate when mixed content exists (the element
+//! value is "99.50USD", the text node "99.50"); only the aligned
+//! `//price/text()` index is eligible.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xqdb_bench::{orders_catalog, run_count, DEFAULT_DOCS};
+use xqdb_workload::OrderParams;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec38_text");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let params = OrderParams {
+        element_prices: true,
+        mixed_content_fraction: 0.3,
+        ..Default::default()
+    };
+    let text_query =
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[lineitem/price/text() = \"500.00\"]";
+    let element_query = "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[lineitem/price = \"500.00\"]";
+
+    // Element index: ineligible for the text() query → scan.
+    let element_idx = orders_catalog(
+        DEFAULT_DOCS,
+        params.clone(),
+        &[("price_elem", "//price", "varchar")],
+    );
+    group.bench_function("text_query_element_index_scan", |b| {
+        b.iter(|| run_count(&element_idx, text_query))
+    });
+    // ...but eligible for the element-value query.
+    group.bench_function("element_query_element_index_probe", |b| {
+        b.iter(|| run_count(&element_idx, element_query))
+    });
+
+    // Aligned text() index: probe.
+    let text_idx = orders_catalog(
+        DEFAULT_DOCS,
+        params,
+        &[("price_text", "//price/text()", "varchar")],
+    );
+    group.bench_function("text_query_text_index_probe", |b| {
+        b.iter(|| run_count(&text_idx, text_query))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E3.9 — Section 3.9 (Tip 12): attribute indexing requires the attribute
+//! axis.
+//!
+//! Paper claim: an index on `//*` or `//node()` contains no attribute
+//! nodes (the child axis never reaches them), so attribute predicates need
+//! `//@*` (or its long form). Index build cost and eligibility both follow.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xqdb_bench::{orders_catalog, run_count, DEFAULT_DOCS};
+use xqdb_workload::OrderParams;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec39_attrs");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let params = OrderParams::default();
+    let threshold = params.price_threshold(0.01);
+    let query = format!(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > {threshold}]"
+    );
+
+    // //node() index: zero attribute entries, ineligible → scan.
+    let node_idx = orders_catalog(
+        DEFAULT_DOCS,
+        OrderParams::default(),
+        &[("all_nodes", "//node()", "double")],
+    );
+    group.bench_function("node_index_scan", |b| b.iter(|| run_count(&node_idx, &query)));
+
+    // //@* (Tip 12): eligible → probe.
+    let attr_idx =
+        orders_catalog(DEFAULT_DOCS, OrderParams::default(), &[("all_attrs", "//@*", "double")]);
+    group.bench_function("attr_wildcard_index_probe", |b| {
+        b.iter(|| run_count(&attr_idx, &query))
+    });
+
+    // Long form: /descendant-or-self::node()/attribute::*.
+    let long_form = orders_catalog(
+        DEFAULT_DOCS,
+        OrderParams::default(),
+        &[("all_attrs_l", "/descendant-or-self::node()/attribute::*", "double")],
+    );
+    group.bench_function("attr_longform_index_probe", |b| {
+        b.iter(|| run_count(&long_form, &query))
+    });
+
+    // Index build cost comparison: broad //@* vs narrow //lineitem/@price.
+    group.bench_function("build_broad_attr_index", |b| {
+        b.iter(|| {
+            orders_catalog(500, OrderParams::default(), &[("a", "//@*", "double")])
+                .index("a")
+                .expect("index exists")
+                .len()
+        })
+    });
+    group.bench_function("build_narrow_attr_index", |b| {
+        b.iter(|| {
+            orders_catalog(500, OrderParams::default(), &[("a", "//lineitem/@price", "double")])
+                .index("a")
+                .expect("index exists")
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,258 @@
+//! Experiment report: runs every per-section experiment once and prints the
+//! table EXPERIMENTS.md records — eligible vs. ineligible formulation,
+//! documents evaluated vs. total, index entries scanned, wall time, and the
+//! speedup factor.
+//!
+//! Run with: `cargo run -p xqdb-bench --bin report --release`
+
+use xqdb_bench::{orders_catalog, summarize, RunSummary};
+use xqdb_core::SqlSession;
+use xqdb_workload::OrderParams;
+
+const N: usize = 5_000;
+
+struct Row {
+    experiment: &'static str,
+    variant: String,
+    summary: RunSummary,
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut push = |experiment: &'static str, variant: &str, summary: RunSummary| {
+        rows.push(Row { experiment, variant: variant.to_string(), summary });
+    };
+
+    // ---------------------------------------------------------- E2.2
+    {
+        let params = OrderParams::default();
+        let t = params.price_threshold(0.01);
+        let indexed =
+            orders_catalog(N, params, &[("li_price", "//lineitem/@price", "double")]);
+        let plain = orders_catalog(N, OrderParams::default(), &[]);
+        let q1 = format!(
+            "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>{t}] return $i"
+        );
+        push("E2.2 Q1", "indexed probe", summarize(&indexed, &q1));
+        push("E2.2 Q1", "collection scan", summarize(&plain, &q1));
+        let q2 = format!(
+            "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>{t}] return $i"
+        );
+        push("E2.2 Q2", "narrow idx (ineligible)", summarize(&indexed, &q2));
+        let broad = orders_catalog(N, OrderParams::default(), &[("a", "//@*", "double")]);
+        push("E2.2 Q2", "broad //@* idx", summarize(&broad, &q2));
+    }
+
+    // ---------------------------------------------------------- E3.1
+    {
+        let params = OrderParams::default();
+        let t = params.price_threshold(0.01);
+        let cat = orders_catalog(
+            N,
+            params,
+            &[
+                ("li_price_d", "//lineitem/@price", "double"),
+                ("li_price_s", "//lineitem/@price", "varchar"),
+            ],
+        );
+        push(
+            "E3.1 types",
+            "numeric pred → double idx",
+            summarize(&cat, &format!("db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > {t}]")),
+        );
+        push(
+            "E3.1 types",
+            "string pred → varchar idx",
+            summarize(&cat, &format!("db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \"{t}\"]")),
+        );
+        let donly =
+            orders_catalog(N, OrderParams::default(), &[("d", "//lineitem/@price", "double")]);
+        push(
+            "E3.1 types",
+            "string pred, double idx only (scan)",
+            summarize(&donly, &format!("db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \"{t}\"]")),
+        );
+    }
+
+    // ---------------------------------------------------------- E3.4
+    {
+        let params = OrderParams::default();
+        let t = params.price_threshold(0.01);
+        let cat =
+            orders_catalog(N, params, &[("li_price", "//lineitem/@price", "double")]);
+        push(
+            "E3.4 for/let",
+            "Q17 for (probe)",
+            summarize(
+                &cat,
+                &format!(
+                    "for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+                     for $i in $d//lineitem[@price > {t}] return <r>{{$i}}</r>"
+                ),
+            ),
+        );
+        push(
+            "E3.4 for/let",
+            "Q18 let (scan)",
+            summarize(
+                &cat,
+                &format!(
+                    "for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+                     let $i := $d//lineitem[@price > {t}] return <r>{{$i}}</r>"
+                ),
+            ),
+        );
+        push(
+            "E3.4 for/let",
+            "Q21 let+where (probe)",
+            summarize(
+                &cat,
+                &format!(
+                    "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+                     let $p := $o/lineitem/@price where $p > {t} return <r>{{$o/lineitem}}</r>"
+                ),
+            ),
+        );
+    }
+
+    // ---------------------------------------------------------- E3.7
+    {
+        let ns = "http://ournamespaces.com/order";
+        let params = OrderParams { namespace: Some(ns.into()), ..Default::default() };
+        let t = params.price_threshold(0.01);
+        let q = format!(
+            "declare default element namespace \"{ns}\"; \
+             db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[lineitem/@price > {t}]"
+        );
+        let mismatched = orders_catalog(
+            N,
+            params.clone(),
+            &[("li_price", "//lineitem/@price", "double")],
+        );
+        push("E3.7 namespaces", "mismatched idx (scan)", summarize(&mismatched, &q));
+        let wildcard =
+            orders_catalog(N, params, &[("w", "//*:lineitem/@price", "double")]);
+        push("E3.7 namespaces", "wildcard idx (probe)", summarize(&wildcard, &q));
+    }
+
+    // ---------------------------------------------------------- E3.8
+    {
+        let params = OrderParams {
+            element_prices: true,
+            mixed_content_fraction: 0.3,
+            ..Default::default()
+        };
+        let tq = "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[lineitem/price/text() = \"500.00\"]";
+        let elem = orders_catalog(N, params.clone(), &[("e", "//price", "varchar")]);
+        push("E3.8 text()", "element idx (scan)", summarize(&elem, tq));
+        let text = orders_catalog(N, params, &[("t", "//price/text()", "varchar")]);
+        push("E3.8 text()", "text() idx (probe)", summarize(&text, tq));
+    }
+
+    // ---------------------------------------------------------- E3.10
+    {
+        let attr = orders_catalog(
+            N,
+            OrderParams::default(),
+            &[("li_price", "//lineitem/@price", "double")],
+        );
+        let elem = orders_catalog(
+            N,
+            OrderParams {
+                element_prices: true,
+                multi_price_fraction: 0.2,
+                ..Default::default()
+            },
+            &[("e_price", "//price", "double")],
+        );
+        push(
+            "E3.10 between",
+            "attribute between (1 scan)",
+            summarize(
+                &attr,
+                "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem[@price>450 and @price<550]]",
+            ),
+        );
+        push(
+            "E3.10 between",
+            "element general-cmp (2 scans)",
+            summarize(
+                &elem,
+                "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[price > 450 and price < 550]",
+            ),
+        );
+        push(
+            "E3.10 between",
+            "self-axis between (1 scan)",
+            summarize(
+                &elem,
+                "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/price/data()[. > 450 and . < 550]",
+            ),
+        );
+    }
+
+    // Print the table.
+    println!(
+        "{:<18} {:<38} {:>8} {:>13} {:>12} {:>12}",
+        "experiment", "variant", "results", "docs eval/tot", "idx entries", "time"
+    );
+    println!("{}", "-".repeat(108));
+    for r in &rows {
+        println!(
+            "{:<18} {:<38} {:>8} {:>6}/{:<6} {:>12} {:>12?}",
+            r.experiment,
+            r.variant,
+            r.summary.results,
+            r.summary.docs_evaluated,
+            r.summary.docs_total,
+            r.summary.index_entries,
+            r.summary.elapsed,
+        );
+    }
+
+    // SQL-side experiment (E3.2) via the session interface.
+    println!("\nE3.2 (SQL/XML placements, N=2000, sel=1%):");
+    let mut s = SqlSession {
+        catalog: orders_catalog(
+            2000,
+            OrderParams::default(),
+            &[("li_price", "//lineitem/@price", "double")],
+        ),
+    };
+    let t = OrderParams::default().price_threshold(0.01);
+    for (label, sql) in [
+        (
+            "Q5 XMLQUERY select list (scan)",
+            format!("SELECT XMLQuery('$o//lineitem[@price > {t}]' passing orddoc as \"o\") FROM orders"),
+        ),
+        (
+            "Q8 XMLEXISTS (probe)",
+            format!("SELECT ordid FROM orders WHERE XMLExists('$o//lineitem[@price > {t}]' passing orddoc as \"o\")"),
+        ),
+        (
+            "Q11 XMLTABLE row-producer (probe)",
+            format!(
+                "SELECT t.li FROM orders o, XMLTable('$o//lineitem[@price > {t}]' \
+                 passing o.orddoc as \"o\" COLUMNS \"li\" XML BY REF PATH '.') as t(li)"
+            ),
+        ),
+        (
+            "Q12 column expression (scan)",
+            format!(
+                "SELECT t.p FROM orders o, XMLTable('$o//lineitem' passing o.orddoc as \"o\" \
+                 COLUMNS \"p\" DOUBLE PATH '@price[. > {t}]') as t(p)"
+            ),
+        ),
+    ] {
+        let start = std::time::Instant::now();
+        let r = s.execute(&sql).expect("experiment SQL runs");
+        let elapsed = start.elapsed();
+        println!(
+            "  {:<36} {:>6} rows  {:>6} docs eval  {:>8} idx entries  {elapsed:?}",
+            label,
+            r.rows.len(),
+            r.stats.docs_evaluated.get("ORDERS").copied().unwrap_or(0),
+            r.stats.index_entries_scanned,
+        );
+    }
+}

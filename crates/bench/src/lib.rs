@@ -1,0 +1,117 @@
+//! Shared harness for the per-section benchmarks.
+//!
+//! Every bench follows the same recipe: build a catalog at a given scale,
+//! create the section's indexes, then time the paper's *eligible* query
+//! formulation against the *ineligible* one (or indexed vs. unindexed).
+//! Throughput shapes — who wins, by what factor, where the crossover sits —
+//! are what EXPERIMENTS.md records against the paper's qualitative claims.
+
+use xqdb_core::{run_xquery, Catalog};
+use xqdb_workload::{create_paper_schema, load_customers, load_orders, OrderParams};
+
+/// Default collection size for benches (kept modest so `cargo bench`
+/// completes quickly; the scaling benches sweep further).
+pub const DEFAULT_DOCS: usize = 2_000;
+
+/// Build a populated catalog: `n` orders with `params`, plus customers, and
+/// the given `(name, pattern, type)` indexes on `orders(orddoc)`.
+pub fn orders_catalog(n: usize, params: OrderParams, indexes: &[(&str, &str, &str)]) -> Catalog {
+    let mut c = Catalog::new();
+    create_paper_schema(&mut c);
+    load_orders(&mut c, n, params);
+    load_customers(&mut c, 200, None);
+    for (name, pattern, ty) in indexes {
+        c.create_index(name, "orders", "orddoc", pattern, ty)
+            .expect("bench index DDL is valid");
+    }
+    c
+}
+
+/// Wrap a populated catalog in a SQL/XML session (for the Section 3.2/3.3
+/// benches).
+pub fn orders_session(
+    n: usize,
+    params: OrderParams,
+    indexes: &[(&str, &str, &str)],
+) -> xqdb_core::SqlSession {
+    xqdb_core::SqlSession { catalog: orders_catalog(n, params, indexes) }
+}
+
+/// Execute a SQL statement, asserting success, returning the row count.
+pub fn sql_count(session: &mut xqdb_core::SqlSession, sql: &str) -> usize {
+    session
+        .execute(sql)
+        .unwrap_or_else(|e| panic!("bench SQL failed: {e}\n{sql}"))
+        .rows
+        .len()
+}
+
+/// Run a query, asserting it succeeds, returning the result cardinality.
+pub fn run_count(catalog: &Catalog, query: &str) -> usize {
+    run_xquery(catalog, query)
+        .unwrap_or_else(|e| panic!("bench query failed: {e}\n{query}"))
+        .sequence
+        .len()
+}
+
+/// Execution summary for the report binary: cardinality, docs evaluated vs
+/// total, index entries touched.
+pub struct RunSummary {
+    /// Result sequence length.
+    pub results: usize,
+    /// Documents actually evaluated (post-filter).
+    pub docs_evaluated: usize,
+    /// Collection size.
+    pub docs_total: usize,
+    /// Index entries scanned.
+    pub index_entries: usize,
+    /// Wall time of one execution.
+    pub elapsed: std::time::Duration,
+}
+
+/// Execute once and summarize.
+pub fn summarize(catalog: &Catalog, query: &str) -> RunSummary {
+    let start = std::time::Instant::now();
+    let out = run_xquery(catalog, query)
+        .unwrap_or_else(|e| panic!("report query failed: {e}\n{query}"));
+    let elapsed = start.elapsed();
+    let docs_evaluated = out
+        .stats
+        .docs_evaluated
+        .get("ORDERS.ORDDOC")
+        .copied()
+        .unwrap_or_else(|| out.stats.docs_evaluated.values().sum());
+    let docs_total = out
+        .stats
+        .docs_total
+        .get("ORDERS.ORDDOC")
+        .copied()
+        .unwrap_or_else(|| out.stats.docs_total.values().sum());
+    RunSummary {
+        results: out.sequence.len(),
+        docs_evaluated,
+        docs_total,
+        index_entries: out.stats.index_entries_scanned,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_builds_and_runs() {
+        let c = orders_catalog(
+            50,
+            OrderParams::default(),
+            &[("li_price", "//lineitem/@price", "double")],
+        );
+        let n = run_count(&c, "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 990]");
+        assert!(n < 50);
+        let s = summarize(&c, "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 990]");
+        assert_eq!(s.docs_total, 50);
+        assert!(s.docs_evaluated <= 50);
+        assert!(s.index_entries > 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Order-preserving byte encodings.
+//!
+//! Composite index keys are built by concatenating encoded components; the
+//! encodings below guarantee that byte-wise comparison of the concatenation
+//! equals component-wise comparison of the values. The string encoding is
+//! self-terminating (escaped `0x00`), so a shorter string followed by more
+//! components never collates after a longer string it prefixes.
+
+/// Encode an `f64` so byte order equals numeric order.
+///
+/// Standard trick: flip all bits of negative values, flip only the sign bit
+/// of non-negative values. `-INF < ... < -0.0 < +0.0 < ... < +INF < NaN`
+/// (NaN with the sign bit clear sorts above +INF; deterministic, which is
+/// all an index needs).
+pub fn encode_f64(v: f64) -> [u8; 8] {
+    let bits = v.to_bits();
+    let mapped = if bits & 0x8000_0000_0000_0000 != 0 {
+        !bits
+    } else {
+        bits ^ 0x8000_0000_0000_0000
+    };
+    mapped.to_be_bytes()
+}
+
+/// Decode a value produced by [`encode_f64`].
+pub fn decode_f64(b: [u8; 8]) -> f64 {
+    let mapped = u64::from_be_bytes(b);
+    let bits = if mapped & 0x8000_0000_0000_0000 != 0 {
+        mapped ^ 0x8000_0000_0000_0000
+    } else {
+        !mapped
+    };
+    f64::from_bits(bits)
+}
+
+/// Encode an `i64` (dates as epoch days, timestamps as epoch millis) so byte
+/// order equals numeric order: offset-binary.
+pub fn encode_i64(v: i64) -> [u8; 8] {
+    (v as u64 ^ 0x8000_0000_0000_0000).to_be_bytes()
+}
+
+/// Decode a value produced by [`encode_i64`].
+pub fn decode_i64(b: [u8; 8]) -> i64 {
+    (u64::from_be_bytes(b) ^ 0x8000_0000_0000_0000) as i64
+}
+
+/// Encode a `u64` (doc ids, path ids) big-endian.
+pub fn encode_u64(v: u64) -> [u8; 8] {
+    v.to_be_bytes()
+}
+
+/// Escape-encode a string: `0x00` becomes `0x00 0xFF`, and the encoding is
+/// terminated by `0x00 0x00`. Byte order of encodings equals lexicographic
+/// byte order of the originals, even when followed by further key
+/// components.
+pub fn encode_str(s: &str, out: &mut Vec<u8>) {
+    for &b in s.as_bytes() {
+        if b == 0x00 {
+            out.push(0x00);
+            out.push(0xFF);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0x00);
+    out.push(0x00);
+}
+
+/// Decode a string encoded by [`encode_str`], returning the string and the
+/// number of bytes consumed. Returns `None` on malformed input.
+pub fn decode_str(data: &[u8]) -> Option<(String, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < data.len() || i < data.len() {
+        match data[i] {
+            0x00 => {
+                let next = *data.get(i + 1)?;
+                match next {
+                    0x00 => return String::from_utf8(out).ok().map(|s| (s, i + 2)),
+                    0xFF => {
+                        out.push(0x00);
+                        i += 2;
+                    }
+                    _ => return None,
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn f64_ordering_known_values() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e10,
+            -1.0,
+            -0.5,
+            0.0,
+            0.5,
+            1.0,
+            99.5,
+            100.0,
+            1e10,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                encode_f64(w[0]) < encode_f64(w[1]),
+                "{} should encode below {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        for v in [-1.5, 0.0, 42.0, f64::INFINITY, f64::MIN_POSITIVE] {
+            assert_eq!(decode_f64(encode_f64(v)), v);
+        }
+    }
+
+    #[test]
+    fn i64_ordering() {
+        let vals = [i64::MIN, -1, 0, 1, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(encode_i64(w[0]) < encode_i64(w[1]));
+        }
+        for v in vals {
+            assert_eq!(decode_i64(encode_i64(v)), v);
+        }
+    }
+
+    #[test]
+    fn string_prefix_safety() {
+        // "ab" < "ab\0suffix-bearing composite" must hold after encoding
+        // even when "ab" is followed by another component.
+        let mut a = Vec::new();
+        encode_str("ab", &mut a);
+        a.extend_from_slice(&encode_u64(u64::MAX)); // next component, max
+        let mut b = Vec::new();
+        encode_str("ab\u{0}x", &mut b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn string_roundtrip_with_nuls() {
+        let s = "a\u{0}b\u{0}\u{0}c";
+        let mut enc = Vec::new();
+        encode_str(s, &mut enc);
+        let (dec, used) = decode_str(&enc).unwrap();
+        assert_eq!(dec, s);
+        assert_eq!(used, enc.len());
+    }
+
+    proptest! {
+        #[test]
+        fn f64_order_preserved(a in prop::num::f64::NORMAL, b in prop::num::f64::NORMAL) {
+            let (ea, eb) = (encode_f64(a), encode_f64(b));
+            prop_assert_eq!(a.partial_cmp(&b).unwrap(), ea.cmp(&eb));
+        }
+
+        #[test]
+        fn i64_order_preserved(a: i64, b: i64) {
+            prop_assert_eq!(a.cmp(&b), encode_i64(a).cmp(&encode_i64(b)));
+        }
+
+        #[test]
+        fn str_order_preserved(a in ".*", b in ".*") {
+            let mut ea = Vec::new();
+            encode_str(&a, &mut ea);
+            let mut eb = Vec::new();
+            encode_str(&b, &mut eb);
+            prop_assert_eq!(a.as_bytes().cmp(b.as_bytes()), ea.cmp(&eb));
+        }
+
+        #[test]
+        fn str_roundtrip(s in ".*") {
+            let mut enc = Vec::new();
+            encode_str(&s, &mut enc);
+            let (dec, used) = decode_str(&enc).unwrap();
+            prop_assert_eq!(dec, s);
+            prop_assert_eq!(used, enc.len());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # xqdb-btree — the index substrate
+//!
+//! Section 2.1 of the paper: "Under the covers, XML indexes are implemented
+//! using B+Trees. The index contains sufficient information to answer a
+//! range or an equality predicate on the converted value, additional
+//! restrictions on the path, as well as to perform node-level conjunctions
+//! and disjunctions of multiple predicates."
+//!
+//! This crate provides:
+//!
+//! * [`BPlusTree`] — an in-memory B+Tree over byte-comparable keys with
+//!   linked leaves and `std::ops::Bound`-based range scans;
+//! * [`keyenc`] — order-preserving byte encodings for the key components an
+//!   XML index needs (doubles, strings, dates, doc/node ids), so composite
+//!   keys compare correctly as plain byte strings.
+
+pub mod keyenc;
+pub mod tree;
+
+pub use tree::BPlusTree;

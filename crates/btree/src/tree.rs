@@ -1,0 +1,513 @@
+//! The B+Tree proper.
+//!
+//! Arena-allocated nodes, fixed fanout, linked leaves for range scans.
+//! Keys are byte strings (see [`crate::keyenc`]); values are any `Clone`
+//! payload. Insert replaces on equal key (map semantics — XML index entries
+//! embed `(docid, nodeid)` in the key, so logical duplicates never collide).
+//!
+//! Deletion removes entries from leaves without structural merging. This is
+//! the classic lazy-deletion tradeoff: scans and lookups stay correct, and
+//! space is reclaimed on rebuild. The paper's workloads are insert/query
+//! dominated, which this matches.
+
+use std::ops::Bound;
+
+/// Maximum number of keys in a node before it splits.
+const MAX_KEYS: usize = 64;
+
+type Key = Vec<u8>;
+
+#[derive(Debug, Clone)]
+enum Node<V> {
+    Internal {
+        /// Separator keys; `children.len() == keys.len() + 1`. `keys[i]` is
+        /// the smallest key reachable under `children[i + 1]`.
+        keys: Vec<Key>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<Key>,
+        values: Vec<V>,
+        /// Next leaf in key order.
+        next: Option<usize>,
+    },
+}
+
+/// An in-memory B+Tree over byte-string keys.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<V> {
+    nodes: Vec<Node<V>>,
+    root: usize,
+    len: usize,
+}
+
+impl<V: Clone> Default for BPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> BPlusTree<V> {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            nodes: vec![Node::Leaf { keys: Vec::new(), values: Vec::new(), next: None }],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `key` → `value`, replacing and returning the previous value on
+    /// an exact key match.
+    pub fn insert(&mut self, key: Key, value: V) -> Option<V> {
+        match self.insert_rec(self.root, key, value) {
+            InsertResult::Replaced(old) => Some(old),
+            InsertResult::Inserted => {
+                self.len += 1;
+                None
+            }
+            InsertResult::Split(sep, right) => {
+                self.len += 1;
+                let old_root = self.root;
+                self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+                self.root = self.nodes.len() - 1;
+                None
+            }
+        }
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, key: &[u8]) -> Option<&V> {
+        let leaf = self.find_leaf(key);
+        if let Node::Leaf { keys, values, .. } = &self.nodes[leaf] {
+            match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                Ok(i) => Some(&values[i]),
+                Err(_) => None,
+            }
+        } else {
+            unreachable!("find_leaf returns a leaf")
+        }
+    }
+
+    /// Remove an exact key, returning its value. Leaves are shrunk in place
+    /// (no structural rebalance — see the module docs).
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let leaf = self.find_leaf(key);
+        if let Node::Leaf { keys, values, .. } = &mut self.nodes[leaf] {
+            match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                Ok(i) => {
+                    keys.remove(i);
+                    let v = values.remove(i);
+                    self.len -= 1;
+                    Some(v)
+                }
+                Err(_) => None,
+            }
+        } else {
+            unreachable!("find_leaf returns a leaf")
+        }
+    }
+
+    /// Range scan over `(lower, upper)` bounds, yielding `(key, value)` in
+    /// key order.
+    pub fn range<'a>(
+        &'a self,
+        lower: Bound<&'a [u8]>,
+        upper: Bound<&'a [u8]>,
+    ) -> RangeIter<'a, V> {
+        // Find the starting leaf/position.
+        let (leaf, idx) = match lower {
+            Bound::Unbounded => (self.leftmost_leaf(), 0),
+            Bound::Included(k) => {
+                let leaf = self.find_leaf(k);
+                let idx = self.lower_bound_in_leaf(leaf, k, true);
+                (leaf, idx)
+            }
+            Bound::Excluded(k) => {
+                let leaf = self.find_leaf(k);
+                let idx = self.lower_bound_in_leaf(leaf, k, false);
+                (leaf, idx)
+            }
+        };
+        RangeIter { tree: self, leaf: Some(leaf), idx, upper }
+    }
+
+    /// Iterate every entry in key order.
+    pub fn iter(&self) -> RangeIter<'_, V> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Approximate heap footprint in bytes (keys + node overhead), for the
+    /// index-size accounting in the experiments.
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = 0;
+        for n in &self.nodes {
+            total += std::mem::size_of::<Node<V>>();
+            match n {
+                Node::Internal { keys, children } => {
+                    total += keys.iter().map(|k| k.len() + 24).sum::<usize>();
+                    total += children.len() * 8;
+                }
+                Node::Leaf { keys, values, .. } => {
+                    total += keys.iter().map(|k| k.len() + 24).sum::<usize>();
+                    total += values.len() * std::mem::size_of::<V>();
+                }
+            }
+        }
+        total
+    }
+
+    fn leftmost_leaf(&self) -> usize {
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Internal { children, .. } => cur = children[0],
+                Node::Leaf { .. } => return cur,
+            }
+        }
+    }
+
+    fn find_leaf(&self, key: &[u8]) -> usize {
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    cur = children[idx];
+                }
+                Node::Leaf { .. } => return cur,
+            }
+        }
+    }
+
+    fn lower_bound_in_leaf(&self, leaf: usize, key: &[u8], inclusive: bool) -> usize {
+        if let Node::Leaf { keys, .. } = &self.nodes[leaf] {
+            match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                Ok(i) => {
+                    if inclusive {
+                        i
+                    } else {
+                        i + 1
+                    }
+                }
+                Err(i) => i,
+            }
+        } else {
+            unreachable!("find_leaf returns a leaf")
+        }
+    }
+
+    fn insert_rec(&mut self, node: usize, key: Key, value: V) -> InsertResult<V> {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, values, .. } => {
+                match keys.binary_search_by(|k| k.as_slice().cmp(&key)) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut values[i], value);
+                        InsertResult::Replaced(old)
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                        if keys.len() > MAX_KEYS {
+                            self.split_leaf(node)
+                        } else {
+                            InsertResult::Inserted
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search_by(|k| k.as_slice().cmp(&key)) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let child = children[idx];
+                match self.insert_rec(child, key, value) {
+                    InsertResult::Split(sep, right) => {
+                        if let Node::Internal { keys, children } = &mut self.nodes[node] {
+                            keys.insert(idx, sep);
+                            children.insert(idx + 1, right);
+                            if keys.len() > MAX_KEYS {
+                                return self.split_internal(node);
+                            }
+                        }
+                        InsertResult::Inserted
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: usize) -> InsertResult<V> {
+        let new_idx = self.nodes.len();
+        if let Node::Leaf { keys, values, next } = &mut self.nodes[node] {
+            let mid = keys.len() / 2;
+            let right_keys: Vec<Key> = keys.drain(mid..).collect();
+            let right_values: Vec<V> = values.drain(mid..).collect();
+            let sep = right_keys[0].clone();
+            let right_next = *next;
+            *next = Some(new_idx);
+            self.nodes.push(Node::Leaf { keys: right_keys, values: right_values, next: right_next });
+            InsertResult::Split(sep, new_idx)
+        } else {
+            unreachable!("split_leaf called on a leaf")
+        }
+    }
+
+    fn split_internal(&mut self, node: usize) -> InsertResult<V> {
+        let new_idx = self.nodes.len();
+        if let Node::Internal { keys, children } = &mut self.nodes[node] {
+            let mid = keys.len() / 2;
+            let sep = keys[mid].clone();
+            let right_keys: Vec<Key> = keys.drain(mid + 1..).collect();
+            keys.pop(); // drop the separator from the left node
+            let right_children: Vec<usize> = children.drain(mid + 1..).collect();
+            self.nodes.push(Node::Internal { keys: right_keys, children: right_children });
+            InsertResult::Split(sep, new_idx)
+        } else {
+            unreachable!("split_internal called on an internal node")
+        }
+    }
+}
+
+enum InsertResult<V> {
+    Inserted,
+    Replaced(V),
+    Split(Key, usize),
+}
+
+/// Iterator over a key range, in key order.
+pub struct RangeIter<'a, V> {
+    tree: &'a BPlusTree<V>,
+    leaf: Option<usize>,
+    idx: usize,
+    upper: Bound<&'a [u8]>,
+}
+
+impl<'a, V: Clone> Iterator for RangeIter<'a, V> {
+    type Item = (&'a [u8], &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf?;
+            if let Node::Leaf { keys, values, next } = &self.tree.nodes[leaf] {
+                if self.idx >= keys.len() {
+                    self.leaf = *next;
+                    self.idx = 0;
+                    continue;
+                }
+                let k = &keys[self.idx];
+                let in_range = match self.upper {
+                    Bound::Unbounded => true,
+                    Bound::Included(u) => k.as_slice() <= u,
+                    Bound::Excluded(u) => k.as_slice() < u,
+                };
+                if !in_range {
+                    self.leaf = None;
+                    return None;
+                }
+                let v = &values[self.idx];
+                self.idx += 1;
+                return Some((k.as_slice(), v));
+            } else {
+                unreachable!("leaf chain contains only leaves")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn key(i: u64) -> Vec<u8> {
+        crate::keyenc::encode_u64(i).to_vec()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000u64 {
+            assert_eq!(t.insert(key(i * 7 % 1000), i), None);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(t.get(&key(i * 7 % 1000)), Some(&i));
+        }
+        assert_eq!(t.get(&key(5000)), None);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(key(1), "a"), None);
+        assert_eq!(t.insert(key(1), "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&key(1)), Some(&"b"));
+    }
+
+    #[test]
+    fn full_scan_is_sorted() {
+        let mut t = BPlusTree::new();
+        let mut order: Vec<u64> = (0..5000).collect();
+        // Deterministic shuffle.
+        for i in 0..order.len() {
+            let j = (i * 2654435761) % order.len();
+            order.swap(i, j);
+        }
+        for &i in &order {
+            t.insert(key(i), i);
+        }
+        let scanned: Vec<u64> = t.iter().map(|(_, v)| *v).collect();
+        let expected: Vec<u64> = (0..5000).collect();
+        assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut t = BPlusTree::new();
+        for i in 0..100u64 {
+            t.insert(key(i), i);
+        }
+        let collect = |lo: Bound<&[u8]>, hi: Bound<&[u8]>| -> Vec<u64> {
+            t.range(lo, hi).map(|(_, v)| *v).collect()
+        };
+        let k10 = key(10);
+        let k20 = key(20);
+        assert_eq!(
+            collect(Bound::Included(&k10), Bound::Included(&k20)),
+            (10..=20).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            collect(Bound::Excluded(&k10), Bound::Excluded(&k20)),
+            (11..=19).collect::<Vec<_>>()
+        );
+        assert_eq!(collect(Bound::Unbounded, Bound::Excluded(&k10)), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            collect(Bound::Included(&k20), Bound::Unbounded),
+            (20..100).collect::<Vec<_>>()
+        );
+        // Empty range.
+        assert!(collect(Bound::Excluded(&k20), Bound::Included(&k10)).is_empty());
+    }
+
+    #[test]
+    fn range_with_missing_endpoints() {
+        let mut t = BPlusTree::new();
+        for i in (0..100u64).step_by(2) {
+            t.insert(key(i), i);
+        }
+        let k9 = key(9);
+        let k21 = key(21);
+        let got: Vec<u64> = t
+            .range(Bound::Included(k9.as_slice()), Bound::Excluded(k21.as_slice()))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(got, vec![10, 12, 14, 16, 18, 20]);
+    }
+
+    #[test]
+    fn remove_entries() {
+        let mut t = BPlusTree::new();
+        for i in 0..500u64 {
+            t.insert(key(i), i);
+        }
+        for i in (0..500u64).step_by(2) {
+            assert_eq!(t.remove(&key(i)), Some(i));
+        }
+        assert_eq!(t.len(), 250);
+        assert_eq!(t.remove(&key(0)), None);
+        let got: Vec<u64> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, (0..500).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn variable_length_keys() {
+        let mut t = BPlusTree::new();
+        let words = ["", "a", "ab", "abc", "b", "ba", "z"];
+        for (i, w) in words.iter().enumerate() {
+            let mut k = Vec::new();
+            crate::keyenc::encode_str(w, &mut k);
+            t.insert(k, i);
+        }
+        let got: Vec<usize> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5, 6]); // already sorted input
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let mut t = BPlusTree::new();
+        let empty = t.approx_bytes();
+        for i in 0..1000u64 {
+            t.insert(key(i), i);
+        }
+        assert!(t.approx_bytes() > empty);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn matches_btreemap(ops in prop::collection::vec((any::<u16>(), any::<u8>(), any::<bool>()), 1..400)) {
+            let mut model: BTreeMap<Vec<u8>, u8> = BTreeMap::new();
+            let mut tree: BPlusTree<u8> = BPlusTree::new();
+            for (k, v, is_insert) in ops {
+                let kb = crate::keyenc::encode_u64(u64::from(k)).to_vec();
+                if is_insert {
+                    prop_assert_eq!(tree.insert(kb.clone(), v), model.insert(kb, v));
+                } else {
+                    prop_assert_eq!(tree.remove(&kb), model.remove(&kb));
+                }
+                prop_assert_eq!(tree.len(), model.len());
+            }
+            let tree_entries: Vec<(Vec<u8>, u8)> =
+                tree.iter().map(|(k, v)| (k.to_vec(), *v)).collect();
+            let model_entries: Vec<(Vec<u8>, u8)> =
+                model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            prop_assert_eq!(tree_entries, model_entries);
+        }
+
+        #[test]
+        fn range_matches_btreemap(
+            keys in prop::collection::btree_set(any::<u16>(), 1..300),
+            lo in any::<u16>(),
+            hi in any::<u16>(),
+        ) {
+            let mut model: BTreeMap<Vec<u8>, u16> = BTreeMap::new();
+            let mut tree: BPlusTree<u16> = BPlusTree::new();
+            for k in keys {
+                let kb = crate::keyenc::encode_u64(u64::from(k)).to_vec();
+                model.insert(kb.clone(), k);
+                tree.insert(kb, k);
+            }
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            let lob = crate::keyenc::encode_u64(u64::from(lo)).to_vec();
+            let hib = crate::keyenc::encode_u64(u64::from(hi)).to_vec();
+            let got: Vec<u16> = tree
+                .range(Bound::Included(lob.as_slice()), Bound::Excluded(hib.as_slice()))
+                .map(|(_, v)| *v)
+                .collect();
+            let want: Vec<u16> = model
+                .range(lob..hib)
+                .map(|(_, v)| *v)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

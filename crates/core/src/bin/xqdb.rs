@@ -1,0 +1,141 @@
+//! `xqdb` — an interactive SQL/XML + XQuery shell over the engine.
+//!
+//! ```console
+//! $ cargo run -p xqdb-core --bin xqdb
+//! xqdb> create table orders (ordid integer, orddoc XML);
+//! xqdb> CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double;
+//! xqdb> INSERT INTO orders VALUES (1, '<order><lineitem price="250"/></order>');
+//! xqdb> SELECT ordid FROM orders WHERE XMLExists('$o//lineitem[@price > 100]' passing orddoc as "o");
+//! xqdb> xquery db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem;
+//! xqdb> explain xquery db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100];
+//! xqdb> .tables
+//! xqdb> .indexes
+//! ```
+//!
+//! Statements end with `;`. Lines starting with `.` are shell commands.
+//! Prefix `xquery` runs the standalone XQuery interface;
+//! `explain xquery` plans without executing. Everything else is SQL.
+
+use std::io::{self, BufRead, Write};
+
+use xqdb_core::sqlxml::SqlSession;
+use xqdb_core::AnalysisEnv;
+
+fn main() {
+    let mut session = SqlSession::new();
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    print!("xqdb — XML database shell (statements end with ';', '.help' for help)\nxqdb> ");
+    io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !dot_command(&session, trimmed) {
+                break;
+            }
+            print!("xqdb> ");
+            io::stdout().flush().ok();
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !trimmed.ends_with(';') {
+            print!("   -> ");
+            io::stdout().flush().ok();
+            continue;
+        }
+        let stmt = buffer.trim().trim_end_matches(';').trim().to_string();
+        buffer.clear();
+        if !stmt.is_empty() {
+            run_statement(&mut session, &stmt);
+        }
+        print!("xqdb> ");
+        io::stdout().flush().ok();
+    }
+}
+
+fn run_statement(session: &mut SqlSession, stmt: &str) {
+    let lower = stmt.to_ascii_lowercase();
+    if let Some(rest) = lower
+        .strip_prefix("explain xquery")
+        .map(|_| stmt["explain xquery".len()..].trim())
+    {
+        match xqdb_xquery::parse_query(rest) {
+            Ok(q) => {
+                let plan = xqdb_core::plan_query(&session.catalog, q, &AnalysisEnv::new());
+                print!("{}", xqdb_core::explain(&plan));
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        return;
+    }
+    if let Some(rest) = lower.strip_prefix("xquery").map(|_| stmt["xquery".len()..].trim()) {
+        match xqdb_core::run_xquery(&session.catalog, rest) {
+            Ok(out) => {
+                for (i, item) in out.sequence.iter().enumerate() {
+                    println!(
+                        "row {}: {}",
+                        i + 1,
+                        xqdb_xmlparse::serialize_sequence(std::slice::from_ref(item))
+                    );
+                }
+                let evaluated: usize = out.stats.docs_evaluated.values().sum();
+                let total: usize = out.stats.docs_total.values().sum();
+                println!(
+                    "-- {} item(s); {evaluated}/{total} documents evaluated, {} index entries",
+                    out.sequence.len(),
+                    out.stats.index_entries_scanned
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        return;
+    }
+    match session.execute(stmt) {
+        Ok(result) => {
+            print!("{}", result.render());
+            if !result.rows.is_empty() {
+                println!("-- {} row(s)", result.rows.len());
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+/// Returns false to exit the shell.
+fn dot_command(session: &SqlSession, cmd: &str) -> bool {
+    match cmd {
+        ".quit" | ".exit" => return false,
+        ".help" => {
+            println!(
+                "statements end with ';'\n\
+                 SQL:          CREATE TABLE/INDEX, INSERT, SELECT (XMLQUERY/XMLEXISTS/XMLTABLE/XMLCAST), EXPLAIN SELECT, VALUES\n\
+                 XQuery:       xquery <expr>;        explain xquery <expr>;\n\
+                 shell:        .tables  .indexes  .help  .quit"
+            );
+        }
+        ".tables" => {
+            for name in session.catalog.db.table_names() {
+                let t = session.catalog.db.table(name).expect("listed table exists");
+                let cols: Vec<String> =
+                    t.columns.iter().map(|c| format!("{} {}", c.name, c.ty)).collect();
+                println!("{name} ({}) — {} rows", cols.join(", "), t.len());
+            }
+        }
+        ".indexes" => {
+            for idx in session.catalog.all_indexes() {
+                println!(
+                    "{} ON {}({}) USING XMLPATTERN '{}' AS {} — {} entries ({} skipped)",
+                    idx.name, idx.table, idx.column, idx.pattern, idx.ty,
+                    idx.len(), idx.skipped_nodes
+                );
+            }
+        }
+        other => println!("unknown command {other}; try .help"),
+    }
+    true
+}

@@ -1,0 +1,179 @@
+//! The catalog: tables plus their XML indexes, with index maintenance on
+//! insert.
+
+use std::collections::HashMap;
+
+use xqdb_xdm::{ErrorCode, NodeHandle, XdmError};
+use xqdb_xmlindex::XmlIndex;
+use xqdb_storage::{Database, RowId, SqlValue, Table};
+
+/// A database plus its XML indexes.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    /// The row store.
+    pub db: Database,
+    /// Indexes by name.
+    indexes: HashMap<String, XmlIndex>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `CREATE TABLE`.
+    pub fn create_table(&mut self, table: Table) -> Result<(), XdmError> {
+        self.db.create_table(table)
+    }
+
+    /// `CREATE INDEX name ON table(column) USING XMLPATTERN 'p' AS type` —
+    /// also back-fills the index from existing rows.
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        column: &str,
+        xmlpattern: &str,
+        ty: &str,
+    ) -> Result<(), XdmError> {
+        let upper = name.to_ascii_uppercase();
+        if self.indexes.contains_key(&upper) {
+            return Err(XdmError::new(
+                ErrorCode::SqlType,
+                format!("index {upper} already exists"),
+            ));
+        }
+        let t = self.db.table(table).ok_or_else(|| {
+            XdmError::new(ErrorCode::SqlType, format!("unknown table {table:?}"))
+        })?;
+        let col = t.column_index(column).ok_or_else(|| {
+            XdmError::new(
+                ErrorCode::SqlType,
+                format!("unknown column {column:?} on table {table:?}"),
+            )
+        })?;
+        let mut index = XmlIndex::create(name, table, column, xmlpattern, ty)?;
+        // Back-fill.
+        for (row, values) in t.scan() {
+            if let SqlValue::Xml(doc) = &values[col] {
+                index.insert_document(row as u64, doc);
+            }
+        }
+        self.indexes.insert(upper, index);
+        Ok(())
+    }
+
+    /// `INSERT`, maintaining every index on the table.
+    pub fn insert(&mut self, table: &str, values: Vec<SqlValue>) -> Result<RowId, XdmError> {
+        let row = self.db.insert(table, values)?;
+        let t = self
+            .db
+            .table(table)
+            .expect("insert succeeded, table exists");
+        let table_upper = table.to_ascii_uppercase();
+        // Collect the XML values of this row per column name.
+        let mut xml_cells: Vec<(String, NodeHandle)> = Vec::new();
+        if let Some(r) = t.row(row) {
+            for (i, v) in r.iter().enumerate() {
+                if let SqlValue::Xml(n) = v {
+                    xml_cells.push((t.columns[i].name.clone(), n.clone()));
+                }
+            }
+        }
+        for idx in self.indexes.values_mut() {
+            if idx.table != table_upper {
+                continue;
+            }
+            for (col, doc) in &xml_cells {
+                if idx.column == *col {
+                    idx.insert_document(row as u64, doc);
+                }
+            }
+        }
+        Ok(row)
+    }
+
+    /// Indexes on a given `TABLE.COLUMN` source key.
+    pub fn indexes_for_source(&self, source: &str) -> Vec<&XmlIndex> {
+        self.indexes
+            .values()
+            .filter(|i| format!("{}.{}", i.table, i.column) == source)
+            .collect()
+    }
+
+    /// All indexes (for EXPLAIN/catalog listings), sorted by name.
+    pub fn all_indexes(&self) -> Vec<&XmlIndex> {
+        let mut v: Vec<&XmlIndex> = self.indexes.values().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Look up one index.
+    pub fn index(&self, name: &str) -> Option<&XmlIndex> {
+        self.indexes.get(&name.to_ascii_uppercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqdb_storage::{Column, SqlType};
+
+    fn orders_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(Table::new(
+            "orders",
+            vec![Column::new("ordid", SqlType::Integer), Column::new("orddoc", SqlType::Xml)],
+        ))
+        .unwrap();
+        c
+    }
+
+    fn insert_order(c: &mut Catalog, id: i64, xml: &str) {
+        let doc = xqdb_xmlparse::parse_document(xml).unwrap();
+        c.insert("orders", vec![SqlValue::Integer(id), SqlValue::Xml(doc.root())])
+            .unwrap();
+    }
+
+    #[test]
+    fn index_maintained_on_insert() {
+        let mut c = orders_catalog();
+        c.create_index("li_price", "orders", "orddoc", "//lineitem/@price", "double")
+            .unwrap();
+        insert_order(&mut c, 1, r#"<order><lineitem price="250"/></order>"#);
+        insert_order(&mut c, 2, r#"<order><lineitem price="50"/></order>"#);
+        assert_eq!(c.index("LI_PRICE").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn index_backfilled_on_create() {
+        let mut c = orders_catalog();
+        insert_order(&mut c, 1, r#"<order><lineitem price="250"/></order>"#);
+        c.create_index("li_price", "orders", "orddoc", "//lineitem/@price", "double")
+            .unwrap();
+        assert_eq!(c.index("li_price").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut c = orders_catalog();
+        c.create_index("i1", "orders", "orddoc", "//a", "double").unwrap();
+        assert!(c.create_index("I1", "orders", "orddoc", "//b", "double").is_err());
+    }
+
+    #[test]
+    fn unknown_table_or_column_rejected() {
+        let mut c = orders_catalog();
+        assert!(c.create_index("x", "nope", "orddoc", "//a", "double").is_err());
+        assert!(c.create_index("x", "orders", "nope", "//a", "double").is_err());
+    }
+
+    #[test]
+    fn indexes_for_source_filters() {
+        let mut c = orders_catalog();
+        c.create_index("i1", "orders", "orddoc", "//a", "double").unwrap();
+        assert_eq!(c.indexes_for_source("ORDERS.ORDDOC").len(), 1);
+        assert!(c.indexes_for_source("ORDERS.OTHER").is_empty());
+    }
+}

@@ -1,0 +1,537 @@
+//! Pattern containment: is every node matched by the query's path also
+//! matched by the index's pattern?
+//!
+//! Definition 1 of the paper requires the index to contain *all* nodes the
+//! predicate could select — "an index cannot be used to answer a predicate
+//! in the query expression if the index expression is more restrictive than
+//! the query expression". For linear paths over `/`, `//`, `*`, namespace
+//! wildcards and kind tests, this is language containment of two
+//! word-automata, decided exactly here by:
+//!
+//! 1. building a **symbolic alphabet**: one representative node description
+//!    per equivalence class of the node tests occurring in either pattern
+//!    (concrete names and namespaces mentioned, plus "fresh" fillers);
+//! 2. running the same state-set simulation the index matcher uses, as a
+//!    subset construction over the **product** of the two patterns'
+//!    configurations;
+//! 3. searching for a reachable configuration where the query accepts and
+//!    the index does not — a counterexample document path.
+//!
+//! The algorithm is sound *and complete* for the pattern language (linear
+//! paths have no branching, so the coNP-hardness of general XPath
+//! containment does not apply).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use xqdb_xquery::ast::{Axis, KindTest, LocalTest, NameTest, NodeTest, NsTest};
+use xqdb_xquery::PatternStep;
+
+/// Abstract node kinds for symbolic execution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SymKind {
+    Element,
+    Attribute,
+    Text,
+    Comment,
+    /// A PI with the given target (`None` = a target not mentioned by any
+    /// test).
+    Pi(Option<Arc<str>>),
+}
+
+/// A symbolic node: kind plus (for named kinds) namespace and local name
+/// drawn from the mentioned-names-plus-fresh alphabet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SymNode {
+    kind: SymKind,
+    /// `None` = no namespace; `Some(uri)` = that URI ("\u{0}fresh" is the
+    /// fresh representative).
+    ns: Option<Arc<str>>,
+    local: Arc<str>,
+}
+
+/// Edge kinds in a document path word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SymEdge {
+    Child,
+    Attr,
+}
+
+const FRESH: &str = "\u{0}fresh";
+
+/// Collect the symbolic alphabet induced by both patterns' tests.
+fn alphabet(a: &[PatternStep], b: &[PatternStep]) -> Vec<(SymEdge, SymNode)> {
+    let mut namespaces: HashSet<Option<Arc<str>>> = HashSet::new();
+    namespaces.insert(None);
+    namespaces.insert(Some(Arc::from(FRESH)));
+    let mut locals: HashSet<Arc<str>> = HashSet::new();
+    locals.insert(Arc::from(FRESH));
+    let mut pi_targets: HashSet<Option<Arc<str>>> = HashSet::new();
+    pi_targets.insert(None);
+
+    let visit_name_test = |nt: &NameTest,
+                               namespaces: &mut HashSet<Option<Arc<str>>>,
+                               locals: &mut HashSet<Arc<str>>| {
+        match &nt.ns {
+            NsTest::Uri(u) => {
+                namespaces.insert(Some(u.clone()));
+            }
+            NsTest::NoNamespace | NsTest::Any => {}
+        }
+        if let LocalTest::Name(n) = &nt.local {
+            locals.insert(n.clone());
+        }
+    };
+
+    for step in a.iter().chain(b.iter()) {
+        match &step.test {
+            NodeTest::Name(nt) => visit_name_test(nt, &mut namespaces, &mut locals),
+            NodeTest::Kind(KindTest::Element(Some(nt)))
+            | NodeTest::Kind(KindTest::Attribute(Some(nt))) => {
+                visit_name_test(nt, &mut namespaces, &mut locals)
+            }
+            NodeTest::Kind(KindTest::Pi(Some(t))) => {
+                pi_targets.insert(Some(t.clone()));
+            }
+            _ => {}
+        }
+    }
+
+    let mut symbols = Vec::new();
+    // Named kinds: elements via child edges, attributes via attr edges.
+    for ns in &namespaces {
+        for local in &locals {
+            symbols.push((
+                SymEdge::Child,
+                SymNode { kind: SymKind::Element, ns: ns.clone(), local: local.clone() },
+            ));
+            symbols.push((
+                SymEdge::Attr,
+                SymNode { kind: SymKind::Attribute, ns: ns.clone(), local: local.clone() },
+            ));
+        }
+    }
+    // Unnamed kinds.
+    for kind in [SymKind::Text, SymKind::Comment] {
+        symbols.push((
+            SymEdge::Child,
+            SymNode { kind, ns: None, local: Arc::from(FRESH) },
+        ));
+    }
+    for t in &pi_targets {
+        symbols.push((
+            SymEdge::Child,
+            SymNode { kind: SymKind::Pi(t.clone()), ns: None, local: Arc::from(FRESH) },
+        ));
+    }
+    symbols
+}
+
+fn name_test_matches_sym(nt: &NameTest, node: &SymNode) -> bool {
+    let ns_ok = match &nt.ns {
+        NsTest::Any => true,
+        NsTest::NoNamespace => node.ns.is_none(),
+        NsTest::Uri(u) => node.ns.as_deref() == Some(&**u),
+    };
+    let local_ok = match &nt.local {
+        LocalTest::Any => true,
+        LocalTest::Name(n) => node.local == *n,
+    };
+    ns_ok && local_ok
+}
+
+fn test_matches_sym(test: &NodeTest, node: &SymNode) -> bool {
+    match test {
+        NodeTest::Name(nt) => {
+            matches!(node.kind, SymKind::Element | SymKind::Attribute)
+                && name_test_matches_sym(nt, node)
+        }
+        NodeTest::Kind(kt) => match kt {
+            KindTest::AnyKind => true,
+            KindTest::Text => node.kind == SymKind::Text,
+            KindTest::Comment => node.kind == SymKind::Comment,
+            KindTest::Document => false, // interior symbols are never documents
+            KindTest::Pi(target) => match &node.kind {
+                SymKind::Pi(t) => match target {
+                    None => true,
+                    Some(want) => t.as_ref() == Some(want),
+                },
+                _ => false,
+            },
+            KindTest::Element(nt) => {
+                node.kind == SymKind::Element
+                    && nt.as_ref().is_none_or(|t| name_test_matches_sym(t, node))
+            }
+            KindTest::Attribute(nt) => {
+                node.kind == SymKind::Attribute
+                    && nt.as_ref().is_none_or(|t| name_test_matches_sym(t, node))
+            }
+        },
+    }
+}
+
+/// Whether a name test (used where the principal kind is the edge's target
+/// kind) matches — name tests only match the principal kind of their axis.
+fn step_test_matches(test: &NodeTest, edge: SymEdge, node: &SymNode) -> bool {
+    match test {
+        NodeTest::Name(nt) => match edge {
+            SymEdge::Child => node.kind == SymKind::Element && name_test_matches_sym(nt, node),
+            SymEdge::Attr => node.kind == SymKind::Attribute && name_test_matches_sym(nt, node),
+        },
+        NodeTest::Kind(_) => test_matches_sym(test, node),
+    }
+}
+
+/// A pattern configuration: settled states + pending `//` states, exactly
+/// mirroring the runtime matcher. Stored as sorted vectors for hashing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Config {
+    settled: Vec<u16>,
+    pending: Vec<u16>,
+}
+
+struct SymMachine<'p> {
+    steps: &'p [NormStep],
+}
+
+/// Normalized step (same normalization as the index matcher).
+#[derive(Debug, Clone)]
+enum NormStep {
+    Child(NodeTest),
+    Attr(NodeTest),
+    SelfStep(NodeTest),
+    DoS(NodeTest),
+}
+
+fn normalize(steps: &[PatternStep]) -> Vec<NormStep> {
+    let mut out = Vec::with_capacity(steps.len() + 2);
+    for PatternStep { axis, test } in steps {
+        match axis {
+            Axis::Child => out.push(NormStep::Child(test.clone())),
+            Axis::Attribute => out.push(NormStep::Attr(test.clone())),
+            Axis::SelfAxis => out.push(NormStep::SelfStep(test.clone())),
+            Axis::DescendantOrSelf => out.push(NormStep::DoS(test.clone())),
+            Axis::Descendant => {
+                out.push(NormStep::DoS(NodeTest::Kind(KindTest::AnyKind)));
+                out.push(NormStep::Child(test.clone()));
+            }
+            Axis::Parent => {
+                // Parent axes never occur in patterns or extracted candidate
+                // paths (extraction refuses them); treat as unmatchable.
+                out.push(NormStep::Child(NodeTest::Kind(KindTest::Document)));
+            }
+        }
+    }
+    out
+}
+
+impl<'p> SymMachine<'p> {
+    fn initial(&self) -> Config {
+        let mut settled = vec![0u16];
+        self.close_doc(&mut settled);
+        let pending = self.pending(&settled);
+        Config { settled, pending }
+    }
+
+    /// Closure at the document node: Self/DoS steps whose test accepts a
+    /// document node.
+    fn close_doc(&self, settled: &mut Vec<u16>) {
+        let mut i = 0;
+        while i < settled.len() {
+            let s = settled[i] as usize;
+            match self.steps.get(s) {
+                Some(NormStep::SelfStep(t)) | Some(NormStep::DoS(t)) => {
+                    let doc_ok = matches!(
+                        t,
+                        NodeTest::Kind(KindTest::AnyKind) | NodeTest::Kind(KindTest::Document)
+                    );
+                    if doc_ok {
+                        push_unique(settled, (s + 1) as u16);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        settled.sort_unstable();
+    }
+
+    fn close_at(&self, settled: &mut Vec<u16>, edge: SymEdge, node: &SymNode) {
+        let mut i = 0;
+        while i < settled.len() {
+            let s = settled[i] as usize;
+            match self.steps.get(s) {
+                Some(NormStep::SelfStep(t)) | Some(NormStep::DoS(t))
+                    if step_test_matches_or_kind(t, edge, node) => {
+                        push_unique(settled, (s + 1) as u16);
+                    }
+                _ => {}
+            }
+            i += 1;
+        }
+        settled.sort_unstable();
+    }
+
+    fn pending(&self, settled: &[u16]) -> Vec<u16> {
+        let mut p: Vec<u16> = settled
+            .iter()
+            .copied()
+            .filter(|&s| matches!(self.steps.get(s as usize), Some(NormStep::DoS(_))))
+            .collect();
+        p.sort_unstable();
+        p
+    }
+
+    /// Consume one symbol, producing the next configuration.
+    fn step(&self, cfg: &Config, edge: SymEdge, node: &SymNode) -> Config {
+        let mut settled: Vec<u16> = Vec::new();
+        match edge {
+            SymEdge::Child => {
+                for &s in &cfg.settled {
+                    if let Some(NormStep::Child(t)) = self.steps.get(s as usize) {
+                        if step_test_matches(t, edge, node) {
+                            push_unique(&mut settled, s + 1);
+                        }
+                    }
+                }
+                for &s in &cfg.pending {
+                    if let Some(NormStep::DoS(t)) = self.steps.get(s as usize) {
+                        if step_test_matches_or_kind(t, edge, node) {
+                            push_unique(&mut settled, s + 1);
+                        }
+                    }
+                }
+            }
+            SymEdge::Attr => {
+                for &s in &cfg.settled {
+                    if let Some(NormStep::Attr(t)) = self.steps.get(s as usize) {
+                        if step_test_matches(t, edge, node) {
+                            push_unique(&mut settled, s + 1);
+                        }
+                    }
+                }
+            }
+        }
+        self.close_at(&mut settled, edge, node);
+        let mut pending = match edge {
+            // Attributes have no element descendants; pending states do not
+            // survive into attribute subtrees (which are leaves anyway).
+            SymEdge::Attr => Vec::new(),
+            SymEdge::Child => cfg.pending.clone(),
+        };
+        for p in self.pending(&settled) {
+            push_unique(&mut pending, p);
+        }
+        pending.sort_unstable();
+        settled.sort_unstable();
+        Config { settled, pending }
+    }
+
+    fn accepts(&self, cfg: &Config) -> bool {
+        cfg.settled.contains(&(self.steps.len() as u16))
+    }
+}
+
+/// Name tests never match text/comment/PI; kind tests use the full check.
+fn step_test_matches_or_kind(t: &NodeTest, edge: SymEdge, node: &SymNode) -> bool {
+    match t {
+        NodeTest::Name(_) => step_test_matches(t, edge, node),
+        NodeTest::Kind(_) => {
+            let _ = edge;
+            test_matches_sym(t, node)
+        }
+    }
+}
+
+fn push_unique(v: &mut Vec<u16>, s: u16) {
+    if !v.contains(&s) {
+        v.push(s);
+    }
+}
+
+/// Decide `L(query) ⊆ L(index)`: every document path matched by the query
+/// path is also matched by the index pattern.
+pub fn path_contained_in(query: &[PatternStep], index: &[PatternStep]) -> bool {
+    let qsteps = normalize(query);
+    let isteps = normalize(index);
+    let qa = SymMachine { steps: &qsteps };
+    let ib = SymMachine { steps: &isteps };
+    let symbols = alphabet(query, index);
+
+    let start = (qa.initial(), ib.initial());
+    // Immediate acceptance at the document node itself (degenerate patterns).
+    if qa.accepts(&start.0) && !ib.accepts(&start.1) {
+        return false;
+    }
+    let mut seen: HashSet<(Config, Config)> = HashSet::new();
+    let mut work = vec![start];
+    while let Some((qc, ic)) = work.pop() {
+        if !seen.insert((qc.clone(), ic.clone())) {
+            continue;
+        }
+        for (edge, node) in &symbols {
+            let nq = qa.step(&qc, *edge, node);
+            // Prune: a dead query configuration can never accept.
+            if nq.settled.is_empty() && nq.pending.is_empty() {
+                continue;
+            }
+            let ni = ib.step(&ic, *edge, node);
+            if qa.accepts(&nq) && !ib.accepts(&ni) {
+                return false;
+            }
+            work.push((nq, ni));
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqdb_xquery::parse_pattern;
+
+    fn contained(q: &str, i: &str) -> bool {
+        let qp = parse_pattern(q).unwrap();
+        let ip = parse_pattern(i).unwrap();
+        path_contained_in(&qp.steps, &ip.steps)
+    }
+
+    #[test]
+    fn query_1_is_contained_in_li_price() {
+        // "Notice that the index definition is less restrictive than the
+        // XPath navigation embedded in the query."
+        assert!(contained("//order/lineitem/@price", "//lineitem/@price"));
+    }
+
+    #[test]
+    fn query_2_wildcard_is_not_contained() {
+        // //order/lineitem/@* needs attributes other than price.
+        assert!(!contained("//order/lineitem/@*", "//lineitem/@price"));
+    }
+
+    #[test]
+    fn identical_patterns_contained() {
+        for p in ["//lineitem/@price", "/order/custid", "//@*", "//*:nation"] {
+            assert!(contained(p, p), "{p} ⊆ {p}");
+        }
+    }
+
+    #[test]
+    fn rooted_queries_in_descendant_indexes() {
+        assert!(contained("/order/lineitem/@price", "//lineitem/@price"));
+        assert!(contained("/order/lineitem/@price", "//@price"));
+        assert!(contained("/order/lineitem/@price", "//@*"));
+        // The converse fails: the index is rooted, the query is not.
+        assert!(!contained("//lineitem/@price", "/order/lineitem/@price"));
+    }
+
+    #[test]
+    fn wildcards_widen() {
+        assert!(contained("//lineitem/@price", "//*/@price"));
+        assert!(contained("/a/b/c", "//c"));
+        assert!(contained("/a/b/c", "/a/*/c"));
+        assert!(!contained("/a/*/c", "/a/b/c"));
+    }
+
+    #[test]
+    fn namespace_containment() {
+        // Section 3.7: the plain //nation index holds only no-namespace
+        // elements; the c:nation query needs the customer namespace.
+        let q = "declare namespace c=\"http://ournamespaces.com/customer\"; //c:nation";
+        assert!(!contained(q, "//nation"));
+        // The two fixes from the paper:
+        assert!(contained(
+            q,
+            "declare default element namespace \"http://ournamespaces.com/customer\"; //nation"
+        ));
+        assert!(contained(q, "//*:nation"));
+        // And the no-namespace query is NOT contained in a namespaced index.
+        assert!(!contained(
+            "//nation",
+            "declare default element namespace \"http://x\"; //nation"
+        ));
+    }
+
+    #[test]
+    fn attribute_namespace_subtlety() {
+        // li_price_ns: //@price (no element restriction) covers price
+        // attributes of namespaced lineitems.
+        let q = "declare default element namespace \"http://ournamespaces.com/order\"; //lineitem/@price";
+        assert!(contained(q, "//@price"));
+        // li_price (no-ns lineitem) does NOT cover it.
+        assert!(!contained(q, "//lineitem/@price"));
+    }
+
+    #[test]
+    fn text_step_alignment_section_38() {
+        // query //price/text() ⊄ index //price (elements ≠ text nodes)...
+        assert!(!contained("//price/text()", "//price"));
+        // ...and query //price ⊄ index //price/text().
+        assert!(!contained("//price", "//price/text()"));
+        // Aligned: fine.
+        assert!(contained("//lineitem/price/text()", "//price/text()"));
+    }
+
+    #[test]
+    fn attribute_axis_vs_child_axis_section_39() {
+        // //node() (child steps) contains no attributes: @price ⊄ //node().
+        assert!(!contained("//lineitem/@price", "//node()"));
+        assert!(contained("//lineitem/@price", "//@*"));
+        assert!(contained(
+            "//lineitem/@price",
+            "/descendant-or-self::node()/attribute::*"
+        ));
+    }
+
+    #[test]
+    fn descendant_axis_equivalences() {
+        assert!(contained("/descendant::lineitem/@price", "//lineitem/@price"));
+        assert!(contained("//lineitem/@price", "/descendant-or-self::node()/lineitem/@price"));
+    }
+
+    #[test]
+    fn double_slash_mid_path() {
+        assert!(contained("/a//b/c", "//c"));
+        assert!(contained("/a//b/c", "//b/c"));
+        assert!(!contained("/a//c", "//b/c"));
+        assert!(contained("/a/b//c", "/a//c"));
+        assert!(!contained("/a//c", "/a/b//c"));
+    }
+
+    #[test]
+    fn self_steps() {
+        assert!(contained("//price/self::node()", "//price"));
+        assert!(contained("//price", "//price/self::node()"));
+        assert!(contained("//price/self::price", "//price"));
+    }
+
+    #[test]
+    fn kind_test_containment() {
+        assert!(contained("//text()", "//node()"));
+        assert!(!contained("//node()", "//text()"));
+        assert!(contained("//comment()", "//node()"));
+        assert!(contained("//processing-instruction(abc)", "//processing-instruction()"));
+        assert!(!contained("//processing-instruction()", "//processing-instruction(abc)"));
+    }
+
+    #[test]
+    fn nested_repeats() {
+        // Tricky NFA cases with repeated labels.
+        assert!(contained("//x/x", "//x"));
+        assert!(contained("//x/x/x", "//x/x"));
+        assert!(!contained("//x/x", "//x/x/x"));
+        assert!(contained("/x//x", "//x"));
+    }
+
+    #[test]
+    fn ns_wildcard_vs_concrete() {
+        assert!(contained(
+            "declare namespace o=\"http://o\"; //o:*/@price",
+            "//*/@price"
+        ));
+        assert!(!contained(
+            "//*/@price",
+            "declare namespace o=\"http://o\"; //o:*/@price"
+        ));
+    }
+}

@@ -1,0 +1,427 @@
+//! Index eligibility: matching extracted conditions against the catalog's
+//! XML indexes (Definition 1 of the paper).
+
+pub mod candidates;
+pub mod containment;
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use xqdb_xdm::compare::CompareOp;
+use xqdb_xmlindex::{ProbeRange, ProbeStats, XmlIndex};
+
+pub use candidates::{
+    analyze_filtering, analyze_non_filtering, analyze_non_filtering_with_ctx, analyze_query_root, render_cond,
+    render_steps, resolve_docs_path, Analysis, AnalysisEnv, BindingPublic, Candidate, CmpTarget,
+    Cond, Note,
+};
+pub use containment::path_contained_in;
+
+/// A compiled index-access condition for one collection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexCond {
+    /// One B+Tree range scan.
+    Probe {
+        /// Index name.
+        index: String,
+        /// Value range.
+        range: ProbeRange,
+        /// Human-readable description for EXPLAIN.
+        desc: String,
+    },
+    /// Row-set intersection.
+    And(Vec<IndexCond>),
+    /// Row-set union.
+    Or(Vec<IndexCond>),
+}
+
+impl IndexCond {
+    /// Render for EXPLAIN output.
+    pub fn render(&self) -> String {
+        match self {
+            IndexCond::Probe { index, desc, .. } => format!("PROBE {index} [{desc}]"),
+            IndexCond::And(cs) => {
+                let parts: Vec<String> = cs.iter().map(IndexCond::render).collect();
+                format!("AND({})", parts.join(", "))
+            }
+            IndexCond::Or(cs) => {
+                let parts: Vec<String> = cs.iter().map(IndexCond::render).collect();
+                format!("OR({})", parts.join(", "))
+            }
+        }
+    }
+
+    /// Evaluate against the given indexes, producing the matching rows.
+    pub fn execute(&self, indexes: &[&XmlIndex], stats: &mut ProbeStats) -> BTreeSet<u64> {
+        match self {
+            IndexCond::Probe { index, range, .. } => {
+                let idx = indexes
+                    .iter()
+                    .find(|i| i.name == *index)
+                    .expect("compiled probes reference catalog indexes");
+                let (rows, s) = idx.probe(range);
+                stats.entries_scanned += s.entries_scanned;
+                rows
+            }
+            IndexCond::And(cs) => {
+                let mut iter = cs.iter();
+                let mut acc = iter
+                    .next()
+                    .map(|c| c.execute(indexes, stats))
+                    .unwrap_or_default();
+                for c in iter {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    let rows = c.execute(indexes, stats);
+                    acc = acc.intersection(&rows).copied().collect();
+                }
+                acc
+            }
+            IndexCond::Or(cs) => {
+                let mut acc = BTreeSet::new();
+                for c in cs {
+                    acc.extend(c.execute(indexes, stats));
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// Why a candidate could not be served by any index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// Rendering of the candidate.
+    pub candidate: String,
+    /// Per-index failure reasons (or a blanket "no indexes on source").
+    pub reasons: Vec<String>,
+}
+
+/// Result of compiling a condition for one collection.
+#[derive(Debug, Clone, Default)]
+pub struct Compilation {
+    /// The access condition, if any index combination pre-filters.
+    pub access: Option<IndexCond>,
+    /// Candidates that could not be served, with reasons.
+    pub rejections: Vec<Rejection>,
+}
+
+/// Keep only the parts of `cond` that constrain documents of `source`;
+/// everything else becomes `Any` (conservative).
+pub fn restrict_to_source(cond: &Cond, source: &str) -> Cond {
+    match cond {
+        Cond::Any => Cond::Any,
+        Cond::Pred(c) => {
+            if c.source == source {
+                cond.clone()
+            } else {
+                Cond::Any
+            }
+        }
+        Cond::Exists { source: s, .. } => {
+            if s == source {
+                cond.clone()
+            } else {
+                Cond::Any
+            }
+        }
+        Cond::And(cs) => {
+            let kept: Vec<Cond> = cs.iter().map(|c| restrict_to_source(c, source)).collect();
+            let kept: Vec<Cond> = kept.into_iter().filter(|c| !matches!(c, Cond::Any)).collect();
+            match kept.len() {
+                0 => Cond::Any,
+                1 => kept.into_iter().next().expect("len checked"),
+                _ => Cond::And(kept),
+            }
+        }
+        Cond::Or(cs) => {
+            let mapped: Vec<Cond> = cs.iter().map(|c| restrict_to_source(c, source)).collect();
+            if mapped.iter().any(|c| matches!(c, Cond::Any)) {
+                Cond::Any
+            } else {
+                Cond::Or(mapped)
+            }
+        }
+    }
+}
+
+/// Compile a (source-restricted) condition against that source's indexes.
+pub fn compile(cond: &Cond, indexes: &[&XmlIndex]) -> Compilation {
+    let mut out = Compilation::default();
+    out.access = compile_cond(cond, indexes, &mut out.rejections);
+    out
+}
+
+fn compile_cond(
+    cond: &Cond,
+    indexes: &[&XmlIndex],
+    rejections: &mut Vec<Rejection>,
+) -> Option<IndexCond> {
+    match cond {
+        Cond::Any => None,
+        Cond::Pred(c) => compile_pred(c, indexes, rejections),
+        Cond::Exists { source, steps } => compile_exists(source, steps, indexes),
+        Cond::And(cs) => {
+            // Between-merge first (Section 3.10), then compile children and
+            // keep whichever succeed — any subset of a conjunction is still
+            // a necessary condition.
+            let merged = merge_between(cs);
+            let mut compiled = Vec::new();
+            let mut value_preds = 0usize;
+            for child in &merged {
+                if let MergedCond::Range { key: _, lo, hi, sample } = child {
+                    let range = ProbeRange { lo: lo.clone(), hi: hi.clone() };
+                    if let Some(probe) =
+                        compile_range_probe(sample, range, indexes, rejections, true)
+                    {
+                        compiled.push(probe);
+                        value_preds += 1;
+                    }
+                    continue;
+                }
+                let MergedCond::Plain(child) = child else { continue };
+                match child {
+                    Cond::Exists { .. } => {} // second pass below
+                    other => {
+                        if let Some(ic) = compile_cond(other, indexes, rejections) {
+                            if !matches!(other, Cond::Exists { .. }) {
+                                value_preds += 1;
+                            }
+                            compiled.push(ic);
+                        }
+                    }
+                }
+            }
+            // Structural Exists probes are whole-index scans; only worth it
+            // when no value predicate already filters (Section 2.2: "the
+            // main benefit of indexes will come from supporting the value
+            // predicates").
+            if value_preds == 0 {
+                for child in &merged {
+                    if let MergedCond::Plain(Cond::Exists { source, steps }) = child {
+                        if let Some(ic) = compile_exists(source, steps, indexes) {
+                            compiled.push(ic);
+                            break;
+                        }
+                    }
+                }
+            }
+            match compiled.len() {
+                0 => None,
+                1 => compiled.into_iter().next(),
+                _ => Some(IndexCond::And(compiled)),
+            }
+        }
+        Cond::Or(cs) => {
+            // Every branch must be answerable, else no pre-filtering.
+            let mut compiled = Vec::with_capacity(cs.len());
+            for c in cs {
+                match compile_cond(c, indexes, rejections) {
+                    Some(ic) => compiled.push(ic),
+                    None => return None,
+                }
+            }
+            Some(IndexCond::Or(compiled))
+        }
+    }
+}
+
+/// Children of a conjunction after between-merging.
+#[allow(clippy::large_enum_variant)] // short-lived planning value, clarity over size
+enum MergedCond<'a> {
+    Plain(&'a Cond),
+    Range {
+        #[allow(dead_code)]
+        key: String,
+        lo: Bound<xqdb_xdm::AtomicValue>,
+        hi: Bound<xqdb_xdm::AtomicValue>,
+        /// A representative candidate (for index matching).
+        sample: Candidate,
+    },
+}
+
+/// Detect `x > lo and x < hi` pairs that are provably a single-value
+/// "between" (value comparisons, attribute paths, or shared context item)
+/// and merge them into one range scan.
+fn merge_between<'a>(children: &'a [Cond]) -> Vec<MergedCond<'a>> {
+    let mut used = vec![false; children.len()];
+    let mut out = Vec::new();
+    for i in 0..children.len() {
+        if used[i] {
+            continue;
+        }
+        let Cond::Pred(a) = &children[i] else {
+            out.push(MergedCond::Plain(&children[i]));
+            continue;
+        };
+        let a_is_lower = matches!(a.op, CompareOp::Gt | CompareOp::Ge);
+        let a_is_upper = matches!(a.op, CompareOp::Lt | CompareOp::Le);
+        if !a_is_lower && !a_is_upper {
+            out.push(MergedCond::Plain(&children[i]));
+            continue;
+        }
+        let mut merged = false;
+        for j in (i + 1)..children.len() {
+            if used[j] {
+                continue;
+            }
+            let Cond::Pred(b) = &children[j] else { continue };
+            let opposite = if a_is_lower {
+                matches!(b.op, CompareOp::Lt | CompareOp::Le)
+            } else {
+                matches!(b.op, CompareOp::Gt | CompareOp::Ge)
+            };
+            if !opposite {
+                continue;
+            }
+            if a.source != b.source || a.steps != b.steps || a.target != b.target {
+                continue;
+            }
+            // The Section 3.10 singleton requirement: both sides compare
+            // the same single value.
+            let same_value = (a.singleton && b.singleton)
+                || (a.group.is_some() && a.group == b.group);
+            if !same_value {
+                continue;
+            }
+            let (lo_c, hi_c) = if a_is_lower { (a, b) } else { (b, a) };
+            let lo = match lo_c.op {
+                CompareOp::Gt => Bound::Excluded(lo_c.value.clone()),
+                CompareOp::Ge => Bound::Included(lo_c.value.clone()),
+                _ => unreachable!("lower side is Gt/Ge"),
+            };
+            let hi = match hi_c.op {
+                CompareOp::Lt => Bound::Excluded(hi_c.value.clone()),
+                CompareOp::Le => Bound::Included(hi_c.value.clone()),
+                _ => unreachable!("upper side is Lt/Le"),
+            };
+            out.push(MergedCond::Range {
+                key: render_steps(&a.steps),
+                lo,
+                hi,
+                sample: a.clone(),
+            });
+            used[i] = true;
+            used[j] = true;
+            merged = true;
+            break;
+        }
+        if !merged {
+            out.push(MergedCond::Plain(&children[i]));
+        }
+    }
+    out
+}
+
+fn probe_range_for(c: &Candidate) -> Option<ProbeRange> {
+    let v = c.value.clone();
+    Some(match c.op {
+        CompareOp::Eq => ProbeRange::eq(v),
+        CompareOp::Gt => ProbeRange { lo: Bound::Excluded(v), hi: Bound::Unbounded },
+        CompareOp::Ge => ProbeRange { lo: Bound::Included(v), hi: Bound::Unbounded },
+        CompareOp::Lt => ProbeRange { lo: Bound::Unbounded, hi: Bound::Excluded(v) },
+        CompareOp::Le => ProbeRange { lo: Bound::Unbounded, hi: Bound::Included(v) },
+        // `!=` is a range complement; a single scan cannot answer it.
+        CompareOp::Ne => return None,
+    })
+}
+
+fn index_type_serves(idx: &XmlIndex, target: CmpTarget) -> bool {
+    matches!(
+        (idx.ty, target),
+        (xqdb_xmlindex::IndexType::Double, CmpTarget::Double)
+            | (xqdb_xmlindex::IndexType::Varchar, CmpTarget::String)
+            | (xqdb_xmlindex::IndexType::Date, CmpTarget::Date)
+            | (xqdb_xmlindex::IndexType::Timestamp, CmpTarget::Timestamp)
+    )
+}
+
+fn compile_pred(
+    c: &Candidate,
+    indexes: &[&XmlIndex],
+    rejections: &mut Vec<Rejection>,
+) -> Option<IndexCond> {
+    let Some(range) = probe_range_for(c) else {
+        rejections.push(Rejection {
+            candidate: render_cond(&Cond::Pred(c.clone())),
+            reasons: vec!["'!=' predicates cannot be answered by a range scan".into()],
+        });
+        return None;
+    };
+    compile_range_probe(c, range, indexes, rejections, false)
+}
+
+fn compile_range_probe(
+    c: &Candidate,
+    range: ProbeRange,
+    indexes: &[&XmlIndex],
+    rejections: &mut Vec<Rejection>,
+    between: bool,
+) -> Option<IndexCond> {
+    let mut reasons = Vec::new();
+    for idx in indexes {
+        let key = format!("{}.{}", idx.table, idx.column);
+        if key != c.source {
+            continue;
+        }
+        if !index_type_serves(idx, c.target) {
+            reasons.push(format!(
+                "{}: index type '{}' cannot serve a {} comparison (Section 3.1)",
+                idx.name, idx.ty, c.target
+            ));
+            continue;
+        }
+        if !path_contained_in(&c.steps, &idx.pattern.steps) {
+            reasons.push(format!(
+                "{}: query path {} is not contained in XMLPATTERN '{}' (Definition 1)",
+                idx.name,
+                render_steps(&c.steps),
+                idx.pattern
+            ));
+            continue;
+        }
+        let desc = if between {
+            format!("{} between-range on {}", c.target, render_steps(&c.steps))
+        } else {
+            format!(
+                "{} {} {} on {}",
+                c.target,
+                c.op.general_symbol(),
+                c.value.lexical(),
+                render_steps(&c.steps)
+            )
+        };
+        return Some(IndexCond::Probe { index: idx.name.clone(), range, desc });
+    }
+    if reasons.is_empty() {
+        reasons.push(format!("no XML index on {}", c.source));
+    }
+    rejections.push(Rejection {
+        candidate: render_cond(&Cond::Pred(c.clone())),
+        reasons,
+    });
+    None
+}
+
+fn compile_exists(
+    source: &str,
+    steps: &[xqdb_xquery::PatternStep],
+    indexes: &[&XmlIndex],
+) -> Option<IndexCond> {
+    // A varchar index "by definition includes all matching values", so a
+    // full range scan answers the structural predicate (Section 2.2).
+    for idx in indexes {
+        if format!("{}.{}", idx.table, idx.column) == source
+            && idx.ty == xqdb_xmlindex::IndexType::Varchar
+            && path_contained_in(steps, &idx.pattern.steps)
+        {
+            return Some(IndexCond::Probe {
+                index: idx.name.clone(),
+                range: ProbeRange::all(),
+                desc: format!("structural scan for {}", render_steps(steps)),
+            });
+        }
+    }
+    None
+}

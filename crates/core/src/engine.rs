@@ -1,0 +1,324 @@
+//! The XQuery engine: plan → pre-filter via indexes → evaluate.
+//!
+//! Architecture per Section 2 of the paper: indexes *pre-filter* the
+//! collection (Definition 1's `I(P, D)`), and the full query then runs over
+//! the surviving documents, so residual predicates, ordering, construction
+//! and node identity all behave exactly as in the unoptimized evaluation.
+
+use std::collections::{BTreeSet, HashMap};
+
+use xqdb_xdm::{ExpandedName, Item, Sequence, XdmError};
+use xqdb_xmlindex::ProbeStats;
+use xqdb_xqeval::{CollectionProvider, DynamicContext};
+use xqdb_xquery::ast::{ConstructorContent, Expr, FlworClause, Step};
+use xqdb_xquery::Query;
+use xqdb_storage::SqlValue;
+
+use crate::catalog::Catalog;
+use crate::eligibility::{
+    analyze_query_root, compile, restrict_to_source, AnalysisEnv, Cond, IndexCond, Note, Rejection,
+};
+
+/// Per-collection access decision.
+#[derive(Debug, Clone)]
+pub struct SourceAccess {
+    /// Collection key (`TABLE.COLUMN`).
+    pub source: String,
+    /// The compiled index condition, or `None` for a collection scan.
+    pub access: Option<IndexCond>,
+}
+
+/// A planned query.
+#[derive(Debug)]
+pub struct QueryPlan {
+    /// The parsed query.
+    pub query: Query,
+    /// The extracted filtering condition (pre-restriction).
+    pub cond: Cond,
+    /// Access path per referenced collection.
+    pub accesses: Vec<SourceAccess>,
+    /// Analyzer diagnostics (non-filtering predicates etc.).
+    pub notes: Vec<Note>,
+    /// Candidates that found no index, with reasons.
+    pub rejections: Vec<Rejection>,
+}
+
+/// Execution statistics, reported by benches and EXPLAIN.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Index entries scanned across all probes.
+    pub index_entries_scanned: usize,
+    /// Documents fetched and evaluated, per source.
+    pub docs_evaluated: HashMap<String, usize>,
+    /// Collection sizes, per source.
+    pub docs_total: HashMap<String, usize>,
+}
+
+/// Result of executing a planned query.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// The query result sequence.
+    pub sequence: Sequence,
+    /// Statistics.
+    pub stats: ExecStats,
+}
+
+/// Plan an XQuery against the catalog. `env` carries externally-bound
+/// variables (the SQL/XML `PASSING` clause).
+pub fn plan_query(catalog: &Catalog, query: Query, env: &AnalysisEnv) -> QueryPlan {
+    let analysis = analyze_query_root(&query.body, env);
+    let mut sources = BTreeSet::new();
+    collect_sources(&query.body, &mut sources);
+    let mut accesses = Vec::new();
+    let mut rejections = Vec::new();
+    for source in sources {
+        let restricted = restrict_to_source(&analysis.cond, &source);
+        let indexes = catalog.indexes_for_source(&source);
+        let compiled = compile(&restricted, &indexes);
+        rejections.extend(compiled.rejections);
+        accesses.push(SourceAccess { source, access: compiled.access });
+    }
+    QueryPlan {
+        query,
+        cond: analysis.cond,
+        accesses,
+        notes: analysis.notes,
+        rejections,
+    }
+}
+
+/// Parse, plan and execute an XQuery string.
+pub fn run_xquery(catalog: &Catalog, text: &str) -> Result<ExecOutcome, XdmError> {
+    let query = xqdb_xquery::parse_query(text).map_err(|e| {
+        XdmError::new(xqdb_xdm::ErrorCode::XPST0003, e.to_string())
+    })?;
+    let plan = plan_query(catalog, query, &AnalysisEnv::new());
+    execute_plan(catalog, &plan, &DynamicContext::new())
+}
+
+/// Execute a planned query.
+pub fn execute_plan(
+    catalog: &Catalog,
+    plan: &QueryPlan,
+    ctx: &DynamicContext,
+) -> Result<ExecOutcome, XdmError> {
+    let mut stats = ExecStats::default();
+    let mut filters: HashMap<String, BTreeSet<u64>> = HashMap::new();
+    for access in &plan.accesses {
+        let total = catalog
+            .db
+            .resolve_xml_column(&access.source)
+            .map(|(t, _)| t.len())
+            .unwrap_or(0);
+        stats.docs_total.insert(access.source.clone(), total);
+        match &access.access {
+            Some(cond) => {
+                let indexes = catalog.indexes_for_source(&access.source);
+                let mut pstats = ProbeStats::default();
+                let rows = cond.execute(&indexes, &mut pstats);
+                stats.index_entries_scanned += pstats.entries_scanned;
+                stats.docs_evaluated.insert(access.source.clone(), rows.len());
+                filters.insert(access.source.clone(), rows);
+            }
+            None => {
+                stats.docs_evaluated.insert(access.source.clone(), total);
+            }
+        }
+    }
+    let provider = FilteredProvider { catalog, filters };
+    let sequence = xqdb_xqeval::eval_query(&plan.query, &provider, ctx)?;
+    Ok(ExecOutcome { sequence, stats })
+}
+
+/// Render an EXPLAIN report for a plan.
+pub fn explain(plan: &QueryPlan) -> String {
+    let mut out = String::from("XQUERY PLAN\n");
+    if plan.accesses.is_empty() {
+        out.push_str("  (no stored collections referenced)\n");
+    }
+    for a in &plan.accesses {
+        match &a.access {
+            Some(c) => {
+                out.push_str(&format!("  source {}: INDEX {}\n", a.source, c.render()));
+            }
+            None => {
+                out.push_str(&format!("  source {}: COLLECTION SCAN\n", a.source));
+            }
+        }
+    }
+    if !plan.notes.is_empty() {
+        out.push_str("  notes:\n");
+        for n in &plan.notes {
+            out.push_str(&format!("    - {n}\n"));
+        }
+    }
+    if !plan.rejections.is_empty() {
+        out.push_str("  rejected candidates:\n");
+        for r in &plan.rejections {
+            out.push_str(&format!("    - {}\n", r.candidate));
+            for reason in &r.reasons {
+                out.push_str(&format!("        {reason}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Collection provider that serves only the rows surviving index
+/// pre-filtering.
+struct FilteredProvider<'a> {
+    catalog: &'a Catalog,
+    filters: HashMap<String, BTreeSet<u64>>,
+}
+
+impl<'a> CollectionProvider for FilteredProvider<'a> {
+    fn xmlcolumn(&self, name: &str) -> Result<Sequence, XdmError> {
+        let key = name.to_ascii_uppercase();
+        let (table, col) = self.catalog.db.resolve_xml_column(&key)?;
+        let filter = self.filters.get(&key);
+        let mut out = Vec::new();
+        for (row, values) in table.scan() {
+            if let Some(f) = filter {
+                if !f.contains(&(row as u64)) {
+                    continue;
+                }
+            }
+            if let SqlValue::Xml(n) = &values[col] {
+                out.push(Item::Node(n.clone()));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Collect every `db2-fn:xmlcolumn` literal referenced by the expression.
+pub fn collect_sources(expr: &Expr, out: &mut BTreeSet<String>) {
+    match expr {
+        Expr::FunctionCall { name, args } => {
+            if &*name.local == "xmlcolumn"
+                && name.ns.as_deref() == Some(xqdb_xdm::qname::DB2_FN_NS)
+            {
+                if let [Expr::Literal(xqdb_xdm::AtomicValue::String(s))] = args.as_slice() {
+                    out.insert(s.to_ascii_uppercase());
+                }
+            }
+            for a in args {
+                collect_sources(a, out);
+            }
+        }
+        Expr::Literal(_) | Expr::VarRef(_) | Expr::ContextItem | Expr::Root => {}
+        Expr::Sequence(items) => {
+            for e in items {
+                collect_sources(e, out);
+            }
+        }
+        Expr::Range(a, b)
+        | Expr::Or(a, b)
+        | Expr::And(a, b)
+        | Expr::GeneralCmp(_, a, b)
+        | Expr::ValueCmp(_, a, b)
+        | Expr::NodeCmp(_, a, b)
+        | Expr::Arith(_, a, b)
+        | Expr::Union(a, b)
+        | Expr::Intersect(a, b)
+        | Expr::Except(a, b) => {
+            collect_sources(a, out);
+            collect_sources(b, out);
+        }
+        Expr::UnaryMinus(e)
+        | Expr::Paren(e)
+        | Expr::InstanceOf(e, _)
+        | Expr::TreatAs(e, _)
+        | Expr::CastAs { expr: e, .. }
+        | Expr::CastableAs { expr: e, .. } => collect_sources(e, out),
+        Expr::Flwor(f) => {
+            for c in &f.clauses {
+                match c {
+                    FlworClause::For { expr, .. } | FlworClause::Let { expr, .. } => {
+                        collect_sources(expr, out)
+                    }
+                    FlworClause::Where(e) => collect_sources(e, out),
+                    FlworClause::OrderBy(specs) => {
+                        for s in specs {
+                            collect_sources(&s.expr, out);
+                        }
+                    }
+                }
+            }
+            collect_sources(&f.ret, out);
+        }
+        Expr::Quantified { bindings, satisfies, .. } => {
+            for (_, e) in bindings {
+                collect_sources(e, out);
+            }
+            collect_sources(satisfies, out);
+        }
+        Expr::If { cond, then, els } => {
+            collect_sources(cond, out);
+            collect_sources(then, out);
+            collect_sources(els, out);
+        }
+        Expr::Filter { expr, predicates } => {
+            collect_sources(expr, out);
+            for p in predicates {
+                collect_sources(p, out);
+            }
+        }
+        Expr::Path { init, steps } => {
+            collect_sources(init, out);
+            for s in steps {
+                match s {
+                    Step::Axis { predicates, .. } => {
+                        for p in predicates {
+                            collect_sources(p, out);
+                        }
+                    }
+                    Step::Filter { expr, predicates } => {
+                        collect_sources(expr, out);
+                        for p in predicates {
+                            collect_sources(p, out);
+                        }
+                    }
+                }
+            }
+        }
+        Expr::DirectElement(d) => collect_sources_direct(d, out),
+        Expr::ComputedElement { content, .. }
+        | Expr::ComputedAttribute { content, .. }
+        | Expr::ComputedText(content)
+        | Expr::ComputedDocument(content) => {
+            if let Some(c) = content {
+                collect_sources(c, out);
+            }
+        }
+    }
+}
+
+fn collect_sources_direct(d: &xqdb_xquery::ast::DirectElement, out: &mut BTreeSet<String>) {
+    for (_, parts) in &d.attributes {
+        for p in parts {
+            if let ConstructorContent::Expr(e) = p {
+                collect_sources(e, out);
+            }
+        }
+    }
+    for part in &d.content {
+        match part {
+            ConstructorContent::Expr(e) => collect_sources(e, out),
+            ConstructorContent::Element(inner) => collect_sources_direct(inner, out),
+            _ => {}
+        }
+    }
+}
+
+/// External variable bindings that also inform the analyzer (used by the
+/// SQL/XML layer's PASSING clause).
+pub fn bound_context(
+    bindings: Vec<(ExpandedName, Sequence)>,
+) -> DynamicContext {
+    let mut map = HashMap::new();
+    for (name, value) in bindings {
+        map.insert(name, value);
+    }
+    DynamicContext::with_variables(map)
+}

@@ -1,0 +1,28 @@
+//! # xqdb-core — index eligibility, planning, and SQL/XML
+//!
+//! The reproduction of the primary contribution of *On the Path to Efficient
+//! XML Queries* (Balmin, Beyer, Özcan, Nicola; VLDB 2006): an XML database
+//! engine whose planner decides **index eligibility** per the paper's
+//! Definition 1 and whose EXPLAIN output names either the chosen index
+//! probes or the precise pitfall (Sections 3.1–3.10) that made every
+//! candidate ineligible.
+//!
+//! Layering:
+//!
+//! * [`catalog`] — tables + XML indexes, with maintenance on insert;
+//! * [`eligibility`] — candidate extraction (filtering-context analysis),
+//!   pattern containment, type matching, between-merging;
+//! * [`engine`] — the standalone XQuery interface (the paper's `db2-fn:xmlcolumn`
+//!   world): plan → probe indexes → evaluate residual;
+//! * [`sqlxml`] — the SQL/XML interface: `XMLQUERY`, `XMLEXISTS`,
+//!   `XMLTABLE`, `XMLCAST`, with SQL comparison semantics.
+
+pub mod catalog;
+pub mod eligibility;
+pub mod engine;
+pub mod sqlxml;
+
+pub use catalog::Catalog;
+pub use eligibility::{AnalysisEnv, Candidate, CmpTarget, Cond, IndexCond, Note};
+pub use engine::{execute_plan, explain, plan_query, run_xquery, ExecOutcome, QueryPlan};
+pub use sqlxml::{SqlSession, SqlResult};

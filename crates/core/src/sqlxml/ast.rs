@@ -1,0 +1,162 @@
+//! SQL/XML abstract syntax.
+
+use xqdb_xdm::compare::CompareOp;
+use xqdb_xquery::Query;
+use xqdb_storage::SqlType;
+
+/// A SQL statement.
+#[derive(Debug, Clone)]
+pub enum SqlStmt {
+    /// `CREATE TABLE name (col type, ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, SqlType)>,
+    },
+    /// `CREATE INDEX name ON table(column) USING XMLPATTERN '...' AS type`
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table.
+        table: String,
+        /// XML column.
+        column: String,
+        /// Pattern source text.
+        pattern: String,
+        /// Index type keyword.
+        ty: String,
+    },
+    /// `INSERT INTO table VALUES (...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row values.
+        values: Vec<SqlExpr>,
+    },
+    /// `SELECT ...`
+    Select(SelectStmt),
+    /// `VALUES (expr, ...)` — single-row values statement (Query 6).
+    Values(Vec<SqlExpr>),
+    /// `EXPLAIN SELECT ...`
+    Explain(SelectStmt),
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone)]
+pub struct SelectStmt {
+    /// Select list.
+    pub items: Vec<SelectItem>,
+    /// FROM items, in order (later items may reference earlier aliases —
+    /// the implied lateral join of `XMLTABLE`).
+    pub from: Vec<FromItem>,
+    /// WHERE condition.
+    pub where_cond: Option<SqlCond>,
+}
+
+/// One select-list entry.
+#[derive(Debug, Clone)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// An expression with optional alias.
+    Expr {
+        /// The expression.
+        expr: SqlExpr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// One FROM item.
+#[derive(Debug, Clone)]
+pub enum FromItem {
+    /// A base table with alias.
+    Table {
+        /// Table name.
+        name: String,
+        /// Alias (defaults to the table name).
+        alias: String,
+    },
+    /// An `XMLTABLE(...)` invocation.
+    XmlTable {
+        /// The row-producing XQuery.
+        row_query: Query,
+        /// `PASSING expr AS "var"` bindings.
+        passing: Vec<(String, SqlExpr)>,
+        /// COLUMNS definitions.
+        columns: Vec<XmlTableColumn>,
+        /// Result alias.
+        alias: String,
+        /// Optional column aliases `as t(a, b)`.
+        column_aliases: Vec<String>,
+    },
+}
+
+/// One `COLUMNS` entry of XMLTABLE.
+#[derive(Debug, Clone)]
+pub struct XmlTableColumn {
+    /// Column name.
+    pub name: String,
+    /// Declared type (`None` = XML).
+    pub ty: Option<SqlType>,
+    /// `BY REF` was specified (node references are our only representation,
+    /// so this is informational).
+    pub by_ref: bool,
+    /// The `PATH` XQuery.
+    pub path: Query,
+}
+
+/// A scalar-valued SQL expression.
+#[derive(Debug, Clone)]
+pub enum SqlExpr {
+    /// `[qualifier.]column`
+    Column {
+        /// Table alias qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Integer literal.
+    Integer(i64),
+    /// Floating literal.
+    Double(f64),
+    /// String literal.
+    Varchar(String),
+    /// `NULL`
+    Null,
+    /// `XMLQUERY('...' PASSING expr AS "var", ...)`
+    XmlQuery {
+        /// The embedded XQuery.
+        query: Query,
+        /// Passing bindings.
+        passing: Vec<(String, SqlExpr)>,
+    },
+    /// `XMLCAST(expr AS type)`
+    XmlCast {
+        /// Operand (usually an XMLQUERY).
+        expr: Box<SqlExpr>,
+        /// SQL target type.
+        ty: SqlType,
+    },
+}
+
+/// A WHERE condition.
+#[derive(Debug, Clone)]
+pub enum SqlCond {
+    /// Scalar comparison.
+    Cmp(CompareOp, SqlExpr, SqlExpr),
+    /// `XMLEXISTS('...' PASSING ...)`
+    XmlExists {
+        /// The embedded XQuery.
+        query: Query,
+        /// Passing bindings.
+        passing: Vec<(String, SqlExpr)>,
+    },
+    /// `AND`
+    And(Box<SqlCond>, Box<SqlCond>),
+    /// `OR`
+    Or(Box<SqlCond>, Box<SqlCond>),
+    /// `NOT`
+    Not(Box<SqlCond>),
+}

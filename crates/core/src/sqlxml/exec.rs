@@ -1,0 +1,827 @@
+//! SQL/XML execution, with XML-index pre-filtering of base tables.
+//!
+//! Index planning hooks (the paper's Section 3.2):
+//!
+//! * `XMLEXISTS` conjuncts in WHERE whose PASSING arguments come from a
+//!   single base table are analyzed with [`analyze_filtering`] — they
+//!   eliminate rows, so their predicates are index-eligible;
+//! * the `XMLTABLE` **row producer** likewise (an empty row set eliminates
+//!   the outer row — the inner-join semantics of the lateral call);
+//! * `XMLQUERY` select-list items and `XMLTABLE` column expressions are
+//!   analyzed with [`analyze_non_filtering`]: their predicates never
+//!   eliminate rows, so candidates found there surface as EXPLAIN notes
+//!   (Queries 5 and 12), never as index probes.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use xqdb_xdm::{cast, AtomicType, AtomicValue, ErrorCode, ExpandedName, Item, Sequence, XdmError};
+use xqdb_xmlindex::ProbeStats;
+use xqdb_xqeval::{eval_query, DynamicContext};
+use xqdb_xquery::Query;
+use xqdb_storage::{sql_compare, SqlType, SqlValue};
+
+use crate::catalog::Catalog;
+use crate::eligibility::{
+    analyze_filtering, analyze_non_filtering, compile, restrict_to_source, AnalysisEnv, Cond,
+    IndexCond, Note, Rejection,
+};
+use crate::engine::ExecStats;
+
+use super::ast::*;
+use super::parser::parse_sql;
+
+/// A runtime SQL value (extends stored values with XML *sequences*, which
+/// `XMLQUERY` produces).
+#[derive(Debug, Clone)]
+pub enum Scalar {
+    /// SQL NULL.
+    Null,
+    /// INTEGER.
+    Integer(i64),
+    /// DOUBLE / DECIMAL.
+    Double(f64),
+    /// VARCHAR.
+    Varchar(String),
+    /// DATE.
+    Date(xqdb_xdm::Date),
+    /// TIMESTAMP.
+    Timestamp(xqdb_xdm::DateTime),
+    /// An XML value — an XDM sequence.
+    Xml(Sequence),
+}
+
+impl Scalar {
+    /// Render for display, following the paper's output conventions
+    /// (an empty XML sequence prints as `()`).
+    pub fn render(&self) -> String {
+        match self {
+            Scalar::Null => "NULL".into(),
+            Scalar::Integer(i) => i.to_string(),
+            Scalar::Double(d) => d.to_string(),
+            Scalar::Varchar(s) => s.clone(),
+            Scalar::Date(d) => d.to_string(),
+            Scalar::Timestamp(t) => t.to_string(),
+            Scalar::Xml(seq) if seq.is_empty() => "()".into(),
+            Scalar::Xml(seq) => xqdb_xmlparse::serialize_sequence(seq),
+        }
+    }
+
+    fn from_stored(v: &SqlValue) -> Scalar {
+        match v {
+            SqlValue::Null => Scalar::Null,
+            SqlValue::Integer(i) => Scalar::Integer(*i),
+            SqlValue::Double(d) => Scalar::Double(*d),
+            SqlValue::Varchar(s) => Scalar::Varchar(s.clone()),
+            SqlValue::Date(d) => Scalar::Date(*d),
+            SqlValue::Timestamp(t) => Scalar::Timestamp(*t),
+            SqlValue::Xml(n) => Scalar::Xml(vec![Item::Node(n.clone())]),
+        }
+    }
+
+    /// Convert to an XDM sequence for a PASSING binding. SQL typed values
+    /// become typed atomics (so `$pid` inherits `xs:string` from a VARCHAR
+    /// column — the paper's Query 13 note).
+    fn to_sequence(&self) -> Result<Sequence, XdmError> {
+        Ok(match self {
+            Scalar::Null => vec![],
+            Scalar::Integer(i) => vec![Item::Atomic(AtomicValue::Integer(*i))],
+            Scalar::Double(d) => vec![Item::Atomic(AtomicValue::Double(*d))],
+            Scalar::Varchar(s) => vec![Item::Atomic(AtomicValue::String(s.clone()))],
+            Scalar::Date(d) => vec![Item::Atomic(AtomicValue::Date(*d))],
+            Scalar::Timestamp(t) => vec![Item::Atomic(AtomicValue::DateTime(*t))],
+            Scalar::Xml(seq) => seq.clone(),
+        })
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Result of executing one SQL statement.
+#[derive(Debug, Default)]
+pub struct SqlResult {
+    /// Column names (empty for DDL).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Scalar>>,
+    /// DDL/DML confirmation or EXPLAIN text.
+    pub message: Option<String>,
+    /// Execution statistics (index effort, rows scanned).
+    pub stats: ExecStats,
+}
+
+impl SqlResult {
+    /// Render rows the way the paper prints them (`row 1: ...`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(m) = &self.message {
+            out.push_str(m);
+            out.push('\n');
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            let vals: Vec<String> = row.iter().map(Scalar::render).collect();
+            out.push_str(&format!("row {}: {}\n", i + 1, vals.join(" | ")));
+        }
+        out
+    }
+}
+
+/// A SQL/XML session: a catalog plus statement execution.
+#[derive(Debug, Default)]
+pub struct SqlSession {
+    /// The underlying catalog.
+    pub catalog: Catalog,
+}
+
+impl SqlSession {
+    /// Fresh session with an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<SqlResult, XdmError> {
+        let stmt = parse_sql(sql)
+            .map_err(|e| XdmError::new(ErrorCode::XPST0003, e.to_string()))?;
+        match stmt {
+            SqlStmt::CreateTable { name, columns } => {
+                let cols = columns
+                    .into_iter()
+                    .map(|(n, t)| xqdb_storage::Column::new(n, t))
+                    .collect();
+                self.catalog.create_table(xqdb_storage::Table::new(&name, cols))?;
+                Ok(SqlResult {
+                    message: Some(format!("table {name} created")),
+                    ..Default::default()
+                })
+            }
+            SqlStmt::CreateIndex { name, table, column, pattern, ty } => {
+                self.catalog.create_index(&name, &table, &column, &pattern, &ty)?;
+                Ok(SqlResult {
+                    message: Some(format!("index {name} created")),
+                    ..Default::default()
+                })
+            }
+            SqlStmt::Insert { table, values } => {
+                let row = self.eval_insert_row(&table, values)?;
+                self.catalog.insert(&table, row)?;
+                Ok(SqlResult { message: Some("1 row inserted".into()), ..Default::default() })
+            }
+            SqlStmt::Values(exprs) => {
+                let empty = RowCtx::default();
+                let mut row = Vec::new();
+                for e in exprs {
+                    row.push(self.eval_expr(&e, &empty)?);
+                }
+                Ok(SqlResult {
+                    columns: (1..=row.len()).map(|i| format!("C{i}")).collect(),
+                    rows: vec![row],
+                    ..Default::default()
+                })
+            }
+            SqlStmt::Select(sel) => self.run_select(&sel),
+            SqlStmt::Explain(sel) => {
+                let plan = self.plan_select(&sel)?;
+                Ok(SqlResult {
+                    message: Some(render_plan(&plan)),
+                    ..Default::default()
+                })
+            }
+        }
+    }
+
+    /// INSERT values: strings targeting XML columns are parsed as XML.
+    fn eval_insert_row(
+        &self,
+        table: &str,
+        values: Vec<SqlExpr>,
+    ) -> Result<Vec<SqlValue>, XdmError> {
+        let t = self.catalog.db.table(table).ok_or_else(|| {
+            XdmError::new(ErrorCode::SqlType, format!("unknown table {table:?}"))
+        })?;
+        let mut out = Vec::with_capacity(values.len());
+        for (i, e) in values.into_iter().enumerate() {
+            let target = t.columns.get(i).map(|c| &c.ty);
+            let v = match (e, target) {
+                (SqlExpr::Varchar(s), Some(SqlType::Xml)) => {
+                    let doc = xqdb_xmlparse::parse_document(&s).map_err(|pe| {
+                        XdmError::new(ErrorCode::XPST0003, format!("XMLPARSE: {pe}"))
+                    })?;
+                    SqlValue::Xml(doc.root())
+                }
+                (SqlExpr::Varchar(s), Some(SqlType::Date)) => {
+                    SqlValue::Date(xqdb_xdm::Date::parse(&s)?)
+                }
+                (SqlExpr::Varchar(s), Some(SqlType::Timestamp)) => {
+                    SqlValue::Timestamp(xqdb_xdm::DateTime::parse(&s)?)
+                }
+                (SqlExpr::Varchar(s), _) => SqlValue::Varchar(s),
+                (SqlExpr::Integer(i), _) => SqlValue::Integer(i),
+                (SqlExpr::Double(d), _) => SqlValue::Double(d),
+                (SqlExpr::Null, _) => SqlValue::Null,
+                (other, _) => {
+                    return Err(XdmError::new(
+                        ErrorCode::SqlType,
+                        format!("unsupported INSERT expression {other:?}"),
+                    ))
+                }
+            };
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------- planning
+
+    fn plan_select(&self, sel: &SelectStmt) -> Result<SqlPlan, XdmError> {
+        let mut plan = SqlPlan::default();
+        // Map alias → (table, xml columns).
+        for item in &sel.from {
+            if let FromItem::Table { name, alias } = item {
+                let t = self.catalog.db.table(name).ok_or_else(|| {
+                    XdmError::new(ErrorCode::SqlType, format!("unknown table {name:?}"))
+                })?;
+                plan.tables.insert(alias.clone(), t.name.clone());
+            }
+        }
+        // Analyze XMLEXISTS conjuncts.
+        if let Some(cond) = &sel.where_cond {
+            let mut conjuncts = Vec::new();
+            flatten_and(cond, &mut conjuncts);
+            for c in conjuncts {
+                if let SqlCond::XmlExists { query, passing } = c {
+                    self.plan_xquery_filter(query, passing, &plan.tables.clone(), &mut plan, true);
+                }
+            }
+        }
+        // Analyze XMLTABLE row producers and column paths.
+        for item in &sel.from {
+            if let FromItem::XmlTable { row_query, passing, columns, .. } = item {
+                self.plan_xquery_filter(
+                    row_query,
+                    passing,
+                    &plan.tables.clone(),
+                    &mut plan,
+                    true,
+                );
+                let env = self.passing_env(passing, &plan.tables);
+                let row_ctx =
+                    crate::eligibility::resolve_docs_path(&row_query.body, &env);
+                for col in columns {
+                    let analysis = crate::eligibility::analyze_non_filtering_with_ctx(
+                        &col.path.body,
+                        &env,
+                        "XMLTABLE column expression",
+                        row_ctx.clone(),
+                    );
+                    plan.notes.extend(analysis.notes);
+                }
+            }
+        }
+        // Scavenge XMLQUERY select-list items for diagnostics.
+        for item in &sel.items {
+            if let SelectItem::Expr { expr: SqlExpr::XmlQuery { query, passing }, .. } = item {
+                let env = self.passing_env(passing, &plan.tables);
+                let analysis =
+                    analyze_non_filtering(&query.body, &env, "XMLQUERY select list");
+                plan.notes.extend(analysis.notes);
+            }
+        }
+        // Compile per-source access conditions.
+        let all_conds = plan.conds.clone();
+        for (source, conds) in all_conds {
+            let cond = Cond::And(conds);
+            let restricted = restrict_to_source(&cond, &source);
+            let indexes = self.catalog.indexes_for_source(&source);
+            let compiled = compile(&restricted, &indexes);
+            plan.rejections.extend(compiled.rejections);
+            if let Some(access) = compiled.access {
+                plan.accesses.insert(source, access);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Build an analysis env for a PASSING clause: variables bound to a
+    /// table's XML column become document sources.
+    fn passing_env(
+        &self,
+        passing: &[(String, SqlExpr)],
+        tables: &HashMap<String, String>,
+    ) -> AnalysisEnv {
+        let mut env = AnalysisEnv::new();
+        for (var, expr) in passing {
+            if let SqlExpr::Column { qualifier, name } = expr {
+                let table = match qualifier {
+                    Some(q) => tables.get(q).cloned(),
+                    None => {
+                        // Unqualified: unique table holding that column.
+                        let mut found = None;
+                        for t in tables.values() {
+                            if let Some(tt) = self.catalog.db.table(t) {
+                                if tt.column_index(name).is_some() {
+                                    found = Some(t.clone());
+                                    break;
+                                }
+                            }
+                        }
+                        found
+                    }
+                };
+                if let Some(tname) = table {
+                    env.bind_docs(
+                        ExpandedName::local(var.as_str()),
+                        format!("{}.{}", tname, name.to_ascii_uppercase()),
+                    );
+                }
+            }
+        }
+        env
+    }
+
+    fn plan_xquery_filter(
+        &self,
+        query: &Query,
+        passing: &[(String, SqlExpr)],
+        tables: &HashMap<String, String>,
+        plan: &mut SqlPlan,
+        filtering: bool,
+    ) {
+        let env = self.passing_env(passing, tables);
+        let analysis = if filtering {
+            analyze_filtering(&query.body, &env)
+        } else {
+            analyze_non_filtering(&query.body, &env, "non-filtering")
+        };
+        plan.notes.extend(analysis.notes);
+        // Attribute conditions to their sources.
+        let mut sources = BTreeSet::new();
+        collect_cond_sources(&analysis.cond, &mut sources);
+        // Also sources referenced directly via db2-fn:xmlcolumn.
+        crate::engine::collect_sources(&query.body, &mut sources);
+        for s in sources {
+            plan.conds.entry(s).or_default().push(analysis.cond.clone());
+        }
+    }
+
+    // ------------------------------------------------------------ execution
+
+    fn run_select(&self, sel: &SelectStmt) -> Result<SqlResult, XdmError> {
+        let plan = self.plan_select(sel)?;
+        let mut stats = ExecStats::default();
+        // Resolve per-table row filters from compiled accesses.
+        let mut row_filters: HashMap<String, BTreeSet<u64>> = HashMap::new();
+        for (source, access) in &plan.accesses {
+            let indexes = self.catalog.indexes_for_source(source);
+            let mut pstats = ProbeStats::default();
+            let rows = access.execute(&indexes, &mut pstats);
+            stats.index_entries_scanned += pstats.entries_scanned;
+            let table = source.split('.').next().unwrap_or("").to_string();
+            // Intersect if several XML columns of one table are filtered.
+            row_filters
+                .entry(table)
+                .and_modify(|r| *r = r.intersection(&rows).copied().collect())
+                .or_insert(rows);
+        }
+
+        // Build the row stream via nested loops.
+        let mut rows: Vec<RowCtx> = vec![RowCtx::default()];
+        for item in &sel.from {
+            let mut next = Vec::new();
+            match item {
+                FromItem::Table { name, alias } => {
+                    let t = self.catalog.db.table(name).ok_or_else(|| {
+                        XdmError::new(ErrorCode::SqlType, format!("unknown table {name:?}"))
+                    })?;
+                    let filter = row_filters.get(&t.name);
+                    stats.docs_total.insert(t.name.clone(), t.len());
+                    let mut scanned = 0usize;
+                    for (rid, values) in t.scan() {
+                        if let Some(f) = filter {
+                            if !f.contains(&(rid as u64)) {
+                                continue;
+                            }
+                        }
+                        scanned += 1;
+                        for base in &rows {
+                            let mut ctx = base.clone();
+                            for (ci, col) in t.columns.iter().enumerate() {
+                                ctx.values.insert(
+                                    (alias.clone(), col.name.clone()),
+                                    Scalar::from_stored(&values[ci]),
+                                );
+                                ctx.order.push((alias.clone(), col.name.clone()));
+                            }
+                            next.push(ctx);
+                        }
+                    }
+                    stats.docs_evaluated.insert(t.name.clone(), scanned);
+                }
+                FromItem::XmlTable { row_query, passing, columns, alias, column_aliases } => {
+                    for base in &rows {
+                        let produced = self.expand_xmltable(
+                            row_query,
+                            passing,
+                            columns,
+                            alias,
+                            column_aliases,
+                            base,
+                        )?;
+                        next.extend(produced);
+                    }
+                }
+            }
+            rows = next;
+        }
+
+        // WHERE.
+        let mut kept = Vec::new();
+        for ctx in rows {
+            let pass = match &sel.where_cond {
+                None => true,
+                Some(c) => self.eval_cond(c, &ctx)? == Some(true),
+            };
+            if pass {
+                kept.push(ctx);
+            }
+        }
+
+        // Projection.
+        let mut columns = Vec::new();
+        let mut out_rows = Vec::new();
+        for (ri, ctx) in kept.iter().enumerate() {
+            let mut row = Vec::new();
+            for (ii, item) in sel.items.iter().enumerate() {
+                match item {
+                    SelectItem::Star => {
+                        for key in &ctx.order {
+                            if ri == 0 {
+                                columns.push(key.1.clone());
+                            }
+                            row.push(
+                                ctx.values
+                                    .get(key)
+                                    .cloned()
+                                    .unwrap_or(Scalar::Null),
+                            );
+                        }
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        if ri == 0 {
+                            columns.push(alias.clone().unwrap_or_else(|| default_name(expr, ii)));
+                        }
+                        row.push(self.eval_expr(expr, ctx)?);
+                    }
+                }
+            }
+            out_rows.push(row);
+        }
+        if kept.is_empty() {
+            // Still produce column headers.
+            for (ii, item) in sel.items.iter().enumerate() {
+                match item {
+                    SelectItem::Star => {}
+                    SelectItem::Expr { expr, alias } => {
+                        columns.push(alias.clone().unwrap_or_else(|| default_name(expr, ii)));
+                    }
+                }
+            }
+        }
+        Ok(SqlResult { columns, rows: out_rows, message: None, stats })
+    }
+
+    fn expand_xmltable(
+        &self,
+        row_query: &Query,
+        passing: &[(String, SqlExpr)],
+        columns: &[XmlTableColumn],
+        alias: &str,
+        column_aliases: &[String],
+        base: &RowCtx,
+    ) -> Result<Vec<RowCtx>, XdmError> {
+        let ctx = self.passing_context(passing, base)?;
+        let items = eval_query(row_query, &self.catalog.db, &ctx)?;
+        let mut out = Vec::new();
+        for item in items {
+            let mut row = base.clone();
+            for (ci, col) in columns.iter().enumerate() {
+                let cname = column_aliases
+                    .get(ci)
+                    .cloned()
+                    .unwrap_or_else(|| col.name.clone());
+                let col_ctx = DynamicContext::with_variables(HashMap::new())
+                    .with_focus(item.clone(), 1, 1);
+                let seq = eval_query(&col.path, &self.catalog.db, &col_ctx)?;
+                let value = match &col.ty {
+                    None => Scalar::Xml(seq),
+                    Some(ty) => {
+                        // Column expressions NULL on empty (Section 3.2:
+                        // "the result value of the corresponding column is
+                        // the NULL value").
+                        if seq.is_empty() {
+                            Scalar::Null
+                        } else {
+                            sequence_to_scalar(&seq, ty)?
+                        }
+                    }
+                };
+                row.values.insert((alias.to_string(), cname.clone()), value);
+                row.order.push((alias.to_string(), cname));
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Evaluate the PASSING clause into a dynamic context.
+    fn passing_context(
+        &self,
+        passing: &[(String, SqlExpr)],
+        row: &RowCtx,
+    ) -> Result<DynamicContext, XdmError> {
+        let mut vars = HashMap::new();
+        for (name, expr) in passing {
+            let v = self.eval_expr(expr, row)?;
+            vars.insert(ExpandedName::local(name.as_str()), v.to_sequence()?);
+        }
+        Ok(DynamicContext::with_variables(vars))
+    }
+
+    fn eval_expr(&self, expr: &SqlExpr, row: &RowCtx) -> Result<Scalar, XdmError> {
+        match expr {
+            SqlExpr::Integer(i) => Ok(Scalar::Integer(*i)),
+            SqlExpr::Double(d) => Ok(Scalar::Double(*d)),
+            SqlExpr::Varchar(s) => Ok(Scalar::Varchar(s.clone())),
+            SqlExpr::Null => Ok(Scalar::Null),
+            SqlExpr::Column { qualifier, name } => row.lookup(qualifier.as_deref(), name),
+            SqlExpr::XmlQuery { query, passing } => {
+                let ctx = self.passing_context(passing, row)?;
+                let seq = eval_query(query, &self.catalog.db, &ctx)?;
+                Ok(Scalar::Xml(seq))
+            }
+            SqlExpr::XmlCast { expr, ty } => {
+                let v = self.eval_expr(expr, row)?;
+                xmlcast(&v, ty)
+            }
+        }
+    }
+
+    /// Three-valued condition evaluation (`None` = UNKNOWN).
+    fn eval_cond(&self, cond: &SqlCond, row: &RowCtx) -> Result<Option<bool>, XdmError> {
+        match cond {
+            SqlCond::Cmp(op, a, b) => {
+                let l = self.eval_expr(a, row)?;
+                let r = self.eval_expr(b, row)?;
+                let ord = sql_compare(&to_stored_for_cmp(&l)?, &to_stored_for_cmp(&r)?)?;
+                Ok(ord.map(|o| op.test(Some(o))))
+            }
+            SqlCond::XmlExists { query, passing } => {
+                let ctx = self.passing_context(passing, row)?;
+                let seq = eval_query(query, &self.catalog.db, &ctx)?;
+                // XMLEXISTS is a pure non-emptiness test — NOT the EBV.
+                // `false()` is a non-empty sequence, so it passes (Query 9).
+                Ok(Some(!seq.is_empty()))
+            }
+            SqlCond::And(a, b) => {
+                let l = self.eval_cond(a, row)?;
+                if l == Some(false) {
+                    return Ok(Some(false));
+                }
+                let r = self.eval_cond(b, row)?;
+                Ok(match (l, r) {
+                    (Some(true), Some(true)) => Some(true),
+                    (_, Some(false)) => Some(false),
+                    _ => None,
+                })
+            }
+            SqlCond::Or(a, b) => {
+                let l = self.eval_cond(a, row)?;
+                if l == Some(true) {
+                    return Ok(Some(true));
+                }
+                let r = self.eval_cond(b, row)?;
+                Ok(match (l, r) {
+                    (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                })
+            }
+            SqlCond::Not(c) => Ok(self.eval_cond(c, row)?.map(|b| !b)),
+        }
+    }
+}
+
+/// One row of the in-flight join: (alias, column) → value.
+#[derive(Debug, Clone, Default)]
+struct RowCtx {
+    values: HashMap<(String, String), Scalar>,
+    order: Vec<(String, String)>,
+}
+
+impl RowCtx {
+    fn lookup(&self, qualifier: Option<&str>, name: &str) -> Result<Scalar, XdmError> {
+        let name = name.to_ascii_uppercase();
+        match qualifier {
+            Some(q) => {
+                let q = q.to_ascii_uppercase();
+                self.values
+                    .get(&(q.clone(), name.clone()))
+                    .cloned()
+                    .ok_or_else(|| {
+                        XdmError::new(
+                            ErrorCode::SqlType,
+                            format!("unknown column {q}.{name}"),
+                        )
+                    })
+            }
+            None => {
+                let mut found = None;
+                for ((_, n), v) in &self.values {
+                    if *n == name {
+                        if found.is_some() {
+                            return Err(XdmError::new(
+                                ErrorCode::SqlType,
+                                format!("ambiguous column {name}"),
+                            ));
+                        }
+                        found = Some(v.clone());
+                    }
+                }
+                found.ok_or_else(|| {
+                    XdmError::new(ErrorCode::SqlType, format!("unknown column {name}"))
+                })
+            }
+        }
+    }
+}
+
+/// The planned access paths and diagnostics of a SELECT.
+#[derive(Debug, Default)]
+pub struct SqlPlan {
+    /// alias → table name.
+    pub tables: HashMap<String, String>,
+    /// Source → extracted conditions (one per filtering XQuery).
+    pub conds: HashMap<String, Vec<Cond>>,
+    /// Compiled access per source.
+    pub accesses: HashMap<String, IndexCond>,
+    /// Analyzer notes.
+    pub notes: Vec<Note>,
+    /// Rejected candidates.
+    pub rejections: Vec<Rejection>,
+}
+
+/// Render the EXPLAIN output.
+pub fn render_plan(plan: &SqlPlan) -> String {
+    let mut out = String::from("SQL/XML PLAN\n");
+    let mut aliases: Vec<_> = plan.tables.iter().collect();
+    aliases.sort();
+    for (alias, table) in aliases {
+        // Find accesses on this table's sources.
+        let mut printed = false;
+        let mut sources: Vec<_> = plan.accesses.iter().collect();
+        sources.sort_by_key(|(s, _)| s.as_str());
+        for (source, access) in sources {
+            if source.starts_with(&format!("{table}.")) {
+                out.push_str(&format!(
+                    "  table {table} (alias {alias}): INDEX {}\n",
+                    access.render()
+                ));
+                printed = true;
+            }
+        }
+        if !printed {
+            out.push_str(&format!("  table {table} (alias {alias}): TABLE SCAN\n"));
+        }
+    }
+    if !plan.notes.is_empty() {
+        out.push_str("  notes:\n");
+        for n in &plan.notes {
+            out.push_str(&format!("    - {n}\n"));
+        }
+    }
+    if !plan.rejections.is_empty() {
+        out.push_str("  rejected candidates:\n");
+        for r in &plan.rejections {
+            out.push_str(&format!("    - {}\n", r.candidate));
+            for reason in &r.reasons {
+                out.push_str(&format!("        {reason}\n"));
+            }
+        }
+    }
+    out
+}
+
+fn default_name(expr: &SqlExpr, i: usize) -> String {
+    match expr {
+        SqlExpr::Column { name, .. } => name.clone(),
+        SqlExpr::XmlQuery { .. } => format!("XMLQUERY_{}", i + 1),
+        SqlExpr::XmlCast { .. } => format!("XMLCAST_{}", i + 1),
+        _ => format!("C{}", i + 1),
+    }
+}
+
+fn flatten_and<'a>(cond: &'a SqlCond, out: &mut Vec<&'a SqlCond>) {
+    match cond {
+        SqlCond::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn collect_cond_sources(cond: &Cond, out: &mut BTreeSet<String>) {
+    match cond {
+        Cond::Any => {}
+        Cond::Pred(c) => {
+            out.insert(c.source.clone());
+        }
+        Cond::Exists { source, .. } => {
+            out.insert(source.clone());
+        }
+        Cond::And(cs) | Cond::Or(cs) => {
+            for c in cs {
+                collect_cond_sources(c, out);
+            }
+        }
+    }
+}
+
+/// `XMLCAST`: singleton enforcement and SQL-typed conversion — the Query 14
+/// failure modes (cardinality and VARCHAR length) live here.
+pub fn xmlcast(v: &Scalar, ty: &SqlType) -> Result<Scalar, XdmError> {
+    let seq = match v {
+        Scalar::Xml(seq) => seq.clone(),
+        // Casting a non-XML scalar: route through its sequence form.
+        other => other.to_sequence()?,
+    };
+    if seq.is_empty() {
+        return Ok(Scalar::Null);
+    }
+    if seq.len() > 1 {
+        return Err(XdmError::new(
+            ErrorCode::SqlCardinality,
+            format!("XMLCAST requires a singleton sequence, got {} items", seq.len()),
+        ));
+    }
+    let atom = seq[0].atomize()?;
+    match ty {
+        SqlType::Integer => match cast::cast(&atom, AtomicType::Integer)? {
+            AtomicValue::Integer(i) => Ok(Scalar::Integer(i)),
+            _ => unreachable!("integer cast yields Integer"),
+        },
+        SqlType::Double | SqlType::Decimal(..) => match cast::cast(&atom, AtomicType::Double)? {
+            AtomicValue::Double(d) => Ok(Scalar::Double(d)),
+            _ => unreachable!("double cast yields Double"),
+        },
+        SqlType::Varchar(n) => {
+            let s = atom.lexical();
+            if s.chars().count() > *n {
+                return Err(XdmError::new(
+                    ErrorCode::SqlLength,
+                    format!("XMLCAST value of length {} exceeds VARCHAR({n})", s.chars().count()),
+                ));
+            }
+            Ok(Scalar::Varchar(s))
+        }
+        SqlType::Date => match cast::cast(&atom, AtomicType::Date)? {
+            AtomicValue::Date(d) => Ok(Scalar::Date(d)),
+            _ => unreachable!("date cast yields Date"),
+        },
+        SqlType::Timestamp => match cast::cast(&atom, AtomicType::DateTime)? {
+            AtomicValue::DateTime(t) => Ok(Scalar::Timestamp(t)),
+            _ => unreachable!("dateTime cast yields DateTime"),
+        },
+        SqlType::Xml => Ok(Scalar::Xml(seq)),
+    }
+}
+
+/// Convert a column XDM sequence to a scalar of the declared type
+/// (XMLTABLE column semantics: caller handles the empty case).
+fn sequence_to_scalar(seq: &Sequence, ty: &SqlType) -> Result<Scalar, XdmError> {
+    xmlcast(&Scalar::Xml(seq.clone()), ty)
+}
+
+/// Convert a runtime scalar into a stored value for SQL comparison; XML
+/// values are rejected (Section 3.3: use XMLCAST).
+fn to_stored_for_cmp(v: &Scalar) -> Result<SqlValue, XdmError> {
+    Ok(match v {
+        Scalar::Null => SqlValue::Null,
+        Scalar::Integer(i) => SqlValue::Integer(*i),
+        Scalar::Double(d) => SqlValue::Double(*d),
+        Scalar::Varchar(s) => SqlValue::Varchar(s.clone()),
+        Scalar::Date(d) => SqlValue::Date(*d),
+        Scalar::Timestamp(t) => SqlValue::Timestamp(*t),
+        Scalar::Xml(_) => {
+            return Err(XdmError::new(
+                ErrorCode::SqlType,
+                "XML values cannot be compared with SQL operators; use XMLCAST \
+                 or move the comparison into XQuery (Tip 6)",
+            ))
+        }
+    })
+}

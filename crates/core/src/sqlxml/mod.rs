@@ -1,0 +1,9 @@
+//! The SQL/XML layer: `XMLQUERY`, `XMLEXISTS`, `XMLTABLE`, `XMLCAST` over
+//! the storage engine, with XML-index planning for filtering contexts.
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+
+pub use exec::{render_plan, xmlcast, Scalar, SqlPlan, SqlResult, SqlSession};
+pub use parser::{parse_sql, SqlParseError};

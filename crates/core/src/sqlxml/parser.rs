@@ -1,0 +1,799 @@
+//! SQL/XML parser: tokenizer + recursive descent over the statement subset
+//! the paper's examples use.
+
+use std::fmt;
+
+use xqdb_xdm::compare::CompareOp;
+use xqdb_xquery::parse_query;
+use xqdb_storage::SqlType;
+
+use super::ast::*;
+
+/// SQL parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlParseError {
+    /// Offending token position (token index).
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SqlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error near token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for SqlParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Identifier or keyword (upper-cased) — original case kept separately
+    /// for delimited identifiers.
+    Word(String),
+    /// 'single-quoted string' ('' escapes).
+    Str(String),
+    /// "double-quoted identifier".
+    Quoted(String),
+    Num(String),
+    Punct(char),
+    /// Two-char operators: `<=`, `>=`, `<>`, `!=`.
+    Op(&'static str),
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Tok>, SqlParseError> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '-' && bytes.get(i + 1) == Some(&'-') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let w: String = bytes[start..i].iter().collect();
+            toks.push(Tok::Word(w.to_ascii_uppercase()));
+            continue;
+        }
+        if c.is_ascii_digit()
+            || (c == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'e'
+                    || bytes[i] == 'E'
+                    || ((bytes[i] == '+' || bytes[i] == '-')
+                        && matches!(bytes.get(i.wrapping_sub(1)), Some('e' | 'E'))))
+            {
+                i += 1;
+            }
+            toks.push(Tok::Num(bytes[start..i].iter().collect()));
+            continue;
+        }
+        if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(SqlParseError {
+                            position: toks.len(),
+                            message: "unterminated string literal".into(),
+                        })
+                    }
+                    Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some('\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Tok::Str(s));
+            continue;
+        }
+        if c == '"' {
+            i += 1;
+            let start = i;
+            while i < bytes.len() && bytes[i] != '"' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(SqlParseError {
+                    position: toks.len(),
+                    message: "unterminated delimited identifier".into(),
+                });
+            }
+            let s: String = bytes[start..i].iter().collect();
+            i += 1;
+            toks.push(Tok::Quoted(s));
+            continue;
+        }
+        // Two-char operators.
+        let two: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+        let op = match two.as_str() {
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            "<>" => Some("<>"),
+            "!=" => Some("!="),
+            _ => None,
+        };
+        if let Some(op) = op {
+            toks.push(Tok::Op(op));
+            i += 2;
+            continue;
+        }
+        if "(),.*=<>;".contains(c) {
+            toks.push(Tok::Punct(c));
+            i += 1;
+            continue;
+        }
+        return Err(SqlParseError {
+            position: toks.len(),
+            message: format!("unexpected character {c:?}"),
+        });
+    }
+    Ok(toks)
+}
+
+/// Parse one SQL statement.
+pub fn parse_sql(sql: &str) -> Result<SqlStmt, SqlParseError> {
+    let toks = tokenize(sql)?;
+    let mut p = P { toks, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_punct(';');
+    if !p.at_end() {
+        return Err(p.error("unexpected trailing tokens"));
+    }
+    Ok(stmt)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn error(&self, msg: impl Into<String>) -> SqlParseError {
+        SqlParseError { position: self.pos, message: msg.into() }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_word(&self, w: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Word(s)) if s == w)
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.peek_word(w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, w: &str) -> Result<(), SqlParseError> {
+        if self.eat_word(w) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {w}")))
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(p)) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), SqlParseError> {
+        if self.eat_punct(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {c:?}")))
+        }
+    }
+
+    /// An identifier (bare word or delimited).
+    fn identifier(&mut self) -> Result<String, SqlParseError> {
+        match self.next() {
+            Some(Tok::Word(w)) => Ok(w),
+            Some(Tok::Quoted(q)) => Ok(q.to_ascii_uppercase()),
+            other => Err(self.error(format!("expected an identifier, found {other:?}"))),
+        }
+    }
+
+    fn string_literal(&mut self) -> Result<String, SqlParseError> {
+        match self.next() {
+            Some(Tok::Str(s)) => Ok(s),
+            other => Err(self.error(format!("expected a string literal, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<SqlStmt, SqlParseError> {
+        if self.eat_word("CREATE") {
+            if self.eat_word("TABLE") {
+                return self.create_table();
+            }
+            if self.eat_word("INDEX") {
+                return self.create_index();
+            }
+            return Err(self.error("expected TABLE or INDEX after CREATE"));
+        }
+        if self.eat_word("INSERT") {
+            return self.insert();
+        }
+        if self.peek_word("SELECT") {
+            return Ok(SqlStmt::Select(self.select()?));
+        }
+        if self.eat_word("EXPLAIN") {
+            return Ok(SqlStmt::Explain(self.select()?));
+        }
+        if self.eat_word("VALUES") {
+            self.expect_punct('(')?;
+            let mut values = vec![self.expr()?];
+            while self.eat_punct(',') {
+                values.push(self.expr()?);
+            }
+            self.expect_punct(')')?;
+            return Ok(SqlStmt::Values(values));
+        }
+        Err(self.error("expected CREATE, INSERT, SELECT, EXPLAIN or VALUES"))
+    }
+
+    fn sql_type(&mut self) -> Result<SqlType, SqlParseError> {
+        let w = self.identifier()?;
+        match w.as_str() {
+            "INTEGER" | "INT" | "BIGINT" => Ok(SqlType::Integer),
+            "DOUBLE" | "FLOAT" => Ok(SqlType::Double),
+            "DECIMAL" | "NUMERIC" => {
+                if self.eat_punct('(') {
+                    let p = self.number_u8()?;
+                    self.expect_punct(',')?;
+                    let s = self.number_u8()?;
+                    self.expect_punct(')')?;
+                    Ok(SqlType::Decimal(p, s))
+                } else {
+                    Ok(SqlType::Decimal(31, 6))
+                }
+            }
+            "VARCHAR" | "CHAR" => {
+                self.expect_punct('(')?;
+                let n = self.number_usize()?;
+                self.expect_punct(')')?;
+                Ok(SqlType::Varchar(n))
+            }
+            "DATE" => Ok(SqlType::Date),
+            "TIMESTAMP" => Ok(SqlType::Timestamp),
+            "XML" => Ok(SqlType::Xml),
+            other => Err(self.error(format!("unknown SQL type {other}"))),
+        }
+    }
+
+    fn number_u8(&mut self) -> Result<u8, SqlParseError> {
+        match self.next() {
+            Some(Tok::Num(n)) => n.parse().map_err(|_| self.error("expected a small integer")),
+            other => Err(self.error(format!("expected a number, found {other:?}"))),
+        }
+    }
+
+    fn number_usize(&mut self) -> Result<usize, SqlParseError> {
+        match self.next() {
+            Some(Tok::Num(n)) => n.parse().map_err(|_| self.error("expected an integer")),
+            other => Err(self.error(format!("expected a number, found {other:?}"))),
+        }
+    }
+
+    fn create_table(&mut self) -> Result<SqlStmt, SqlParseError> {
+        let name = self.identifier()?;
+        self.expect_punct('(')?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            let ty = self.sql_type()?;
+            columns.push((col, ty));
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_punct(')')?;
+        Ok(SqlStmt::CreateTable { name, columns })
+    }
+
+    fn create_index(&mut self) -> Result<SqlStmt, SqlParseError> {
+        let name = self.identifier()?;
+        self.expect_word("ON")?;
+        let table = self.identifier()?;
+        self.expect_punct('(')?;
+        let column = self.identifier()?;
+        self.expect_punct(')')?;
+        self.expect_word("USING")?;
+        self.expect_word("XMLPATTERN")?;
+        let pattern = self.string_literal()?;
+        self.expect_word("AS")?;
+        let ty = self.identifier()?;
+        Ok(SqlStmt::CreateIndex { name, table, column, pattern, ty: ty.to_ascii_lowercase() })
+    }
+
+    fn insert(&mut self) -> Result<SqlStmt, SqlParseError> {
+        self.expect_word("INTO")?;
+        let table = self.identifier()?;
+        self.expect_word("VALUES")?;
+        self.expect_punct('(')?;
+        let mut values = vec![self.expr()?];
+        while self.eat_punct(',') {
+            values.push(self.expr()?);
+        }
+        self.expect_punct(')')?;
+        Ok(SqlStmt::Insert { table, values })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, SqlParseError> {
+        self.expect_word("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            if self.eat_punct('*') {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_word("AS") {
+                    Some(self.identifier()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_word("FROM")?;
+        let mut from = vec![self.from_item()?];
+        while self.eat_punct(',') {
+            from.push(self.from_item()?);
+        }
+        let where_cond = if self.eat_word("WHERE") {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt { items, from, where_cond })
+    }
+
+    // Parses one FROM-clause item (the name mirrors the grammar production).
+    #[allow(clippy::wrong_self_convention)]
+    fn from_item(&mut self) -> Result<FromItem, SqlParseError> {
+        if self.peek_word("XMLTABLE") {
+            return self.xmltable();
+        }
+        let name = self.identifier()?;
+        let alias = if self.eat_word("AS") {
+            self.identifier()?
+        } else if let Some(Tok::Word(w)) = self.peek() {
+            // bare alias, unless it's a clause keyword
+            if matches!(w.as_str(), "WHERE" | "ORDER" | "GROUP") {
+                name.clone()
+            } else {
+                self.identifier()?
+            }
+        } else {
+            name.clone()
+        };
+        Ok(FromItem::Table { name, alias })
+    }
+
+    fn xquery_string(&mut self) -> Result<xqdb_xquery::Query, SqlParseError> {
+        let pos = self.pos;
+        let text = self.string_literal()?;
+        parse_query(&text).map_err(|e| SqlParseError {
+            position: pos,
+            message: format!("embedded XQuery: {e}"),
+        })
+    }
+
+    fn passing_clause(&mut self) -> Result<Vec<(String, SqlExpr)>, SqlParseError> {
+        let mut out = Vec::new();
+        if self.eat_word("PASSING") {
+            loop {
+                let expr = self.expr()?;
+                self.expect_word("AS")?;
+                let var = match self.next() {
+                    Some(Tok::Quoted(q)) => q,
+                    Some(Tok::Word(w)) => w.to_ascii_lowercase(),
+                    other => {
+                        return Err(self.error(format!(
+                            "expected a variable name after AS, found {other:?}"
+                        )))
+                    }
+                };
+                out.push((var, expr));
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn xmltable(&mut self) -> Result<FromItem, SqlParseError> {
+        self.expect_word("XMLTABLE")?;
+        self.expect_punct('(')?;
+        let row_query = self.xquery_string()?;
+        let passing = self.passing_clause()?;
+        let mut columns = Vec::new();
+        if self.eat_word("COLUMNS") {
+            loop {
+                let name = match self.next() {
+                    Some(Tok::Quoted(q)) => q.to_ascii_uppercase(),
+                    Some(Tok::Word(w)) => w,
+                    other => {
+                        return Err(self
+                            .error(format!("expected a column name, found {other:?}")))
+                    }
+                };
+                let ty = if self.eat_word("XML") {
+                    None
+                } else {
+                    Some(self.sql_type()?)
+                };
+                let by_ref = if self.eat_word("BY") {
+                    if self.eat_word("REF") {
+                        true
+                    } else {
+                        self.expect_word("VALUE")?;
+                        false
+                    }
+                } else {
+                    false
+                };
+                self.expect_word("PATH")?;
+                let path = self.xquery_string()?;
+                columns.push(XmlTableColumn { name, ty, by_ref, path });
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        let mut alias = "XMLTABLE".to_string();
+        let mut column_aliases = Vec::new();
+        if self.eat_word("AS") || matches!(self.peek(), Some(Tok::Word(_))) {
+            alias = self.identifier()?;
+            if self.eat_punct('(') {
+                loop {
+                    column_aliases.push(self.identifier()?);
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+                self.expect_punct(')')?;
+            }
+        }
+        Ok(FromItem::XmlTable { row_query, passing, columns, alias, column_aliases })
+    }
+
+    fn expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Word(w)) if w == "XMLQUERY" => {
+                self.pos += 1;
+                self.expect_punct('(')?;
+                let query = self.xquery_string()?;
+                let passing = self.passing_clause()?;
+                self.expect_punct(')')?;
+                Ok(SqlExpr::XmlQuery { query, passing })
+            }
+            Some(Tok::Word(w)) if w == "XMLCAST" => {
+                self.pos += 1;
+                self.expect_punct('(')?;
+                let inner = self.expr()?;
+                self.expect_word("AS")?;
+                let ty = self.sql_type()?;
+                self.expect_punct(')')?;
+                Ok(SqlExpr::XmlCast { expr: Box::new(inner), ty })
+            }
+            Some(Tok::Word(w)) if w == "NULL" => {
+                self.pos += 1;
+                Ok(SqlExpr::Null)
+            }
+            Some(Tok::Word(_)) | Some(Tok::Quoted(_)) => {
+                let first = self.identifier()?;
+                if self.eat_punct('.') {
+                    let name = self.identifier()?;
+                    Ok(SqlExpr::Column { qualifier: Some(first), name })
+                } else {
+                    Ok(SqlExpr::Column { qualifier: None, name: first })
+                }
+            }
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    n.parse()
+                        .map(SqlExpr::Double)
+                        .map_err(|_| self.error(format!("bad number {n}")))
+                } else {
+                    n.parse()
+                        .map(SqlExpr::Integer)
+                        .map_err(|_| self.error(format!("bad number {n}")))
+                }
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Varchar(s))
+            }
+            other => Err(self.error(format!("expected an expression, found {other:?}"))),
+        }
+    }
+
+    fn cond(&mut self) -> Result<SqlCond, SqlParseError> {
+        let mut lhs = self.cond_and()?;
+        while self.eat_word("OR") {
+            let rhs = self.cond_and()?;
+            lhs = SqlCond::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_and(&mut self) -> Result<SqlCond, SqlParseError> {
+        let mut lhs = self.cond_primary()?;
+        while self.eat_word("AND") {
+            let rhs = self.cond_primary()?;
+            lhs = SqlCond::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_primary(&mut self) -> Result<SqlCond, SqlParseError> {
+        if self.eat_word("NOT") {
+            let inner = self.cond_primary()?;
+            return Ok(SqlCond::Not(Box::new(inner)));
+        }
+        if self.peek_word("XMLEXISTS") {
+            self.pos += 1;
+            self.expect_punct('(')?;
+            let query = self.xquery_string()?;
+            let passing = self.passing_clause()?;
+            self.expect_punct(')')?;
+            return Ok(SqlCond::XmlExists { query, passing });
+        }
+        if self.eat_punct('(') {
+            let inner = self.cond()?;
+            self.expect_punct(')')?;
+            return Ok(inner);
+        }
+        // Scalar comparison.
+        let lhs = self.expr()?;
+        let op = match self.next() {
+            Some(Tok::Punct('=')) => CompareOp::Eq,
+            Some(Tok::Punct('<')) => CompareOp::Lt,
+            Some(Tok::Punct('>')) => CompareOp::Gt,
+            Some(Tok::Op("<=")) => CompareOp::Le,
+            Some(Tok::Op(">=")) => CompareOp::Ge,
+            Some(Tok::Op("<>")) | Some(Tok::Op("!=")) => CompareOp::Ne,
+            other => return Err(self.error(format!("expected a comparison, found {other:?}"))),
+        };
+        let rhs = self.expr()?;
+        Ok(SqlCond::Cmp(op, lhs, rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_schema() {
+        let s = parse_sql("create table customer (cid integer, cdoc XML)").unwrap();
+        match s {
+            SqlStmt::CreateTable { name, columns } => {
+                assert_eq!(name, "CUSTOMER");
+                assert_eq!(columns.len(), 2);
+                assert_eq!(columns[1].1, SqlType::Xml);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_index() {
+        let s = parse_sql(
+            "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+        )
+        .unwrap();
+        match s {
+            SqlStmt::CreateIndex { name, table, column, pattern, ty } => {
+                assert_eq!(name, "LI_PRICE");
+                assert_eq!(table, "ORDERS");
+                assert_eq!(column, "ORDDOC");
+                assert_eq!(pattern, "//lineitem/@price");
+                assert_eq!(ty, "double");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_5_xmlquery_in_select() {
+        let s = parse_sql(
+            "SELECT XMLQuery('$order//lineitem[@price > 100]' passing orddoc as \"order\") FROM orders",
+        )
+        .unwrap();
+        match s {
+            SqlStmt::Select(sel) => {
+                assert_eq!(sel.items.len(), 1);
+                assert_eq!(sel.from.len(), 1);
+                assert!(sel.where_cond.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_8_xmlexists() {
+        let s = parse_sql(
+            "SELECT ordid, orddoc FROM orders \
+             WHERE XMLExists('$order//lineitem[@price > 100]' passing orddoc as \"order\")",
+        )
+        .unwrap();
+        match s {
+            SqlStmt::Select(sel) => {
+                assert!(matches!(sel.where_cond, Some(SqlCond::XmlExists { .. })));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_11_xmltable() {
+        let s = parse_sql(
+            "SELECT o.ordid, t.lineitem \
+             FROM orders o, XMLTable('$order//lineitem[@price > 100]' \
+                passing o.orddoc as \"order\" \
+                COLUMNS \"lineitem\" XML BY REF PATH '.') as t(lineitem)",
+        )
+        .unwrap();
+        match s {
+            SqlStmt::Select(sel) => {
+                assert_eq!(sel.from.len(), 2);
+                match &sel.from[1] {
+                    FromItem::XmlTable { columns, alias, column_aliases, .. } => {
+                        assert_eq!(alias, "T");
+                        assert_eq!(columns.len(), 1);
+                        assert!(columns[0].by_ref);
+                        assert!(columns[0].ty.is_none());
+                        assert_eq!(column_aliases, &vec!["LINEITEM".to_string()]);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_12_xmltable_with_decimal_column() {
+        let s = parse_sql(
+            "SELECT o.ordid, t.lineitem, t.price \
+             FROM orders o, XMLTable('$order//lineitem' passing o.orddoc as \"order\" \
+                COLUMNS \"lineitem\" XML BY REF PATH '.', \
+                        \"price\" DECIMAL(6,3) PATH '@price[. > 100]') as t(lineitem, price)",
+        )
+        .unwrap();
+        match s {
+            SqlStmt::Select(sel) => match &sel.from[1] {
+                FromItem::XmlTable { columns, .. } => {
+                    assert_eq!(columns.len(), 2);
+                    assert_eq!(columns[1].ty, Some(SqlType::Decimal(6, 3)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_14_xmlcast() {
+        let s = parse_sql(
+            "SELECT p.name FROM products p, orders o \
+             WHERE p.id = XMLCast(XMLQuery('$order//lineitem/product/id' \
+                passing o.orddoc as \"order\") as VARCHAR(13))",
+        )
+        .unwrap();
+        match s {
+            SqlStmt::Select(sel) => match sel.where_cond {
+                Some(SqlCond::Cmp(CompareOp::Eq, _, SqlExpr::XmlCast { ty, .. })) => {
+                    assert_eq!(ty, SqlType::Varchar(13));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_values_statement() {
+        let s = parse_sql(
+            "VALUES (XMLQuery('db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")//lineitem[@price > 100]'))",
+        )
+        .unwrap();
+        assert!(matches!(s, SqlStmt::Values(v) if v.len() == 1));
+    }
+
+    #[test]
+    fn parses_insert() {
+        let s = parse_sql("INSERT INTO orders VALUES (1, '<order/>')").unwrap();
+        match s {
+            SqlStmt::Insert { table, values } => {
+                assert_eq!(table, "ORDERS");
+                assert_eq!(values.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_and_or_not() {
+        let s = parse_sql(
+            "SELECT * FROM t WHERE a = 1 AND (b > 2 OR NOT c < 3)",
+        )
+        .unwrap();
+        match s {
+            SqlStmt::Select(sel) => {
+                assert!(matches!(sel.where_cond, Some(SqlCond::And(..))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_sql("SELECT FROM").is_err());
+        assert!(parse_sql("CREATE VIEW x").is_err());
+        assert!(parse_sql("SELECT * FROM t WHERE").is_err());
+        assert!(parse_sql("SELECT * FROM t extra garbage !!!").is_err());
+        // Embedded XQuery must parse.
+        assert!(parse_sql("SELECT XMLQuery('for $x in') FROM t").is_err());
+    }
+
+    #[test]
+    fn explain_prefix() {
+        let s = parse_sql("EXPLAIN SELECT * FROM orders").unwrap();
+        assert!(matches!(s, SqlStmt::Explain(_)));
+    }
+}

@@ -1,0 +1,144 @@
+//! Metamorphic consistency tests between the three implementations of path
+//! semantics in the engine:
+//!
+//! 1. the **index matcher** (NFA tree-walk over XMLPATTERNs) must select
+//!    exactly the nodes the **evaluator** selects for the same path run as
+//!    an XQuery — otherwise index contents and query answers disagree;
+//! 2. the **containment checker** must be sound against real documents:
+//!    whenever it claims `P ⊆ Q`, every node matched by `P` in any
+//!    generated document must be matched by `Q`.
+
+use proptest::prelude::*;
+use xqdb_core::eligibility::path_contained_in;
+use xqdb_workload::{OrderGenerator, OrderParams};
+use xqdb_xdm::{Item, NodeHandle};
+use xqdb_xmlindex::match_document;
+use xqdb_xqeval::{eval_expr, DynamicContext, EmptyProvider};
+use xqdb_xquery::{parse_pattern, parse_query};
+
+/// Patterns that are ALSO valid XQuery path expressions (every XMLPATTERN
+/// is), used for both roles.
+const PATTERNS: &[&str] = &[
+    "/order",
+    "/order/lineitem",
+    "/order/lineitem/@price",
+    "//lineitem/@price",
+    "//@price",
+    "//@*",
+    "//lineitem",
+    "//price",
+    "//price/text()",
+    "//product/id",
+    "//*",
+    "//node()",
+    "/order/*/product",
+    "/descendant::lineitem",
+    "/descendant-or-self::node()/attribute::*",
+    "//lineitem/self::node()/@quantity",
+    "//*:lineitem/@price",
+    "/order//id",
+    "//text()",
+    "//custid",
+];
+
+fn generated_doc(seed: u64, element_prices: bool, ns: bool) -> NodeHandle {
+    let mut g = OrderGenerator::new(OrderParams {
+        seed,
+        min_lineitems: 0,
+        max_lineitems: 4,
+        element_prices,
+        multi_price_fraction: 0.3,
+        mixed_content_fraction: 0.3,
+        namespace: ns.then(|| "http://ournamespaces.com/order".to_string()),
+        ..Default::default()
+    });
+    let xml = g.next_order();
+    xqdb_xmlparse::parse_document(&xml).expect("generated XML parses").root()
+}
+
+/// Evaluate a pattern as an XQuery path against a document node.
+fn eval_as_path(pattern_src: &str, doc: &NodeHandle) -> Vec<NodeHandle> {
+    let q = parse_query(pattern_src).expect("pattern parses as XQuery");
+    let ctx = DynamicContext::new().with_focus(Item::Node(doc.clone()), 1, 1);
+    let out = eval_expr(&q.body, &EmptyProvider, &ctx).expect("path evaluates");
+    out.into_iter()
+        .map(|i| match i {
+            Item::Node(n) => n,
+            Item::Atomic(a) => panic!("path produced atomic {a:?}"),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matcher_agrees_with_evaluator(
+        seed in 0u64..500,
+        element_prices in any::<bool>(),
+        ns in any::<bool>(),
+        pattern_idx in 0usize..PATTERNS.len(),
+    ) {
+        let doc = generated_doc(seed, element_prices, ns);
+        let src = PATTERNS[pattern_idx];
+        let pattern = parse_pattern(src).expect("pattern parses");
+        let mut matched = match_document(&pattern, &doc);
+        matched.sort();
+        let mut evaluated = eval_as_path(src, &doc);
+        evaluated.sort();
+        prop_assert_eq!(
+            &matched, &evaluated,
+            "matcher and evaluator disagree on {} (doc seed {})", src, seed
+        );
+    }
+
+    #[test]
+    fn containment_sound_on_documents(
+        seed in 0u64..500,
+        element_prices in any::<bool>(),
+        ns in any::<bool>(),
+        p_idx in 0usize..PATTERNS.len(),
+        q_idx in 0usize..PATTERNS.len(),
+    ) {
+        let p = parse_pattern(PATTERNS[p_idx]).expect("parses");
+        let q = parse_pattern(PATTERNS[q_idx]).expect("parses");
+        if path_contained_in(&p.steps, &q.steps) {
+            let doc = generated_doc(seed, element_prices, ns);
+            let matched_p = match_document(&p, &doc);
+            let matched_q = match_document(&q, &doc);
+            for node in &matched_p {
+                prop_assert!(
+                    matched_q.contains(node),
+                    "containment claims {} ⊆ {} but a node matched only the former",
+                    PATTERNS[p_idx],
+                    PATTERNS[q_idx]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn containment_is_reflexive_and_transitive_on_pool() {
+    let parsed: Vec<_> = PATTERNS.iter().map(|s| parse_pattern(s).unwrap()).collect();
+    for p in &parsed {
+        assert!(path_contained_in(&p.steps, &p.steps), "{} not ⊆ itself", p);
+    }
+    for a in &parsed {
+        for b in &parsed {
+            for c in &parsed {
+                if path_contained_in(&a.steps, &b.steps)
+                    && path_contained_in(&b.steps, &c.steps)
+                {
+                    assert!(
+                        path_contained_in(&a.steps, &c.steps),
+                        "transitivity violated: {} ⊆ {} ⊆ {}",
+                        a,
+                        b,
+                        c
+                    );
+                }
+            }
+        }
+    }
+}

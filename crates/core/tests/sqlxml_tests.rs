@@ -1,0 +1,559 @@
+//! SQL/XML end-to-end tests reproducing Queries 5–16 of the paper
+//! (Sections 3.2 and 3.3): result shapes, NULL/empty behavior, XMLCAST
+//! failure modes, and index-eligibility decisions per formulation.
+
+use xqdb_core::sqlxml::{Scalar, SqlSession};
+use xqdb_xdm::ErrorCode;
+
+fn session_with_paper_schema() -> SqlSession {
+    let mut s = SqlSession::new();
+    s.execute("create table customer (cid integer, cdoc XML)").unwrap();
+    s.execute("create table orders (ordid integer, orddoc XML)").unwrap();
+    s.execute("create table products (id varchar(13), name varchar(32))").unwrap();
+    s
+}
+
+fn load_orders(s: &mut SqlSession, docs: &[&str]) {
+    for (i, d) in docs.iter().enumerate() {
+        s.execute(&format!("INSERT INTO orders VALUES ({}, '{}')", i + 1, d.replace('\'', "''")))
+            .unwrap();
+    }
+}
+
+const DOCS: &[&str] = &[
+    r#"<order><custid>7</custid><lineitem price="99.50"><product><id>p1</id></product></lineitem></order>"#,
+    r#"<order><custid>8</custid><lineitem price="250.00"><product><id>p2</id></product></lineitem><lineitem price="150.00"><product><id>p3</id></product></lineitem></order>"#,
+    r#"<order><custid>9</custid><lineitem price="50.00"><product><id>p4</id></product></lineitem></order>"#,
+];
+
+// -------------------------------------------------- Section 3.2
+
+#[test]
+fn query_5_xmlquery_in_select_returns_all_rows() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    let r = s
+        .execute(
+            "SELECT XMLQuery('$order//lineitem[@price > 100]' passing orddoc as \"order\") FROM orders",
+        )
+        .unwrap();
+    // One row per orders row; non-qualifying rows carry an empty sequence.
+    assert_eq!(r.rows.len(), 3);
+    let rendered: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
+    assert_eq!(rendered[0], "()");
+    assert!(rendered[1].contains("250.00") && rendered[1].contains("150.00"));
+    assert_eq!(rendered[2], "()");
+}
+
+#[test]
+fn query_5_index_not_eligible_but_query_8_is() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    // Query 5: select-list XMLQUERY — no probe, and a note explains why.
+    let r = s
+        .execute(
+            "EXPLAIN SELECT XMLQuery('$order//lineitem[@price > 100]' passing orddoc as \"order\") FROM orders",
+        )
+        .unwrap();
+    let plan = r.message.unwrap();
+    assert!(plan.contains("TABLE SCAN"), "{plan}");
+    assert!(plan.contains("non-filtering"), "{plan}");
+    // Query 8: XMLEXISTS — probe.
+    let r = s
+        .execute(
+            "EXPLAIN SELECT ordid, orddoc FROM orders \
+             WHERE XMLExists('$order//lineitem[@price > 100]' passing orddoc as \"order\")",
+        )
+        .unwrap();
+    let plan = r.message.unwrap();
+    assert!(plan.contains("PROBE LI_PRICE"), "{plan}");
+}
+
+#[test]
+fn query_8_returns_qualifying_rows() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    let r = s
+        .execute(
+            "SELECT ordid, orddoc FROM orders \
+             WHERE XMLExists('$order//lineitem[@price > 100]' passing orddoc as \"order\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert!(matches!(r.rows[0][0], Scalar::Integer(2)));
+    // The index actually pre-filtered the scan.
+    assert_eq!(r.stats.docs_evaluated.get("ORDERS"), Some(&1));
+    assert!(r.stats.index_entries_scanned > 0);
+}
+
+#[test]
+fn query_9_boolean_xmlexists_returns_every_row() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    // The pitfall: a boolean-valued XQuery is never empty, so XMLEXISTS is
+    // constant-true and ALL rows come back.
+    let r = s
+        .execute(
+            "SELECT ordid, orddoc FROM orders \
+             WHERE XMLExists('$order//lineitem/@price > 100' passing orddoc as \"order\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 3, "Query 9 must not eliminate any rows");
+    // EXPLAIN carries the warning.
+    let r = s
+        .execute(
+            "EXPLAIN SELECT ordid, orddoc FROM orders \
+             WHERE XMLExists('$order//lineitem/@price > 100' passing orddoc as \"order\")",
+        )
+        .unwrap();
+    let plan = r.message.unwrap();
+    assert!(plan.contains("boolean"), "{plan}");
+}
+
+#[test]
+fn query_6_values_returns_single_row() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    let r = s
+        .execute(
+            "VALUES (XMLQuery('db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")//lineitem[@price > 100]'))",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    let xml = r.rows[0][0].render();
+    assert!(xml.contains("250.00") && xml.contains("150.00"));
+}
+
+#[test]
+fn query_10_xmlquery_plus_xmlexists() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    let r = s
+        .execute(
+            "SELECT ordid, XMLQuery('$order//lineitem[@price > 100]' passing orddoc as \"order\") \
+             FROM orders \
+             WHERE XMLExists('$order//lineitem[@price > 100]' passing orddoc as \"order\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert!(r.rows[0][1].render().contains("250.00"));
+}
+
+#[test]
+fn query_11_xmltable_returns_one_row_per_lineitem() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    let r = s
+        .execute(
+            "SELECT o.ordid, t.lineitem \
+             FROM orders o, XMLTable('$order//lineitem[@price > 100]' \
+                passing o.orddoc as \"order\" \
+                COLUMNS \"lineitem\" XML BY REF PATH '.') as t(lineitem)",
+        )
+        .unwrap();
+    // Two qualifying lineitems, both in order 2.
+    assert_eq!(r.rows.len(), 2);
+    assert!(matches!(r.rows[0][0], Scalar::Integer(2)));
+    assert!(matches!(r.rows[1][0], Scalar::Integer(2)));
+    // Row-producer predicates are index-eligible.
+    let r = s
+        .execute(
+            "EXPLAIN SELECT o.ordid, t.lineitem \
+             FROM orders o, XMLTable('$order//lineitem[@price > 100]' \
+                passing o.orddoc as \"order\" \
+                COLUMNS \"lineitem\" XML BY REF PATH '.') as t(lineitem)",
+        )
+        .unwrap();
+    let plan = r.message.unwrap();
+    assert!(plan.contains("PROBE LI_PRICE"), "{plan}");
+}
+
+#[test]
+fn query_12_column_predicates_null_and_no_index() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    let r = s
+        .execute(
+            "SELECT o.ordid, t.lineitem, t.price \
+             FROM orders o, XMLTable('$order//lineitem' passing o.orddoc as \"order\" \
+                COLUMNS \"lineitem\" XML BY REF PATH '.', \
+                        \"price\" DECIMAL(6,3) PATH '@price[. > 100]') as t(lineitem, price)",
+        )
+        .unwrap();
+    // One row per lineitem (4 lineitems total); non-qualifying prices NULL.
+    assert_eq!(r.rows.len(), 4);
+    let prices: Vec<String> = r.rows.iter().map(|row| row[2].render()).collect();
+    assert_eq!(prices, vec!["NULL", "250", "150", "NULL"]);
+    // Column-expression predicate is NOT index eligible; note explains.
+    let r = s
+        .execute(
+            "EXPLAIN SELECT o.ordid, t.price \
+             FROM orders o, XMLTable('$order//lineitem' passing o.orddoc as \"order\" \
+                COLUMNS \"price\" DECIMAL(6,3) PATH '@price[. > 100]') as t(price)",
+        )
+        .unwrap();
+    let plan = r.message.unwrap();
+    assert!(plan.contains("TABLE SCAN"), "{plan}");
+    assert!(plan.contains("XMLTABLE column expression"), "{plan}");
+}
+
+// -------------------------------------------------- Section 3.3: joins
+
+fn load_products(s: &mut SqlSession) {
+    s.execute("INSERT INTO products VALUES ('p1', 'widget')").unwrap();
+    s.execute("INSERT INTO products VALUES ('p2', 'gadget')").unwrap();
+    s.execute("INSERT INTO products VALUES ('p3', 'gizmo')").unwrap();
+}
+
+#[test]
+fn query_13_xquery_side_join() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    load_products(&mut s);
+    let r = s
+        .execute(
+            "SELECT p.name, XMLQuery('$order//lineitem' passing o.orddoc as \"order\") \
+             FROM products p, orders o \
+             WHERE XMLExists('$order//lineitem/product[id eq $pid]' \
+                passing o.orddoc as \"order\", p.id as \"pid\")",
+        )
+        .unwrap();
+    // p1 ⋈ order1, p2 ⋈ order2, p3 ⋈ order2.
+    assert_eq!(r.rows.len(), 3);
+    let names: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
+    assert_eq!(names, vec!["widget", "gadget", "gizmo"]);
+}
+
+#[test]
+fn query_14_xmlcast_singleton_failure() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    load_products(&mut s);
+    // Order 2 has two lineitem product ids: XMLCAST raises a cardinality
+    // error where Query 13 succeeded.
+    let err = s
+        .execute(
+            "SELECT p.name FROM products p, orders o \
+             WHERE p.id = XMLCast(XMLQuery('$order//lineitem/product/id' \
+                passing o.orddoc as \"order\") as VARCHAR(13))",
+        )
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::SqlCardinality);
+}
+
+#[test]
+fn query_14_xmlcast_length_failure() {
+    let mut s = session_with_paper_schema();
+    load_orders(
+        &mut s,
+        &[r#"<order><lineitem><product><id>a-very-long-product-id</id></product></lineitem></order>"#],
+    );
+    load_products(&mut s);
+    let err = s
+        .execute(
+            "SELECT p.name FROM products p, orders o \
+             WHERE p.id = XMLCast(XMLQuery('$order//lineitem/product/id' \
+                passing o.orddoc as \"order\") as VARCHAR(13))",
+        )
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::SqlLength);
+}
+
+#[test]
+fn query_14_works_on_singletons() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, &[DOCS[0], DOCS[2]]); // single-lineitem orders only
+    load_products(&mut s);
+    let r = s
+        .execute(
+            "SELECT p.name FROM products p, orders o \
+             WHERE p.id = XMLCast(XMLQuery('$order//lineitem/product/id' \
+                passing o.orddoc as \"order\") as VARCHAR(13))",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1); // p1 ⋈ order 1 (p4 is not in products)
+    assert_eq!(r.rows[0][0].render(), "widget");
+}
+
+#[test]
+fn sql_trailing_blank_semantics_vs_xquery() {
+    let mut s = session_with_paper_schema();
+    // SQL comparison pads: 'p1' = 'p1   ' is TRUE.
+    s.execute("INSERT INTO products VALUES ('p1', 'widget')").unwrap();
+    load_orders(
+        &mut s,
+        &[r#"<order><lineitem><product><id>p1   </id></product></lineitem></order>"#],
+    );
+    let r = s
+        .execute(
+            "SELECT p.name FROM products p, orders o \
+             WHERE p.id = XMLCast(XMLQuery('$order//lineitem/product/id' \
+                passing o.orddoc as \"order\") as VARCHAR(13))",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "SQL ignores trailing blanks");
+    // The XQuery-side join is exact: no match.
+    let r = s
+        .execute(
+            "SELECT p.name FROM products p, orders o \
+             WHERE XMLExists('$order//lineitem/product[id eq $pid]' \
+                passing o.orddoc as \"order\", p.id as \"pid\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 0, "XQuery comparison is blank-sensitive");
+}
+
+#[test]
+fn query_15_sql_side_xml_join_errors_without_cast() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    let cust = r#"<customer><id>7</id><name>ACME</name></customer>"#;
+    s.execute(&format!("INSERT INTO customer VALUES (1, '{cust}')")).unwrap();
+    // Comparing raw XML values with SQL `=` is a type error (Tip 6 area).
+    let err = s
+        .execute(
+            "SELECT c.cid FROM orders o, customer c WHERE o.orddoc = c.cdoc",
+        )
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::SqlType);
+    // Query 15's XMLCAST form works.
+    let r = s
+        .execute(
+            "SELECT c.cid, XMLQuery('$order//lineitem' passing o.orddoc as \"order\") \
+             FROM orders o, customer c \
+             WHERE XMLCast(XMLQuery('$order/order/custid' passing o.orddoc as \"order\") as DOUBLE) \
+                 = XMLCast(XMLQuery('$cust/customer/id' passing c.cdoc as \"cust\") as DOUBLE)",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn query_16_xquery_side_join_between_xml_columns() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    for (i, cust) in [
+        r#"<customer><id>7</id><name>ACME</name></customer>"#,
+        r#"<customer><id>8</id><name>Globex</name></customer>"#,
+    ]
+    .iter()
+    .enumerate()
+    {
+        s.execute(&format!("INSERT INTO customer VALUES ({}, '{cust}')", i + 1)).unwrap();
+    }
+    let r = s
+        .execute(
+            "SELECT c.cid, XMLQuery('$order//lineitem' passing o.orddoc as \"order\") \
+             FROM orders o, customer c \
+             WHERE XMLExists('$order/order[custid/xs:double(.) = $cust/customer/id/xs:double(.)]' \
+                passing o.orddoc as \"order\", c.cdoc as \"cust\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+// -------------------------------------------------- misc SQL machinery
+
+#[test]
+fn select_star_and_projection() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, &[DOCS[0]]);
+    let r = s.execute("SELECT * FROM orders").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].len(), 2);
+    let r = s.execute("SELECT ordid FROM orders WHERE ordid = 1").unwrap();
+    assert_eq!(r.columns, vec!["ORDID"]);
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn null_semantics_in_where() {
+    let mut s = session_with_paper_schema();
+    s.execute("INSERT INTO orders VALUES (1, NULL)").unwrap();
+    // NULL comparisons are UNKNOWN → row filtered.
+    let r = s.execute("SELECT ordid FROM orders WHERE ordid = 1").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    let r = s
+        .execute("SELECT ordid FROM orders WHERE XMLCast(XMLQuery('1+1') as INTEGER) = 3")
+        .unwrap();
+    assert_eq!(r.rows.len(), 0);
+}
+
+#[test]
+fn xmlexists_over_null_document() {
+    let mut s = session_with_paper_schema();
+    s.execute("INSERT INTO orders VALUES (1, NULL)").unwrap();
+    let r = s
+        .execute(
+            "SELECT ordid FROM orders \
+             WHERE XMLExists('$order/order' passing orddoc as \"order\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 0);
+}
+
+#[test]
+fn insert_parses_xml_strings() {
+    let mut s = session_with_paper_schema();
+    assert!(s.execute("INSERT INTO orders VALUES (1, '<order/>')").is_ok());
+    let err = s.execute("INSERT INTO orders VALUES (2, '<order')").unwrap_err();
+    assert_eq!(err.code, ErrorCode::XPST0003);
+}
+
+#[test]
+fn explain_renders_rejections() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    // String predicate: the double index is rejected with a reason.
+    let r = s
+        .execute(
+            "EXPLAIN SELECT ordid FROM orders \
+             WHERE XMLExists('$o//lineitem[@price > \"100\"]' passing orddoc as \"o\")",
+        )
+        .unwrap();
+    let plan = r.message.unwrap();
+    assert!(plan.contains("rejected candidates"), "{plan}");
+    assert!(plan.contains("cannot serve a varchar comparison"), "{plan}");
+}
+
+#[test]
+fn xmltable_lateral_over_join() {
+    // XMLTABLE may reference any earlier FROM item (implied lateral join).
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    let r = s
+        .execute(
+            "SELECT o.ordid, c.cid, t.pid \
+             FROM orders o, customer c, \
+                  XMLTable('$o//product/id' passing o.orddoc as \"o\" \
+                    COLUMNS \"pid\" VARCHAR(13) PATH '.') as t(pid) \
+             WHERE c.cid = 1",
+        );
+    // No customers loaded: zero rows but a valid plan.
+    assert_eq!(r.unwrap().rows.len(), 0);
+    s.execute("INSERT INTO customer VALUES (1, '<customer><id>9</id></customer>')")
+        .unwrap();
+    let r = s
+        .execute(
+            "SELECT o.ordid, c.cid, t.pid \
+             FROM orders o, customer c, \
+                  XMLTable('$o//product/id' passing o.orddoc as \"o\" \
+                    COLUMNS \"pid\" VARCHAR(13) PATH '.') as t(pid) \
+             WHERE c.cid = 1",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 4, "one row per product id across all orders");
+}
+
+#[test]
+fn between_function_explains_in_sql() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    let plan = s
+        .execute(
+            "EXPLAIN SELECT ordid FROM orders \
+             WHERE XMLExists('$o//lineitem[db2-fn:between(@price, 100, 200)]' passing orddoc as \"o\")",
+        )
+        .unwrap()
+        .message
+        .unwrap();
+    assert!(plan.contains("between-range"), "{plan}");
+    let r = s
+        .execute(
+            "SELECT ordid FROM orders \
+             WHERE XMLExists('$o//lineitem[db2-fn:between(@price, 100, 200)]' passing orddoc as \"o\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1); // the 150.00 lineitem in order 2
+}
+
+#[test]
+fn xmlexists_join_predicate_does_not_probe_wrongly() {
+    // Passing variables from TWO tables: the analyzer must not emit a
+    // bogus single-table probe for the join predicate.
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    s.execute("INSERT INTO customer VALUES (1, '<customer><id>7</id></customer>')")
+        .unwrap();
+    s.execute(
+        "CREATE INDEX o_custid ON orders(orddoc) USING XMLPATTERN '//custid' AS double",
+    )
+    .unwrap();
+    let r = s
+        .execute(
+            "SELECT c.cid FROM orders o, customer c \
+             WHERE XMLExists('$o/order[custid/xs:double(.) = $c/customer/id/xs:double(.)]' \
+                passing o.orddoc as \"o\", c.cdoc as \"c\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "order with custid 7 joins the customer");
+}
+
+#[test]
+fn select_aliases_and_rendering() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, &[DOCS[0]]);
+    let r = s
+        .execute("SELECT ordid AS id, XMLQuery('1+1') AS two FROM orders")
+        .unwrap();
+    assert_eq!(r.columns, vec!["ID", "TWO"]);
+    let rendered = r.render();
+    assert!(rendered.contains("row 1: 1 | 2"), "{rendered}");
+}
+
+#[test]
+fn multiple_xml_predicates_intersect() {
+    let mut s = session_with_paper_schema();
+    load_orders(&mut s, DOCS);
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    s.execute("CREATE INDEX o_custid ON orders(orddoc) USING XMLPATTERN '//custid' AS double")
+        .unwrap();
+    // Two XMLEXISTS conjuncts on the same table: both probed, intersected.
+    let plan = s
+        .execute(
+            "EXPLAIN SELECT ordid FROM orders \
+             WHERE XMLExists('$o//lineitem[@price > 100]' passing orddoc as \"o\") \
+               AND XMLExists('$o/order[custid = 8]' passing orddoc as \"o\")",
+        )
+        .unwrap()
+        .message
+        .unwrap();
+    assert!(plan.contains("AND("), "{plan}");
+    assert!(plan.contains("LI_PRICE") && plan.contains("O_CUSTID"), "{plan}");
+    let r = s
+        .execute(
+            "SELECT ordid FROM orders \
+             WHERE XMLExists('$o//lineitem[@price > 100]' passing orddoc as \"o\") \
+               AND XMLExists('$o/order[custid = 8]' passing orddoc as \"o\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert!(matches!(r.rows[0][0], Scalar::Integer(2)));
+}

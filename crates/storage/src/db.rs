@@ -1,0 +1,176 @@
+//! The database: a named collection of tables, doubling as the
+//! `db2-fn:xmlcolumn` collection provider.
+
+use std::collections::HashMap;
+
+use xqdb_xdm::{ErrorCode, Item, Sequence, XdmError};
+use xqdb_xqeval::CollectionProvider;
+
+use crate::table::{RowId, Table};
+use crate::value::SqlValue;
+
+/// An in-memory database.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table. Fails if a table of that name exists.
+    pub fn create_table(&mut self, table: Table) -> Result<(), XdmError> {
+        let name = table.name.clone();
+        if self.tables.contains_key(&name) {
+            return Err(XdmError::new(
+                ErrorCode::SqlType,
+                format!("table {name} already exists"),
+            ));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Borrow a table by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_uppercase())
+    }
+
+    /// Mutably borrow a table.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&name.to_ascii_uppercase())
+    }
+
+    /// Insert a row, returning its id.
+    pub fn insert(&mut self, table: &str, values: Vec<SqlValue>) -> Result<RowId, XdmError> {
+        let t = self.tables.get_mut(&table.to_ascii_uppercase()).ok_or_else(|| {
+            XdmError::new(ErrorCode::SqlType, format!("unknown table {table}"))
+        })?;
+        t.insert(values)
+    }
+
+    /// All table names, sorted (for catalog listings).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Resolve a `TABLE.COLUMN` reference to `(table, column-index)`.
+    pub fn resolve_xml_column(&self, spec: &str) -> Result<(&Table, usize), XdmError> {
+        let (tname, cname) = spec.split_once('.').ok_or_else(|| {
+            XdmError::new(
+                ErrorCode::XPST0008,
+                format!("xmlcolumn argument {spec:?} must be TABLE.COLUMN"),
+            )
+        })?;
+        let table = self.table(tname).ok_or_else(|| {
+            XdmError::new(ErrorCode::XPST0008, format!("unknown table {tname:?}"))
+        })?;
+        let col = table.column_index(cname).ok_or_else(|| {
+            XdmError::new(
+                ErrorCode::XPST0008,
+                format!("unknown column {cname:?} in table {tname:?}"),
+            )
+        })?;
+        Ok((table, col))
+    }
+}
+
+impl CollectionProvider for Database {
+    fn xmlcolumn(&self, name: &str) -> Result<Sequence, XdmError> {
+        let (table, col) = self.resolve_xml_column(name)?;
+        let mut out = Vec::with_capacity(table.len());
+        for (_, row) in table.scan() {
+            match &row[col] {
+                SqlValue::Xml(n) => out.push(Item::Node(n.clone())),
+                SqlValue::Null => {} // NULL documents contribute nothing
+                other => {
+                    return Err(XdmError::new(
+                        ErrorCode::SqlType,
+                        format!("column {name} is not an XML column (found {other:?})"),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+    use crate::value::SqlType;
+
+    fn db_with_orders(docs: &[&str]) -> Database {
+        let mut db = Database::new();
+        db.create_table(Table::new(
+            "orders",
+            vec![Column::new("ordid", SqlType::Integer), Column::new("orddoc", SqlType::Xml)],
+        ))
+        .unwrap();
+        for (i, d) in docs.iter().enumerate() {
+            let doc = xqdb_xmlparse::parse_document(d).unwrap();
+            db.insert(
+                "orders",
+                vec![SqlValue::Integer(i as i64), SqlValue::Xml(doc.root())],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn xmlcolumn_returns_documents_in_row_order() {
+        let db = db_with_orders(&["<order id=\"1\"/>", "<order id=\"2\"/>"]);
+        let seq = db.xmlcolumn("ORDERS.ORDDOC").unwrap();
+        assert_eq!(seq.len(), 2);
+        let first = seq[0].as_node().unwrap();
+        let order = first.children().next().unwrap();
+        assert_eq!(order.attributes().next().unwrap().string_value(), "1");
+    }
+
+    #[test]
+    fn null_xml_skipped() {
+        let mut db = db_with_orders(&["<order/>"]);
+        db.insert("orders", vec![SqlValue::Integer(9), SqlValue::Null]).unwrap();
+        assert_eq!(db.xmlcolumn("ORDERS.ORDDOC").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn non_xml_column_rejected() {
+        let db = db_with_orders(&["<order/>"]);
+        assert!(db.xmlcolumn("ORDERS.ORDID").is_err());
+        assert!(db.xmlcolumn("ORDERS.MISSING").is_err());
+        assert!(db.xmlcolumn("NOPE.ORDDOC").is_err());
+        assert!(db.xmlcolumn("badspec").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db_with_orders(&[]);
+        let err = db
+            .create_table(Table::new("ORDERS", vec![]))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::SqlType);
+    }
+
+    #[test]
+    fn end_to_end_xquery_over_database() {
+        let db = db_with_orders(&[
+            r#"<order><lineitem price="250"/></order>"#,
+            r#"<order><lineitem price="50"/></order>"#,
+        ]);
+        let q = xqdb_xquery::parse_query(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]",
+        )
+        .unwrap();
+        let out =
+            xqdb_xqeval::eval_query(&q, &db, &xqdb_xqeval::DynamicContext::new()).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

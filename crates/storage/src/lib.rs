@@ -1,0 +1,28 @@
+//! # xqdb-storage — tables with XML columns
+//!
+//! The relational substrate of the paper's examples:
+//!
+//! ```sql
+//! create table customer (cid integer, cdoc XML);
+//! create table orders   (ordid integer, orddoc XML);
+//! create table products (id varchar(13), name varchar(32));
+//! ```
+//!
+//! Tables are in-memory row stores. XML columns hold parsed
+//! [`xqdb_xdm::Document`] trees (the "native XML storage" of DB2 Viper —
+//! all XDM information preserved, schemas optional and per-document).
+//! The [`Database`] also implements
+//! [`xqdb_xqeval::CollectionProvider`], so `db2-fn:xmlcolumn('T.C')` resolves
+//! against stored tables.
+//!
+//! SQL comparison semantics live here too — notably the **trailing-blank
+//! insensitivity** of SQL string comparison that Section 3.3 contrasts with
+//! XQuery's exact comparison.
+
+pub mod db;
+pub mod table;
+pub mod value;
+
+pub use db::Database;
+pub use table::{Column, RowId, Table};
+pub use value::{sql_compare, SqlType, SqlValue};

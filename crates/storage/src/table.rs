@@ -1,0 +1,145 @@
+//! Tables and rows.
+
+use xqdb_xdm::{ErrorCode, XdmError};
+
+use crate::value::{SqlType, SqlValue};
+
+/// A column definition.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Column name, stored upper-cased (SQL identifier semantics).
+    pub name: String,
+    /// Column type.
+    pub ty: SqlType,
+}
+
+impl Column {
+    /// Define a column (name canonicalized to upper case).
+    pub fn new(name: impl AsRef<str>, ty: SqlType) -> Self {
+        Column { name: name.as_ref().to_ascii_uppercase(), ty }
+    }
+}
+
+/// Row identifier: position in the table's row vector. Stable because rows
+/// are append-only (no SQL DELETE in the engine's scope).
+pub type RowId = usize;
+
+/// An in-memory, append-only row store.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name, upper-cased.
+    pub name: String,
+    /// Column definitions.
+    pub columns: Vec<Column>,
+    rows: Vec<Vec<SqlValue>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl AsRef<str>, columns: Vec<Column>) -> Self {
+        Table { name: name.as_ref().to_ascii_uppercase(), columns, rows: Vec::new() }
+    }
+
+    /// Index of the named column (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let upper = name.to_ascii_uppercase();
+        self.columns.iter().position(|c| c.name == upper)
+    }
+
+    /// Append a row after type-conforming every value. Returns the new
+    /// row's id.
+    pub fn insert(&mut self, values: Vec<SqlValue>) -> Result<RowId, XdmError> {
+        if values.len() != self.columns.len() {
+            return Err(XdmError::new(
+                ErrorCode::SqlType,
+                format!(
+                    "INSERT into {} supplies {} values for {} columns",
+                    self.name,
+                    values.len(),
+                    self.columns.len()
+                ),
+            ));
+        }
+        let mut row = Vec::with_capacity(values.len());
+        for (v, c) in values.into_iter().zip(&self.columns) {
+            row.push(v.conform(&c.ty)?);
+        }
+        self.rows.push(row);
+        Ok(self.rows.len() - 1)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow a row.
+    pub fn row(&self, id: RowId) -> Option<&[SqlValue]> {
+        self.rows.get(id).map(Vec::as_slice)
+    }
+
+    /// Borrow a single cell.
+    pub fn cell(&self, id: RowId, col: usize) -> Option<&SqlValue> {
+        self.rows.get(id).and_then(|r| r.get(col))
+    }
+
+    /// Iterate `(RowId, &row)` pairs — the full table scan.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &[SqlValue])> {
+        self.rows.iter().enumerate().map(|(i, r)| (i, r.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders() -> Table {
+        Table::new(
+            "orders",
+            vec![Column::new("ordid", SqlType::Integer), Column::new("orddoc", SqlType::Xml)],
+        )
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = orders();
+        let doc = xqdb_xmlparse::parse_document("<order/>").unwrap();
+        let id = t
+            .insert(vec![SqlValue::Integer(1), SqlValue::Xml(doc.root())])
+            .unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(t.len(), 1);
+        let rows: Vec<_> = t.scan().collect();
+        assert_eq!(rows.len(), 1);
+        assert!(matches!(rows[0].1[0], SqlValue::Integer(1)));
+    }
+
+    #[test]
+    fn column_lookup_case_insensitive() {
+        let t = orders();
+        assert_eq!(t.column_index("ORDDOC"), Some(1));
+        assert_eq!(t.column_index("orddoc"), Some(1));
+        assert_eq!(t.column_index("nope"), None);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = orders();
+        let err = t.insert(vec![SqlValue::Integer(1)]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::SqlType);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = orders();
+        let err = t
+            .insert(vec![SqlValue::Varchar("x".into()), SqlValue::Null])
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::SqlType);
+    }
+}

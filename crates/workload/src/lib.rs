@@ -1,0 +1,330 @@
+//! # xqdb-workload — data generators for the paper's experiments
+//!
+//! The paper's workload profile (Section 1): "applications which process
+//! millions of documents under 1MB per document", order/customer/product
+//! data, schema-flexible (no schema, evolving schemas, namespaces,
+//! extensibility points). These generators produce that world,
+//! deterministically from a seed, with the corner cases each pitfall
+//! section needs:
+//!
+//! * **polluted prices** (`"20 USD"`-style strings) for the tolerant-index
+//!   and type-matching experiments (Sections 2.1, 3.1);
+//! * **multi-price lineitems** for the between pitfall (Section 3.10);
+//! * **mixed-content prices** (`<price>99.50<currency>USD</currency></price>`)
+//!   for the text-node pitfall (Section 3.8);
+//! * **namespaced documents** for Section 3.7;
+//! * **RSS-like feeds** (the paper's motivating extensible format).
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xqdb_core::Catalog;
+use xqdb_storage::{Column, SqlType, SqlValue, Table};
+
+/// Parameters for order-document generation.
+#[derive(Debug, Clone)]
+pub struct OrderParams {
+    /// RNG seed — generation is deterministic per seed.
+    pub seed: u64,
+    /// Lineitems per order: uniform in `min_lineitems..=max_lineitems`.
+    pub min_lineitems: usize,
+    /// See `min_lineitems`.
+    pub max_lineitems: usize,
+    /// Prices uniform in `[price_lo, price_hi)`.
+    pub price_lo: f64,
+    /// See `price_lo`.
+    pub price_hi: f64,
+    /// Fraction of prices replaced by non-numeric strings ("N USD").
+    pub polluted_fraction: f64,
+    /// Default element namespace to stamp on documents, if any.
+    pub namespace: Option<String>,
+    /// Model price as a child element (possibly repeated) instead of an
+    /// attribute.
+    pub element_prices: bool,
+    /// With `element_prices`: fraction of lineitems given a second price
+    /// element (the Section 3.10 counterexample shape).
+    pub multi_price_fraction: f64,
+    /// With `element_prices`: fraction of prices rendered as mixed content
+    /// (`99.50<currency>USD</currency>` — Section 3.8).
+    pub mixed_content_fraction: f64,
+    /// Customer ids uniform in `0..customers`.
+    pub customers: u32,
+    /// Number of distinct products referenced.
+    pub products: u32,
+}
+
+impl Default for OrderParams {
+    fn default() -> Self {
+        OrderParams {
+            seed: 42,
+            min_lineitems: 1,
+            max_lineitems: 5,
+            price_lo: 0.0,
+            price_hi: 1000.0,
+            polluted_fraction: 0.0,
+            namespace: None,
+            element_prices: false,
+            multi_price_fraction: 0.0,
+            mixed_content_fraction: 0.0,
+            customers: 1000,
+            products: 500,
+        }
+    }
+}
+
+impl OrderParams {
+    /// The price threshold `t` such that `P[price > t] ≈ selectivity` for a
+    /// single uniformly-drawn price. Benches use this to sweep predicate
+    /// selectivity.
+    pub fn price_threshold(&self, selectivity: f64) -> f64 {
+        self.price_hi - (self.price_hi - self.price_lo) * selectivity
+    }
+}
+
+/// Deterministic order-document generator.
+#[derive(Debug)]
+pub struct OrderGenerator {
+    params: OrderParams,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl OrderGenerator {
+    /// Create a generator.
+    pub fn new(params: OrderParams) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed);
+        OrderGenerator { params, rng, next_id: 1 }
+    }
+
+    /// Generate the next order document as XML text.
+    pub fn next_order(&mut self) -> String {
+        let p = self.params.clone();
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut out = String::with_capacity(512);
+        match &p.namespace {
+            Some(ns) => {
+                let _ = write!(out, "<order xmlns=\"{ns}\" id=\"{id}\">");
+            }
+            None => {
+                let _ = write!(out, "<order id=\"{id}\">");
+            }
+        }
+        let custid = self.rng.random_range(0..p.customers.max(1));
+        let _ = write!(out, "<custid>{custid}</custid>");
+        let year = 2000 + (self.rng.random_range(0..6u32));
+        let month = self.rng.random_range(1..=12u32);
+        let day = self.rng.random_range(1..=28u32);
+        let _ = write!(out, "<shipdate>{year:04}-{month:02}-{day:02}</shipdate>");
+        let n = self.rng.random_range(p.min_lineitems..=p.max_lineitems.max(p.min_lineitems));
+        for _ in 0..n {
+            let product = self.rng.random_range(0..p.products.max(1));
+            let qty = self.rng.random_range(1..=10u32);
+            let price = self.price();
+            if p.element_prices {
+                let _ = write!(out, "<lineitem quantity=\"{qty}\">");
+                self.write_price_element(&mut out, &price);
+                if self.rng.random_bool(p.multi_price_fraction.clamp(0.0, 1.0)) {
+                    let second = self.price();
+                    self.write_price_element(&mut out, &second);
+                }
+                let _ = write!(out, "<product><id>p{product}</id></product></lineitem>");
+            } else {
+                let _ = write!(
+                    out,
+                    "<lineitem price=\"{price}\" quantity=\"{qty}\">\
+                     <product><id>p{product}</id></product></lineitem>"
+                );
+            }
+        }
+        out.push_str("</order>");
+        out
+    }
+
+    fn price(&mut self) -> String {
+        let p = &self.params;
+        let v: f64 = self.rng.random_range(p.price_lo..p.price_hi.max(p.price_lo + 1.0));
+        if self.rng.random_bool(p.polluted_fraction.clamp(0.0, 1.0)) {
+            format!("{v:.2} USD")
+        } else {
+            format!("{v:.2}")
+        }
+    }
+
+    fn write_price_element(&mut self, out: &mut String, price: &str) {
+        if self
+            .rng
+            .random_bool(self.params.mixed_content_fraction.clamp(0.0, 1.0))
+        {
+            let _ = write!(out, "<price>{price}<currency>USD</currency></price>");
+        } else {
+            let _ = write!(out, "<price>{price}</price>");
+        }
+    }
+}
+
+/// Generate a customer document.
+pub fn customer_xml(id: u32, namespace: Option<&str>) -> String {
+    let nation = id % 25;
+    match namespace {
+        Some(ns) => format!(
+            "<customer xmlns=\"{ns}\"><id>{id}</id><name>Customer {id}</name>\
+             <nation>{nation}</nation></customer>"
+        ),
+        None => format!(
+            "<customer><id>{id}</id><name>Customer {id}</name>\
+             <nation>{nation}</nation></customer>"
+        ),
+    }
+}
+
+/// Generate an RSS-like feed item document (the paper's motivating
+/// extensible format: "RSS allows elements of any namespace anywhere").
+pub fn rss_item_xml(rng: &mut StdRng, id: u64) -> String {
+    let category = ["tech", "db", "xml", "web"][rng.random_range(0..4usize)];
+    let extended = rng.random_bool(0.3);
+    let mut out = format!(
+        "<item><title>Post {id}</title><link>http://example.org/{id}</link>\
+         <category>{category}</category>\
+         <pubDate>2006-{:02}-{:02}</pubDate>",
+        rng.random_range(1..=12u32),
+        rng.random_range(1..=28u32),
+    );
+    if extended {
+        let _ = write!(
+            out,
+            "<dc:creator xmlns:dc=\"http://purl.org/dc/elements/1.1/\">author{}</dc:creator>",
+            rng.random_range(0..20u32)
+        );
+    }
+    out.push_str("</item>");
+    out
+}
+
+/// Create the paper's three-table schema in a catalog.
+pub fn create_paper_schema(catalog: &mut Catalog) {
+    catalog
+        .create_table(Table::new(
+            "orders",
+            vec![Column::new("ordid", SqlType::Integer), Column::new("orddoc", SqlType::Xml)],
+        ))
+        .expect("fresh catalog accepts the schema");
+    catalog
+        .create_table(Table::new(
+            "customer",
+            vec![Column::new("cid", SqlType::Integer), Column::new("cdoc", SqlType::Xml)],
+        ))
+        .expect("fresh catalog accepts the schema");
+    catalog
+        .create_table(Table::new(
+            "products",
+            vec![
+                Column::new("id", SqlType::Varchar(13)),
+                Column::new("name", SqlType::Varchar(32)),
+            ],
+        ))
+        .expect("fresh catalog accepts the schema");
+}
+
+/// Populate `orders` with `n` generated documents; returns the generator
+/// for further use.
+pub fn load_orders(catalog: &mut Catalog, n: usize, params: OrderParams) -> OrderGenerator {
+    let mut generator = OrderGenerator::new(params);
+    for i in 0..n {
+        let xml = generator.next_order();
+        let doc = xqdb_xmlparse::parse_document(&xml).expect("generated XML is well-formed");
+        catalog
+            .insert("orders", vec![SqlValue::Integer(i as i64), SqlValue::Xml(doc.root())])
+            .expect("insert into the generated schema succeeds");
+    }
+    generator
+}
+
+/// Populate `customer` with `n` documents.
+pub fn load_customers(catalog: &mut Catalog, n: u32, namespace: Option<&str>) {
+    for id in 0..n {
+        let xml = customer_xml(id, namespace);
+        let doc = xqdb_xmlparse::parse_document(&xml).expect("generated XML is well-formed");
+        catalog
+            .insert("customer", vec![SqlValue::Integer(id as i64), SqlValue::Xml(doc.root())])
+            .expect("insert into the generated schema succeeds");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = OrderGenerator::new(OrderParams::default());
+        let mut b = OrderGenerator::new(OrderParams::default());
+        for _ in 0..10 {
+            assert_eq!(a.next_order(), b.next_order());
+        }
+        let mut c = OrderGenerator::new(OrderParams { seed: 7, ..Default::default() });
+        assert_ne!(a.next_order(), c.next_order());
+    }
+
+    #[test]
+    fn generated_orders_parse() {
+        let mut g = OrderGenerator::new(OrderParams {
+            polluted_fraction: 0.2,
+            element_prices: true,
+            multi_price_fraction: 0.3,
+            mixed_content_fraction: 0.3,
+            namespace: Some("http://ournamespaces.com/order".into()),
+            ..Default::default()
+        });
+        for _ in 0..50 {
+            let xml = g.next_order();
+            let doc = xqdb_xmlparse::parse_document(&xml).expect("parses");
+            assert!(doc.len() > 3);
+        }
+    }
+
+    #[test]
+    fn price_threshold_selectivity() {
+        let p = OrderParams { price_lo: 0.0, price_hi: 1000.0, ..Default::default() };
+        assert_eq!(p.price_threshold(0.1), 900.0);
+        assert_eq!(p.price_threshold(1.0), 0.0);
+    }
+
+    #[test]
+    fn load_orders_populates_catalog() {
+        let mut c = Catalog::new();
+        create_paper_schema(&mut c);
+        load_orders(&mut c, 25, OrderParams::default());
+        load_customers(&mut c, 10, None);
+        assert_eq!(c.db.table("orders").unwrap().len(), 25);
+        assert_eq!(c.db.table("customer").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn selectivity_is_roughly_uniform() {
+        let mut cat = Catalog::new();
+        create_paper_schema(&mut cat);
+        let params = OrderParams { min_lineitems: 1, max_lineitems: 1, ..Default::default() };
+        let threshold = params.price_threshold(0.1);
+        load_orders(&mut cat, 1000, params);
+        cat.create_index("li_price", "orders", "orddoc", "//lineitem/@price", "double")
+            .unwrap();
+        let out = xqdb_core::run_xquery(
+            &cat,
+            &format!("db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > {threshold}]"),
+        )
+        .unwrap();
+        let frac = out.sequence.len() as f64 / 1000.0;
+        assert!((0.05..0.15).contains(&frac), "selectivity {frac} should be near 0.1");
+    }
+
+    #[test]
+    fn rss_items_parse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..30 {
+            let xml = rss_item_xml(&mut rng, i);
+            xqdb_xmlparse::parse_document(&xml).expect("parses");
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Construction of immutable document trees.
+//!
+//! Used by the XML parser (for stored documents) and by the XQuery evaluator
+//! (for element constructors). Every `finish()` allocates a **fresh**
+//! [`DocId`], so constructed trees never share identity with their sources —
+//! the Section 3.6 property of the paper.
+
+use std::sync::Arc;
+
+use crate::atomic::AtomicType;
+use crate::node::{DocId, Document, NodeData, NodeHandle, NodeId, NodeKind, TypeAnnotation};
+use crate::qname::ExpandedName;
+
+/// Incremental builder producing a [`Document`] with ids in document order.
+#[derive(Debug)]
+pub struct DocumentBuilder {
+    nodes: Vec<NodeData>,
+    /// Stack of open element/document node ids.
+    stack: Vec<NodeId>,
+}
+
+impl DocumentBuilder {
+    /// Start a tree rooted by a document node (parsed documents).
+    pub fn new_document() -> Self {
+        let mut b = DocumentBuilder { nodes: Vec::new(), stack: Vec::new() };
+        b.push_node(NodeData {
+            kind: NodeKind::Document,
+            parent: None,
+            name: None,
+            value: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+            subtree_end: NodeId(0),
+            annotation: TypeAnnotation::Untyped,
+        });
+        b.stack.push(NodeId(0));
+        b
+    }
+
+    /// Start a tree rooted by an element node (constructed elements —
+    /// Section 3.5: such trees have *no* document node, so absolute paths
+    /// over them raise type errors).
+    pub fn new_element_root(name: ExpandedName) -> Self {
+        let mut b = DocumentBuilder { nodes: Vec::new(), stack: Vec::new() };
+        b.push_node(NodeData {
+            kind: NodeKind::Element,
+            parent: None,
+            name: Some(name),
+            value: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+            subtree_end: NodeId(0),
+            annotation: TypeAnnotation::Untyped,
+        });
+        b.stack.push(NodeId(0));
+        b
+    }
+
+    fn push_node(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(data);
+        id
+    }
+
+    fn current(&self) -> NodeId {
+        *self.stack.last().expect("builder stack is never empty until finish")
+    }
+
+    /// Open a child element of the current node.
+    pub fn start_element(&mut self, name: ExpandedName) -> NodeId {
+        let parent = self.current();
+        let id = self.push_node(NodeData {
+            kind: NodeKind::Element,
+            parent: Some(parent),
+            name: Some(name),
+            value: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+            subtree_end: NodeId(0),
+            annotation: TypeAnnotation::Untyped,
+        });
+        self.nodes[parent.0 as usize].children.push(id);
+        self.stack.push(id);
+        id
+    }
+
+    /// Close the most recently opened element.
+    pub fn end_element(&mut self) {
+        let id = self.stack.pop().expect("end_element without start_element");
+        assert!(
+            self.nodes[id.0 as usize].kind == NodeKind::Element,
+            "end_element on a non-element"
+        );
+        // subtree_end is fixed up in finish(); record provisionally here so
+        // partially-built trees are still well-formed for debugging.
+        self.nodes[id.0 as usize].subtree_end = NodeId(self.nodes.len() as u32 - 1);
+    }
+
+    /// Add an attribute to the currently open element. Must be called before
+    /// any child content is added (XML well-formedness).
+    pub fn attribute(&mut self, name: ExpandedName, value: impl Into<String>) -> NodeId {
+        let parent = self.current();
+        debug_assert!(
+            self.nodes[parent.0 as usize].children.is_empty(),
+            "attributes must precede children"
+        );
+        let id = self.push_node(NodeData {
+            kind: NodeKind::Attribute,
+            parent: Some(parent),
+            name: Some(name),
+            value: Some(value.into()),
+            children: Vec::new(),
+            attributes: Vec::new(),
+            subtree_end: NodeId(0),
+            annotation: TypeAnnotation::UntypedAtomic,
+        });
+        self.nodes[parent.0 as usize].attributes.push(id);
+        id
+    }
+
+    /// Add a text node. Adjacent text nodes are merged, as XDM requires.
+    pub fn text(&mut self, content: impl AsRef<str>) -> NodeId {
+        let content = content.as_ref();
+        let parent = self.current();
+        if let Some(&last) = self.nodes[parent.0 as usize].children.last() {
+            if self.nodes[last.0 as usize].kind == NodeKind::Text {
+                self.nodes[last.0 as usize]
+                    .value
+                    .get_or_insert_with(String::new)
+                    .push_str(content);
+                return last;
+            }
+        }
+        self.leaf(NodeKind::Text, None, content.to_string())
+    }
+
+    /// Add a comment node.
+    pub fn comment(&mut self, content: impl Into<String>) -> NodeId {
+        self.leaf(NodeKind::Comment, None, content.into())
+    }
+
+    /// Add a processing-instruction node.
+    pub fn processing_instruction(
+        &mut self,
+        target: impl AsRef<str>,
+        content: impl Into<String>,
+    ) -> NodeId {
+        self.leaf(
+            NodeKind::ProcessingInstruction,
+            Some(ExpandedName::local(target.as_ref())),
+            content.into(),
+        )
+    }
+
+    fn leaf(&mut self, kind: NodeKind, name: Option<ExpandedName>, value: String) -> NodeId {
+        let parent = self.current();
+        let id = self.push_node(NodeData {
+            kind,
+            parent: Some(parent),
+            name,
+            value: Some(value),
+            children: Vec::new(),
+            attributes: Vec::new(),
+            subtree_end: NodeId(0),
+            annotation: TypeAnnotation::UntypedAtomic,
+        });
+        self.nodes[parent.0 as usize].children.push(id);
+        id
+    }
+
+    /// Annotate a node with a validated simple type (mini-validation hook).
+    pub fn annotate(&mut self, node: NodeId, ty: AtomicType) {
+        self.nodes[node.0 as usize].annotation = TypeAnnotation::Atomic(ty);
+    }
+
+    /// Deep-copy `source` (from any document) as a child of the current
+    /// node. Used by element constructors: the copy receives new node ids
+    /// (hence new identity) and, per the XQuery construction rules the paper
+    /// describes, element/attribute annotations are **erased to untyped**
+    /// ("construction mode strip").
+    pub fn copy_node(&mut self, source: &NodeHandle) {
+        match source.kind() {
+            NodeKind::Document => {
+                // Copying a document node copies its children.
+                for child in source.children() {
+                    self.copy_node(&child);
+                }
+            }
+            NodeKind::Element => {
+                let name =
+                    source.name().expect("element nodes always carry a name").clone();
+                self.start_element(name);
+                for attr in source.attributes() {
+                    self.attribute(
+                        attr.name().expect("attribute nodes always carry a name").clone(),
+                        attr.string_value(),
+                    );
+                }
+                for child in source.children() {
+                    self.copy_node(&child);
+                }
+                self.end_element();
+            }
+            NodeKind::Attribute => {
+                self.attribute(
+                    source.name().expect("attribute nodes always carry a name").clone(),
+                    source.string_value(),
+                );
+            }
+            NodeKind::Text => {
+                self.text(source.string_value());
+            }
+            NodeKind::Comment => {
+                self.comment(source.string_value());
+            }
+            NodeKind::ProcessingInstruction => {
+                self.processing_instruction(
+                    source.name().map(|n| n.local.to_string()).unwrap_or_default(),
+                    source.string_value(),
+                );
+            }
+        }
+    }
+
+    /// Finish the tree: closes the root, computes subtree ranges, allocates
+    /// a fresh [`DocId`].
+    pub fn finish(mut self) -> Arc<Document> {
+        self.stack.clear();
+        // Recompute subtree_end bottom-up: a node's subtree ends at the max
+        // of its own id and its children's/attributes' ends. Because ids are
+        // assigned in document order, iterating in reverse visits children
+        // before parents.
+        for i in (0..self.nodes.len()).rev() {
+            let mut end = NodeId(i as u32);
+            for &c in self.nodes[i].children.iter().chain(self.nodes[i].attributes.iter()) {
+                end = end.max(self.nodes[c.0 as usize].subtree_end);
+            }
+            self.nodes[i].subtree_end = end;
+        }
+        Arc::new(Document { id: DocId::fresh(), nodes: self.nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn adjacent_text_nodes_merge() {
+        let mut b = DocumentBuilder::new_document();
+        b.start_element(ExpandedName::local("e"));
+        b.text("foo");
+        b.text("bar");
+        b.end_element();
+        let doc = b.finish();
+        let e = doc.root().children().next().unwrap();
+        let texts: Vec<_> = e.children().collect();
+        assert_eq!(texts.len(), 1);
+        assert_eq!(e.string_value(), "foobar");
+    }
+
+    #[test]
+    fn element_root_has_no_document_node() {
+        let mut b = DocumentBuilder::new_element_root(ExpandedName::local("order"));
+        b.text("hi");
+        let doc = b.finish();
+        assert_eq!(doc.root().kind(), NodeKind::Element);
+        assert_eq!(doc.root().tree_root().kind(), NodeKind::Element);
+    }
+
+    #[test]
+    fn copy_gets_fresh_identity_and_untyped_annotation() {
+        let mut b = DocumentBuilder::new_document();
+        b.start_element(ExpandedName::local("price"));
+        let t = b.text("99.50");
+        b.annotate(t, AtomicType::Double);
+        b.end_element();
+        let src = b.finish();
+        let price = src.root().children().next().unwrap();
+
+        let mut c = DocumentBuilder::new_element_root(ExpandedName::local("copy"));
+        c.copy_node(&price);
+        let copied = c.finish();
+        let price2 = copied.root().children().next().unwrap();
+        assert_ne!(price, price2); // distinct identity
+        assert_eq!(price2.string_value(), "99.50");
+        assert_eq!(price2.annotation(), TypeAnnotation::Untyped); // erased
+    }
+
+    #[test]
+    fn subtree_ranges_cover_whole_subtree() {
+        let mut b = DocumentBuilder::new_document();
+        b.start_element(ExpandedName::local("a"));
+        b.start_element(ExpandedName::local("b"));
+        b.attribute(ExpandedName::local("x"), "1");
+        b.text("t");
+        b.end_element();
+        b.start_element(ExpandedName::local("c"));
+        b.end_element();
+        b.end_element();
+        let doc = b.finish();
+        let root = doc.root();
+        assert_eq!(doc.node(NodeId(0)).subtree_end, NodeId(doc.len() as u32 - 1));
+        let a = root.children().next().unwrap();
+        // a's subtree covers everything after the document node
+        assert_eq!(doc.node(a.id).subtree_end, NodeId(doc.len() as u32 - 1));
+        let descendants: Vec<_> = a.descendants().collect();
+        assert_eq!(descendants.len(), 3); // b, t, c (attribute excluded)
+    }
+
+    #[test]
+    fn copy_document_node_copies_children() {
+        let mut b = DocumentBuilder::new_document();
+        b.start_element(ExpandedName::local("a"));
+        b.end_element();
+        let src = b.finish();
+
+        let mut c = DocumentBuilder::new_element_root(ExpandedName::local("wrap"));
+        c.copy_node(&src.root());
+        let out = c.finish();
+        let wrap = out.root();
+        let a = wrap.children().next().unwrap();
+        assert_eq!(a.name().unwrap().local.as_ref(), "a");
+    }
+}

@@ -1,0 +1,257 @@
+//! The casting table.
+//!
+//! Two consumers share these rules:
+//!
+//! * the query evaluator (`xs:double(.)`-style constructor functions and the
+//!   implicit casts in comparisons), and
+//! * the **tolerant index key extraction** of Section 2.1: "an index entry
+//!   is created for each node that matches the path expression *and is
+//!   convertible to the index data type*; if it is not, the node is simply
+//!   not added to the index". The index crate calls [`cast`] and maps `Err`
+//!   to "skip this node", never to "reject the document".
+
+use crate::atomic::{AtomicType, AtomicValue, DECIMAL_DENOM};
+use crate::datetime::{Date, DateTime};
+use crate::error::{XdmError, XdmResult};
+
+/// Cast an atomic value to `target` per the XQuery casting rules (subset).
+pub fn cast(value: &AtomicValue, target: AtomicType) -> XdmResult<AtomicValue> {
+    if value.atomic_type() == target {
+        return Ok(value.clone());
+    }
+    match target {
+        AtomicType::String => Ok(AtomicValue::String(value.lexical())),
+        AtomicType::UntypedAtomic => Ok(AtomicValue::UntypedAtomic(value.lexical())),
+        AtomicType::AnyUri => match value {
+            AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) => {
+                Ok(AtomicValue::AnyUri(s.trim().to_string()))
+            }
+            _ => Err(cast_err(value, target)),
+        },
+        AtomicType::Double => match value {
+            AtomicValue::Integer(i) => Ok(AtomicValue::Double(*i as f64)),
+            AtomicValue::Decimal(_) => Ok(AtomicValue::Double(
+                value.as_f64().expect("decimal always has a numeric value"),
+            )),
+            AtomicValue::Boolean(b) => Ok(AtomicValue::Double(if *b { 1.0 } else { 0.0 })),
+            AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) => parse_double(s),
+            _ => Err(cast_err(value, target)),
+        },
+        AtomicType::Integer => match value {
+            AtomicValue::Double(d) => {
+                if d.is_finite() && d.trunc() >= i64::MIN as f64 && d.trunc() <= i64::MAX as f64 {
+                    Ok(AtomicValue::Integer(d.trunc() as i64))
+                } else {
+                    Err(cast_err(value, target))
+                }
+            }
+            AtomicValue::Decimal(d) => {
+                let q = d / DECIMAL_DENOM;
+                i64::try_from(q)
+                    .map(AtomicValue::Integer)
+                    .map_err(|_| cast_err(value, target))
+            }
+            AtomicValue::Boolean(b) => Ok(AtomicValue::Integer(i64::from(*b))),
+            AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) => s
+                .trim()
+                .parse::<i64>()
+                .map(AtomicValue::Integer)
+                .map_err(|_| XdmError::invalid_cast(format!("cannot cast {s:?} to xs:integer"))),
+            _ => Err(cast_err(value, target)),
+        },
+        AtomicType::Decimal => match value {
+            AtomicValue::Double(d) => {
+                if !d.is_finite() {
+                    return Err(cast_err(value, target));
+                }
+                let scaled = d * DECIMAL_DENOM as f64;
+                if scaled.abs() > i128::MAX as f64 {
+                    return Err(cast_err(value, target));
+                }
+                Ok(AtomicValue::Decimal(scaled.round() as i128))
+            }
+            AtomicValue::Integer(i) => Ok(AtomicValue::decimal_from_i64(*i)),
+            AtomicValue::Boolean(b) => Ok(AtomicValue::decimal_from_i64(i64::from(*b))),
+            AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) => {
+                AtomicValue::decimal_from_str(s)
+            }
+            _ => Err(cast_err(value, target)),
+        },
+        AtomicType::Boolean => match value {
+            AtomicValue::Double(d) => Ok(AtomicValue::Boolean(*d != 0.0 && !d.is_nan())),
+            AtomicValue::Integer(i) => Ok(AtomicValue::Boolean(*i != 0)),
+            AtomicValue::Decimal(d) => Ok(AtomicValue::Boolean(*d != 0)),
+            AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) => match s.trim() {
+                "true" | "1" => Ok(AtomicValue::Boolean(true)),
+                "false" | "0" => Ok(AtomicValue::Boolean(false)),
+                _ => Err(XdmError::invalid_cast(format!("cannot cast {s:?} to xs:boolean"))),
+            },
+            _ => Err(cast_err(value, target)),
+        },
+        AtomicType::Date => match value {
+            AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) => {
+                Date::parse(s).map(AtomicValue::Date)
+            }
+            AtomicValue::DateTime(dt) => Ok(AtomicValue::Date(dt.date)),
+            _ => Err(cast_err(value, target)),
+        },
+        AtomicType::DateTime => match value {
+            AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) => {
+                DateTime::parse(s).map(AtomicValue::DateTime)
+            }
+            AtomicValue::Date(d) => Ok(AtomicValue::DateTime(DateTime {
+                date: *d,
+                hour: 0,
+                minute: 0,
+                second: 0,
+                millis: 0,
+            })),
+            _ => Err(cast_err(value, target)),
+        },
+    }
+}
+
+/// Cast from a lexical string (used for node typed values and index keys).
+pub fn cast_str(s: &str, target: AtomicType) -> XdmResult<AtomicValue> {
+    cast(&AtomicValue::UntypedAtomic(s.to_string()), target)
+}
+
+/// True if a cast of `value` to `target` would succeed, without allocating
+/// the result. Index maintenance uses this for its tolerant filter.
+pub fn castable(value: &AtomicValue, target: AtomicType) -> bool {
+    cast(value, target).is_ok()
+}
+
+fn cast_err(value: &AtomicValue, target: AtomicType) -> XdmError {
+    XdmError::invalid_cast(format!(
+        "cannot cast {} value {:?} to {}",
+        value.atomic_type(),
+        value.lexical(),
+        target
+    ))
+}
+
+/// Parse the `xs:double` lexical space (decimal and scientific notation,
+/// `INF`, `-INF`, `NaN`).
+fn parse_double(s: &str) -> XdmResult<AtomicValue> {
+    let t = s.trim();
+    let d = match t {
+        "INF" | "+INF" => f64::INFINITY,
+        "-INF" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        _ => {
+            // Rust's f64 parser accepts "inf"/"infinity"/"nan" spellings that
+            // are NOT in the XML Schema lexical space; reject those.
+            if t.is_empty()
+                || !t
+                    .bytes()
+                    .all(|b| b.is_ascii_digit() || matches!(b, b'+' | b'-' | b'.' | b'e' | b'E'))
+            {
+                return Err(XdmError::invalid_cast(format!("cannot cast {s:?} to xs:double")));
+            }
+            t.parse::<f64>()
+                .map_err(|_| XdmError::invalid_cast(format!("cannot cast {s:?} to xs:double")))?
+        }
+    };
+    Ok(AtomicValue::Double(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anything_casts_to_string() {
+        for v in [
+            AtomicValue::Double(99.5),
+            AtomicValue::Integer(100),
+            AtomicValue::Boolean(true),
+            AtomicValue::Date(Date::parse("2001-01-01").unwrap()),
+            AtomicValue::UntypedAtomic("20 USD".into()),
+        ] {
+            assert!(cast(&v, AtomicType::String).is_ok(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn usd_string_is_not_a_double() {
+        // The paper's Section 3.1 example: "20 USD" satisfies a string
+        // predicate but can never appear in a double index.
+        assert!(cast_str("20 USD", AtomicType::Double).is_err());
+        assert!(cast_str("99.50USD", AtomicType::Double).is_err());
+        assert!(castable(&AtomicValue::UntypedAtomic("100".into()), AtomicType::Double));
+    }
+
+    #[test]
+    fn scientific_notation_equals_plain() {
+        // 1E3 = 1000 under numeric rules (the paper writes "10E3 = 1000",
+        // an obvious slip) — the Section 3.1 argument for why a varchar
+        // index cannot answer a numeric join.
+        let a = cast_str("1E3", AtomicType::Double).unwrap();
+        let b = cast_str("1000", AtomicType::Double).unwrap();
+        assert_eq!(a, b);
+        assert_ne!("1E3", "1000"); // ...but their strings differ
+    }
+
+    #[test]
+    fn double_rejects_rust_only_spellings() {
+        assert!(cast_str("inf", AtomicType::Double).is_err());
+        assert!(cast_str("nan", AtomicType::Double).is_err());
+        assert!(cast_str("Infinity", AtomicType::Double).is_err());
+        assert!(cast_str("INF", AtomicType::Double).is_ok());
+        assert!(cast_str("NaN", AtomicType::Double).is_ok());
+    }
+
+    #[test]
+    fn date_casts() {
+        let d = cast_str("2001-01-01", AtomicType::Date).unwrap();
+        assert_eq!(d.lexical(), "2001-01-01");
+        assert!(cast_str("January 1, 2001", AtomicType::Date).is_err());
+        let dt = cast(&d, AtomicType::DateTime).unwrap();
+        assert_eq!(dt.lexical(), "2001-01-01T00:00:00");
+        let back = cast(&dt, AtomicType::Date).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn boolean_lexical_space() {
+        assert_eq!(cast_str("true", AtomicType::Boolean).unwrap(), AtomicValue::Boolean(true));
+        assert_eq!(cast_str("0", AtomicType::Boolean).unwrap(), AtomicValue::Boolean(false));
+        assert!(cast_str("TRUE", AtomicType::Boolean).is_err());
+    }
+
+    #[test]
+    fn integer_casts_truncate_doubles() {
+        assert_eq!(
+            cast(&AtomicValue::Double(3.9), AtomicType::Integer).unwrap(),
+            AtomicValue::Integer(3)
+        );
+        assert_eq!(
+            cast(&AtomicValue::Double(-3.9), AtomicType::Integer).unwrap(),
+            AtomicValue::Integer(-3)
+        );
+        assert!(cast(&AtomicValue::Double(f64::NAN), AtomicType::Integer).is_err());
+        assert!(cast(&AtomicValue::Double(1e30), AtomicType::Integer).is_err());
+    }
+
+    #[test]
+    fn decimal_round_trips() {
+        let d = cast_str("99.50", AtomicType::Decimal).unwrap();
+        assert_eq!(d.lexical(), "99.5");
+        let i = cast(&d, AtomicType::Integer).unwrap();
+        assert_eq!(i, AtomicValue::Integer(99));
+    }
+
+    #[test]
+    fn identity_cast_is_noop() {
+        let v = AtomicValue::Double(1.5);
+        assert_eq!(cast(&v, AtomicType::Double).unwrap(), v);
+    }
+
+    #[test]
+    fn date_to_double_fails() {
+        let d = cast_str("2001-01-01", AtomicType::Date).unwrap();
+        assert!(cast(&d, AtomicType::Double).is_err());
+        assert!(cast(&d, AtomicType::Integer).is_err());
+    }
+}

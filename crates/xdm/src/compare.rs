@@ -1,0 +1,455 @@
+//! XQuery comparison semantics.
+//!
+//! The paper leans on the split between **general comparisons** (`=`, `<`,
+//! `>`, ...) and **value comparisons** (`eq`, `lt`, `gt`, ...):
+//!
+//! * general comparisons are *existential* — `lineitem/price > 100` is true
+//!   if *any* price exceeds 100, which is why a pair of general range
+//!   predicates is **not** a "between" (Section 3.10);
+//! * value comparisons require singleton operands (else `err:XPTY0004`) and
+//!   cast `xdt:untypedAtomic` operands to `xs:string`, while general
+//!   comparisons cast untyped operands to the *other operand's* type
+//!   (numeric → `xs:double`) — the root of the Section 3.1/3.6 divergences.
+
+use std::cmp::Ordering;
+
+use crate::atomic::{AtomicType, AtomicValue};
+use crate::cast;
+use crate::error::{XdmError, XdmResult};
+use crate::sequence::Item;
+
+/// The six comparison operators, shared by general and value forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `=` / `eq`
+    Eq,
+    /// `!=` / `ne`
+    Ne,
+    /// `<` / `lt`
+    Lt,
+    /// `<=` / `le`
+    Le,
+    /// `>` / `gt`
+    Gt,
+    /// `>=` / `ge`
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluate the operator against an ordering. `None` (unordered, i.e.
+    /// NaN involved) makes every operator false except `Ne`.
+    pub fn test(self, ord: Option<Ordering>) -> bool {
+        match (self, ord) {
+            (CompareOp::Ne, None) => true,
+            (_, None) => false,
+            (CompareOp::Eq, Some(o)) => o == Ordering::Equal,
+            (CompareOp::Ne, Some(o)) => o != Ordering::Equal,
+            (CompareOp::Lt, Some(o)) => o == Ordering::Less,
+            (CompareOp::Le, Some(o)) => o != Ordering::Greater,
+            (CompareOp::Gt, Some(o)) => o == Ordering::Greater,
+            (CompareOp::Ge, Some(o)) => o != Ordering::Less,
+        }
+    }
+
+    /// The mirrored operator (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::Ne => CompareOp::Ne,
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::Ge => CompareOp::Le,
+        }
+    }
+
+    /// Lexical form of the general-comparison spelling.
+    pub fn general_symbol(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+
+    /// Lexical form of the value-comparison spelling.
+    pub fn value_keyword(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "eq",
+            CompareOp::Ne => "ne",
+            CompareOp::Lt => "lt",
+            CompareOp::Le => "le",
+            CompareOp::Gt => "gt",
+            CompareOp::Ge => "ge",
+        }
+    }
+}
+
+/// Compare two atomic values of *compatible* dynamic types.
+///
+/// Returns `Ok(None)` for unordered pairs (NaN) and `Err(XPTY0004)` for
+/// incomparable types (e.g. `xs:string` vs `xs:double` — the reason the
+/// paper's Query 3 with a quoted `"100"` cannot use a double index).
+pub fn compare_typed(a: &AtomicValue, b: &AtomicValue) -> XdmResult<Option<Ordering>> {
+    use AtomicValue::*;
+    let err = || {
+        Err(XdmError::type_error(format!(
+            "cannot compare {} to {}",
+            a.atomic_type(),
+            b.atomic_type()
+        )))
+    };
+    // Numeric promotion: double dominates, then decimal, then integer.
+    if a.atomic_type().is_numeric() && b.atomic_type().is_numeric() {
+        return Ok(match (a, b) {
+            (Integer(x), Integer(y)) => Some(x.cmp(y)),
+            (Decimal(x), Decimal(y)) => Some(x.cmp(y)),
+            (Integer(_), Decimal(y)) => {
+                let x = promote_decimal(a)?;
+                Some(x.cmp(y))
+            }
+            (Decimal(x), Integer(_)) => {
+                let y = promote_decimal(b)?;
+                Some(x.cmp(&y))
+            }
+            _ => {
+                let x = a.as_f64().expect("numeric");
+                let y = b.as_f64().expect("numeric");
+                x.partial_cmp(&y)
+            }
+        });
+    }
+    match (a, b) {
+        (String(x) | AnyUri(x), String(y) | AnyUri(y)) => Ok(Some(x.as_str().cmp(y))),
+        (UntypedAtomic(x), UntypedAtomic(y)) => Ok(Some(x.as_str().cmp(y))),
+        (Boolean(x), Boolean(y)) => Ok(Some(x.cmp(y))),
+        (Date(x), Date(y)) => Ok(Some(x.cmp(y))),
+        (DateTime(x), DateTime(y)) => Ok(Some(x.cmp(y))),
+        _ => err(),
+    }
+}
+
+fn promote_decimal(v: &AtomicValue) -> XdmResult<i128> {
+    match cast::cast(v, AtomicType::Decimal)? {
+        AtomicValue::Decimal(d) => Ok(d),
+        other => Err(XdmError::new(
+            crate::error::ErrorCode::Internal,
+            format!("decimal cast produced {other:?}"),
+        )),
+    }
+}
+
+/// Resolve untypedAtomic operands for a **general** comparison pair, per
+/// XQuery 3.5.2: untyped vs numeric → cast untyped to `xs:double`; untyped
+/// vs untyped or string → treat untyped as `xs:string`; untyped vs anything
+/// else → cast untyped to the other type.
+fn resolve_general_pair(
+    a: &AtomicValue,
+    b: &AtomicValue,
+) -> XdmResult<(AtomicValue, AtomicValue)> {
+    let resolve_one = |u: &str, other: &AtomicValue| -> XdmResult<AtomicValue> {
+        match other.atomic_type() {
+            t if t.is_numeric() => cast::cast_str(u, AtomicType::Double),
+            AtomicType::String | AtomicType::AnyUri | AtomicType::UntypedAtomic => {
+                Ok(AtomicValue::String(u.to_string()))
+            }
+            t => cast::cast_str(u, t),
+        }
+    };
+    match (a, b) {
+        (AtomicValue::UntypedAtomic(x), AtomicValue::UntypedAtomic(y)) => Ok((
+            AtomicValue::String(x.clone()),
+            AtomicValue::String(y.clone()),
+        )),
+        (AtomicValue::UntypedAtomic(x), _) => Ok((resolve_one(x, b)?, b.clone())),
+        (_, AtomicValue::UntypedAtomic(y)) => Ok((a.clone(), resolve_one(y, a)?)),
+        _ => Ok((a.clone(), b.clone())),
+    }
+}
+
+/// A single **atomic pair** under general-comparison rules.
+pub fn general_compare_pair(a: &AtomicValue, b: &AtomicValue, op: CompareOp) -> XdmResult<bool> {
+    let (ra, rb) = resolve_general_pair(a, b)?;
+    Ok(op.test(compare_typed(&ra, &rb)?))
+}
+
+/// A full **general comparison** over two sequences: existentially
+/// quantified over the cross product of the atomized operands.
+pub fn general_compare(lhs: &[Item], rhs: &[Item], op: CompareOp) -> XdmResult<bool> {
+    let la = crate::sequence::atomize(lhs)?;
+    let ra = crate::sequence::atomize(rhs)?;
+    for a in &la {
+        for b in &ra {
+            if general_compare_pair(a, b, op)? {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// A **value comparison**: operands must atomize to at most one item; empty
+/// operand → empty result (`Ok(None)`); untypedAtomic casts to `xs:string`.
+pub fn value_compare(lhs: &[Item], rhs: &[Item], op: CompareOp) -> XdmResult<Option<bool>> {
+    let la = crate::sequence::atomize(lhs)?;
+    let ra = crate::sequence::atomize(rhs)?;
+    let a = match la.as_slice() {
+        [] => return Ok(None),
+        [a] => a,
+        _ => {
+            return Err(XdmError::type_error(format!(
+                "value comparison '{}' requires a singleton left operand, got {} items",
+                op.value_keyword(),
+                la.len()
+            )))
+        }
+    };
+    let b = match ra.as_slice() {
+        [] => return Ok(None),
+        [b] => b,
+        _ => {
+            return Err(XdmError::type_error(format!(
+                "value comparison '{}' requires a singleton right operand, got {} items",
+                op.value_keyword(),
+                ra.len()
+            )))
+        }
+    };
+    let a = untyped_to_string(a);
+    let b = untyped_to_string(b);
+    Ok(Some(op.test(compare_typed(&a, &b)?)))
+}
+
+fn untyped_to_string(v: &AtomicValue) -> AtomicValue {
+    match v {
+        AtomicValue::UntypedAtomic(s) => AtomicValue::String(s.clone()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::singleton_atomic;
+
+    fn ua(s: &str) -> AtomicValue {
+        AtomicValue::UntypedAtomic(s.into())
+    }
+
+    #[test]
+    fn untyped_vs_number_compares_numerically() {
+        // <price>99.50</price> > 100 → numeric comparison.
+        assert!(!general_compare_pair(&ua("99.50"), &AtomicValue::Double(100.0), CompareOp::Gt)
+            .unwrap());
+        assert!(general_compare_pair(&ua("150"), &AtomicValue::Double(100.0), CompareOp::Gt)
+            .unwrap());
+    }
+
+    #[test]
+    fn untyped_vs_string_compares_stringly() {
+        // Query 3 of the paper: @price > "100" is a *string* comparison,
+        // so "20 USD" satisfies it even though it is not a number.
+        assert!(general_compare_pair(
+            &ua("20 USD"),
+            &AtomicValue::String("100".into()),
+            CompareOp::Gt
+        )
+        .unwrap());
+        // ...and "99.50" > "100" is true stringly but false numerically.
+        assert!(general_compare_pair(&ua("99.50"), &AtomicValue::String("100".into()), CompareOp::Gt)
+            .unwrap());
+    }
+
+    #[test]
+    fn untyped_vs_nonnumeric_string_raises_on_numeric_context() {
+        // untyped "20 USD" against a double must fail the cast.
+        assert!(general_compare_pair(&ua("20 USD"), &AtomicValue::Double(100.0), CompareOp::Gt)
+            .is_err());
+    }
+
+    #[test]
+    fn string_vs_double_is_a_type_error() {
+        let r = general_compare_pair(
+            &AtomicValue::String("100".into()),
+            &AtomicValue::Double(100.0),
+            CompareOp::Eq,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn general_comparison_is_existential() {
+        // Section 3.10: prices {250, 50} satisfy (>100 and <200) jointly
+        // though no single price is in the range.
+        let prices = vec![
+            Item::Atomic(ua("250")),
+            Item::Atomic(ua("50")),
+        ];
+        let hi = singleton_atomic(AtomicValue::Double(100.0));
+        let lo = singleton_atomic(AtomicValue::Double(200.0));
+        assert!(general_compare(&prices, &hi, CompareOp::Gt).unwrap());
+        assert!(general_compare(&prices, &lo, CompareOp::Lt).unwrap());
+    }
+
+    #[test]
+    fn empty_sequence_general_comparison_is_false() {
+        let empty: Vec<Item> = vec![];
+        let hundred = singleton_atomic(AtomicValue::Double(100.0));
+        assert!(!general_compare(&empty, &hundred, CompareOp::Gt).unwrap());
+        assert!(!general_compare(&hundred, &empty, CompareOp::Eq).unwrap());
+    }
+
+    #[test]
+    fn value_comparison_requires_singletons() {
+        let two = vec![Item::Atomic(ua("1")), Item::Atomic(ua("2"))];
+        let one = singleton_atomic(AtomicValue::Double(1.0));
+        let err = value_compare(&two, &one, CompareOp::Eq).unwrap_err();
+        assert_eq!(err.code, crate::error::ErrorCode::XPTY0004);
+        let err = value_compare(&one, &two, CompareOp::Eq).unwrap_err();
+        assert_eq!(err.code, crate::error::ErrorCode::XPTY0004);
+    }
+
+    #[test]
+    fn value_comparison_empty_operand_is_empty() {
+        let empty: Vec<Item> = vec![];
+        let one = singleton_atomic(AtomicValue::Double(1.0));
+        assert_eq!(value_compare(&empty, &one, CompareOp::Eq).unwrap(), None);
+    }
+
+    #[test]
+    fn value_comparison_casts_untyped_to_string() {
+        // 'eq' between untyped "100" and the *number* 100 is a type error —
+        // untyped goes to string in value comparisons (Section 3.6 case 1).
+        let u = singleton_atomic(ua("100"));
+        let n = singleton_atomic(AtomicValue::Double(100.0));
+        assert!(value_compare(&u, &n, CompareOp::Eq).is_err());
+        // ...but against the *string* "100" it is true.
+        let s = singleton_atomic(AtomicValue::String("100".into()));
+        assert_eq!(value_compare(&u, &s, CompareOp::Eq).unwrap(), Some(true));
+    }
+
+    #[test]
+    fn nan_is_unordered() {
+        let nan = AtomicValue::Double(f64::NAN);
+        assert!(!general_compare_pair(&nan, &nan, CompareOp::Eq).unwrap());
+        assert!(general_compare_pair(&nan, &nan, CompareOp::Ne).unwrap());
+        assert!(!general_compare_pair(&nan, &AtomicValue::Double(1.0), CompareOp::Lt).unwrap());
+    }
+
+    #[test]
+    fn numeric_promotion_integer_decimal_double() {
+        let i = AtomicValue::Integer(99);
+        let d = AtomicValue::decimal_from_str("99.0").unwrap();
+        let f = AtomicValue::Double(99.0);
+        assert!(general_compare_pair(&i, &d, CompareOp::Eq).unwrap());
+        assert!(general_compare_pair(&i, &f, CompareOp::Eq).unwrap());
+        assert!(general_compare_pair(&d, &f, CompareOp::Eq).unwrap());
+    }
+
+    #[test]
+    fn large_integer_comparison_exact_vs_double() {
+        // Section 3.6 case 2: as integers these differ; as doubles they
+        // collide. The typed comparison must stay exact.
+        let a = AtomicValue::Integer(9_007_199_254_740_993);
+        let b = AtomicValue::Integer(9_007_199_254_740_992);
+        assert!(!general_compare_pair(&a, &b, CompareOp::Eq).unwrap());
+        let fa = AtomicValue::Double(9_007_199_254_740_993i64 as f64);
+        let fb = AtomicValue::Double(9_007_199_254_740_992i64 as f64);
+        assert!(general_compare_pair(&fa, &fb, CompareOp::Eq).unwrap());
+    }
+
+    #[test]
+    fn trailing_blanks_matter_in_xquery() {
+        // Section 3.3: "trailing blank characters are ignored in SQL, they
+        // are significant in XQuery".
+        let a = AtomicValue::String("abc".into());
+        let b = AtomicValue::String("abc   ".into());
+        assert!(!general_compare_pair(&a, &b, CompareOp::Eq).unwrap());
+    }
+
+    #[test]
+    fn op_flip_roundtrip() {
+        for op in [CompareOp::Eq, CompareOp::Ne, CompareOp::Lt, CompareOp::Le, CompareOp::Gt, CompareOp::Ge]
+        {
+            assert_eq!(op.flip().flip(), op);
+        }
+        assert_eq!(CompareOp::Lt.flip(), CompareOp::Gt);
+    }
+
+    #[test]
+    fn date_comparisons() {
+        let a = cast::cast_str("2001-01-01", AtomicType::Date).unwrap();
+        let b = cast::cast_str("2002-01-01", AtomicType::Date).unwrap();
+        assert!(general_compare_pair(&a, &b, CompareOp::Lt).unwrap());
+        // untyped vs date → cast untyped to date
+        assert!(general_compare_pair(&ua("2001-06-01"), &b, CompareOp::Lt).unwrap());
+        assert!(general_compare_pair(&ua("January 1, 2001"), &b, CompareOp::Lt).is_err());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn atom() -> impl Strategy<Value = AtomicValue> {
+        prop_oneof![
+            any::<i64>().prop_map(AtomicValue::Integer),
+            prop::num::f64::NORMAL.prop_map(AtomicValue::Double),
+            "[a-z0-9 ]{0,8}".prop_map(AtomicValue::String),
+            "[0-9]{1,6}(\\.[0-9]{1,2})?".prop_map(AtomicValue::UntypedAtomic),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn general_comparison_flip_symmetry(a in atom(), b in atom()) {
+            for op in [CompareOp::Eq, CompareOp::Ne, CompareOp::Lt,
+                       CompareOp::Le, CompareOp::Gt, CompareOp::Ge] {
+                let fwd = general_compare_pair(&a, &b, op);
+                let rev = general_compare_pair(&b, &a, op.flip());
+                match (fwd, rev) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "{:?} {:?}", a, b),
+                    (Err(_), Err(_)) => {}
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "asymmetric comparability: {other:?} for {a:?} / {b:?}"
+                        )))
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn typed_comparison_is_total_order_per_type(
+            mut xs in prop::collection::vec(any::<i64>(), 2..8)
+        ) {
+            // Sorting integers via compare_typed matches i64 ordering.
+            let mut vals: Vec<AtomicValue> =
+                xs.iter().map(|&i| AtomicValue::Integer(i)).collect();
+            vals.sort_by(|a, b| compare_typed(a, b).unwrap().unwrap());
+            xs.sort();
+            let resorted: Vec<i64> = vals
+                .iter()
+                .map(|v| match v {
+                    AtomicValue::Integer(i) => *i,
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect();
+            prop_assert_eq!(resorted, xs);
+        }
+
+        #[test]
+        fn eq_and_ne_partition(a in atom(), b in atom()) {
+            if let (Ok(eq), Ok(ne)) = (
+                general_compare_pair(&a, &b, CompareOp::Eq),
+                general_compare_pair(&a, &b, CompareOp::Ne),
+            ) {
+                prop_assert_ne!(eq, ne, "{:?} vs {:?}", a, b);
+            }
+        }
+    }
+}

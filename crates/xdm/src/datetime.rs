@@ -1,0 +1,266 @@
+//! Minimal `xs:date` / `xs:dateTime` values.
+//!
+//! The paper's index DDL admits `date` and `timestamp` index types
+//! (Section 2.1), so the engine needs real date values with a total order
+//! and lexical parsing — but nothing more (no timezone arithmetic, no
+//! durations). Implemented from scratch to keep the dependency set to the
+//! allowed list.
+
+use std::fmt;
+
+use crate::error::{XdmError, XdmResult};
+
+/// An `xs:date`: proleptic Gregorian calendar date, no timezone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Astronomical year (year 0 allowed, negative = BCE).
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day 1–31, validated against the month.
+    pub day: u8,
+}
+
+/// An `xs:dateTime`: a [`Date`] plus time-of-day with millisecond precision,
+/// no timezone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DateTime {
+    /// Calendar date component.
+    pub date: Date,
+    /// Hour 0–23.
+    pub hour: u8,
+    /// Minute 0–59.
+    pub minute: u8,
+    /// Second 0–59 (leap seconds not modelled).
+    pub second: u8,
+    /// Milliseconds 0–999.
+    pub millis: u16,
+}
+
+/// Days in `month` of `year`.
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+impl Date {
+    /// Construct a validated date.
+    pub fn new(year: i32, month: u8, day: u8) -> XdmResult<Self> {
+        if !(1..=12).contains(&month) {
+            return Err(XdmError::invalid_cast(format!("month {month} out of range")));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(XdmError::invalid_cast(format!(
+                "day {day} out of range for {year:04}-{month:02}"
+            )));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Parse the `xs:date` lexical form `YYYY-MM-DD` (optional leading `-`).
+    pub fn parse(s: &str) -> XdmResult<Self> {
+        let s = s.trim();
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let parts: Vec<&str> = body.split('-').collect();
+        if parts.len() != 3 || parts[0].len() < 4 || parts[1].len() != 2 || parts[2].len() != 2 {
+            return Err(XdmError::invalid_cast(format!("invalid xs:date literal {s:?}")));
+        }
+        let year: i32 = parts[0]
+            .parse()
+            .map_err(|_| XdmError::invalid_cast(format!("invalid year in {s:?}")))?;
+        let month: u8 = parts[1]
+            .parse()
+            .map_err(|_| XdmError::invalid_cast(format!("invalid month in {s:?}")))?;
+        let day: u8 = parts[2]
+            .parse()
+            .map_err(|_| XdmError::invalid_cast(format!("invalid day in {s:?}")))?;
+        Date::new(if neg { -year } else { year }, month, day)
+    }
+
+    /// Days since 1970-01-01 (can be negative). Used for ordered index keys.
+    pub fn days_since_epoch(&self) -> i64 {
+        // Rata Die style computation via the civil-from-days inverse
+        // (Howard Hinnant's algorithm, public domain).
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = (i64::from(self.month) + 9) % 12; // [0, 11]
+        let doy = (153 * mp + 2) / 5 + i64::from(self.day) - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.year < 0 {
+            write!(f, "-{:04}-{:02}-{:02}", -self.year, self.month, self.day)
+        } else {
+            write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+        }
+    }
+}
+
+impl DateTime {
+    /// Construct a validated dateTime.
+    pub fn new(date: Date, hour: u8, minute: u8, second: u8, millis: u16) -> XdmResult<Self> {
+        if hour > 23 || minute > 59 || second > 59 || millis > 999 {
+            return Err(XdmError::invalid_cast(format!(
+                "time component out of range: {hour:02}:{minute:02}:{second:02}.{millis:03}"
+            )));
+        }
+        Ok(DateTime { date, hour, minute, second, millis })
+    }
+
+    /// Parse the `xs:dateTime` lexical form `YYYY-MM-DDThh:mm:ss(.fff)?`.
+    /// A trailing `Z` is accepted and ignored (all values are naive).
+    pub fn parse(s: &str) -> XdmResult<Self> {
+        let s = s.trim().strip_suffix('Z').unwrap_or_else(|| s.trim());
+        let (date_part, time_part) = s
+            .split_once('T')
+            .ok_or_else(|| XdmError::invalid_cast(format!("invalid xs:dateTime literal {s:?}")))?;
+        let date = Date::parse(date_part)?;
+        let (hms, frac) = match time_part.split_once('.') {
+            Some((h, f)) => (h, Some(f)),
+            None => (time_part, None),
+        };
+        let fields: Vec<&str> = hms.split(':').collect();
+        if fields.len() != 3 {
+            return Err(XdmError::invalid_cast(format!("invalid time in {s:?}")));
+        }
+        let parse_u8 = |t: &str| -> XdmResult<u8> {
+            if t.len() != 2 {
+                return Err(XdmError::invalid_cast(format!("invalid time field {t:?}")));
+            }
+            t.parse().map_err(|_| XdmError::invalid_cast(format!("invalid time field {t:?}")))
+        };
+        let millis = match frac {
+            None => 0u16,
+            Some(f) => {
+                if f.is_empty() || f.len() > 9 || !f.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(XdmError::invalid_cast(format!("invalid fraction in {s:?}")));
+                }
+                let padded = format!("{f:0<3}");
+                padded[..3].parse().expect("three ascii digits")
+            }
+        };
+        DateTime::new(date, parse_u8(fields[0])?, parse_u8(fields[1])?, parse_u8(fields[2])?, millis)
+    }
+
+    /// Milliseconds since 1970-01-01T00:00:00. Used for ordered index keys.
+    pub fn millis_since_epoch(&self) -> i64 {
+        self.date.days_since_epoch() * 86_400_000
+            + i64::from(self.hour) * 3_600_000
+            + i64::from(self.minute) * 60_000
+            + i64::from(self.second) * 1_000
+            + i64::from(self.millis)
+    }
+}
+
+impl fmt::Display for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}T{:02}:{:02}:{:02}", self.date, self.hour, self.minute, self.second)?;
+        if self.millis != 0 {
+            write!(f, ".{:03}", self.millis)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["2001-01-01", "2026-07-06", "0001-12-31", "2000-02-29"] {
+            assert_eq!(Date::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_dates() {
+        assert!(Date::parse("2001-13-01").is_err());
+        assert!(Date::parse("2001-02-29").is_err()); // not a leap year
+        assert!(Date::parse("2001-2-9").is_err()); // unpadded
+        assert!(Date::parse("garbage").is_err());
+        assert!(Date::parse("2001-00-10").is_err());
+        assert!(Date::parse("2001-01-00").is_err());
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(is_leap_year(2004));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2001));
+    }
+
+    #[test]
+    fn ordering_matches_chronology() {
+        let a = Date::parse("2001-01-01").unwrap();
+        let b = Date::parse("2001-01-02").unwrap();
+        let c = Date::parse("2002-01-01").unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn epoch_days_known_values() {
+        assert_eq!(Date::parse("1970-01-01").unwrap().days_since_epoch(), 0);
+        assert_eq!(Date::parse("1970-01-02").unwrap().days_since_epoch(), 1);
+        assert_eq!(Date::parse("1969-12-31").unwrap().days_since_epoch(), -1);
+        assert_eq!(Date::parse("2000-03-01").unwrap().days_since_epoch(), 11_017);
+    }
+
+    #[test]
+    fn datetime_parse_fraction_and_z() {
+        let dt = DateTime::parse("2001-01-01T12:30:45.5Z").unwrap();
+        assert_eq!(dt.millis, 500);
+        assert_eq!(dt.to_string(), "2001-01-01T12:30:45.500");
+        let dt2 = DateTime::parse("2001-01-01T12:30:45").unwrap();
+        assert_eq!(dt2.millis, 0);
+        assert!(dt2 < dt);
+    }
+
+    #[test]
+    fn datetime_rejects_bad_time() {
+        assert!(DateTime::parse("2001-01-01T24:00:00").is_err());
+        assert!(DateTime::parse("2001-01-01T12:60:00").is_err());
+        assert!(DateTime::parse("2001-01-01").is_err());
+        assert!(DateTime::parse("2001-01-01T1:2:3").is_err());
+    }
+
+    #[test]
+    fn epoch_millis_monotone_with_ordering() {
+        let xs = [
+            DateTime::parse("1969-12-31T23:59:59.999").unwrap(),
+            DateTime::parse("1970-01-01T00:00:00").unwrap(),
+            DateTime::parse("1970-01-01T00:00:00.001").unwrap(),
+            DateTime::parse("2006-09-12T09:00:00").unwrap(),
+        ];
+        for w in xs.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].millis_since_epoch() < w[1].millis_since_epoch());
+        }
+        assert_eq!(xs[1].millis_since_epoch(), 0);
+        assert_eq!(xs[0].millis_since_epoch(), -1);
+    }
+}

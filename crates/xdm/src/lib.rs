@@ -1,0 +1,41 @@
+//! # xqdb-xdm — the XQuery Data Model substrate
+//!
+//! This crate implements the subset of the [XQuery 1.0 and XPath 2.0 Data
+//! Model (XDM)] that *On the Path to Efficient XML Queries* (Balmin, Beyer,
+//! Özcan, Nicola; VLDB 2006) relies on:
+//!
+//! * the seven node kinds with **node identity** and **document order**
+//!   (Section 3.6 of the paper: "construction is nondeterministic because it
+//!   generates distinct node identifiers on each evaluation");
+//! * **typed values vs. string values** of nodes, including the
+//!   `xdt:untypedAtomic` annotation of unvalidated data (Sections 3.1, 3.6);
+//! * the **casting table** used both by query comparisons and by the
+//!   *tolerant* index key extraction of Section 2.1;
+//! * **general (existential) vs. value comparison** semantics, whose
+//!   difference drives the "between" pitfall of Section 3.10 and the join
+//!   pitfalls of Section 3.3.
+//!
+//! Everything here is deliberately independent of parsing, query evaluation
+//! and storage — those live in the sibling crates and consume this model.
+//!
+//! [XQuery 1.0 and XPath 2.0 Data Model (XDM)]: https://www.w3.org/TR/xpath-datamodel/
+
+pub mod atomic;
+pub mod builder;
+pub mod cast;
+pub mod compare;
+pub mod datetime;
+pub mod error;
+pub mod node;
+pub mod qname;
+pub mod sequence;
+pub mod validate;
+
+pub use atomic::{AtomicType, AtomicValue};
+pub use builder::DocumentBuilder;
+pub use datetime::{Date, DateTime};
+pub use error::{ErrorCode, XdmError};
+pub use node::{Document, DocId, NodeHandle, NodeId, NodeKind, TypeAnnotation};
+pub use qname::{ExpandedName, QName};
+pub use sequence::{Item, Sequence};
+pub use validate::{validate, TypeRule};

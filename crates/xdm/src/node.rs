@@ -1,0 +1,419 @@
+//! Nodes, documents, node identity and document order.
+//!
+//! Documents are immutable arena-allocated trees: a [`Document`] owns a
+//! `Vec<NodeData>` and node references are indices ([`NodeId`]) into that
+//! arena, assigned in **document order** (pre-order, attributes directly
+//! after their owning element and before its children, per XDM). This makes
+//! document-order comparison and descendant iteration O(1)/O(k) range
+//! operations.
+//!
+//! **Node identity** is the pair `(DocId, NodeId)`. `DocId`s come from a
+//! process-wide atomic counter, so every *constructed* tree — including
+//! copies of existing nodes made by element constructors — gets identities
+//! distinct from every other tree. This is exactly the property Section 3.6
+//! of the paper builds on: `<e>5</e> is <e>5</e>` is `false`, and a naive
+//! rewrite that eliminates construction changes the meaning of identity-
+//! sensitive operators like `except`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::atomic::{AtomicType, AtomicValue};
+use crate::cast;
+use crate::error::{XdmError, XdmResult};
+use crate::qname::ExpandedName;
+
+/// Process-unique document identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u64);
+
+static NEXT_DOC_ID: AtomicU64 = AtomicU64::new(1);
+
+impl DocId {
+    /// Allocate a fresh, never-before-used document id.
+    pub fn fresh() -> DocId {
+        DocId(NEXT_DOC_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Index of a node within its document's arena. Assigned in document order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// The seven XDM node kinds (namespace nodes are not modelled; in-scope
+/// namespaces are resolved at parse time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Document node — the root of a parsed document.
+    Document,
+    /// Element node.
+    Element,
+    /// Attribute node.
+    Attribute,
+    /// Text node.
+    Text,
+    /// Comment node.
+    Comment,
+    /// Processing-instruction node.
+    ProcessingInstruction,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::Document => "document-node()",
+            NodeKind::Element => "element()",
+            NodeKind::Attribute => "attribute()",
+            NodeKind::Text => "text()",
+            NodeKind::Comment => "comment()",
+            NodeKind::ProcessingInstruction => "processing-instruction()",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Type annotation of a node, set by (optional) schema validation.
+///
+/// Unvalidated elements are `xdt:untyped` and unvalidated attributes are
+/// `xdt:untypedAtomic`; a mini-validator (in the workload crate) can stamp
+/// `Atomic` annotations to model the paper's per-document validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeAnnotation {
+    /// `xdt:untyped` — unvalidated element.
+    Untyped,
+    /// `xdt:untypedAtomic` — unvalidated attribute (or text content).
+    UntypedAtomic,
+    /// A concrete simple type from validation, e.g. `xs:double`.
+    Atomic(AtomicType),
+}
+
+/// Node payload stored in the document arena.
+#[derive(Debug, Clone)]
+pub struct NodeData {
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Element/attribute name; PI target is stored as a no-namespace name.
+    pub name: Option<ExpandedName>,
+    /// Text/comment/PI content or attribute value.
+    pub value: Option<String>,
+    /// Child nodes in document order (document and element nodes).
+    pub children: Vec<NodeId>,
+    /// Attribute nodes (element nodes only).
+    pub attributes: Vec<NodeId>,
+    /// Last NodeId (inclusive) belonging to this node's subtree; equals the
+    /// node's own id for leaves. Enables range-based descendant iteration.
+    pub subtree_end: NodeId,
+    /// Validation annotation.
+    pub annotation: TypeAnnotation,
+}
+
+/// An immutable XML tree. Roots are usually document nodes, but constructed
+/// trees are rooted by element nodes (Section 3.5 of the paper relies on the
+/// difference).
+#[derive(Debug)]
+pub struct Document {
+    /// Process-unique identity of this tree.
+    pub id: DocId,
+    /// Arena of nodes in document order; index 0 is the root.
+    pub nodes: Vec<NodeData>,
+}
+
+impl Document {
+    /// The root node of this tree.
+    pub fn root(self: &Arc<Self>) -> NodeHandle {
+        NodeHandle { doc: Arc::clone(self), id: NodeId(0) }
+    }
+
+    /// Borrow a node's payload.
+    pub fn node(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree is empty (never the case for built documents).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// A reference-counted handle to one node of one document.
+///
+/// Equality and hashing follow **node identity** (`(DocId, NodeId)`);
+/// ordering follows **document order** with an arbitrary-but-stable order
+/// across documents (by `DocId`), as XDM permits.
+#[derive(Clone)]
+pub struct NodeHandle {
+    /// The owning tree.
+    pub doc: Arc<Document>,
+    /// Position within the tree.
+    pub id: NodeId,
+}
+
+impl PartialEq for NodeHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.doc.id == other.doc.id && self.id == other.id
+    }
+}
+impl Eq for NodeHandle {}
+
+impl PartialOrd for NodeHandle {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for NodeHandle {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.doc.id, self.id).cmp(&(other.doc.id, other.id))
+    }
+}
+
+impl std::hash::Hash for NodeHandle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.doc.id.hash(state);
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeHandle(doc={}, node={}", self.doc.id.0, self.id.0)?;
+        if let Some(name) = self.name() {
+            write!(f, ", {} {}", self.kind(), name)?;
+        } else {
+            write!(f, ", {}", self.kind())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl NodeHandle {
+    fn data(&self) -> &NodeData {
+        self.doc.node(self.id)
+    }
+
+    /// Handle to another node of the same document.
+    pub fn sibling_handle(&self, id: NodeId) -> NodeHandle {
+        NodeHandle { doc: Arc::clone(&self.doc), id }
+    }
+
+    /// This node's kind.
+    pub fn kind(&self) -> NodeKind {
+        self.data().kind
+    }
+
+    /// This node's expanded name, if it has one.
+    pub fn name(&self) -> Option<&ExpandedName> {
+        self.data().name.as_ref()
+    }
+
+    /// Validation annotation.
+    pub fn annotation(&self) -> TypeAnnotation {
+        self.data().annotation
+    }
+
+    /// Parent node, if any.
+    pub fn parent(&self) -> Option<NodeHandle> {
+        self.data().parent.map(|p| self.sibling_handle(p))
+    }
+
+    /// Child nodes (attributes excluded), in document order.
+    pub fn children(&self) -> impl Iterator<Item = NodeHandle> + '_ {
+        self.data().children.iter().map(move |&c| self.sibling_handle(c))
+    }
+
+    /// Attribute nodes.
+    pub fn attributes(&self) -> impl Iterator<Item = NodeHandle> + '_ {
+        self.data().attributes.iter().map(move |&a| self.sibling_handle(a))
+    }
+
+    /// All descendants in document order, attributes excluded (the XPath
+    /// `descendant` axis).
+    pub fn descendants(&self) -> impl Iterator<Item = NodeHandle> + '_ {
+        let start = self.id.0 + 1;
+        let end = self.data().subtree_end.0;
+        (start..=end)
+            .filter(move |&i| self.doc.node(NodeId(i)).kind != NodeKind::Attribute)
+            .map(move |i| self.sibling_handle(NodeId(i)))
+    }
+
+    /// All descendant *or self* nodes in document order, attributes excluded.
+    pub fn descendants_or_self(&self) -> impl Iterator<Item = NodeHandle> + '_ {
+        std::iter::once(self.clone()).chain(self.descendants())
+    }
+
+    /// True if `self` is an ancestor of `other` (proper ancestor).
+    pub fn is_ancestor_of(&self, other: &NodeHandle) -> bool {
+        self.doc.id == other.doc.id
+            && self.id < other.id
+            && other.id <= self.data().subtree_end
+    }
+
+    /// The root of this node's tree (`fn:root`): a document node for parsed
+    /// documents, an element node for constructed trees.
+    pub fn tree_root(&self) -> NodeHandle {
+        self.sibling_handle(NodeId(0))
+    }
+
+    /// The **string value** per XDM: for elements and documents, the
+    /// concatenation of all descendant text nodes; for attributes and text,
+    /// the content itself.
+    pub fn string_value(&self) -> String {
+        match self.kind() {
+            NodeKind::Document | NodeKind::Element => {
+                let mut out = String::new();
+                let start = self.id.0;
+                let end = self.data().subtree_end.0;
+                for i in start..=end {
+                    let d = self.doc.node(NodeId(i));
+                    if d.kind == NodeKind::Text {
+                        if let Some(v) = &d.value {
+                            out.push_str(v);
+                        }
+                    }
+                }
+                out
+            }
+            NodeKind::Attribute
+            | NodeKind::Text
+            | NodeKind::Comment
+            | NodeKind::ProcessingInstruction => self.data().value.clone().unwrap_or_default(),
+        }
+    }
+
+    /// The **typed value** per XDM (`fn:data` on a single node):
+    ///
+    /// * untyped elements / attributes yield `xdt:untypedAtomic` carrying the
+    ///   string value — the behaviour that drives the paper's Section 3.1
+    ///   (untyped data compared under string or double rules depending on
+    ///   the other operand) and Section 3.6 case 1;
+    /// * validated nodes yield their annotation type (the cast can fail,
+    ///   surfacing `FORG0001`);
+    /// * comments and PIs yield `xs:string`.
+    pub fn typed_value(&self) -> XdmResult<AtomicValue> {
+        match self.kind() {
+            NodeKind::Document | NodeKind::Text => {
+                Ok(AtomicValue::UntypedAtomic(self.string_value()))
+            }
+            NodeKind::Comment | NodeKind::ProcessingInstruction => {
+                Ok(AtomicValue::String(self.string_value()))
+            }
+            NodeKind::Element | NodeKind::Attribute => match self.annotation() {
+                TypeAnnotation::Untyped | TypeAnnotation::UntypedAtomic => {
+                    Ok(AtomicValue::UntypedAtomic(self.string_value()))
+                }
+                TypeAnnotation::Atomic(t) => {
+                    cast::cast_str(&self.string_value(), t).map_err(|e| {
+                        XdmError::new(
+                            e.code,
+                            format!("typed value of {:?} invalid for {}: {}", self, t, e.message),
+                        )
+                    })
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DocumentBuilder;
+    use crate::qname::ExpandedName;
+
+    fn sample() -> Arc<Document> {
+        // <order date="2001-01-01"><lineitem price="99.50">x</lineitem><lineitem/></order>
+        let mut b = DocumentBuilder::new_document();
+        b.start_element(ExpandedName::local("order"));
+        b.attribute(ExpandedName::local("date"), "2001-01-01");
+        b.start_element(ExpandedName::local("lineitem"));
+        b.attribute(ExpandedName::local("price"), "99.50");
+        b.text("x");
+        b.end_element();
+        b.start_element(ExpandedName::local("lineitem"));
+        b.end_element();
+        b.end_element();
+        b.finish()
+    }
+
+    #[test]
+    fn document_order_is_preorder_with_attributes_first() {
+        let doc = sample();
+        let root = doc.root();
+        assert_eq!(root.kind(), NodeKind::Document);
+        let order = root.children().next().unwrap();
+        assert_eq!(order.name().unwrap().local.as_ref(), "order");
+        let date_attr = order.attributes().next().unwrap();
+        let li = order.children().next().unwrap();
+        // attribute precedes first child in document order
+        assert!(order < date_attr);
+        assert!(date_attr < li);
+    }
+
+    #[test]
+    fn descendants_exclude_attributes() {
+        let doc = sample();
+        let root = doc.root();
+        let kinds: Vec<NodeKind> = root.descendants().map(|n| n.kind()).collect();
+        assert!(!kinds.contains(&NodeKind::Attribute));
+        // order, lineitem, text, lineitem
+        assert_eq!(kinds.len(), 4);
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let doc = sample();
+        let order = doc.root().children().next().unwrap();
+        assert_eq!(order.string_value(), "x");
+        let date = order.attributes().next().unwrap();
+        assert_eq!(date.string_value(), "2001-01-01");
+    }
+
+    #[test]
+    fn typed_value_of_untyped_is_untyped_atomic() {
+        let doc = sample();
+        let order = doc.root().children().next().unwrap();
+        let li = order.children().next().unwrap();
+        let price = li.attributes().next().unwrap();
+        assert_eq!(
+            price.typed_value().unwrap(),
+            AtomicValue::UntypedAtomic("99.50".into())
+        );
+    }
+
+    #[test]
+    fn node_identity_distinguishes_trees() {
+        let a = sample();
+        let b = sample();
+        // Same shape, distinct identity — the Section 3.6 property.
+        assert_ne!(a.root(), b.root());
+        assert_eq!(a.root(), a.root());
+    }
+
+    #[test]
+    fn ancestor_check_via_subtree_ranges() {
+        let doc = sample();
+        let root = doc.root();
+        let order = root.children().next().unwrap();
+        let li = order.children().next().unwrap();
+        assert!(root.is_ancestor_of(&li));
+        assert!(order.is_ancestor_of(&li));
+        assert!(!li.is_ancestor_of(&order));
+        assert!(!li.is_ancestor_of(&li));
+    }
+
+    #[test]
+    fn tree_root_returns_node_zero() {
+        let doc = sample();
+        let order = doc.root().children().next().unwrap();
+        let li = order.children().next().unwrap();
+        assert_eq!(li.tree_root(), doc.root());
+        assert_eq!(li.tree_root().kind(), NodeKind::Document);
+    }
+}

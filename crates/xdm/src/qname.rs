@@ -1,0 +1,195 @@
+//! Qualified names and expanded names.
+//!
+//! Namespace handling is one of the paper's ten pitfalls (Section 3.7): an
+//! index defined without namespace declarations only contains elements in
+//! *no* namespace, while a query with a `default element namespace` asks for
+//! namespaced elements — so the index is silently ineligible. Getting name
+//! matching right therefore matters for both the evaluator and the index
+//! pattern matcher.
+//!
+//! Two distinct types keep lexical and semantic concerns apart:
+//!
+//! * [`QName`] is the *lexical* form (`prefix:local`) as written in a
+//!   document or query, before namespace resolution;
+//! * [`ExpandedName`] is the *resolved* form `(namespace-uri?, local)` that
+//!   participates in equality — this is what XPath name tests compare.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The `xml` namespace, bound implicitly to the `xml` prefix.
+pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+/// The `xmlns` attribute namespace.
+pub const XMLNS_NS: &str = "http://www.w3.org/2000/xmlns/";
+/// XML Schema namespace (`xs` prefix in queries).
+pub const XS_NS: &str = "http://www.w3.org/2001/XMLSchema";
+/// XPath data types namespace (`xdt` prefix; hosts `untypedAtomic` in the
+/// 2005 drafts the paper cites).
+pub const XDT_NS: &str = "http://www.w3.org/2005/xpath-datatypes";
+/// Namespace of the built-in function library (`fn` prefix).
+pub const FN_NS: &str = "http://www.w3.org/2005/xpath-functions";
+/// Namespace of the DB2-style collection access functions (`db2-fn` prefix;
+/// the paper's `db2-fn:xmlcolumn`).
+pub const DB2_FN_NS: &str = "http://xqdb.example.org/db2-functions";
+
+/// A lexical qualified name: optional prefix plus local part.
+///
+/// Equality on `QName` is lexical; resolve to an [`ExpandedName`] before
+/// comparing names semantically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QName {
+    /// Prefix as written, or `None` for an unprefixed name.
+    pub prefix: Option<Arc<str>>,
+    /// Local part.
+    pub local: Arc<str>,
+}
+
+impl QName {
+    /// An unprefixed name.
+    pub fn local(local: impl AsRef<str>) -> Self {
+        QName { prefix: None, local: Arc::from(local.as_ref()) }
+    }
+
+    /// A prefixed name.
+    pub fn prefixed(prefix: impl AsRef<str>, local: impl AsRef<str>) -> Self {
+        QName { prefix: Some(Arc::from(prefix.as_ref())), local: Arc::from(local.as_ref()) }
+    }
+
+    /// Parse a lexical QName (`local` or `prefix:local`). Returns `None` for
+    /// malformed input (empty parts, more than one colon).
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split(':');
+        let first = parts.next()?;
+        match (parts.next(), parts.next()) {
+            (None, _) if is_ncname(first) => Some(QName::local(first)),
+            (Some(second), None) if is_ncname(first) && is_ncname(second) => {
+                Some(QName::prefixed(first, second))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{}:{}", p, self.local),
+            None => f.write_str(&self.local),
+        }
+    }
+}
+
+/// A namespace-resolved name: `(namespace-uri?, local-part)`.
+///
+/// `ns == None` means the name is in *no namespace* — which, per the paper's
+/// Section 3.7, is exactly what an index pattern without namespace
+/// declarations matches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExpandedName {
+    /// Namespace URI, or `None` for no namespace.
+    pub ns: Option<Arc<str>>,
+    /// Local part.
+    pub local: Arc<str>,
+}
+
+impl ExpandedName {
+    /// A name in no namespace.
+    pub fn local(local: impl AsRef<str>) -> Self {
+        ExpandedName { ns: None, local: Arc::from(local.as_ref()) }
+    }
+
+    /// A name in the given namespace.
+    pub fn ns(ns: impl AsRef<str>, local: impl AsRef<str>) -> Self {
+        ExpandedName { ns: Some(Arc::from(ns.as_ref())), local: Arc::from(local.as_ref()) }
+    }
+
+    /// Clark notation (`{uri}local`) used in diagnostics and EXPLAIN output.
+    pub fn clark(&self) -> String {
+        match &self.ns {
+            Some(ns) => format!("{{{}}}{}", ns, self.local),
+            None => self.local.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ExpandedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.clark())
+    }
+}
+
+/// True if `s` is a valid NCName (no colon, starts with a letter or `_`).
+///
+/// This intentionally accepts the full `char::is_alphabetic` range rather
+/// than the exact XML 1.0 production tables; the difference does not affect
+/// any behaviour the paper discusses.
+pub fn is_ncname(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | '\u{B7}'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_unprefixed() {
+        let q = QName::parse("lineitem").unwrap();
+        assert_eq!(q.prefix, None);
+        assert_eq!(&*q.local, "lineitem");
+        assert_eq!(q.to_string(), "lineitem");
+    }
+
+    #[test]
+    fn parse_prefixed() {
+        let q = QName::parse("c:customer").unwrap();
+        assert_eq!(q.prefix.as_deref(), Some("c"));
+        assert_eq!(&*q.local, "customer");
+        assert_eq!(q.to_string(), "c:customer");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(QName::parse("").is_none());
+        assert!(QName::parse(":x").is_none());
+        assert!(QName::parse("x:").is_none());
+        assert!(QName::parse("a:b:c").is_none());
+        assert!(QName::parse("1abc").is_none());
+        assert!(QName::parse("a b").is_none());
+    }
+
+    #[test]
+    fn expanded_name_equality_uses_uri_not_prefix() {
+        // Two different prefixes bound to the same URI resolve equal.
+        let a = ExpandedName::ns("http://ournamespaces.com/order", "lineitem");
+        let b = ExpandedName::ns("http://ournamespaces.com/order", "lineitem");
+        assert_eq!(a, b);
+        // Same local name, no namespace vs. namespace: NOT equal — this is
+        // the Section 3.7 pitfall in miniature.
+        let c = ExpandedName::local("lineitem");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clark_notation() {
+        assert_eq!(ExpandedName::local("nation").clark(), "nation");
+        assert_eq!(
+            ExpandedName::ns("http://x", "nation").clark(),
+            "{http://x}nation"
+        );
+    }
+
+    #[test]
+    fn ncname_validation() {
+        assert!(is_ncname("order"));
+        assert!(is_ncname("_private"));
+        assert!(is_ncname("a-b.c"));
+        assert!(!is_ncname("9lives"));
+        assert!(!is_ncname("a:b"));
+        assert!(!is_ncname(""));
+    }
+}

@@ -1,0 +1,212 @@
+//! Mini-validation: stamping simple-type annotations onto a parsed tree.
+//!
+//! The paper's engine validates documents *per document* against possibly
+//! different schemas ("the association between schemas and XML documents is
+//! per document, for highest flexibility"), and index key extraction takes
+//! "the node's type annotation derived during validation" into account.
+//! This module provides the minimal equivalent: rebuild a tree with
+//! annotations assigned by name-based rules, rejecting documents whose
+//! values do not conform — exactly enough to reproduce the typed-data
+//! behaviours of Sections 3.1 and 3.6 (cases 1 and 2).
+
+use std::sync::Arc;
+
+use crate::atomic::AtomicType;
+use crate::builder::DocumentBuilder;
+use crate::cast;
+use crate::error::{XdmError, XdmResult};
+use crate::node::{Document, NodeHandle, NodeKind};
+use crate::qname::ExpandedName;
+
+/// A validation rule: nodes whose *local name* matches get the annotation.
+/// (Real schemas key on paths and namespaces; local names suffice for the
+/// paper's examples and keep the rule set readable.)
+#[derive(Debug, Clone)]
+pub struct TypeRule {
+    /// Local name of the element or attribute to annotate.
+    pub local_name: String,
+    /// The simple type to stamp.
+    pub ty: AtomicType,
+}
+
+impl TypeRule {
+    /// Convenience constructor.
+    pub fn new(local_name: impl Into<String>, ty: AtomicType) -> Self {
+        TypeRule { local_name: local_name.into(), ty }
+    }
+}
+
+/// Validate (re-annotate) a document against the rules. Fails with
+/// `FORG0001` if an annotated node's value is not castable to its type —
+/// the "document rejected by schema validation" case, which is distinct
+/// from the *tolerant* index behaviour.
+pub fn validate(doc: &NodeHandle, rules: &[TypeRule]) -> XdmResult<Arc<Document>> {
+    let mut b = match doc.kind() {
+        NodeKind::Document => DocumentBuilder::new_document(),
+        NodeKind::Element => DocumentBuilder::new_element_root(
+            doc.name().cloned().unwrap_or_else(|| ExpandedName::local("root")),
+        ),
+        other => {
+            return Err(XdmError::type_error(format!(
+                "validation requires a document or element root, got {other}"
+            )))
+        }
+    };
+    if doc.kind() == NodeKind::Element {
+        copy_attrs_and_children(&mut b, doc, rules)?;
+    } else {
+        for child in doc.children() {
+            copy_validated(&mut b, &child, rules)?;
+        }
+    }
+    Ok(b.finish())
+}
+
+fn rule_for<'r>(rules: &'r [TypeRule], name: Option<&ExpandedName>) -> Option<&'r TypeRule> {
+    let local = &*name?.local;
+    rules.iter().find(|r| r.local_name == local)
+}
+
+fn copy_validated(
+    b: &mut DocumentBuilder,
+    node: &NodeHandle,
+    rules: &[TypeRule],
+) -> XdmResult<()> {
+    match node.kind() {
+        NodeKind::Element => {
+            let name = node.name().expect("elements carry names").clone();
+            let id = b.start_element(name);
+            if let Some(rule) = rule_for(rules, node.name()) {
+                check_castable(node, rule)?;
+                b.annotate(id, rule.ty);
+            }
+            copy_attrs_and_children(b, node, rules)?;
+            b.end_element();
+        }
+        NodeKind::Text => {
+            b.text(node.string_value());
+        }
+        NodeKind::Comment => {
+            b.comment(node.string_value());
+        }
+        NodeKind::ProcessingInstruction => {
+            b.processing_instruction(
+                node.name().map(|n| n.local.to_string()).unwrap_or_default(),
+                node.string_value(),
+            );
+        }
+        NodeKind::Attribute | NodeKind::Document => {
+            unreachable!("attributes/documents handled by their parents")
+        }
+    }
+    Ok(())
+}
+
+fn copy_attrs_and_children(
+    b: &mut DocumentBuilder,
+    node: &NodeHandle,
+    rules: &[TypeRule],
+) -> XdmResult<()> {
+    for attr in node.attributes() {
+        let name = attr.name().expect("attributes carry names").clone();
+        let id = b.attribute(name, attr.string_value());
+        if let Some(rule) = rule_for(rules, attr.name()) {
+            check_castable(&attr, rule)?;
+            b.annotate(id, rule.ty);
+        }
+    }
+    for child in node.children() {
+        copy_validated(b, &child, rules)?;
+    }
+    Ok(())
+}
+
+fn check_castable(node: &NodeHandle, rule: &TypeRule) -> XdmResult<()> {
+    cast::cast_str(&node.string_value(), rule.ty).map(|_| ()).map_err(|e| {
+        XdmError::invalid_cast(format!(
+            "validation failed: {} value {:?} is not a valid {}: {}",
+            rule.local_name,
+            node.string_value(),
+            rule.ty,
+            e.message
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TypeAnnotation;
+
+    #[test]
+    fn annotates_matching_nodes() {
+        let mut b = DocumentBuilder::new_document();
+        b.start_element(ExpandedName::local("lineitem"));
+        b.attribute(ExpandedName::local("price"), "99.50");
+        b.start_element(ExpandedName::local("id"));
+        b.text("17");
+        b.end_element();
+        b.end_element();
+        let doc = b.finish();
+
+        let validated = validate(
+            &doc.root(),
+            &[
+                TypeRule::new("price", AtomicType::Double),
+                TypeRule::new("id", AtomicType::Integer),
+            ],
+        )
+        .unwrap();
+        let li = validated.root().children().next().unwrap();
+        let price = li.attributes().next().unwrap();
+        assert_eq!(price.annotation(), TypeAnnotation::Atomic(AtomicType::Double));
+        assert_eq!(
+            price.typed_value().unwrap(),
+            crate::AtomicValue::Double(99.5)
+        );
+        let id = li.children().next().unwrap();
+        assert_eq!(id.annotation(), TypeAnnotation::Atomic(AtomicType::Integer));
+        assert_eq!(id.typed_value().unwrap(), crate::AtomicValue::Integer(17));
+    }
+
+    #[test]
+    fn rejects_nonconforming_values() {
+        let mut b = DocumentBuilder::new_document();
+        b.start_element(ExpandedName::local("lineitem"));
+        b.attribute(ExpandedName::local("price"), "20 USD");
+        b.end_element();
+        let doc = b.finish();
+        let err = validate(&doc.root(), &[TypeRule::new("price", AtomicType::Double)])
+            .unwrap_err();
+        assert_eq!(err.code, crate::ErrorCode::FORG0001);
+    }
+
+    #[test]
+    fn unmatched_nodes_stay_untyped() {
+        let mut b = DocumentBuilder::new_document();
+        b.start_element(ExpandedName::local("note"));
+        b.text("hello");
+        b.end_element();
+        let doc = b.finish();
+        let validated =
+            validate(&doc.root(), &[TypeRule::new("price", AtomicType::Double)]).unwrap();
+        let note = validated.root().children().next().unwrap();
+        assert_eq!(note.annotation(), TypeAnnotation::Untyped);
+    }
+
+    #[test]
+    fn preserves_structure() {
+        let mut b = DocumentBuilder::new_document();
+        b.start_element(ExpandedName::local("a"));
+        b.comment("c");
+        b.processing_instruction("t", "d");
+        b.start_element(ExpandedName::local("b"));
+        b.end_element();
+        b.end_element();
+        let doc = b.finish();
+        let validated = validate(&doc.root(), &[]).unwrap();
+        assert_eq!(validated.len(), doc.len());
+        let a = validated.root().children().next().unwrap();
+        assert_eq!(a.children().count(), 3);
+    }
+}

@@ -1,0 +1,509 @@
+//! The XML value index.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Bound;
+
+use xqdb_btree::{keyenc, BPlusTree};
+use xqdb_xdm::{cast, AtomicType, AtomicValue, ErrorCode, NodeHandle, XdmError};
+use xqdb_xquery::{parse_pattern, Pattern};
+
+use crate::matcher::PatternMatcher;
+
+/// The four index data types of the paper's `CREATE INDEX ... AS type` DDL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexType {
+    /// `AS varchar` — contains **every** matching node (string() always
+    /// succeeds), hence usable for purely structural predicates.
+    Varchar,
+    /// `AS double`
+    Double,
+    /// `AS date`
+    Date,
+    /// `AS timestamp`
+    Timestamp,
+}
+
+impl IndexType {
+    /// Parse the DDL keyword.
+    pub fn parse(s: &str) -> Option<IndexType> {
+        match s.to_ascii_lowercase().as_str() {
+            "varchar" => Some(IndexType::Varchar),
+            "double" => Some(IndexType::Double),
+            "date" => Some(IndexType::Date),
+            "timestamp" => Some(IndexType::Timestamp),
+            _ => None,
+        }
+    }
+
+    /// The XDM type an indexed value is cast to.
+    pub fn atomic_type(self) -> AtomicType {
+        match self {
+            IndexType::Varchar => AtomicType::String,
+            IndexType::Double => AtomicType::Double,
+            IndexType::Date => AtomicType::Date,
+            IndexType::Timestamp => AtomicType::DateTime,
+        }
+    }
+}
+
+impl fmt::Display for IndexType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IndexType::Varchar => "varchar",
+            IndexType::Double => "double",
+            IndexType::Date => "date",
+            IndexType::Timestamp => "timestamp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fixed suffix: 8-byte row id + 4-byte node id.
+const SUFFIX_LEN: usize = 12;
+
+/// A value range to probe, in XDM values. `Unbounded`/`Unbounded` is the
+/// full structural scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRange {
+    /// Lower bound on the indexed value.
+    pub lo: Bound<AtomicValue>,
+    /// Upper bound on the indexed value.
+    pub hi: Bound<AtomicValue>,
+}
+
+impl ProbeRange {
+    /// Equality probe.
+    pub fn eq(v: AtomicValue) -> Self {
+        ProbeRange { lo: Bound::Included(v.clone()), hi: Bound::Included(v) }
+    }
+
+    /// Full scan (structural predicate).
+    pub fn all() -> Self {
+        ProbeRange { lo: Bound::Unbounded, hi: Bound::Unbounded }
+    }
+}
+
+/// Statistics from one probe, used by the benchmarks to show scan effort
+/// (e.g. the Section 3.10 single-range vs two-scan-intersection gap).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Index entries touched by the scan.
+    pub entries_scanned: usize,
+    /// Distinct rows produced.
+    pub rows_matched: usize,
+}
+
+/// One XML value index over a table's XML column.
+#[derive(Debug, Clone)]
+pub struct XmlIndex {
+    /// Index name (upper-cased).
+    pub name: String,
+    /// Owning table (upper-cased).
+    pub table: String,
+    /// Indexed XML column (upper-cased).
+    pub column: String,
+    /// The XMLPATTERN.
+    pub pattern: Pattern,
+    /// The index data type.
+    pub ty: IndexType,
+    matcher: PatternMatcher,
+    tree: BPlusTree<()>,
+    /// Nodes that matched the pattern but did not cast (skipped —
+    /// "tolerant" indexing). Kept as a counter for observability.
+    pub skipped_nodes: usize,
+}
+
+impl XmlIndex {
+    /// Create an empty index from DDL parts.
+    pub fn create(
+        name: &str,
+        table: &str,
+        column: &str,
+        xmlpattern: &str,
+        ty: &str,
+    ) -> Result<XmlIndex, XdmError> {
+        let pattern = parse_pattern(xmlpattern).map_err(|e| {
+            XdmError::new(ErrorCode::XPST0003, format!("invalid XMLPATTERN: {e}"))
+        })?;
+        let ty = IndexType::parse(ty).ok_or_else(|| {
+            XdmError::new(
+                ErrorCode::SqlType,
+                format!("invalid index type {ty:?}: expected varchar|double|date|timestamp"),
+            )
+        })?;
+        let matcher = PatternMatcher::new(&pattern);
+        Ok(XmlIndex {
+            name: name.to_ascii_uppercase(),
+            table: table.to_ascii_uppercase(),
+            column: column.to_ascii_uppercase(),
+            pattern,
+            ty,
+            matcher,
+            tree: BPlusTree::new(),
+            skipped_nodes: 0,
+        })
+    }
+
+    /// Number of index entries.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Approximate index size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.tree.approx_bytes()
+    }
+
+    /// Index one stored document: insert an entry per matching node whose
+    /// value casts to the index type; nodes that fail the cast are skipped
+    /// without error (Section 2.1's tolerance, the enabler of schema
+    /// evolution and of broad `//@*` indexes).
+    pub fn insert_document(&mut self, row: u64, root: &NodeHandle) {
+        let mut entries: Vec<(Vec<u8>, ())> = Vec::new();
+        let mut skipped = 0usize;
+        let ty = self.ty;
+        self.matcher.walk(root, &mut |node| {
+            let typed = match node.typed_value() {
+                Ok(v) => v,
+                Err(_) => {
+                    skipped += 1;
+                    return;
+                }
+            };
+            match cast::cast(&typed, ty.atomic_type()) {
+                Ok(v) => {
+                    let mut key = Vec::with_capacity(24);
+                    encode_value(&v, &mut key);
+                    key.extend_from_slice(&keyenc::encode_u64(row));
+                    key.extend_from_slice(&node.id.0.to_be_bytes());
+                    entries.push((key, ()));
+                }
+                Err(_) => skipped += 1,
+            }
+        });
+        for (k, v) in entries {
+            self.tree.insert(k, v);
+        }
+        self.skipped_nodes += skipped;
+    }
+
+    /// Probe the index with a value range, returning the matching row set.
+    /// The probe value is cast to the index type first; an impossible cast
+    /// yields the empty set (the value cannot occur in this index).
+    pub fn probe(&self, range: &ProbeRange) -> (BTreeSet<u64>, ProbeStats) {
+        let lo = match encode_bound(&range.lo, self.ty, true) {
+            Ok(b) => b,
+            Err(()) => return (BTreeSet::new(), ProbeStats::default()),
+        };
+        let hi = match encode_bound(&range.hi, self.ty, false) {
+            Ok(b) => b,
+            Err(()) => return (BTreeSet::new(), ProbeStats::default()),
+        };
+        let mut rows = BTreeSet::new();
+        let mut stats = ProbeStats::default();
+        let lob = as_bound_slice(&lo);
+        let hib = as_bound_slice(&hi);
+        for (key, ()) in self.tree.range(lob, hib) {
+            stats.entries_scanned += 1;
+            if key.len() >= SUFFIX_LEN {
+                let row_bytes: [u8; 8] = key[key.len() - SUFFIX_LEN..key.len() - 4]
+                    .try_into()
+                    .expect("row id is 8 bytes");
+                rows.insert(u64::from_be_bytes(row_bytes));
+            }
+        }
+        stats.rows_matched = rows.len();
+        (rows, stats)
+    }
+
+    /// Probe returning `(row, node-id)` pairs — node-level results, used
+    /// for node-level ANDing of multiple predicates.
+    pub fn probe_nodes(&self, range: &ProbeRange) -> (BTreeSet<(u64, u32)>, ProbeStats) {
+        let lo = match encode_bound(&range.lo, self.ty, true) {
+            Ok(b) => b,
+            Err(()) => return (BTreeSet::new(), ProbeStats::default()),
+        };
+        let hi = match encode_bound(&range.hi, self.ty, false) {
+            Ok(b) => b,
+            Err(()) => return (BTreeSet::new(), ProbeStats::default()),
+        };
+        let mut out = BTreeSet::new();
+        let mut stats = ProbeStats::default();
+        for (key, ()) in self.tree.range(as_bound_slice(&lo), as_bound_slice(&hi)) {
+            stats.entries_scanned += 1;
+            if key.len() >= SUFFIX_LEN {
+                let row_bytes: [u8; 8] = key[key.len() - SUFFIX_LEN..key.len() - 4]
+                    .try_into()
+                    .expect("row id is 8 bytes");
+                let node_bytes: [u8; 4] =
+                    key[key.len() - 4..].try_into().expect("node id is 4 bytes");
+                out.insert((u64::from_be_bytes(row_bytes), u32::from_be_bytes(node_bytes)));
+            }
+        }
+        stats.rows_matched = out.iter().map(|(r, _)| *r).collect::<BTreeSet<_>>().len();
+        (out, stats)
+    }
+}
+
+/// Encode an already-cast value as its key prefix.
+fn encode_value(v: &AtomicValue, out: &mut Vec<u8>) {
+    match v {
+        AtomicValue::Double(d) => out.extend_from_slice(&keyenc::encode_f64(*d)),
+        AtomicValue::String(s) => keyenc::encode_str(s, out),
+        AtomicValue::Date(d) => out.extend_from_slice(&keyenc::encode_i64(d.days_since_epoch())),
+        AtomicValue::DateTime(dt) => {
+            out.extend_from_slice(&keyenc::encode_i64(dt.millis_since_epoch()))
+        }
+        other => {
+            // Index types cast to exactly the four encodings above; any
+            // other value reaching here is an engine bug.
+            unreachable!("unencodable index value {other:?}")
+        }
+    }
+}
+
+/// Encode a probe bound. `Err(())` means the value cannot be cast into the
+/// index's value space, so the probe matches nothing.
+fn encode_bound(
+    bound: &Bound<AtomicValue>,
+    ty: IndexType,
+    is_lower: bool,
+) -> Result<Bound<Vec<u8>>, ()> {
+    let v = match bound {
+        Bound::Unbounded => return Ok(Bound::Unbounded),
+        Bound::Included(v) | Bound::Excluded(v) => v,
+    };
+    let cast_v = cast::cast(v, ty.atomic_type()).map_err(|_| ())?;
+    let mut enc = Vec::with_capacity(24);
+    encode_value(&cast_v, &mut enc);
+    let inclusive = matches!(bound, Bound::Included(_));
+    // Composite keys carry a 12-byte (row, node) suffix; pad bounds so the
+    // value range covers every suffix.
+    Ok(match (is_lower, inclusive) {
+        (true, true) => Bound::Included(enc),
+        (true, false) => {
+            enc.extend_from_slice(&[0xFF; SUFFIX_LEN]);
+            Bound::Excluded(enc)
+        }
+        (false, true) => {
+            enc.extend_from_slice(&[0xFF; SUFFIX_LEN]);
+            Bound::Included(enc)
+        }
+        (false, false) => Bound::Excluded(enc),
+    })
+}
+
+fn as_bound_slice(b: &Bound<Vec<u8>>) -> Bound<&[u8]> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(v) => Bound::Included(v.as_slice()),
+        Bound::Excluded(v) => Bound::Excluded(v.as_slice()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqdb_xmlparse::parse_document;
+
+    fn li_price() -> XmlIndex {
+        XmlIndex::create("li_price", "orders", "orddoc", "//lineitem/@price", "double").unwrap()
+    }
+
+    fn index_docs(idx: &mut XmlIndex, docs: &[&str]) {
+        for (i, d) in docs.iter().enumerate() {
+            let doc = parse_document(d).unwrap();
+            idx.insert_document(i as u64, &doc.root());
+        }
+    }
+
+    #[test]
+    fn equality_and_range_probes() {
+        let mut idx = li_price();
+        index_docs(
+            &mut idx,
+            &[
+                r#"<order><lineitem price="99.50"/></order>"#,
+                r#"<order><lineitem price="250"/><lineitem price="50"/></order>"#,
+                r#"<order><note/></order>"#,
+            ],
+        );
+        assert_eq!(idx.len(), 3);
+        let (rows, _) = idx.probe(&ProbeRange::eq(AtomicValue::Double(99.5)));
+        assert_eq!(rows.into_iter().collect::<Vec<_>>(), vec![0]);
+        // > 100
+        let (rows, stats) = idx.probe(&ProbeRange {
+            lo: Bound::Excluded(AtomicValue::Double(100.0)),
+            hi: Bound::Unbounded,
+        });
+        assert_eq!(rows.into_iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(stats.entries_scanned, 1);
+    }
+
+    #[test]
+    fn tolerant_indexing_skips_uncastable() {
+        // Section 2.1: "20 USD" never enters a double index, and the
+        // document is NOT rejected.
+        let mut idx = li_price();
+        index_docs(
+            &mut idx,
+            &[r#"<order><lineitem price="20 USD"/><lineitem price="30"/></order>"#],
+        );
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.skipped_nodes, 1);
+    }
+
+    #[test]
+    fn varchar_index_contains_everything() {
+        let mut idx =
+            XmlIndex::create("p_str", "orders", "orddoc", "//lineitem/@price", "varchar").unwrap();
+        index_docs(
+            &mut idx,
+            &[r#"<order><lineitem price="20 USD"/><lineitem price="30"/></order>"#],
+        );
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.skipped_nodes, 0);
+        // Structural probe: full scan finds the document.
+        let (rows, _) = idx.probe(&ProbeRange::all());
+        assert_eq!(rows.len(), 1);
+        // String equality works on the non-numeric value.
+        let (rows, _) =
+            idx.probe(&ProbeRange::eq(AtomicValue::String("20 USD".into())));
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn varchar_cannot_see_numeric_equivalence() {
+        // 1E3 = 1000 numerically, but a varchar index keeps them apart —
+        // the Section 3.1 reason varchar indexes can't serve numeric joins.
+        let mut idx =
+            XmlIndex::create("p_str", "orders", "orddoc", "//price", "varchar").unwrap();
+        index_docs(&mut idx, &[r#"<o><price>1E3</price><price>1000</price></o>"#]);
+        let (rows, stats) =
+            idx.probe(&ProbeRange::eq(AtomicValue::String("1000".into())));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(stats.entries_scanned, 1); // only the literal "1000"
+        // A double index unifies them.
+        let mut didx = XmlIndex::create("p_d", "orders", "orddoc", "//price", "double").unwrap();
+        index_docs(&mut didx, &[r#"<o><price>1E3</price><price>1000</price></o>"#]);
+        let (_, stats) = didx.probe(&ProbeRange::eq(AtomicValue::Double(1000.0)));
+        assert_eq!(stats.entries_scanned, 2);
+    }
+
+    #[test]
+    fn date_index() {
+        let mut idx =
+            XmlIndex::create("o_date", "orders", "orddoc", "/order/date", "date").unwrap();
+        index_docs(
+            &mut idx,
+            &[
+                r#"<order><date>2001-01-01</date></order>"#,
+                r#"<order><date>2003-06-15</date></order>"#,
+                r#"<order><date>January 1, 2001</date></order>"#, // skipped
+            ],
+        );
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.skipped_nodes, 1);
+        let (rows, _) = idx.probe(&ProbeRange {
+            lo: Bound::Included(AtomicValue::UntypedAtomic("2002-01-01".into())),
+            hi: Bound::Unbounded,
+        });
+        assert_eq!(rows.into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn probe_value_that_cannot_cast_matches_nothing() {
+        let mut idx = li_price();
+        index_docs(&mut idx, &[r#"<order><lineitem price="10"/></order>"#]);
+        let (rows, _) =
+            idx.probe(&ProbeRange::eq(AtomicValue::String("not a number".into())));
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn node_level_probes_and_intersection() {
+        // Section 3.10: between via intersection of two scans.
+        let mut idx = li_price();
+        index_docs(
+            &mut idx,
+            &[
+                r#"<order><lineitem price="250"/><lineitem price="50"/></order>"#,
+                r#"<order><lineitem price="150"/></order>"#,
+            ],
+        );
+        let (gt100, s1) = idx.probe_nodes(&ProbeRange {
+            lo: Bound::Excluded(AtomicValue::Double(100.0)),
+            hi: Bound::Unbounded,
+        });
+        let (lt200, s2) = idx.probe_nodes(&ProbeRange {
+            lo: Bound::Unbounded,
+            hi: Bound::Excluded(AtomicValue::Double(200.0)),
+        });
+        // Node-level intersection: only the 150 lineitem is in both.
+        let both: Vec<_> = gt100.intersection(&lt200).collect();
+        assert_eq!(both.len(), 1);
+        assert_eq!(both[0].0, 1);
+        // Document-level intersection would wrongly keep row 0 as well.
+        let rows1: BTreeSet<u64> = gt100.iter().map(|(r, _)| *r).collect();
+        let rows2: BTreeSet<u64> = lt200.iter().map(|(r, _)| *r).collect();
+        assert_eq!(rows1.intersection(&rows2).count(), 2);
+        // The two scans together touch more entries than the single range
+        // scan a true between does.
+        let (_, single) = idx.probe(&ProbeRange {
+            lo: Bound::Excluded(AtomicValue::Double(100.0)),
+            hi: Bound::Excluded(AtomicValue::Double(200.0)),
+        });
+        assert!(s1.entries_scanned + s2.entries_scanned > single.entries_scanned);
+    }
+
+    #[test]
+    fn element_value_index_uses_string_value() {
+        // Section 3.8: a //price varchar index stores "99.50USD" for mixed
+        // content, NOT "99.50".
+        let mut idx = XmlIndex::create("pt", "orders", "orddoc", "//price", "varchar").unwrap();
+        index_docs(
+            &mut idx,
+            &[r#"<order><lineitem><price>99.50<currency>USD</currency></price></lineitem></order>"#],
+        );
+        let (rows, _) = idx.probe(&ProbeRange::eq(AtomicValue::String("99.50".into())));
+        assert!(rows.is_empty(), "the index entry is 99.50USD");
+        let (rows, _) =
+            idx.probe(&ProbeRange::eq(AtomicValue::String("99.50USD".into())));
+        assert_eq!(rows.len(), 1);
+        // A //price/text() index stores the text node "99.50".
+        let mut tidx =
+            XmlIndex::create("ptt", "orders", "orddoc", "//price/text()", "varchar").unwrap();
+        index_docs(
+            &mut tidx,
+            &[r#"<order><lineitem><price>99.50<currency>USD</currency></price></lineitem></order>"#],
+        );
+        let (rows, _) =
+            tidx.probe(&ProbeRange::eq(AtomicValue::String("99.50".into())));
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn broad_numeric_attribute_index() {
+        // The administrator's //@* AS double from Section 2.1.
+        let mut idx = XmlIndex::create("all_nums", "orders", "orddoc", "//@*", "double").unwrap();
+        index_docs(
+            &mut idx,
+            &[r#"<order id="1" status="open"><lineitem price="99.50" qty="2"/></order>"#],
+        );
+        // id, price, qty are numeric; status is skipped.
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.skipped_nodes, 1);
+    }
+
+    #[test]
+    fn rejects_bad_ddl() {
+        assert!(XmlIndex::create("x", "t", "c", "//a[b]", "double").is_err());
+        assert!(XmlIndex::create("x", "t", "c", "//a", "float").is_err());
+    }
+}

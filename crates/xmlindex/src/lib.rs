@@ -1,0 +1,25 @@
+//! # xqdb-xmlindex — path-specific XML value indexes
+//!
+//! Implements the index architecture of Section 2.1 of the paper:
+//!
+//! * `CREATE INDEX ... USING XMLPATTERN '<pattern>' AS <type>` — the pattern
+//!   is a predicate-free linear path (parsed by `xqdb-xquery`), the type one
+//!   of `varchar`, `double`, `date`, `timestamp`;
+//! * an entry is created for **each node matching the pattern whose value
+//!   casts to the index type**; nodes that do not cast are *silently
+//!   skipped* ("tolerant" indexing — documents are never rejected, which is
+//!   what keeps broad indexes like `//@* AS double` usable and schema
+//!   evolution painless);
+//! * entries are composite B+Tree keys `(value, row, node)`, so equality and
+//!   range predicates become key-range scans, and a `varchar` index — which
+//!   by definition contains *every* matching node — can answer purely
+//!   structural predicates by scanning `(-∞, +∞)`;
+//! * probes return the set of matching **rows** (document-level filtering,
+//!   the paper's focus) plus scan statistics, and row sets compose with
+//!   AND/OR for multi-predicate plans (Section 3.10's two-scan "between").
+
+pub mod index;
+pub mod matcher;
+
+pub use index::{IndexType, ProbeRange, ProbeStats, XmlIndex};
+pub use matcher::{match_document, PatternMatcher};

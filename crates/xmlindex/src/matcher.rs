@@ -1,0 +1,363 @@
+//! Matching document nodes against XMLPATTERNs.
+//!
+//! Patterns are linear, so matching is a set-of-states simulation run as a
+//! single pre-order walk over the document: state `i` at node `v` means
+//! "the first `i` steps match a path from the document root ending at `v`".
+//! `descendant-or-self` steps add a *pending* state set that propagates down
+//! the tree unchanged — the standard NFA treatment of `//`.
+
+use xqdb_xdm::{NodeHandle, NodeKind};
+use xqdb_xquery::ast::Axis;
+use xqdb_xquery::{KindTest, NodeTest, Pattern, PatternStep};
+
+/// A step after normalization: `descendant::T` becomes
+/// `descendant-or-self::node()` + `child::T`, leaving four step kinds.
+#[derive(Debug, Clone, PartialEq)]
+enum NStep {
+    /// Consume one child edge; target must satisfy the test.
+    Child(NodeTest),
+    /// Consume one attribute edge.
+    Attr(NodeTest),
+    /// Stay on the current node; it must satisfy the test.
+    SelfStep(NodeTest),
+    /// Descend zero or more child edges; the final node must satisfy the
+    /// test.
+    DoS(NodeTest),
+}
+
+/// A compiled matcher for one pattern.
+#[derive(Debug, Clone)]
+pub struct PatternMatcher {
+    steps: Vec<NStep>,
+}
+
+impl PatternMatcher {
+    /// Compile a parsed pattern.
+    pub fn new(pattern: &Pattern) -> Self {
+        let mut steps = Vec::with_capacity(pattern.steps.len() + 2);
+        for PatternStep { axis, test } in &pattern.steps {
+            match axis {
+                Axis::Child => steps.push(NStep::Child(test.clone())),
+                Axis::Attribute => steps.push(NStep::Attr(test.clone())),
+                Axis::SelfAxis => steps.push(NStep::SelfStep(test.clone())),
+                Axis::DescendantOrSelf => steps.push(NStep::DoS(test.clone())),
+                Axis::Descendant => {
+                    steps.push(NStep::DoS(NodeTest::Kind(KindTest::AnyKind)));
+                    steps.push(NStep::Child(test.clone()));
+                }
+                Axis::Parent => {
+                    unreachable!("the XMLPATTERN grammar has no parent axis")
+                }
+            }
+        }
+        PatternMatcher { steps }
+    }
+
+    /// Walk the tree under `root` (a document node) and invoke `on_match`
+    /// for every matching node.
+    pub fn walk<F: FnMut(&NodeHandle)>(&self, root: &NodeHandle, on_match: &mut F) {
+        let n = self.steps.len();
+        // Initial states: step 0 matched at the document node.
+        let mut states = vec![0u16];
+        self.close(&mut states, root);
+        if states.contains(&(n as u16)) {
+            on_match(root);
+        }
+        let pending = self.pending(&states);
+        for child in root.children() {
+            self.walk_node(&child, &states, &pending, on_match);
+        }
+        // Document nodes have no attributes; nothing else to do at the root.
+    }
+
+    fn walk_node<F: FnMut(&NodeHandle)>(
+        &self,
+        node: &NodeHandle,
+        parent_states: &[u16],
+        parent_pending: &[u16],
+        on_match: &mut F,
+    ) {
+        let n = self.steps.len() as u16;
+        let mut states: Vec<u16> = Vec::new();
+        // Child transitions from the parent's settled states.
+        for &i in parent_states {
+            if let Some(NStep::Child(t)) = self.steps.get(i as usize) {
+                if test_matches_tree_node(t, node) {
+                    push_unique(&mut states, i + 1);
+                }
+            }
+        }
+        // Descendant-or-self transitions from pending states.
+        for &i in parent_pending {
+            if let NStep::DoS(t) = &self.steps[i as usize] {
+                if test_matches_tree_node(t, node) {
+                    push_unique(&mut states, i + 1);
+                }
+            }
+        }
+        self.close(&mut states, node);
+        if states.contains(&n) {
+            on_match(node);
+        }
+        // Attribute transitions.
+        for attr in node.attributes() {
+            let mut astates: Vec<u16> = Vec::new();
+            for &i in &states {
+                if let Some(NStep::Attr(t)) = self.steps.get(i as usize) {
+                    if test_matches_attr(t, &attr) {
+                        push_unique(&mut astates, i + 1);
+                    }
+                }
+            }
+            self.close(&mut astates, &attr);
+            if astates.contains(&n) {
+                on_match(&attr);
+            }
+        }
+        // Recurse into children.
+        let pending = merge_pending(parent_pending, &self.pending(&states));
+        for child in node.children() {
+            self.walk_node(&child, &states, &pending, on_match);
+        }
+    }
+
+    /// Closure: apply `self::` steps and the zero-descent case of `//`
+    /// steps at the current node until fixpoint.
+    fn close(&self, states: &mut Vec<u16>, node: &NodeHandle) {
+        let mut idx = 0;
+        while idx < states.len() {
+            let i = states[idx] as usize;
+            match self.steps.get(i) {
+                Some(NStep::SelfStep(t)) | Some(NStep::DoS(t)) => {
+                    let matches = if node.kind() == NodeKind::Attribute {
+                        test_matches_attr(t, node)
+                    } else {
+                        test_matches_tree_node(t, node)
+                    };
+                    if matches {
+                        push_unique(states, (i + 1) as u16);
+                    }
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+    }
+
+    /// States sitting before a `//` step: they keep descending.
+    fn pending(&self, states: &[u16]) -> Vec<u16> {
+        states
+            .iter()
+            .copied()
+            .filter(|&i| matches!(self.steps.get(i as usize), Some(NStep::DoS(_))))
+            .collect()
+    }
+}
+
+fn push_unique(v: &mut Vec<u16>, s: u16) {
+    if !v.contains(&s) {
+        v.push(s);
+    }
+}
+
+fn merge_pending(a: &[u16], b: &[u16]) -> Vec<u16> {
+    let mut out = a.to_vec();
+    for &s in b {
+        push_unique(&mut out, s);
+    }
+    out
+}
+
+/// Test a non-attribute tree node. Name tests match elements only
+/// (principal node kind of child/descendant steps).
+fn test_matches_tree_node(t: &NodeTest, node: &NodeHandle) -> bool {
+    match t {
+        NodeTest::Name(nt) => {
+            node.kind() == NodeKind::Element
+                && node.name().map(|n| nt.matches(n)).unwrap_or(false)
+        }
+        NodeTest::Kind(kt) => kind_matches(kt, node),
+    }
+}
+
+/// Test an attribute node reached through the attribute axis.
+fn test_matches_attr(t: &NodeTest, node: &NodeHandle) -> bool {
+    match t {
+        NodeTest::Name(nt) => node.name().map(|n| nt.matches(n)).unwrap_or(false),
+        NodeTest::Kind(kt) => kind_matches(kt, node),
+    }
+}
+
+fn kind_matches(kt: &KindTest, node: &NodeHandle) -> bool {
+    match kt {
+        KindTest::AnyKind => true,
+        KindTest::Text => node.kind() == NodeKind::Text,
+        KindTest::Comment => node.kind() == NodeKind::Comment,
+        KindTest::Document => node.kind() == NodeKind::Document,
+        KindTest::Pi(target) => {
+            node.kind() == NodeKind::ProcessingInstruction
+                && target
+                    .as_ref()
+                    .is_none_or(|t| node.name().map(|n| *n.local == **t).unwrap_or(false))
+        }
+        KindTest::Element(nt) => {
+            node.kind() == NodeKind::Element
+                && nt.as_ref().is_none_or(|t| node.name().map(|n| t.matches(n)).unwrap_or(false))
+        }
+        KindTest::Attribute(nt) => {
+            node.kind() == NodeKind::Attribute
+                && nt.as_ref().is_none_or(|t| node.name().map(|n| t.matches(n)).unwrap_or(false))
+        }
+    }
+}
+
+/// Convenience: collect every node of `root`'s tree matching `pattern`.
+pub fn match_document(pattern: &Pattern, root: &NodeHandle) -> Vec<NodeHandle> {
+    let matcher = PatternMatcher::new(pattern);
+    let mut out = Vec::new();
+    matcher.walk(root, &mut |n| out.push(n.clone()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqdb_xmlparse::parse_document;
+    use xqdb_xquery::parse_pattern;
+
+    fn matches(pattern: &str, xml: &str) -> Vec<String> {
+        let p = parse_pattern(pattern).unwrap();
+        let doc = parse_document(xml).unwrap();
+        match_document(&p, &doc.root())
+            .iter()
+            .map(|n| {
+                let name = n.name().map(|q| q.local.to_string()).unwrap_or_else(|| {
+                    format!("{:?}", n.kind())
+                });
+                format!("{}={}", name, n.string_value())
+            })
+            .collect()
+    }
+
+    const ORDER: &str = r#"<order id="7"><lineitem price="99.50"><product id="p1"/></lineitem><note><lineitem price="5"/></note></order>"#;
+
+    #[test]
+    fn li_price_matches_all_depths() {
+        // //lineitem/@price finds BOTH lineitem prices (any depth).
+        let m = matches("//lineitem/@price", ORDER);
+        assert_eq!(m, vec!["price=99.50", "price=5"]);
+    }
+
+    #[test]
+    fn rooted_path() {
+        let m = matches("/order/lineitem/@price", ORDER);
+        assert_eq!(m, vec!["price=99.50"]); // nested one not at /order/lineitem
+    }
+
+    #[test]
+    fn broad_attribute_index() {
+        let m = matches("//@*", ORDER);
+        // order@id, lineitem@price, product@id, nested lineitem@price
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn wildcard_element_step() {
+        let m = matches("/order/*/@price", ORDER);
+        assert_eq!(m, vec!["price=99.50"]);
+    }
+
+    #[test]
+    fn descendant_axis_explicit() {
+        let m = matches("/descendant::lineitem/@price", ORDER);
+        assert_eq!(m, vec!["price=99.50", "price=5"]);
+    }
+
+    #[test]
+    fn node_kind_tests_exclude_attributes() {
+        // Section 3.9: //node() contains no attributes.
+        let m = matches("//node()", ORDER);
+        assert!(m.iter().all(|s| !s.starts_with("price=") && !s.starts_with("id=")));
+    }
+
+    #[test]
+    fn text_step() {
+        let xml = r#"<order><price>99.50<currency>USD</currency></price></order>"#;
+        let m = matches("//price/text()", xml);
+        assert_eq!(m.len(), 1);
+        assert!(m[0].ends_with("=99.50"));
+    }
+
+    #[test]
+    fn self_step() {
+        let m = matches("//lineitem/self::node()/@price", ORDER);
+        assert_eq!(m, vec!["price=99.50", "price=5"]);
+    }
+
+    #[test]
+    fn namespace_sensitivity() {
+        let ns_doc = r#"<order xmlns="http://o"><lineitem price="1"/></order>"#;
+        // No-namespace pattern misses namespaced elements...
+        assert!(matches("//lineitem/@price", ns_doc).is_empty());
+        // ...the wildcard form matches.
+        assert_eq!(matches("//*:lineitem/@price", ns_doc).len(), 1);
+        // ...and the declared form matches.
+        assert_eq!(
+            matches(
+                "declare default element namespace \"http://o\"; //lineitem/@price",
+                ns_doc
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn attribute_of_namespaced_element_without_ns() {
+        // li_price_ns from the paper: //@price has no element-name
+        // restriction, so it matches price attributes of namespaced
+        // lineitems (attributes themselves are in no namespace).
+        let ns_doc = r#"<order xmlns="http://o"><lineitem price="1"/></order>"#;
+        assert_eq!(matches("//@price", ns_doc).len(), 1);
+    }
+
+    #[test]
+    fn double_slash_mid_pattern() {
+        let xml = r#"<a><b><c><d v="1"/></c></b><d v="2"/></a>"#;
+        let m = matches("/a//d/@v", xml);
+        assert_eq!(m, vec!["v=1", "v=2"]);
+    }
+
+    #[test]
+    fn overlapping_descendant_states() {
+        // Nested same-named elements: every level matches //x.
+        let xml = r#"<x><x><x/></x></x>"#;
+        let m = matches("//x", xml);
+        assert_eq!(m.len(), 3);
+        // //x/x matches the two inner ones.
+        let m = matches("//x/x", xml);
+        assert_eq!(m.len(), 2);
+        // //x//x also matches the two inner ones (dedup despite two
+        // derivations for the innermost).
+        let m = matches("//x//x", xml);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn document_node_match_for_slashslash_only() {
+        // `//node()` includes... not the document node itself (first step
+        // descends from root? `//` = /descendant-or-self::node()/ — includes
+        // the document node; then the child::node() consumes one edge).
+        let m = matches("//node()", "<a><b/></a>");
+        assert_eq!(m.len(), 2); // a and b
+    }
+
+    #[test]
+    fn comment_and_pi_patterns() {
+        let xml = "<a><!--x--><?t d?></a>";
+        assert_eq!(matches("//comment()", xml).len(), 1);
+        assert_eq!(matches("//processing-instruction()", xml).len(), 1);
+        assert_eq!(matches("//processing-instruction(t)", xml).len(), 1);
+        assert_eq!(matches("//processing-instruction(u)", xml).len(), 0);
+    }
+}

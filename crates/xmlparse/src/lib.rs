@@ -1,0 +1,18 @@
+//! # xqdb-xmlparse — XML 1.0 parsing and serialization
+//!
+//! A non-validating, namespace-aware XML parser that produces immutable
+//! [`xqdb_xdm::Document`] trees, and a serializer that round-trips them.
+//!
+//! Scope is the XML the paper's workloads need: elements, attributes,
+//! namespace declarations (`xmlns`, `xmlns:p`), text with the five built-in
+//! entities and character references, CDATA sections, comments, processing
+//! instructions, and an optional XML declaration. DTDs are recognized and
+//! skipped (non-validating). Mixed content is preserved exactly — the
+//! `<price>99.50<currency>USD</currency></price>` example of Section 3.8
+//! depends on it.
+
+pub mod parser;
+pub mod serialize;
+
+pub use parser::{parse_document, ParseError};
+pub use serialize::{serialize_node, serialize_sequence};

@@ -1,0 +1,650 @@
+//! The XML parser.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use xqdb_xdm::qname::{is_ncname, XML_NS};
+use xqdb_xdm::{Document, DocumentBuilder, ExpandedName, QName};
+
+/// A parse failure, with byte offset for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete XML document into an XDM tree rooted by a document node.
+pub fn parse_document(input: &str) -> Result<Arc<Document>, ParseError> {
+    let mut p = Parser::new(input);
+    p.skip_prolog()?;
+    let mut builder = DocumentBuilder::new_document();
+    // Misc (comments/PIs) may precede the root element.
+    loop {
+        p.skip_whitespace();
+        if p.peek_str("<!--") {
+            let c = p.parse_comment()?;
+            builder.comment(c);
+        } else if p.peek_str("<?") {
+            let (target, content) = p.parse_pi()?;
+            builder.processing_instruction(target, content);
+        } else {
+            break;
+        }
+    }
+    if !p.peek_str("<") {
+        return Err(p.err("expected root element"));
+    }
+    let mut scopes = NamespaceScopes::new();
+    p.parse_element(&mut builder, &mut scopes)?;
+    // Trailing misc.
+    loop {
+        p.skip_whitespace();
+        if p.peek_str("<!--") {
+            let c = p.parse_comment()?;
+            builder.comment(c);
+        } else if p.peek_str("<?") {
+            let (target, content) = p.parse_pi()?;
+            builder.processing_instruction(target, content);
+        } else {
+            break;
+        }
+    }
+    p.skip_whitespace();
+    if !p.at_end() {
+        return Err(p.err("content after the root element"));
+    }
+    Ok(builder.finish())
+}
+
+/// Stack of in-scope namespace bindings.
+struct NamespaceScopes {
+    /// Each frame maps prefix → URI; empty-string prefix is the default
+    /// element namespace; a binding to `None` un-declares.
+    frames: Vec<HashMap<String, Option<String>>>,
+}
+
+impl NamespaceScopes {
+    fn new() -> Self {
+        let mut base = HashMap::new();
+        base.insert("xml".to_string(), Some(XML_NS.to_string()));
+        NamespaceScopes { frames: vec![base] }
+    }
+
+    fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    fn declare(&mut self, prefix: &str, uri: &str) {
+        let binding = if uri.is_empty() { None } else { Some(uri.to_string()) };
+        self.frames
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(prefix.to_string(), binding);
+    }
+
+    fn resolve(&self, prefix: &str) -> Option<Option<&str>> {
+        for frame in self.frames.iter().rev() {
+            if let Some(binding) = frame.get(prefix) {
+                return Some(binding.as_deref());
+            }
+        }
+        None
+    }
+
+    /// Resolve an element name: unprefixed elements take the default
+    /// namespace.
+    fn element_name(&self, q: &QName) -> Result<ExpandedName, String> {
+        match &q.prefix {
+            Some(p) => match self.resolve(p) {
+                Some(Some(uri)) => Ok(ExpandedName::ns(uri, &*q.local)),
+                Some(None) | None => Err(format!("unbound namespace prefix {p:?}")),
+            },
+            None => match self.resolve("") {
+                Some(Some(uri)) => Ok(ExpandedName::ns(uri, &*q.local)),
+                _ => Ok(ExpandedName::local(&*q.local)),
+            },
+        }
+    }
+
+    /// Resolve an attribute name: unprefixed attributes are in **no
+    /// namespace** — the distinction Section 3.7 of the paper calls out
+    /// ("default namespaces do not apply to XML attributes").
+    fn attribute_name(&self, q: &QName) -> Result<ExpandedName, String> {
+        match &q.prefix {
+            Some(p) => match self.resolve(p) {
+                Some(Some(uri)) => Ok(ExpandedName::ns(uri, &*q.local)),
+                Some(None) | None => Err(format!("unbound namespace prefix {p:?}")),
+            },
+            None => Ok(ExpandedName::local(&*q.local)),
+        }
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek_str(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.peek_str(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Skip the XML declaration and doctype, if present.
+    fn skip_prolog(&mut self) -> Result<(), ParseError> {
+        self.skip_whitespace();
+        if self.peek_str("<?xml") {
+            let end = self.rest().find("?>").ok_or_else(|| self.err("unterminated XML declaration"))?;
+            self.pos += end + 2;
+        }
+        self.skip_whitespace();
+        if self.peek_str("<!DOCTYPE") {
+            // Skip to the matching '>' (internal subsets use nested brackets).
+            let mut depth = 0usize;
+            while let Some(c) = self.bump() {
+                match c {
+                    '[' => depth += 1,
+                    ']' => depth = depth.saturating_sub(1),
+                    '>' if depth == 0 => return Ok(()),
+                    _ => {}
+                }
+            }
+            return Err(self.err("unterminated DOCTYPE"));
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<QName, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':' | '\u{B7}'))
+        {
+            self.bump();
+        }
+        let raw = &self.input[start..self.pos];
+        QName::parse(raw).ok_or_else(|| ParseError {
+            offset: start,
+            message: format!("invalid name {raw:?}"),
+        })
+    }
+
+    fn parse_comment(&mut self) -> Result<String, ParseError> {
+        self.expect_str("<!--")?;
+        let end = self
+            .rest()
+            .find("-->")
+            .ok_or_else(|| self.err("unterminated comment"))?;
+        let content = &self.rest()[..end];
+        if content.contains("--") {
+            return Err(self.err("'--' not allowed inside a comment"));
+        }
+        let content = content.to_string();
+        self.pos += end + 3;
+        Ok(content)
+    }
+
+    fn parse_pi(&mut self) -> Result<(String, String), ParseError> {
+        self.expect_str("<?")?;
+        let q = self.parse_name()?;
+        if q.prefix.is_some() || !is_ncname(&q.local) {
+            return Err(self.err("PI target must be an NCName"));
+        }
+        if q.local.eq_ignore_ascii_case("xml") {
+            return Err(self.err("PI target 'xml' is reserved"));
+        }
+        self.skip_whitespace();
+        let end = self.rest().find("?>").ok_or_else(|| self.err("unterminated processing instruction"))?;
+        let content = self.rest()[..end].to_string();
+        self.pos += end + 2;
+        Ok((q.local.to_string(), content))
+    }
+
+    fn parse_cdata(&mut self) -> Result<String, ParseError> {
+        self.expect_str("<![CDATA[")?;
+        let end = self.rest().find("]]>").ok_or_else(|| self.err("unterminated CDATA section"))?;
+        let content = self.rest()[..end].to_string();
+        self.pos += end + 3;
+        Ok(content)
+    }
+
+    /// Decode character data up to the next `<`, expanding entity and
+    /// character references.
+    fn parse_text(&mut self) -> Result<String, ParseError> {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            match c {
+                '<' => break,
+                '&' => out.push(self.parse_reference()?),
+                ']' if self.peek_str("]]>") => {
+                    return Err(self.err("']]>' not allowed in character data"))
+                }
+                _ => {
+                    out.push(c);
+                    self.bump();
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_reference(&mut self) -> Result<char, ParseError> {
+        self.expect_str("&")?;
+        let end = self
+            .rest()
+            .find(';')
+            .ok_or_else(|| self.err("unterminated entity reference"))?;
+        let name = &self.rest()[..end];
+        let c = match name {
+            "lt" => '<',
+            "gt" => '>',
+            "amp" => '&',
+            "apos" => '\'',
+            "quot" => '"',
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| self.err(format!("invalid character reference &{name};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.err(format!("invalid code point in &{name};")))?
+            }
+            _ if name.starts_with('#') => {
+                let code: u32 = name[1..]
+                    .parse()
+                    .map_err(|_| self.err(format!("invalid character reference &{name};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.err(format!("invalid code point in &{name};")))?
+            }
+            _ => return Err(self.err(format!("unknown entity &{name};"))),
+        };
+        self.pos += end + 1;
+        Ok(c)
+    }
+
+    fn parse_attribute_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some('<') => return Err(self.err("'<' not allowed in attribute value")),
+                Some('&') => out.push(self.parse_reference()?),
+                // Attribute-value normalization: whitespace → space.
+                Some('\t' | '\n' | '\r') => {
+                    out.push(' ');
+                    self.bump();
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_element(
+        &mut self,
+        builder: &mut DocumentBuilder,
+        scopes: &mut NamespaceScopes,
+    ) -> Result<(), ParseError> {
+        self.expect_str("<")?;
+        let name = self.parse_name()?;
+        let open_offset = self.pos;
+
+        // Collect raw attributes first: namespace declarations in the tag
+        // apply to the tag's own name.
+        let mut raw_attrs: Vec<(QName, String, usize)> = Vec::new();
+        loop {
+            let before = self.pos;
+            self.skip_whitespace();
+            if self.peek_str("/>") || self.peek_str(">") {
+                break;
+            }
+            if self.pos == before {
+                return Err(self.err("expected whitespace between attributes"));
+            }
+            let at = self.pos;
+            let aname = self.parse_name()?;
+            self.skip_whitespace();
+            self.expect_str("=")?;
+            self.skip_whitespace();
+            let value = self.parse_attribute_value()?;
+            raw_attrs.push((aname, value, at));
+        }
+
+        scopes.push();
+        for (aname, value, _) in &raw_attrs {
+            match (&aname.prefix, &*aname.local) {
+                (None, "xmlns") => scopes.declare("", value),
+                (Some(p), local) if &**p == "xmlns" => scopes.declare(local, value),
+                _ => {}
+            }
+        }
+
+        let ename = scopes
+            .element_name(&name)
+            .map_err(|m| ParseError { offset: open_offset, message: m })?;
+        builder.start_element(ename);
+
+        let mut seen: Vec<ExpandedName> = Vec::new();
+        for (aname, value, at) in &raw_attrs {
+            let is_nsdecl = matches!(
+                (&aname.prefix, &*aname.local),
+                (None, "xmlns")
+            ) || aname.prefix.as_deref() == Some("xmlns");
+            if is_nsdecl {
+                continue;
+            }
+            let rname = scopes
+                .attribute_name(aname)
+                .map_err(|m| ParseError { offset: *at, message: m })?;
+            if seen.contains(&rname) {
+                return Err(ParseError {
+                    offset: *at,
+                    message: format!("duplicate attribute {rname}"),
+                });
+            }
+            seen.push(rname.clone());
+            builder.attribute(rname, value.clone());
+        }
+
+        if self.peek_str("/>") {
+            self.expect_str("/>")?;
+            builder.end_element();
+            scopes.pop();
+            return Ok(());
+        }
+        self.expect_str(">")?;
+
+        // Content.
+        loop {
+            if self.peek_str("</") {
+                break;
+            } else if self.peek_str("<!--") {
+                let c = self.parse_comment()?;
+                builder.comment(c);
+            } else if self.peek_str("<![CDATA[") {
+                let c = self.parse_cdata()?;
+                builder.text(c);
+            } else if self.peek_str("<?") {
+                let (target, content) = self.parse_pi()?;
+                builder.processing_instruction(target, content);
+            } else if self.peek_str("<") {
+                self.parse_element(builder, scopes)?;
+            } else if self.at_end() {
+                return Err(self.err(format!("unterminated element <{name}>")));
+            } else {
+                let text = self.parse_text()?;
+                if !text.is_empty() {
+                    builder.text(text);
+                }
+            }
+        }
+
+        self.expect_str("</")?;
+        let close = self.parse_name()?;
+        if close != name {
+            return Err(self.err(format!("mismatched end tag: <{name}> closed by </{close}>")));
+        }
+        self.skip_whitespace();
+        self.expect_str(">")?;
+        builder.end_element();
+        scopes.pop();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqdb_xdm::{NodeKind, TypeAnnotation};
+
+    #[test]
+    fn parses_the_papers_order_document() {
+        let doc = parse_document(
+            "<order id=\"1001\">\
+               <date>January 1, 2001</date>\
+               <lineitem><product id=\"p1\"/></lineitem>\
+             </order>",
+        )
+        .unwrap();
+        let root = doc.root();
+        assert_eq!(root.kind(), NodeKind::Document);
+        let order = root.children().next().unwrap();
+        assert_eq!(order.name().unwrap().local.as_ref(), "order");
+        assert_eq!(order.attributes().next().unwrap().string_value(), "1001");
+        let children: Vec<_> = order.children().collect();
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].string_value(), "January 1, 2001");
+    }
+
+    #[test]
+    fn mixed_content_price_usd() {
+        // The Section 3.8 document: the price *element* string-value is
+        // "99.50USD" while its first text node is "99.50".
+        let doc = parse_document(
+            "<order><lineitem><price>99.50<currency>USD</currency></price></lineitem></order>",
+        )
+        .unwrap();
+        let price = doc
+            .root()
+            .descendants()
+            .find(|n| n.name().map(|q| &*q.local == "price").unwrap_or(false))
+            .unwrap();
+        assert_eq!(price.string_value(), "99.50USD");
+        let first_text = price
+            .children()
+            .find(|c| c.kind() == NodeKind::Text)
+            .unwrap();
+        assert_eq!(first_text.string_value(), "99.50");
+    }
+
+    #[test]
+    fn default_namespace_applies_to_elements_not_attributes() {
+        let doc = parse_document(
+            "<order xmlns=\"http://ournamespaces.com/order\" status=\"open\">\
+               <lineitem price=\"99.50\"/>\
+             </order>",
+        )
+        .unwrap();
+        let order = doc.root().children().next().unwrap();
+        assert_eq!(
+            order.name().unwrap().ns.as_deref(),
+            Some("http://ournamespaces.com/order")
+        );
+        // attribute stays in no namespace — the Section 3.7 subtlety.
+        let status = order.attributes().next().unwrap();
+        assert_eq!(status.name().unwrap().ns, None);
+        let li = order.children().next().unwrap();
+        assert_eq!(
+            li.name().unwrap().ns.as_deref(),
+            Some("http://ournamespaces.com/order")
+        );
+    }
+
+    #[test]
+    fn prefixed_namespaces_resolve() {
+        let doc = parse_document(
+            "<c:customer xmlns:c=\"http://ournamespaces.com/customer\">\
+               <c:nation>1</c:nation>\
+             </c:customer>",
+        )
+        .unwrap();
+        let cust = doc.root().children().next().unwrap();
+        let name = cust.name().unwrap();
+        assert_eq!(name.ns.as_deref(), Some("http://ournamespaces.com/customer"));
+        assert_eq!(name.local.as_ref(), "customer");
+    }
+
+    #[test]
+    fn namespace_undeclaration_and_shadowing() {
+        let doc = parse_document(
+            "<a xmlns=\"http://one\"><b xmlns=\"\"><c/></b><d xmlns=\"http://two\"/></a>",
+        )
+        .unwrap();
+        let a = doc.root().children().next().unwrap();
+        let b = a.children().next().unwrap();
+        let c = b.children().next().unwrap();
+        let d = a.children().nth(1).unwrap();
+        assert_eq!(a.name().unwrap().ns.as_deref(), Some("http://one"));
+        assert_eq!(b.name().unwrap().ns, None);
+        assert_eq!(c.name().unwrap().ns, None);
+        assert_eq!(d.name().unwrap().ns.as_deref(), Some("http://two"));
+    }
+
+    #[test]
+    fn entities_and_char_refs() {
+        let doc = parse_document("<e a=\"&lt;&amp;&quot;\">&#65;&#x42;&gt;</e>").unwrap();
+        let e = doc.root().children().next().unwrap();
+        assert_eq!(e.string_value(), "AB>");
+        assert_eq!(e.attributes().next().unwrap().string_value(), "<&\"");
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let doc = parse_document("<e><![CDATA[a < b & c]]></e>").unwrap();
+        let e = doc.root().children().next().unwrap();
+        assert_eq!(e.string_value(), "a < b & c");
+        // CDATA adjacent to text merges into one text node
+        let doc2 = parse_document("<e>x<![CDATA[y]]>z</e>").unwrap();
+        let e2 = doc2.root().children().next().unwrap();
+        assert_eq!(e2.children().count(), 1);
+        assert_eq!(e2.string_value(), "xyz");
+    }
+
+    #[test]
+    fn comments_and_pis_preserved() {
+        let doc = parse_document("<?xml version=\"1.0\"?><!-- top --><e><?target data?><!-- in --></e>")
+            .unwrap();
+        let root = doc.root();
+        let kinds: Vec<_> = root.children().map(|c| c.kind()).collect();
+        assert_eq!(kinds, vec![NodeKind::Comment, NodeKind::Element]);
+        let e = root.children().nth(1).unwrap();
+        let inner: Vec<_> = e.children().map(|c| c.kind()).collect();
+        assert_eq!(
+            inner,
+            vec![NodeKind::ProcessingInstruction, NodeKind::Comment]
+        );
+    }
+
+    #[test]
+    fn attribute_value_normalization() {
+        let doc = parse_document("<e a=\"x\ny\tz\"/>").unwrap();
+        let a = doc.root().children().next().unwrap().attributes().next().unwrap();
+        assert_eq!(a.string_value(), "x y z");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "<a><b></a></b>",
+            "<a>",
+            "<a x=1/>",
+            "<a x=\"1\" x=\"2\"/>",
+            "<a><a/>",
+            "text only",
+            "<a/><b/>",
+            "<a>&unknown;</a>",
+            "<p:a xmlns:q=\"http://x\"/>",
+            "<a><!-- -- --></a>",
+        ] {
+            assert!(parse_document(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_attributes_via_namespaces_rejected() {
+        // Same expanded name through two prefixes.
+        let bad = "<e xmlns:a=\"http://x\" xmlns:b=\"http://x\" a:k=\"1\" b:k=\"2\"/>";
+        assert!(parse_document(bad).is_err());
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let doc = parse_document("<?xml version=\"1.0\"?><!DOCTYPE order [<!ELEMENT order ANY>]><order/>")
+            .unwrap();
+        assert_eq!(
+            doc.root().children().next().unwrap().name().unwrap().local.as_ref(),
+            "order"
+        );
+    }
+
+    #[test]
+    fn parsed_nodes_are_untyped() {
+        let doc = parse_document("<e a=\"1\">2</e>").unwrap();
+        let e = doc.root().children().next().unwrap();
+        assert_eq!(e.annotation(), TypeAnnotation::Untyped);
+        assert_eq!(
+            e.attributes().next().unwrap().annotation(),
+            TypeAnnotation::UntypedAtomic
+        );
+    }
+
+    #[test]
+    fn whitespace_only_text_is_preserved() {
+        let doc = parse_document("<a> <b/> </a>").unwrap();
+        let a = doc.root().children().next().unwrap();
+        assert_eq!(a.children().count(), 3);
+        assert_eq!(a.string_value(), "  ");
+    }
+}

@@ -1,0 +1,253 @@
+//! Serialization of XDM nodes and sequences back to XML text.
+//!
+//! Used by the SQL/XML layer to render result rows the way the paper prints
+//! them (`row 1: <lineitem price="101.00">...</lineitem>`), and by tests to
+//! compare structural output.
+
+use std::fmt::Write as _;
+
+use xqdb_xdm::{Item, NodeHandle, NodeKind};
+
+/// Serialize one node to XML text. Namespace declarations are re-synthesized
+/// minimally: a declaration is emitted on an element whenever its (or its
+/// attributes') namespace is not already in scope from an ancestor in the
+/// serialized output.
+pub fn serialize_node(node: &NodeHandle) -> String {
+    let mut out = String::new();
+    let mut scope = ScopeTracker::default();
+    write_node(&mut out, node, &mut scope);
+    out
+}
+
+/// Serialize a sequence: nodes as XML, atomic values via their lexical form,
+/// adjacent atomic values separated by a single space (the XQuery
+/// serialization rule).
+pub fn serialize_sequence(seq: &[Item]) -> String {
+    let mut out = String::new();
+    let mut prev_atomic = false;
+    for item in seq {
+        match item {
+            Item::Node(n) => {
+                out.push_str(&serialize_node(n));
+                prev_atomic = false;
+            }
+            Item::Atomic(a) => {
+                if prev_atomic {
+                    out.push(' ');
+                }
+                out.push_str(&escape_text(&a.lexical()));
+                prev_atomic = true;
+            }
+        }
+    }
+    out
+}
+
+/// Tracks (prefix → uri) bindings established by ancestors during
+/// serialization, so nested elements don't re-declare.
+#[derive(Default)]
+struct ScopeTracker {
+    stack: Vec<Vec<(String, String)>>,
+}
+
+impl ScopeTracker {
+    fn in_scope(&self, prefix: &str, uri: &str) -> bool {
+        for frame in self.stack.iter().rev() {
+            for (p, u) in frame.iter().rev() {
+                if p == prefix {
+                    return u == uri;
+                }
+            }
+        }
+        // Unprefixed names with no binding are in no namespace.
+        prefix.is_empty() && uri.is_empty()
+    }
+}
+
+fn write_node(out: &mut String, node: &NodeHandle, scope: &mut ScopeTracker) {
+    match node.kind() {
+        NodeKind::Document => {
+            for child in node.children() {
+                write_node(out, &child, scope);
+            }
+        }
+        NodeKind::Element => {
+            let name = node.name().expect("element has a name");
+            let uri = name.ns.as_deref().unwrap_or("");
+            // Elements serialize with the default prefix for their namespace.
+            let mut decls: Vec<(String, String)> = Vec::new();
+            if !scope.in_scope("", uri) {
+                decls.push((String::new(), uri.to_string()));
+            }
+            let _ = write!(out, "<{}", name.local);
+            // Attribute namespaces get generated prefixes.
+            let mut attr_names: Vec<(Option<String>, NodeHandle)> = Vec::new();
+            let mut gen = 0usize;
+            for attr in node.attributes() {
+                let aname = attr.name().expect("attribute has a name");
+                match aname.ns.as_deref() {
+                    None => attr_names.push((None, attr)),
+                    Some(auri) => {
+                        // Find or mint a prefix for this URI.
+                        let existing = decls
+                            .iter()
+                            .find(|(p, u)| !p.is_empty() && u == auri)
+                            .map(|(p, _)| p.clone());
+                        let prefix = existing.unwrap_or_else(|| {
+                            gen += 1;
+                            let p = format!("ns{gen}");
+                            decls.push((p.clone(), auri.to_string()));
+                            p
+                        });
+                        attr_names.push((Some(prefix), attr));
+                    }
+                }
+            }
+            for (prefix, uri) in &decls {
+                if prefix.is_empty() {
+                    let _ = write!(out, " xmlns=\"{}\"", escape_attr(uri));
+                } else {
+                    let _ = write!(out, " xmlns:{}=\"{}\"", prefix, escape_attr(uri));
+                }
+            }
+            for (prefix, attr) in &attr_names {
+                let aname = attr.name().expect("attribute has a name");
+                match prefix {
+                    None => {
+                        let _ = write!(
+                            out,
+                            " {}=\"{}\"",
+                            aname.local,
+                            escape_attr(&attr.string_value())
+                        );
+                    }
+                    Some(p) => {
+                        let _ = write!(
+                            out,
+                            " {}:{}=\"{}\"",
+                            p,
+                            aname.local,
+                            escape_attr(&attr.string_value())
+                        );
+                    }
+                }
+            }
+            let has_children = node.children().next().is_some();
+            if !has_children {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            scope.stack.push(decls);
+            for child in node.children() {
+                write_node(out, &child, scope);
+            }
+            scope.stack.pop();
+            let _ = write!(out, "</{}>", name.local);
+        }
+        NodeKind::Attribute => {
+            // A bare attribute serializes as its value (it cannot appear in
+            // element content).
+            out.push_str(&escape_text(&node.string_value()));
+        }
+        NodeKind::Text => out.push_str(&escape_text(&node.string_value())),
+        NodeKind::Comment => {
+            let _ = write!(out, "<!--{}-->", node.string_value());
+        }
+        NodeKind::ProcessingInstruction => {
+            let target = node.name().map(|n| n.local.to_string()).unwrap_or_default();
+            let _ = write!(out, "<?{} {}?>", target, node.string_value());
+        }
+    }
+}
+
+/// Escape character data.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value (double-quoted context).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+    use xqdb_xdm::{AtomicValue, Item};
+
+    fn roundtrip(xml: &str) -> String {
+        let doc = parse_document(xml).unwrap();
+        serialize_node(&doc.root())
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        assert_eq!(
+            roundtrip("<order id=\"1\"><lineitem price=\"99.50\">x</lineitem></order>"),
+            "<order id=\"1\"><lineitem price=\"99.50\">x</lineitem></order>"
+        );
+    }
+
+    #[test]
+    fn empty_element_shorthand() {
+        assert_eq!(roundtrip("<a><b></b></a>"), "<a><b/></a>");
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(roundtrip("<a b=\"&quot;&amp;\">&lt;x&gt;</a>"), "<a b=\"&quot;&amp;\">&lt;x&gt;</a>");
+    }
+
+    #[test]
+    fn default_namespace_redeclared_once() {
+        let s = roundtrip("<a xmlns=\"http://x\"><b><c/></b></a>");
+        assert_eq!(s, "<a xmlns=\"http://x\"><b><c/></b></a>");
+    }
+
+    #[test]
+    fn namespace_change_redeclares() {
+        let s = roundtrip("<a xmlns=\"http://x\"><b xmlns=\"http://y\"/></a>");
+        assert_eq!(s, "<a xmlns=\"http://x\"><b xmlns=\"http://y\"/></a>");
+    }
+
+    #[test]
+    fn sequence_serialization_spaces_atomics() {
+        let seq = vec![
+            Item::Atomic(AtomicValue::Integer(1)),
+            Item::Atomic(AtomicValue::Integer(2)),
+        ];
+        assert_eq!(serialize_sequence(&seq), "1 2");
+    }
+
+    #[test]
+    fn comment_and_pi_roundtrip() {
+        let s = roundtrip("<a><!-- hi --><?t d?></a>");
+        assert_eq!(s, "<a><!-- hi --><?t d?></a>");
+    }
+
+    #[test]
+    fn mixed_content_roundtrip() {
+        let xml = "<price>99.50<currency>USD</currency></price>";
+        assert_eq!(roundtrip(xml), xml);
+    }
+}

@@ -1,0 +1,36 @@
+//! The XML parser must never panic on arbitrary input — reject, don't
+//! crash. Inputs are biased toward tag soup to reach deep parser states.
+
+use proptest::prelude::*;
+use xqdb_xmlparse::parse_document;
+
+const FRAGMENTS: &[&str] = &[
+    "<", ">", "/>", "</", "<a", "<a>", "</a>", "a=\"1\"", "a='1'", "xmlns=\"u\"", "xmlns:p=\"u\"",
+    "<p:a>", "</p:a>", "text", "&lt;", "&#65;", "&#x41;", "&bad;", "<!--", "-->", "<!-- c -->",
+    "<![CDATA[", "]]>", "<?pi d?>", "<?xml version=\"1.0\"?>", "<!DOCTYPE a>", " ", "\"", "'",
+    "=", "99.50",
+];
+
+fn soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(FRAGMENTS), 0..20)
+        .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_soup(input in soup()) {
+        let _ = parse_document(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(input in "[ -~]{0,80}") {
+        let _ = parse_document(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_unicode(input in "\\PC{0,40}") {
+        let _ = parse_document(&input);
+    }
+}

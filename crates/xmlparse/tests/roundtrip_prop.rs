@@ -1,0 +1,142 @@
+//! Property test: serialize(parse(serialize(tree))) is stable, and parsing
+//! a serialized random tree reproduces its structure (names, values, kinds,
+//! string values).
+
+use proptest::prelude::*;
+use xqdb_xdm::{DocumentBuilder, ExpandedName, NodeHandle, NodeKind};
+use xqdb_xmlparse::{parse_document, serialize_node};
+
+/// A recipe for a random tree node.
+#[derive(Debug, Clone)]
+enum NodeSpec {
+    Element { name: String, attrs: Vec<(String, String)>, children: Vec<NodeSpec> },
+    Text(String),
+    Comment(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+/// Text without the XML-forbidden control characters; the serializer
+/// escapes everything else.
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[ -~]{0,12}".prop_map(|s| s.replace(']', "_")) // avoid "]]>" worries
+}
+
+fn comment_strategy() -> impl Strategy<Value = String> {
+    "[a-z ]{0,10}"
+}
+
+fn node_spec() -> impl Strategy<Value = NodeSpec> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(NodeSpec::Text),
+        comment_strategy().prop_map(NodeSpec::Comment),
+        (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3))
+            .prop_map(|(name, attrs)| NodeSpec::Element {
+                name,
+                attrs: dedup_attrs(attrs),
+                children: vec![]
+            }),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| NodeSpec::Element {
+                name,
+                attrs: dedup_attrs(attrs),
+                children,
+            })
+    })
+}
+
+fn dedup_attrs(mut attrs: Vec<(String, String)>) -> Vec<(String, String)> {
+    let mut seen = std::collections::HashSet::new();
+    attrs.retain(|(n, _)| seen.insert(n.clone()));
+    attrs
+}
+
+fn build(spec: &NodeSpec) -> NodeHandle {
+    let mut b = DocumentBuilder::new_document();
+    fn add(b: &mut DocumentBuilder, spec: &NodeSpec) {
+        match spec {
+            NodeSpec::Element { name, attrs, children } => {
+                b.start_element(ExpandedName::local(name));
+                for (an, av) in attrs {
+                    b.attribute(ExpandedName::local(an), av.clone());
+                }
+                for c in children {
+                    add(b, c);
+                }
+                b.end_element();
+            }
+            NodeSpec::Text(t) => {
+                if !t.is_empty() {
+                    b.text(t);
+                }
+            }
+            NodeSpec::Comment(c) => {
+                b.comment(c.clone());
+            }
+        }
+    }
+    // Ensure a single element root.
+    let root_spec = match spec {
+        e @ NodeSpec::Element { .. } => e.clone(),
+        other => NodeSpec::Element {
+            name: "root".into(),
+            attrs: vec![],
+            children: vec![other.clone()],
+        },
+    };
+    add(&mut b, &root_spec);
+    b.finish().root()
+}
+
+/// Structural equality up to adjacent-text merging.
+fn same_structure(a: &NodeHandle, b: &NodeHandle) -> bool {
+    if a.kind() != b.kind() || a.name() != b.name() {
+        return false;
+    }
+    if a.kind() != NodeKind::Document && a.kind() != NodeKind::Element {
+        return a.string_value() == b.string_value();
+    }
+    let attrs_a: Vec<_> = a.attributes().map(|x| (x.name().cloned(), x.string_value())).collect();
+    let attrs_b: Vec<_> = b.attributes().map(|x| (x.name().cloned(), x.string_value())).collect();
+    if attrs_a != attrs_b {
+        return false;
+    }
+    let ca: Vec<_> = a.children().collect();
+    let cb: Vec<_> = b.children().collect();
+    ca.len() == cb.len() && ca.iter().zip(&cb).all(|(x, y)| same_structure(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn roundtrip_preserves_structure(spec in node_spec()) {
+        let original = build(&spec);
+        let xml = serialize_node(&original);
+        let reparsed = parse_document(&xml)
+            .unwrap_or_else(|e| panic!("serialized output must reparse: {e}\n{xml}"));
+        prop_assert!(
+            same_structure(&original, &reparsed.root()),
+            "structure changed through roundtrip:\n{xml}"
+        );
+        // Idempotence: a second roundtrip yields byte-identical output.
+        let xml2 = serialize_node(&reparsed.root());
+        prop_assert_eq!(xml, xml2);
+    }
+
+    #[test]
+    fn string_values_survive_roundtrip(spec in node_spec()) {
+        let original = build(&spec);
+        let xml = serialize_node(&original);
+        let reparsed = parse_document(&xml).expect("reparses");
+        prop_assert_eq!(original.string_value(), reparsed.root().string_value());
+    }
+}

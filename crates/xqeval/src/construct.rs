@@ -1,0 +1,262 @@
+//! Node construction.
+//!
+//! Implements the XQuery construction semantics the paper's Section 3.6
+//! enumerates as rewrite barriers:
+//!
+//! * constructed nodes get **fresh node identities** (a new `DocId` per
+//!   constructor evaluation);
+//! * copied content is **re-annotated as untyped** ("replaces the type of
+//!   atomic values with untypedAtomic");
+//! * adjacent atomic values are **space-joined** into a single text node
+//!   ("concatenates sequences of atomic values into a single
+//!   space-separated untyped string");
+//! * duplicate attribute names raise `err:XQDY0025`.
+
+use xqdb_xdm::{
+    AtomicValue, DocumentBuilder, ErrorCode, ExpandedName, Item, NodeKind, Sequence, XdmError,
+};
+use xqdb_xquery::ast::{ConstructorContent, DirectElement, Expr};
+
+use crate::context::DynamicContext;
+use crate::eval::Evaluator;
+
+type EResult = Result<Sequence, XdmError>;
+
+/// Evaluate a direct element constructor.
+pub fn direct_element(
+    ev: &Evaluator<'_>,
+    d: &DirectElement,
+    ctx: &DynamicContext,
+) -> EResult {
+    let mut b = DocumentBuilder::new_element_root(d.name.clone());
+    let mut seen: Vec<ExpandedName> = Vec::new();
+    for (aname, parts) in &d.attributes {
+        if seen.contains(aname) {
+            return Err(XdmError::new(
+                ErrorCode::XQDY0025,
+                format!("duplicate attribute {aname} in constructor"),
+            ));
+        }
+        seen.push(aname.clone());
+        let value = attr_value(ev, parts, ctx)?;
+        b.attribute(aname.clone(), value);
+    }
+    fill_content(ev, &mut b, &d.content, ctx, &mut seen)?;
+    Ok(vec![Item::Node(b.finish().root())])
+}
+
+/// Evaluate `element name { content }`.
+pub fn computed_element(
+    ev: &Evaluator<'_>,
+    name: &ExpandedName,
+    content: Option<&Expr>,
+    ctx: &DynamicContext,
+) -> EResult {
+    let mut b = DocumentBuilder::new_element_root(name.clone());
+    if let Some(c) = content {
+        let seq = ev.eval(c, ctx)?;
+        let mut seen = Vec::new();
+        append_sequence(&mut b, &seq, &mut seen)?;
+    }
+    Ok(vec![Item::Node(b.finish().root())])
+}
+
+/// Evaluate `attribute name { content }` — yields a parentless attribute
+/// node.
+pub fn computed_attribute(
+    ev: &Evaluator<'_>,
+    name: &ExpandedName,
+    content: Option<&Expr>,
+    ctx: &DynamicContext,
+) -> EResult {
+    let value = match content {
+        None => String::new(),
+        Some(c) => {
+            let seq = ev.eval(c, ctx)?;
+            space_joined(&seq)?
+        }
+    };
+    Ok(vec![Item::Node(standalone_node(NodeKind::Attribute, Some(name.clone()), value))])
+}
+
+/// Evaluate `text { content }`.
+pub fn computed_text(
+    ev: &Evaluator<'_>,
+    content: Option<&Expr>,
+    ctx: &DynamicContext,
+) -> EResult {
+    let value = match content {
+        None => return Ok(vec![]), // text{()} constructs nothing
+        Some(c) => {
+            let seq = ev.eval(c, ctx)?;
+            if seq.is_empty() {
+                return Ok(vec![]);
+            }
+            space_joined(&seq)?
+        }
+    };
+    Ok(vec![Item::Node(standalone_node(NodeKind::Text, None, value))])
+}
+
+/// Evaluate `document { content }`.
+pub fn computed_document(
+    ev: &Evaluator<'_>,
+    content: Option<&Expr>,
+    ctx: &DynamicContext,
+) -> EResult {
+    let mut b = DocumentBuilder::new_document();
+    if let Some(c) = content {
+        let seq = ev.eval(c, ctx)?;
+        let mut seen = Vec::new();
+        append_sequence(&mut b, &seq, &mut seen)?;
+    }
+    Ok(vec![Item::Node(b.finish().root())])
+}
+
+/// Build a single parentless node (attribute or text) as its own tree.
+fn standalone_node(
+    kind: NodeKind,
+    name: Option<ExpandedName>,
+    value: String,
+) -> xqdb_xdm::NodeHandle {
+    use std::sync::Arc;
+    use xqdb_xdm::node::{DocId, Document, NodeData, NodeId, TypeAnnotation};
+    let doc = Document {
+        id: DocId::fresh(),
+        nodes: vec![NodeData {
+            kind,
+            parent: None,
+            name,
+            value: Some(value),
+            children: Vec::new(),
+            attributes: Vec::new(),
+            subtree_end: NodeId(0),
+            annotation: TypeAnnotation::UntypedAtomic,
+        }],
+    };
+    Arc::new(doc).root()
+}
+
+fn attr_value(
+    ev: &Evaluator<'_>,
+    parts: &[ConstructorContent],
+    ctx: &DynamicContext,
+) -> Result<String, XdmError> {
+    let mut out = String::new();
+    for part in parts {
+        match part {
+            ConstructorContent::Text(t) => out.push_str(t),
+            ConstructorContent::Expr(e) => {
+                let seq = ev.eval(e, ctx)?;
+                out.push_str(&space_joined(&seq)?);
+            }
+            ConstructorContent::Element(_) | ConstructorContent::Comment(_) => {
+                return Err(XdmError::type_error(
+                    "element content is not allowed inside an attribute value",
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Atomize a sequence and join with single spaces (attribute/text content
+/// rule).
+fn space_joined(seq: &[Item]) -> Result<String, XdmError> {
+    let atoms = xqdb_xdm::sequence::atomize(seq)?;
+    Ok(atoms
+        .iter()
+        .map(AtomicValue::lexical)
+        .collect::<Vec<_>>()
+        .join(" "))
+}
+
+fn fill_content(
+    ev: &Evaluator<'_>,
+    b: &mut DocumentBuilder,
+    content: &[ConstructorContent],
+    ctx: &DynamicContext,
+    seen_attrs: &mut Vec<ExpandedName>,
+) -> Result<(), XdmError> {
+    for part in content {
+        match part {
+            ConstructorContent::Text(t) => {
+                b.text(t);
+            }
+            ConstructorContent::Comment(c) => {
+                b.comment(c.clone());
+            }
+            ConstructorContent::Element(inner) => {
+                // Nested constructor: build in place (fresh ids come from the
+                // enclosing finish()).
+                b.start_element(inner.name.clone());
+                let mut inner_seen = Vec::new();
+                for (aname, parts) in &inner.attributes {
+                    if inner_seen.contains(aname) {
+                        return Err(XdmError::new(
+                            ErrorCode::XQDY0025,
+                            format!("duplicate attribute {aname} in constructor"),
+                        ));
+                    }
+                    inner_seen.push(aname.clone());
+                    let value = attr_value(ev, parts, ctx)?;
+                    b.attribute(aname.clone(), value);
+                }
+                fill_content(ev, b, &inner.content, ctx, &mut inner_seen)?;
+                b.end_element();
+            }
+            ConstructorContent::Expr(e) => {
+                let seq = ev.eval(e, ctx)?;
+                append_sequence(b, &seq, seen_attrs)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Append an evaluated sequence as element content: nodes are deep-copied
+/// (attribute nodes become attributes of the element under construction, and
+/// duplicates raise `XQDY0025`), adjacent atomics are space-joined into one
+/// text node.
+fn append_sequence(
+    b: &mut DocumentBuilder,
+    seq: &[Item],
+    seen_attrs: &mut Vec<ExpandedName>,
+) -> Result<(), XdmError> {
+    let mut pending_atoms: Vec<String> = Vec::new();
+    let flush =
+        |b: &mut DocumentBuilder, pending: &mut Vec<String>| {
+            if !pending.is_empty() {
+                b.text(pending.join(" "));
+                pending.clear();
+            }
+        };
+    for item in seq {
+        match item {
+            Item::Atomic(a) => pending_atoms.push(a.lexical()),
+            Item::Node(n) => {
+                flush(b, &mut pending_atoms);
+                if n.kind() == NodeKind::Attribute {
+                    let aname = n
+                        .name()
+                        .expect("attribute nodes always carry a name")
+                        .clone();
+                    if seen_attrs.contains(&aname) {
+                        // Section 3.6 divergence case 4: multiple products
+                        // each with @price makes the constructor fail.
+                        return Err(XdmError::new(
+                            ErrorCode::XQDY0025,
+                            format!("duplicate attribute {aname} in constructor content"),
+                        ));
+                    }
+                    seen_attrs.push(aname.clone());
+                    b.attribute(aname, n.string_value());
+                } else {
+                    b.copy_node(n);
+                }
+            }
+        }
+    }
+    flush(b, &mut pending_atoms);
+    Ok(())
+}

@@ -1,0 +1,179 @@
+//! Dynamic evaluation context: variable bindings, focus, collections.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use xqdb_xdm::{ErrorCode, ExpandedName, Item, Sequence, XdmError};
+
+/// Resolves `db2-fn:xmlcolumn('TABLE.COLUMN')` to a sequence of document
+/// nodes. The storage engine implements this; tests use [`MapProvider`].
+pub trait CollectionProvider {
+    /// Return the documents of the named XML column, in storage order.
+    /// Names are case-insensitive (SQL identifiers), canonicalized to upper
+    /// case by the caller.
+    fn xmlcolumn(&self, name: &str) -> Result<Sequence, XdmError>;
+}
+
+/// A provider with no collections — queries over `db2-fn:xmlcolumn` fail.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EmptyProvider;
+
+impl CollectionProvider for EmptyProvider {
+    fn xmlcolumn(&self, name: &str) -> Result<Sequence, XdmError> {
+        Err(XdmError::new(
+            ErrorCode::XPST0008,
+            format!("no XML column named {name:?} is available in this context"),
+        ))
+    }
+}
+
+/// A provider backed by an in-memory map, for tests and examples.
+#[derive(Debug, Default, Clone)]
+pub struct MapProvider {
+    columns: HashMap<String, Sequence>,
+}
+
+impl MapProvider {
+    /// Create an empty provider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a column under `name` (canonicalized to upper case).
+    pub fn insert(&mut self, name: impl AsRef<str>, docs: Sequence) {
+        self.columns.insert(name.as_ref().to_ascii_uppercase(), docs);
+    }
+}
+
+impl CollectionProvider for MapProvider {
+    fn xmlcolumn(&self, name: &str) -> Result<Sequence, XdmError> {
+        self.columns
+            .get(&name.to_ascii_uppercase())
+            .cloned()
+            .ok_or_else(|| {
+                XdmError::new(
+                    ErrorCode::XPST0008,
+                    format!("no XML column named {name:?} is available in this context"),
+                )
+            })
+    }
+}
+
+/// The focus: context item, position, and size (for `position()`/`last()`).
+#[derive(Debug, Clone)]
+pub struct Focus {
+    /// The context item.
+    pub item: Item,
+    /// 1-based position.
+    pub position: usize,
+    /// Size of the focus sequence.
+    pub size: usize,
+}
+
+/// Immutable-ish dynamic context. Binding a variable or setting the focus
+/// clones the context (bindings are small; documents are behind `Arc`s).
+#[derive(Clone)]
+pub struct DynamicContext {
+    /// In-scope variable bindings.
+    pub variables: Arc<HashMap<ExpandedName, Sequence>>,
+    /// Current focus, if any.
+    pub focus: Option<Focus>,
+}
+
+impl Default for DynamicContext {
+    fn default() -> Self {
+        DynamicContext { variables: Arc::new(HashMap::new()), focus: None }
+    }
+}
+
+impl DynamicContext {
+    /// Fresh empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context with external variable bindings (SQL/XML `PASSING` clause).
+    pub fn with_variables(vars: HashMap<ExpandedName, Sequence>) -> Self {
+        DynamicContext { variables: Arc::new(vars), focus: None }
+    }
+
+    /// Bind a variable, returning the extended context.
+    pub fn bind(&self, name: ExpandedName, value: Sequence) -> Self {
+        let mut vars = (*self.variables).clone();
+        vars.insert(name, value);
+        DynamicContext { variables: Arc::new(vars), focus: self.focus.clone() }
+    }
+
+    /// Look up a variable.
+    pub fn variable(&self, name: &ExpandedName) -> Option<&Sequence> {
+        self.variables.get(name)
+    }
+
+    /// Set the focus, returning the new context.
+    pub fn with_focus(&self, item: Item, position: usize, size: usize) -> Self {
+        DynamicContext {
+            variables: Arc::clone(&self.variables),
+            focus: Some(Focus { item, position, size }),
+        }
+    }
+
+    /// The context item, or an `XPDY0002` error if the focus is absent.
+    pub fn context_item(&self) -> Result<&Item, XdmError> {
+        self.focus
+            .as_ref()
+            .map(|f| &f.item)
+            .ok_or_else(|| XdmError::new(ErrorCode::XPDY0002, "context item is absent"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqdb_xdm::AtomicValue;
+
+    #[test]
+    fn bind_does_not_mutate_parent() {
+        let base = DynamicContext::new();
+        let child = base.bind(
+            ExpandedName::local("x"),
+            vec![Item::Atomic(AtomicValue::Integer(1))],
+        );
+        assert!(base.variable(&ExpandedName::local("x")).is_none());
+        assert!(child.variable(&ExpandedName::local("x")).is_some());
+    }
+
+    #[test]
+    fn rebinding_shadows() {
+        let base = DynamicContext::new().bind(
+            ExpandedName::local("x"),
+            vec![Item::Atomic(AtomicValue::Integer(1))],
+        );
+        let shadowed = base.bind(
+            ExpandedName::local("x"),
+            vec![Item::Atomic(AtomicValue::Integer(2))],
+        );
+        assert_eq!(
+            shadowed.variable(&ExpandedName::local("x")).unwrap()[0],
+            Item::Atomic(AtomicValue::Integer(2))
+        );
+        assert_eq!(
+            base.variable(&ExpandedName::local("x")).unwrap()[0],
+            Item::Atomic(AtomicValue::Integer(1))
+        );
+    }
+
+    #[test]
+    fn missing_context_item_is_xpdy0002() {
+        let ctx = DynamicContext::new();
+        assert_eq!(ctx.context_item().unwrap_err().code, ErrorCode::XPDY0002);
+    }
+
+    #[test]
+    fn map_provider_case_insensitive() {
+        let mut p = MapProvider::new();
+        p.insert("Orders.OrdDoc", vec![]);
+        assert!(p.xmlcolumn("ORDERS.ORDDOC").is_ok());
+        assert!(p.xmlcolumn("orders.orddoc").is_ok());
+        assert!(p.xmlcolumn("missing").is_err());
+    }
+}

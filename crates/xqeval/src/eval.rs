@@ -1,0 +1,753 @@
+//! The expression evaluator.
+
+use xqdb_xdm::compare::{general_compare, value_compare};
+use xqdb_xdm::sequence::{doc_order_dedup, effective_boolean_value};
+use xqdb_xdm::{
+    cast, AtomicType, AtomicValue, ErrorCode, Item, NodeHandle, NodeKind, Sequence, XdmError,
+};
+use xqdb_xquery::ast::{
+    ArithOp, Axis, Expr, Flwor, FlworClause, KindTest, NodeCmpOp, NodeTest, Occurrence, OrderSpec,
+    QuantKind, Query, SeqTypeItem, SequenceType, Step,
+};
+
+use crate::construct;
+use crate::context::{CollectionProvider, DynamicContext};
+use crate::functions;
+
+type EResult = Result<Sequence, XdmError>;
+
+/// Evaluates expressions against a [`CollectionProvider`].
+pub struct Evaluator<'a> {
+    /// Source of `db2-fn:xmlcolumn` collections.
+    pub provider: &'a dyn CollectionProvider,
+}
+
+/// Evaluate a full query with the given context (external variables etc.).
+pub fn eval_query(
+    query: &Query,
+    provider: &dyn CollectionProvider,
+    ctx: &DynamicContext,
+) -> EResult {
+    Evaluator { provider }.eval(&query.body, ctx)
+}
+
+/// Evaluate a bare expression.
+pub fn eval_expr(expr: &Expr, provider: &dyn CollectionProvider, ctx: &DynamicContext) -> EResult {
+    Evaluator { provider }.eval(expr, ctx)
+}
+
+impl<'a> Evaluator<'a> {
+    /// Evaluate `expr` under `ctx`.
+    pub fn eval(&self, expr: &Expr, ctx: &DynamicContext) -> EResult {
+        match expr {
+            Expr::Literal(v) => Ok(vec![Item::Atomic(v.clone())]),
+            Expr::VarRef(name) => ctx.variable(name).cloned().ok_or_else(|| {
+                XdmError::new(ErrorCode::XPST0008, format!("undefined variable ${name}"))
+            }),
+            Expr::ContextItem => Ok(vec![ctx.context_item()?.clone()]),
+            Expr::Paren(inner) => self.eval(inner, ctx),
+            Expr::Sequence(items) => {
+                let mut out = Vec::new();
+                for e in items {
+                    out.extend(self.eval(e, ctx)?);
+                }
+                Ok(out)
+            }
+            Expr::Range(lo, hi) => {
+                let lo = self.eval_singleton_integer(lo, ctx)?;
+                let hi = self.eval_singleton_integer(hi, ctx)?;
+                match (lo, hi) {
+                    (Some(lo), Some(hi)) if lo <= hi => {
+                        Ok((lo..=hi).map(|i| Item::Atomic(AtomicValue::Integer(i))).collect())
+                    }
+                    _ => Ok(vec![]),
+                }
+            }
+            Expr::Flwor(f) => self.eval_flwor(f, ctx),
+            Expr::Quantified { kind, bindings, satisfies } => {
+                self.eval_quantified(*kind, bindings, satisfies, ctx)
+            }
+            Expr::If { cond, then, els } => {
+                let c = self.eval(cond, ctx)?;
+                if effective_boolean_value(&c)? {
+                    self.eval(then, ctx)
+                } else {
+                    self.eval(els, ctx)
+                }
+            }
+            Expr::Or(a, b) => {
+                let l = effective_boolean_value(&self.eval(a, ctx)?)?;
+                if l {
+                    return Ok(bool_seq(true));
+                }
+                let r = effective_boolean_value(&self.eval(b, ctx)?)?;
+                Ok(bool_seq(r))
+            }
+            Expr::And(a, b) => {
+                let l = effective_boolean_value(&self.eval(a, ctx)?)?;
+                if !l {
+                    return Ok(bool_seq(false));
+                }
+                let r = effective_boolean_value(&self.eval(b, ctx)?)?;
+                Ok(bool_seq(r))
+            }
+            Expr::GeneralCmp(op, a, b) => {
+                let l = self.eval(a, ctx)?;
+                let r = self.eval(b, ctx)?;
+                Ok(bool_seq(general_compare(&l, &r, *op)?))
+            }
+            Expr::ValueCmp(op, a, b) => {
+                let l = self.eval(a, ctx)?;
+                let r = self.eval(b, ctx)?;
+                match value_compare(&l, &r, *op)? {
+                    Some(v) => Ok(bool_seq(v)),
+                    None => Ok(vec![]),
+                }
+            }
+            Expr::NodeCmp(op, a, b) => {
+                let l = self.eval_optional_node(a, ctx)?;
+                let r = self.eval_optional_node(b, ctx)?;
+                match (l, r) {
+                    (Some(l), Some(r)) => {
+                        let v = match op {
+                            NodeCmpOp::Is => l == r,
+                            NodeCmpOp::Precedes => l < r,
+                            NodeCmpOp::Follows => l > r,
+                        };
+                        Ok(bool_seq(v))
+                    }
+                    _ => Ok(vec![]),
+                }
+            }
+            Expr::Arith(op, a, b) => {
+                let l = self.eval_arith_operand(a, ctx)?;
+                let r = self.eval_arith_operand(b, ctx)?;
+                match (l, r) {
+                    (Some(l), Some(r)) => Ok(vec![Item::Atomic(arith(*op, &l, &r)?)]),
+                    _ => Ok(vec![]),
+                }
+            }
+            Expr::UnaryMinus(e) => {
+                let v = self.eval_arith_operand(e, ctx)?;
+                match v {
+                    None => Ok(vec![]),
+                    Some(AtomicValue::Integer(i)) => {
+                        Ok(vec![Item::Atomic(AtomicValue::Integer(-i))])
+                    }
+                    Some(AtomicValue::Double(d)) => {
+                        Ok(vec![Item::Atomic(AtomicValue::Double(-d))])
+                    }
+                    Some(AtomicValue::Decimal(d)) => {
+                        Ok(vec![Item::Atomic(AtomicValue::Decimal(-d))])
+                    }
+                    Some(other) => Err(XdmError::type_error(format!(
+                        "unary minus on non-numeric {}",
+                        other.atomic_type()
+                    ))),
+                }
+            }
+            Expr::Union(a, b) => {
+                let mut l = self.nodes_only(self.eval(a, ctx)?, "union")?;
+                let r = self.nodes_only(self.eval(b, ctx)?, "union")?;
+                l.extend(r);
+                doc_order_dedup(l.into_iter().map(Item::Node).collect())
+            }
+            Expr::Intersect(a, b) => {
+                let l = self.nodes_only(self.eval(a, ctx)?, "intersect")?;
+                let r = self.nodes_only(self.eval(b, ctx)?, "intersect")?;
+                let keep: Vec<Item> = l
+                    .into_iter()
+                    .filter(|n| r.contains(n))
+                    .map(Item::Node)
+                    .collect();
+                doc_order_dedup(keep)
+            }
+            Expr::Except(a, b) => {
+                let l = self.nodes_only(self.eval(a, ctx)?, "except")?;
+                let r = self.nodes_only(self.eval(b, ctx)?, "except")?;
+                let keep: Vec<Item> = l
+                    .into_iter()
+                    .filter(|n| !r.contains(n))
+                    .map(Item::Node)
+                    .collect();
+                doc_order_dedup(keep)
+            }
+            Expr::InstanceOf(e, st) => {
+                let v = self.eval(e, ctx)?;
+                Ok(bool_seq(matches_sequence_type(&v, st)))
+            }
+            Expr::TreatAs(e, st) => {
+                let v = self.eval(e, ctx)?;
+                if matches_sequence_type(&v, st) {
+                    Ok(v)
+                } else {
+                    Err(XdmError::type_error(format!(
+                        "treat as: value does not match required type {st:?}"
+                    )))
+                }
+            }
+            Expr::CastAs { expr, target, optional } => {
+                let v = self.eval(expr, ctx)?;
+                let atoms = xqdb_xdm::sequence::atomize(&v)?;
+                match atoms.as_slice() {
+                    [] if *optional => Ok(vec![]),
+                    [] => Err(XdmError::type_error("cast as: empty sequence not allowed")),
+                    [a] => Ok(vec![Item::Atomic(cast::cast(a, *target)?)]),
+                    _ => Err(XdmError::type_error("cast as: more than one item")),
+                }
+            }
+            Expr::CastableAs { expr, target, optional } => {
+                let v = self.eval(expr, ctx)?;
+                let atoms = xqdb_xdm::sequence::atomize(&v)?;
+                let ok = match atoms.as_slice() {
+                    [] => *optional,
+                    [a] => cast::castable(a, *target),
+                    _ => false,
+                };
+                Ok(bool_seq(ok))
+            }
+            Expr::Root => {
+                let item = ctx.context_item()?;
+                let node = item.as_node().ok_or_else(|| {
+                    XdmError::type_error("leading '/' requires a node context item")
+                })?;
+                let root = node.tree_root();
+                // `/` expands to `fn:root(self::node()) treat as document-node()`
+                // — the Section 3.5 pitfall: constructed trees are rooted by
+                // element nodes and absolute paths over them are type errors.
+                if root.kind() != NodeKind::Document {
+                    return Err(XdmError::type_error(
+                        "leading '/': the root of the context tree is not a document node \
+                         (the context is inside a constructed element)",
+                    ));
+                }
+                Ok(vec![Item::Node(root)])
+            }
+            Expr::Filter { expr, predicates } => {
+                let seq = self.eval(expr, ctx)?;
+                self.apply_predicates(seq, predicates, ctx)
+            }
+            Expr::Path { init, steps } => {
+                let start = self.eval(init, ctx)?;
+                self.eval_steps(start, steps, ctx)
+            }
+            Expr::FunctionCall { name, args } => functions::call(self, name, args, ctx),
+            Expr::DirectElement(d) => construct::direct_element(self, d, ctx),
+            Expr::ComputedElement { name, content } => {
+                construct::computed_element(self, name, content.as_deref(), ctx)
+            }
+            Expr::ComputedAttribute { name, content } => {
+                construct::computed_attribute(self, name, content.as_deref(), ctx)
+            }
+            Expr::ComputedText(content) => construct::computed_text(self, content.as_deref(), ctx),
+            Expr::ComputedDocument(content) => {
+                construct::computed_document(self, content.as_deref(), ctx)
+            }
+        }
+    }
+
+    /// Evaluate the EBV of `expr` (used by predicates, where clauses, ...).
+    pub fn eval_ebv(&self, expr: &Expr, ctx: &DynamicContext) -> Result<bool, XdmError> {
+        let v = self.eval(expr, ctx)?;
+        effective_boolean_value(&v)
+    }
+
+    fn eval_singleton_integer(
+        &self,
+        expr: &Expr,
+        ctx: &DynamicContext,
+    ) -> Result<Option<i64>, XdmError> {
+        let v = self.eval(expr, ctx)?;
+        let atoms = xqdb_xdm::sequence::atomize(&v)?;
+        match atoms.as_slice() {
+            [] => Ok(None),
+            [a] => match cast::cast(a, AtomicType::Integer)? {
+                AtomicValue::Integer(i) => Ok(Some(i)),
+                _ => unreachable!("integer cast yields Integer"),
+            },
+            _ => Err(XdmError::type_error("range operand must be a singleton")),
+        }
+    }
+
+    fn eval_optional_node(
+        &self,
+        expr: &Expr,
+        ctx: &DynamicContext,
+    ) -> Result<Option<NodeHandle>, XdmError> {
+        let v = self.eval(expr, ctx)?;
+        match v.as_slice() {
+            [] => Ok(None),
+            [Item::Node(n)] => Ok(Some(n.clone())),
+            [Item::Atomic(_)] => {
+                Err(XdmError::type_error("node comparison requires node operands"))
+            }
+            _ => Err(XdmError::type_error("node comparison requires singleton operands")),
+        }
+    }
+
+    fn eval_arith_operand(
+        &self,
+        expr: &Expr,
+        ctx: &DynamicContext,
+    ) -> Result<Option<AtomicValue>, XdmError> {
+        let v = self.eval(expr, ctx)?;
+        let atoms = xqdb_xdm::sequence::atomize(&v)?;
+        match atoms.as_slice() {
+            [] => Ok(None),
+            [a] => {
+                // untypedAtomic promotes to double in arithmetic.
+                let a = match a {
+                    AtomicValue::UntypedAtomic(_) => cast::cast(a, AtomicType::Double)?,
+                    other => other.clone(),
+                };
+                Ok(Some(a))
+            }
+            _ => Err(XdmError::type_error("arithmetic requires singleton operands")),
+        }
+    }
+
+    fn nodes_only(&self, seq: Sequence, op: &str) -> Result<Vec<NodeHandle>, XdmError> {
+        seq.into_iter()
+            .map(|item| match item {
+                Item::Node(n) => Ok(n),
+                Item::Atomic(a) => Err(XdmError::type_error(format!(
+                    "{op} requires node operands, found atomic value {a:?}"
+                ))),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------ path
+
+    /// Apply `steps` to the `start` sequence.
+    pub fn eval_steps(&self, start: Sequence, steps: &[Step], ctx: &DynamicContext) -> EResult {
+        let mut current = start;
+        for step in steps {
+            let size = current.len();
+            let mut result: Vec<Item> = Vec::new();
+            for (idx, item) in current.iter().enumerate() {
+                match step {
+                    Step::Axis { axis, test, predicates } => {
+                        let node = item.as_node().ok_or_else(|| {
+                            XdmError::type_error(
+                                "an axis step was applied to an atomic value",
+                            )
+                        })?;
+                        let matched: Sequence = axis_nodes(node, *axis)
+                            .into_iter()
+                            .filter(|n| node_test_matches(test, *axis, n))
+                            .map(Item::Node)
+                            .collect();
+                        let filtered = self.apply_predicates(matched, predicates, ctx)?;
+                        result.extend(filtered);
+                    }
+                    Step::Filter { expr, predicates } => {
+                        let fctx = ctx.with_focus(item.clone(), idx + 1, size);
+                        let seq = self.eval(expr, &fctx)?;
+                        let filtered = self.apply_predicates(seq, predicates, &fctx)?;
+                        result.extend(filtered);
+                    }
+                }
+            }
+            current = combine_step_result(result)?;
+        }
+        Ok(current)
+    }
+
+    /// Apply predicates to a sequence: positional for singleton numerics,
+    /// EBV otherwise.
+    pub fn apply_predicates(
+        &self,
+        mut items: Sequence,
+        predicates: &[Expr],
+        ctx: &DynamicContext,
+    ) -> EResult {
+        for pred in predicates {
+            let size = items.len();
+            let mut kept = Vec::with_capacity(items.len());
+            for (idx, item) in items.into_iter().enumerate() {
+                let fctx = ctx.with_focus(item.clone(), idx + 1, size);
+                let v = self.eval(pred, &fctx)?;
+                let keep = match v.as_slice() {
+                    [Item::Atomic(a)] if a.atomic_type().is_numeric() => {
+                        // Positional predicate.
+                        match cast::cast(a, AtomicType::Integer) {
+                            Ok(AtomicValue::Integer(i)) => i == (idx + 1) as i64,
+                            _ => false,
+                        }
+                    }
+                    _ => effective_boolean_value(&v)?,
+                };
+                if keep {
+                    kept.push(item);
+                }
+            }
+            items = kept;
+        }
+        Ok(items)
+    }
+
+    // ----------------------------------------------------------------- flwor
+
+    fn eval_flwor(&self, f: &Flwor, ctx: &DynamicContext) -> EResult {
+        let mut tuples: Vec<DynamicContext> = vec![ctx.clone()];
+        for clause in &f.clauses {
+            match clause {
+                FlworClause::For { var, position, expr } => {
+                    let mut next = Vec::new();
+                    for t in &tuples {
+                        let seq = self.eval(expr, t)?;
+                        for (i, item) in seq.into_iter().enumerate() {
+                            let mut t2 = t.bind(var.clone(), vec![item]);
+                            if let Some(p) = position {
+                                t2 = t2.bind(
+                                    p.clone(),
+                                    vec![Item::Atomic(AtomicValue::Integer((i + 1) as i64))],
+                                );
+                            }
+                            next.push(t2);
+                        }
+                    }
+                    tuples = next;
+                }
+                FlworClause::Let { var, expr } => {
+                    // `let` preserves empty sequences: every tuple survives,
+                    // bound to whatever the expression produced (Section 3.4).
+                    let mut next = Vec::with_capacity(tuples.len());
+                    for t in tuples {
+                        let seq = self.eval(expr, &t)?;
+                        next.push(t.bind(var.clone(), seq));
+                    }
+                    tuples = next;
+                }
+                FlworClause::Where(cond) => {
+                    let mut next = Vec::with_capacity(tuples.len());
+                    for t in tuples {
+                        if self.eval_ebv(cond, &t)? {
+                            next.push(t);
+                        }
+                    }
+                    tuples = next;
+                }
+                FlworClause::OrderBy(specs) => {
+                    tuples = self.sort_tuples(tuples, specs)?;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for t in &tuples {
+            out.extend(self.eval(&f.ret, t)?);
+        }
+        Ok(out)
+    }
+
+    fn sort_tuples(
+        &self,
+        tuples: Vec<DynamicContext>,
+        specs: &[OrderSpec],
+    ) -> Result<Vec<DynamicContext>, XdmError> {
+        // Precompute keys; order-by keys must be singleton-or-empty.
+        let mut keyed: Vec<(Vec<Option<AtomicValue>>, DynamicContext)> =
+            Vec::with_capacity(tuples.len());
+        for t in tuples {
+            let mut keys = Vec::with_capacity(specs.len());
+            for spec in specs {
+                let v = self.eval(&spec.expr, &t)?;
+                let atoms = xqdb_xdm::sequence::atomize(&v)?;
+                let key = match atoms.as_slice() {
+                    [] => None,
+                    [a] => Some(match a {
+                        AtomicValue::UntypedAtomic(s) => AtomicValue::String(s.clone()),
+                        other => other.clone(),
+                    }),
+                    _ => {
+                        return Err(XdmError::type_error(
+                            "order by key must be a singleton or empty",
+                        ))
+                    }
+                };
+                keys.push(key);
+            }
+            keyed.push((keys, t));
+        }
+        let mut error: Option<XdmError> = None;
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            use std::cmp::Ordering;
+            for (i, spec) in specs.iter().enumerate() {
+                let ord = match (&ka[i], &kb[i]) {
+                    (None, None) => Ordering::Equal,
+                    (None, Some(_)) => {
+                        if spec.empty_least {
+                            Ordering::Less
+                        } else {
+                            Ordering::Greater
+                        }
+                    }
+                    (Some(_), None) => {
+                        if spec.empty_least {
+                            Ordering::Greater
+                        } else {
+                            Ordering::Less
+                        }
+                    }
+                    (Some(a), Some(b)) => match xqdb_xdm::compare::compare_typed(a, b) {
+                        Ok(Some(o)) => o,
+                        Ok(None) => Ordering::Equal, // NaN sorts as equal
+                        Err(e) => {
+                            if error.is_none() {
+                                error = Some(e);
+                            }
+                            Ordering::Equal
+                        }
+                    },
+                };
+                let ord = if spec.descending { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        Ok(keyed.into_iter().map(|(_, t)| t).collect())
+    }
+
+    fn eval_quantified(
+        &self,
+        kind: QuantKind,
+        bindings: &[(xqdb_xdm::ExpandedName, Expr)],
+        satisfies: &Expr,
+        ctx: &DynamicContext,
+    ) -> EResult {
+        let mut tuples: Vec<DynamicContext> = vec![ctx.clone()];
+        for (var, expr) in bindings {
+            let mut next = Vec::new();
+            for t in &tuples {
+                let seq = self.eval(expr, t)?;
+                for item in seq {
+                    next.push(t.bind(var.clone(), vec![item]));
+                }
+            }
+            tuples = next;
+        }
+        for t in &tuples {
+            let sat = self.eval_ebv(satisfies, t)?;
+            match kind {
+                QuantKind::Some if sat => return Ok(bool_seq(true)),
+                QuantKind::Every if !sat => return Ok(bool_seq(false)),
+                _ => {}
+            }
+        }
+        Ok(bool_seq(matches!(kind, QuantKind::Every)))
+    }
+}
+
+fn bool_seq(b: bool) -> Sequence {
+    vec![Item::Atomic(AtomicValue::Boolean(b))]
+}
+
+/// Enumerate the nodes of `axis` from `node`, in axis order.
+pub fn axis_nodes(node: &NodeHandle, axis: Axis) -> Vec<NodeHandle> {
+    match axis {
+        Axis::Child => node.children().collect(),
+        Axis::Descendant => node.descendants().collect(),
+        Axis::DescendantOrSelf => node.descendants_or_self().collect(),
+        Axis::Attribute => node.attributes().collect(),
+        Axis::SelfAxis => vec![node.clone()],
+        Axis::Parent => node.parent().into_iter().collect(),
+    }
+}
+
+/// Node-test matching, respecting the axis's principal node kind:
+/// a bare name test (or `*`) on the attribute axis matches attributes; on
+/// every other axis it matches elements only. This is what makes
+/// `//node()` skip attributes (Section 3.9).
+pub fn node_test_matches(test: &NodeTest, axis: Axis, node: &NodeHandle) -> bool {
+    match test {
+        NodeTest::Name(nt) => {
+            let principal = if axis.principal_attribute() {
+                NodeKind::Attribute
+            } else {
+                NodeKind::Element
+            };
+            node.kind() == principal && node.name().map(|n| nt.matches(n)).unwrap_or(false)
+        }
+        NodeTest::Kind(kt) => kind_test_matches(kt, node),
+    }
+}
+
+/// Kind-test matching.
+pub fn kind_test_matches(kt: &KindTest, node: &NodeHandle) -> bool {
+    match kt {
+        KindTest::AnyKind => true,
+        KindTest::Text => node.kind() == NodeKind::Text,
+        KindTest::Comment => node.kind() == NodeKind::Comment,
+        KindTest::Document => node.kind() == NodeKind::Document,
+        KindTest::Pi(target) => {
+            node.kind() == NodeKind::ProcessingInstruction
+                && target.as_ref().is_none_or(|t| {
+                    node.name().map(|n| *n.local == **t).unwrap_or(false)
+                })
+        }
+        KindTest::Element(nt) => {
+            node.kind() == NodeKind::Element
+                && nt.as_ref().is_none_or(|t| {
+                    node.name().map(|n| t.matches(n)).unwrap_or(false)
+                })
+        }
+        KindTest::Attribute(nt) => {
+            node.kind() == NodeKind::Attribute
+                && nt.as_ref().is_none_or(|t| {
+                    node.name().map(|n| t.matches(n)).unwrap_or(false)
+                })
+        }
+    }
+}
+
+/// Combine a step's results: all nodes → dedup + document order; all
+/// atomics → positional order preserved; mixed → `err:XPTY0018`-style error.
+fn combine_step_result(result: Sequence) -> EResult {
+    let any_node = result.iter().any(|i| matches!(i, Item::Node(_)));
+    let any_atomic = result.iter().any(|i| matches!(i, Item::Atomic(_)));
+    match (any_node, any_atomic) {
+        (true, true) => Err(XdmError::type_error(
+            "path step produced both nodes and atomic values",
+        )),
+        (true, false) => doc_order_dedup(result),
+        _ => Ok(result),
+    }
+}
+
+/// Check a sequence against a sequence type (`instance of` / `treat as`).
+pub fn matches_sequence_type(seq: &[Item], st: &SequenceType) -> bool {
+    match &st.item {
+        None => seq.is_empty(), // empty-sequence()
+        Some(item_type) => {
+            let card_ok = match st.occurrence {
+                Occurrence::One => seq.len() == 1,
+                Occurrence::Optional => seq.len() <= 1,
+                Occurrence::ZeroOrMore => true,
+                Occurrence::OneOrMore => !seq.is_empty(),
+            };
+            card_ok && seq.iter().all(|i| item_matches_type(i, item_type))
+        }
+    }
+}
+
+fn item_matches_type(item: &Item, t: &SeqTypeItem) -> bool {
+    match t {
+        SeqTypeItem::AnyItem => true,
+        SeqTypeItem::Atomic(at) => match item {
+            Item::Atomic(a) => {
+                a.atomic_type() == *at
+                    // integer is derived from decimal
+                    || (*at == AtomicType::Decimal && a.atomic_type() == AtomicType::Integer)
+            }
+            Item::Node(_) => false,
+        },
+        SeqTypeItem::Kind(kt) => match item {
+            Item::Node(n) => kind_test_matches(kt, n),
+            Item::Atomic(_) => false,
+        },
+    }
+}
+
+/// Numeric arithmetic with XQuery promotion rules.
+fn arith(op: ArithOp, a: &AtomicValue, b: &AtomicValue) -> Result<AtomicValue, XdmError> {
+    use AtomicValue::*;
+    if !a.atomic_type().is_numeric() || !b.atomic_type().is_numeric() {
+        return Err(XdmError::type_error(format!(
+            "arithmetic on non-numeric operands {} and {}",
+            a.atomic_type(),
+            b.atomic_type()
+        )));
+    }
+    // Double dominates.
+    if matches!(a, Double(_)) || matches!(b, Double(_)) {
+        let x = a.as_f64().expect("numeric");
+        let y = b.as_f64().expect("numeric");
+        let r = match op {
+            ArithOp::Add => x + y,
+            ArithOp::Sub => x - y,
+            ArithOp::Mul => x * y,
+            ArithOp::Div => x / y,
+            ArithOp::IDiv => {
+                if y == 0.0 {
+                    return Err(XdmError::new(ErrorCode::FOAR0001, "idiv by zero"));
+                }
+                return Ok(Integer((x / y).trunc() as i64));
+            }
+            ArithOp::Mod => x % y,
+        };
+        return Ok(Double(r));
+    }
+    // Decimal if either side is decimal, or for integer division.
+    let decimal_mode = matches!(a, Decimal(_)) || matches!(b, Decimal(_));
+    if decimal_mode || op == ArithOp::Div {
+        let da = to_decimal_scaled(a);
+        let db = to_decimal_scaled(b);
+        use xqdb_xdm::atomic::DECIMAL_DENOM;
+        let r = match op {
+            ArithOp::Add => da.checked_add(db),
+            ArithOp::Sub => da.checked_sub(db),
+            ArithOp::Mul => da.checked_mul(db).map(|v| v / DECIMAL_DENOM),
+            ArithOp::Div => {
+                if db == 0 {
+                    return Err(XdmError::new(ErrorCode::FOAR0001, "division by zero"));
+                }
+                da.checked_mul(DECIMAL_DENOM).map(|v| v / db)
+            }
+            ArithOp::IDiv => {
+                if db == 0 {
+                    return Err(XdmError::new(ErrorCode::FOAR0001, "idiv by zero"));
+                }
+                return Ok(Integer((da / db) as i64));
+            }
+            ArithOp::Mod => {
+                if db == 0 {
+                    return Err(XdmError::new(ErrorCode::FOAR0001, "mod by zero"));
+                }
+                da.checked_rem(db)
+            }
+        };
+        return r
+            .map(Decimal)
+            .ok_or_else(|| XdmError::invalid_cast("decimal overflow in arithmetic"));
+    }
+    // Integer arithmetic, exact.
+    let (x, y) = match (a, b) {
+        (Integer(x), Integer(y)) => (*x, *y),
+        _ => unreachable!("remaining case is integer op integer"),
+    };
+    let r = match op {
+        ArithOp::Add => x.checked_add(y),
+        ArithOp::Sub => x.checked_sub(y),
+        ArithOp::Mul => x.checked_mul(y),
+        ArithOp::Div => unreachable!("integer div handled in decimal mode"),
+        ArithOp::IDiv => {
+            if y == 0 {
+                return Err(XdmError::new(ErrorCode::FOAR0001, "idiv by zero"));
+            }
+            x.checked_div(y)
+        }
+        ArithOp::Mod => {
+            if y == 0 {
+                return Err(XdmError::new(ErrorCode::FOAR0001, "mod by zero"));
+            }
+            x.checked_rem(y)
+        }
+    };
+    r.map(Integer)
+        .ok_or_else(|| XdmError::invalid_cast("integer overflow in arithmetic"))
+}
+
+fn to_decimal_scaled(v: &AtomicValue) -> i128 {
+    use xqdb_xdm::atomic::DECIMAL_DENOM;
+    match v {
+        AtomicValue::Decimal(d) => *d,
+        AtomicValue::Integer(i) => i128::from(*i) * DECIMAL_DENOM,
+        _ => unreachable!("caller guarantees decimal or integer"),
+    }
+}

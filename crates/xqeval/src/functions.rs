@@ -1,0 +1,533 @@
+//! The built-in function library.
+//!
+//! Covers the functions the paper's queries use (`data`, `string`,
+//! `string-join`, `db2-fn:xmlcolumn`, the `xs:*` constructor functions, ...)
+//! plus the common aggregates and string functions any realistic workload
+//! needs.
+
+use xqdb_xdm::qname::{DB2_FN_NS, FN_NS, XDT_NS, XS_NS};
+use xqdb_xdm::sequence::{atomize, effective_boolean_value};
+use xqdb_xdm::{
+    cast, AtomicType, AtomicValue, ErrorCode, ExpandedName, Item, Sequence, XdmError,
+};
+use xqdb_xquery::ast::Expr;
+use xqdb_xquery::parser::atomic_type_by_name;
+
+use crate::context::DynamicContext;
+use crate::eval::Evaluator;
+
+type EResult = Result<Sequence, XdmError>;
+
+/// Dispatch a function call.
+pub fn call(
+    ev: &Evaluator<'_>,
+    name: &ExpandedName,
+    args: &[Expr],
+    ctx: &DynamicContext,
+) -> EResult {
+    let ns = name.ns.as_deref().unwrap_or("");
+
+    // xs:double(...)-style constructor functions.
+    if (ns == XS_NS || ns == XDT_NS) && args.len() == 1 {
+        if let Some(target) = atomic_type_by_name(name) {
+            let v = ev.eval(&args[0], ctx)?;
+            let atoms = atomize(&v)?;
+            return match atoms.as_slice() {
+                [] => Ok(vec![]),
+                [a] => Ok(vec![Item::Atomic(cast::cast(a, target)?)]),
+                _ => Err(XdmError::type_error(format!(
+                    "constructor function {name} requires a singleton argument"
+                ))),
+            };
+        }
+    }
+
+    if ns == DB2_FN_NS && &*name.local == "xmlcolumn" {
+        let col = eval_string_arg(ev, args, 0, ctx)?;
+        return ev.provider.xmlcolumn(&col.to_ascii_uppercase());
+    }
+
+    // db2-fn:between($seq, $lo, $hi) — the explicit "between" the paper's
+    // Section 4 proposes for the next standard: true iff SOME item of $seq
+    // satisfies BOTH bounds. Because both bounds test the same item, a
+    // single index range scan answers it (unlike the existential pair of
+    // general comparisons in Section 3.10).
+    if ns == DB2_FN_NS && &*name.local == "between" {
+        if args.len() != 3 {
+            return Err(XdmError::new(
+                ErrorCode::XPST0008,
+                "db2-fn:between requires exactly three arguments",
+            ));
+        }
+        let seq = ev.eval(&args[0], ctx)?;
+        let lo = ev.eval(&args[1], ctx)?;
+        let hi = ev.eval(&args[2], ctx)?;
+        let lo = singleton_atom(&lo, "db2-fn:between lower bound")?;
+        let hi = singleton_atom(&hi, "db2-fn:between upper bound")?;
+        for item in &seq {
+            let v = item.atomize()?;
+            let ge = xqdb_xdm::compare::general_compare_pair(
+                &v,
+                &lo,
+                xqdb_xdm::compare::CompareOp::Ge,
+            )?;
+            if !ge {
+                continue;
+            }
+            let le = xqdb_xdm::compare::general_compare_pair(
+                &v,
+                &hi,
+                xqdb_xdm::compare::CompareOp::Le,
+            )?;
+            if le {
+                return Ok(bool_seq(true));
+            }
+        }
+        return Ok(bool_seq(false));
+    }
+
+    if ns != FN_NS {
+        return Err(XdmError::new(
+            ErrorCode::XPST0008,
+            format!("unknown function {name}#{}", args.len()),
+        ));
+    }
+
+    match (&*name.local, args.len()) {
+        ("true", 0) => Ok(vec![Item::Atomic(AtomicValue::Boolean(true))]),
+        ("false", 0) => Ok(vec![Item::Atomic(AtomicValue::Boolean(false))]),
+        ("position", 0) => {
+            let f = ctx.focus.as_ref().ok_or_else(|| {
+                XdmError::new(ErrorCode::XPDY0002, "position() requires a focus")
+            })?;
+            Ok(vec![Item::Atomic(AtomicValue::Integer(f.position as i64))])
+        }
+        ("last", 0) => {
+            let f = ctx
+                .focus
+                .as_ref()
+                .ok_or_else(|| XdmError::new(ErrorCode::XPDY0002, "last() requires a focus"))?;
+            Ok(vec![Item::Atomic(AtomicValue::Integer(f.size as i64))])
+        }
+        ("count", 1) => {
+            let v = ev.eval(&args[0], ctx)?;
+            Ok(vec![Item::Atomic(AtomicValue::Integer(v.len() as i64))])
+        }
+        ("exists", 1) => {
+            let v = ev.eval(&args[0], ctx)?;
+            Ok(bool_seq(!v.is_empty()))
+        }
+        ("empty", 1) => {
+            let v = ev.eval(&args[0], ctx)?;
+            Ok(bool_seq(v.is_empty()))
+        }
+        ("not", 1) => {
+            let v = ev.eval(&args[0], ctx)?;
+            Ok(bool_seq(!effective_boolean_value(&v)?))
+        }
+        ("boolean", 1) => {
+            let v = ev.eval(&args[0], ctx)?;
+            Ok(bool_seq(effective_boolean_value(&v)?))
+        }
+        ("data", 0 | 1) => {
+            let v = arg_or_context(ev, args, ctx)?;
+            Ok(atomize(&v)?.into_iter().map(Item::Atomic).collect())
+        }
+        ("string", 0 | 1) => {
+            let v = arg_or_context(ev, args, ctx)?;
+            match v.as_slice() {
+                [] => Ok(vec![Item::Atomic(AtomicValue::String(String::new()))]),
+                [item] => Ok(vec![Item::Atomic(AtomicValue::String(item.string_value()))]),
+                _ => Err(XdmError::type_error("string() requires at most one item")),
+            }
+        }
+        ("number", 0 | 1) => {
+            let v = arg_or_context(ev, args, ctx)?;
+            let atoms = atomize(&v)?;
+            let d = match atoms.as_slice() {
+                [a] => match cast::cast(a, AtomicType::Double) {
+                    Ok(AtomicValue::Double(d)) => d,
+                    _ => f64::NAN,
+                },
+                _ => f64::NAN,
+            };
+            Ok(vec![Item::Atomic(AtomicValue::Double(d))])
+        }
+        ("root", 0 | 1) => {
+            let v = arg_or_context(ev, args, ctx)?;
+            match v.as_slice() {
+                [] => Ok(vec![]),
+                [Item::Node(n)] => Ok(vec![Item::Node(n.tree_root())]),
+                _ => Err(XdmError::type_error("root() requires a single node")),
+            }
+        }
+        ("name" | "local-name" | "namespace-uri", 0 | 1) => {
+            let v = arg_or_context(ev, args, ctx)?;
+            let s = match v.as_slice() {
+                [] => String::new(),
+                [Item::Node(n)] => match (&*name.local, n.name()) {
+                    ("namespace-uri", Some(en)) => en.ns.as_deref().unwrap_or("").to_string(),
+                    (_, Some(en)) => en.local.to_string(),
+                    (_, None) => String::new(),
+                },
+                _ => return Err(XdmError::type_error(format!("{}() requires a node", name.local))),
+            };
+            Ok(vec![Item::Atomic(AtomicValue::String(s))])
+        }
+        ("concat", n) if n >= 2 => {
+            let mut out = String::new();
+            for a in args {
+                let v = ev.eval(a, ctx)?;
+                match v.as_slice() {
+                    [] => {}
+                    [item] => out.push_str(&item.string_value()),
+                    _ => {
+                        return Err(XdmError::type_error(
+                            "concat() arguments must be singletons or empty",
+                        ))
+                    }
+                }
+            }
+            Ok(vec![Item::Atomic(AtomicValue::String(out))])
+        }
+        ("string-join", 2) => {
+            let v = ev.eval(&args[0], ctx)?;
+            let sep = eval_string_arg(ev, args, 1, ctx)?;
+            let parts: Vec<String> = atomize(&v)?.iter().map(AtomicValue::lexical).collect();
+            Ok(vec![Item::Atomic(AtomicValue::String(parts.join(&sep)))])
+        }
+        ("contains", 2) => {
+            let a = eval_string_arg(ev, args, 0, ctx)?;
+            let b = eval_string_arg(ev, args, 1, ctx)?;
+            Ok(bool_seq(a.contains(&b)))
+        }
+        ("starts-with", 2) => {
+            let a = eval_string_arg(ev, args, 0, ctx)?;
+            let b = eval_string_arg(ev, args, 1, ctx)?;
+            Ok(bool_seq(a.starts_with(&b)))
+        }
+        ("ends-with", 2) => {
+            let a = eval_string_arg(ev, args, 0, ctx)?;
+            let b = eval_string_arg(ev, args, 1, ctx)?;
+            Ok(bool_seq(a.ends_with(&b)))
+        }
+        ("substring", 2 | 3) => {
+            let s = eval_string_arg(ev, args, 0, ctx)?;
+            let start = eval_double_arg(ev, args, 1, ctx)?;
+            let chars: Vec<char> = s.chars().collect();
+            let len_limit = if args.len() == 3 {
+                eval_double_arg(ev, args, 2, ctx)?
+            } else {
+                f64::INFINITY
+            };
+            // XPath substring semantics: 1-based, rounded, NaN-safe.
+            let mut out = String::new();
+            for (i, c) in chars.iter().enumerate() {
+                let p = (i + 1) as f64;
+                if p >= start.round() && p < start.round() + len_limit.round() {
+                    out.push(*c);
+                }
+            }
+            Ok(vec![Item::Atomic(AtomicValue::String(out))])
+        }
+        ("string-length", 0 | 1) => {
+            let v = arg_or_context(ev, args, ctx)?;
+            let s = match v.as_slice() {
+                [] => String::new(),
+                [item] => item.string_value(),
+                _ => return Err(XdmError::type_error("string-length() requires one item")),
+            };
+            Ok(vec![Item::Atomic(AtomicValue::Integer(s.chars().count() as i64))])
+        }
+        ("substring-before", 2) => {
+            let a = eval_string_arg(ev, args, 0, ctx)?;
+            let b = eval_string_arg(ev, args, 1, ctx)?;
+            let out = a.find(&b).map(|i| a[..i].to_string()).unwrap_or_default();
+            Ok(vec![Item::Atomic(AtomicValue::String(out))])
+        }
+        ("substring-after", 2) => {
+            let a = eval_string_arg(ev, args, 0, ctx)?;
+            let b = eval_string_arg(ev, args, 1, ctx)?;
+            let out = a
+                .find(&b)
+                .map(|i| a[i + b.len()..].to_string())
+                .unwrap_or_default();
+            Ok(vec![Item::Atomic(AtomicValue::String(out))])
+        }
+        ("translate", 3) => {
+            let s = eval_string_arg(ev, args, 0, ctx)?;
+            let from: Vec<char> = eval_string_arg(ev, args, 1, ctx)?.chars().collect();
+            let to: Vec<char> = eval_string_arg(ev, args, 2, ctx)?.chars().collect();
+            let out: String = s
+                .chars()
+                .filter_map(|c| match from.iter().position(|&f| f == c) {
+                    Some(i) => to.get(i).copied(),
+                    None => Some(c),
+                })
+                .collect();
+            Ok(vec![Item::Atomic(AtomicValue::String(out))])
+        }
+        ("zero-or-one", 1) => {
+            let v = ev.eval(&args[0], ctx)?;
+            if v.len() > 1 {
+                return Err(XdmError::type_error("zero-or-one: more than one item"));
+            }
+            Ok(v)
+        }
+        ("exactly-one", 1) => {
+            let v = ev.eval(&args[0], ctx)?;
+            if v.len() != 1 {
+                return Err(XdmError::type_error(format!(
+                    "exactly-one: got {} items",
+                    v.len()
+                )));
+            }
+            Ok(v)
+        }
+        ("one-or-more", 1) => {
+            let v = ev.eval(&args[0], ctx)?;
+            if v.is_empty() {
+                return Err(XdmError::type_error("one-or-more: empty sequence"));
+            }
+            Ok(v)
+        }
+        ("insert-before", 3) => {
+            let target = ev.eval(&args[0], ctx)?;
+            let pos = eval_double_arg(ev, args, 1, ctx)?.round() as i64;
+            let inserts = ev.eval(&args[2], ctx)?;
+            let idx = (pos - 1).clamp(0, target.len() as i64) as usize;
+            let mut out = target;
+            for (k, item) in inserts.into_iter().enumerate() {
+                out.insert(idx + k, item);
+            }
+            Ok(out)
+        }
+        ("remove", 2) => {
+            let target = ev.eval(&args[0], ctx)?;
+            let pos = eval_double_arg(ev, args, 1, ctx)?.round() as i64;
+            Ok(target
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| (*i as i64 + 1) != pos)
+                .map(|(_, item)| item)
+                .collect())
+        }
+        ("upper-case", 1) => {
+            let s = eval_string_arg(ev, args, 0, ctx)?;
+            Ok(vec![Item::Atomic(AtomicValue::String(s.to_uppercase()))])
+        }
+        ("lower-case", 1) => {
+            let s = eval_string_arg(ev, args, 0, ctx)?;
+            Ok(vec![Item::Atomic(AtomicValue::String(s.to_lowercase()))])
+        }
+        ("normalize-space", 0 | 1) => {
+            let v = arg_or_context(ev, args, ctx)?;
+            let s = match v.as_slice() {
+                [] => String::new(),
+                [item] => item.string_value(),
+                _ => return Err(XdmError::type_error("normalize-space() requires one item")),
+            };
+            let normalized = s.split_whitespace().collect::<Vec<_>>().join(" ");
+            Ok(vec![Item::Atomic(AtomicValue::String(normalized))])
+        }
+        ("sum", 1) => aggregate(ev, args, ctx, Agg::Sum),
+        ("avg", 1) => aggregate(ev, args, ctx, Agg::Avg),
+        ("min", 1) => aggregate(ev, args, ctx, Agg::Min),
+        ("max", 1) => aggregate(ev, args, ctx, Agg::Max),
+        ("abs", 1) => numeric_unary(ev, args, ctx, |d| d.abs()),
+        ("floor", 1) => numeric_unary(ev, args, ctx, f64::floor),
+        ("ceiling", 1) => numeric_unary(ev, args, ctx, f64::ceil),
+        ("round", 1) => numeric_unary(ev, args, ctx, |d| (d + 0.5).floor()),
+        ("distinct-values", 1) => {
+            let v = ev.eval(&args[0], ctx)?;
+            let atoms = atomize(&v)?;
+            let mut out: Vec<AtomicValue> = Vec::new();
+            'next: for a in atoms {
+                // untypedAtomic compares as string in distinct-values.
+                let a = match a {
+                    AtomicValue::UntypedAtomic(s) => AtomicValue::String(s),
+                    other => other,
+                };
+                for seen in &out {
+                    if let Ok(Some(std::cmp::Ordering::Equal)) =
+                        xqdb_xdm::compare::compare_typed(seen, &a)
+                    {
+                        continue 'next;
+                    }
+                }
+                out.push(a);
+            }
+            Ok(out.into_iter().map(Item::Atomic).collect())
+        }
+        ("reverse", 1) => {
+            let mut v = ev.eval(&args[0], ctx)?;
+            v.reverse();
+            Ok(v)
+        }
+        ("subsequence", 2 | 3) => {
+            let v = ev.eval(&args[0], ctx)?;
+            let start = eval_double_arg(ev, args, 1, ctx)?.round() as i64;
+            let len = if args.len() == 3 {
+                eval_double_arg(ev, args, 2, ctx)?.round() as i64
+            } else {
+                i64::MAX
+            };
+            let out: Sequence = v
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    let p = (*i + 1) as i64;
+                    p >= start && (len == i64::MAX || p < start + len)
+                })
+                .map(|(_, item)| item)
+                .collect();
+            Ok(out)
+        }
+        _ => Err(XdmError::new(
+            ErrorCode::XPST0008,
+            format!("unknown function fn:{}#{}", name.local, args.len()),
+        )),
+    }
+}
+
+fn bool_seq(b: bool) -> Sequence {
+    vec![Item::Atomic(AtomicValue::Boolean(b))]
+}
+
+fn singleton_atom(seq: &Sequence, what: &str) -> Result<AtomicValue, XdmError> {
+    let atoms = atomize(seq)?;
+    match atoms.as_slice() {
+        [a] => Ok(a.clone()),
+        other => Err(XdmError::type_error(format!(
+            "{what} must be a singleton, got {} items",
+            other.len()
+        ))),
+    }
+}
+
+/// Zero-arg → context item; one arg → evaluated argument.
+fn arg_or_context(ev: &Evaluator<'_>, args: &[Expr], ctx: &DynamicContext) -> EResult {
+    match args {
+        [] => Ok(vec![ctx.context_item()?.clone()]),
+        [a] => ev.eval(a, ctx),
+        _ => unreachable!("arity checked by caller"),
+    }
+}
+
+fn eval_string_arg(
+    ev: &Evaluator<'_>,
+    args: &[Expr],
+    idx: usize,
+    ctx: &DynamicContext,
+) -> Result<String, XdmError> {
+    let v = ev.eval(&args[idx], ctx)?;
+    match v.as_slice() {
+        [] => Ok(String::new()),
+        [item] => Ok(item.string_value()),
+        _ => Err(XdmError::type_error("expected a singleton string argument")),
+    }
+}
+
+fn eval_double_arg(
+    ev: &Evaluator<'_>,
+    args: &[Expr],
+    idx: usize,
+    ctx: &DynamicContext,
+) -> Result<f64, XdmError> {
+    let v = ev.eval(&args[idx], ctx)?;
+    let atoms = atomize(&v)?;
+    match atoms.as_slice() {
+        [a] => match cast::cast(a, AtomicType::Double)? {
+            AtomicValue::Double(d) => Ok(d),
+            _ => unreachable!("double cast yields Double"),
+        },
+        _ => Err(XdmError::type_error("expected a singleton numeric argument")),
+    }
+}
+
+enum Agg {
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+fn aggregate(ev: &Evaluator<'_>, args: &[Expr], ctx: &DynamicContext, agg: Agg) -> EResult {
+    let v = ev.eval(&args[0], ctx)?;
+    let atoms = atomize(&v)?;
+    if atoms.is_empty() {
+        return match agg {
+            Agg::Sum => Ok(vec![Item::Atomic(AtomicValue::Integer(0))]),
+            _ => Ok(vec![]),
+        };
+    }
+    // Promote untypedAtomic to double, per the aggregate function rules.
+    let mut nums = Vec::with_capacity(atoms.len());
+    for a in &atoms {
+        let n = match a {
+            AtomicValue::UntypedAtomic(_) => cast::cast(a, AtomicType::Double)?,
+            other => other.clone(),
+        };
+        if !n.atomic_type().is_numeric() {
+            // min/max also work on strings and dates; keep those paths.
+            if matches!(agg, Agg::Min | Agg::Max) {
+                return minmax_general(&atoms, matches!(agg, Agg::Min));
+            }
+            return Err(XdmError::type_error(format!(
+                "aggregate over non-numeric value of type {}",
+                n.atomic_type()
+            )));
+        }
+        nums.push(n.as_f64().expect("numeric"));
+    }
+    let out = match agg {
+        Agg::Sum => nums.iter().sum::<f64>(),
+        Agg::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
+        Agg::Min => nums.iter().copied().fold(f64::INFINITY, f64::min),
+        Agg::Max => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    };
+    Ok(vec![Item::Atomic(AtomicValue::Double(out))])
+}
+
+fn minmax_general(atoms: &[AtomicValue], want_min: bool) -> EResult {
+    let mut best = match atoms.first() {
+        Some(a) => a.clone(),
+        None => return Ok(vec![]),
+    };
+    for a in &atoms[1..] {
+        let ord = xqdb_xdm::compare::compare_typed(a, &best)?;
+        let better = match ord {
+            Some(std::cmp::Ordering::Less) => want_min,
+            Some(std::cmp::Ordering::Greater) => !want_min,
+            _ => false,
+        };
+        if better {
+            best = a.clone();
+        }
+    }
+    Ok(vec![Item::Atomic(best)])
+}
+
+fn numeric_unary(
+    ev: &Evaluator<'_>,
+    args: &[Expr],
+    ctx: &DynamicContext,
+    f: fn(f64) -> f64,
+) -> EResult {
+    let v = ev.eval(&args[0], ctx)?;
+    let atoms = atomize(&v)?;
+    match atoms.as_slice() {
+        [] => Ok(vec![]),
+        [AtomicValue::Integer(i)] => Ok(vec![Item::Atomic(AtomicValue::Integer(
+            f(*i as f64) as i64
+        ))]),
+        [a] => {
+            let d = match cast::cast(a, AtomicType::Double)? {
+                AtomicValue::Double(d) => d,
+                _ => unreachable!("double cast yields Double"),
+            };
+            Ok(vec![Item::Atomic(AtomicValue::Double(f(d)))])
+        }
+        _ => Err(XdmError::type_error("numeric function requires a singleton")),
+    }
+}

@@ -1,0 +1,27 @@
+//! # xqdb-xqeval — the XQuery evaluator
+//!
+//! Tree-walking evaluation of the parsed AST against XDM documents. This is
+//! the engine's "slow path": the planner (in `xqdb-core`) uses XML indexes
+//! to pre-filter documents, then runs this evaluator over the survivors —
+//! exactly the architecture of Section 2 of the paper ("we are solely
+//! concerned with using indexes to locate the subset of context nodes from
+//! an entire collection that require further processing").
+//!
+//! Fidelity notes (each backs one of the paper's pitfalls):
+//!
+//! * **general vs value comparisons** delegate to `xqdb_xdm::compare`
+//!   (Sections 3.1, 3.10);
+//! * **`let` binds empty sequences**, `for` iterates (Section 3.4);
+//! * **constructors copy** their content with fresh node identities and
+//!   erased type annotations (Section 3.6);
+//! * a **leading `/`** requires the context tree to be rooted by a document
+//!   node, raising `err:XPTY0004` otherwise (Section 3.5);
+//! * **attributes are invisible** to child/descendant steps (Section 3.9).
+
+pub mod construct;
+pub mod context;
+pub mod eval;
+pub mod functions;
+
+pub use context::{CollectionProvider, DynamicContext, EmptyProvider, MapProvider};
+pub use eval::{eval_expr, eval_query, Evaluator};

@@ -1,0 +1,816 @@
+//! End-to-end evaluator tests: parse XQuery, evaluate against parsed XML,
+//! check results. Each section mirrors a pitfall from the paper.
+
+use xqdb_xdm::{AtomicValue, ErrorCode, Item, NodeKind, Sequence};
+use xqdb_xmlparse::{parse_document, serialize_sequence};
+use xqdb_xqeval::{eval_query, DynamicContext, MapProvider};
+use xqdb_xquery::parse_query;
+
+/// Evaluate `query` against named collections of XML documents.
+fn run_with(query: &str, collections: &[(&str, &[&str])]) -> Result<Sequence, xqdb_xdm::XdmError> {
+    let mut provider = MapProvider::new();
+    for (name, docs) in collections {
+        let seq: Sequence = docs
+            .iter()
+            .map(|d| Item::Node(parse_document(d).expect("test document parses").root()))
+            .collect();
+        provider.insert(*name, seq);
+    }
+    let q = parse_query(query).expect("test query parses");
+    eval_query(&q, &provider, &DynamicContext::new())
+}
+
+fn run(query: &str) -> Sequence {
+    run_with(query, &[]).expect("query evaluates")
+}
+
+fn run_orders(query: &str, docs: &[&str]) -> Sequence {
+    run_with(query, &[("ORDERS.ORDDOC", docs)]).expect("query evaluates")
+}
+
+fn ser(seq: &Sequence) -> String {
+    serialize_sequence(seq)
+}
+
+const ORDER_CHEAP: &str =
+    r#"<order id="1"><lineitem price="99.50"><product id="p1"/></lineitem></order>"#;
+const ORDER_EXPENSIVE: &str =
+    r#"<order id="2"><lineitem price="250.00"><product id="p2"/></lineitem><lineitem price="50.00"><product id="p3"/></lineitem></order>"#;
+const ORDER_NO_PRICE: &str =
+    r#"<order id="3"><date>January 1, 2001</date><lineitem><product id="p4"/></lineitem></order>"#;
+
+// ---------------------------------------------------------------- basics
+
+#[test]
+fn literal_arithmetic() {
+    assert_eq!(ser(&run("1 + 2 * 3")), "7");
+    assert_eq!(ser(&run("(1 + 2) * 3")), "9");
+    assert_eq!(ser(&run("7 idiv 2")), "3");
+    assert_eq!(ser(&run("7 mod 2")), "1");
+    assert_eq!(ser(&run("1 div 2")), "0.5"); // integer div → decimal
+    assert_eq!(ser(&run("-3 + 1")), "-2");
+}
+
+#[test]
+fn division_by_zero_errors() {
+    let e = run_with("1 idiv 0", &[]).unwrap_err();
+    assert_eq!(e.code, ErrorCode::FOAR0001);
+}
+
+#[test]
+fn sequences_flatten() {
+    assert_eq!(ser(&run("(1, (2, 3), ())")), "1 2 3");
+    assert_eq!(ser(&run("count((1, (2, 3), ()))")), "3");
+}
+
+#[test]
+fn range_expression() {
+    assert_eq!(ser(&run("1 to 5")), "1 2 3 4 5");
+    assert_eq!(ser(&run("5 to 1")), "");
+}
+
+#[test]
+fn if_then_else_uses_ebv() {
+    assert_eq!(ser(&run("if (0) then 'y' else 'n'")), "n");
+    assert_eq!(ser(&run("if ('x') then 'y' else 'n'")), "y");
+    assert_eq!(ser(&run("if (()) then 'y' else 'n'")), "n");
+}
+
+#[test]
+fn string_functions() {
+    assert_eq!(ser(&run("concat('a', 'b', 'c')")), "abc");
+    assert_eq!(ser(&run("string-join(('a','b'), '-')")), "a-b");
+    assert_eq!(ser(&run("contains('hello', 'ell')")), "true");
+    assert_eq!(ser(&run("substring('12345', 2, 3)")), "234");
+    assert_eq!(ser(&run("string-length('abc')")), "3");
+    assert_eq!(ser(&run("normalize-space('  a   b ')")), "a b");
+    assert_eq!(ser(&run("upper-case('aBc')")), "ABC");
+}
+
+#[test]
+fn aggregates() {
+    assert_eq!(ser(&run("sum((1, 2, 3))")), "6");
+    assert_eq!(ser(&run("avg((1, 2, 3))")), "2");
+    assert_eq!(ser(&run("min((3, 1, 2))")), "1");
+    assert_eq!(ser(&run("max((3, 1, 2))")), "3");
+    assert_eq!(ser(&run("sum(())")), "0");
+    assert_eq!(ser(&run("min(('b', 'a'))")), "a");
+}
+
+#[test]
+fn distinct_values() {
+    assert_eq!(ser(&run("distinct-values((1, 2, 1, 3, 2))")), "1 2 3");
+    assert_eq!(ser(&run("count(distinct-values(('a', 'a')))")), "1");
+}
+
+// ------------------------------------------------------------- navigation
+
+#[test]
+fn path_navigation_basic() {
+    let out = run_orders(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem/@price",
+        &[ORDER_CHEAP, ORDER_EXPENSIVE],
+    );
+    assert_eq!(out.len(), 3);
+    assert_eq!(ser(&out), "99.50250.0050.00");
+}
+
+#[test]
+fn descendant_axis() {
+    let out = run_orders(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//product",
+        &[ORDER_CHEAP, ORDER_EXPENSIVE],
+    );
+    assert_eq!(out.len(), 3);
+}
+
+#[test]
+fn predicates_filter_by_value() {
+    // Query 1 of the paper.
+    let out = run_orders(
+        "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>100] return $i",
+        &[ORDER_CHEAP, ORDER_EXPENSIVE, ORDER_NO_PRICE],
+    );
+    assert_eq!(out.len(), 1);
+    let n = out[0].as_node().unwrap();
+    assert_eq!(n.attributes().next().unwrap().string_value(), "2");
+}
+
+#[test]
+fn wildcard_attribute_predicate_query_2() {
+    // Query 2: any attribute > 100. Only order 2 has one (price 250).
+    let out = run_orders(
+        "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>100] return $i",
+        &[ORDER_CHEAP, ORDER_EXPENSIVE, ORDER_NO_PRICE],
+    );
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn positional_predicates() {
+    let out = run_orders(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem[1]/@price",
+        &[ORDER_EXPENSIVE],
+    );
+    assert_eq!(ser(&out), "250.00");
+    let out = run_orders(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem[last()]/@price",
+        &[ORDER_EXPENSIVE],
+    );
+    assert_eq!(ser(&out), "50.00");
+    let out = run_orders(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem[position() = 2]/@price",
+        &[ORDER_EXPENSIVE],
+    );
+    assert_eq!(ser(&out), "50.00");
+}
+
+#[test]
+fn doc_order_and_dedup() {
+    // parent/child union collapses duplicates and sorts in doc order.
+    let out = run_orders(
+        "(db2-fn:xmlcolumn('ORDERS.ORDDOC')//product/.. | db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem)",
+        &[ORDER_EXPENSIVE],
+    );
+    assert_eq!(out.len(), 2); // the two lineitems, once each
+}
+
+#[test]
+fn parent_axis() {
+    let out = run_orders(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//product/../@price",
+        &[ORDER_CHEAP],
+    );
+    assert_eq!(ser(&out), "99.50");
+}
+
+#[test]
+fn attributes_invisible_to_child_and_descendant_steps() {
+    // Section 3.9: //node() never returns attribute nodes.
+    let out = run_orders(
+        "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//node())",
+        &[ORDER_CHEAP],
+    );
+    // order, lineitem, product — 3 nodes; the two attributes are not counted.
+    assert_eq!(ser(&out), "3");
+    let out = run_orders(
+        "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//@*)",
+        &[ORDER_CHEAP],
+    );
+    assert_eq!(ser(&out), "3"); // id, price, product id
+}
+
+#[test]
+fn self_axis_and_kind_tests() {
+    let out = run_orders(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/self::node()/@price",
+        &[ORDER_CHEAP],
+    );
+    assert_eq!(ser(&out), "99.50");
+    let out = run_orders(
+        "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//text())",
+        &[ORDER_NO_PRICE],
+    );
+    assert_eq!(ser(&out), "1");
+}
+
+// --------------------------------------------- Section 3.1: types
+
+#[test]
+fn untyped_vs_number_vs_string_predicates() {
+    let doc = r#"<order><lineitem price="20 USD"/><lineitem price="99.50"/></order>"#;
+    // Numeric comparison errors on "20 USD" (cast failure)...
+    let err = run_with(
+        "db2-fn:xmlcolumn('O.D')//lineitem[@price > 100]",
+        &[("O.D", &[doc])],
+    );
+    assert!(err.is_err());
+    // ...string comparison accepts it (Query 3 semantics).
+    let out = run_with(
+        "db2-fn:xmlcolumn('O.D')//lineitem[@price > \"100\"]",
+        &[("O.D", &[doc])],
+    )
+    .unwrap();
+    // "20 USD" > "100" and "99.50" > "100" stringly.
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn cast_based_join_predicate_query_4() {
+    let orders = [r#"<order><custid>7</custid></order>"#, r#"<order><custid>8</custid></order>"#];
+    let custs = [r#"<customer><id>7.0</id></customer>"#];
+    let out = run_with(
+        "for $i in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")/order \
+         for $j in db2-fn:xmlcolumn(\"CUSTOMER.CDOC\")/customer \
+         where $i/custid/xs:double(.) = $j/id/xs:double(.) \
+         return $i",
+        &[("ORDERS.ORDDOC", &orders), ("CUSTOMER.CDOC", &custs)],
+    )
+    .unwrap();
+    // 7 = 7.0 numerically (string comparison would fail to match).
+    assert_eq!(out.len(), 1);
+}
+
+// --------------------------------------------- Section 3.4: let vs for
+
+#[test]
+fn for_vs_let_query_17_18() {
+    let docs = [ORDER_CHEAP, ORDER_EXPENSIVE, ORDER_NO_PRICE];
+    // Query 17 (for): one <result> per qualifying lineitem.
+    let q17 = run_orders(
+        "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+         for $item in $doc//lineitem[@price > 100] \
+         return <result>{$item}</result>",
+        &docs,
+    );
+    assert_eq!(q17.len(), 1);
+    assert_eq!(
+        ser(&q17),
+        "<result><lineitem price=\"250.00\"><product id=\"p2\"/></lineitem></result>"
+    );
+    // Query 18 (let): one <result> per DOCUMENT, empty results preserved.
+    let q18 = run_orders(
+        "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+         let $item := $doc//lineitem[@price > 100] \
+         return <result>{$item}</result>",
+        &docs,
+    );
+    assert_eq!(q18.len(), 3);
+    let texts = ser(&q18);
+    assert!(texts.contains("<result/>"), "empty results preserved: {texts}");
+}
+
+#[test]
+fn where_discards_empty_query_20_21() {
+    let docs = [ORDER_CHEAP, ORDER_EXPENSIVE, ORDER_NO_PRICE];
+    let q20 = run_orders(
+        "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+         where $ord/lineitem/@price > 100 \
+         return <result>{$ord/lineitem}</result>",
+        &docs,
+    );
+    let q21 = run_orders(
+        "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+         let $price := $ord/lineitem/@price \
+         where $price > 100 \
+         return <result>{$ord/lineitem}</result>",
+        &docs,
+    );
+    assert_eq!(q20.len(), 1);
+    assert_eq!(ser(&q20), ser(&q21));
+    // Query 20/21 return ALL lineitems of qualifying orders (both of order
+    // 2's lineitems), unlike Query 17.
+    assert_eq!(
+        ser(&q20),
+        "<result><lineitem price=\"250.00\"><product id=\"p2\"/></lineitem>\
+         <lineitem price=\"50.00\"><product id=\"p3\"/></lineitem></result>"
+    );
+}
+
+#[test]
+fn bind_out_discards_empty_query_22() {
+    let docs = [ORDER_CHEAP, ORDER_EXPENSIVE, ORDER_NO_PRICE];
+    let q22 = run_orders(
+        "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+         return $ord/lineitem[@price > 100]",
+        &docs,
+    );
+    // Empty per-order results vanish in the flattened output.
+    assert_eq!(q22.len(), 1);
+}
+
+// --------------------------------------------- Section 3.5: document nodes
+
+#[test]
+fn document_vs_element_context_query_24() {
+    let docs = [ORDER_CHEAP];
+    // $ord is bound to constructed my_order elements; $ord/my_order finds
+    // nothing (navigation starts below the element).
+    let out = run_orders(
+        "for $ord in (for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+                      return <my_order>{$o/*}</my_order>) \
+         return $ord/my_order",
+        &docs,
+    );
+    assert!(out.is_empty());
+    // Self axis finds it.
+    let out2 = run_orders(
+        "for $ord in (for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+                      return <my_order>{$o/*}</my_order>) \
+         return $ord/self::my_order",
+        &docs,
+    );
+    assert_eq!(out2.len(), 1);
+}
+
+#[test]
+fn absolute_path_in_constructed_tree_is_type_error_query_25() {
+    let docs = [ORDER_CHEAP];
+    let err = run_with(
+        "let $order := <neworder>{db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[@id > 0]}</neworder> \
+         return $order[//customer/name]",
+        &[("ORDERS.ORDDOC", &docs)],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, ErrorCode::XPTY0004);
+}
+
+#[test]
+fn leading_slash_from_stored_document_is_fine() {
+    let out = run_orders(
+        "for $li in db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem return $li[/order/@id = '1']",
+        &[ORDER_CHEAP],
+    );
+    assert_eq!(out.len(), 1);
+}
+
+// --------------------------------------------- Section 3.6: construction
+
+#[test]
+fn constructed_nodes_have_fresh_identity() {
+    let out = run("<e>5</e> is <e>5</e>");
+    assert_eq!(ser(&out), "false");
+    let out = run("let $e := <e>5</e> return $e is $e");
+    assert_eq!(ser(&out), "true");
+}
+
+#[test]
+fn construction_erases_types_case_1() {
+    // A constructed element wrapping numeric-typed data yields
+    // untypedAtomic, comparable to a string.
+    let out = run("let $p := <pid>17</pid> return $p = '17'");
+    assert_eq!(ser(&out), "true");
+}
+
+#[test]
+fn multiple_values_space_join_case_3() {
+    let doc = r#"<product><id>p1</id><id>p2</id></product>"#;
+    // Constructed pid concatenates: "p1 p2".
+    let out = run_with(
+        "for $i in db2-fn:xmlcolumn('P.D')/product \
+         return <pid>{$i/id/data(.)}</pid>",
+        &[("P.D", &[doc])],
+    )
+    .unwrap();
+    assert_eq!(ser(&out), "<pid>p1 p2</pid>");
+    // Query 26 shape: = 'p1 p2' matches the view...
+    let out = run_with(
+        "for $v in (for $i in db2-fn:xmlcolumn('P.D')/product \
+                    return <pid>{$i/id/data(.)}</pid>) \
+         where $v = 'p1 p2' return $v",
+        &[("P.D", &[doc])],
+    )
+    .unwrap();
+    assert_eq!(out.len(), 1);
+    // ...but the base query = 'p1 p2' does not (individual ids).
+    let out = run_with(
+        "db2-fn:xmlcolumn('P.D')/product/id[. = 'p1 p2']",
+        &[("P.D", &[doc])],
+    )
+    .unwrap();
+    assert!(out.is_empty());
+    // Conversely 'p2' matches base, not the view.
+    let out = run_with(
+        "db2-fn:xmlcolumn('P.D')/product/id[. = 'p2']",
+        &[("P.D", &[doc])],
+    )
+    .unwrap();
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn duplicate_attribute_error_case_4() {
+    let doc = r#"<lineitem><product price="1"/><product price="2"/></lineitem>"#;
+    let err = run_with(
+        "for $i in db2-fn:xmlcolumn('O.D')/lineitem \
+         return <item>{$i/product/@price}</item>",
+        &[("O.D", &[doc])],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, ErrorCode::XQDY0025);
+}
+
+#[test]
+fn except_over_view_returns_all_case_5() {
+    let docs = [ORDER_CHEAP];
+    // $view/@price (copies) except base @price = all copies survive,
+    // because identity differs.
+    let out = run_orders(
+        "let $view := (for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem \
+                       return <item price=\"{$i/@price}\"/>) \
+         return $view/@price except db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/@price",
+        &docs,
+    );
+    assert_eq!(out.len(), 1);
+    // The naive "simplified" version is empty.
+    let out2 = run_orders(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/@price \
+         except db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/@price",
+        &docs,
+    );
+    assert!(out2.is_empty());
+}
+
+#[test]
+fn query_19_element_constructor_preserves_empties() {
+    let docs = [ORDER_CHEAP, ORDER_EXPENSIVE];
+    let out = run_orders(
+        "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+         return <result>{$ord/lineitem[@price > 100]}</result>",
+        &docs,
+    );
+    assert_eq!(out.len(), 2);
+    assert!(ser(&out).contains("<result/>"));
+}
+
+// --------------------------------------------- Section 3.7: namespaces
+
+#[test]
+fn default_element_namespace_in_queries() {
+    let doc = r#"<order xmlns="http://ournamespaces.com/order"><lineitem price="2000"/></order>"#;
+    // Without the declaration the query sees nothing...
+    let out = run_with("db2-fn:xmlcolumn('O.D')/order", &[("O.D", &[doc])]).unwrap();
+    assert!(out.is_empty());
+    // ...with it, the element is found; @price (no namespace) still works.
+    let out = run_with(
+        "declare default element namespace \"http://ournamespaces.com/order\"; \
+         db2-fn:xmlcolumn('O.D')/order[lineitem/@price > 1000]",
+        &[("O.D", &[doc])],
+    )
+    .unwrap();
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn namespace_wildcards() {
+    let doc = r#"<c:customer xmlns:c="http://ournamespaces.com/customer"><c:nation>1</c:nation></c:customer>"#;
+    let out = run_with("db2-fn:xmlcolumn('C.D')//*:nation", &[("C.D", &[doc])]).unwrap();
+    assert_eq!(out.len(), 1);
+    let out = run_with("db2-fn:xmlcolumn('C.D')//nation", &[("C.D", &[doc])]).unwrap();
+    assert!(out.is_empty()); // no-namespace test misses namespaced element
+}
+
+// --------------------------------------------- Section 3.8: text nodes
+
+#[test]
+fn text_step_vs_element_value_query_29() {
+    let plain = r#"<order><lineitem><price>99.50</price></lineitem></order>"#;
+    let mixed = r#"<order><date>January 1, 2003</date><lineitem><price>99.50<currency>USD</currency></price></lineitem></order>"#;
+    let q = "for $ord in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")/order[lineitem/price/text() = \"99.50\"] return $ord";
+    let out = run_orders(q, &[plain, mixed]);
+    // BOTH match: each price has a text node "99.50" even though the mixed
+    // element's string value is "99.50USD".
+    assert_eq!(out.len(), 2);
+    // The element-value query matches only the plain one.
+    let q2 = "for $ord in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")/order[lineitem/price = \"99.50\"] return $ord";
+    let out2 = run_orders(q2, &[plain, mixed]);
+    assert_eq!(out2.len(), 1);
+}
+
+// --------------------------------------------- Section 3.10: between
+
+#[test]
+fn general_comparison_between_is_existential_query_30_setup() {
+    // Order with prices 250 and 50: satisfies (>100 and <200) under general
+    // comparisons though neither price is between.
+    let out = run_orders(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 100 and lineitem/@price < 200]",
+        &[ORDER_EXPENSIVE],
+    );
+    assert_eq!(out.len(), 1, "existential semantics: the order qualifies");
+}
+
+#[test]
+fn value_comparison_between_requires_singleton() {
+    // Note: value comparisons cast untypedAtomic to xs:string, so the
+    // numeric between over unvalidated data needs an explicit cast — the
+    // paper's value-comparison "between" presumes schema-typed prices.
+    let multi = r#"<lineitem><price>250</price><price>50</price></lineitem>"#;
+    // price gt 100 fails: two prices ("the query will fail at runtime" if a
+    // lineitem with more than one price child is encountered).
+    let err = run_with(
+        "db2-fn:xmlcolumn('O.D')/lineitem[price/xs:double(.) gt 100 and price/xs:double(.) lt 200]",
+        &[("O.D", &[multi])],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, ErrorCode::XPTY0004);
+    // Singleton works.
+    let single = r#"<lineitem><price>150</price></lineitem>"#;
+    let out = run_with(
+        "db2-fn:xmlcolumn('O.D')/lineitem[price/xs:double(.) gt 100 and price/xs:double(.) lt 200]",
+        &[("O.D", &[single])],
+    )
+    .unwrap();
+    assert_eq!(out.len(), 1);
+    // Untyped vs numeric literal under a value comparison is itself a type
+    // error (untypedAtomic → xs:string).
+    let err = run_with(
+        "db2-fn:xmlcolumn('O.D')/lineitem[price gt 100]",
+        &[("O.D", &[single])],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, ErrorCode::XPTY0004);
+}
+
+#[test]
+fn self_axis_between_allows_multiple_prices() {
+    let multi = r#"<lineitem><price>250</price><price>150</price><price>50</price></lineitem>"#;
+    let out = run_with(
+        "db2-fn:xmlcolumn('O.D')/lineitem/price/data()[. > 100 and . < 200]",
+        &[("O.D", &[multi])],
+    )
+    .unwrap();
+    // Only the 150 is between; per-value filtering.
+    assert_eq!(ser(&out), "150");
+}
+
+#[test]
+fn attribute_between_query_30() {
+    let out = run_orders(
+        "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem[@price>100 and @price<200]] return $i",
+        &[ORDER_CHEAP, ORDER_EXPENSIVE,
+          r#"<order id="4"><lineitem price="150.00"/></order>"#],
+    );
+    // Per-lineitem conjunction: only the 150 order qualifies (order 2's
+    // prices are on different lineitems... actually same lineitem can't
+    // have two @price attributes at all).
+    assert_eq!(out.len(), 1);
+    assert_eq!(
+        out[0].as_node().unwrap().attributes().next().unwrap().string_value(),
+        "4"
+    );
+}
+
+// --------------------------------------------- misc machinery
+
+#[test]
+fn quantified_expressions() {
+    assert_eq!(ser(&run("some $x in (1, 2, 3) satisfies $x > 2")), "true");
+    assert_eq!(ser(&run("every $x in (1, 2, 3) satisfies $x > 2")), "false");
+    assert_eq!(ser(&run("every $x in () satisfies $x > 2")), "true");
+    assert_eq!(ser(&run("some $x in () satisfies $x > 2")), "false");
+}
+
+#[test]
+fn order_by() {
+    let docs = [ORDER_EXPENSIVE, ORDER_CHEAP];
+    let out = run_orders(
+        "for $li in db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem \
+         order by $li/@price/xs:double(.) \
+         return $li/@price/data(.)",
+        &docs,
+    );
+    assert_eq!(ser(&out), "50.00 99.50 250.00");
+    let out = run_orders(
+        "for $li in db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem \
+         order by $li/@price/xs:double(.) descending \
+         return $li/@price/data(.)",
+        &docs,
+    );
+    assert_eq!(ser(&out), "250.00 99.50 50.00");
+}
+
+#[test]
+fn instance_of_and_treat() {
+    assert_eq!(ser(&run("5 instance of xs:integer")), "true");
+    assert_eq!(ser(&run("5 instance of xs:double")), "false");
+    assert_eq!(ser(&run("(1, 2) instance of xs:integer+")), "true");
+    assert_eq!(ser(&run("() instance of empty-sequence()")), "true");
+    assert_eq!(ser(&run("<a/> instance of element()")), "true");
+    assert!(run_with("5 treat as xs:string", &[]).is_err());
+}
+
+#[test]
+fn castable_and_cast() {
+    assert_eq!(ser(&run("'99.5' castable as xs:double")), "true");
+    assert_eq!(ser(&run("'20 USD' castable as xs:double")), "false");
+    assert_eq!(ser(&run("'2001-01-01' cast as xs:date")), "2001-01-01");
+    assert!(run_with("'x' cast as xs:double", &[]).is_err());
+}
+
+#[test]
+fn computed_constructors() {
+    assert_eq!(ser(&run("element result { 1 + 1 }")), "<result>2</result>");
+    assert_eq!(ser(&run("text { 'hi' }")), "hi");
+    let out = run("document { <a/> }");
+    assert_eq!(out[0].as_node().unwrap().kind(), NodeKind::Document);
+    let out = run("attribute price { 99.5 }");
+    assert_eq!(out[0].as_node().unwrap().kind(), NodeKind::Attribute);
+}
+
+#[test]
+fn attribute_value_templates() {
+    assert_eq!(ser(&run("<e a=\"x{1+1}y\"/>")), "<e a=\"x2y\"/>");
+}
+
+#[test]
+fn variables_undefined_error() {
+    let err = run_with("$nope", &[]).unwrap_err();
+    assert_eq!(err.code, ErrorCode::XPST0008);
+}
+
+#[test]
+fn string_vs_number_comparison_is_type_error() {
+    let err = run_with("'100' = 100", &[]).unwrap_err();
+    assert_eq!(err.code, ErrorCode::XPTY0004);
+}
+
+#[test]
+fn path_over_atomic_errors() {
+    let err = run_with("(1, 2)/a", &[]).unwrap_err();
+    assert_eq!(err.code, ErrorCode::XPTY0004);
+}
+
+#[test]
+fn filter_step_with_cast_function() {
+    let doc = r#"<order><custid>42</custid></order>"#;
+    let out = run_with(
+        "db2-fn:xmlcolumn('O.D')/order/custid/xs:double(.)",
+        &[("O.D", &[doc])],
+    )
+    .unwrap();
+    assert_eq!(out[0], Item::Atomic(AtomicValue::Double(42.0)));
+}
+
+#[test]
+fn union_intersect_except() {
+    let doc = r#"<a><b/><c/></a>"#;
+    assert_eq!(
+        ser(&run_with(
+            "count(db2-fn:xmlcolumn('D.D')/a/b union db2-fn:xmlcolumn('D.D')/a/*)",
+            &[("D.D", &[doc])]
+        )
+        .unwrap()),
+        "2"
+    );
+    assert_eq!(
+        ser(&run_with(
+            "count(db2-fn:xmlcolumn('D.D')/a/* intersect db2-fn:xmlcolumn('D.D')/a/b)",
+            &[("D.D", &[doc])]
+        )
+        .unwrap()),
+        "1"
+    );
+    assert_eq!(
+        ser(&run_with(
+            "count(db2-fn:xmlcolumn('D.D')/a/* except db2-fn:xmlcolumn('D.D')/a/b)",
+            &[("D.D", &[doc])]
+        )
+        .unwrap()),
+        "1"
+    );
+}
+
+#[test]
+fn extended_string_functions() {
+    assert_eq!(ser(&run("substring-before('a=b', '=')")), "a");
+    assert_eq!(ser(&run("substring-after('a=b', '=')")), "b");
+    assert_eq!(ser(&run("substring-before('ab', 'x')")), "");
+    assert_eq!(ser(&run("translate('abcabc', 'abc', 'AB')")), "ABAB");
+}
+
+#[test]
+fn cardinality_functions() {
+    assert_eq!(ser(&run("zero-or-one(())")), "");
+    assert_eq!(ser(&run("exactly-one(5)")), "5");
+    assert!(run_with("exactly-one(())", &[]).is_err());
+    assert!(run_with("exactly-one((1,2))", &[]).is_err());
+    assert!(run_with("one-or-more(())", &[]).is_err());
+    assert!(run_with("zero-or-one((1,2))", &[]).is_err());
+}
+
+#[test]
+fn sequence_editing_functions() {
+    assert_eq!(ser(&run("insert-before((1,2,3), 2, (9))")), "1 9 2 3");
+    assert_eq!(ser(&run("remove((1,2,3), 2)")), "1 3");
+    assert_eq!(ser(&run("subsequence((1,2,3,4), 2, 2)")), "2 3");
+    assert_eq!(ser(&run("reverse((1,2,3))")), "3 2 1");
+}
+
+#[test]
+fn between_function_semantics() {
+    // Per-item: neither 250 nor 50 is between — false, despite the
+    // existential pair being true.
+    let doc = r#"<lineitem><price>250</price><price>50</price></lineitem>"#;
+    let out = run_with(
+        "db2-fn:xmlcolumn('O.D')/lineitem[db2-fn:between(price, 100, 200)]",
+        &[("O.D", &[doc])],
+    )
+    .unwrap();
+    assert!(out.is_empty());
+    let out = run_with(
+        "db2-fn:xmlcolumn('O.D')/lineitem[price > 100 and price < 200]",
+        &[("O.D", &[doc])],
+    )
+    .unwrap();
+    assert_eq!(out.len(), 1, "the existential pair differs");
+    // Inclusive bounds; singleton bound enforcement.
+    assert_eq!(ser(&run("db2-fn:between(150, 100, 200)")), "true");
+    assert_eq!(ser(&run("db2-fn:between((250, 150), 100, 200)")), "true");
+    assert_eq!(ser(&run("db2-fn:between((), 100, 200)")), "false");
+    assert!(run_with("db2-fn:between(5, (1,2), 10)", &[]).is_err());
+}
+
+#[test]
+fn positional_at_variable() {
+    let out = run("for $x at $i in ('a', 'b', 'c') return concat($i, ':', $x)");
+    assert_eq!(ser(&out), "1:a 2:b 3:c");
+}
+
+#[test]
+fn nested_flwor_and_multiple_bindings() {
+    let out = run(
+        "for $x in (1, 2), $y in (10, 20) return $x + $y",
+    );
+    assert_eq!(ser(&out), "11 21 12 22");
+    let out = run("some $x in (1, 2), $y in (2, 3) satisfies $x = $y");
+    assert_eq!(ser(&out), "true");
+}
+
+#[test]
+fn order_by_is_stable_and_handles_empty_keys() {
+    let doc = r#"<r><e k="2" v="a"/><e v="b"/><e k="1" v="c"/><e k="2" v="d"/></r>"#;
+    let out = run_with(
+        "for $e in db2-fn:xmlcolumn('D.D')/r/e \
+         order by $e/@k/xs:double(.) \
+         return $e/@v/data(.)",
+        &[("D.D", &[doc])],
+    )
+    .unwrap();
+    // empty key sorts least (default); equal keys keep document order.
+    assert_eq!(ser(&out), "b c a d");
+    let out = run_with(
+        "for $e in db2-fn:xmlcolumn('D.D')/r/e \
+         order by $e/@k/xs:double(.) descending empty greatest \
+         return $e/@v/data(.)",
+        &[("D.D", &[doc])],
+    )
+    .unwrap();
+    assert_eq!(ser(&out), "b a d c");
+}
+
+#[test]
+fn multi_key_order_by() {
+    let doc = r#"<r><e a="1" b="2"/><e a="1" b="1"/><e a="0" b="9"/></r>"#;
+    let out = run_with(
+        "for $e in db2-fn:xmlcolumn('D.D')/r/e \
+         order by $e/@a/xs:double(.), $e/@b/xs:double(.) \
+         return concat($e/@a, '-', $e/@b)",
+        &[("D.D", &[doc])],
+    )
+    .unwrap();
+    assert_eq!(ser(&out), "0-9 1-1 1-2");
+}
+
+#[test]
+fn node_order_comparisons() {
+    let doc = r#"<r><a/><b/></r>"#;
+    let out = run_with(
+        "let $a := db2-fn:xmlcolumn('D.D')/r/a \
+         let $b := db2-fn:xmlcolumn('D.D')/r/b \
+         return ($a << $b, $b << $a, $a >> $b)",
+        &[("D.D", &[doc])],
+    )
+    .unwrap();
+    assert_eq!(ser(&out), "true false false");
+}

@@ -1,0 +1,150 @@
+//! Behaviour over *validated* (schema-typed) documents — the paper's
+//! Section 3.6 divergence cases 1 and 2, and the value-comparison "between"
+//! of Section 3.10, all of which presume typed data.
+
+use xqdb_xdm::{validate, AtomicType, AtomicValue, ErrorCode, Item, Sequence, TypeRule};
+use xqdb_xmlparse::parse_document;
+use xqdb_xqeval::{eval_query, DynamicContext, MapProvider};
+use xqdb_xquery::parse_query;
+
+fn run_typed(
+    query: &str,
+    docs: &[&str],
+    rules: &[TypeRule],
+) -> Result<Sequence, xqdb_xdm::XdmError> {
+    let mut provider = MapProvider::new();
+    let seq: Sequence = docs
+        .iter()
+        .map(|d| {
+            let parsed = parse_document(d).expect("test document parses");
+            let validated = validate(&parsed.root(), rules).expect("test document validates");
+            Item::Node(validated.root())
+        })
+        .collect();
+    provider.insert("ORDERS.ORDDOC", seq);
+    let q = parse_query(query).expect("test query parses");
+    eval_query(&q, &provider, &DynamicContext::new())
+}
+
+#[test]
+fn typed_value_comparisons_work_without_casts() {
+    // With validated numeric prices, `price gt 100` is a clean numeric
+    // value comparison — no explicit cast needed.
+    let docs = [r#"<order><lineitem><price>150</price></lineitem></order>"#];
+    let rules = [TypeRule::new("price", AtomicType::Double)];
+    let out = run_typed(
+        "db2-fn:xmlcolumn('O.D')//lineitem[price gt 100 and price lt 200]",
+        &docs,
+        &rules,
+    );
+    // NOTE: this provider registers under ORDERS.ORDDOC; fix the name.
+    assert!(out.is_err());
+    let out = run_typed(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[price gt 100 and price lt 200]",
+        &docs,
+        &rules,
+    )
+    .unwrap();
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn case_1_numeric_type_breaks_string_comparison() {
+    // Section 3.6 case 1: "If product/id has a numeric type, then Query 27
+    // will produce an error, but Query 26 will succeed."
+    let docs = [r#"<order><lineitem><product><id>17</id></product></lineitem></order>"#];
+    let rules = [TypeRule::new("id", AtomicType::Integer)];
+    // Query 27 shape (base data, typed): integer vs string → type error.
+    let err = run_typed(
+        "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem \
+         where $i/product/id/data(.) = '17' return $i",
+        &docs,
+        &rules,
+    )
+    .unwrap_err();
+    assert_eq!(err.code, ErrorCode::XPTY0004);
+    // Query 26 shape (through a constructor): the copied value is
+    // untypedAtomic, string-comparable — succeeds.
+    let out = run_typed(
+        "for $j in (for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem \
+                    return <item><pid>{$i/product/id/data(.)}</pid></item>) \
+         where $j/pid = '17' return $j",
+        &docs,
+        &rules,
+    )
+    .unwrap();
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn case_2_long_integer_vs_double_rounding() {
+    // Section 3.6 case 2: large longs collide as doubles but not as
+    // integers. 2^53 and 2^53+1 are distinct integers, equal doubles.
+    let docs = [
+        r#"<order><lineitem><product><id>9007199254740993</id></product></lineitem></order>"#,
+    ];
+    let rules = [TypeRule::new("id", AtomicType::Integer)];
+    // Typed comparison (base data): exact — 2^53 does NOT match 2^53+1.
+    let out = run_typed(
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//id[. = 9007199254740992]",
+        &docs,
+        &rules,
+    )
+    .unwrap();
+    assert!(out.is_empty(), "integer comparison is exact");
+    // Through a constructor the value becomes untypedAtomic and the
+    // comparison promotes both sides to double — they collide.
+    let out = run_typed(
+        "for $p in (for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//id \
+                    return <pid>{$i/data(.)}</pid>) \
+         where $p = 9007199254740992 return $p",
+        &docs,
+        &rules,
+    )
+    .unwrap();
+    assert_eq!(out.len(), 1, "double rounding collides the values");
+}
+
+#[test]
+fn typed_index_keys_use_annotations() {
+    // Index extraction goes through typed values: a validated double price
+    // appears in a double index via its numeric value.
+    let parsed = parse_document(
+        r#"<order><lineitem price="0099.50"/></order>"#,
+    )
+    .unwrap();
+    let validated =
+        validate(&parsed.root(), &[TypeRule::new("price", AtomicType::Double)]).unwrap();
+    let mut idx = xqdb_xmlindex::XmlIndex::create(
+        "li_price",
+        "orders",
+        "orddoc",
+        "//lineitem/@price",
+        "double",
+    )
+    .unwrap();
+    idx.insert_document(0, &validated.root());
+    // "0099.50" cast through xs:double = 99.5: an equality probe on 99.5
+    // finds it even though the lexical forms differ.
+    let (rows, _) = idx.probe(&xqdb_xmlindex::ProbeRange::eq(AtomicValue::Double(99.5)));
+    assert_eq!(rows.len(), 1);
+}
+
+#[test]
+fn validation_rejects_unlike_tolerant_indexing() {
+    // The distinction the paper's postal-code story hinges on: a SCHEMA
+    // rejects non-conforming documents, a tolerant INDEX does not.
+    let parsed = parse_document(r#"<order><lineitem price="20 USD"/></order>"#).unwrap();
+    assert!(validate(&parsed.root(), &[TypeRule::new("price", AtomicType::Double)]).is_err());
+    let mut idx = xqdb_xmlindex::XmlIndex::create(
+        "li_price",
+        "orders",
+        "orddoc",
+        "//lineitem/@price",
+        "double",
+    )
+    .unwrap();
+    idx.insert_document(0, &parsed.root()); // no error
+    assert_eq!(idx.len(), 0);
+    assert_eq!(idx.skipped_nodes, 1);
+}

@@ -1,0 +1,694 @@
+//! The XQuery abstract syntax tree.
+//!
+//! All names (element tests, attribute tests, function names, variables)
+//! are namespace-resolved; prefixes survive only inside direct element
+//! constructors, where they are needed for re-serialization.
+
+use std::fmt;
+use std::sync::Arc;
+
+use xqdb_xdm::compare::CompareOp;
+use xqdb_xdm::{AtomicType, AtomicValue, ExpandedName};
+
+/// A parsed query: prolog plus body expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Prolog declarations that affect evaluation (namespaces are already
+    /// folded into the AST; recorded here for EXPLAIN/diagnostics).
+    pub prolog: Prolog,
+    /// The query body.
+    pub body: Expr,
+}
+
+/// Prolog declarations, post-resolution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Prolog {
+    /// `declare namespace p = "uri";` pairs, in declaration order.
+    pub namespaces: Vec<(String, String)>,
+    /// `declare default element namespace "uri";`
+    pub default_element_ns: Option<String>,
+}
+
+/// Namespace part of a name test.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NsTest {
+    /// `*:local` or `*` — any namespace (including none).
+    Any,
+    /// Unprefixed name with no default namespace — matches no-namespace
+    /// names only.
+    NoNamespace,
+    /// A concrete namespace URI.
+    Uri(Arc<str>),
+}
+
+/// Local part of a name test.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LocalTest {
+    /// `*` or `ns:*`.
+    Any,
+    /// A concrete local name.
+    Name(Arc<str>),
+}
+
+/// A resolved name test: namespace part × local part.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NameTest {
+    /// Namespace constraint.
+    pub ns: NsTest,
+    /// Local-name constraint.
+    pub local: LocalTest,
+}
+
+impl NameTest {
+    /// `*` — matches any name.
+    pub fn any() -> Self {
+        NameTest { ns: NsTest::Any, local: LocalTest::Any }
+    }
+
+    /// An exact no-namespace name.
+    pub fn local_name(name: impl AsRef<str>) -> Self {
+        NameTest { ns: NsTest::NoNamespace, local: LocalTest::Name(Arc::from(name.as_ref())) }
+    }
+
+    /// True if this test accepts the given expanded name.
+    pub fn matches(&self, name: &ExpandedName) -> bool {
+        let ns_ok = match &self.ns {
+            NsTest::Any => true,
+            NsTest::NoNamespace => name.ns.is_none(),
+            NsTest::Uri(u) => name.ns.as_deref() == Some(&**u),
+        };
+        let local_ok = match &self.local {
+            LocalTest::Any => true,
+            LocalTest::Name(n) => *name.local == **n,
+        };
+        ns_ok && local_ok
+    }
+}
+
+impl fmt::Display for NameTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.ns, &self.local) {
+            (NsTest::Any, LocalTest::Any) => f.write_str("*"),
+            (NsTest::Any, LocalTest::Name(n)) => write!(f, "*:{n}"),
+            (NsTest::NoNamespace, LocalTest::Any) => f.write_str("*[no-ns]"),
+            (NsTest::NoNamespace, LocalTest::Name(n)) => write!(f, "{n}"),
+            (NsTest::Uri(u), LocalTest::Any) => write!(f, "{{{u}}}*"),
+            (NsTest::Uri(u), LocalTest::Name(n)) => write!(f, "{{{u}}}{n}"),
+        }
+    }
+}
+
+/// Kind tests.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KindTest {
+    /// `node()`
+    AnyKind,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction(target?)`
+    Pi(Option<Arc<str>>),
+    /// `document-node()`
+    Document,
+    /// `element()` / `element(name-test)`
+    Element(Option<NameTest>),
+    /// `attribute()` / `attribute(name-test)`
+    Attribute(Option<NameTest>),
+}
+
+impl fmt::Display for KindTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KindTest::AnyKind => f.write_str("node()"),
+            KindTest::Text => f.write_str("text()"),
+            KindTest::Comment => f.write_str("comment()"),
+            KindTest::Pi(None) => f.write_str("processing-instruction()"),
+            KindTest::Pi(Some(t)) => write!(f, "processing-instruction({t})"),
+            KindTest::Document => f.write_str("document-node()"),
+            KindTest::Element(None) => f.write_str("element()"),
+            KindTest::Element(Some(n)) => write!(f, "element({n})"),
+            KindTest::Attribute(None) => f.write_str("attribute()"),
+            KindTest::Attribute(Some(n)) => write!(f, "attribute({n})"),
+        }
+    }
+}
+
+/// XPath axes (the forward subset the paper's grammar uses, plus `parent`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `child::`
+    Child,
+    /// `descendant::`
+    Descendant,
+    /// `attribute::` / `@`
+    Attribute,
+    /// `self::`
+    SelfAxis,
+    /// `descendant-or-self::`
+    DescendantOrSelf,
+    /// `parent::` / `..`
+    Parent,
+}
+
+impl Axis {
+    /// The axis keyword as written.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::Attribute => "attribute",
+            Axis::SelfAxis => "self",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::Parent => "parent",
+        }
+    }
+
+    /// Whether the *principal node kind* of this axis is attributes.
+    ///
+    /// This encodes the paper's Section 3.9 rule: "attribute nodes can be
+    /// returned only by XPath steps with an `attribute` or `self` axis" —
+    /// child/descendant steps never see attributes regardless of node test.
+    pub fn principal_attribute(self) -> bool {
+        matches!(self, Axis::Attribute)
+    }
+}
+
+/// A node test: name or kind.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// A name test, interpreted against the axis's principal node kind.
+    Name(NameTest),
+    /// A kind test.
+    Kind(KindTest),
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => write!(f, "{n}"),
+            NodeTest::Kind(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// One step of a path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// An axis step `axis::test[pred]*`.
+    Axis {
+        /// The axis.
+        axis: Axis,
+        /// The node test.
+        test: NodeTest,
+        /// Step predicates, applied in order.
+        predicates: Vec<Expr>,
+    },
+    /// A filter step: any other expression used as a path step (e.g. the
+    /// paper's `$i/custid/xs:double(.)`), with optional predicates.
+    Filter {
+        /// The step expression, evaluated with each input node as context.
+        expr: Box<Expr>,
+        /// Step predicates.
+        predicates: Vec<Expr>,
+    },
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `idiv`
+    IDiv,
+    /// `mod`
+    Mod,
+}
+
+/// Node comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeCmpOp {
+    /// `is` — identity.
+    Is,
+    /// `<<` — document-order precedes.
+    Precedes,
+    /// `>>` — document-order follows.
+    Follows,
+}
+
+/// `some` / `every` quantifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantKind {
+    /// `some $x in ... satisfies ...`
+    Some,
+    /// `every $x in ... satisfies ...`
+    Every,
+}
+
+/// One FLWOR clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlworClause {
+    /// `for $var (at $pos)? in expr`
+    For {
+        /// Bound variable.
+        var: ExpandedName,
+        /// Optional positional variable.
+        position: Option<ExpandedName>,
+        /// Binding sequence.
+        expr: Expr,
+    },
+    /// `let $var := expr` — the NULL-preserving outer-join side of the
+    /// paper's Section 3.4.
+    Let {
+        /// Bound variable.
+        var: ExpandedName,
+        /// Bound expression.
+        expr: Expr,
+    },
+    /// `where expr`
+    Where(Expr),
+    /// `order by spec (, spec)*`
+    OrderBy(Vec<OrderSpec>),
+}
+
+/// One `order by` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSpec {
+    /// Key expression.
+    pub expr: Expr,
+    /// True for `descending`.
+    pub descending: bool,
+    /// True for `empty least` (default) — affects empty-key placement.
+    pub empty_least: bool,
+}
+
+/// A FLWOR expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flwor {
+    /// The for/let/where/order clauses in source order.
+    pub clauses: Vec<FlworClause>,
+    /// The return expression.
+    pub ret: Box<Expr>,
+}
+
+/// Item part of a sequence type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeqTypeItem {
+    /// `item()`
+    AnyItem,
+    /// An atomic type (`xs:double`, ...).
+    Atomic(AtomicType),
+    /// A node kind test (`document-node()`, `element(...)`, ...).
+    Kind(KindTest),
+}
+
+/// Occurrence indicator of a sequence type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurrence {
+    /// Exactly one.
+    One,
+    /// `?` — zero or one.
+    Optional,
+    /// `*` — zero or more.
+    ZeroOrMore,
+    /// `+` — one or more.
+    OneOrMore,
+}
+
+/// A sequence type, e.g. `document-node()`, `xs:double?`, `empty-sequence()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceType {
+    /// The item type; `None` means `empty-sequence()`.
+    pub item: Option<SeqTypeItem>,
+    /// Occurrence indicator.
+    pub occurrence: Occurrence,
+}
+
+/// Content inside a direct element constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstructorContent {
+    /// Literal text.
+    Text(String),
+    /// `{ expr }` enclosed expression.
+    Expr(Expr),
+    /// Nested direct element.
+    Element(DirectElement),
+    /// `<!-- ... -->`
+    Comment(String),
+}
+
+/// A direct element constructor `<name attr="...">content</name>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectElement {
+    /// Resolved element name.
+    pub name: ExpandedName,
+    /// Attributes: resolved name and value template parts.
+    pub attributes: Vec<(ExpandedName, Vec<ConstructorContent>)>,
+    /// Element content in order.
+    pub content: Vec<ConstructorContent>,
+}
+
+/// An XQuery expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal atomic value.
+    Literal(AtomicValue),
+    /// `$var`
+    VarRef(ExpandedName),
+    /// `.`
+    ContextItem,
+    /// Comma sequence `(e1, e2, ...)` — flattening, per XDM.
+    Sequence(Vec<Expr>),
+    /// `e1 to e2` integer range.
+    Range(Box<Expr>, Box<Expr>),
+    /// FLWOR.
+    Flwor(Flwor),
+    /// `some/every $x in e satisfies e`.
+    Quantified {
+        /// `some` or `every`.
+        kind: QuantKind,
+        /// In-clause bindings; each has implied iteration (Section 3.4:
+        /// "the in-clauses of quantified expressions" discard empties).
+        bindings: Vec<(ExpandedName, Expr)>,
+        /// The satisfies expression.
+        satisfies: Box<Expr>,
+    },
+    /// `if (c) then t else e`.
+    If {
+        /// Condition (EBV).
+        cond: Box<Expr>,
+        /// Then branch.
+        then: Box<Expr>,
+        /// Else branch.
+        els: Box<Expr>,
+    },
+    /// `or`
+    Or(Box<Expr>, Box<Expr>),
+    /// `and`
+    And(Box<Expr>, Box<Expr>),
+    /// General (existential) comparison: `=`, `!=`, `<`, `<=`, `>`, `>=`.
+    GeneralCmp(CompareOp, Box<Expr>, Box<Expr>),
+    /// Value comparison: `eq`, `ne`, `lt`, `le`, `gt`, `ge`.
+    ValueCmp(CompareOp, Box<Expr>, Box<Expr>),
+    /// Node comparison: `is`, `<<`, `>>`.
+    NodeCmp(NodeCmpOp, Box<Expr>, Box<Expr>),
+    /// Binary arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary minus (`+` is absorbed at parse time).
+    UnaryMinus(Box<Expr>),
+    /// `union` / `|`
+    Union(Box<Expr>, Box<Expr>),
+    /// `intersect`
+    Intersect(Box<Expr>, Box<Expr>),
+    /// `except` — identity-based difference (Section 3.6 case 5).
+    Except(Box<Expr>, Box<Expr>),
+    /// `instance of`
+    InstanceOf(Box<Expr>, SequenceType),
+    /// `treat as`
+    TreatAs(Box<Expr>, SequenceType),
+    /// `cast as` (with `?` optionality)
+    CastAs {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Target atomic type.
+        target: AtomicType,
+        /// True for `castable as`-style `?` suffix (empty allowed).
+        optional: bool,
+    },
+    /// `castable as`
+    CastableAs {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Target atomic type.
+        target: AtomicType,
+        /// True when `?` suffix present.
+        optional: bool,
+    },
+    /// A filter expression: a primary expression with predicates, e.g.
+    /// `$order[//customer/name]` or `(1,2,3)[2]`.
+    Filter {
+        /// The primary expression.
+        expr: Box<Expr>,
+        /// Predicates applied to its result.
+        predicates: Vec<Expr>,
+    },
+    /// A path expression: initial expression plus steps. A leading `/` or
+    /// `//` is represented by [`Expr::Root`] as the initial expression.
+    Path {
+        /// The initial value (first step input).
+        init: Box<Expr>,
+        /// Remaining steps.
+        steps: Vec<Step>,
+    },
+    /// `fn:root(self::node()) treat as document-node()` — the expansion of a
+    /// leading slash. Kept as a first-class node so the eligibility analyzer
+    /// and the Section 3.5 tests can recognize absolute paths.
+    Root,
+    /// A function call with resolved name.
+    FunctionCall {
+        /// Expanded function name.
+        name: ExpandedName,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Direct element constructor.
+    DirectElement(DirectElement),
+    /// Computed element constructor `element name { content }`.
+    ComputedElement {
+        /// Element name.
+        name: ExpandedName,
+        /// Content expression (may be absent for empty content).
+        content: Option<Box<Expr>>,
+    },
+    /// Computed attribute constructor `attribute name { content }`.
+    ComputedAttribute {
+        /// Attribute name.
+        name: ExpandedName,
+        /// Value expression.
+        content: Option<Box<Expr>>,
+    },
+    /// Computed text constructor `text { content }`.
+    ComputedText(Option<Box<Expr>>),
+    /// Computed document constructor `document { content }`.
+    ComputedDocument(Option<Box<Expr>>),
+    /// An expression annotated as parenthesized — needed only to preserve
+    /// `(...)/ step` shapes in EXPLAIN output; semantics identical to inner.
+    Paren(Box<Expr>),
+}
+
+impl Expr {
+    /// Strip [`Expr::Paren`] wrappers.
+    pub fn unparen(&self) -> &Expr {
+        let mut e = self;
+        while let Expr::Paren(inner) = e {
+            e = inner;
+        }
+        e
+    }
+
+    /// Structurally normalize by removing every [`Expr::Paren`] wrapper,
+    /// recursively. Parentheses carry no semantics beyond grouping; this is
+    /// the equality the printer round-trip tests compare under.
+    pub fn strip_parens(&self) -> Expr {
+        fn steps(v: &[Step]) -> Vec<Step> {
+            v.iter()
+                .map(|s| match s {
+                    Step::Axis { axis, test, predicates } => Step::Axis {
+                        axis: *axis,
+                        test: test.clone(),
+                        predicates: predicates.iter().map(Expr::strip_parens).collect(),
+                    },
+                    Step::Filter { expr, predicates } => Step::Filter {
+                        expr: Box::new(expr.strip_parens()),
+                        predicates: predicates.iter().map(Expr::strip_parens).collect(),
+                    },
+                })
+                .collect()
+        }
+        fn content(v: &[ConstructorContent]) -> Vec<ConstructorContent> {
+            v.iter()
+                .map(|c| match c {
+                    ConstructorContent::Expr(e) => ConstructorContent::Expr(e.strip_parens()),
+                    ConstructorContent::Element(d) => ConstructorContent::Element(direct(d)),
+                    other => other.clone(),
+                })
+                .collect()
+        }
+        fn direct(d: &DirectElement) -> DirectElement {
+            DirectElement {
+                name: d.name.clone(),
+                attributes: d
+                    .attributes
+                    .iter()
+                    .map(|(n, parts)| (n.clone(), content(parts)))
+                    .collect(),
+                content: content(&d.content),
+            }
+        }
+        let b = |e: &Expr| Box::new(e.strip_parens());
+        match self {
+            Expr::Paren(inner) => inner.strip_parens(),
+            Expr::Literal(_) | Expr::VarRef(_) | Expr::ContextItem | Expr::Root => self.clone(),
+            Expr::Sequence(items) => {
+                Expr::Sequence(items.iter().map(Expr::strip_parens).collect())
+            }
+            Expr::Range(x, y) => Expr::Range(b(x), b(y)),
+            Expr::Or(x, y) => Expr::Or(b(x), b(y)),
+            Expr::And(x, y) => Expr::And(b(x), b(y)),
+            Expr::GeneralCmp(op, x, y) => Expr::GeneralCmp(*op, b(x), b(y)),
+            Expr::ValueCmp(op, x, y) => Expr::ValueCmp(*op, b(x), b(y)),
+            Expr::NodeCmp(op, x, y) => Expr::NodeCmp(*op, b(x), b(y)),
+            Expr::Arith(op, x, y) => Expr::Arith(*op, b(x), b(y)),
+            Expr::UnaryMinus(x) => Expr::UnaryMinus(b(x)),
+            Expr::Union(x, y) => Expr::Union(b(x), b(y)),
+            Expr::Intersect(x, y) => Expr::Intersect(b(x), b(y)),
+            Expr::Except(x, y) => Expr::Except(b(x), b(y)),
+            Expr::InstanceOf(x, st) => Expr::InstanceOf(b(x), st.clone()),
+            Expr::TreatAs(x, st) => Expr::TreatAs(b(x), st.clone()),
+            Expr::CastAs { expr, target, optional } => {
+                Expr::CastAs { expr: b(expr), target: *target, optional: *optional }
+            }
+            Expr::CastableAs { expr, target, optional } => {
+                Expr::CastableAs { expr: b(expr), target: *target, optional: *optional }
+            }
+            Expr::Filter { expr, predicates } => {
+                let inner = expr.strip_parens();
+                let predicates: Vec<Expr> =
+                    predicates.iter().map(Expr::strip_parens).collect();
+                // (e)[p] where e is itself a filter/path collapses naturally;
+                // keep the Filter node — only Paren is erased.
+                Expr::Filter { expr: Box::new(inner), predicates }
+            }
+            Expr::Path { init, steps: ss } => {
+                Expr::Path { init: b(init), steps: steps(ss) }
+            }
+            Expr::Flwor(f) => Expr::Flwor(Flwor {
+                clauses: f
+                    .clauses
+                    .iter()
+                    .map(|c| match c {
+                        FlworClause::For { var, position, expr } => FlworClause::For {
+                            var: var.clone(),
+                            position: position.clone(),
+                            expr: expr.strip_parens(),
+                        },
+                        FlworClause::Let { var, expr } => FlworClause::Let {
+                            var: var.clone(),
+                            expr: expr.strip_parens(),
+                        },
+                        FlworClause::Where(e) => FlworClause::Where(e.strip_parens()),
+                        FlworClause::OrderBy(specs) => FlworClause::OrderBy(
+                            specs
+                                .iter()
+                                .map(|s| OrderSpec {
+                                    expr: s.expr.strip_parens(),
+                                    descending: s.descending,
+                                    empty_least: s.empty_least,
+                                })
+                                .collect(),
+                        ),
+                    })
+                    .collect(),
+                ret: b(&f.ret),
+            }),
+            Expr::Quantified { kind, bindings, satisfies } => Expr::Quantified {
+                kind: *kind,
+                bindings: bindings
+                    .iter()
+                    .map(|(v, e)| (v.clone(), e.strip_parens()))
+                    .collect(),
+                satisfies: b(satisfies),
+            },
+            Expr::If { cond, then, els } => {
+                Expr::If { cond: b(cond), then: b(then), els: b(els) }
+            }
+            Expr::FunctionCall { name, args } => Expr::FunctionCall {
+                name: name.clone(),
+                args: args.iter().map(Expr::strip_parens).collect(),
+            },
+            Expr::DirectElement(d) => Expr::DirectElement(direct(d)),
+            Expr::ComputedElement { name, content: c } => Expr::ComputedElement {
+                name: name.clone(),
+                content: c.as_ref().map(|e| Box::new(e.strip_parens())),
+            },
+            Expr::ComputedAttribute { name, content: c } => Expr::ComputedAttribute {
+                name: name.clone(),
+                content: c.as_ref().map(|e| Box::new(e.strip_parens())),
+            },
+            Expr::ComputedText(c) => {
+                Expr::ComputedText(c.as_ref().map(|e| Box::new(e.strip_parens())))
+            }
+            Expr::ComputedDocument(c) => {
+                Expr::ComputedDocument(c.as_ref().map(|e| Box::new(e.strip_parens())))
+            }
+        }
+    }
+
+    /// True if this expression is (syntactically) a direct or computed node
+    /// constructor — the construction barrier of Section 3.6.
+    pub fn is_constructor(&self) -> bool {
+        matches!(
+            self.unparen(),
+            Expr::DirectElement(_)
+                | Expr::ComputedElement { .. }
+                | Expr::ComputedAttribute { .. }
+                | Expr::ComputedText(_)
+                | Expr::ComputedDocument(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_test_matching() {
+        let order_ns = "http://ournamespaces.com/order";
+        let t = NameTest { ns: NsTest::Uri(Arc::from(order_ns)), local: LocalTest::Name(Arc::from("lineitem")) };
+        assert!(t.matches(&ExpandedName::ns(order_ns, "lineitem")));
+        assert!(!t.matches(&ExpandedName::local("lineitem")));
+        assert!(!t.matches(&ExpandedName::ns(order_ns, "order")));
+
+        let any_ns = NameTest { ns: NsTest::Any, local: LocalTest::Name(Arc::from("nation")) };
+        assert!(any_ns.matches(&ExpandedName::local("nation")));
+        assert!(any_ns.matches(&ExpandedName::ns("http://x", "nation")));
+
+        let no_ns = NameTest::local_name("nation");
+        assert!(no_ns.matches(&ExpandedName::local("nation")));
+        assert!(!no_ns.matches(&ExpandedName::ns("http://x", "nation")));
+    }
+
+    #[test]
+    fn wildcard_displays() {
+        assert_eq!(NameTest::any().to_string(), "*");
+        assert_eq!(
+            NameTest { ns: NsTest::Any, local: LocalTest::Name(Arc::from("n")) }.to_string(),
+            "*:n"
+        );
+    }
+
+    #[test]
+    fn constructor_detection() {
+        let c = Expr::DirectElement(DirectElement {
+            name: ExpandedName::local("result"),
+            attributes: vec![],
+            content: vec![],
+        });
+        assert!(c.is_constructor());
+        assert!(Expr::Paren(Box::new(c)).is_constructor());
+        assert!(!Expr::ContextItem.is_constructor());
+    }
+
+    #[test]
+    fn unparen_strips_nesting() {
+        let e = Expr::Paren(Box::new(Expr::Paren(Box::new(Expr::ContextItem))));
+        assert_eq!(e.unparen(), &Expr::ContextItem);
+    }
+}

@@ -1,0 +1,31 @@
+//! # xqdb-xquery — XQuery parsing
+//!
+//! A scannerless recursive-descent parser for the XQuery 1.0 subset used by
+//! *On the Path to Efficient XML Queries* (every numbered query in the paper
+//! parses), producing a namespace-resolved AST, plus the paper's
+//! `XMLPATTERN` index-DDL grammar (Section 2.1):
+//!
+//! ```text
+//! pattern   ::= namespace-decls? (( / | // ) axis? ( name-test | kind-test ))+
+//! axis      ::= @ | child:: | attribute:: | self:: | descendant:: | descendant-or-self::
+//! name-test ::= qname | * | ncname:* | *:ncname
+//! kind-test ::= node() | text() | comment() | processing-instruction(ncname?)
+//! ```
+//!
+//! Names are resolved against the prolog's namespace declarations at parse
+//! time, so downstream consumers (evaluator, eligibility analyzer) work on
+//! [`ExpandedName`](xqdb_xdm::ExpandedName)s only — prefix handling bugs
+//! cannot leak past the parser.
+
+pub mod ast;
+pub mod display;
+pub mod parser;
+pub mod pattern;
+
+pub use ast::{
+    ArithOp, Axis, ConstructorContent, DirectElement, Expr, Flwor, FlworClause, KindTest,
+    LocalTest, NameTest, NodeCmpOp, NodeTest, NsTest, Occurrence, OrderSpec, Prolog, QuantKind,
+    Query, SeqTypeItem, SequenceType, Step,
+};
+pub use parser::{atomic_type_by_name, parse_query, ParseError, StaticContext};
+pub use pattern::{parse_pattern, Pattern, PatternAxis, PatternStep};

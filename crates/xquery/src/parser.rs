@@ -1,0 +1,1898 @@
+//! Scannerless recursive-descent XQuery parser.
+//!
+//! Operator keywords (`div`, `and`, `union`, ...) are only recognized in
+//! operator position, and `<` opens a direct constructor only in operand
+//! position — the standard way XQuery's context-sensitive grammar is
+//! handled without a token stream.
+
+use std::fmt;
+use std::sync::Arc;
+
+use xqdb_xdm::compare::CompareOp;
+use xqdb_xdm::qname::{DB2_FN_NS, FN_NS, XDT_NS, XML_NS, XS_NS};
+use xqdb_xdm::{AtomicType, AtomicValue, ExpandedName, QName};
+
+use crate::ast::*;
+
+/// A parse failure with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XQuery parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Static context: in-scope namespace prefixes and defaults.
+#[derive(Debug, Clone)]
+pub struct StaticContext {
+    /// prefix → URI bindings.
+    pub namespaces: Vec<(String, String)>,
+    /// Default namespace for unprefixed *element* name tests.
+    pub default_element_ns: Option<String>,
+    /// Default namespace for unprefixed function names.
+    pub default_function_ns: String,
+}
+
+impl Default for StaticContext {
+    fn default() -> Self {
+        StaticContext {
+            namespaces: vec![
+                ("xml".into(), XML_NS.into()),
+                ("xs".into(), XS_NS.into()),
+                ("xdt".into(), XDT_NS.into()),
+                ("fn".into(), FN_NS.into()),
+                ("db2-fn".into(), DB2_FN_NS.into()),
+            ],
+            default_element_ns: None,
+            default_function_ns: FN_NS.into(),
+        }
+    }
+}
+
+impl StaticContext {
+    /// Look up a prefix.
+    pub fn resolve_prefix(&self, prefix: &str) -> Option<&str> {
+        self.namespaces
+            .iter()
+            .rev()
+            .find(|(p, _)| p == prefix)
+            .map(|(_, u)| u.as_str())
+    }
+
+    fn resolve_element_qname(&self, q: &QName) -> Result<ExpandedName, String> {
+        match &q.prefix {
+            Some(p) => self
+                .resolve_prefix(p)
+                .map(|u| ExpandedName::ns(u, &*q.local))
+                .ok_or_else(|| format!("unbound namespace prefix {p:?}")),
+            None => Ok(match &self.default_element_ns {
+                Some(u) => ExpandedName::ns(u, &*q.local),
+                None => ExpandedName::local(&*q.local),
+            }),
+        }
+    }
+
+    fn resolve_attribute_qname(&self, q: &QName) -> Result<ExpandedName, String> {
+        match &q.prefix {
+            Some(p) => self
+                .resolve_prefix(p)
+                .map(|u| ExpandedName::ns(u, &*q.local))
+                .ok_or_else(|| format!("unbound namespace prefix {p:?}")),
+            None => Ok(ExpandedName::local(&*q.local)),
+        }
+    }
+
+    fn resolve_function_qname(&self, q: &QName) -> Result<ExpandedName, String> {
+        match &q.prefix {
+            Some(p) => self
+                .resolve_prefix(p)
+                .map(|u| ExpandedName::ns(u, &*q.local))
+                .ok_or_else(|| format!("unbound namespace prefix {p:?}")),
+            None => Ok(ExpandedName::ns(&self.default_function_ns, &*q.local)),
+        }
+    }
+
+    fn resolve_variable_qname(&self, q: &QName) -> Result<ExpandedName, String> {
+        match &q.prefix {
+            Some(p) => self
+                .resolve_prefix(p)
+                .map(|u| ExpandedName::ns(u, &*q.local))
+                .ok_or_else(|| format!("unbound namespace prefix {p:?}")),
+            None => Ok(ExpandedName::local(&*q.local)),
+        }
+    }
+
+    /// Resolve an element-position name *test* (unprefixed → default element
+    /// namespace, per XPath).
+    fn element_name_test(&self, q: &QName) -> Result<NameTest, String> {
+        Ok(match &q.prefix {
+            Some(p) => {
+                let uri = self
+                    .resolve_prefix(p)
+                    .ok_or_else(|| format!("unbound namespace prefix {p:?}"))?;
+                NameTest { ns: NsTest::Uri(Arc::from(uri)), local: LocalTest::Name(q.local.clone()) }
+            }
+            None => match &self.default_element_ns {
+                Some(u) => NameTest {
+                    ns: NsTest::Uri(Arc::from(u.as_str())),
+                    local: LocalTest::Name(q.local.clone()),
+                },
+                None => NameTest { ns: NsTest::NoNamespace, local: LocalTest::Name(q.local.clone()) },
+            },
+        })
+    }
+
+    /// Resolve an attribute-position name test (unprefixed → **no**
+    /// namespace; default element namespaces never apply — Section 3.7).
+    fn attribute_name_test(&self, q: &QName) -> Result<NameTest, String> {
+        Ok(match &q.prefix {
+            Some(p) => {
+                let uri = self
+                    .resolve_prefix(p)
+                    .ok_or_else(|| format!("unbound namespace prefix {p:?}"))?;
+                NameTest { ns: NsTest::Uri(Arc::from(uri)), local: LocalTest::Name(q.local.clone()) }
+            }
+            None => NameTest { ns: NsTest::NoNamespace, local: LocalTest::Name(q.local.clone()) },
+        })
+    }
+}
+
+/// Parse a complete query (prolog + body).
+pub fn parse_query(input: &str) -> PResult<Query> {
+    let mut p = Parser { input, pos: 0, ctx: StaticContext::default() };
+    let prolog = p.parse_prolog()?;
+    let body = p.parse_expr()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(Query { prolog, body })
+}
+
+pub(crate) struct Parser<'a> {
+    pub(crate) input: &'a str,
+    pub(crate) pos: usize,
+    pub(crate) ctx: StaticContext,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Skip whitespace and (nested) XQuery comments `(: ... :)`.
+    pub(crate) fn skip_ws(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.bump();
+            }
+            if self.rest().starts_with("(:") {
+                self.pos += 2;
+                let mut depth = 1;
+                while depth > 0 {
+                    if self.rest().starts_with("(:") {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.rest().starts_with(":)") {
+                        depth -= 1;
+                        self.pos += 2;
+                    } else if self.bump().is_none() {
+                        return; // unterminated comment: EOF ends it
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Try to consume a punctuation string (after whitespace).
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Peek a punctuation string without consuming.
+    fn peeks(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        self.rest().starts_with(s)
+    }
+
+    fn expect(&mut self, s: &str) -> PResult<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    /// Try to consume a whole-word keyword.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let r = self.rest();
+        if let Some(rest) = r.strip_prefix(kw) {
+            let after = rest.chars().next();
+            let boundary = match after {
+                None => true,
+                Some(c) => !(c.is_alphanumeric() || matches!(c, '_' | '-' | '.')),
+            };
+            if boundary {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        let save = self.pos;
+        let ok = self.eat_keyword(kw);
+        self.pos = save;
+        ok
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw:?}")))
+        }
+    }
+
+    /// Parse an NCName at the current position (no whitespace skipping).
+    fn parse_ncname_raw(&mut self) -> PResult<Arc<str>> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected a name")),
+        }
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | '.')) {
+            self.bump();
+        }
+        Ok(Arc::from(&self.input[start..self.pos]))
+    }
+
+    /// Parse a lexical QName (whitespace skipped first).
+    pub(crate) fn parse_qname(&mut self) -> PResult<QName> {
+        self.skip_ws();
+        let first = self.parse_ncname_raw()?;
+        // `a:b` — but NOT `a::b` (axis) and not `a:*`.
+        if self.rest().starts_with(':') && !self.rest().starts_with("::") {
+            let save = self.pos;
+            self.pos += 1;
+            if self.rest().starts_with('*') {
+                // caller handles ns:* wildcards; rewind.
+                self.pos = save;
+                return Ok(QName { prefix: None, local: first });
+            }
+            match self.parse_ncname_raw() {
+                Ok(local) => return Ok(QName { prefix: Some(first), local }),
+                Err(_) => {
+                    self.pos = save;
+                }
+            }
+        }
+        Ok(QName { prefix: None, local: first })
+    }
+
+    /// Parse a string literal with XQuery escaping ("" and '').
+    pub(crate) fn parse_string_literal(&mut self) -> PResult<String> {
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.err("expected a string literal")),
+        };
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(c) if c == quote => {
+                    self.bump();
+                    // doubled quote = escaped quote
+                    if self.peek() == Some(quote) {
+                        out.push(quote);
+                        self.bump();
+                    } else {
+                        return Ok(out);
+                    }
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- prolog
+
+    fn parse_prolog(&mut self) -> PResult<Prolog> {
+        let mut prolog = Prolog::default();
+        loop {
+            self.skip_ws();
+            let save = self.pos;
+            if !self.eat_keyword("declare") {
+                break;
+            }
+            if self.eat_keyword("namespace") {
+                self.skip_ws();
+                let prefix = self.parse_ncname_raw()?;
+                self.expect("=")?;
+                let uri = self.parse_string_literal()?;
+                self.expect(";")?;
+                self.ctx.namespaces.push((prefix.to_string(), uri.clone()));
+                prolog.namespaces.push((prefix.to_string(), uri));
+            } else if self.eat_keyword("default") {
+                self.expect_keyword("element")?;
+                self.expect_keyword("namespace")?;
+                let uri = self.parse_string_literal()?;
+                self.expect(";")?;
+                self.ctx.default_element_ns = Some(uri.clone());
+                prolog.default_element_ns = Some(uri);
+            } else {
+                // Not a prolog declaration we know; rewind and stop (lets
+                // `declare` appear as an element name downstream, though in
+                // practice this is a syntax error soon after).
+                self.pos = save;
+                break;
+            }
+        }
+        Ok(prolog)
+    }
+
+    // ------------------------------------------------------------ expression
+
+    /// Expr ::= ExprSingle ("," ExprSingle)*
+    pub(crate) fn parse_expr(&mut self) -> PResult<Expr> {
+        let first = self.parse_expr_single()?;
+        if !self.peeks(",") {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat(",") {
+            items.push(self.parse_expr_single()?);
+        }
+        Ok(Expr::Sequence(items))
+    }
+
+    pub(crate) fn parse_expr_single(&mut self) -> PResult<Expr> {
+        self.skip_ws();
+        if (self.peek_keyword("for") || self.peek_keyword("let")) && self.looks_like_binding() {
+            return self.parse_flwor();
+        }
+        if (self.peek_keyword("some") || self.peek_keyword("every")) && self.looks_like_binding() {
+            return self.parse_quantified();
+        }
+        if self.peek_keyword("if") && self.keyword_then("if", "(") {
+            return self.parse_if();
+        }
+        self.parse_or()
+    }
+
+    /// True if the next keyword is followed by a `$variable` — distinguishes
+    /// `for $x in ...` from a path starting with an element named `for`.
+    fn looks_like_binding(&mut self) -> bool {
+        let save = self.pos;
+        self.skip_ws();
+        let _ = self.parse_ncname_raw();
+        self.skip_ws();
+        let ok = self.peek() == Some('$');
+        self.pos = save;
+        ok
+    }
+
+    /// True if keyword `kw` is directly followed (after ws) by `punct`.
+    fn keyword_then(&mut self, kw: &str, punct: &str) -> bool {
+        let save = self.pos;
+        let ok = self.eat_keyword(kw) && self.peeks(punct);
+        self.pos = save;
+        ok
+    }
+
+    fn parse_variable_name(&mut self) -> PResult<ExpandedName> {
+        self.expect("$")?;
+        let q = self.parse_qname()?;
+        self.ctx.resolve_variable_qname(&q).map_err(|m| self.err(m))
+    }
+
+    fn parse_flwor(&mut self) -> PResult<Expr> {
+        let mut clauses = Vec::new();
+        loop {
+            if self.peek_keyword("for") && self.looks_like_binding() {
+                self.expect_keyword("for")?;
+                loop {
+                    let var = self.parse_variable_name()?;
+                    let position = if self.eat_keyword("at") {
+                        Some(self.parse_variable_name()?)
+                    } else {
+                        None
+                    };
+                    self.expect_keyword("in")?;
+                    let expr = self.parse_expr_single()?;
+                    clauses.push(FlworClause::For { var, position, expr });
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            } else if self.peek_keyword("let") && self.looks_like_binding() {
+                self.expect_keyword("let")?;
+                loop {
+                    let var = self.parse_variable_name()?;
+                    self.expect(":=")?;
+                    let expr = self.parse_expr_single()?;
+                    clauses.push(FlworClause::Let { var, expr });
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if self.eat_keyword("where") {
+            clauses.push(FlworClause::Where(self.parse_expr_single()?));
+        }
+        if self.peek_keyword("order") {
+            self.expect_keyword("order")?;
+            self.expect_keyword("by")?;
+            let mut specs = Vec::new();
+            loop {
+                let expr = self.parse_expr_single()?;
+                let descending = if self.eat_keyword("descending") {
+                    true
+                } else {
+                    let _ = self.eat_keyword("ascending");
+                    false
+                };
+                let empty_least = if self.eat_keyword("empty") {
+                    if self.eat_keyword("least") {
+                        true
+                    } else {
+                        self.expect_keyword("greatest")?;
+                        false
+                    }
+                } else {
+                    true
+                };
+                specs.push(OrderSpec { expr, descending, empty_least });
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            clauses.push(FlworClause::OrderBy(specs));
+        }
+        self.expect_keyword("return")?;
+        let ret = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Flwor(Flwor { clauses, ret }))
+    }
+
+    fn parse_quantified(&mut self) -> PResult<Expr> {
+        let kind = if self.eat_keyword("some") {
+            QuantKind::Some
+        } else {
+            self.expect_keyword("every")?;
+            QuantKind::Every
+        };
+        let mut bindings = Vec::new();
+        loop {
+            let var = self.parse_variable_name()?;
+            self.expect_keyword("in")?;
+            let expr = self.parse_expr_single()?;
+            bindings.push((var, expr));
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect_keyword("satisfies")?;
+        let satisfies = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Quantified { kind, bindings, satisfies })
+    }
+
+    fn parse_if(&mut self) -> PResult<Expr> {
+        self.expect_keyword("if")?;
+        self.expect("(")?;
+        let cond = Box::new(self.parse_expr()?);
+        self.expect(")")?;
+        self.expect_keyword("then")?;
+        let then = Box::new(self.parse_expr_single()?);
+        self.expect_keyword("else")?;
+        let els = Box::new(self.parse_expr_single()?);
+        Ok(Expr::If { cond, then, els })
+    }
+
+    fn parse_or(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_keyword("or") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_comparison()?;
+        while self.eat_keyword("and") {
+            let rhs = self.parse_comparison()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_comparison(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_range()?;
+        self.skip_ws();
+        // Value comparisons (keywords).
+        for (kw, op) in [
+            ("eq", CompareOp::Eq),
+            ("ne", CompareOp::Ne),
+            ("lt", CompareOp::Lt),
+            ("le", CompareOp::Le),
+            ("gt", CompareOp::Gt),
+            ("ge", CompareOp::Ge),
+        ] {
+            if self.eat_keyword(kw) {
+                let rhs = self.parse_range()?;
+                return Ok(Expr::ValueCmp(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        // Node comparisons.
+        if self.eat_keyword("is") {
+            let rhs = self.parse_range()?;
+            return Ok(Expr::NodeCmp(NodeCmpOp::Is, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.eat("<<") {
+            let rhs = self.parse_range()?;
+            return Ok(Expr::NodeCmp(NodeCmpOp::Precedes, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.eat(">>") {
+            let rhs = self.parse_range()?;
+            return Ok(Expr::NodeCmp(NodeCmpOp::Follows, Box::new(lhs), Box::new(rhs)));
+        }
+        // General comparisons — order matters (<= before <, etc.). `<` here
+        // is unambiguous: constructors only open in operand position.
+        for (sym, op) in [
+            ("!=", CompareOp::Ne),
+            ("<=", CompareOp::Le),
+            (">=", CompareOp::Ge),
+            ("=", CompareOp::Eq),
+            ("<", CompareOp::Lt),
+            (">", CompareOp::Gt),
+        ] {
+            if self.eat(sym) {
+                let rhs = self.parse_range()?;
+                return Ok(Expr::GeneralCmp(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_range(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_additive()?;
+        if self.eat_keyword("to") {
+            let rhs = self.parse_additive()?;
+            return Ok(Expr::Range(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            self.skip_ws();
+            if self.eat("+") {
+                let rhs = self.parse_multiplicative()?;
+                lhs = Expr::Arith(ArithOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.peeks("-") && !self.peeks("->") {
+                self.expect("-")?;
+                let rhs = self.parse_multiplicative()?;
+                lhs = Expr::Arith(ArithOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_union()?;
+        loop {
+            if self.eat_keyword("div") {
+                let rhs = self.parse_union()?;
+                lhs = Expr::Arith(ArithOp::Div, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_keyword("idiv") {
+                let rhs = self.parse_union()?;
+                lhs = Expr::Arith(ArithOp::IDiv, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_keyword("mod") {
+                let rhs = self.parse_union()?;
+                lhs = Expr::Arith(ArithOp::Mod, Box::new(lhs), Box::new(rhs));
+            } else if self.peeks("*") {
+                self.expect("*")?;
+                let rhs = self.parse_union()?;
+                lhs = Expr::Arith(ArithOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_union(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_intersect_except()?;
+        loop {
+            if self.eat_keyword("union") || self.eat("|") {
+                let rhs = self.parse_intersect_except()?;
+                lhs = Expr::Union(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_intersect_except(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_instance_of()?;
+        loop {
+            if self.eat_keyword("intersect") {
+                let rhs = self.parse_instance_of()?;
+                lhs = Expr::Intersect(Box::new(lhs), Box::new(rhs));
+            } else if self.eat_keyword("except") {
+                let rhs = self.parse_instance_of()?;
+                lhs = Expr::Except(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_instance_of(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_treat()?;
+        if self.peek_keyword("instance") {
+            self.expect_keyword("instance")?;
+            self.expect_keyword("of")?;
+            let st = self.parse_sequence_type()?;
+            return Ok(Expr::InstanceOf(Box::new(lhs), st));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_treat(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_castable()?;
+        if self.peek_keyword("treat") {
+            self.expect_keyword("treat")?;
+            self.expect_keyword("as")?;
+            let st = self.parse_sequence_type()?;
+            return Ok(Expr::TreatAs(Box::new(lhs), st));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_castable(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_cast()?;
+        if self.peek_keyword("castable") {
+            self.expect_keyword("castable")?;
+            self.expect_keyword("as")?;
+            let (target, optional) = self.parse_single_type()?;
+            return Ok(Expr::CastableAs { expr: Box::new(lhs), target, optional });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cast(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_unary()?;
+        if self.peek_keyword("cast") {
+            self.expect_keyword("cast")?;
+            self.expect_keyword("as")?;
+            let (target, optional) = self.parse_single_type()?;
+            return Ok(Expr::CastAs { expr: Box::new(lhs), target, optional });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        self.skip_ws();
+        let mut negate = false;
+        loop {
+            if self.eat("-") {
+                negate = !negate;
+            } else if self.eat("+") {
+                // no-op
+            } else {
+                break;
+            }
+            self.skip_ws();
+        }
+        let e = self.parse_path()?;
+        Ok(if negate { Expr::UnaryMinus(Box::new(e)) } else { e })
+    }
+
+    // ------------------------------------------------------------------ path
+
+    fn parse_path(&mut self) -> PResult<Expr> {
+        self.skip_ws();
+        if self.rest().starts_with("//") {
+            self.pos += 2;
+            let mut steps = vec![Step::Axis {
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::Kind(KindTest::AnyKind),
+                predicates: vec![],
+            }];
+            self.parse_relative_path_into(&mut steps)?;
+            return Ok(Expr::Path { init: Box::new(Expr::Root), steps });
+        }
+        if self.rest().starts_with('/') {
+            self.pos += 1;
+            // A lone "/" selects the root; otherwise parse the relative part.
+            let save = self.pos;
+            let mut steps = Vec::new();
+            match self.parse_relative_path_into(&mut steps) {
+                Ok(()) => Ok(Expr::Path { init: Box::new(Expr::Root), steps }),
+                Err(_) => {
+                    self.pos = save;
+                    Ok(Expr::Root)
+                }
+            }
+        } else {
+            let first = self.parse_step()?;
+            let mut steps = Vec::new();
+            let init = match first {
+                // A filter step that begins the path IS the initial
+                // expression (e.g. `$i/...`, `db2-fn:xmlcolumn(...)//...`,
+                // `$order[pred]/...`).
+                Step::Filter { expr, predicates } if predicates.is_empty() => *expr,
+                Step::Filter { expr, predicates } => Expr::Filter { expr, predicates },
+                other => {
+                    steps.push(other);
+                    Expr::ContextItem
+                }
+            };
+            let had_steps = !steps.is_empty();
+            self.parse_path_tail_into(&mut steps)?;
+            if steps.is_empty() && !had_steps {
+                return Ok(init);
+            }
+            Ok(Expr::Path { init: Box::new(init), steps })
+        }
+    }
+
+    /// Parse `step (("/"|"//") step)*` into `steps`.
+    fn parse_relative_path_into(&mut self, steps: &mut Vec<Step>) -> PResult<()> {
+        steps.push(self.parse_step()?);
+        self.parse_path_tail_into(steps)
+    }
+
+    /// Parse `(("/"|"//") step)*` into `steps`.
+    fn parse_path_tail_into(&mut self, steps: &mut Vec<Step>) -> PResult<()> {
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("//") {
+                self.pos += 2;
+                steps.push(Step::Axis {
+                    axis: Axis::DescendantOrSelf,
+                    test: NodeTest::Kind(KindTest::AnyKind),
+                    predicates: vec![],
+                });
+                steps.push(self.parse_step()?);
+            } else if self.rest().starts_with('/') {
+                self.pos += 1;
+                steps.push(self.parse_step()?);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Parse one step: axis step or filter (primary) step, plus predicates.
+    fn parse_step(&mut self) -> PResult<Step> {
+        self.skip_ws();
+
+        // Reverse steps.
+        if self.rest().starts_with("..") {
+            self.pos += 2;
+            let predicates = self.parse_predicates()?;
+            return Ok(Step::Axis {
+                axis: Axis::Parent,
+                test: NodeTest::Kind(KindTest::AnyKind),
+                predicates,
+            });
+        }
+
+        // Attribute shorthand `@name`.
+        if self.rest().starts_with('@') {
+            self.pos += 1;
+            let test = self.parse_node_test(Axis::Attribute)?;
+            let predicates = self.parse_predicates()?;
+            return Ok(Step::Axis { axis: Axis::Attribute, test, predicates });
+        }
+
+        // Explicit axes.
+        for (kw, axis) in [
+            ("child", Axis::Child),
+            ("descendant-or-self", Axis::DescendantOrSelf),
+            ("descendant", Axis::Descendant),
+            ("attribute", Axis::Attribute),
+            ("self", Axis::SelfAxis),
+            ("parent", Axis::Parent),
+        ] {
+            let save = self.pos;
+            if self.eat_keyword(kw) {
+                if self.rest().starts_with("::") {
+                    self.pos += 2;
+                    let test = self.parse_node_test(axis)?;
+                    let predicates = self.parse_predicates()?;
+                    return Ok(Step::Axis { axis, test, predicates });
+                }
+                self.pos = save;
+            }
+        }
+
+        // Kind tests / wildcard name tests in child-axis position.
+        if self.is_kind_test_ahead() || self.peeks("*") {
+            let test = self.parse_node_test(Axis::Child)?;
+            let predicates = self.parse_predicates()?;
+            return Ok(Step::Axis { axis: Axis::Child, test, predicates });
+        }
+
+        // Computed constructors in step (operand) position: `element name {..}`
+        // beats the path step over an element *named* `element`.
+        for kw in ["element", "attribute", "text", "document"] {
+            if self.peek_keyword(kw) && self.computed_constructor_ahead(kw) {
+                let primary = self.parse_computed_constructor(kw)?;
+                let predicates = self.parse_predicates()?;
+                return Ok(Step::Filter { expr: Box::new(primary), predicates });
+            }
+        }
+
+        // Name in step position: function call (primary) if followed by `(`,
+        // else a child-axis name test.
+        self.skip_ws();
+        if matches!(self.peek(), Some(c) if c.is_alphabetic() || c == '_') {
+            let save = self.pos;
+            let q = self.parse_qname()?;
+            // `ns:*` wildcard?
+            if self.rest().starts_with(":*") && q.prefix.is_none() {
+                self.pos += 2;
+                let uri = self
+                    .ctx
+                    .resolve_prefix(&q.local)
+                    .ok_or_else(|| self.err(format!("unbound namespace prefix {:?}", q.local)))?
+                    .to_string();
+                let test = NodeTest::Name(NameTest {
+                    ns: NsTest::Uri(Arc::from(uri.as_str())),
+                    local: LocalTest::Any,
+                });
+                let predicates = self.parse_predicates()?;
+                return Ok(Step::Axis { axis: Axis::Child, test, predicates });
+            }
+            if self.rest().starts_with('(') && !kind_test_name(&q) {
+                // function call → filter step
+                self.pos = save;
+                let primary = self.parse_primary()?;
+                let predicates = self.parse_predicates()?;
+                return Ok(Step::Filter { expr: Box::new(primary), predicates });
+            }
+            let test = NodeTest::Name(self.ctx.element_name_test(&q).map_err(|m| self.err(m))?);
+            let predicates = self.parse_predicates()?;
+            return Ok(Step::Axis { axis: Axis::Child, test, predicates });
+        }
+
+        // Otherwise: primary expression (literal, variable, paren, ...).
+        let primary = self.parse_primary()?;
+        let predicates = self.parse_predicates()?;
+        Ok(Step::Filter { expr: Box::new(primary), predicates })
+    }
+
+    fn parse_predicates(&mut self) -> PResult<Vec<Expr>> {
+        let mut preds = Vec::new();
+        while self.eat("[") {
+            preds.push(self.parse_expr()?);
+            self.expect("]")?;
+        }
+        Ok(preds)
+    }
+
+    fn is_kind_test_ahead(&mut self) -> bool {
+        let save = self.pos;
+        self.skip_ws();
+        let ok = (|| {
+            let q = self.parse_qname().ok()?;
+            if q.prefix.is_some() {
+                return None;
+            }
+            if kind_test_name(&q) && self.rest().starts_with('(') {
+                Some(())
+            } else {
+                None
+            }
+        })()
+        .is_some();
+        self.pos = save;
+        ok
+    }
+
+    /// Parse a node test for the given axis (affects default namespace for
+    /// unprefixed names and principal node kind of bare `*`).
+    fn parse_node_test(&mut self, axis: Axis) -> PResult<NodeTest> {
+        self.skip_ws();
+        // `*` | `*:local`
+        if self.rest().starts_with('*') {
+            self.pos += 1;
+            if self.rest().starts_with(':') {
+                self.pos += 1;
+                let local = self.parse_ncname_raw()?;
+                return Ok(NodeTest::Name(NameTest { ns: NsTest::Any, local: LocalTest::Name(local) }));
+            }
+            return Ok(NodeTest::Name(NameTest::any()));
+        }
+        let q = self.parse_qname()?;
+        // `ns:*`
+        if q.prefix.is_none() && self.rest().starts_with(":*") {
+            self.pos += 2;
+            let uri = self
+                .ctx
+                .resolve_prefix(&q.local)
+                .ok_or_else(|| self.err(format!("unbound namespace prefix {:?}", q.local)))?
+                .to_string();
+            return Ok(NodeTest::Name(NameTest {
+                ns: NsTest::Uri(Arc::from(uri.as_str())),
+                local: LocalTest::Any,
+            }));
+        }
+        // Kind tests.
+        if q.prefix.is_none() && kind_test_name(&q) && self.rest().starts_with('(') {
+            return self.parse_kind_test_body(&q.local);
+        }
+        let test = if axis.principal_attribute() {
+            self.ctx.attribute_name_test(&q).map_err(|m| self.err(m))?
+        } else {
+            self.ctx.element_name_test(&q).map_err(|m| self.err(m))?
+        };
+        Ok(NodeTest::Name(test))
+    }
+
+    fn parse_kind_test_body(&mut self, name: &str) -> PResult<NodeTest> {
+        self.expect("(")?;
+        let kt = match name {
+            "node" => {
+                self.expect(")")?;
+                KindTest::AnyKind
+            }
+            "text" => {
+                self.expect(")")?;
+                KindTest::Text
+            }
+            "comment" => {
+                self.expect(")")?;
+                KindTest::Comment
+            }
+            "document-node" => {
+                // Optional inner element(...) test ignored structurally.
+                self.skip_ws();
+                if !self.rest().starts_with(')') {
+                    return Err(self.err("document-node() inner tests are not supported"));
+                }
+                self.expect(")")?;
+                KindTest::Document
+            }
+            "processing-instruction" => {
+                self.skip_ws();
+                let target = if self.rest().starts_with(')') {
+                    None
+                } else if self.rest().starts_with(['"', '\'']) {
+                    Some(Arc::from(self.parse_string_literal()?.as_str()))
+                } else {
+                    Some(self.parse_ncname_raw()?)
+                };
+                self.expect(")")?;
+                KindTest::Pi(target)
+            }
+            "element" | "attribute" => {
+                self.skip_ws();
+                let inner = if self.rest().starts_with(')') {
+                    None
+                } else if self.rest().starts_with('*') {
+                    self.pos += 1;
+                    Some(NameTest::any())
+                } else {
+                    let q = self.parse_qname()?;
+                    let t = if name == "attribute" {
+                        self.ctx.attribute_name_test(&q).map_err(|m| self.err(m))?
+                    } else {
+                        self.ctx.element_name_test(&q).map_err(|m| self.err(m))?
+                    };
+                    Some(t)
+                };
+                self.expect(")")?;
+                if name == "element" {
+                    KindTest::Element(inner)
+                } else {
+                    KindTest::Attribute(inner)
+                }
+            }
+            _ => return Err(self.err(format!("unknown kind test {name}()"))),
+        };
+        Ok(NodeTest::Kind(kt))
+    }
+
+    // --------------------------------------------------------------- primary
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        self.skip_ws();
+        match self.peek() {
+            Some('$') => {
+                let name = self.parse_variable_name()?;
+                Ok(Expr::VarRef(name))
+            }
+            Some('(') => {
+                self.bump();
+                self.skip_ws();
+                if self.rest().starts_with(')') {
+                    self.bump();
+                    return Ok(Expr::Sequence(vec![]));
+                }
+                let inner = self.parse_expr()?;
+                self.expect(")")?;
+                Ok(Expr::Paren(Box::new(inner)))
+            }
+            Some('.') if !self.rest()[1..].starts_with(|c: char| c.is_ascii_digit()) => {
+                self.bump();
+                Ok(Expr::ContextItem)
+            }
+            Some('"') | Some('\'') => {
+                let s = self.parse_string_literal()?;
+                Ok(Expr::Literal(AtomicValue::String(s)))
+            }
+            Some(c) if c.is_ascii_digit() || c == '.' => self.parse_numeric_literal(),
+            Some('<') => self.parse_direct_constructor(),
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // Computed constructors.
+                for kw in ["element", "attribute", "text", "document"] {
+                    if self.peek_keyword(kw) && self.computed_constructor_ahead(kw) {
+                        return self.parse_computed_constructor(kw);
+                    }
+                }
+                let q = self.parse_qname()?;
+                self.skip_ws();
+                if self.rest().starts_with('(') {
+                    let name = self.ctx.resolve_function_qname(&q).map_err(|m| self.err(m))?;
+                    self.expect("(")?;
+                    let mut args = Vec::new();
+                    self.skip_ws();
+                    if !self.rest().starts_with(')') {
+                        loop {
+                            args.push(self.parse_expr_single()?);
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(")")?;
+                    Ok(Expr::FunctionCall { name, args })
+                } else {
+                    Err(self.err(format!("unexpected name {q} in primary position")))
+                }
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+
+    /// `element {`/`element name {` etc. — distinguishes computed
+    /// constructors from paths over elements named `element`.
+    fn computed_constructor_ahead(&mut self, kw: &str) -> bool {
+        let save = self.pos;
+        let ok = (|| {
+            if !self.eat_keyword(kw) {
+                return false;
+            }
+            if self.peeks("{") {
+                return kw == "text" || kw == "document";
+            }
+            // name then `{`
+            if self.parse_qname().is_err() {
+                return false;
+            }
+            self.peeks("{")
+        })();
+        self.pos = save;
+        ok
+    }
+
+    fn parse_computed_constructor(&mut self, kw: &str) -> PResult<Expr> {
+        self.expect_keyword(kw)?;
+        match kw {
+            "text" => {
+                self.expect("{")?;
+                self.skip_ws();
+                let content = if self.rest().starts_with('}') {
+                    None
+                } else {
+                    Some(Box::new(self.parse_expr()?))
+                };
+                self.expect("}")?;
+                Ok(Expr::ComputedText(content))
+            }
+            "document" => {
+                self.expect("{")?;
+                self.skip_ws();
+                let content = if self.rest().starts_with('}') {
+                    None
+                } else {
+                    Some(Box::new(self.parse_expr()?))
+                };
+                self.expect("}")?;
+                Ok(Expr::ComputedDocument(content))
+            }
+            "element" | "attribute" => {
+                let q = self.parse_qname()?;
+                let name = if kw == "element" {
+                    self.ctx.resolve_element_qname(&q).map_err(|m| self.err(m))?
+                } else {
+                    self.ctx.resolve_attribute_qname(&q).map_err(|m| self.err(m))?
+                };
+                self.expect("{")?;
+                self.skip_ws();
+                let content = if self.rest().starts_with('}') {
+                    None
+                } else {
+                    Some(Box::new(self.parse_expr()?))
+                };
+                self.expect("}")?;
+                if kw == "element" {
+                    Ok(Expr::ComputedElement { name, content })
+                } else {
+                    Ok(Expr::ComputedAttribute { name, content })
+                }
+            }
+            _ => unreachable!("computed constructor keywords are fixed"),
+        }
+    }
+
+    fn parse_numeric_literal(&mut self) -> PResult<Expr> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => {
+                    self.bump();
+                }
+                '.' if !saw_dot && !saw_exp => {
+                    saw_dot = true;
+                    self.bump();
+                }
+                'e' | 'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.bump();
+                    if matches!(self.peek(), Some('+' | '-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if text.is_empty() || text == "." {
+            return Err(ParseError { offset: start, message: "expected a number".into() });
+        }
+        let lit = if saw_exp {
+            AtomicValue::Double(text.parse().map_err(|_| ParseError {
+                offset: start,
+                message: format!("invalid double literal {text:?}"),
+            })?)
+        } else if saw_dot {
+            AtomicValue::decimal_from_str(text).map_err(|e| ParseError {
+                offset: start,
+                message: e.message,
+            })?
+        } else {
+            AtomicValue::Integer(text.parse().map_err(|_| ParseError {
+                offset: start,
+                message: format!("invalid integer literal {text:?}"),
+            })?)
+        };
+        Ok(Expr::Literal(lit))
+    }
+
+    // ---------------------------------------------------- direct constructor
+
+    fn parse_direct_constructor(&mut self) -> PResult<Expr> {
+        self.expect("<")?;
+        let q = self.parse_qname()?;
+
+        // Collect attributes lexically first (xmlns declarations affect the
+        // element's own name resolution).
+        let mut raw_attrs: Vec<(QName, Vec<ConstructorContent>)> = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("/>") || self.rest().starts_with('>') {
+                break;
+            }
+            let aq = self.parse_qname()?;
+            self.expect("=")?;
+            let value = self.parse_attr_value_template()?;
+            raw_attrs.push((aq, value));
+        }
+
+        // Apply namespace declarations to a scoped static context.
+        let saved_ns = self.ctx.namespaces.len();
+        let saved_default = self.ctx.default_element_ns.clone();
+        for (aq, value) in &raw_attrs {
+            let literal = match value.as_slice() {
+                [] => Some(String::new()),
+                [ConstructorContent::Text(t)] => Some(t.clone()),
+                _ => None,
+            };
+            match (&aq.prefix, &*aq.local) {
+                (None, "xmlns") => {
+                    let uri = literal.ok_or_else(|| {
+                        self.err("namespace declaration value must be a literal")
+                    })?;
+                    self.ctx.default_element_ns = if uri.is_empty() { None } else { Some(uri) };
+                }
+                (Some(p), local) if &**p == "xmlns" => {
+                    let uri = literal.ok_or_else(|| {
+                        self.err("namespace declaration value must be a literal")
+                    })?;
+                    self.ctx.namespaces.push((local.to_string(), uri));
+                }
+                _ => {}
+            }
+        }
+
+        let name = self
+            .ctx
+            .resolve_element_qname(&q)
+            .map_err(|m| self.err(m))?;
+        let mut attributes = Vec::new();
+        for (aq, value) in raw_attrs {
+            let is_nsdecl = matches!((&aq.prefix, &*aq.local), (None, "xmlns"))
+                || aq.prefix.as_deref() == Some("xmlns");
+            if is_nsdecl {
+                continue;
+            }
+            let aname = self.ctx.resolve_attribute_qname(&aq).map_err(|m| self.err(m))?;
+            attributes.push((aname, value));
+        }
+
+        if self.rest().starts_with("/>") {
+            self.pos += 2;
+            self.ctx.namespaces.truncate(saved_ns);
+            self.ctx.default_element_ns = saved_default;
+            return Ok(Expr::DirectElement(DirectElement { name, attributes, content: vec![] }));
+        }
+        self.expect(">")?;
+
+        let mut content = Vec::new();
+        loop {
+            if self.rest().starts_with("</") {
+                break;
+            } else if self.rest().starts_with("<!--") {
+                self.pos += 4;
+                let end = self
+                    .rest()
+                    .find("-->")
+                    .ok_or_else(|| self.err("unterminated comment in constructor"))?;
+                content.push(ConstructorContent::Comment(self.rest()[..end].to_string()));
+                self.pos += end + 3;
+            } else if self.rest().starts_with('<') {
+                match self.parse_direct_constructor()? {
+                    Expr::DirectElement(e) => content.push(ConstructorContent::Element(e)),
+                    other => {
+                        return Err(self.err(format!(
+                            "unexpected nested constructor result {other:?}"
+                        )))
+                    }
+                }
+            } else if self.rest().starts_with('{') {
+                if self.rest().starts_with("{{") {
+                    self.pos += 2;
+                    content.push(ConstructorContent::Text("{".into()));
+                } else {
+                    self.pos += 1;
+                    let e = self.parse_expr()?;
+                    self.expect("}")?;
+                    content.push(ConstructorContent::Expr(e));
+                }
+            } else if self.rest().starts_with("}}") {
+                self.pos += 2;
+                content.push(ConstructorContent::Text("}".into()));
+            } else if self.rest().starts_with('}') {
+                return Err(self.err("unescaped '}' in constructor content"));
+            } else if self.at_end() {
+                return Err(self.err(format!("unterminated constructor <{q}>")));
+            } else {
+                // Literal text up to the next delimiter.
+                let mut text = String::new();
+                while let Some(c) = self.peek() {
+                    if matches!(c, '<' | '{' | '}') {
+                        break;
+                    }
+                    if c == '&' {
+                        text.push(self.parse_xml_reference()?);
+                    } else {
+                        text.push(c);
+                        self.bump();
+                    }
+                }
+                // Default boundary-space policy: whitespace-only text
+                // between tags and enclosed expressions is stripped.
+                if !text.trim().is_empty() {
+                    content.push(ConstructorContent::Text(text));
+                }
+            }
+        }
+        self.expect("</")?;
+        let close = self.parse_qname()?;
+        if close != q {
+            return Err(self.err(format!("mismatched constructor: <{q}> closed by </{close}>")));
+        }
+        self.skip_ws();
+        self.expect(">")?;
+        self.ctx.namespaces.truncate(saved_ns);
+        self.ctx.default_element_ns = saved_default;
+        Ok(Expr::DirectElement(DirectElement { name, attributes, content }))
+    }
+
+    fn parse_xml_reference(&mut self) -> PResult<char> {
+        self.expect("&")?;
+        let end = self
+            .rest()
+            .find(';')
+            .ok_or_else(|| self.err("unterminated entity reference"))?;
+        let name = &self.rest()[..end];
+        let c = match name {
+            "lt" => '<',
+            "gt" => '>',
+            "amp" => '&',
+            "apos" => '\'',
+            "quot" => '"',
+            _ if name.starts_with("#x") => char::from_u32(
+                u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| self.err("invalid character reference"))?,
+            )
+            .ok_or_else(|| self.err("invalid code point"))?,
+            _ if name.starts_with('#') => char::from_u32(
+                name[1..].parse().map_err(|_| self.err("invalid character reference"))?,
+            )
+            .ok_or_else(|| self.err("invalid code point"))?,
+            _ => return Err(self.err(format!("unknown entity &{name};"))),
+        };
+        self.pos += end + 1;
+        Ok(c)
+    }
+
+    /// Attribute value template: `"text{expr}more"`.
+    fn parse_attr_value_template(&mut self) -> PResult<Vec<ConstructorContent>> {
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.err("expected a quoted attribute value")),
+        };
+        self.bump();
+        let mut parts = Vec::new();
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(c) if c == quote => {
+                    self.bump();
+                    if self.peek() == Some(quote) {
+                        text.push(quote);
+                        self.bump();
+                        continue;
+                    }
+                    if !text.is_empty() {
+                        parts.push(ConstructorContent::Text(text));
+                    }
+                    return Ok(parts);
+                }
+                Some('{') => {
+                    if self.rest().starts_with("{{") {
+                        text.push('{');
+                        self.pos += 2;
+                        continue;
+                    }
+                    if !text.is_empty() {
+                        parts.push(ConstructorContent::Text(std::mem::take(&mut text)));
+                    }
+                    self.pos += 1;
+                    let e = self.parse_expr()?;
+                    self.expect("}")?;
+                    parts.push(ConstructorContent::Expr(e));
+                }
+                Some('}') => {
+                    if self.rest().starts_with("}}") {
+                        text.push('}');
+                        self.pos += 2;
+                    } else {
+                        return Err(self.err("unescaped '}' in attribute value"));
+                    }
+                }
+                Some('&') => text.push(self.parse_xml_reference()?),
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- types
+
+    fn parse_single_type(&mut self) -> PResult<(AtomicType, bool)> {
+        let q = self.parse_qname()?;
+        let name = self.ctx.resolve_function_qname(&q).map_err(|m| self.err(m))?;
+        let ty = atomic_type_by_name(&name)
+            .ok_or_else(|| self.err(format!("unknown atomic type {name}")))?;
+        let optional = self.eat("?");
+        Ok((ty, optional))
+    }
+
+    fn parse_sequence_type(&mut self) -> PResult<SequenceType> {
+        self.skip_ws();
+        // empty-sequence()
+        if self.peek_keyword("empty-sequence") {
+            self.expect_keyword("empty-sequence")?;
+            self.expect("(")?;
+            self.expect(")")?;
+            return Ok(SequenceType { item: None, occurrence: Occurrence::One });
+        }
+        let item = if self.peek_keyword("item") && self.keyword_then("item", "(") {
+            self.expect_keyword("item")?;
+            self.expect("(")?;
+            self.expect(")")?;
+            SeqTypeItem::AnyItem
+        } else if self.is_kind_test_ahead() {
+            let q = self.parse_qname()?;
+            match self.parse_kind_test_body(&q.local)? {
+                NodeTest::Kind(k) => SeqTypeItem::Kind(k),
+                NodeTest::Name(_) => {
+                    return Err(self.err("expected a kind test in sequence type"))
+                }
+            }
+        } else {
+            let q = self.parse_qname()?;
+            let name = self.ctx.resolve_function_qname(&q).map_err(|m| self.err(m))?;
+            let ty = atomic_type_by_name(&name)
+                .ok_or_else(|| self.err(format!("unknown type {name} in sequence type")))?;
+            SeqTypeItem::Atomic(ty)
+        };
+        let occurrence = if self.eat("?") {
+            Occurrence::Optional
+        } else if self.eat("*") {
+            Occurrence::ZeroOrMore
+        } else if self.eat("+") {
+            Occurrence::OneOrMore
+        } else {
+            Occurrence::One
+        };
+        Ok(SequenceType { item: Some(item), occurrence })
+    }
+}
+
+/// Map an expanded type name in the `xs`/`xdt` namespaces to an
+/// [`AtomicType`].
+pub fn atomic_type_by_name(name: &ExpandedName) -> Option<AtomicType> {
+    let ns = name.ns.as_deref()?;
+    match (ns, &*name.local) {
+        (XS_NS, "string") => Some(AtomicType::String),
+        (XS_NS, "double") => Some(AtomicType::Double),
+        (XS_NS, "float") => Some(AtomicType::Double),
+        (XS_NS, "integer") | (XS_NS, "int") | (XS_NS, "long") => Some(AtomicType::Integer),
+        (XS_NS, "decimal") => Some(AtomicType::Decimal),
+        (XS_NS, "boolean") => Some(AtomicType::Boolean),
+        (XS_NS, "date") => Some(AtomicType::Date),
+        (XS_NS, "dateTime") => Some(AtomicType::DateTime),
+        (XS_NS, "anyURI") => Some(AtomicType::AnyUri),
+        (XS_NS, "untypedAtomic") | (XDT_NS, "untypedAtomic") => Some(AtomicType::UntypedAtomic),
+        _ => None,
+    }
+}
+
+/// Names that open kind tests rather than function calls in step position.
+fn kind_test_name(q: &QName) -> bool {
+    q.prefix.is_none()
+        && matches!(
+            &*q.local,
+            "node"
+                | "text"
+                | "comment"
+                | "processing-instruction"
+                | "document-node"
+                | "element"
+                | "attribute"
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Query {
+        parse_query(s).unwrap_or_else(|e| panic!("{e} while parsing {s:?}"))
+    }
+
+    #[test]
+    fn parses_query_1() {
+        let q = parse(
+            "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>100] return $i",
+        );
+        match &q.body {
+            Expr::Flwor(f) => {
+                assert_eq!(f.clauses.len(), 1);
+                match &f.clauses[0] {
+                    FlworClause::For { var, expr, .. } => {
+                        assert_eq!(var.local.as_ref(), "i");
+                        match expr {
+                            Expr::Path { init, steps } => {
+                                assert!(matches!(&**init, Expr::FunctionCall { name, .. }
+                                    if name.local.as_ref() == "xmlcolumn"));
+                                assert_eq!(steps.len(), 2); // desc-or-self::node(), order[...]
+                            }
+                            other => panic!("expected path, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected for clause, got {other:?}"),
+                }
+            }
+            other => panic!("expected FLWOR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_2_wildcard_attribute() {
+        let q = parse("db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>100]");
+        // Find the @* test inside the predicate.
+        let s = format!("{:?}", q.body);
+        assert!(s.contains("Attribute"), "expected attribute axis in {s}");
+    }
+
+    #[test]
+    fn parses_value_comparisons_and_casts() {
+        let q = parse(
+            "for $i in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")/order \
+             for $j in db2-fn:xmlcolumn(\"CUSTOMER.CDOC\")/customer \
+             where $i/custid/xs:double(.) = $j/id/xs:double(.) return $i",
+        );
+        let s = format!("{:?}", q.body);
+        assert!(s.contains("GeneralCmp"));
+        assert!(s.contains("xmlcolumn"));
+        // xs:double(.) appears as a filter step with a function call
+        assert!(s.contains("double"));
+    }
+
+    #[test]
+    fn parses_let_and_where() {
+        let q = parse(
+            "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+             let $price := $ord/lineitem/@price \
+             where $price > 100 \
+             return $ord/lineitem",
+        );
+        match &q.body {
+            Expr::Flwor(f) => {
+                assert!(matches!(f.clauses[0], FlworClause::For { .. }));
+                assert!(matches!(f.clauses[1], FlworClause::Let { .. }));
+                assert!(matches!(f.clauses[2], FlworClause::Where(_)));
+            }
+            other => panic!("expected FLWOR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_direct_constructor_with_enclosed_expr() {
+        let q = parse("for $ord in /order return <result>{$ord/lineitem[@price > 100]}</result>");
+        let s = format!("{:?}", q.body);
+        assert!(s.contains("DirectElement"));
+        assert!(s.contains("result"));
+    }
+
+    #[test]
+    fn parses_nested_constructors_query_26() {
+        let q = parse(
+            "let $view := for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem \
+               return <item> {$i/@quantity, $i/product/@price} \
+                        <pid> {$i/product/id/data(.)} </pid> \
+                      </item> \
+             for $j in $view where $j/pid = '17' return $j/@price",
+        );
+        let s = format!("{:?}", q.body);
+        assert!(s.contains("DirectElement"));
+        assert!(s.contains("pid"));
+    }
+
+    #[test]
+    fn parses_namespace_prolog_query_28() {
+        let q = parse(
+            "declare default element namespace \"http://ournamespaces.com/order\"; \
+             declare namespace c=\"http://ournamespaces.com/customer\"; \
+             for $ord in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")/order[lineitem/@price > 1000] \
+             for $cust in db2-fn:xmlcolumn(\"CUSTOMER.CDOC\")/c:customer[c:nation = 1] \
+             where $ord/custid = $cust/id \
+             return $ord",
+        );
+        assert_eq!(
+            q.prolog.default_element_ns.as_deref(),
+            Some("http://ournamespaces.com/order")
+        );
+        let s = format!("{:?}", q.body);
+        // The c:customer test resolved to the customer namespace URI:
+        assert!(s.contains("ournamespaces.com/customer"));
+        // Unprefixed `order` resolved to the default element namespace:
+        assert!(s.contains("ournamespaces.com/order"));
+        // ...but the unprefixed @price attribute is in NO namespace:
+        assert!(s.contains("NoNamespace"));
+    }
+
+    #[test]
+    fn parses_text_step_query_29() {
+        let q = parse(
+            "for $ord in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")/order[lineitem/price/text() = \"99.50\"] return $ord",
+        );
+        let s = format!("{:?}", q.body);
+        assert!(s.contains("Text"));
+    }
+
+    #[test]
+    fn parses_between_value_comparison() {
+        let q = parse("/order/lineitem[price gt 100 and price lt 200]");
+        let s = format!("{:?}", q.body);
+        assert!(s.contains("ValueCmp"));
+        assert!(s.contains("And"));
+    }
+
+    #[test]
+    fn parses_self_axis_between() {
+        let q = parse("/order/lineitem/price/data()[. > 100 and . < 200]");
+        let s = format!("{:?}", q.body);
+        assert!(s.contains("ContextItem"));
+    }
+
+    #[test]
+    fn parses_quantified() {
+        let q = parse("some $p in /order//@price satisfies $p > 100");
+        assert!(matches!(q.body, Expr::Quantified { kind: QuantKind::Some, .. }));
+    }
+
+    #[test]
+    fn parses_if_then_else() {
+        let q = parse("if (/order/@rush) then 'fast' else 'slow'");
+        assert!(matches!(q.body, Expr::If { .. }));
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let q = parse("1 + 2 * 3");
+        match q.body {
+            Expr::Arith(ArithOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Arith(ArithOp::Mul, _, _)));
+            }
+            other => panic!("expected Add at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_union_except() {
+        let q = parse("$view/@price except /order/lineitem/product/@price");
+        assert!(matches!(q.body, Expr::Except(_, _)));
+        let q = parse("$a union $b");
+        assert!(matches!(q.body, Expr::Union(_, _)));
+        let q = parse("$a | $b");
+        assert!(matches!(q.body, Expr::Union(_, _)));
+    }
+
+    #[test]
+    fn parses_node_identity() {
+        let q = parse("<e>5</e> is <e>5</e>");
+        assert!(matches!(q.body, Expr::NodeCmp(NodeCmpOp::Is, _, _)));
+    }
+
+    #[test]
+    fn parses_treat_as_document_node() {
+        let q = parse("$order treat as document-node()");
+        match q.body {
+            Expr::TreatAs(_, st) => {
+                assert_eq!(st.item, Some(SeqTypeItem::Kind(KindTest::Document)));
+            }
+            other => panic!("expected treat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cast_and_castable() {
+        let q = parse("$x cast as xs:double");
+        assert!(matches!(q.body, Expr::CastAs { target: AtomicType::Double, .. }));
+        let q = parse("$x castable as xs:date?");
+        assert!(matches!(
+            q.body,
+            Expr::CastableAs { target: AtomicType::Date, optional: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_kind_tests_and_wildcards() {
+        parse("//node()");
+        parse("/descendant-or-self::node()/attribute::*");
+        parse("//*:nation");
+        parse("//@*");
+        parse("/a/*/b");
+        parse("//comment()");
+        parse("//processing-instruction('t')");
+    }
+
+    #[test]
+    fn parses_numeric_literals() {
+        assert!(matches!(
+            parse("42").body,
+            Expr::Literal(AtomicValue::Integer(42))
+        ));
+        assert!(matches!(parse("99.5").body, Expr::Literal(AtomicValue::Decimal(_))));
+        assert!(matches!(parse("1e3").body, Expr::Literal(AtomicValue::Double(_))));
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert!(matches!(
+            parse("\"a\"\"b\"").body,
+            Expr::Literal(AtomicValue::String(s)) if s == "a\"b"
+        ));
+    }
+
+    #[test]
+    fn parses_xquery_comments() {
+        parse("(: outer (: nested :) still :) 1 + 1");
+    }
+
+    #[test]
+    fn operator_keywords_usable_as_element_names() {
+        // `div`, `and`, `or` as element names in step position.
+        parse("/div/and/or");
+        parse("/for/let/return");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("for $x in").is_err());
+        assert!(parse_query("1 +").is_err());
+        assert!(parse_query("<a>{1</a>").is_err());
+        assert!(parse_query("$x eq").is_err());
+        assert!(parse_query("//").is_err());
+        assert!(parse_query("1 2").is_err());
+    }
+
+    #[test]
+    fn parses_paren_path_composition() {
+        // Query 24 shape: a FLWOR as the input of a path.
+        let q = parse(
+            "for $ord in (for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+              return <my_order>{$o/*}</my_order>) \
+             return $ord/my_order",
+        );
+        let s = format!("{:?}", q.body);
+        assert!(s.contains("my_order"));
+    }
+
+    #[test]
+    fn parses_functions_with_multiple_args() {
+        parse("string-join(/order/id/data(.), ' ')");
+        parse("concat('a', 'b', 'c')");
+        parse("contains($x, 'y')");
+    }
+
+    #[test]
+    fn absolute_path_inside_predicate() {
+        // Query 25: $order[//customer/name]
+        let q = parse("$order[//customer/name]");
+        let s = format!("{:?}", q.body);
+        assert!(s.contains("Root"));
+    }
+
+    #[test]
+    fn double_slash_inside_path() {
+        let q = parse("$order//lineitem/@price");
+        match &q.body {
+            Expr::Path { steps, .. } => assert_eq!(steps.len(), 3),
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attr_value_template() {
+        let q = parse("<e a=\"x{1+1}y\"/>");
+        match q.body {
+            Expr::DirectElement(ref d) => {
+                assert_eq!(d.attributes.len(), 1);
+                assert_eq!(d.attributes[0].1.len(), 3);
+            }
+            ref other => panic!("expected constructor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constructor_namespace_declarations_scope() {
+        let q = parse("<o xmlns=\"http://x\"><i/></o>");
+        match q.body {
+            Expr::DirectElement(ref d) => {
+                assert_eq!(d.name.ns.as_deref(), Some("http://x"));
+                match &d.content[0] {
+                    ConstructorContent::Element(inner) => {
+                        assert_eq!(inner.name.ns.as_deref(), Some("http://x"));
+                    }
+                    other => panic!("expected nested element, got {other:?}"),
+                }
+            }
+            ref other => panic!("expected constructor, got {other:?}"),
+        }
+        // The declaration does not leak past the constructor.
+        let q2 = parse("(<o xmlns=\"http://x\"/>, /o)");
+        let s = format!("{:?}", q2.body);
+        assert!(s.contains("NoNamespace"), "{s}");
+    }
+
+    #[test]
+    fn parses_order_by() {
+        let q = parse("for $x in /a order by $x/@k descending empty greatest return $x");
+        match &q.body {
+            Expr::Flwor(f) => {
+                let ob = f.clauses.iter().find_map(|c| match c {
+                    FlworClause::OrderBy(s) => Some(s),
+                    _ => None,
+                });
+                let specs = ob.expect("order by clause");
+                assert!(specs[0].descending);
+                assert!(!specs[0].empty_least);
+            }
+            other => panic!("expected FLWOR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_computed_constructors() {
+        assert!(matches!(
+            parse("element result { 1 }").body,
+            Expr::ComputedElement { .. }
+        ));
+        assert!(matches!(
+            parse("attribute price { 99.5 }").body,
+            Expr::ComputedAttribute { .. }
+        ));
+        assert!(matches!(parse("text { 'x' }").body, Expr::ComputedText(_)));
+        assert!(matches!(parse("document { <a/> }").body, Expr::ComputedDocument(_)));
+        // But an element *named* element still works as a path step:
+        parse("/element/child");
+    }
+}

@@ -1,0 +1,419 @@
+//! The `XMLPATTERN` index-DDL grammar of Section 2.1.
+//!
+//! A pattern is a linear path — descendant axes and wildcards are allowed,
+//! **predicates are not** ("The path expression may contain descendant axes
+//! and wildcards, but it cannot contain any predicates"). Patterns are
+//! normalized into a sequence of simple steps over the five pattern axes;
+//! a `//` separator becomes an explicit `descendant-or-self::node()` step.
+
+use std::fmt;
+
+use crate::ast::{Axis, KindTest, NodeTest};
+use crate::parser::{ParseError, Parser, StaticContext};
+
+/// One normalized pattern step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PatternStep {
+    /// The axis (`Parent` never occurs in patterns).
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+}
+
+/// A parsed, normalized XMLPATTERN.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    /// Normalized steps, applied from the document node.
+    pub steps: Vec<PatternStep>,
+    /// The original source text, for diagnostics and catalog display.
+    pub source: String,
+}
+
+/// Re-export: pattern axes are ordinary axes (minus `parent`).
+pub use crate::ast::Axis as PatternAxis;
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+impl Pattern {
+    /// True if any step uses the attribute axis as its final step — such
+    /// patterns index attribute nodes.
+    pub fn ends_on_attribute(&self) -> bool {
+        matches!(
+            self.steps.last(),
+            Some(PatternStep { axis: Axis::Attribute, .. })
+        )
+    }
+
+    /// True if the final step is a `text()` kind test. Section 3.8: `/text()`
+    /// steps in query and index definition must align.
+    pub fn ends_on_text(&self) -> bool {
+        matches!(
+            self.steps.last(),
+            Some(PatternStep { test: NodeTest::Kind(KindTest::Text), .. })
+        )
+    }
+}
+
+/// Parse an XMLPATTERN string (with optional leading namespace
+/// declarations).
+pub fn parse_pattern(input: &str) -> Result<Pattern, ParseError> {
+    let mut p = Parser { input, pos: 0, ctx: StaticContext::default() };
+    // Optional namespace declarations, reusing the prolog syntax.
+    parse_pattern_decls(&mut p)?;
+    let mut steps = Vec::new();
+    loop {
+        p.skip_ws();
+        let rest = &p.input[p.pos..];
+        if rest.starts_with("//") {
+            p.pos += 2;
+            steps.push(PatternStep {
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::Kind(KindTest::AnyKind),
+            });
+        } else if rest.starts_with('/') {
+            p.pos += 1;
+        } else if steps.is_empty() {
+            return Err(p.err("pattern must start with '/' or '//'"));
+        } else {
+            break;
+        }
+        steps.push(parse_pattern_step(&mut p)?);
+        p.skip_ws();
+        if p.at_end() {
+            break;
+        }
+    }
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input in XMLPATTERN (predicates are not allowed)"));
+    }
+    Ok(Pattern { steps, source: input.trim().to_string() })
+}
+
+fn parse_pattern_decls(p: &mut Parser<'_>) -> Result<(), ParseError> {
+    loop {
+        p.skip_ws();
+        let save = p.pos;
+        if !eat_word(p, "declare") {
+            return Ok(());
+        }
+        if eat_word(p, "default") {
+            if !(eat_word(p, "element") && eat_word(p, "namespace")) {
+                return Err(p.err("expected 'element namespace' after 'default'"));
+            }
+            let uri = p.parse_string_literal()?;
+            expect_char(p, ';')?;
+            p.ctx.default_element_ns = Some(uri);
+        } else if eat_word(p, "namespace") {
+            p.skip_ws();
+            let prefix = parse_word(p)?;
+            expect_char(p, '=')?;
+            let uri = p.parse_string_literal()?;
+            expect_char(p, ';')?;
+            p.ctx.namespaces.push((prefix, uri));
+        } else {
+            p.pos = save;
+            return Ok(());
+        }
+    }
+}
+
+fn eat_word(p: &mut Parser<'_>, w: &str) -> bool {
+    p.skip_ws();
+    let rest = &p.input[p.pos..];
+    if let Some(tail) = rest.strip_prefix(w) {
+        let after = tail.chars().next();
+        if after.is_none_or(|c| !(c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))) {
+            p.pos += w.len();
+            return true;
+        }
+    }
+    false
+}
+
+fn parse_word(p: &mut Parser<'_>) -> Result<String, ParseError> {
+    p.skip_ws();
+    let start = p.pos;
+    let rest = &p.input[p.pos..];
+    let len = rest
+        .char_indices()
+        .take_while(|(i, c)| {
+            if *i == 0 {
+                c.is_alphabetic() || *c == '_'
+            } else {
+                c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+            }
+        })
+        .count();
+    if len == 0 {
+        return Err(p.err("expected a name"));
+    }
+    let end = rest
+        .char_indices()
+        .nth(len)
+        .map(|(i, _)| start + i)
+        .unwrap_or(p.input.len());
+    p.pos = end;
+    Ok(p.input[start..end].to_string())
+}
+
+fn expect_char(p: &mut Parser<'_>, c: char) -> Result<(), ParseError> {
+    p.skip_ws();
+    if p.input[p.pos..].starts_with(c) {
+        p.pos += c.len_utf8();
+        Ok(())
+    } else {
+        Err(p.err(format!("expected {c:?}")))
+    }
+}
+
+fn parse_pattern_step(p: &mut Parser<'_>) -> Result<PatternStep, ParseError> {
+    p.skip_ws();
+    let rest = &p.input[p.pos..];
+
+    // `@` shorthand.
+    if rest.starts_with('@') {
+        p.pos += 1;
+        let test = parse_pattern_test(p, Axis::Attribute)?;
+        return Ok(PatternStep { axis: Axis::Attribute, test });
+    }
+
+    // Explicit axes.
+    for (kw, axis) in [
+        ("child", Axis::Child),
+        ("attribute", Axis::Attribute),
+        ("self", Axis::SelfAxis),
+        ("descendant-or-self", Axis::DescendantOrSelf),
+        ("descendant", Axis::Descendant),
+    ] {
+        let save = p.pos;
+        if eat_word(p, kw) {
+            if p.input[p.pos..].starts_with("::") {
+                p.pos += 2;
+                let test = parse_pattern_test(p, axis)?;
+                return Ok(PatternStep { axis, test });
+            }
+            p.pos = save;
+        }
+    }
+
+    let test = parse_pattern_test(p, Axis::Child)?;
+    Ok(PatternStep { axis: Axis::Child, test })
+}
+
+fn parse_pattern_test(p: &mut Parser<'_>, axis: Axis) -> Result<NodeTest, ParseError> {
+    use crate::ast::{LocalTest, NameTest, NsTest};
+    use std::sync::Arc;
+
+    p.skip_ws();
+    let rest = &p.input[p.pos..];
+    if rest.starts_with('*') {
+        p.pos += 1;
+        if p.input[p.pos..].starts_with(':') {
+            p.pos += 1;
+            let local = parse_word(p)?;
+            return Ok(NodeTest::Name(NameTest {
+                ns: NsTest::Any,
+                local: LocalTest::Name(Arc::from(local.as_str())),
+            }));
+        }
+        return Ok(NodeTest::Name(NameTest::any()));
+    }
+
+    let first = parse_word(p)?;
+    // kind tests
+    if p.input[p.pos..].starts_with('(') {
+        p.pos += 1;
+        let kt = match first.as_str() {
+            "node" => KindTest::AnyKind,
+            "text" => KindTest::Text,
+            "comment" => KindTest::Comment,
+            "processing-instruction" => {
+                p.skip_ws();
+                if !p.input[p.pos..].starts_with(')') {
+                    let target = parse_word(p)?;
+                    expect_char(p, ')')?;
+                    return Ok(NodeTest::Kind(KindTest::Pi(Some(Arc::from(target.as_str())))));
+                }
+                KindTest::Pi(None)
+            }
+            other => return Err(p.err(format!("unknown kind test {other}()"))),
+        };
+        expect_char(p, ')')?;
+        return Ok(NodeTest::Kind(kt));
+    }
+    // `prefix:local` or `prefix:*`
+    if p.input[p.pos..].starts_with(':') && !p.input[p.pos..].starts_with("::") {
+        p.pos += 1;
+        let uri = p
+            .ctx
+            .resolve_prefix(&first)
+            .ok_or_else(|| p.err(format!("unbound namespace prefix {first:?}")))?
+            .to_string();
+        if p.input[p.pos..].starts_with('*') {
+            p.pos += 1;
+            return Ok(NodeTest::Name(NameTest {
+                ns: NsTest::Uri(Arc::from(uri.as_str())),
+                local: LocalTest::Any,
+            }));
+        }
+        let local = parse_word(p)?;
+        return Ok(NodeTest::Name(NameTest {
+            ns: NsTest::Uri(Arc::from(uri.as_str())),
+            local: LocalTest::Name(Arc::from(local.as_str())),
+        }));
+    }
+    // Unprefixed name: default element namespace applies on element axes,
+    // never on the attribute axis (Section 3.7).
+    let ns = if axis == Axis::Attribute {
+        NsTest::NoNamespace
+    } else {
+        match &p.ctx.default_element_ns {
+            Some(u) => NsTest::Uri(Arc::from(u.as_str())),
+            None => NsTest::NoNamespace,
+        }
+    };
+    Ok(NodeTest::Name(NameTest { ns, local: LocalTest::Name(Arc::from(first.as_str())) }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{LocalTest, NameTest, NsTest};
+
+    #[test]
+    fn li_price_pattern() {
+        // The paper's index: //lineitem/@price
+        let p = parse_pattern("//lineitem/@price").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(p.steps[0].test, NodeTest::Kind(KindTest::AnyKind));
+        assert_eq!(p.steps[1].axis, Axis::Child);
+        assert_eq!(p.steps[2].axis, Axis::Attribute);
+        assert!(p.ends_on_attribute());
+        assert!(!p.ends_on_text());
+    }
+
+    #[test]
+    fn broad_attribute_pattern() {
+        // Section 2.1: index all numeric attributes with //@*
+        let p = parse_pattern("//@*").unwrap();
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[1].axis, Axis::Attribute);
+        assert_eq!(p.steps[1].test, NodeTest::Name(NameTest::any()));
+    }
+
+    #[test]
+    fn full_notation_attribute_pattern() {
+        // Tip 12's long form: /descendant-or-self::node()/attribute::*
+        let p = parse_pattern("/descendant-or-self::node()/attribute::*").unwrap();
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(p.steps[1].axis, Axis::Attribute);
+        // ...equivalent in normalized form to //@*
+        let q = parse_pattern("//@*").unwrap();
+        assert_eq!(p.steps, q.steps);
+    }
+
+    #[test]
+    fn namespace_declarations() {
+        let p = parse_pattern(
+            "declare default element namespace \"http://ournamespaces.com/order\"; //nation",
+        )
+        .unwrap();
+        match &p.steps[1].test {
+            NodeTest::Name(NameTest { ns: NsTest::Uri(u), local: LocalTest::Name(n) }) => {
+                assert_eq!(&**u, "http://ournamespaces.com/order");
+                assert_eq!(&**n, "nation");
+            }
+            other => panic!("unexpected test {other:?}"),
+        }
+    }
+
+    #[test]
+    fn namespace_wildcard() {
+        let p = parse_pattern("//*:nation").unwrap();
+        assert_eq!(
+            p.steps[1].test,
+            NodeTest::Name(NameTest {
+                ns: NsTest::Any,
+                local: LocalTest::Name("nation".into())
+            })
+        );
+    }
+
+    #[test]
+    fn prefixed_pattern() {
+        let p = parse_pattern(
+            "declare namespace c=\"http://ournamespaces.com/customer\"; /c:customer/c:nation",
+        )
+        .unwrap();
+        for step in &p.steps {
+            match &step.test {
+                NodeTest::Name(NameTest { ns: NsTest::Uri(u), .. }) => {
+                    assert_eq!(&**u, "http://ournamespaces.com/customer");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unprefixed_names_without_decls_are_no_namespace() {
+        // The Section 3.7 pitfall: //nation only matches empty-namespace
+        // elements.
+        let p = parse_pattern("//nation").unwrap();
+        assert_eq!(
+            p.steps[1].test,
+            NodeTest::Name(NameTest::local_name("nation"))
+        );
+    }
+
+    #[test]
+    fn attributes_ignore_default_namespace() {
+        let p = parse_pattern(
+            "declare default element namespace \"http://x\"; //lineitem/@price",
+        )
+        .unwrap();
+        // lineitem picks up the default namespace...
+        match &p.steps[1].test {
+            NodeTest::Name(NameTest { ns: NsTest::Uri(_), .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // ...@price does not.
+        match &p.steps[2].test {
+            NodeTest::Name(NameTest { ns: NsTest::NoNamespace, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_kind_test() {
+        let p = parse_pattern("//price/text()").unwrap();
+        assert!(p.ends_on_text());
+    }
+
+    #[test]
+    fn rejects_predicates_and_garbage() {
+        assert!(parse_pattern("//lineitem[@price > 100]").is_err());
+        assert!(parse_pattern("lineitem").is_err());
+        assert!(parse_pattern("").is_err());
+        assert!(parse_pattern("//").is_err());
+        assert!(parse_pattern("//a extra").is_err());
+    }
+
+    #[test]
+    fn rejects_unbound_prefix() {
+        assert!(parse_pattern("//c:nation").is_err());
+    }
+
+    #[test]
+    fn self_axis_step() {
+        let p = parse_pattern("//price/self::node()").unwrap();
+        assert_eq!(p.steps.last().unwrap().axis, Axis::SelfAxis);
+    }
+}

@@ -1,0 +1,108 @@
+//! Round-trip: `parse(print(parse(q)))` must equal `parse(q)` for the full
+//! corpus of paper queries and engine test queries. A failure here means
+//! the printer and the parser disagree about the language.
+
+use xqdb_xquery::display::query_to_string;
+use xqdb_xquery::parse_query;
+
+const CORPUS: &[&str] = &[
+    // The thirty paper queries' XQuery parts.
+    "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>100] return $i",
+    "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>100] return $i",
+    "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \"100\"] return $i",
+    "for $i in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")/order \
+     for $j in db2-fn:xmlcolumn(\"CUSTOMER.CDOC\")/customer \
+     where $i/custid/xs:double(.) = $j/id/xs:double(.) return $i",
+    "$order//lineitem[@price > 100]",
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]",
+    "$order//lineitem/@price > 100",
+    "$order//lineitem/product[id eq $pid]",
+    "$order//lineitem/product/id",
+    "$order/order/custid",
+    "$order/order[custid/xs:double(.) = $cust/customer/id/xs:double(.)]",
+    "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+     for $item in $doc//lineitem[@price > 100] return <result>{$item}</result>",
+    "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+     let $item := $doc//lineitem[@price > 100] return <result>{$item}</result>",
+    "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+     return <result>{$ord/lineitem[@price > 100]}</result>",
+    "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+     where $ord/lineitem/@price > 100 return <result>{$ord/lineitem}</result>",
+    "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+     let $price := $ord/lineitem/@price where $price > 100 \
+     return <result>{$ord/lineitem}</result>",
+    "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return $ord/lineitem[@price > 100]",
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem",
+    "for $ord in (for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+      return <my_order>{$o/*}</my_order>) return $ord/my_order",
+    "let $order := <neworder>{db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid > 1001]}</neworder> \
+     return $order[//customer/name]",
+    "let $view := for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem \
+       return <item> {$i/@quantity, $i/product/@price} \
+                <pid> {$i/product/id/data(.)} </pid> </item> \
+     for $j in $view where $j/pid = '17' return $j/@price",
+    "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem \
+     where $i/product/id/data(.) = '17' return $i/product/@price",
+    "declare default element namespace \"http://ournamespaces.com/order\"; \
+     declare namespace c=\"http://ournamespaces.com/customer\"; \
+     for $ord in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")/order[lineitem/@price > 1000] \
+     for $cust in db2-fn:xmlcolumn(\"CUSTOMER.CDOC\")/c:customer[c:nation = 1] \
+     where $ord/custid = $cust/id return $ord",
+    "for $ord in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")/order[lineitem/price/text() = \"99.50\"] return $ord",
+    "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem[@price>100 and @price<200]] return $i",
+    "lineitem[price gt 100 and price lt 200]",
+    "lineitem/price/data()[. > 100 and . < 200]",
+    // Engine feature coverage.
+    "1 + 2 * 3",
+    "(1, (2, 3), ())",
+    "1 to 5",
+    "if (0) then 'y' else 'n'",
+    "some $x in (1, 2, 3) satisfies $x > 2",
+    "every $x in () satisfies $x > 2",
+    "5 instance of xs:integer",
+    "(1, 2) instance of xs:integer+",
+    "() instance of empty-sequence()",
+    "<a/> instance of element()",
+    "$x cast as xs:double",
+    "'2001-01-01' castable as xs:date?",
+    "$order treat as document-node()",
+    "<e>5</e> is <e>5</e>",
+    "$a << $b",
+    "$view/@price except db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem/product/@price",
+    "$a union $b intersect $c",
+    "-3 + 1",
+    "7 idiv 2",
+    "element result { 1 + 1 }",
+    "attribute price { 99.5 }",
+    "text { 'x' }",
+    "document { <a/> }",
+    "<e a=\"x{1+1}y\"/>",
+    "<o xmlns=\"http://x\"><i/></o>",
+    "//node()",
+    "/descendant-or-self::node()/attribute::*",
+    "//*:nation",
+    "//comment()",
+    "//processing-instruction('t')",
+    "for $x in /a order by $x/@k descending empty greatest return $x",
+    "for $x at $i in ('a','b') return $i",
+    "string-join(/order/id/data(.), ' ')",
+    "db2-fn:between(price, 100, 200)",
+    "deep[nested[predicates[inside = 'x']]]",
+];
+
+#[test]
+fn print_parse_roundtrip_corpus() {
+    for src in CORPUS {
+        let ast1 = parse_query(src)
+            .unwrap_or_else(|e| panic!("corpus query must parse: {e}\n{src}"));
+        let printed = query_to_string(&ast1);
+        let ast2 = parse_query(&printed).unwrap_or_else(|e| {
+            panic!("printed query must reparse: {e}\noriginal: {src}\nprinted: {printed}")
+        });
+        assert_eq!(
+            ast1.body.strip_parens(),
+            ast2.body.strip_parens(),
+            "AST changed through print/reparse\noriginal: {src}\nprinted:  {printed}"
+        );
+    }
+}

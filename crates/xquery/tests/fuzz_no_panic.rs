@@ -1,0 +1,45 @@
+//! Fuzz-shaped property tests: the parsers must never panic — malformed
+//! input yields `Err`, not a crash. Random strings are biased toward
+//! XQuery-looking fragments so the deeper parser paths get exercised.
+
+use proptest::prelude::*;
+use xqdb_xquery::{parse_pattern, parse_query};
+
+/// Fragments that compose into almost-queries.
+const FRAGMENTS: &[&str] = &[
+    "for", "$x", "in", "return", "let", ":=", "where", "//", "/", "@", "*", "(", ")", "[", "]",
+    "{", "}", "<", ">", "order", "lineitem", "price", "100", "'str'", "\"str\"", "=", "eq", "and",
+    "or", "xs:double", "(.)", ".", "..", "db2-fn:xmlcolumn", "text()", "node()", "declare",
+    "namespace", "element", "attribute", "self::", "child::", "descendant-or-self::", ",", ";",
+    "if", "then", "else", "some", "satisfies", "to", "div", "|", "cast as", "<a>", "</a>",
+    "instance of", "castable", "treat", "1e3", "99.5", "-", "+", "(:", ":)", "&lt;", "c:",
+];
+
+fn fragment_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(FRAGMENTS), 0..24)
+        .prop_map(|parts| parts.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_query_never_panics_on_soup(input in fragment_soup()) {
+        let _ = parse_query(&input); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn parse_query_never_panics_on_noise(input in "[ -~]{0,60}") {
+        let _ = parse_query(&input);
+    }
+
+    #[test]
+    fn parse_pattern_never_panics(input in "[ -~]{0,40}") {
+        let _ = parse_pattern(&input);
+    }
+
+    #[test]
+    fn parse_pattern_never_panics_on_soup(input in fragment_soup()) {
+        let _ = parse_pattern(&input);
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: create the paper's schema, load a few orders, build an XML
+//! index, and watch the planner use it — or explain why it can't.
+//!
+//! Run with: `cargo run -p xqdb-core --example quickstart`
+
+use xqdb_core::sqlxml::SqlSession;
+
+fn main() {
+    let mut session = SqlSession::new();
+
+    // The schema from Section 2.2 of the paper.
+    for ddl in [
+        "create table customer (cid integer, cdoc XML)",
+        "create table orders (ordid integer, orddoc XML)",
+        "create table products (id varchar(13), name varchar(32))",
+    ] {
+        session.execute(ddl).expect("DDL succeeds");
+    }
+
+    // A handful of order documents — schema-free, as delivered.
+    let docs = [
+        r#"<order><custid>7</custid><lineitem price="99.50"><product><id>p1</id></product></lineitem></order>"#,
+        r#"<order><custid>8</custid><lineitem price="250.00"><product><id>p2</id></product></lineitem><lineitem price="150.00"><product><id>p3</id></product></lineitem></order>"#,
+        r#"<order><custid>9</custid><date>January 1, 2001</date><lineitem><product><id>p4</id></product></lineitem></order>"#,
+    ];
+    for (i, d) in docs.iter().enumerate() {
+        session
+            .execute(&format!("INSERT INTO orders VALUES ({}, '{}')", i + 1, d))
+            .expect("insert succeeds");
+    }
+
+    // The paper's index.
+    session
+        .execute(
+            "CREATE INDEX li_price ON orders(orddoc) \
+             USING XMLPATTERN '//lineitem/@price' AS double",
+        )
+        .expect("index DDL succeeds");
+
+    // Query 8: XMLEXISTS filters rows → the index is eligible.
+    let q8 = "SELECT ordid, orddoc FROM orders \
+              WHERE XMLExists('$order//lineitem[@price > 100]' passing orddoc as \"order\")";
+    println!("== Query 8 (index-eligible XMLEXISTS) ==");
+    let result = session.execute(q8).expect("query runs");
+    print!("{}", result.render());
+    println!(
+        "   ({} of {} documents evaluated, {} index entries scanned)\n",
+        result.stats.docs_evaluated.get("ORDERS").copied().unwrap_or(0),
+        result.stats.docs_total.get("ORDERS").copied().unwrap_or(0),
+        result.stats.index_entries_scanned
+    );
+
+    println!("== EXPLAIN Query 8 ==");
+    let explain = session.execute(&format!("EXPLAIN {q8}")).expect("explain runs");
+    println!("{}", explain.message.unwrap_or_default());
+
+    // Query 9: the boolean-XMLEXISTS pitfall — returns every row.
+    let q9 = "SELECT ordid FROM orders \
+              WHERE XMLExists('$order//lineitem/@price > 100' passing orddoc as \"order\")";
+    println!("== Query 9 (the boolean pitfall: every row comes back) ==");
+    let result = session.execute(q9).expect("query runs");
+    print!("{}", result.render());
+    println!("\n== EXPLAIN Query 9 (note the warning) ==");
+    let explain = session.execute(&format!("EXPLAIN {q9}")).expect("explain runs");
+    println!("{}", explain.message.unwrap_or_default());
+
+    // The standalone XQuery interface (Tip 2): fragments, one per row.
+    println!("== Query 7 (standalone XQuery) ==");
+    let out = xqdb_core::run_xquery(
+        &session.catalog,
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]",
+    )
+    .expect("xquery runs");
+    for (i, item) in out.sequence.iter().enumerate() {
+        println!(
+            "row {}: {}",
+            i + 1,
+            xqdb_xmlparse::serialize_sequence(std::slice::from_ref(item))
+        );
+    }
+}

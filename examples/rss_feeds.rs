@@ -1,0 +1,88 @@
+//! RSS-style feeds: the paper's motivating extensible format ("RSS allows
+//! elements of any namespace anywhere in the document"), exercising the
+//! namespace pitfalls of Section 3.7 on a content-syndication workload.
+//!
+//! Run with: `cargo run -p xqdb-core --example rss_feeds`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xqdb_core::{run_xquery, Catalog};
+use xqdb_storage::{Column, SqlType, SqlValue, Table};
+use xqdb_workload::rss_item_xml;
+
+fn main() {
+    let mut catalog = Catalog::new();
+    catalog
+        .create_table(Table::new(
+            "feed",
+            vec![Column::new("itemid", SqlType::Integer), Column::new("item", SqlType::Xml)],
+        ))
+        .expect("DDL");
+
+    let mut rng = StdRng::seed_from_u64(2006);
+    for i in 0..500u64 {
+        let xml = rss_item_xml(&mut rng, i);
+        let doc = xqdb_xmlparse::parse_document(&xml).expect("generated feed item parses");
+        catalog
+            .insert("feed", vec![SqlValue::Integer(i as i64), SqlValue::Xml(doc.root())])
+            .expect("insert");
+    }
+
+    // Index the category (no namespace) and the Dublin Core creator
+    // (namespaced — needs the wildcard or a declaration, per Tip 10).
+    catalog
+        .create_index("cat_idx", "feed", "item", "//category", "varchar")
+        .expect("DDL");
+    catalog
+        .create_index("creator_wrong", "feed", "item", "//creator", "varchar")
+        .expect("DDL");
+    catalog
+        .create_index("creator_right", "feed", "item", "//*:creator", "varchar")
+        .expect("DDL");
+
+    println!(
+        "indexed {} items: cat_idx={} entries, creator_wrong={} (empty — dc:creator is \
+         namespaced!), creator_right={}",
+        catalog.db.table("feed").expect("table exists").len(),
+        catalog.index("CAT_IDX").expect("index").len(),
+        catalog.index("CREATOR_WRONG").expect("index").len(),
+        catalog.index("CREATOR_RIGHT").expect("index").len(),
+    );
+
+    // Category search: straightforward, indexed.
+    let out = run_xquery(
+        &catalog,
+        "db2-fn:xmlcolumn('FEED.ITEM')/item[category = \"xml\"]",
+    )
+    .expect("query runs");
+    println!(
+        "\nitems in category 'xml': {} (evaluated {}/{} docs)",
+        out.sequence.len(),
+        out.stats.docs_evaluated.get("FEED.ITEM").copied().unwrap_or(0),
+        out.stats.docs_total.get("FEED.ITEM").copied().unwrap_or(0),
+    );
+
+    // Creator search: the no-namespace query finds NOTHING (pitfall!) —
+    // dc:creator lives in the Dublin Core namespace.
+    let naive = run_xquery(
+        &catalog,
+        "db2-fn:xmlcolumn('FEED.ITEM')/item[creator = \"author7\"]",
+    )
+    .expect("query runs");
+    println!("\nnaive creator query (no namespace): {} items — the Section 3.7 trap", naive.sequence.len());
+
+    // The correct query declares the namespace; only the *:creator index
+    // can serve it.
+    let correct = "declare namespace dc=\"http://purl.org/dc/elements/1.1/\"; \
+                   db2-fn:xmlcolumn('FEED.ITEM')/item[dc:creator = \"author7\"]";
+    let out = run_xquery(&catalog, correct).expect("query runs");
+    println!(
+        "namespaced creator query: {} items (evaluated {}/{} docs)",
+        out.sequence.len(),
+        out.stats.docs_evaluated.get("FEED.ITEM").copied().unwrap_or(0),
+        out.stats.docs_total.get("FEED.ITEM").copied().unwrap_or(0),
+    );
+    let q = xqdb_xquery::parse_query(correct).expect("parses");
+    let plan = xqdb_core::plan_query(&catalog, q, &xqdb_core::AnalysisEnv::new());
+    println!("\nEXPLAIN:\n{}", xqdb_core::explain(&plan));
+}

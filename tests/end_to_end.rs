@@ -1,0 +1,218 @@
+//! End-to-end session tests: DDL → load → mixed SQL/XML and standalone
+//! XQuery → EXPLAIN, over generated workloads — the shape of a real
+//! application session.
+
+use xqdb_core::sqlxml::{Scalar, SqlSession};
+use xqdb_core::Catalog;
+use xqdb_workload::{create_paper_schema, load_customers, load_orders, OrderParams};
+
+#[test]
+fn full_sql_session() {
+    let mut s = SqlSession::new();
+    s.execute("create table orders (ordid integer, orddoc XML)").unwrap();
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+
+    // Load 100 generated documents through SQL INSERT.
+    let mut generator = xqdb_workload::OrderGenerator::new(OrderParams {
+        seed: 9,
+        min_lineitems: 1,
+        max_lineitems: 3,
+        ..Default::default()
+    });
+    for i in 0..100 {
+        let xml = generator.next_order();
+        s.execute(&format!("INSERT INTO orders VALUES ({i}, '{xml}')")).unwrap();
+    }
+    assert_eq!(s.catalog.db.table("orders").unwrap().len(), 100);
+    assert!(s.catalog.index("LI_PRICE").unwrap().len() >= 100);
+
+    // Filtered retrieval with stats.
+    let r = s
+        .execute(
+            "SELECT ordid FROM orders \
+             WHERE XMLExists('$o//lineitem[@price > 950]' passing orddoc as \"o\")",
+        )
+        .unwrap();
+    assert!(!r.rows.is_empty());
+    assert!(r.rows.len() < 100);
+    let evaluated = r.stats.docs_evaluated.get("ORDERS").copied().unwrap();
+    assert_eq!(evaluated, r.rows.len(), "index filtered exactly the matches");
+
+    // XMLTABLE extraction joined with scalars.
+    let r = s
+        .execute(
+            "SELECT o.ordid, t.pid, t.price FROM orders o, \
+             XMLTable('$o//lineitem[@price > 950]' passing o.orddoc as \"o\" \
+               COLUMNS \"pid\" VARCHAR(13) PATH 'product/id', \
+                       \"price\" DOUBLE PATH '@price') as t(pid, price)",
+        )
+        .unwrap();
+    assert!(!r.rows.is_empty());
+    for row in &r.rows {
+        assert!(matches!(row[1], Scalar::Varchar(_)));
+        match &row[2] {
+            Scalar::Double(d) => assert!(*d > 950.0),
+            other => panic!("expected a double price, got {other:?}"),
+        }
+    }
+
+    // EXPLAIN names the probe.
+    let plan = s
+        .execute(
+            "EXPLAIN SELECT ordid FROM orders \
+             WHERE XMLExists('$o//lineitem[@price > 950]' passing orddoc as \"o\")",
+        )
+        .unwrap()
+        .message
+        .unwrap();
+    assert!(plan.contains("PROBE LI_PRICE"), "{plan}");
+}
+
+#[test]
+fn mixed_interface_session() {
+    // Build through the catalog API, query through both interfaces.
+    let mut catalog = Catalog::new();
+    create_paper_schema(&mut catalog);
+    load_orders(&mut catalog, 200, OrderParams { seed: 3, ..Default::default() });
+    load_customers(&mut catalog, 50, None);
+    catalog
+        .create_index("li_price", "orders", "orddoc", "//lineitem/@price", "double")
+        .unwrap();
+    catalog.create_index("c_id", "customer", "cdoc", "/customer/id", "double").unwrap();
+
+    // Standalone XQuery with a cross-collection join.
+    let out = xqdb_core::run_xquery(
+        &catalog,
+        "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[lineitem/@price > 990] \
+         for $c in db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer \
+         where $o/custid/xs:double(.) = $c/id/xs:double(.) \
+         return <hit>{$c/name/data(.)}</hit>",
+    )
+    .unwrap();
+    // The orders side was pre-filtered by the index.
+    let orders_eval = out.stats.docs_evaluated.get("ORDERS.ORDDOC").copied().unwrap();
+    assert!(orders_eval < 200, "index filtered the orders side");
+
+    // The same catalog through SQL.
+    let mut session = SqlSession { catalog };
+    let r = session
+        .execute(
+            "SELECT c.cid FROM customer c \
+             WHERE XMLExists('$d/customer[id/xs:double(.) = 7]' passing c.cdoc as \"d\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn index_sizes_and_tolerance_accounting() {
+    let mut catalog = Catalog::new();
+    create_paper_schema(&mut catalog);
+    load_orders(
+        &mut catalog,
+        300,
+        OrderParams { seed: 5, polluted_fraction: 0.25, ..Default::default() },
+    );
+    catalog
+        .create_index("li_price_d", "orders", "orddoc", "//lineitem/@price", "double")
+        .unwrap();
+    catalog
+        .create_index("li_price_s", "orders", "orddoc", "//lineitem/@price", "varchar")
+        .unwrap();
+    let d = catalog.index("li_price_d").unwrap();
+    let s = catalog.index("li_price_s").unwrap();
+    // The varchar index holds every price; the double index skipped the
+    // polluted quarter.
+    assert!(s.len() > d.len());
+    assert_eq!(s.len(), d.len() + d.skipped_nodes);
+    assert_eq!(s.skipped_nodes, 0);
+    let frac = d.skipped_nodes as f64 / s.len() as f64;
+    assert!((0.15..0.35).contains(&frac), "pollution fraction ≈ 0.25, got {frac}");
+}
+
+#[test]
+fn quickstart_example_scenario_runs() {
+    // Mirror of examples/quickstart.rs, asserted.
+    let mut session = SqlSession::new();
+    for ddl in [
+        "create table customer (cid integer, cdoc XML)",
+        "create table orders (ordid integer, orddoc XML)",
+        "create table products (id varchar(13), name varchar(32))",
+    ] {
+        session.execute(ddl).unwrap();
+    }
+    session
+        .execute("INSERT INTO orders VALUES (1, '<order><lineitem price=\"250\"/></order>')")
+        .unwrap();
+    session
+        .execute(
+            "CREATE INDEX li_price ON orders(orddoc) \
+             USING XMLPATTERN '//lineitem/@price' AS double",
+        )
+        .unwrap();
+    let r = session
+        .execute(
+            "SELECT ordid FROM orders \
+             WHERE XMLExists('$order//lineitem[@price > 100]' passing orddoc as \"order\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn timestamp_index_end_to_end() {
+    let mut s = SqlSession::new();
+    s.execute("create table events (eid integer, edoc XML)").unwrap();
+    s.execute("CREATE INDEX ev_ts ON events(edoc) USING XMLPATTERN '//at' AS timestamp")
+        .unwrap();
+    for (i, ts) in [
+        "2006-09-12T09:00:00",
+        "2006-09-13T14:30:00",
+        "2006-09-15T23:59:59",
+        "not a timestamp", // tolerantly skipped
+    ]
+    .iter()
+    .enumerate()
+    {
+        s.execute(&format!(
+            "INSERT INTO events VALUES ({i}, '<event><at>{ts}</at></event>')"
+        ))
+        .unwrap();
+    }
+    assert_eq!(s.catalog.index("EV_TS").unwrap().len(), 3);
+    assert_eq!(s.catalog.index("EV_TS").unwrap().skipped_nodes, 1);
+    let r = s
+        .execute(
+            "SELECT eid FROM events \
+             WHERE XMLExists('$e/event[at > xs:dateTime(\"2006-09-13T00:00:00\")]' \
+             passing edoc as \"e\")",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert!(r.stats.index_entries_scanned > 0, "timestamp index probed");
+    // The documented tolerance divergence: the indexed run skips the
+    // polluted document and succeeds, while the full scan raises the cast
+    // error when the untyped "not a timestamp" meets xs:dateTime.
+    let q = "db2-fn:xmlcolumn('EVENTS.EDOC')/event[at > xs:dateTime('2006-09-13T00:00:00')]";
+    let out = xqdb_core::run_xquery(&s.catalog, q).unwrap();
+    assert_eq!(out.sequence.len(), 2);
+    let parsed = xqdb_xquery::parse_query(q).unwrap();
+    let reference =
+        xqdb_xqeval::eval_query(&parsed, &s.catalog.db, &xqdb_xqeval::DynamicContext::new());
+    assert!(reference.is_err(), "the unindexed scan hits the polluted document");
+}
+
+#[test]
+fn date_and_timestamp_sql_columns() {
+    let mut s = SqlSession::new();
+    s.execute("create table t (d DATE, ts TIMESTAMP)").unwrap();
+    s.execute("INSERT INTO t VALUES ('2006-09-12', '2006-09-12T09:00:00')").unwrap();
+    let r = s.execute("SELECT d, ts FROM t").unwrap();
+    assert_eq!(r.rows[0][0].render(), "2006-09-12");
+    assert_eq!(r.rows[0][1].render(), "2006-09-12T09:00:00");
+    // Malformed values rejected at insert.
+    assert!(s.execute("INSERT INTO t VALUES ('September', '2006-09-12T09:00:00')").is_err());
+}
