@@ -8,6 +8,9 @@
 //! both halves: insert throughput under different index sets, and index
 //! bytes relative to document bytes.
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -6,6 +6,9 @@
 //! the index lacks). The eligible formulation should beat the collection
 //! scan by a widening factor as the collection grows.
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -7,6 +7,9 @@
 //! the two half-ranges relative to their intersection, the worse the
 //! two-scan plan.
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -5,6 +5,9 @@
 //! turns the comparison into a string comparison, making the double index
 //! ineligible (and vice versa). The wrong pairing degrades to a scan.
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -6,6 +6,9 @@
 //! an `XMLTABLE` column expression. Eligible placements run at probe speed;
 //! the others degrade to table scans.
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

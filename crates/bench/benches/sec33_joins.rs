@@ -6,6 +6,9 @@
 //! both formulations (and the failure probability of the XMLCAST form on
 //! multi-lineitem data is covered by the test suite).
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

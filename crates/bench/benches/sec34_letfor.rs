@@ -5,6 +5,9 @@
 //! index-eligible; Queries 18–19 (bare let / constructor) are not and pay
 //! the full collection scan.
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -5,6 +5,9 @@
 //! navigation cost of the correct formulations and the overhead of the
 //! needless re-construction in Query 24's inner FLWOR.
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

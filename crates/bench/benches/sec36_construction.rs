@@ -6,6 +6,9 @@
 //! semantic side conditions — while the rewritten Query 27 (predicate on
 //! the base collection) can. We measure both, with and without the index.
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

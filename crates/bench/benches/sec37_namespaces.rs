@@ -6,6 +6,9 @@
 //! silently. The fixes (declared-namespace index, `*:` wildcard index, or
 //! attribute-only `//@price`) restore probe performance.
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -6,6 +6,9 @@
 //! value is "99.50USD", the text node "99.50"); only the aligned
 //! `//price/text()` index is eligible.
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

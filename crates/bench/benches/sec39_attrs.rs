@@ -5,6 +5,9 @@
 //! nodes (the child axis never reaches them), so attribute predicates need
 //! `//@*` (or its long form). Index build cost and eligibility both follow.
 
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

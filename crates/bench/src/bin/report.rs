@@ -5,6 +5,10 @@
 //!
 //! Run with: `cargo run -p xqdb-bench --bin report --release`
 
+// Like the rest of the bench harness, the experiment queries are assertions:
+// a failure is a harness bug and should abort the report loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use xqdb_bench::{orders_catalog, summarize, RunSummary};
 use xqdb_core::SqlSession;
 use xqdb_workload::OrderParams;
@@ -218,6 +222,7 @@ fn main() {
             OrderParams::default(),
             &[("li_price", "//lineitem/@price", "double")],
         ),
+        ..Default::default()
     };
     let t = OrderParams::default().price_threshold(0.01);
     for (label, sql) in [

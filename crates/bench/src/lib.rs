@@ -6,6 +6,11 @@
 //! Throughput shapes — who wins, by what factor, where the crossover sits —
 //! are what EXPERIMENTS.md records against the paper's qualitative claims.
 
+// This crate is test infrastructure: fixture DDL and the paper's queries are
+// assertions, and a failure here is a harness bug that should abort the
+// bench loudly, exactly like a failing test.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use xqdb_core::{run_xquery, Catalog};
 use xqdb_workload::{create_paper_schema, load_customers, load_orders, OrderParams};
 
@@ -34,7 +39,7 @@ pub fn orders_session(
     params: OrderParams,
     indexes: &[(&str, &str, &str)],
 ) -> xqdb_core::SqlSession {
-    xqdb_core::SqlSession { catalog: orders_catalog(n, params, indexes) }
+    xqdb_core::SqlSession { catalog: orders_catalog(n, params, indexes), ..Default::default() }
 }
 
 /// Execute a SQL statement, asserting success, returning the row count.

@@ -96,7 +96,8 @@ pub fn decode_str(data: &[u8]) -> Option<(String, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, RngExt, SeedableRng};
 
     #[test]
     fn f64_ordering_known_values() {
@@ -163,34 +164,70 @@ mod tests {
         assert_eq!(used, enc.len());
     }
 
-    proptest! {
-        #[test]
-        fn f64_order_preserved(a in prop::num::f64::NORMAL, b in prop::num::f64::NORMAL) {
+    /// A finite, non-subnormal f64 spanning many magnitudes and both signs.
+    fn gen_normal_f64(rng: &mut StdRng) -> f64 {
+        let mantissa = rng.random_range(1.0f64..2.0);
+        let exp = rng.random_range(-300i32..300);
+        let sign = if rng.random_bool(0.5) { -1.0 } else { 1.0 };
+        sign * mantissa * 2f64.powi(exp)
+    }
+
+    /// Random string with a bias toward NULs and shared prefixes, the cases
+    /// the escape encoding exists for.
+    fn gen_string(rng: &mut StdRng) -> String {
+        (0..rng.random_range(0..12usize))
+            .map(|_| match rng.random_range(0..10u8) {
+                0 => '\u{0}',
+                1 => 'a', // common char, forces shared prefixes
+                2 => '\u{FF}',
+                3 => '\u{1F600}', // multi-byte UTF-8
+                _ => (b' ' + rng.random_range(0..95u8)) as char,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f64_order_preserved() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..512 {
+            let (a, b) = (gen_normal_f64(&mut rng), gen_normal_f64(&mut rng));
             let (ea, eb) = (encode_f64(a), encode_f64(b));
-            prop_assert_eq!(a.partial_cmp(&b).unwrap(), ea.cmp(&eb));
+            assert_eq!(a.partial_cmp(&b).unwrap(), ea.cmp(&eb), "{a} vs {b}");
         }
+    }
 
-        #[test]
-        fn i64_order_preserved(a: i64, b: i64) {
-            prop_assert_eq!(a.cmp(&b), encode_i64(a).cmp(&encode_i64(b)));
+    #[test]
+    fn i64_order_preserved() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..512 {
+            let (a, b) = (rng.next_u64() as i64, rng.next_u64() as i64);
+            assert_eq!(a.cmp(&b), encode_i64(a).cmp(&encode_i64(b)), "{a} vs {b}");
         }
+    }
 
-        #[test]
-        fn str_order_preserved(a in ".*", b in ".*") {
+    #[test]
+    fn str_order_preserved() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..512 {
+            let (a, b) = (gen_string(&mut rng), gen_string(&mut rng));
             let mut ea = Vec::new();
             encode_str(&a, &mut ea);
             let mut eb = Vec::new();
             encode_str(&b, &mut eb);
-            prop_assert_eq!(a.as_bytes().cmp(b.as_bytes()), ea.cmp(&eb));
+            assert_eq!(a.as_bytes().cmp(b.as_bytes()), ea.cmp(&eb), "{a:?} vs {b:?}");
         }
+    }
 
-        #[test]
-        fn str_roundtrip(s in ".*") {
+    #[test]
+    fn str_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..512 {
+            let s = gen_string(&mut rng);
             let mut enc = Vec::new();
             encode_str(&s, &mut enc);
             let (dec, used) = decode_str(&enc).unwrap();
-            prop_assert_eq!(dec, s);
-            prop_assert_eq!(used, enc.len());
+            assert_eq!(dec, s);
+            assert_eq!(used, enc.len());
         }
     }
 }

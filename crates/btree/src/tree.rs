@@ -333,7 +333,8 @@ impl<'a, V: Clone> Iterator for RangeIter<'a, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
     use std::collections::BTreeMap;
 
     fn key(i: u64) -> Vec<u8> {
@@ -460,42 +461,45 @@ mod tests {
         assert!(t.approx_bytes() > empty);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn matches_btreemap(ops in prop::collection::vec((any::<u16>(), any::<u8>(), any::<bool>()), 1..400)) {
+    #[test]
+    fn matches_btreemap() {
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
             let mut model: BTreeMap<Vec<u8>, u8> = BTreeMap::new();
             let mut tree: BPlusTree<u8> = BPlusTree::new();
-            for (k, v, is_insert) in ops {
+            for _ in 0..rng.random_range(1..400usize) {
+                let k = rng.random_range(0..=u16::MAX as u32) as u16;
+                let v = rng.random_range(0..=u8::MAX as u32) as u8;
                 let kb = crate::keyenc::encode_u64(u64::from(k)).to_vec();
-                if is_insert {
-                    prop_assert_eq!(tree.insert(kb.clone(), v), model.insert(kb, v));
+                if rng.random_bool(0.5) {
+                    assert_eq!(tree.insert(kb.clone(), v), model.insert(kb, v));
                 } else {
-                    prop_assert_eq!(tree.remove(&kb), model.remove(&kb));
+                    assert_eq!(tree.remove(&kb), model.remove(&kb));
                 }
-                prop_assert_eq!(tree.len(), model.len());
+                assert_eq!(tree.len(), model.len());
             }
             let tree_entries: Vec<(Vec<u8>, u8)> =
                 tree.iter().map(|(k, v)| (k.to_vec(), *v)).collect();
             let model_entries: Vec<(Vec<u8>, u8)> =
                 model.iter().map(|(k, v)| (k.clone(), *v)).collect();
-            prop_assert_eq!(tree_entries, model_entries);
+            assert_eq!(tree_entries, model_entries, "seed {seed}");
         }
+    }
 
-        #[test]
-        fn range_matches_btreemap(
-            keys in prop::collection::btree_set(any::<u16>(), 1..300),
-            lo in any::<u16>(),
-            hi in any::<u16>(),
-        ) {
+    #[test]
+    fn range_matches_btreemap() {
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
             let mut model: BTreeMap<Vec<u8>, u16> = BTreeMap::new();
             let mut tree: BPlusTree<u16> = BPlusTree::new();
-            for k in keys {
+            for _ in 0..rng.random_range(1..300usize) {
+                let k = rng.random_range(0..=u16::MAX as u32) as u16;
                 let kb = crate::keyenc::encode_u64(u64::from(k)).to_vec();
                 model.insert(kb.clone(), k);
                 tree.insert(kb, k);
             }
+            let lo = rng.random_range(0..=u16::MAX as u32) as u16;
+            let hi = rng.random_range(0..=u16::MAX as u32) as u16;
             let (lo, hi) = (lo.min(hi), lo.max(hi));
             let lob = crate::keyenc::encode_u64(u64::from(lo)).to_vec();
             let hib = crate::keyenc::encode_u64(u64::from(hi)).to_vec();
@@ -503,11 +507,8 @@ mod tests {
                 .range(Bound::Included(lob.as_slice()), Bound::Excluded(hib.as_slice()))
                 .map(|(_, v)| *v)
                 .collect();
-            let want: Vec<u16> = model
-                .range(lob..hib)
-                .map(|(_, v)| *v)
-                .collect();
-            prop_assert_eq!(got, want);
+            let want: Vec<u16> = model.range(lob..hib).map(|(_, v)| *v).collect();
+            assert_eq!(got, want, "seed {seed}");
         }
     }
 }

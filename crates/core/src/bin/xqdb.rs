@@ -15,14 +15,87 @@
 //! Statements end with `;`. Lines starting with `.` are shell commands.
 //! Prefix `xquery` runs the standalone XQuery interface;
 //! `explain xquery` plans without executing. Everything else is SQL.
+//!
+//! Resource-governor flags (applied to every statement in the session):
+//!
+//! - `--timeout-ms N`    abort any query running longer than N milliseconds
+//! - `--max-steps N`     abort any query after N evaluation steps
+//! - `--max-doc-bytes N` reject XMLPARSE input larger than N bytes
 
 use std::io::{self, BufRead, Write};
 
 use xqdb_core::sqlxml::SqlSession;
 use xqdb_core::AnalysisEnv;
+use xqdb_xdm::{ErrorCode, Limits, XdmError};
+
+/// Session-wide resource limits parsed from the command line.
+#[derive(Clone, Copy, Default)]
+struct CliLimits {
+    timeout_ms: Option<u64>,
+    max_steps: Option<u64>,
+    max_doc_bytes: Option<usize>,
+}
+
+impl CliLimits {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = CliLimits::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| -> Result<u64, String> {
+                it.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("{flag} requires a non-negative integer"))
+            };
+            match arg.as_str() {
+                "--timeout-ms" => out.timeout_ms = Some(value("--timeout-ms")?),
+                "--max-steps" => out.max_steps = Some(value("--max-steps")?),
+                "--max-doc-bytes" => {
+                    out.max_doc_bytes = Some(value("--max-doc-bytes")? as usize)
+                }
+                "--help" | "-h" => {
+                    return Err("usage: xqdb [--timeout-ms N] [--max-steps N] [--max-doc-bytes N]"
+                        .to_string())
+                }
+                other => return Err(format!("unknown flag {other}; try --help")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn query_limits(&self) -> Limits {
+        let mut l = Limits::unlimited();
+        if let Some(ms) = self.timeout_ms {
+            l = l.with_timeout(std::time::Duration::from_millis(ms));
+        }
+        if let Some(steps) = self.max_steps {
+            l = l.with_max_steps(steps);
+        }
+        if let Some(bytes) = self.max_doc_bytes {
+            l = l.with_max_doc_bytes(bytes);
+        }
+        l
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let limits = match CliLimits::parse(&args) {
+        Ok(l) => l,
+        Err(msg) => {
+            // --help lands here too; only real flag errors are failures.
+            if msg.starts_with("usage:") {
+                println!("{msg}");
+                std::process::exit(0);
+            }
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let mut session = SqlSession::new();
+    if let Some(bytes) = limits.max_doc_bytes {
+        session.parse_limits = session.parse_limits.with_max_doc_bytes(bytes);
+    }
     let stdin = io::stdin();
     let mut buffer = String::new();
     print!("xqdb — XML database shell (statements end with ';', '.help' for help)\nxqdb> ");
@@ -51,14 +124,47 @@ fn main() {
         let stmt = buffer.trim().trim_end_matches(';').trim().to_string();
         buffer.clear();
         if !stmt.is_empty() {
-            run_statement(&mut session, &stmt);
+            run_statement(&mut session, &stmt, &limits);
         }
         print!("xqdb> ");
         io::stdout().flush().ok();
     }
 }
 
-fn run_statement(session: &mut SqlSession, stmt: &str) {
+/// Render an engine error with a friendly hint for the governed classes.
+fn report_error(e: &XdmError) {
+    match e.code {
+        ErrorCode::ResourceExhausted => {
+            println!("error: {e}");
+            println!("hint: the query hit a session resource limit; raise --timeout-ms/--max-steps or simplify the query");
+        }
+        ErrorCode::Cancelled => {
+            println!("error: {e} (query was cancelled)");
+        }
+        ErrorCode::StorageFault => {
+            println!("error: {e}");
+            println!("hint: a document could not be fetched from storage; the result would be incomplete, so none was returned");
+        }
+        ErrorCode::ParseLimit => {
+            println!("error: {e}");
+            println!("hint: the document exceeds a session parse limit; see --max-doc-bytes");
+        }
+        _ => println!("error: {e}"),
+    }
+}
+
+/// Print post-execution warnings recorded in the stats.
+fn report_degradation(stats: &xqdb_core::ExecStats) {
+    if !stats.degraded_sources.is_empty() {
+        println!(
+            "warning: {} index fault(s); fell back to full collection scan on: {}",
+            stats.index_faults,
+            stats.degraded_sources.join(", ")
+        );
+    }
+}
+
+fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
     let lower = stmt.to_ascii_lowercase();
     if let Some(rest) = lower
         .strip_prefix("explain xquery")
@@ -74,7 +180,7 @@ fn run_statement(session: &mut SqlSession, stmt: &str) {
         return;
     }
     if let Some(rest) = lower.strip_prefix("xquery").map(|_| stmt["xquery".len()..].trim()) {
-        match xqdb_core::run_xquery(&session.catalog, rest) {
+        match xqdb_core::run_xquery_with_limits(&session.catalog, rest, limits.query_limits()) {
             Ok(out) => {
                 for (i, item) in out.sequence.iter().enumerate() {
                     println!(
@@ -90,8 +196,9 @@ fn run_statement(session: &mut SqlSession, stmt: &str) {
                     out.sequence.len(),
                     out.stats.index_entries_scanned
                 );
+                report_degradation(&out.stats);
             }
-            Err(e) => println!("error: {e}"),
+            Err(e) => report_error(&e),
         }
         return;
     }
@@ -101,8 +208,9 @@ fn run_statement(session: &mut SqlSession, stmt: &str) {
             if !result.rows.is_empty() {
                 println!("-- {} row(s)", result.rows.len());
             }
+            report_degradation(&result.stats);
         }
-        Err(e) => println!("error: {e}"),
+        Err(e) => report_error(&e),
     }
 }
 
@@ -115,12 +223,15 @@ fn dot_command(session: &SqlSession, cmd: &str) -> bool {
                 "statements end with ';'\n\
                  SQL:          CREATE TABLE/INDEX, INSERT, SELECT (XMLQUERY/XMLEXISTS/XMLTABLE/XMLCAST), EXPLAIN SELECT, VALUES\n\
                  XQuery:       xquery <expr>;        explain xquery <expr>;\n\
-                 shell:        .tables  .indexes  .help  .quit"
+                 shell:        .tables  .indexes  .help  .quit\n\
+                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N"
             );
         }
         ".tables" => {
             for name in session.catalog.db.table_names() {
-                let t = session.catalog.db.table(name).expect("listed table exists");
+                // `table_names` and `table` read the same map; a miss here
+                // would be a storage bug, and listing should not abort on it.
+                let Some(t) = session.catalog.db.table(name) else { continue };
                 let cols: Vec<String> =
                     t.columns.iter().map(|c| format!("{} {}", c.name, c.ty)).collect();
                 println!("{name} ({}) — {} rows", cols.join(", "), t.len());

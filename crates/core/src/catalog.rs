@@ -2,8 +2,9 @@
 //! insert.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use xqdb_xdm::{ErrorCode, NodeHandle, XdmError};
+use xqdb_xdm::{ErrorCode, FaultInjector, NodeHandle, XdmError};
 use xqdb_xmlindex::XmlIndex;
 use xqdb_storage::{Database, RowId, SqlValue, Table};
 
@@ -64,13 +65,21 @@ impl Catalog {
         Ok(())
     }
 
+    /// Install (or clear) a fault injector on every index probe path. New
+    /// indexes created afterwards do NOT inherit it; chaos tests install
+    /// injectors after schema setup.
+    pub fn set_index_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        for idx in self.indexes.values_mut() {
+            idx.set_fault_injector(injector.clone());
+        }
+    }
+
     /// `INSERT`, maintaining every index on the table.
     pub fn insert(&mut self, table: &str, values: Vec<SqlValue>) -> Result<RowId, XdmError> {
         let row = self.db.insert(table, values)?;
-        let t = self
-            .db
-            .table(table)
-            .expect("insert succeeded, table exists");
+        let t = self.db.table(table).ok_or_else(|| {
+            XdmError::internal(format!("table {table} vanished between insert and lookup"))
+        })?;
         let table_upper = table.to_ascii_uppercase();
         // Collect the XML values of this row per column name.
         let mut xml_cells: Vec<(String, NodeHandle)> = Vec::new();

@@ -114,7 +114,7 @@ impl Cond {
         }
         match flat.len() {
             0 => Cond::Any,
-            1 => flat.pop().expect("len checked"),
+            1 => flat.pop().unwrap_or(Cond::Any),
             _ => Cond::And(flat),
         }
     }
@@ -132,7 +132,7 @@ impl Cond {
         }
         match flat.len() {
             0 => Cond::Any,
-            1 => flat.pop().expect("len checked"),
+            1 => flat.pop().unwrap_or(Cond::Any),
             _ => Cond::Or(flat),
         }
     }

@@ -8,6 +8,7 @@ use std::collections::BTreeSet;
 use std::ops::Bound;
 
 use xqdb_xdm::compare::CompareOp;
+use xqdb_xdm::{Budget, XdmError};
 use xqdb_xmlindex::{ProbeRange, ProbeStats, XmlIndex};
 
 pub use candidates::{
@@ -52,38 +53,50 @@ impl IndexCond {
     }
 
     /// Evaluate against the given indexes, producing the matching rows.
-    pub fn execute(&self, indexes: &[&XmlIndex], stats: &mut ProbeStats) -> BTreeSet<u64> {
+    ///
+    /// Fallible by design: a probe can trip the budget (`ResourceExhausted`
+    /// / `Cancelled`), hit an injected or real index fault
+    /// (`StorageFault`), or reference an index missing from the catalog
+    /// (`Internal` — a planner bug, reported instead of panicking). The
+    /// engine degrades `StorageFault` to a collection scan.
+    pub fn execute(
+        &self,
+        indexes: &[&XmlIndex],
+        stats: &mut ProbeStats,
+        budget: &Budget,
+    ) -> Result<BTreeSet<u64>, XdmError> {
         match self {
             IndexCond::Probe { index, range, .. } => {
-                let idx = indexes
-                    .iter()
-                    .find(|i| i.name == *index)
-                    .expect("compiled probes reference catalog indexes");
-                let (rows, s) = idx.probe(range);
+                let idx = indexes.iter().find(|i| i.name == *index).ok_or_else(|| {
+                    XdmError::internal(format!(
+                        "compiled probe references unknown index {index}"
+                    ))
+                })?;
+                let (rows, s) = idx.probe_guarded(range, budget)?;
                 stats.entries_scanned += s.entries_scanned;
-                rows
+                Ok(rows)
             }
             IndexCond::And(cs) => {
                 let mut iter = cs.iter();
-                let mut acc = iter
-                    .next()
-                    .map(|c| c.execute(indexes, stats))
-                    .unwrap_or_default();
+                let mut acc = match iter.next() {
+                    Some(c) => c.execute(indexes, stats, budget)?,
+                    None => BTreeSet::new(),
+                };
                 for c in iter {
                     if acc.is_empty() {
                         break;
                     }
-                    let rows = c.execute(indexes, stats);
+                    let rows = c.execute(indexes, stats, budget)?;
                     acc = acc.intersection(&rows).copied().collect();
                 }
-                acc
+                Ok(acc)
             }
             IndexCond::Or(cs) => {
                 let mut acc = BTreeSet::new();
                 for c in cs {
-                    acc.extend(c.execute(indexes, stats));
+                    acc.extend(c.execute(indexes, stats, budget)?);
                 }
-                acc
+                Ok(acc)
             }
         }
     }
@@ -131,7 +144,7 @@ pub fn restrict_to_source(cond: &Cond, source: &str) -> Cond {
             let kept: Vec<Cond> = kept.into_iter().filter(|c| !matches!(c, Cond::Any)).collect();
             match kept.len() {
                 0 => Cond::Any,
-                1 => kept.into_iter().next().expect("len checked"),
+                1 => kept.into_iter().next().unwrap_or(Cond::Any),
                 _ => Cond::And(kept),
             }
         }

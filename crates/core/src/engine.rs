@@ -6,8 +6,9 @@
 //! and node identity all behave exactly as in the unoptimized evaluation.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
-use xqdb_xdm::{ExpandedName, Item, Sequence, XdmError};
+use xqdb_xdm::{Budget, ErrorCode, ExpandedName, Item, Limits, Sequence, XdmError};
 use xqdb_xmlindex::ProbeStats;
 use xqdb_xqeval::{CollectionProvider, DynamicContext};
 use xqdb_xquery::ast::{ConstructorContent, Expr, FlworClause, Step};
@@ -52,6 +53,13 @@ pub struct ExecStats {
     pub docs_evaluated: HashMap<String, usize>,
     /// Collection sizes, per source.
     pub docs_total: HashMap<String, usize>,
+    /// Sources whose index probe failed at execution time and fell back to
+    /// a full collection scan (correct by Definition 1, just slower).
+    pub degraded_sources: Vec<String>,
+    /// Number of index probe faults observed during execution.
+    pub index_faults: usize,
+    /// Evaluator steps charged against the budget.
+    pub steps_used: u64,
 }
 
 /// Result of executing a planned query.
@@ -89,14 +97,32 @@ pub fn plan_query(catalog: &Catalog, query: Query, env: &AnalysisEnv) -> QueryPl
 
 /// Parse, plan and execute an XQuery string.
 pub fn run_xquery(catalog: &Catalog, text: &str) -> Result<ExecOutcome, XdmError> {
+    run_xquery_with_limits(catalog, text, Limits::unlimited())
+}
+
+/// Parse, plan and execute an XQuery string under resource limits.
+pub fn run_xquery_with_limits(
+    catalog: &Catalog,
+    text: &str,
+    limits: Limits,
+) -> Result<ExecOutcome, XdmError> {
     let query = xqdb_xquery::parse_query(text).map_err(|e| {
         XdmError::new(xqdb_xdm::ErrorCode::XPST0003, e.to_string())
     })?;
     let plan = plan_query(catalog, query, &AnalysisEnv::new());
-    execute_plan(catalog, &plan, &DynamicContext::new())
+    let budget = Arc::new(Budget::new(limits));
+    execute_plan(catalog, &plan, &DynamicContext::new().with_budget(budget))
 }
 
-/// Execute a planned query.
+/// Execute a planned query. The context's budget governs the whole run:
+/// probes charge index entries, the evaluator charges steps, and the final
+/// result is checked against the cardinality cap.
+///
+/// If an index probe fails with a `StorageFault` (injected or real), the
+/// affected source **degrades to a full collection scan** — by Definition 1
+/// the index is only a pre-filter, so scanning everything is always
+/// correct. The degradation is recorded in [`ExecStats`]. Budget errors
+/// (`ResourceExhausted`, `Cancelled`) are not degradable and propagate.
 pub fn execute_plan(
     catalog: &Catalog,
     plan: &QueryPlan,
@@ -115,10 +141,21 @@ pub fn execute_plan(
             Some(cond) => {
                 let indexes = catalog.indexes_for_source(&access.source);
                 let mut pstats = ProbeStats::default();
-                let rows = cond.execute(&indexes, &mut pstats);
-                stats.index_entries_scanned += pstats.entries_scanned;
-                stats.docs_evaluated.insert(access.source.clone(), rows.len());
-                filters.insert(access.source.clone(), rows);
+                match cond.execute(&indexes, &mut pstats, &ctx.budget) {
+                    Ok(rows) => {
+                        stats.index_entries_scanned += pstats.entries_scanned;
+                        stats.docs_evaluated.insert(access.source.clone(), rows.len());
+                        filters.insert(access.source.clone(), rows);
+                    }
+                    Err(e) if e.code == ErrorCode::StorageFault => {
+                        // Graceful degradation: no filter for this source.
+                        stats.index_entries_scanned += pstats.entries_scanned;
+                        stats.index_faults += 1;
+                        stats.degraded_sources.push(access.source.clone());
+                        stats.docs_evaluated.insert(access.source.clone(), total);
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             None => {
                 stats.docs_evaluated.insert(access.source.clone(), total);
@@ -127,6 +164,8 @@ pub fn execute_plan(
     }
     let provider = FilteredProvider { catalog, filters };
     let sequence = xqdb_xqeval::eval_query(&plan.query, &provider, ctx)?;
+    ctx.budget.check_result_items(sequence.len())?;
+    stats.steps_used = ctx.budget.steps_used();
     Ok(ExecOutcome { sequence, stats })
 }
 
@@ -181,6 +220,15 @@ impl<'a> CollectionProvider for FilteredProvider<'a> {
             if let Some(f) = filter {
                 if !f.contains(&(row as u64)) {
                     continue;
+                }
+            }
+            // Same storage injection point as Database::xmlcolumn: a
+            // document fetch fault has no fallback and surfaces typed.
+            if let Some(inj) = self.catalog.db.fault_injector() {
+                if inj.should_fail() {
+                    return Err(XdmError::storage_fault(format!(
+                        "injected fault fetching document at row {row} of {key}"
+                    )));
                 }
             }
             if let SqlValue::Xml(n) = &values[col] {

@@ -24,5 +24,8 @@ pub mod sqlxml;
 
 pub use catalog::Catalog;
 pub use eligibility::{AnalysisEnv, Candidate, CmpTarget, Cond, IndexCond, Note};
-pub use engine::{execute_plan, explain, plan_query, run_xquery, ExecOutcome, QueryPlan};
+pub use engine::{
+    execute_plan, explain, plan_query, run_xquery, run_xquery_with_limits, ExecOutcome,
+    ExecStats, QueryPlan,
+};
 pub use sqlxml::{SqlSession, SqlResult};

@@ -135,6 +135,8 @@ impl SqlResult {
 pub struct SqlSession {
     /// The underlying catalog.
     pub catalog: Catalog,
+    /// Limits applied when INSERT parses document text (XMLPARSE).
+    pub parse_limits: xqdb_xmlparse::ParseLimits,
 }
 
 impl SqlSession {
@@ -208,9 +210,15 @@ impl SqlSession {
             let target = t.columns.get(i).map(|c| &c.ty);
             let v = match (e, target) {
                 (SqlExpr::Varchar(s), Some(SqlType::Xml)) => {
-                    let doc = xqdb_xmlparse::parse_document(&s).map_err(|pe| {
-                        XdmError::new(ErrorCode::XPST0003, format!("XMLPARSE: {pe}"))
-                    })?;
+                    let doc = xqdb_xmlparse::parse_document_with(&s, &self.parse_limits)
+                        .map_err(|pe| {
+                            let code = if pe.limit_exceeded {
+                                ErrorCode::ParseLimit
+                            } else {
+                                ErrorCode::XPST0003
+                            };
+                            XdmError::new(code, format!("XMLPARSE: {pe}"))
+                        })?;
                     SqlValue::Xml(doc.root())
                 }
                 (SqlExpr::Varchar(s), Some(SqlType::Date)) => {
@@ -378,7 +386,18 @@ impl SqlSession {
         for (source, access) in &plan.accesses {
             let indexes = self.catalog.indexes_for_source(source);
             let mut pstats = ProbeStats::default();
-            let rows = access.execute(&indexes, &mut pstats);
+            let budget = xqdb_xdm::Budget::unlimited();
+            let rows = match access.execute(&indexes, &mut pstats, &budget) {
+                Ok(rows) => rows,
+                Err(e) if e.code == xqdb_xdm::ErrorCode::StorageFault => {
+                    // Degrade to an unfiltered scan of this source (correct
+                    // by Definition 1); record it for observability.
+                    stats.index_faults += 1;
+                    stats.degraded_sources.push(source.clone());
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             stats.index_entries_scanned += pstats.entries_scanned;
             let table = source.split('.').next().unwrap_or("").to_string();
             // Intersect if several XML columns of one table are filtered.
@@ -772,11 +791,11 @@ pub fn xmlcast(v: &Scalar, ty: &SqlType) -> Result<Scalar, XdmError> {
     match ty {
         SqlType::Integer => match cast::cast(&atom, AtomicType::Integer)? {
             AtomicValue::Integer(i) => Ok(Scalar::Integer(i)),
-            _ => unreachable!("integer cast yields Integer"),
+            other => Err(XdmError::internal(format!("integer cast yielded {other:?}"))),
         },
         SqlType::Double | SqlType::Decimal(..) => match cast::cast(&atom, AtomicType::Double)? {
             AtomicValue::Double(d) => Ok(Scalar::Double(d)),
-            _ => unreachable!("double cast yields Double"),
+            other => Err(XdmError::internal(format!("double cast yielded {other:?}"))),
         },
         SqlType::Varchar(n) => {
             let s = atom.lexical();
@@ -790,11 +809,11 @@ pub fn xmlcast(v: &Scalar, ty: &SqlType) -> Result<Scalar, XdmError> {
         }
         SqlType::Date => match cast::cast(&atom, AtomicType::Date)? {
             AtomicValue::Date(d) => Ok(Scalar::Date(d)),
-            _ => unreachable!("date cast yields Date"),
+            other => Err(XdmError::internal(format!("date cast yielded {other:?}"))),
         },
         SqlType::Timestamp => match cast::cast(&atom, AtomicType::DateTime)? {
             AtomicValue::DateTime(t) => Ok(Scalar::Timestamp(t)),
-            _ => unreachable!("dateTime cast yields DateTime"),
+            other => Err(XdmError::internal(format!("dateTime cast yielded {other:?}"))),
         },
         SqlType::Xml => Ok(Scalar::Xml(seq)),
     }

@@ -2,6 +2,9 @@
 //! the *decision* (which index, or why not) and — where cheap — the
 //! *result equivalence* Q(D) = Q(I(P,D)) of Definition 1.
 
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use xqdb_core::engine::{execute_plan, plan_query};
 use xqdb_core::{AnalysisEnv, Catalog, Note};
 use xqdb_xqeval::DynamicContext;

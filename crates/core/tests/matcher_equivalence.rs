@@ -8,7 +8,11 @@
 //!    whenever it claims `P ⊆ Q`, every node matched by `P` in any
 //!    generated document must be matched by `Q`.
 
-use proptest::prelude::*;
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use xqdb_core::eligibility::path_contained_in;
 use xqdb_workload::{OrderGenerator, OrderParams};
 use xqdb_xdm::{Item, NodeHandle};
@@ -69,37 +73,36 @@ fn eval_as_path(pattern_src: &str, doc: &NodeHandle) -> Vec<NodeHandle> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn matcher_agrees_with_evaluator(
-        seed in 0u64..500,
-        element_prices in any::<bool>(),
-        ns in any::<bool>(),
-        pattern_idx in 0usize..PATTERNS.len(),
-    ) {
+#[test]
+fn matcher_agrees_with_evaluator() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let seed = rng.random_range(0..500u64);
+        let element_prices = rng.random_bool(0.5);
+        let ns = rng.random_bool(0.5);
+        let src = PATTERNS[rng.random_range(0..PATTERNS.len())];
         let doc = generated_doc(seed, element_prices, ns);
-        let src = PATTERNS[pattern_idx];
         let pattern = parse_pattern(src).expect("pattern parses");
         let mut matched = match_document(&pattern, &doc);
         matched.sort();
         let mut evaluated = eval_as_path(src, &doc);
         evaluated.sort();
-        prop_assert_eq!(
-            &matched, &evaluated,
-            "matcher and evaluator disagree on {} (doc seed {})", src, seed
+        assert_eq!(
+            matched, evaluated,
+            "matcher and evaluator disagree on {src} (doc seed {seed})"
         );
     }
+}
 
-    #[test]
-    fn containment_sound_on_documents(
-        seed in 0u64..500,
-        element_prices in any::<bool>(),
-        ns in any::<bool>(),
-        p_idx in 0usize..PATTERNS.len(),
-        q_idx in 0usize..PATTERNS.len(),
-    ) {
+#[test]
+fn containment_sound_on_documents() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0_0000 + case);
+        let seed = rng.random_range(0..500u64);
+        let element_prices = rng.random_bool(0.5);
+        let ns = rng.random_bool(0.5);
+        let p_idx = rng.random_range(0..PATTERNS.len());
+        let q_idx = rng.random_range(0..PATTERNS.len());
         let p = parse_pattern(PATTERNS[p_idx]).expect("parses");
         let q = parse_pattern(PATTERNS[q_idx]).expect("parses");
         if path_contained_in(&p.steps, &q.steps) {
@@ -107,7 +110,7 @@ proptest! {
             let matched_p = match_document(&p, &doc);
             let matched_q = match_document(&q, &doc);
             for node in &matched_p {
-                prop_assert!(
+                assert!(
                     matched_q.contains(node),
                     "containment claims {} ⊆ {} but a node matched only the former",
                     PATTERNS[p_idx],

@@ -2,6 +2,9 @@
 //! (Sections 3.2 and 3.3): result shapes, NULL/empty behavior, XMLCAST
 //! failure modes, and index-eligibility decisions per formulation.
 
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use xqdb_core::sqlxml::{Scalar, SqlSession};
 use xqdb_xdm::ErrorCode;
 

@@ -1,0 +1,245 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of the criterion 0.8 API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology is intentionally simple — per benchmark: one untimed warm-up
+//! iteration, then `sample_size` timed samples (each sample is as many
+//! iterations as fit in `measurement_time / sample_size`, at least one), and
+//! the median per-iteration time is printed. No statistics machinery, no
+//! plots, no disk output; the numbers are for *relative* comparisons (index
+//! probe vs. collection scan), which is all the paper's claims need.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("insert", 500)` renders as `insert/500`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// A bare parameter id, `BenchmarkId::from_parameter(500)` → `500`.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl<'a> Bencher<'a> {
+    /// Time `routine`, collecting the per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let per_sample = (self.measurement_time / self.sample_size.max(1) as u32)
+            .max(Duration::from_micros(1));
+        for _ in 0..self.sample_size {
+            let mut iters = 0u32;
+            let start = Instant::now();
+            loop {
+                black_box(routine());
+                iters += 1;
+                let elapsed = start.elapsed();
+                if elapsed >= per_sample || iters >= 1_000_000 {
+                    self.samples.push(elapsed / iters);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<60} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    println!(
+        "{name:<60} median {:>12?}   [{:?} .. {:?}] ({} samples)",
+        median,
+        lo,
+        hi,
+        samples.len()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget per benchmark, split across the samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmark a routine under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut samples);
+        self
+    }
+
+    /// Benchmark a routine that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &mut samples);
+        self
+    }
+
+    /// End the group (printing happens eagerly; this is a no-op for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh driver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.to_string();
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: 3,
+            measurement_time: Duration::from_millis(3),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(samples.len(), 3);
+        assert!(count > 3, "warm-up plus timed iterations ran");
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("insert", 500).to_string(), "insert/500");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).measurement_time(Duration::from_millis(2));
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

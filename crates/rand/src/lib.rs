@@ -1,0 +1,189 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! tiny subset of the `rand` 0.10 API it actually uses: a seedable
+//! deterministic generator ([`rngs::StdRng`]), uniform ranges
+//! ([`RngExt::random_range`]) and Bernoulli draws ([`RngExt::random_bool`]).
+//! Determinism given a seed is the property the workload generators and the
+//! chaos tests rely on; statistical quality beyond "well mixed" is not a
+//! goal. The core generator is SplitMix64 (Steele et al.), which passes
+//! basic avalanche tests and is trivially seedable from a `u64`.
+
+/// Sources of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges a value can be drawn from. Implemented for the `Range` and
+/// `RangeInclusive` forms of the integer and float types the workspace uses.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range. Panics on an empty range, like
+    /// the real crate.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`/`RngExt`.
+pub trait RngExt: RngCore {
+    /// Uniform draw from a range, e.g. `rng.random_range(0..10)`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let p = p.clamp(0.0, 1.0);
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: SplitMix64.
+    ///
+    /// Unlike the real `StdRng` this is **not** cryptographically secure —
+    /// it exists to make workloads and chaos tests reproducible from a seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..9u32);
+            assert!((3..9).contains(&v));
+            let w = rng.random_range(1..=12u32);
+            assert!((1..=12).contains(&w));
+            let f = rng.random_range(10.0..20.0f64);
+            assert!((10.0..20.0).contains(&f));
+            let n = rng.random_range(0..5usize);
+            assert!(n < 5);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.random_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all bucket values reached: {seen:?}");
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "p=0.5 gave {heads}/10000");
+    }
+}

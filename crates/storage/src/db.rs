@@ -2,8 +2,9 @@
 //! `db2-fn:xmlcolumn` collection provider.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use xqdb_xdm::{ErrorCode, Item, Sequence, XdmError};
+use xqdb_xdm::{ErrorCode, FaultInjector, Item, Sequence, XdmError};
 use xqdb_xqeval::CollectionProvider;
 
 use crate::table::{RowId, Table};
@@ -13,12 +14,27 @@ use crate::value::SqlValue;
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     tables: HashMap<String, Table>,
+    /// Chaos-testing hook: when set, each document fetched from an XML
+    /// column is an injection point. A fired fault surfaces as a typed
+    /// `StorageFault` error — document data has no fallback, so the engine
+    /// reports it rather than degrading.
+    fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl Database {
     /// Create an empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Install (or clear) the storage fault injector.
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        self.fault_injector = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault_injector.as_ref()
     }
 
     /// Register a table. Fails if a table of that name exists.
@@ -84,7 +100,14 @@ impl CollectionProvider for Database {
     fn xmlcolumn(&self, name: &str) -> Result<Sequence, XdmError> {
         let (table, col) = self.resolve_xml_column(name)?;
         let mut out = Vec::with_capacity(table.len());
-        for (_, row) in table.scan() {
+        for (rowid, row) in table.scan() {
+            if let Some(inj) = &self.fault_injector {
+                if inj.should_fail() {
+                    return Err(XdmError::storage_fault(format!(
+                        "injected fault fetching document at row {rowid} of {name}"
+                    )));
+                }
+            }
             match &row[col] {
                 SqlValue::Xml(n) => out.push(Item::Node(n.clone())),
                 SqlValue::Null => {} // NULL documents contribute nothing
@@ -157,6 +180,17 @@ mod tests {
             .create_table(Table::new("ORDERS", vec![]))
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::SqlType);
+    }
+
+    #[test]
+    fn injected_storage_fault_is_typed_error() {
+        use xqdb_xdm::FaultMode;
+        let mut db = db_with_orders(&["<order/>", "<order/>", "<order/>"]);
+        db.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultMode::Nth(2)))));
+        let err = db.xmlcolumn("ORDERS.ORDDOC").unwrap_err();
+        assert_eq!(err.code, ErrorCode::StorageFault);
+        // The injector already consumed its Nth shot; later scans succeed.
+        assert_eq!(db.xmlcolumn("ORDERS.ORDDOC").unwrap().len(), 3);
     }
 
     #[test]

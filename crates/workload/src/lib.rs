@@ -14,6 +14,10 @@
 //!   for the text-node pitfall (Section 3.8);
 //! * **namespaced documents** for Section 3.7;
 //! * **RSS-like feeds** (the paper's motivating extensible format).
+// Test/bench fixture infrastructure: the schema DDL and generated XML are
+// deterministic, so a failure here is a generator bug that should abort the
+// harness loudly, exactly like a failing test.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::fmt::Write as _;
 

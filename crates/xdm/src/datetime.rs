@@ -159,7 +159,9 @@ impl DateTime {
                     return Err(XdmError::invalid_cast(format!("invalid fraction in {s:?}")));
                 }
                 let padded = format!("{f:0<3}");
-                padded[..3].parse().expect("three ascii digits")
+                padded[..3].parse().map_err(|_| {
+                    XdmError::invalid_cast(format!("invalid fraction in {s:?}"))
+                })?
             }
         };
         DateTime::new(date, parse_u8(fields[0])?, parse_u8(fields[1])?, parse_u8(fields[2])?, millis)

@@ -41,6 +41,19 @@ pub enum ErrorCode {
     SqlCardinality,
     /// SQL-side type error (incomparable SQL types).
     SqlType,
+    /// A resource budget (deadline, step count, index entries, result
+    /// cardinality, document size) was exceeded during evaluation.
+    ResourceExhausted,
+    /// Evaluation was cancelled via the shared cancellation token.
+    Cancelled,
+    /// The storage layer failed to produce a document (injected or real
+    /// fault). Unlike an index fault this is not recoverable by rescanning:
+    /// the data itself is unavailable.
+    StorageFault,
+    /// A parser limit was exceeded (nesting depth, document size,
+    /// attribute size) — input is rejected rather than risking a stack
+    /// overflow or unbounded allocation.
+    ParseLimit,
     /// Internal invariant violation — a bug in the engine, never expected.
     Internal,
 }
@@ -58,6 +71,10 @@ impl fmt::Display for ErrorCode {
             ErrorCode::XPST0081 => "err:XPST0081",
             ErrorCode::FOCA0002 => "err:FOCA0002",
             ErrorCode::FODT0001 => "err:FODT0001",
+            ErrorCode::ResourceExhausted => "xqdb:RESOURCE",
+            ErrorCode::Cancelled => "xqdb:CANCELLED",
+            ErrorCode::StorageFault => "xqdb:STORAGE",
+            ErrorCode::ParseLimit => "xqdb:PARSELIMIT",
             ErrorCode::SqlLength => "sql:LENGTH",
             ErrorCode::SqlCardinality => "sql:CARDINALITY",
             ErrorCode::SqlType => "sql:TYPE",
@@ -90,6 +107,32 @@ impl XdmError {
     /// Shorthand for the `FORG0001` invalid-cast error.
     pub fn invalid_cast(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::FORG0001, message)
+    }
+
+    /// Shorthand for a budget-exceeded error.
+    pub fn resource_exhausted(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::ResourceExhausted, message)
+    }
+
+    /// Shorthand for a cancellation error.
+    pub fn cancelled() -> Self {
+        Self::new(ErrorCode::Cancelled, "evaluation cancelled")
+    }
+
+    /// Shorthand for a storage-layer fault.
+    pub fn storage_fault(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::StorageFault, message)
+    }
+
+    /// Shorthand for a parser-limit rejection.
+    pub fn parse_limit(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::ParseLimit, message)
+    }
+
+    /// Shorthand for an internal invariant violation (replaces `panic!` /
+    /// `unreachable!` in non-test code: a bug report, not a crash).
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Internal, message)
     }
 }
 

@@ -1,0 +1,150 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultInjector`] decides, per operation, whether to simulate a
+//! failure. Storage attaches one to document fetches; the index layer
+//! attaches one to probes. Every mode is deterministic — `Nth`/`EveryNth`
+//! count operations atomically, and `Probability` hashes a seeded counter —
+//! so a failing chaos-test seed reproduces exactly.
+//!
+//! The injector lives in `xqdb-xdm` (alongside [`crate::limits`]) because
+//! it is the one crate both the storage and index layers already depend on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// When the injector fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Never fail (the default; zero-cost in the hot path).
+    Never,
+    /// Fail every operation.
+    Always,
+    /// Fail exactly the `n`-th operation (1-based), once.
+    Nth(u64),
+    /// Fail every `n`-th operation (1-based; `EveryNth(3)` fails ops 3, 6, ...).
+    EveryNth(u64),
+    /// Fail a seeded pseudo-random fraction of operations:
+    /// `permille` out of every 1000, keyed by `seed` and the operation
+    /// counter (deterministic across runs).
+    Probability { permille: u32, seed: u64 },
+}
+
+/// A shareable, thread-safe fault injection point.
+#[derive(Debug)]
+pub struct FaultInjector {
+    mode: FaultMode,
+    ops: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::new(FaultMode::Never)
+    }
+}
+
+impl FaultInjector {
+    /// An injector with the given firing mode, counters at zero.
+    pub fn new(mode: FaultMode) -> Self {
+        FaultInjector { mode, ops: AtomicU64::new(0), injected: AtomicU64::new(0) }
+    }
+
+    /// Convenience: a shared injector that never fires.
+    pub fn disabled() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> FaultMode {
+        self.mode
+    }
+
+    /// Record one operation and report whether it should fail.
+    pub fn should_fail(&self) -> bool {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed) + 1; // 1-based
+        let fail = match self.mode {
+            FaultMode::Never => false,
+            FaultMode::Always => true,
+            FaultMode::Nth(n) => op == n,
+            FaultMode::EveryNth(n) => n > 0 && op.is_multiple_of(n),
+            FaultMode::Probability { permille, seed } => {
+                // SplitMix64 over (seed, op): deterministic per operation.
+                let mut z = seed ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z % 1000) < u64::from(permille)
+            }
+        };
+        if fail {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fail
+    }
+
+    /// Total operations observed.
+    pub fn operations(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// How many faults have been injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_mode_never_fires() {
+        let f = FaultInjector::new(FaultMode::Never);
+        assert!((0..100).all(|_| !f.should_fail()));
+        assert_eq!(f.operations(), 100);
+        assert_eq!(f.faults_injected(), 0);
+    }
+
+    #[test]
+    fn always_mode_always_fires() {
+        let f = FaultInjector::new(FaultMode::Always);
+        assert!((0..10).all(|_| f.should_fail()));
+        assert_eq!(f.faults_injected(), 10);
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let f = FaultInjector::new(FaultMode::Nth(3));
+        let fired: Vec<bool> = (0..6).map(|_| f.should_fail()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn every_nth_is_periodic() {
+        let f = FaultInjector::new(FaultMode::EveryNth(2));
+        let fired: Vec<bool> = (0..6).map(|_| f.should_fail()).collect();
+        assert_eq!(fired, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn probability_is_deterministic_and_roughly_calibrated() {
+        let a = FaultInjector::new(FaultMode::Probability { permille: 250, seed: 42 });
+        let b = FaultInjector::new(FaultMode::Probability { permille: 250, seed: 42 });
+        let fa: Vec<bool> = (0..2000).map(|_| a.should_fail()).collect();
+        let fb: Vec<bool> = (0..2000).map(|_| b.should_fail()).collect();
+        assert_eq!(fa, fb, "same seed must reproduce exactly");
+        let rate = a.faults_injected() as f64 / 2000.0;
+        assert!((0.15..0.35).contains(&rate), "rate {rate} far from 0.25");
+        let c = FaultInjector::new(FaultMode::Probability { permille: 250, seed: 43 });
+        let fc: Vec<bool> = (0..2000).map(|_| c.should_fail()).collect();
+        assert_ne!(fa, fc, "different seeds should differ");
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let never = FaultInjector::new(FaultMode::Probability { permille: 0, seed: 1 });
+        assert!((0..500).all(|_| !never.should_fail()));
+        let always = FaultInjector::new(FaultMode::Probability { permille: 1000, seed: 1 });
+        assert!((0..500).all(|_| always.should_fail()));
+    }
+}

@@ -26,6 +26,8 @@ pub mod cast;
 pub mod compare;
 pub mod datetime;
 pub mod error;
+pub mod fault;
+pub mod limits;
 pub mod node;
 pub mod qname;
 pub mod sequence;
@@ -35,6 +37,8 @@ pub use atomic::{AtomicType, AtomicValue};
 pub use builder::DocumentBuilder;
 pub use datetime::{Date, DateTime};
 pub use error::{ErrorCode, XdmError};
+pub use fault::{FaultInjector, FaultMode};
+pub use limits::{Budget, Limits};
 pub use node::{Document, DocId, NodeHandle, NodeId, NodeKind, TypeAnnotation};
 pub use qname::{ExpandedName, QName};
 pub use sequence::{Item, Sequence};

@@ -74,8 +74,8 @@ fn copy_validated(
 ) -> XdmResult<()> {
     match node.kind() {
         NodeKind::Element => {
-            let name = node.name().expect("elements carry names").clone();
-            let id = b.start_element(name);
+            let Some(name) = node.name() else { return Ok(()) };
+            let id = b.start_element(name.clone());
             if let Some(rule) = rule_for(rules, node.name()) {
                 check_castable(node, rule)?;
                 b.annotate(id, rule.ty);
@@ -96,7 +96,9 @@ fn copy_validated(
             );
         }
         NodeKind::Attribute | NodeKind::Document => {
-            unreachable!("attributes/documents handled by their parents")
+            return Err(XdmError::internal(
+                "validation walker reached an attribute/document node directly",
+            ))
         }
     }
     Ok(())
@@ -108,8 +110,8 @@ fn copy_attrs_and_children(
     rules: &[TypeRule],
 ) -> XdmResult<()> {
     for attr in node.attributes() {
-        let name = attr.name().expect("attributes carry names").clone();
-        let id = b.attribute(name, attr.string_value());
+        let Some(name) = attr.name() else { continue };
+        let id = b.attribute(name.clone(), attr.string_value());
         if let Some(rule) = rule_for(rules, attr.name()) {
             check_castable(&attr, rule)?;
             b.annotate(id, rule.ty);

@@ -3,9 +3,12 @@
 use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::Bound;
+use std::sync::Arc;
 
 use xqdb_btree::{keyenc, BPlusTree};
-use xqdb_xdm::{cast, AtomicType, AtomicValue, ErrorCode, NodeHandle, XdmError};
+use xqdb_xdm::{
+    cast, AtomicType, AtomicValue, Budget, ErrorCode, FaultInjector, NodeHandle, XdmError,
+};
 use xqdb_xquery::{parse_pattern, Pattern};
 
 use crate::matcher::PatternMatcher;
@@ -112,6 +115,11 @@ pub struct XmlIndex {
     /// Nodes that matched the pattern but did not cast (skipped —
     /// "tolerant" indexing). Kept as a counter for observability.
     pub skipped_nodes: usize,
+    /// Chaos-testing hook: when set, each guarded probe is an injection
+    /// point. A fired fault makes [`XmlIndex::probe_guarded`] return a
+    /// `StorageFault` error, which the engine answers by degrading to a
+    /// full collection scan (correct by Definition 1).
+    fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl XmlIndex {
@@ -142,7 +150,18 @@ impl XmlIndex {
             matcher,
             tree: BPlusTree::new(),
             skipped_nodes: 0,
+            fault_injector: None,
         })
+    }
+
+    /// Install (or clear) the probe fault injector.
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        self.fault_injector = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault_injector.as_ref()
     }
 
     /// Number of index entries.
@@ -179,7 +198,10 @@ impl XmlIndex {
             match cast::cast(&typed, ty.atomic_type()) {
                 Ok(v) => {
                     let mut key = Vec::with_capacity(24);
-                    encode_value(&v, &mut key);
+                    if encode_value(&v, &mut key).is_err() {
+                        skipped += 1;
+                        return;
+                    }
                     key.extend_from_slice(&keyenc::encode_u64(row));
                     key.extend_from_slice(&node.id.0.to_be_bytes());
                     entries.push((key, ()));
@@ -196,14 +218,45 @@ impl XmlIndex {
     /// Probe the index with a value range, returning the matching row set.
     /// The probe value is cast to the index type first; an impossible cast
     /// yields the empty set (the value cannot occur in this index).
+    ///
+    /// Infallible variant: no fault injection, no budget. The engine's
+    /// execution path uses [`XmlIndex::probe_guarded`] instead.
     pub fn probe(&self, range: &ProbeRange) -> (BTreeSet<u64>, ProbeStats) {
+        // With no budget the scan cannot fail.
+        self.scan_rows(range, None).unwrap_or_default()
+    }
+
+    /// Budget-governed, fault-injectable probe. Fails with `StorageFault`
+    /// when the injector fires and with `ResourceExhausted`/`Cancelled`
+    /// when the budget trips mid-scan.
+    pub fn probe_guarded(
+        &self,
+        range: &ProbeRange,
+        budget: &Budget,
+    ) -> Result<(BTreeSet<u64>, ProbeStats), XdmError> {
+        if let Some(inj) = &self.fault_injector {
+            if inj.should_fail() {
+                return Err(XdmError::storage_fault(format!(
+                    "injected fault probing index {}",
+                    self.name
+                )));
+            }
+        }
+        self.scan_rows(range, Some(budget))
+    }
+
+    fn scan_rows(
+        &self,
+        range: &ProbeRange,
+        budget: Option<&Budget>,
+    ) -> Result<(BTreeSet<u64>, ProbeStats), XdmError> {
         let lo = match encode_bound(&range.lo, self.ty, true) {
             Ok(b) => b,
-            Err(()) => return (BTreeSet::new(), ProbeStats::default()),
+            Err(()) => return Ok((BTreeSet::new(), ProbeStats::default())),
         };
         let hi = match encode_bound(&range.hi, self.ty, false) {
             Ok(b) => b,
-            Err(()) => return (BTreeSet::new(), ProbeStats::default()),
+            Err(()) => return Ok((BTreeSet::new(), ProbeStats::default())),
         };
         let mut rows = BTreeSet::new();
         let mut stats = ProbeStats::default();
@@ -211,15 +264,15 @@ impl XmlIndex {
         let hib = as_bound_slice(&hi);
         for (key, ()) in self.tree.range(lob, hib) {
             stats.entries_scanned += 1;
-            if key.len() >= SUFFIX_LEN {
-                let row_bytes: [u8; 8] = key[key.len() - SUFFIX_LEN..key.len() - 4]
-                    .try_into()
-                    .expect("row id is 8 bytes");
-                rows.insert(u64::from_be_bytes(row_bytes));
+            if let Some(b) = budget {
+                b.charge_index_entries(1)?;
+            }
+            if let Some((row, _node)) = decode_suffix(key) {
+                rows.insert(row);
             }
         }
         stats.rows_matched = rows.len();
-        (rows, stats)
+        Ok((rows, stats))
     }
 
     /// Probe returning `(row, node-id)` pairs — node-level results, used
@@ -237,13 +290,8 @@ impl XmlIndex {
         let mut stats = ProbeStats::default();
         for (key, ()) in self.tree.range(as_bound_slice(&lo), as_bound_slice(&hi)) {
             stats.entries_scanned += 1;
-            if key.len() >= SUFFIX_LEN {
-                let row_bytes: [u8; 8] = key[key.len() - SUFFIX_LEN..key.len() - 4]
-                    .try_into()
-                    .expect("row id is 8 bytes");
-                let node_bytes: [u8; 4] =
-                    key[key.len() - 4..].try_into().expect("node id is 4 bytes");
-                out.insert((u64::from_be_bytes(row_bytes), u32::from_be_bytes(node_bytes)));
+            if let Some(pair) = decode_suffix(key) {
+                out.insert(pair);
             }
         }
         stats.rows_matched = out.iter().map(|(r, _)| *r).collect::<BTreeSet<_>>().len();
@@ -251,8 +299,22 @@ impl XmlIndex {
     }
 }
 
-/// Encode an already-cast value as its key prefix.
-fn encode_value(v: &AtomicValue, out: &mut Vec<u8>) {
+/// Split the fixed 12-byte `(row, node)` suffix off an index key. `None`
+/// only for malformed (too-short) keys, which the probes then ignore
+/// instead of panicking.
+fn decode_suffix(key: &[u8]) -> Option<(u64, u32)> {
+    if key.len() < SUFFIX_LEN {
+        return None;
+    }
+    let row: [u8; 8] = key[key.len() - SUFFIX_LEN..key.len() - 4].try_into().ok()?;
+    let node: [u8; 4] = key[key.len() - 4..].try_into().ok()?;
+    Some((u64::from_be_bytes(row), u32::from_be_bytes(node)))
+}
+
+/// Encode an already-cast value as its key prefix. Index types cast to
+/// exactly the four encodings below; any other value reaching here is an
+/// engine bug, reported as a typed error rather than a panic.
+fn encode_value(v: &AtomicValue, out: &mut Vec<u8>) -> Result<(), XdmError> {
     match v {
         AtomicValue::Double(d) => out.extend_from_slice(&keyenc::encode_f64(*d)),
         AtomicValue::String(s) => keyenc::encode_str(s, out),
@@ -261,11 +323,10 @@ fn encode_value(v: &AtomicValue, out: &mut Vec<u8>) {
             out.extend_from_slice(&keyenc::encode_i64(dt.millis_since_epoch()))
         }
         other => {
-            // Index types cast to exactly the four encodings above; any
-            // other value reaching here is an engine bug.
-            unreachable!("unencodable index value {other:?}")
+            return Err(XdmError::internal(format!("unencodable index value {other:?}")));
         }
     }
+    Ok(())
 }
 
 /// Encode a probe bound. `Err(())` means the value cannot be cast into the
@@ -281,7 +342,7 @@ fn encode_bound(
     };
     let cast_v = cast::cast(v, ty.atomic_type()).map_err(|_| ())?;
     let mut enc = Vec::with_capacity(24);
-    encode_value(&cast_v, &mut enc);
+    encode_value(&cast_v, &mut enc).map_err(|_| ())?;
     let inclusive = matches!(bound, Bound::Included(_));
     // Composite keys carry a 12-byte (row, node) suffix; pad bounds so the
     // value range covers every suffix.

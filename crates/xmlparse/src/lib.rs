@@ -14,5 +14,5 @@
 pub mod parser;
 pub mod serialize;
 
-pub use parser::{parse_document, ParseError};
+pub use parser::{parse_document, parse_document_with, ParseError, ParseLimits};
 pub use serialize::{serialize_node, serialize_sequence};

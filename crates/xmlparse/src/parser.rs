@@ -14,6 +14,10 @@ pub struct ParseError {
     pub offset: usize,
     /// What went wrong.
     pub message: String,
+    /// True when the failure is a [`ParseLimits`] violation rather than a
+    /// well-formedness error — callers map these to a resource-limit error
+    /// class instead of a syntax error.
+    pub limit_exceeded: bool,
 }
 
 impl fmt::Display for ParseError {
@@ -24,9 +28,69 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parse a complete XML document into an XDM tree rooted by a document node.
+/// Resource caps applied while parsing, so adversarial input fails with a
+/// [`ParseError`] instead of exhausting the stack or memory.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseLimits {
+    /// Maximum element nesting depth. `parse_element` recurses, so this
+    /// also bounds parser stack usage.
+    pub max_depth: usize,
+    /// Maximum input size in bytes, if capped.
+    pub max_doc_bytes: Option<usize>,
+    /// Maximum decoded attribute-value size in bytes, if capped.
+    pub max_attr_bytes: Option<usize>,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits { max_depth: 256, max_doc_bytes: None, max_attr_bytes: None }
+    }
+}
+
+impl ParseLimits {
+    /// Cap element nesting depth.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Cap total input size.
+    pub fn with_max_doc_bytes(mut self, bytes: usize) -> Self {
+        self.max_doc_bytes = Some(bytes);
+        self
+    }
+
+    /// Cap each decoded attribute value's size.
+    pub fn with_max_attr_bytes(mut self, bytes: usize) -> Self {
+        self.max_attr_bytes = Some(bytes);
+        self
+    }
+}
+
+/// Parse a complete XML document into an XDM tree rooted by a document node,
+/// under the default [`ParseLimits`].
 pub fn parse_document(input: &str) -> Result<Arc<Document>, ParseError> {
-    let mut p = Parser::new(input);
+    parse_document_with(input, &ParseLimits::default())
+}
+
+/// Parse a complete XML document under explicit resource limits.
+pub fn parse_document_with(
+    input: &str,
+    limits: &ParseLimits,
+) -> Result<Arc<Document>, ParseError> {
+    if let Some(cap) = limits.max_doc_bytes {
+        if input.len() > cap {
+            return Err(ParseError {
+                offset: 0,
+                message: format!(
+                    "document is {} bytes, exceeding the {cap}-byte limit",
+                    input.len()
+                ),
+                limit_exceeded: true,
+            });
+        }
+    }
+    let mut p = Parser::new_with_limits(input, *limits);
     p.skip_prolog()?;
     let mut builder = DocumentBuilder::new_document();
     // Misc (comments/PIs) may precede the root element.
@@ -91,10 +155,15 @@ impl NamespaceScopes {
 
     fn declare(&mut self, prefix: &str, uri: &str) {
         let binding = if uri.is_empty() { None } else { Some(uri.to_string()) };
-        self.frames
-            .last_mut()
-            .expect("scope stack never empty")
-            .insert(prefix.to_string(), binding);
+        // The stack starts with a base frame and pops only in lock-step with
+        // pushes, but an empty stack must degrade to a fresh frame rather
+        // than abort the process.
+        if self.frames.is_empty() {
+            self.frames.push(HashMap::new());
+        }
+        if let Some(frame) = self.frames.last_mut() {
+            frame.insert(prefix.to_string(), binding);
+        }
     }
 
     fn resolve(&self, prefix: &str) -> Option<Option<&str>> {
@@ -138,15 +207,21 @@ impl NamespaceScopes {
 struct Parser<'a> {
     input: &'a str,
     pos: usize,
+    limits: ParseLimits,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(input: &'a str) -> Self {
-        Parser { input, pos: 0 }
+    fn new_with_limits(input: &'a str, limits: ParseLimits) -> Self {
+        Parser { input, pos: 0, limits, depth: 0 }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { offset: self.pos, message: message.into() }
+        ParseError { offset: self.pos, message: message.into(), limit_exceeded: false }
+    }
+
+    fn err_limit(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: message.into(), limit_exceeded: true }
     }
 
     fn rest(&self) -> &'a str {
@@ -195,10 +270,24 @@ impl<'a> Parser<'a> {
         }
         self.skip_whitespace();
         if self.peek_str("<!DOCTYPE") {
-            // Skip to the matching '>' (internal subsets use nested brackets).
+            // Skip to the matching '>': internal subsets use nested brackets,
+            // and quoted literals (system/public identifiers, entity values)
+            // may contain '>' or brackets that must not count.
             let mut depth = 0usize;
             while let Some(c) = self.bump() {
                 match c {
+                    '"' | '\'' => {
+                        let quote = c;
+                        loop {
+                            match self.bump() {
+                                None => {
+                                    return Err(self.err("unterminated literal in DOCTYPE"))
+                                }
+                                Some(q) if q == quote => break,
+                                Some(_) => {}
+                            }
+                        }
+                    }
                     '[' => depth += 1,
                     ']' => depth = depth.saturating_sub(1),
                     '>' if depth == 0 => return Ok(()),
@@ -220,6 +309,7 @@ impl<'a> Parser<'a> {
         QName::parse(raw).ok_or_else(|| ParseError {
             offset: start,
             message: format!("invalid name {raw:?}"),
+            limit_exceeded: false,
         })
     }
 
@@ -321,6 +411,13 @@ impl<'a> Parser<'a> {
         };
         let mut out = String::new();
         loop {
+            if let Some(cap) = self.limits.max_attr_bytes {
+                if out.len() > cap {
+                    return Err(self.err_limit(format!(
+                        "attribute value exceeds the {cap}-byte limit"
+                    )));
+                }
+            }
             match self.peek() {
                 None => return Err(self.err("unterminated attribute value")),
                 Some(c) if c == quote => {
@@ -343,6 +440,23 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_element(
+        &mut self,
+        builder: &mut DocumentBuilder,
+        scopes: &mut NamespaceScopes,
+    ) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            return Err(self.err_limit(format!(
+                "element nesting exceeds the maximum depth of {}",
+                self.limits.max_depth
+            )));
+        }
+        let result = self.parse_element_inner(builder, scopes);
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_element_inner(
         &mut self,
         builder: &mut DocumentBuilder,
         scopes: &mut NamespaceScopes,
@@ -383,7 +497,7 @@ impl<'a> Parser<'a> {
 
         let ename = scopes
             .element_name(&name)
-            .map_err(|m| ParseError { offset: open_offset, message: m })?;
+            .map_err(|m| ParseError { offset: open_offset, message: m, limit_exceeded: false })?;
         builder.start_element(ename);
 
         let mut seen: Vec<ExpandedName> = Vec::new();
@@ -397,11 +511,12 @@ impl<'a> Parser<'a> {
             }
             let rname = scopes
                 .attribute_name(aname)
-                .map_err(|m| ParseError { offset: *at, message: m })?;
+                .map_err(|m| ParseError { offset: *at, message: m, limit_exceeded: false })?;
             if seen.contains(&rname) {
                 return Err(ParseError {
                     offset: *at,
                     message: format!("duplicate attribute {rname}"),
+                    limit_exceeded: false,
                 });
             }
             seen.push(rname.clone());
@@ -638,6 +753,46 @@ mod tests {
             e.attributes().next().unwrap().annotation(),
             TypeAnnotation::UntypedAtomic
         );
+    }
+
+    #[test]
+    fn doctype_with_quoted_markup_is_skipped() {
+        // '>' and brackets inside quoted literals must not end the DOCTYPE.
+        let doc = parse_document(
+            "<!DOCTYPE order SYSTEM \"od]>d.dtd\" [<!ENTITY e \"a>b\">]><order/>",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.root().children().next().unwrap().name().unwrap().local.as_ref(),
+            "order"
+        );
+        assert!(parse_document("<!DOCTYPE order SYSTEM \"unclosed><order/>").is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_limited() {
+        let deep = format!("{}x{}", "<a>".repeat(300), "</a>".repeat(300));
+        let err = parse_document(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "got: {}", err.message);
+        // A custom limit admits what the default rejects.
+        let limits = ParseLimits::default().with_max_depth(512);
+        assert!(parse_document_with(&deep, &limits).is_ok());
+        // And a tight limit rejects shallow documents.
+        let tight = ParseLimits::default().with_max_depth(2);
+        assert!(parse_document_with("<a><b><c/></b></a>", &tight).is_err());
+    }
+
+    #[test]
+    fn doc_and_attr_size_limits() {
+        let limits = ParseLimits::default().with_max_doc_bytes(16);
+        assert!(parse_document_with("<a/>", &limits).is_ok());
+        assert!(parse_document_with("<a>0123456789012345</a>", &limits).is_err());
+
+        let limits = ParseLimits::default().with_max_attr_bytes(8);
+        assert!(parse_document_with("<a b=\"short\"/>", &limits).is_ok());
+        let err =
+            parse_document_with("<a b=\"far too long a value\"/>", &limits).unwrap_err();
+        assert!(err.message.contains("attribute value"), "got: {}", err.message);
     }
 
     #[test]

@@ -72,7 +72,10 @@ fn write_node(out: &mut String, node: &NodeHandle, scope: &mut ScopeTracker) {
             }
         }
         NodeKind::Element => {
-            let name = node.name().expect("element has a name");
+            // Elements always carry a name; a nameless one (which would
+            // indicate a builder bug) serializes as nothing rather than
+            // aborting the process.
+            let Some(name) = node.name() else { return };
             let uri = name.ns.as_deref().unwrap_or("");
             // Elements serialize with the default prefix for their namespace.
             let mut decls: Vec<(String, String)> = Vec::new();
@@ -84,7 +87,7 @@ fn write_node(out: &mut String, node: &NodeHandle, scope: &mut ScopeTracker) {
             let mut attr_names: Vec<(Option<String>, NodeHandle)> = Vec::new();
             let mut gen = 0usize;
             for attr in node.attributes() {
-                let aname = attr.name().expect("attribute has a name");
+                let Some(aname) = attr.name() else { continue };
                 match aname.ns.as_deref() {
                     None => attr_names.push((None, attr)),
                     Some(auri) => {
@@ -111,7 +114,7 @@ fn write_node(out: &mut String, node: &NodeHandle, scope: &mut ScopeTracker) {
                 }
             }
             for (prefix, attr) in &attr_names {
-                let aname = attr.name().expect("attribute has a name");
+                let Some(aname) = attr.name() else { continue };
                 match prefix {
                     None => {
                         let _ = write!(

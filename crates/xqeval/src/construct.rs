@@ -239,7 +239,7 @@ fn append_sequence(
                 if n.kind() == NodeKind::Attribute {
                     let aname = n
                         .name()
-                        .expect("attribute nodes always carry a name")
+                        .ok_or_else(|| XdmError::internal("attribute node without a name"))?
                         .clone();
                     if seen_attrs.contains(&aname) {
                         // Section 3.6 divergence case 4: multiple products

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use xqdb_xdm::{ErrorCode, ExpandedName, Item, Sequence, XdmError};
+use xqdb_xdm::{Budget, ErrorCode, ExpandedName, Item, Sequence, XdmError};
 
 /// Resolves `db2-fn:xmlcolumn('TABLE.COLUMN')` to a sequence of document
 /// nodes. The storage engine implements this; tests use [`MapProvider`].
@@ -78,11 +78,19 @@ pub struct DynamicContext {
     pub variables: Arc<HashMap<ExpandedName, Sequence>>,
     /// Current focus, if any.
     pub focus: Option<Focus>,
+    /// Shared resource budget: every derived context (variable binding,
+    /// focus change) charges the same instance, so limits apply to the
+    /// whole evaluation, not to one expression.
+    pub budget: Arc<Budget>,
 }
 
 impl Default for DynamicContext {
     fn default() -> Self {
-        DynamicContext { variables: Arc::new(HashMap::new()), focus: None }
+        DynamicContext {
+            variables: Arc::new(HashMap::new()),
+            focus: None,
+            budget: Budget::unlimited(),
+        }
     }
 }
 
@@ -94,14 +102,27 @@ impl DynamicContext {
 
     /// A context with external variable bindings (SQL/XML `PASSING` clause).
     pub fn with_variables(vars: HashMap<ExpandedName, Sequence>) -> Self {
-        DynamicContext { variables: Arc::new(vars), focus: None }
+        DynamicContext { variables: Arc::new(vars), focus: None, budget: Budget::unlimited() }
+    }
+
+    /// Attach a resource budget, returning the governed context.
+    pub fn with_budget(&self, budget: Arc<Budget>) -> Self {
+        DynamicContext {
+            variables: Arc::clone(&self.variables),
+            focus: self.focus.clone(),
+            budget,
+        }
     }
 
     /// Bind a variable, returning the extended context.
     pub fn bind(&self, name: ExpandedName, value: Sequence) -> Self {
         let mut vars = (*self.variables).clone();
         vars.insert(name, value);
-        DynamicContext { variables: Arc::new(vars), focus: self.focus.clone() }
+        DynamicContext {
+            variables: Arc::new(vars),
+            focus: self.focus.clone(),
+            budget: Arc::clone(&self.budget),
+        }
     }
 
     /// Look up a variable.
@@ -114,6 +135,7 @@ impl DynamicContext {
         DynamicContext {
             variables: Arc::clone(&self.variables),
             focus: Some(Focus { item, position, size }),
+            budget: Arc::clone(&self.budget),
         }
     }
 

@@ -38,7 +38,12 @@ pub fn eval_expr(expr: &Expr, provider: &dyn CollectionProvider, ctx: &DynamicCo
 
 impl<'a> Evaluator<'a> {
     /// Evaluate `expr` under `ctx`.
+    ///
+    /// Every visit charges one step against the context's shared budget:
+    /// this is the cooperative preemption point that turns runaway queries
+    /// into typed `ResourceExhausted`/`Cancelled` errors instead of hangs.
     pub fn eval(&self, expr: &Expr, ctx: &DynamicContext) -> EResult {
+        ctx.budget.tick()?;
         match expr {
             Expr::Literal(v) => Ok(vec![Item::Atomic(v.clone())]),
             Expr::VarRef(name) => ctx.variable(name).cloned().ok_or_else(|| {
@@ -263,7 +268,9 @@ impl<'a> Evaluator<'a> {
             [] => Ok(None),
             [a] => match cast::cast(a, AtomicType::Integer)? {
                 AtomicValue::Integer(i) => Ok(Some(i)),
-                _ => unreachable!("integer cast yields Integer"),
+                other => Err(XdmError::internal(format!(
+                    "integer cast yielded non-integer {other:?}"
+                ))),
             },
             _ => Err(XdmError::type_error("range operand must be a singleton")),
         }
@@ -666,8 +673,9 @@ fn arith(op: ArithOp, a: &AtomicValue, b: &AtomicValue) -> Result<AtomicValue, X
     }
     // Double dominates.
     if matches!(a, Double(_)) || matches!(b, Double(_)) {
-        let x = a.as_f64().expect("numeric");
-        let y = b.as_f64().expect("numeric");
+        let non_numeric = || XdmError::internal("numeric operand lost its f64 value");
+        let x = a.as_f64().ok_or_else(non_numeric)?;
+        let y = b.as_f64().ok_or_else(non_numeric)?;
         let r = match op {
             ArithOp::Add => x + y,
             ArithOp::Sub => x - y,
@@ -686,8 +694,8 @@ fn arith(op: ArithOp, a: &AtomicValue, b: &AtomicValue) -> Result<AtomicValue, X
     // Decimal if either side is decimal, or for integer division.
     let decimal_mode = matches!(a, Decimal(_)) || matches!(b, Decimal(_));
     if decimal_mode || op == ArithOp::Div {
-        let da = to_decimal_scaled(a);
-        let db = to_decimal_scaled(b);
+        let da = to_decimal_scaled(a)?;
+        let db = to_decimal_scaled(b)?;
         use xqdb_xdm::atomic::DECIMAL_DENOM;
         let r = match op {
             ArithOp::Add => da.checked_add(db),
@@ -719,13 +727,17 @@ fn arith(op: ArithOp, a: &AtomicValue, b: &AtomicValue) -> Result<AtomicValue, X
     // Integer arithmetic, exact.
     let (x, y) = match (a, b) {
         (Integer(x), Integer(y)) => (*x, *y),
-        _ => unreachable!("remaining case is integer op integer"),
+        _ => {
+            return Err(XdmError::internal(format!(
+                "arith promotion left non-integer operands {a:?} / {b:?}"
+            )))
+        }
     };
     let r = match op {
         ArithOp::Add => x.checked_add(y),
         ArithOp::Sub => x.checked_sub(y),
         ArithOp::Mul => x.checked_mul(y),
-        ArithOp::Div => unreachable!("integer div handled in decimal mode"),
+        ArithOp::Div => return Err(XdmError::internal("integer div not routed to decimal mode")),
         ArithOp::IDiv => {
             if y == 0 {
                 return Err(XdmError::new(ErrorCode::FOAR0001, "idiv by zero"));
@@ -743,11 +755,11 @@ fn arith(op: ArithOp, a: &AtomicValue, b: &AtomicValue) -> Result<AtomicValue, X
         .ok_or_else(|| XdmError::invalid_cast("integer overflow in arithmetic"))
 }
 
-fn to_decimal_scaled(v: &AtomicValue) -> i128 {
+fn to_decimal_scaled(v: &AtomicValue) -> Result<i128, XdmError> {
     use xqdb_xdm::atomic::DECIMAL_DENOM;
     match v {
-        AtomicValue::Decimal(d) => *d,
-        AtomicValue::Integer(i) => i128::from(*i) * DECIMAL_DENOM,
-        _ => unreachable!("caller guarantees decimal or integer"),
+        AtomicValue::Decimal(d) => Ok(*d),
+        AtomicValue::Integer(i) => Ok(i128::from(*i) * DECIMAL_DENOM),
+        other => Err(XdmError::internal(format!("decimal arithmetic on {other:?}"))),
     }
 }

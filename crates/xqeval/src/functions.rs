@@ -410,7 +410,7 @@ fn arg_or_context(ev: &Evaluator<'_>, args: &[Expr], ctx: &DynamicContext) -> ER
     match args {
         [] => Ok(vec![ctx.context_item()?.clone()]),
         [a] => ev.eval(a, ctx),
-        _ => unreachable!("arity checked by caller"),
+        _ => Err(XdmError::internal("arity not checked before arg_or_context")),
     }
 }
 
@@ -439,7 +439,7 @@ fn eval_double_arg(
     match atoms.as_slice() {
         [a] => match cast::cast(a, AtomicType::Double)? {
             AtomicValue::Double(d) => Ok(d),
-            _ => unreachable!("double cast yields Double"),
+            other => Err(XdmError::internal(format!("double cast yielded {other:?}"))),
         },
         _ => Err(XdmError::type_error("expected a singleton numeric argument")),
     }
@@ -478,7 +478,10 @@ fn aggregate(ev: &Evaluator<'_>, args: &[Expr], ctx: &DynamicContext, agg: Agg) 
                 n.atomic_type()
             )));
         }
-        nums.push(n.as_f64().expect("numeric"));
+        nums.push(
+            n.as_f64()
+                .ok_or_else(|| XdmError::internal("numeric aggregate operand lost its value"))?,
+        );
     }
     let out = match agg {
         Agg::Sum => nums.iter().sum::<f64>(),
@@ -524,7 +527,9 @@ fn numeric_unary(
         [a] => {
             let d = match cast::cast(a, AtomicType::Double)? {
                 AtomicValue::Double(d) => d,
-                _ => unreachable!("double cast yields Double"),
+                other => {
+                    return Err(XdmError::internal(format!("double cast yielded {other:?}")))
+                }
             };
             Ok(vec![Item::Atomic(AtomicValue::Double(f(d)))])
         }

@@ -1,6 +1,9 @@
 //! End-to-end evaluator tests: parse XQuery, evaluate against parsed XML,
 //! check results. Each section mirrors a pitfall from the paper.
 
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use xqdb_xdm::{AtomicValue, ErrorCode, Item, NodeKind, Sequence};
 use xqdb_xmlparse::{parse_document, serialize_sequence};
 use xqdb_xqeval::{eval_query, DynamicContext, MapProvider};

@@ -2,6 +2,9 @@
 //! Section 3.6 divergence cases 1 and 2, and the value-comparison "between"
 //! of Section 3.10, all of which presume typed data.
 
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use xqdb_xdm::{validate, AtomicType, AtomicValue, ErrorCode, Item, Sequence, TypeRule};
 use xqdb_xmlparse::parse_document;
 use xqdb_xqeval::{eval_query, DynamicContext, MapProvider};

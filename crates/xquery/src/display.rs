@@ -490,7 +490,10 @@ impl Printer {
                         self.expr(out, e);
                         out.push('}');
                     }
-                    _ => unreachable!("attribute values hold text and exprs only"),
+                    // Attribute values hold text and exprs only; anything
+                    // else would be a parser bug — render nothing rather
+                    // than abort.
+                    _ => {}
                 }
             }
             out.push('"');

@@ -150,7 +150,7 @@ impl StaticContext {
 
 /// Parse a complete query (prolog + body).
 pub fn parse_query(input: &str) -> PResult<Query> {
-    let mut p = Parser { input, pos: 0, ctx: StaticContext::default() };
+    let mut p = Parser { input, pos: 0, ctx: StaticContext::default(), depth: 0 };
     let prolog = p.parse_prolog()?;
     let body = p.parse_expr()?;
     p.skip_ws();
@@ -160,15 +160,34 @@ pub fn parse_query(input: &str) -> PResult<Query> {
     Ok(Query { prolog, body })
 }
 
+/// Maximum expression nesting depth. Both `parse_expr_single` and the direct
+/// constructor recurse, so this bounds parser stack usage on adversarial
+/// input like `((((...))))` or deeply nested constructors. One level costs
+/// ~35KB of stack in debug builds (the full precedence chain runs per
+/// level), so 40 keeps even a 2MB test thread safe with headroom while
+/// admitting any realistic query — the paper's queries nest at most 5 deep.
+pub(crate) const MAX_PARSE_DEPTH: usize = 40;
+
 pub(crate) struct Parser<'a> {
     pub(crate) input: &'a str,
     pub(crate) pos: usize,
     pub(crate) ctx: StaticContext,
+    pub(crate) depth: usize,
 }
 
 impl<'a> Parser<'a> {
     pub(crate) fn err(&self, message: impl Into<String>) -> ParseError {
         ParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn enter(&mut self) -> PResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err(format!(
+                "expression nesting exceeds the maximum depth of {MAX_PARSE_DEPTH}"
+            )));
+        }
+        Ok(())
     }
 
     fn rest(&self) -> &'a str {
@@ -393,6 +412,13 @@ impl<'a> Parser<'a> {
     }
 
     pub(crate) fn parse_expr_single(&mut self) -> PResult<Expr> {
+        self.enter()?;
+        let result = self.parse_expr_single_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_expr_single_inner(&mut self) -> PResult<Expr> {
         self.skip_ws();
         if (self.peek_keyword("for") || self.peek_keyword("let")) && self.looks_like_binding() {
             return self.parse_flwor();
@@ -1176,7 +1202,7 @@ impl<'a> Parser<'a> {
                     Ok(Expr::ComputedAttribute { name, content })
                 }
             }
-            _ => unreachable!("computed constructor keywords are fixed"),
+            _ => Err(self.err(format!("unknown computed constructor keyword {kw:?}"))),
         }
     }
 
@@ -1230,6 +1256,13 @@ impl<'a> Parser<'a> {
     // ---------------------------------------------------- direct constructor
 
     fn parse_direct_constructor(&mut self) -> PResult<Expr> {
+        self.enter()?;
+        let result = self.parse_direct_constructor_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_direct_constructor_inner(&mut self) -> PResult<Expr> {
         self.expect("<")?;
         let q = self.parse_qname()?;
 

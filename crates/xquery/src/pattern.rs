@@ -61,7 +61,7 @@ impl Pattern {
 /// Parse an XMLPATTERN string (with optional leading namespace
 /// declarations).
 pub fn parse_pattern(input: &str) -> Result<Pattern, ParseError> {
-    let mut p = Parser { input, pos: 0, ctx: StaticContext::default() };
+    let mut p = Parser { input, pos: 0, ctx: StaticContext::default(), depth: 0 };
     // Optional namespace declarations, reusing the prolog syntax.
     parse_pattern_decls(&mut p)?;
     let mut steps = Vec::new();

@@ -2,6 +2,9 @@
 //! corpus of paper queries and engine test queries. A failure here means
 //! the printer and the parser disagree about the language.
 
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use xqdb_xquery::display::query_to_string;
 use xqdb_xquery::parse_query;
 

@@ -1,8 +1,13 @@
 //! Fuzz-shaped property tests: the parsers must never panic — malformed
 //! input yields `Err`, not a crash. Random strings are biased toward
 //! XQuery-looking fragments so the deeper parser paths get exercised.
+//! Randomness is seeded and deterministic, so any failure reproduces.
 
-use proptest::prelude::*;
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use xqdb_xquery::{parse_pattern, parse_query};
 
 /// Fragments that compose into almost-queries.
@@ -15,31 +20,49 @@ const FRAGMENTS: &[&str] = &[
     "instance of", "castable", "treat", "1e3", "99.5", "-", "+", "(:", ":)", "&lt;", "c:",
 ];
 
-fn fragment_soup() -> impl Strategy<Value = String> {
-    prop::collection::vec(prop::sample::select(FRAGMENTS), 0..24)
-        .prop_map(|parts| parts.join(" "))
+fn fragment_soup(rng: &mut StdRng) -> String {
+    (0..rng.random_range(0..24usize))
+        .map(|_| FRAGMENTS[rng.random_range(0..FRAGMENTS.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn printable_noise(rng: &mut StdRng, max_len: usize) -> String {
+    (0..rng.random_range(0..=max_len)).map(|_| (b' ' + rng.random_range(0..95u8)) as char).collect()
+}
 
-    #[test]
-    fn parse_query_never_panics_on_soup(input in fragment_soup()) {
+#[test]
+fn parse_query_never_panics_on_soup() {
+    for seed in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = fragment_soup(&mut rng);
         let _ = parse_query(&input); // Ok or Err, never a panic
     }
+}
 
-    #[test]
-    fn parse_query_never_panics_on_noise(input in "[ -~]{0,60}") {
+#[test]
+fn parse_query_never_panics_on_noise() {
+    for seed in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(0xBEEF_0000 + seed);
+        let input = printable_noise(&mut rng, 60);
         let _ = parse_query(&input);
     }
+}
 
-    #[test]
-    fn parse_pattern_never_panics(input in "[ -~]{0,40}") {
+#[test]
+fn parse_pattern_never_panics() {
+    for seed in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(0xCAFE_0000 + seed);
+        let input = printable_noise(&mut rng, 40);
         let _ = parse_pattern(&input);
     }
+}
 
-    #[test]
-    fn parse_pattern_never_panics_on_soup(input in fragment_soup()) {
+#[test]
+fn parse_pattern_never_panics_on_soup() {
+    for seed in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(0xD00D_0000 + seed);
+        let input = fragment_soup(&mut rng);
         let _ = parse_pattern(&input);
     }
 }

@@ -5,6 +5,10 @@
 //!
 //! Run with: `cargo run -p xqdb-core --example order_analytics --release`
 
+// Example code: expect/unwrap keep the walkthrough readable; failures here
+// mean the example itself is broken and should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Instant;
 
 use xqdb_core::{run_xquery, Catalog};

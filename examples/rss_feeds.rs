@@ -4,6 +4,10 @@
 //!
 //! Run with: `cargo run -p xqdb-core --example rss_feeds`
 
+// Example code: expect/unwrap keep the walkthrough readable; failures here
+// mean the example itself is broken and should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xqdb_core::{run_xquery, Catalog};

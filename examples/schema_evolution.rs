@@ -14,6 +14,10 @@
 //!
 //! Run with: `cargo run -p xqdb-core --example schema_evolution`
 
+// Example code: expect/unwrap keep the walkthrough readable; failures here
+// mean the example itself is broken and should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use xqdb_core::sqlxml::SqlSession;
 
 fn main() {

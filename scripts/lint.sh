@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Panic-free lint gate: deny warnings plus unwrap/expect in non-test code.
+#
+# unwrap_used/expect_used are allowed inside #[cfg(test)] (see clippy.toml);
+# production code must return typed errors instead. The only blanket opt-out
+# is the bench harness, where fixture failure should abort loudly like a
+# test — see the crate-level allow in crates/bench/src/lib.rs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- \
+  -D warnings \
+  -D clippy::unwrap_used \
+  -D clippy::expect_used \
+  "$@"

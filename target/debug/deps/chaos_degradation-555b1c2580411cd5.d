@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/chaos_degradation-555b1c2580411cd5.d: /root/repo/clippy.toml crates/core/../../tests/chaos_degradation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_degradation-555b1c2580411cd5.rmeta: /root/repo/clippy.toml crates/core/../../tests/chaos_degradation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../tests/chaos_degradation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

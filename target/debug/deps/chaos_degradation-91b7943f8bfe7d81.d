@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_degradation-91b7943f8bfe7d81.d: crates/core/../../tests/chaos_degradation.rs
+
+/root/repo/target/debug/deps/chaos_degradation-91b7943f8bfe7d81: crates/core/../../tests/chaos_degradation.rs
+
+crates/core/../../tests/chaos_degradation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-3641c92c5a0fa7a9.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-3641c92c5a0fa7a9.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-3641c92c5a0fa7a9.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

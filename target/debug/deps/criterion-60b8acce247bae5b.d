@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-60b8acce247bae5b.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-60b8acce247bae5b: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

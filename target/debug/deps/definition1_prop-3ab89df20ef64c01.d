@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/definition1_prop-3ab89df20ef64c01.d: crates/core/../../tests/definition1_prop.rs
+
+/root/repo/target/debug/deps/definition1_prop-3ab89df20ef64c01: crates/core/../../tests/definition1_prop.rs
+
+crates/core/../../tests/definition1_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/display_roundtrip-8c1b06aac860707b.d: crates/xquery/tests/display_roundtrip.rs
+
+/root/repo/target/debug/deps/display_roundtrip-8c1b06aac860707b: crates/xquery/tests/display_roundtrip.rs
+
+crates/xquery/tests/display_roundtrip.rs:

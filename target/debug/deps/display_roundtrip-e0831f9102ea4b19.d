@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/display_roundtrip-e0831f9102ea4b19.d: /root/repo/clippy.toml crates/xquery/tests/display_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisplay_roundtrip-e0831f9102ea4b19.rmeta: /root/repo/clippy.toml crates/xquery/tests/display_roundtrip.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xquery/tests/display_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eligibility_tests-dd498acac262594b.d: crates/core/tests/eligibility_tests.rs
+
+/root/repo/target/debug/deps/eligibility_tests-dd498acac262594b: crates/core/tests/eligibility_tests.rs
+
+crates/core/tests/eligibility_tests.rs:

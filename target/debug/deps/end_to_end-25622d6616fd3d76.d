@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-25622d6616fd3d76.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-25622d6616fd3d76: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

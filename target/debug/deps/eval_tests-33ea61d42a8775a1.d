@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/eval_tests-33ea61d42a8775a1.d: /root/repo/clippy.toml crates/xqeval/tests/eval_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval_tests-33ea61d42a8775a1.rmeta: /root/repo/clippy.toml crates/xqeval/tests/eval_tests.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xqeval/tests/eval_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

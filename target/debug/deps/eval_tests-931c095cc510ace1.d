@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_tests-931c095cc510ace1.d: crates/xqeval/tests/eval_tests.rs
+
+/root/repo/target/debug/deps/eval_tests-931c095cc510ace1: crates/xqeval/tests/eval_tests.rs
+
+crates/xqeval/tests/eval_tests.rs:

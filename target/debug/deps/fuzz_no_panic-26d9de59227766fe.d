@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_no_panic-26d9de59227766fe.d: crates/xmlparse/tests/fuzz_no_panic.rs
+
+/root/repo/target/debug/deps/fuzz_no_panic-26d9de59227766fe: crates/xmlparse/tests/fuzz_no_panic.rs
+
+crates/xmlparse/tests/fuzz_no_panic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fuzz_no_panic-357aed82f8e65ab8.d: /root/repo/clippy.toml crates/xquery/tests/fuzz_no_panic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_no_panic-357aed82f8e65ab8.rmeta: /root/repo/clippy.toml crates/xquery/tests/fuzz_no_panic.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xquery/tests/fuzz_no_panic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_no_panic-54e2b86802dacb00.d: crates/xquery/tests/fuzz_no_panic.rs
+
+/root/repo/target/debug/deps/fuzz_no_panic-54e2b86802dacb00: crates/xquery/tests/fuzz_no_panic.rs
+
+crates/xquery/tests/fuzz_no_panic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matcher_equivalence-1ab006e3b6f52f9d.d: crates/core/tests/matcher_equivalence.rs
+
+/root/repo/target/debug/deps/matcher_equivalence-1ab006e3b6f52f9d: crates/core/tests/matcher_equivalence.rs
+
+crates/core/tests/matcher_equivalence.rs:

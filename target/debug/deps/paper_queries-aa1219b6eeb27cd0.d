@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_queries-aa1219b6eeb27cd0.d: crates/core/../../tests/paper_queries.rs
+
+/root/repo/target/debug/deps/paper_queries-aa1219b6eeb27cd0: crates/core/../../tests/paper_queries.rs
+
+crates/core/../../tests/paper_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tips-2687696358669fd3.d: crates/core/../../tests/paper_tips.rs
+
+/root/repo/target/debug/deps/paper_tips-2687696358669fd3: crates/core/../../tests/paper_tips.rs
+
+crates/core/../../tests/paper_tips.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paper_tips-35449a966d2d2098.d: /root/repo/clippy.toml crates/core/../../tests/paper_tips.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_tips-35449a966d2d2098.rmeta: /root/repo/clippy.toml crates/core/../../tests/paper_tips.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../tests/paper_tips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-1cceedbd8a2e3f8e.d: /root/repo/clippy.toml crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-1cceedbd8a2e3f8e.rmeta: /root/repo/clippy.toml crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-7c49f7f6e123658b.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7c49f7f6e123658b.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7c49f7f6e123658b.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-8122127cff907482.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-8122127cff907482: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-a1d54ba221f9f980.d: /root/repo/clippy.toml crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-a1d54ba221f9f980.rmeta: /root/repo/clippy.toml crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

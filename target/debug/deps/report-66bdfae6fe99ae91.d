@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-66bdfae6fe99ae91.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-66bdfae6fe99ae91: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-a972d047353bdbb6.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-a972d047353bdbb6: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

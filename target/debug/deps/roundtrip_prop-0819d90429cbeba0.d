@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/roundtrip_prop-0819d90429cbeba0.d: /root/repo/clippy.toml crates/xmlparse/tests/roundtrip_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip_prop-0819d90429cbeba0.rmeta: /root/repo/clippy.toml crates/xmlparse/tests/roundtrip_prop.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xmlparse/tests/roundtrip_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

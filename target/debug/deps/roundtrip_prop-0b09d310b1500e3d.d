@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip_prop-0b09d310b1500e3d.d: crates/xmlparse/tests/roundtrip_prop.rs
+
+/root/repo/target/debug/deps/roundtrip_prop-0b09d310b1500e3d: crates/xmlparse/tests/roundtrip_prop.rs
+
+crates/xmlparse/tests/roundtrip_prop.rs:

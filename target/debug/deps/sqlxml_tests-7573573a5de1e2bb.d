@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sqlxml_tests-7573573a5de1e2bb.d: /root/repo/clippy.toml crates/core/tests/sqlxml_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlxml_tests-7573573a5de1e2bb.rmeta: /root/repo/clippy.toml crates/core/tests/sqlxml_tests.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/tests/sqlxml_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlxml_tests-bc1b15244b3398ff.d: crates/core/tests/sqlxml_tests.rs
+
+/root/repo/target/debug/deps/sqlxml_tests-bc1b15244b3398ff: crates/core/tests/sqlxml_tests.rs
+
+crates/core/tests/sqlxml_tests.rs:

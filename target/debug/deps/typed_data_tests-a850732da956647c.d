@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/typed_data_tests-a850732da956647c.d: crates/xqeval/tests/typed_data_tests.rs
+
+/root/repo/target/debug/deps/typed_data_tests-a850732da956647c: crates/xqeval/tests/typed_data_tests.rs
+
+crates/xqeval/tests/typed_data_tests.rs:

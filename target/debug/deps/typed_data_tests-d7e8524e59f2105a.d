@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/typed_data_tests-d7e8524e59f2105a.d: /root/repo/clippy.toml crates/xqeval/tests/typed_data_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtyped_data_tests-d7e8524e59f2105a.rmeta: /root/repo/clippy.toml crates/xqeval/tests/typed_data_tests.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xqeval/tests/typed_data_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xqdb-8a14f934e9e58f51.d: crates/core/src/bin/xqdb.rs
+
+/root/repo/target/debug/deps/xqdb-8a14f934e9e58f51: crates/core/src/bin/xqdb.rs
+
+crates/core/src/bin/xqdb.rs:

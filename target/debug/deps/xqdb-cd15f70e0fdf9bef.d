@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xqdb-cd15f70e0fdf9bef.d: crates/core/src/bin/xqdb.rs
+
+/root/repo/target/debug/deps/xqdb-cd15f70e0fdf9bef: crates/core/src/bin/xqdb.rs
+
+crates/core/src/bin/xqdb.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xqdb_bench-d12088162122665d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxqdb_bench-d12088162122665d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxqdb_bench-d12088162122665d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

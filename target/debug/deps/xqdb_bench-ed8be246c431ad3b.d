@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xqdb_bench-ed8be246c431ad3b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/xqdb_bench-ed8be246c431ad3b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xqdb_btree-97fcf8ed46cc44c2.d: crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs
+
+/root/repo/target/debug/deps/libxqdb_btree-97fcf8ed46cc44c2.rlib: crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs
+
+/root/repo/target/debug/deps/libxqdb_btree-97fcf8ed46cc44c2.rmeta: crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs
+
+crates/btree/src/lib.rs:
+crates/btree/src/keyenc.rs:
+crates/btree/src/tree.rs:

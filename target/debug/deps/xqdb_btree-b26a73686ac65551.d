@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xqdb_btree-b26a73686ac65551.d: crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs
+
+/root/repo/target/debug/deps/xqdb_btree-b26a73686ac65551: crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs
+
+crates/btree/src/lib.rs:
+crates/btree/src/keyenc.rs:
+crates/btree/src/tree.rs:

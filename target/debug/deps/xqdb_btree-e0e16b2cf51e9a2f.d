@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xqdb_btree-e0e16b2cf51e9a2f.d: /root/repo/clippy.toml crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_btree-e0e16b2cf51e9a2f.rmeta: /root/repo/clippy.toml crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/btree/src/lib.rs:
+crates/btree/src/keyenc.rs:
+crates/btree/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xqdb_storage-042e6f64ce053b59.d: crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/xqdb_storage-042e6f64ce053b59: crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/db.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:

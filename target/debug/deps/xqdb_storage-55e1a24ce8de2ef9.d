@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xqdb_storage-55e1a24ce8de2ef9.d: crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/libxqdb_storage-55e1a24ce8de2ef9.rlib: crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/libxqdb_storage-55e1a24ce8de2ef9.rmeta: crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/db.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xqdb_storage-6aa78e15462dd579.d: /root/repo/clippy.toml crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_storage-6aa78e15462dd579.rmeta: /root/repo/clippy.toml crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/storage/src/lib.rs:
+crates/storage/src/db.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xqdb_workload-67e06f4cf12a1318.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libxqdb_workload-67e06f4cf12a1318.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libxqdb_workload-67e06f4cf12a1318.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xqdb_workload-8881d01b6532f7ad.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/xqdb_workload-8881d01b6532f7ad: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

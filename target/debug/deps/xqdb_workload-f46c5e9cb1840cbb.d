@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xqdb_workload-f46c5e9cb1840cbb.d: /root/repo/clippy.toml crates/workload/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_workload-f46c5e9cb1840cbb.rmeta: /root/repo/clippy.toml crates/workload/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/workload/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

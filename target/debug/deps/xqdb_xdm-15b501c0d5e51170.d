@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/xqdb_xdm-15b501c0d5e51170.d: /root/repo/clippy.toml crates/xdm/src/lib.rs crates/xdm/src/atomic.rs crates/xdm/src/builder.rs crates/xdm/src/cast.rs crates/xdm/src/compare.rs crates/xdm/src/datetime.rs crates/xdm/src/error.rs crates/xdm/src/fault.rs crates/xdm/src/limits.rs crates/xdm/src/node.rs crates/xdm/src/qname.rs crates/xdm/src/sequence.rs crates/xdm/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_xdm-15b501c0d5e51170.rmeta: /root/repo/clippy.toml crates/xdm/src/lib.rs crates/xdm/src/atomic.rs crates/xdm/src/builder.rs crates/xdm/src/cast.rs crates/xdm/src/compare.rs crates/xdm/src/datetime.rs crates/xdm/src/error.rs crates/xdm/src/fault.rs crates/xdm/src/limits.rs crates/xdm/src/node.rs crates/xdm/src/qname.rs crates/xdm/src/sequence.rs crates/xdm/src/validate.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xdm/src/lib.rs:
+crates/xdm/src/atomic.rs:
+crates/xdm/src/builder.rs:
+crates/xdm/src/cast.rs:
+crates/xdm/src/compare.rs:
+crates/xdm/src/datetime.rs:
+crates/xdm/src/error.rs:
+crates/xdm/src/fault.rs:
+crates/xdm/src/limits.rs:
+crates/xdm/src/node.rs:
+crates/xdm/src/qname.rs:
+crates/xdm/src/sequence.rs:
+crates/xdm/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xqdb_xmlindex-2e3b8d935201de1e.d: /root/repo/clippy.toml crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_xmlindex-2e3b8d935201de1e.rmeta: /root/repo/clippy.toml crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xmlindex/src/lib.rs:
+crates/xmlindex/src/index.rs:
+crates/xmlindex/src/matcher.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

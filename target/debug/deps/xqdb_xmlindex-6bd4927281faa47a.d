@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xqdb_xmlindex-6bd4927281faa47a.d: crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs
+
+/root/repo/target/debug/deps/libxqdb_xmlindex-6bd4927281faa47a.rlib: crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs
+
+/root/repo/target/debug/deps/libxqdb_xmlindex-6bd4927281faa47a.rmeta: crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs
+
+crates/xmlindex/src/lib.rs:
+crates/xmlindex/src/index.rs:
+crates/xmlindex/src/matcher.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xqdb_xmlindex-98289b303bb4918e.d: /root/repo/clippy.toml crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_xmlindex-98289b303bb4918e.rmeta: /root/repo/clippy.toml crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xmlindex/src/lib.rs:
+crates/xmlindex/src/index.rs:
+crates/xmlindex/src/matcher.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

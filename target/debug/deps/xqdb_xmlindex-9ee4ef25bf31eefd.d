@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xqdb_xmlindex-9ee4ef25bf31eefd.d: crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs
+
+/root/repo/target/debug/deps/xqdb_xmlindex-9ee4ef25bf31eefd: crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs
+
+crates/xmlindex/src/lib.rs:
+crates/xmlindex/src/index.rs:
+crates/xmlindex/src/matcher.rs:

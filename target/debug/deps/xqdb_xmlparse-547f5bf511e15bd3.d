@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xqdb_xmlparse-547f5bf511e15bd3.d: crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs
+
+/root/repo/target/debug/deps/libxqdb_xmlparse-547f5bf511e15bd3.rlib: crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs
+
+/root/repo/target/debug/deps/libxqdb_xmlparse-547f5bf511e15bd3.rmeta: crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs
+
+crates/xmlparse/src/lib.rs:
+crates/xmlparse/src/parser.rs:
+crates/xmlparse/src/serialize.rs:

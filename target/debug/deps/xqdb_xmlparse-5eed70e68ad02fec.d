@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xqdb_xmlparse-5eed70e68ad02fec.d: crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs
+
+/root/repo/target/debug/deps/xqdb_xmlparse-5eed70e68ad02fec: crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs
+
+crates/xmlparse/src/lib.rs:
+crates/xmlparse/src/parser.rs:
+crates/xmlparse/src/serialize.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xqdb_xmlparse-afe78fd5f3442b13.d: /root/repo/clippy.toml crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_xmlparse-afe78fd5f3442b13.rmeta: /root/repo/clippy.toml crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xmlparse/src/lib.rs:
+crates/xmlparse/src/parser.rs:
+crates/xmlparse/src/serialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

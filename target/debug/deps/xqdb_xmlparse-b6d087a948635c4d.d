@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xqdb_xmlparse-b6d087a948635c4d.d: /root/repo/clippy.toml crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_xmlparse-b6d087a948635c4d.rmeta: /root/repo/clippy.toml crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xmlparse/src/lib.rs:
+crates/xmlparse/src/parser.rs:
+crates/xmlparse/src/serialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xqdb_xqeval-2f6cdcb4c845c8de.d: crates/xqeval/src/lib.rs crates/xqeval/src/construct.rs crates/xqeval/src/context.rs crates/xqeval/src/eval.rs crates/xqeval/src/functions.rs
+
+/root/repo/target/debug/deps/libxqdb_xqeval-2f6cdcb4c845c8de.rlib: crates/xqeval/src/lib.rs crates/xqeval/src/construct.rs crates/xqeval/src/context.rs crates/xqeval/src/eval.rs crates/xqeval/src/functions.rs
+
+/root/repo/target/debug/deps/libxqdb_xqeval-2f6cdcb4c845c8de.rmeta: crates/xqeval/src/lib.rs crates/xqeval/src/construct.rs crates/xqeval/src/context.rs crates/xqeval/src/eval.rs crates/xqeval/src/functions.rs
+
+crates/xqeval/src/lib.rs:
+crates/xqeval/src/construct.rs:
+crates/xqeval/src/context.rs:
+crates/xqeval/src/eval.rs:
+crates/xqeval/src/functions.rs:

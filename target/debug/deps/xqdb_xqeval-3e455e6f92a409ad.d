@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xqdb_xqeval-3e455e6f92a409ad.d: /root/repo/clippy.toml crates/xqeval/src/lib.rs crates/xqeval/src/construct.rs crates/xqeval/src/context.rs crates/xqeval/src/eval.rs crates/xqeval/src/functions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_xqeval-3e455e6f92a409ad.rmeta: /root/repo/clippy.toml crates/xqeval/src/lib.rs crates/xqeval/src/construct.rs crates/xqeval/src/context.rs crates/xqeval/src/eval.rs crates/xqeval/src/functions.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xqeval/src/lib.rs:
+crates/xqeval/src/construct.rs:
+crates/xqeval/src/context.rs:
+crates/xqeval/src/eval.rs:
+crates/xqeval/src/functions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

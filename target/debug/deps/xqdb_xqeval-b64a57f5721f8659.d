@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xqdb_xqeval-b64a57f5721f8659.d: crates/xqeval/src/lib.rs crates/xqeval/src/construct.rs crates/xqeval/src/context.rs crates/xqeval/src/eval.rs crates/xqeval/src/functions.rs
+
+/root/repo/target/debug/deps/xqdb_xqeval-b64a57f5721f8659: crates/xqeval/src/lib.rs crates/xqeval/src/construct.rs crates/xqeval/src/context.rs crates/xqeval/src/eval.rs crates/xqeval/src/functions.rs
+
+crates/xqeval/src/lib.rs:
+crates/xqeval/src/construct.rs:
+crates/xqeval/src/context.rs:
+crates/xqeval/src/eval.rs:
+crates/xqeval/src/functions.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xqdb_xquery-23c510141cce19b0.d: /root/repo/clippy.toml crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_xquery-23c510141cce19b0.rmeta: /root/repo/clippy.toml crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/display.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xqdb_xquery-88664653774d76bf.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs
+
+/root/repo/target/debug/deps/xqdb_xquery-88664653774d76bf: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/display.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/pattern.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xqdb_xquery-db35299fc1206320.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs
+
+/root/repo/target/debug/deps/libxqdb_xquery-db35299fc1206320.rlib: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs
+
+/root/repo/target/debug/deps/libxqdb_xquery-db35299fc1206320.rmeta: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/display.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/pattern.rs:

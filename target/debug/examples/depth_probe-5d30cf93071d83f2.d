@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/depth_probe-5d30cf93071d83f2.d: crates/xquery/examples/depth_probe.rs
+
+/root/repo/target/debug/examples/depth_probe-5d30cf93071d83f2: crates/xquery/examples/depth_probe.rs
+
+crates/xquery/examples/depth_probe.rs:

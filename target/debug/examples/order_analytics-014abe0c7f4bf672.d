@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/order_analytics-014abe0c7f4bf672.d: crates/core/../../examples/order_analytics.rs
+
+/root/repo/target/debug/examples/order_analytics-014abe0c7f4bf672: crates/core/../../examples/order_analytics.rs
+
+crates/core/../../examples/order_analytics.rs:

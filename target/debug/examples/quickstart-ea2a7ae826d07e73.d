@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ea2a7ae826d07e73.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ea2a7ae826d07e73: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

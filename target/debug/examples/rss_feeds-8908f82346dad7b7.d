@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rss_feeds-8908f82346dad7b7.d: crates/core/../../examples/rss_feeds.rs
+
+/root/repo/target/debug/examples/rss_feeds-8908f82346dad7b7: crates/core/../../examples/rss_feeds.rs
+
+crates/core/../../examples/rss_feeds.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/schema_evolution-1eaab8114b8f6d97.d: /root/repo/clippy.toml crates/core/../../examples/schema_evolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschema_evolution-1eaab8114b8f6d97.rmeta: /root/repo/clippy.toml crates/core/../../examples/schema_evolution.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../examples/schema_evolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

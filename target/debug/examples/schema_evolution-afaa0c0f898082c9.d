@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schema_evolution-afaa0c0f898082c9.d: crates/core/../../examples/schema_evolution.rs
+
+/root/repo/target/debug/examples/schema_evolution-afaa0c0f898082c9: crates/core/../../examples/schema_evolution.rs
+
+crates/core/../../examples/schema_evolution.rs:

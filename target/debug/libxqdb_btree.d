@@ -1,0 +1,1 @@
+/root/repo/target/debug/libxqdb_btree.rlib: /root/repo/crates/btree/src/keyenc.rs /root/repo/crates/btree/src/lib.rs /root/repo/crates/btree/src/tree.rs

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-3c67d97d64aea7b5.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3c67d97d64aea7b5.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3c67d97d64aea7b5.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

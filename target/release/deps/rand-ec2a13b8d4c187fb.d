@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-ec2a13b8d4c187fb.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ec2a13b8d4c187fb.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ec2a13b8d4c187fb.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

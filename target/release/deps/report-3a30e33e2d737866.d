@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-3a30e33e2d737866.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-3a30e33e2d737866: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xqdb-695f5bfaa4073452.d: crates/core/src/bin/xqdb.rs
+
+/root/repo/target/release/deps/xqdb-695f5bfaa4073452: crates/core/src/bin/xqdb.rs
+
+crates/core/src/bin/xqdb.rs:

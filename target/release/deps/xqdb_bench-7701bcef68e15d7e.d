@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xqdb_bench-7701bcef68e15d7e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_bench-7701bcef68e15d7e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_bench-7701bcef68e15d7e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

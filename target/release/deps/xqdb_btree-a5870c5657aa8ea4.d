@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xqdb_btree-a5870c5657aa8ea4.d: crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs
+
+/root/repo/target/release/deps/libxqdb_btree-a5870c5657aa8ea4.rlib: crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs
+
+/root/repo/target/release/deps/libxqdb_btree-a5870c5657aa8ea4.rmeta: crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs
+
+crates/btree/src/lib.rs:
+crates/btree/src/keyenc.rs:
+crates/btree/src/tree.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/xqdb_core-dbe2ca046b49896c.d: crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs
+
+/root/repo/target/release/deps/libxqdb_core-dbe2ca046b49896c.rlib: crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs
+
+/root/repo/target/release/deps/libxqdb_core-dbe2ca046b49896c.rmeta: crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs
+
+crates/core/src/lib.rs:
+crates/core/src/catalog.rs:
+crates/core/src/eligibility/mod.rs:
+crates/core/src/eligibility/candidates.rs:
+crates/core/src/eligibility/containment.rs:
+crates/core/src/engine.rs:
+crates/core/src/sqlxml/mod.rs:
+crates/core/src/sqlxml/ast.rs:
+crates/core/src/sqlxml/exec.rs:
+crates/core/src/sqlxml/parser.rs:

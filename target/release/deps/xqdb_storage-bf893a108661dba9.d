@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xqdb_storage-bf893a108661dba9.d: crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libxqdb_storage-bf893a108661dba9.rlib: crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libxqdb_storage-bf893a108661dba9.rmeta: crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/db.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:

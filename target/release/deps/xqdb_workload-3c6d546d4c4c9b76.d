@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xqdb_workload-3c6d546d4c4c9b76.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_workload-3c6d546d4c4c9b76.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_workload-3c6d546d4c4c9b76.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

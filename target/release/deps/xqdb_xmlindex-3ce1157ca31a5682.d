@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xqdb_xmlindex-3ce1157ca31a5682.d: crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs
+
+/root/repo/target/release/deps/libxqdb_xmlindex-3ce1157ca31a5682.rlib: crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs
+
+/root/repo/target/release/deps/libxqdb_xmlindex-3ce1157ca31a5682.rmeta: crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs
+
+crates/xmlindex/src/lib.rs:
+crates/xmlindex/src/index.rs:
+crates/xmlindex/src/matcher.rs:

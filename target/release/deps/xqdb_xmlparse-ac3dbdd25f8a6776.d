@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xqdb_xmlparse-ac3dbdd25f8a6776.d: crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs
+
+/root/repo/target/release/deps/libxqdb_xmlparse-ac3dbdd25f8a6776.rlib: crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs
+
+/root/repo/target/release/deps/libxqdb_xmlparse-ac3dbdd25f8a6776.rmeta: crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs
+
+crates/xmlparse/src/lib.rs:
+crates/xmlparse/src/parser.rs:
+crates/xmlparse/src/serialize.rs:

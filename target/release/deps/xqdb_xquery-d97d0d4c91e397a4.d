@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xqdb_xquery-d97d0d4c91e397a4.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs
+
+/root/repo/target/release/deps/libxqdb_xquery-d97d0d4c91e397a4.rlib: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs
+
+/root/repo/target/release/deps/libxqdb_xquery-d97d0d4c91e397a4.rmeta: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/display.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/pattern.rs:

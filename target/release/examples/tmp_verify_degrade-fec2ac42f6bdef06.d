@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tmp_verify_degrade-fec2ac42f6bdef06.d: crates/core/examples/tmp_verify_degrade.rs
+
+/root/repo/target/release/examples/tmp_verify_degrade-fec2ac42f6bdef06: crates/core/examples/tmp_verify_degrade.rs
+
+crates/core/examples/tmp_verify_degrade.rs:

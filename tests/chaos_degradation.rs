@@ -1,0 +1,228 @@
+//! Chaos tests for the robustness layer: fault-injected index probes must
+//! degrade to full collection scans with byte-identical results (Definition 1
+//! makes the index a pure pre-filter), storage faults must surface as typed
+//! errors, resource budgets must turn runaway queries into
+//! `ResourceExhausted` instead of hangs, and adversarial input must be
+//! rejected by the parsers rather than aborting the process.
+
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use xqdb_core::{run_xquery, run_xquery_with_limits, Catalog};
+use xqdb_xdm::{Budget, ErrorCode, FaultInjector, FaultMode, Limits};
+use xqdb_workload::{create_paper_schema, load_orders, OrderParams};
+
+/// A populated orders catalog with the paper's price index (if requested).
+fn orders_catalog(n: usize, indexed: bool) -> Catalog {
+    let mut c = Catalog::new();
+    create_paper_schema(&mut c);
+    load_orders(&mut c, n, OrderParams::default());
+    if indexed {
+        c.create_index("li_price", "orders", "orddoc", "//lineitem/@price", "double")
+            .expect("index DDL is valid");
+    }
+    c
+}
+
+const QUERIES: &[&str] = &[
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 900]",
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 995]",
+    "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+     where $o/lineitem/@price > 990 return $o/custid",
+];
+
+fn render(seq: &[xqdb_xdm::Item]) -> String {
+    xqdb_xmlparse::serialize_sequence(seq)
+}
+
+#[test]
+fn every_probe_failure_degrades_to_unindexed_baseline() {
+    let baseline = orders_catalog(120, false);
+    let mut chaotic = orders_catalog(120, true);
+    chaotic.set_index_fault_injector(Some(Arc::new(FaultInjector::new(FaultMode::Always))));
+    for q in QUERIES {
+        let want = run_xquery(&baseline, q).expect("unindexed baseline runs");
+        let got = run_xquery(&chaotic, q).expect("degraded execution still succeeds");
+        assert_eq!(
+            render(&got.sequence),
+            render(&want.sequence),
+            "degraded results must be byte-identical to the unindexed baseline for {q}"
+        );
+        assert!(
+            !got.stats.degraded_sources.is_empty(),
+            "degradation must be recorded for {q}"
+        );
+        assert!(got.stats.index_faults > 0);
+        assert_eq!(got.stats.degraded_sources, vec!["ORDERS.ORDDOC".to_string()]);
+    }
+}
+
+#[test]
+fn randomized_probe_faults_never_change_results() {
+    let baseline = orders_catalog(80, false);
+    let healthy = orders_catalog(80, true);
+    for q in QUERIES {
+        let want = render(&run_xquery(&baseline, q).expect("baseline runs").sequence);
+        // The healthy indexed run agrees with the unindexed baseline.
+        let healthy_out = run_xquery(&healthy, q).expect("indexed run succeeds");
+        assert_eq!(render(&healthy_out.sequence), want);
+        assert!(healthy_out.stats.degraded_sources.is_empty());
+        // So must every faulty run, whatever the seed decides to fail.
+        for seed in 0..16u64 {
+            let mut chaotic = orders_catalog(80, true);
+            chaotic.set_index_fault_injector(Some(Arc::new(FaultInjector::new(
+                FaultMode::Probability { permille: 500, seed },
+            ))));
+            let got = run_xquery(&chaotic, q).expect("chaotic execution succeeds");
+            assert_eq!(
+                render(&got.sequence),
+                want,
+                "results diverged under fault seed {seed} for {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn nth_probe_fault_degrades_once_then_recovers() {
+    let mut c = orders_catalog(60, true);
+    let injector = Arc::new(FaultInjector::new(FaultMode::Nth(1)));
+    c.set_index_fault_injector(Some(injector.clone()));
+    let q = QUERIES[0];
+    let first = run_xquery(&c, q).expect("first run degrades but succeeds");
+    assert_eq!(first.stats.index_faults, 1);
+    // The injector has spent its single shot: later runs probe normally.
+    let second = run_xquery(&c, q).expect("second run uses the index");
+    assert!(second.stats.degraded_sources.is_empty());
+    assert_eq!(render(&first.sequence), render(&second.sequence));
+    assert!(injector.faults_injected() == 1);
+}
+
+#[test]
+fn storage_faults_are_typed_errors_not_degradation() {
+    let mut c = orders_catalog(30, false);
+    c.db.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultMode::Always))));
+    let err = run_xquery(&c, QUERIES[0]).expect_err("document fetch fault has no fallback");
+    assert_eq!(err.code, ErrorCode::StorageFault);
+}
+
+#[test]
+fn one_millisecond_deadline_exhausts_instead_of_hanging() {
+    // 10k documents, no index: the full scan takes well over a millisecond.
+    let c = orders_catalog(10_000, false);
+    let q = QUERIES[0];
+    let unlimited = run_xquery(&c, q).expect("the query itself is fine");
+    assert!(!unlimited.sequence.is_empty());
+    let limits = Limits::unlimited().with_timeout(std::time::Duration::from_millis(1));
+    let err = run_xquery_with_limits(&c, q, limits)
+        .expect_err("a 1ms deadline cannot cover a 10k-document scan");
+    assert_eq!(err.code, ErrorCode::ResourceExhausted);
+}
+
+#[test]
+fn step_budget_exhausts_and_successful_runs_report_steps() {
+    let c = orders_catalog(300, false);
+    let q = QUERIES[0];
+    let ok = run_xquery(&c, q).expect("unlimited run completes");
+    assert!(ok.stats.steps_used > 100, "evaluation charges steps");
+    let err = run_xquery_with_limits(&c, q, Limits::unlimited().with_max_steps(100))
+        .expect_err("100 steps cannot evaluate 300 documents");
+    assert_eq!(err.code, ErrorCode::ResourceExhausted);
+}
+
+#[test]
+fn index_entry_budget_bounds_probe_work() {
+    let c = orders_catalog(200, true);
+    // A low threshold makes the range probe scan almost every index entry;
+    // each scanned entry is charged, so a tiny cap trips.
+    let q = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 5]";
+    let err = run_xquery_with_limits(&c, q, Limits::unlimited().with_max_index_entries(3))
+        .expect_err("probe must charge entries against the budget");
+    assert_eq!(err.code, ErrorCode::ResourceExhausted);
+    // A generous cap leaves the query untouched.
+    let ok = run_xquery_with_limits(&c, q, Limits::unlimited().with_max_index_entries(1_000_000))
+        .expect("generous cap does not interfere");
+    assert!(!ok.sequence.is_empty());
+}
+
+#[test]
+fn result_cardinality_cap_is_enforced() {
+    let c = orders_catalog(100, false);
+    let q = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem";
+    let ok = run_xquery(&c, q).expect("unlimited run completes");
+    assert!(ok.sequence.len() > 10);
+    let err = run_xquery_with_limits(&c, q, Limits::unlimited().with_max_result_items(10))
+        .expect_err("cardinality cap must trip");
+    assert_eq!(err.code, ErrorCode::ResourceExhausted);
+}
+
+#[test]
+fn cancellation_token_stops_evaluation() {
+    let c = orders_catalog(300, false);
+    let query = xqdb_xquery::parse_query(QUERIES[0]).expect("query parses");
+    let plan = xqdb_core::plan_query(&c, query, &xqdb_core::AnalysisEnv::new());
+    let budget = Arc::new(Budget::new(Limits::unlimited()));
+    budget.cancel();
+    let ctx = xqdb_xqeval::DynamicContext::new().with_budget(budget);
+    let err = xqdb_core::execute_plan(&c, &plan, &ctx)
+        .expect_err("a cancelled budget must stop evaluation");
+    assert_eq!(err.code, ErrorCode::Cancelled);
+}
+
+// ------------------------------------------------------- adversarial parsing
+
+#[test]
+fn deeply_nested_document_is_rejected_not_a_stack_overflow() {
+    let deep = format!("{}x{}", "<d>".repeat(10_000), "</d>".repeat(10_000));
+    let err = xqdb_xmlparse::parse_document(&deep).expect_err("depth limit trips");
+    assert!(err.limit_exceeded);
+}
+
+#[test]
+fn ten_megabyte_attribute_is_rejected_under_a_byte_cap() {
+    let huge = format!("<a v=\"{}\"/>", "x".repeat(10 * 1024 * 1024));
+    let limits = xqdb_xmlparse::ParseLimits::default()
+        .with_max_doc_bytes(1024 * 1024)
+        .with_max_attr_bytes(64 * 1024);
+    let err = xqdb_xmlparse::parse_document_with(&huge, &limits).expect_err("doc cap trips");
+    assert!(err.limit_exceeded);
+    // With only the attribute cap, the attribute itself trips.
+    let limits = xqdb_xmlparse::ParseLimits::default().with_max_attr_bytes(64 * 1024);
+    let err = xqdb_xmlparse::parse_document_with(&huge, &limits).expect_err("attr cap trips");
+    assert!(err.limit_exceeded);
+    // Unlimited parsing still succeeds — the cap is opt-in.
+    assert!(xqdb_xmlparse::parse_document(&huge).is_ok());
+}
+
+#[test]
+fn truncated_documents_error_cleanly() {
+    let doc = r#"<?xml version="1.0"?><!DOCTYPE o [<!ENTITY e "x">]><order id="1"><lineitem price="99.50"><product><id>p&lt;1</id></product></lineitem><!-- c --><![CDATA[t]]></order>"#;
+    for cut in 0..doc.len() {
+        if !doc.is_char_boundary(cut) {
+            continue;
+        }
+        // Any prefix must parse or error — never panic.
+        let _ = xqdb_xmlparse::parse_document(&doc[..cut]);
+    }
+}
+
+#[test]
+fn deeply_nested_query_is_rejected_not_a_stack_overflow() {
+    let deep = format!("{}1{}", "(".repeat(10_000), ")".repeat(10_000));
+    assert!(xqdb_xquery::parse_query(&deep).is_err());
+    let deep_ctor = format!("{}x{}", "<e>{".repeat(5_000), "}</e>".repeat(5_000));
+    assert!(xqdb_xquery::parse_query(&deep_ctor).is_err());
+}
+
+#[test]
+fn session_parse_limits_reject_oversized_insert() {
+    let mut s = xqdb_core::SqlSession::new();
+    s.parse_limits = s.parse_limits.with_max_doc_bytes(64);
+    s.execute("create table t (id integer, doc XML)").expect("DDL runs");
+    s.execute("INSERT INTO t VALUES (1, '<small/>')").expect("small doc fits");
+    let big = format!("INSERT INTO t VALUES (2, '<big>{}</big>')", "y".repeat(200));
+    let err = s.execute(&big).expect_err("oversized document is rejected");
+    assert_eq!(err.code, ErrorCode::ParseLimit);
+}

@@ -2,6 +2,9 @@
 //! XQuery → EXPLAIN, over generated workloads — the shape of a real
 //! application session.
 
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use xqdb_core::sqlxml::{Scalar, SqlSession};
 use xqdb_core::Catalog;
 use xqdb_workload::{create_paper_schema, load_customers, load_orders, OrderParams};
@@ -97,7 +100,7 @@ fn mixed_interface_session() {
     assert!(orders_eval < 200, "index filtered the orders side");
 
     // The same catalog through SQL.
-    let mut session = SqlSession { catalog };
+    let mut session = SqlSession { catalog, ..Default::default() };
     let r = session
         .execute(
             "SELECT c.cid FROM customer c \

@@ -7,6 +7,9 @@
 //! the `99.50`-priced order with `<date>January 1, 2002</date>` that the
 //! paper uses to explain index filtering.
 
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use xqdb_core::engine::{execute_plan, plan_query};
 use xqdb_core::sqlxml::SqlSession;
 use xqdb_core::AnalysisEnv;

@@ -2,6 +2,9 @@
 //! recommended formulation must behave better (use an index / avoid the
 //! trap) than the discouraged one, on the same data.
 
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use xqdb_core::engine::{execute_plan, plan_query};
 use xqdb_core::sqlxml::SqlSession;
 use xqdb_core::{AnalysisEnv, Catalog};
