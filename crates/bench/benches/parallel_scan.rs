@@ -1,0 +1,46 @@
+//! Parallel scan: the same unindexed full-collection query at 1/2/4/8
+//! worker threads.
+//!
+//! The sharded path evaluates the identical documents in the identical
+//! order as the serial path (byte-identity is asserted by the chaos matrix
+//! in `tests/chaos_degradation.rs`), so any wall-clock difference here is
+//! pure runtime overhead or speedup. On a single-core container the ladder
+//! measures overhead only; `report.rs --parallel-only` records the same
+//! ladder (with the machine's hardware thread count) into
+//! `BENCH_parallel.json`.
+
+// Bench target: setup and queries are assertions; abort loudly on failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqdb_bench::orders_catalog;
+use xqdb_core::{run_xquery_with_options, ExecOptions};
+use xqdb_workload::OrderParams;
+
+/// A partitionable query (For-headed FLWOR over the bare collection path)
+/// with a selective residual predicate: almost all time goes into the
+/// sharded per-document evaluation, the part the pool actually scales.
+const QUERY: &str = "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+                     where $o/lineitem/@price > 900 return $o/custid";
+
+fn bench(c: &mut Criterion) {
+    let catalog = orders_catalog(xqdb_bench::DEFAULT_DOCS, OrderParams::default(), &[]);
+    let mut group = c.benchmark_group("parallel_scan");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let opts = ExecOptions { threads: t, ..ExecOptions::default() };
+            b.iter(|| {
+                let out = run_xquery_with_options(&catalog, QUERY, &opts)
+                    .expect("bench query runs");
+                black_box(out.sequence.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,10 +10,68 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use xqdb_bench::{orders_catalog, summarize, RunSummary};
-use xqdb_core::SqlSession;
+use xqdb_core::{run_xquery_with_options, ExecOptions, SqlSession};
 use xqdb_workload::OrderParams;
 
 const N: usize = 5_000;
+
+/// Documents in the parallel-scan trajectory workload. Overridable via
+/// `XQDB_BENCH_PARALLEL_DOCS` for quick local runs.
+const PARALLEL_DOCS: usize = 100_000;
+
+/// Run the full-scan workload at 1/2/4/8 worker threads and record the
+/// wall-clock trajectory into `BENCH_parallel.json`. The recorded
+/// `hardware_threads` field is essential context: on a single-core host the
+/// ladder can only measure runtime overhead, never speedup, and the file
+/// says so rather than pretending otherwise.
+fn parallel_report() {
+    let docs: usize = std::env::var("XQDB_BENCH_PARALLEL_DOCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PARALLEL_DOCS);
+    let hardware_threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let query = "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+                 where $o/lineitem/@price > 900 return $o/custid";
+    let cat = orders_catalog(docs, OrderParams::default(), &[]);
+    println!("parallel_scan trajectory ({docs} docs, {hardware_threads} hardware threads):");
+    let mut serial_millis = 0.0f64;
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let opts = ExecOptions { threads, ..ExecOptions::default() };
+        // One warm-up, then best-of-three to shave scheduler noise.
+        let mut results = 0usize;
+        let mut best = f64::INFINITY;
+        for round in 0..4 {
+            let start = std::time::Instant::now();
+            let out = run_xquery_with_options(&cat, query, &opts)
+                .expect("parallel trajectory query runs");
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            results = out.sequence.len();
+            if round > 0 && millis < best {
+                best = millis;
+            }
+        }
+        if threads == 1 {
+            serial_millis = best;
+        }
+        let speedup = serial_millis / best;
+        println!("  {threads} threads: {best:.1} ms  ({speedup:.2}x vs serial, {results} results)");
+        runs.push(format!(
+            "    {{ \"threads\": {threads}, \"millis\": {best:.3}, \"speedup_vs_serial\": {speedup:.3} }}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"workload\": \"unindexed full scan, FLWOR over orders collection\",\n  \
+         \"query\": \"{}\",\n  \"docs\": {docs},\n  \"hardware_threads\": {hardware_threads},\n  \
+         \"note\": \"speedup requires hardware_threads > 1; on a single-core host the ladder measures sharding overhead only\",\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        query.replace('\"', "\\\""),
+        runs.join(",\n"),
+    );
+    std::fs::write("BENCH_parallel.json", json).expect("BENCH_parallel.json is writable");
+    println!("  wrote BENCH_parallel.json\n");
+}
 
 struct Row {
     experiment: &'static str,
@@ -22,6 +80,10 @@ struct Row {
 }
 
 fn main() {
+    parallel_report();
+    if std::env::args().any(|a| a == "--parallel-only") {
+        return;
+    }
     let mut rows: Vec<Row> = Vec::new();
     let mut push = |experiment: &'static str, variant: &str, summary: RunSummary| {
         rows.push(Row { experiment, variant: variant.to_string(), summary });

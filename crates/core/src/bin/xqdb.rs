@@ -21,6 +21,8 @@
 //! - `--timeout-ms N`    abort any query running longer than N milliseconds
 //! - `--max-steps N`     abort any query after N evaluation steps
 //! - `--max-doc-bytes N` reject XMLPARSE input larger than N bytes
+//! - `--threads N`       evaluate partitionable scans on N worker threads
+//!   (`--threads 1`, the default, is the exact legacy serial path)
 
 use std::io::{self, BufRead, Write};
 
@@ -34,6 +36,7 @@ struct CliLimits {
     timeout_ms: Option<u64>,
     max_steps: Option<u64>,
     max_doc_bytes: Option<usize>,
+    threads: Option<usize>,
 }
 
 impl CliLimits {
@@ -53,8 +56,9 @@ impl CliLimits {
                 "--max-doc-bytes" => {
                     out.max_doc_bytes = Some(value("--max-doc-bytes")? as usize)
                 }
+                "--threads" => out.threads = Some(value("--threads")? as usize),
                 "--help" | "-h" => {
-                    return Err("usage: xqdb [--timeout-ms N] [--max-steps N] [--max-doc-bytes N]"
+                    return Err("usage: xqdb [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}; try --help")),
@@ -96,6 +100,10 @@ fn main() {
     if let Some(bytes) = limits.max_doc_bytes {
         session.parse_limits = session.parse_limits.with_max_doc_bytes(bytes);
     }
+    // One knob configures every parallel phase: XQuery scans, the SQL WHERE
+    // phase, and index back-fills all read the catalog's runtime config.
+    session.catalog.runtime =
+        xqdb_runtime::RuntimeConfig::with_threads(limits.threads.unwrap_or(1));
     let stdin = io::stdin();
     let mut buffer = String::new();
     print!("xqdb — XML database shell (statements end with ';', '.help' for help)\nxqdb> ");
@@ -173,14 +181,24 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
         match xqdb_xquery::parse_query(rest) {
             Ok(q) => {
                 let plan = xqdb_core::plan_query(&session.catalog, q, &AnalysisEnv::new());
-                print!("{}", xqdb_core::explain(&plan));
+                print!(
+                    "{}",
+                    xqdb_core::explain_with_threads(
+                        &plan,
+                        session.catalog.runtime.effective_threads()
+                    )
+                );
             }
             Err(e) => println!("error: {e}"),
         }
         return;
     }
     if let Some(rest) = lower.strip_prefix("xquery").map(|_| stmt["xquery".len()..].trim()) {
-        match xqdb_core::run_xquery_with_limits(&session.catalog, rest, limits.query_limits()) {
+        let opts = xqdb_core::ExecOptions {
+            limits: limits.query_limits(),
+            threads: session.catalog.runtime.effective_threads(),
+        };
+        match xqdb_core::run_xquery_with_options(&session.catalog, rest, &opts) {
             Ok(out) => {
                 for (i, item) in out.sequence.iter().enumerate() {
                     println!(
@@ -192,9 +210,17 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
                 let evaluated: usize = out.stats.docs_evaluated.values().sum();
                 let total: usize = out.stats.docs_total.values().sum();
                 println!(
-                    "-- {} item(s); {evaluated}/{total} documents evaluated, {} index entries",
+                    "-- {} item(s); {evaluated}/{total} documents evaluated, {} index entries{}",
                     out.sequence.len(),
-                    out.stats.index_entries_scanned
+                    out.stats.index_entries_scanned,
+                    if out.stats.parallel_workers > 1 {
+                        format!(
+                            "; {} workers x {} shards",
+                            out.stats.parallel_workers, out.stats.parallel_shards
+                        )
+                    } else {
+                        String::new()
+                    }
                 );
                 report_degradation(&out.stats);
             }
@@ -224,7 +250,7 @@ fn dot_command(session: &SqlSession, cmd: &str) -> bool {
                  SQL:          CREATE TABLE/INDEX, INSERT, SELECT (XMLQUERY/XMLEXISTS/XMLTABLE/XMLCAST), EXPLAIN SELECT, VALUES\n\
                  XQuery:       xquery <expr>;        explain xquery <expr>;\n\
                  shell:        .tables  .indexes  .help  .quit\n\
-                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N"
+                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N"
             );
         }
         ".tables" => {

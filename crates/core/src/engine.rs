@@ -4,10 +4,23 @@
 //! collection (Definition 1's `I(P, D)`), and the full query then runs over
 //! the surviving documents, so residual predicates, ordering, construction
 //! and node identity all behave exactly as in the unoptimized evaluation.
+//!
+//! # Parallel execution
+//!
+//! [`ParallelExecutor`] shards the surviving document list of *one*
+//! collection across the `xqdb-runtime` worker pool when static analysis
+//! proves that per-shard evaluation concatenated in shard order is
+//! byte-identical to serial evaluation (see [`partition_plan`] for the
+//! exact conditions). Queries outside that fragment — and any run with one
+//! thread — take the serial path, which is unchanged from the pre-parallel
+//! engine. Definition 1 is the correctness oracle either way: the sharded
+//! scan evaluates exactly the documents the serial scan would, in the same
+//! document order.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
+use xqdb_runtime::{chunk_ranges, WorkerPool};
 use xqdb_xdm::{Budget, ErrorCode, ExpandedName, Item, Limits, Sequence, XdmError};
 use xqdb_xmlindex::ProbeStats;
 use xqdb_xqeval::{CollectionProvider, DynamicContext};
@@ -60,6 +73,11 @@ pub struct ExecStats {
     pub index_faults: usize,
     /// Evaluator steps charged against the budget.
     pub steps_used: u64,
+    /// Worker threads used for evaluation (1 = serial; 0 only from
+    /// `ExecStats::default()` on paths that never reach the executor).
+    pub parallel_workers: usize,
+    /// Shards the surviving document list was split into (1 = serial).
+    pub parallel_shards: usize,
 }
 
 /// Result of executing a planned query.
@@ -106,12 +124,31 @@ pub fn run_xquery_with_limits(
     text: &str,
     limits: Limits,
 ) -> Result<ExecOutcome, XdmError> {
+    run_xquery_with_options(catalog, text, &ExecOptions { limits, ..ExecOptions::default() })
+}
+
+/// Execution options: resource limits plus the parallelism degree.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Resource limits for the run.
+    pub limits: Limits,
+    /// Worker threads. `0` and `1` both select the serial legacy path.
+    pub threads: usize,
+}
+
+/// Parse, plan and execute an XQuery string under [`ExecOptions`].
+pub fn run_xquery_with_options(
+    catalog: &Catalog,
+    text: &str,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, XdmError> {
     let query = xqdb_xquery::parse_query(text).map_err(|e| {
         XdmError::new(xqdb_xdm::ErrorCode::XPST0003, e.to_string())
     })?;
     let plan = plan_query(catalog, query, &AnalysisEnv::new());
-    let budget = Arc::new(Budget::new(limits));
-    execute_plan(catalog, &plan, &DynamicContext::new().with_budget(budget))
+    let budget = Arc::new(Budget::new(opts.limits.clone()));
+    let ctx = DynamicContext::new().with_budget(budget);
+    ParallelExecutor::new(opts.threads).execute(catalog, &plan, &ctx)
 }
 
 /// Execute a planned query. The context's budget governs the whole run:
@@ -128,7 +165,18 @@ pub fn execute_plan(
     plan: &QueryPlan,
     ctx: &DynamicContext,
 ) -> Result<ExecOutcome, XdmError> {
-    let mut stats = ExecStats::default();
+    ParallelExecutor::new(1).execute(catalog, plan, ctx)
+}
+
+/// Index probes for every access in the plan, with graceful degradation on
+/// `StorageFault`. Runs serially *before* any parallel evaluation, so fault
+/// injection on probes fires at the same points whatever the thread count.
+fn probe_phase(
+    catalog: &Catalog,
+    plan: &QueryPlan,
+    ctx: &DynamicContext,
+    stats: &mut ExecStats,
+) -> Result<HashMap<String, BTreeSet<u64>>, XdmError> {
     let mut filters: HashMap<String, BTreeSet<u64>> = HashMap::new();
     for access in &plan.accesses {
         let total = catalog
@@ -162,11 +210,248 @@ pub fn execute_plan(
             }
         }
     }
-    let provider = FilteredProvider { catalog, filters };
-    let sequence = xqdb_xqeval::eval_query(&plan.query, &provider, ctx)?;
-    ctx.budget.check_result_items(sequence.len())?;
-    stats.steps_used = ctx.budget.steps_used();
-    Ok(ExecOutcome { sequence, stats })
+    Ok(filters)
+}
+
+/// Executes plans over the worker pool, sharding the partitionable
+/// fragment of the language (see [`partition_plan`]) and falling back to
+/// the serial path for everything else.
+///
+/// Output is byte-identical to serial execution by construction; budget
+/// counters, the cancellation token and the deadline are shared atomics in
+/// [`Budget`], so a single limit governs all workers globally.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExecutor {
+    pool: WorkerPool,
+}
+
+impl ParallelExecutor {
+    /// Executor with the given parallelism degree (0 and 1 mean serial).
+    pub fn new(threads: usize) -> Self {
+        ParallelExecutor { pool: WorkerPool::new(threads) }
+    }
+
+    /// The effective degree.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Execute a planned query; see [`execute_plan`] for the semantics.
+    pub fn execute(
+        &self,
+        catalog: &Catalog,
+        plan: &QueryPlan,
+        ctx: &DynamicContext,
+    ) -> Result<ExecOutcome, XdmError> {
+        let mut stats = ExecStats { parallel_workers: 1, parallel_shards: 1, ..Default::default() };
+        let filters = probe_phase(catalog, plan, ctx, &mut stats)?;
+        if self.pool.threads() > 1 {
+            if let Some(part) = partition_plan(&plan.query) {
+                if let Some(rows) =
+                    monotone_surviving_rows(catalog, &part.source, filters.get(&part.source))
+                {
+                    if rows.len() > 1 {
+                        let scan =
+                            ShardedScan { filters: &filters, rows: &rows, part: &part };
+                        return self.execute_sharded(catalog, plan, ctx, stats, &scan);
+                    }
+                }
+            }
+        }
+        let provider = FilteredProvider { catalog, filters: &filters, shard: None };
+        let sequence = xqdb_xqeval::eval_query(&plan.query, &provider, ctx)?;
+        ctx.budget.check_result_items(sequence.len())?;
+        stats.steps_used = ctx.budget.steps_used();
+        Ok(ExecOutcome { sequence, stats })
+    }
+
+    /// Sharded evaluation: split the surviving rows of the partition source
+    /// into contiguous chunks, evaluate the whole query per chunk on the
+    /// pool (each worker sees only its shard of the partition source, and
+    /// the full filtered view of every other source), and concatenate the
+    /// per-chunk sequences in chunk order.
+    fn execute_sharded(
+        &self,
+        catalog: &Catalog,
+        plan: &QueryPlan,
+        ctx: &DynamicContext,
+        mut stats: ExecStats,
+        scan: &ShardedScan<'_>,
+    ) -> Result<ExecOutcome, XdmError> {
+        let ShardedScan { filters, rows, part } = *scan;
+        let ranges = chunk_ranges(rows.len(), self.pool.default_chunks(rows.len()));
+        let chunks = self.pool.try_run(ranges.len(), |i| {
+            let shard = Shard { source: &part.source, rows: &rows[ranges[i].clone()] };
+            let provider = FilteredProvider { catalog, filters, shard: Some(shard) };
+            xqdb_xqeval::eval_query(&plan.query, &provider, ctx)
+        })?;
+        let mut sequence: Sequence = Vec::new();
+        for chunk in chunks {
+            sequence.extend(chunk);
+        }
+        ctx.budget.check_result_items(sequence.len())?;
+        stats.steps_used = ctx.budget.steps_used();
+        stats.parallel_workers = self.pool.threads();
+        stats.parallel_shards = ranges.len();
+        Ok(ExecOutcome { sequence, stats })
+    }
+}
+
+/// Everything a sharded scan needs: the probe filters, the surviving rows
+/// of the partition source (monotone document ids), and the partition.
+#[derive(Clone, Copy)]
+struct ShardedScan<'a> {
+    filters: &'a HashMap<String, BTreeSet<u64>>,
+    rows: &'a [u64],
+    part: &'a Partition,
+}
+
+/// The partitionable fragment: which source's surviving documents may be
+/// sharded across workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// The `TABLE.COLUMN` source whose scan is sharded.
+    pub source: String,
+}
+
+/// Static partitionability analysis.
+///
+/// Returns the source to shard when concatenating per-shard results in
+/// shard order is provably byte-identical to serial evaluation:
+///
+/// - The query body is a path `xmlcolumn(S)/axis-steps...`, or a FLWOR
+///   whose first clause is `for $v in xmlcolumn(S)` / `for $v in
+///   xmlcolumn(S)/axis-steps...` without a positional (`at`) variable.
+/// - Every step of that path is an **axis** step, so each intermediate
+///   result is nodes-only and document-order deduplication never has to
+///   compare nodes across shard boundaries (shards own disjoint document
+///   id ranges — enforced at runtime by [`monotone_surviving_rows`]).
+///   Filter steps are excluded: they can construct nodes or produce
+///   atomics, whose global ordering (or type error) is not shard-local.
+/// - `S` is referenced exactly once in the whole query, so no shard would
+///   see a partial view of a second scan of `S`.
+/// - No top-level `order by` (a global sort), and no `position()`/`last()`
+///   anywhere (their focus is the global sequence, not the shard's).
+///
+/// Everything else runs serially — correct by construction, just not
+/// sped up. The analysis is deliberately conservative: a false negative
+/// costs performance, a false positive would corrupt results.
+pub fn partition_plan(query: &Query) -> Option<Partition> {
+    let body = &query.body;
+    if has_positional_calls(body) {
+        return None;
+    }
+    let source = match body {
+        Expr::Path { init, steps } => {
+            if !axis_only(steps) {
+                return None;
+            }
+            xmlcolumn_literal(init)?
+        }
+        Expr::Flwor(f) => {
+            if f.clauses.iter().any(|c| matches!(c, FlworClause::OrderBy(_))) {
+                return None;
+            }
+            let FlworClause::For { position: None, expr, .. } = f.clauses.first()? else {
+                return None;
+            };
+            match expr {
+                Expr::Path { init, steps } => {
+                    if !axis_only(steps) {
+                        return None;
+                    }
+                    xmlcolumn_literal(init)?
+                }
+                other => xmlcolumn_literal(other)?,
+            }
+        }
+        _ => return None,
+    };
+    if count_source_refs(body, &source) != 1 {
+        return None;
+    }
+    Some(Partition { source })
+}
+
+fn axis_only(steps: &[Step]) -> bool {
+    steps.iter().all(|s| matches!(s, Step::Axis { .. }))
+}
+
+/// True if the expression calls `position()` or `last()` anywhere. Matched
+/// by local name regardless of namespace — conservatively serializing a
+/// user-defined `position` costs speed, never correctness.
+fn has_positional_calls(expr: &Expr) -> bool {
+    let mut found = false;
+    visit_exprs(expr, &mut |e| {
+        if let Expr::FunctionCall { name, .. } = e {
+            if matches!(&*name.local, "position" | "last") {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn count_source_refs(expr: &Expr, source: &str) -> usize {
+    let mut n = 0usize;
+    visit_exprs(expr, &mut |e| {
+        if xmlcolumn_literal(e).as_deref() == Some(source) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// The surviving rows of `source` (filter ∩ rows holding an XML document),
+/// in row order — provided their document ids are strictly increasing, the
+/// property that makes shard-order concatenation equal global document
+/// order. Documents get monotone ids at INSERT, so this holds unless a
+/// document handle was shared across rows; then we fall back to serial.
+fn monotone_surviving_rows(
+    catalog: &Catalog,
+    source: &str,
+    filter: Option<&BTreeSet<u64>>,
+) -> Option<Vec<u64>> {
+    let (table, col) = catalog.db.resolve_xml_column(source).ok()?;
+    let mut rows = Vec::new();
+    let mut last_doc: Option<u64> = None;
+    for (row, values) in table.scan() {
+        if let Some(f) = filter {
+            if !f.contains(&(row as u64)) {
+                continue;
+            }
+        }
+        if let SqlValue::Xml(n) = &values[col] {
+            let doc = n.doc.id.0;
+            if last_doc.is_some_and(|d| d >= doc) {
+                return None;
+            }
+            last_doc = Some(doc);
+            rows.push(row as u64);
+        }
+    }
+    Some(rows)
+}
+
+/// Render an EXPLAIN report for a plan, including the parallelism section
+/// for the given degree.
+pub fn explain_with_threads(plan: &QueryPlan, threads: usize) -> String {
+    let mut out = explain(plan);
+    let threads = threads.max(1);
+    if threads == 1 {
+        out.push_str("  parallelism: serial (1 thread)\n");
+    } else {
+        match partition_plan(&plan.query) {
+            Some(p) => out.push_str(&format!(
+                "  parallelism: {threads} threads, sharded scan over {}\n",
+                p.source
+            )),
+            None => out.push_str(&format!(
+                "  parallelism: serial ({threads} threads requested, query is not partitionable)\n"
+            )),
+        }
+    }
+    out
 }
 
 /// Render an EXPLAIN report for a plan.
@@ -203,17 +488,58 @@ pub fn explain(plan: &QueryPlan) -> String {
     out
 }
 
+/// One worker's view of the partition source: a sorted slice of surviving
+/// row ids, served via a range-bounded scan so workers never re-walk the
+/// whole table.
+struct Shard<'a> {
+    source: &'a str,
+    rows: &'a [u64],
+}
+
 /// Collection provider that serves only the rows surviving index
-/// pre-filtering.
+/// pre-filtering — and, on a worker, only the shard's slice of the
+/// partition source.
 struct FilteredProvider<'a> {
     catalog: &'a Catalog,
-    filters: HashMap<String, BTreeSet<u64>>,
+    filters: &'a HashMap<String, BTreeSet<u64>>,
+    shard: Option<Shard<'a>>,
+}
+
+impl<'a> FilteredProvider<'a> {
+    /// Fault-injection point shared by both scan shapes: same semantics as
+    /// `Database::xmlcolumn`, a document fetch fault has no fallback.
+    fn check_fetch_fault(&self, row: usize, key: &str) -> Result<(), XdmError> {
+        if let Some(inj) = self.catalog.db.fault_injector() {
+            if inj.should_fail() {
+                return Err(XdmError::storage_fault(format!(
+                    "injected fault fetching document at row {row} of {key}"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl<'a> CollectionProvider for FilteredProvider<'a> {
     fn xmlcolumn(&self, name: &str) -> Result<Sequence, XdmError> {
         let key = name.to_ascii_uppercase();
         let (table, col) = self.catalog.db.resolve_xml_column(&key)?;
+        if let Some(shard) = self.shard.as_ref().filter(|s| s.source == key) {
+            // Sharded scan: only this worker's row range.
+            let lo = shard.rows.first().map_or(0, |r| *r as usize);
+            let hi = shard.rows.last().map_or(0, |r| *r as usize + 1);
+            let mut out = Vec::with_capacity(shard.rows.len());
+            for (row, values) in table.scan_range(lo, hi) {
+                if shard.rows.binary_search(&(row as u64)).is_err() {
+                    continue;
+                }
+                self.check_fetch_fault(row, &key)?;
+                if let SqlValue::Xml(n) = &values[col] {
+                    out.push(Item::Node(n.clone()));
+                }
+            }
+            return Ok(out);
+        }
         let filter = self.filters.get(&key);
         let mut out = Vec::new();
         for (row, values) in table.scan() {
@@ -222,15 +548,7 @@ impl<'a> CollectionProvider for FilteredProvider<'a> {
                     continue;
                 }
             }
-            // Same storage injection point as Database::xmlcolumn: a
-            // document fetch fault has no fallback and surfaces typed.
-            if let Some(inj) = self.catalog.db.fault_injector() {
-                if inj.should_fail() {
-                    return Err(XdmError::storage_fault(format!(
-                        "injected fault fetching document at row {row} of {key}"
-                    )));
-                }
-            }
+            self.check_fetch_fault(row, &key)?;
             if let SqlValue::Xml(n) = &values[col] {
                 out.push(Item::Node(n.clone()));
             }
@@ -241,23 +559,43 @@ impl<'a> CollectionProvider for FilteredProvider<'a> {
 
 /// Collect every `db2-fn:xmlcolumn` literal referenced by the expression.
 pub fn collect_sources(expr: &Expr, out: &mut BTreeSet<String>) {
-    match expr {
-        Expr::FunctionCall { name, args } => {
-            if &*name.local == "xmlcolumn"
-                && name.ns.as_deref() == Some(xqdb_xdm::qname::DB2_FN_NS)
-            {
-                if let [Expr::Literal(xqdb_xdm::AtomicValue::String(s))] = args.as_slice() {
-                    out.insert(s.to_ascii_uppercase());
-                }
+    visit_exprs(expr, &mut |e| {
+        if let Some(src) = xmlcolumn_literal(e) {
+            out.insert(src);
+        }
+    });
+}
+
+/// The upper-cased source named by a `db2-fn:xmlcolumn('T.C')` call, if
+/// `expr` is exactly such a call with a string-literal argument.
+fn xmlcolumn_literal(expr: &Expr) -> Option<String> {
+    if let Expr::FunctionCall { name, args } = expr {
+        if &*name.local == "xmlcolumn" && name.ns.as_deref() == Some(xqdb_xdm::qname::DB2_FN_NS) {
+            if let [Expr::Literal(xqdb_xdm::AtomicValue::String(s))] = args.as_slice() {
+                return Some(s.to_ascii_uppercase());
             }
+        }
+    }
+    None
+}
+
+/// Pre-order visit of every sub-expression, including step predicates,
+/// filter-step expressions and constructor content. The single walker
+/// behind [`collect_sources`] and the partitionability checks, so new
+/// `Expr` variants fail compilation here instead of silently escaping one
+/// of several hand-rolled traversals.
+fn visit_exprs(expr: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(expr);
+    match expr {
+        Expr::FunctionCall { args, .. } => {
             for a in args {
-                collect_sources(a, out);
+                visit_exprs(a, f);
             }
         }
         Expr::Literal(_) | Expr::VarRef(_) | Expr::ContextItem | Expr::Root => {}
         Expr::Sequence(items) => {
             for e in items {
-                collect_sources(e, out);
+                visit_exprs(e, f);
             }
         }
         Expr::Range(a, b)
@@ -270,90 +608,90 @@ pub fn collect_sources(expr: &Expr, out: &mut BTreeSet<String>) {
         | Expr::Union(a, b)
         | Expr::Intersect(a, b)
         | Expr::Except(a, b) => {
-            collect_sources(a, out);
-            collect_sources(b, out);
+            visit_exprs(a, f);
+            visit_exprs(b, f);
         }
         Expr::UnaryMinus(e)
         | Expr::Paren(e)
         | Expr::InstanceOf(e, _)
         | Expr::TreatAs(e, _)
         | Expr::CastAs { expr: e, .. }
-        | Expr::CastableAs { expr: e, .. } => collect_sources(e, out),
-        Expr::Flwor(f) => {
-            for c in &f.clauses {
+        | Expr::CastableAs { expr: e, .. } => visit_exprs(e, f),
+        Expr::Flwor(fl) => {
+            for c in &fl.clauses {
                 match c {
                     FlworClause::For { expr, .. } | FlworClause::Let { expr, .. } => {
-                        collect_sources(expr, out)
+                        visit_exprs(expr, f)
                     }
-                    FlworClause::Where(e) => collect_sources(e, out),
+                    FlworClause::Where(e) => visit_exprs(e, f),
                     FlworClause::OrderBy(specs) => {
                         for s in specs {
-                            collect_sources(&s.expr, out);
+                            visit_exprs(&s.expr, f);
                         }
                     }
                 }
             }
-            collect_sources(&f.ret, out);
+            visit_exprs(&fl.ret, f);
         }
         Expr::Quantified { bindings, satisfies, .. } => {
             for (_, e) in bindings {
-                collect_sources(e, out);
+                visit_exprs(e, f);
             }
-            collect_sources(satisfies, out);
+            visit_exprs(satisfies, f);
         }
         Expr::If { cond, then, els } => {
-            collect_sources(cond, out);
-            collect_sources(then, out);
-            collect_sources(els, out);
+            visit_exprs(cond, f);
+            visit_exprs(then, f);
+            visit_exprs(els, f);
         }
         Expr::Filter { expr, predicates } => {
-            collect_sources(expr, out);
+            visit_exprs(expr, f);
             for p in predicates {
-                collect_sources(p, out);
+                visit_exprs(p, f);
             }
         }
         Expr::Path { init, steps } => {
-            collect_sources(init, out);
+            visit_exprs(init, f);
             for s in steps {
                 match s {
                     Step::Axis { predicates, .. } => {
                         for p in predicates {
-                            collect_sources(p, out);
+                            visit_exprs(p, f);
                         }
                     }
                     Step::Filter { expr, predicates } => {
-                        collect_sources(expr, out);
+                        visit_exprs(expr, f);
                         for p in predicates {
-                            collect_sources(p, out);
+                            visit_exprs(p, f);
                         }
                     }
                 }
             }
         }
-        Expr::DirectElement(d) => collect_sources_direct(d, out),
+        Expr::DirectElement(d) => visit_direct(d, f),
         Expr::ComputedElement { content, .. }
         | Expr::ComputedAttribute { content, .. }
         | Expr::ComputedText(content)
         | Expr::ComputedDocument(content) => {
             if let Some(c) = content {
-                collect_sources(c, out);
+                visit_exprs(c, f);
             }
         }
     }
 }
 
-fn collect_sources_direct(d: &xqdb_xquery::ast::DirectElement, out: &mut BTreeSet<String>) {
+fn visit_direct(d: &xqdb_xquery::ast::DirectElement, f: &mut impl FnMut(&Expr)) {
     for (_, parts) in &d.attributes {
         for p in parts {
             if let ConstructorContent::Expr(e) = p {
-                collect_sources(e, out);
+                visit_exprs(e, f);
             }
         }
     }
     for part in &d.content {
         match part {
-            ConstructorContent::Expr(e) => collect_sources(e, out),
-            ConstructorContent::Element(inner) => collect_sources_direct(inner, out),
+            ConstructorContent::Expr(e) => visit_exprs(e, f),
+            ConstructorContent::Element(inner) => visit_direct(inner, f),
             _ => {}
         }
     }
@@ -369,4 +707,61 @@ pub fn bound_context(
         map.insert(name, value);
     }
     DynamicContext::with_variables(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(q: &str) -> Option<Partition> {
+        partition_plan(&xqdb_xquery::parse_query(q).unwrap())
+    }
+
+    #[test]
+    fn partition_analysis_accepts_the_shardable_fragment() {
+        // Top-level axis-only path over one collection.
+        let p = part("db2-fn:xmlcolumn('T.C')//order[lineitem/@price > 100]").unwrap();
+        assert_eq!(p.source, "T.C");
+        // For-headed FLWOR over the bare collection or an axis-only path.
+        assert!(part("for $o in db2-fn:xmlcolumn('T.C') return $o/a").is_some());
+        let p = part(
+            "for $o in db2-fn:xmlcolumn('T.C')/order where $o/a > 1 return $o/b",
+        )
+        .unwrap();
+        assert_eq!(p.source, "T.C");
+    }
+
+    #[test]
+    fn partition_analysis_serializes_everything_else() {
+        // A let-binding sees the whole collection at once.
+        assert!(part("let $a := db2-fn:xmlcolumn('T.C') return $a").is_none());
+        // Two references to the source (self-join): one shard would need
+        // the other shards' documents.
+        assert!(part(
+            "for $o in db2-fn:xmlcolumn('T.C')/order \
+             for $p in db2-fn:xmlcolumn('T.C')/order \
+             where $o/id = $p/ref return $o"
+        )
+        .is_none());
+        // position()/last() observe the global sequence.
+        assert!(part("db2-fn:xmlcolumn('T.C')/order[position() = 1]").is_none());
+        assert!(
+            part("for $o in db2-fn:xmlcolumn('T.C') return $o[last()]").is_none()
+        );
+        // A positional `at` variable is global too.
+        assert!(
+            part("for $o at $i in db2-fn:xmlcolumn('T.C') return $i").is_none()
+        );
+        // A filter step (function-call step) can produce atomics whose
+        // ordering rules are not shard-local.
+        assert!(part("db2-fn:xmlcolumn('T.C')/order/xs:double(.)").is_none());
+        // Joins against a second collection are fine as long as the
+        // *partitioned* source is referenced once.
+        let p = part(
+            "for $o in db2-fn:xmlcolumn('T.C')/order \
+             for $c in db2-fn:xmlcolumn('U.D')/customer \
+             where $o/custid = $c/id return $o"
+        );
+        assert_eq!(p.unwrap().source, "T.C");
+    }
 }

@@ -20,12 +20,14 @@
 pub mod catalog;
 pub mod eligibility;
 pub mod engine;
+mod send_sync;
 pub mod sqlxml;
 
 pub use catalog::Catalog;
 pub use eligibility::{AnalysisEnv, Candidate, CmpTarget, Cond, IndexCond, Note};
 pub use engine::{
-    execute_plan, explain, plan_query, run_xquery, run_xquery_with_limits, ExecOutcome,
-    ExecStats, QueryPlan,
+    execute_plan, explain, explain_with_threads, partition_plan, plan_query, run_xquery,
+    run_xquery_with_limits, run_xquery_with_options, ExecOptions, ExecOutcome, ExecStats,
+    ParallelExecutor, Partition, QueryPlan,
 };
 pub use sqlxml::{SqlSession, SqlResult};

@@ -1,0 +1,47 @@
+//! Compile-time `Send + Sync` audit for every type that crosses worker
+//! threads during parallel execution.
+//!
+//! The worker pool shares `&Catalog`, `&DynamicContext` (budget, variables,
+//! focus items) and fault injectors across scoped threads. Rust checks the
+//! bounds at each use site, but a regression (say, an `Rc` or `RefCell`
+//! slipping into `NodeHandle`) would surface as a confusing error deep in
+//! the executor. This hand-rolled `static_assertions`-style module turns
+//! such a regression into one obvious build failure at the type's name.
+
+/// The assertion: instantiable only for `Send + Sync` types.
+fn assert_send_sync<T: Send + Sync>() {}
+
+/// Monomorphize the assertion for every thread-crossing type. Never called;
+/// type-checking the body is the whole point.
+#[allow(dead_code)]
+fn audit_thread_crossing_types() {
+    // Storage layer: shared read-only by sharded scans.
+    assert_send_sync::<xqdb_storage::Database>();
+    assert_send_sync::<xqdb_storage::Table>();
+    assert_send_sync::<xqdb_storage::SqlValue>();
+
+    // Index layer: probed under a shared reference.
+    assert_send_sync::<xqdb_xmlindex::XmlIndex>();
+
+    // Data model: documents and items flow between workers.
+    assert_send_sync::<xqdb_xdm::NodeHandle>();
+    assert_send_sync::<xqdb_xdm::Item>();
+    assert_send_sync::<xqdb_xdm::XdmError>();
+
+    // Governance: one budget and one injector serve all workers.
+    assert_send_sync::<xqdb_xdm::Budget>();
+    assert_send_sync::<xqdb_xdm::FaultInjector>();
+
+    // Evaluation: each worker evaluates under a shared context.
+    assert_send_sync::<xqdb_xqeval::DynamicContext>();
+
+    // Engine: the catalog and executor are captured by worker closures.
+    assert_send_sync::<crate::Catalog>();
+    assert_send_sync::<crate::ParallelExecutor>();
+    assert_send_sync::<crate::SqlSession>();
+    assert_send_sync::<crate::ExecStats>();
+
+    // Runtime: the pool itself must be shareable.
+    assert_send_sync::<xqdb_runtime::WorkerPool>();
+    assert_send_sync::<xqdb_runtime::RuntimeConfig>();
+}

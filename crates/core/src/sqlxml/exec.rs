@@ -15,6 +15,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
+use xqdb_runtime::{chunk_ranges, WorkerPool};
 use xqdb_xdm::{cast, AtomicType, AtomicValue, ErrorCode, ExpandedName, Item, Sequence, XdmError};
 use xqdb_xmlindex::ProbeStats;
 use xqdb_xqeval::{eval_query, DynamicContext};
@@ -457,17 +458,40 @@ impl SqlSession {
             rows = next;
         }
 
-        // WHERE.
-        let mut kept = Vec::new();
-        for ctx in rows {
-            let pass = match &sel.where_cond {
-                None => true,
-                Some(c) => self.eval_cond(c, &ctx)? == Some(true),
-            };
-            if pass {
-                kept.push(ctx);
+        // WHERE. Row conditions are independent of one another, so with a
+        // pool configured the predicate phase (each row runs its XMLEXISTS
+        // residuals) evaluates in row chunks across workers; the kept set
+        // is rebuilt in row order, identical to the serial loop.
+        let threads = self.catalog.runtime.effective_threads();
+        let kept = match &sel.where_cond {
+            Some(cond) if threads > 1 && rows.len() > 1 => {
+                let pool = WorkerPool::new(threads);
+                let ranges = chunk_ranges(rows.len(), pool.default_chunks(rows.len()));
+                let rows_ref = &rows;
+                let flags = pool.try_run(ranges.len(), |i| {
+                    let mut out = Vec::with_capacity(ranges[i].len());
+                    for ctx in &rows_ref[ranges[i].clone()] {
+                        out.push(self.eval_cond(cond, ctx)? == Some(true));
+                    }
+                    Ok::<_, XdmError>(out)
+                })?;
+                let mut pass = flags.into_iter().flatten();
+                rows.into_iter().filter(|_| pass.next() == Some(true)).collect()
             }
-        }
+            _ => {
+                let mut kept = Vec::new();
+                for ctx in rows {
+                    let pass = match &sel.where_cond {
+                        None => true,
+                        Some(c) => self.eval_cond(c, &ctx)? == Some(true),
+                    };
+                    if pass {
+                        kept.push(ctx);
+                    }
+                }
+                kept
+            }
+        };
 
         // Projection.
         let mut columns = Vec::new();

@@ -92,6 +92,23 @@ impl Table {
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &[SqlValue])> {
         self.rows.iter().enumerate().map(|(i, r)| (i, r.as_slice()))
     }
+
+    /// Iterate `(RowId, &row)` pairs for rows in `[start, end)` — the
+    /// sharded scan used by parallel execution, so each worker touches only
+    /// its own row range instead of re-scanning the whole table. Out-of-range
+    /// bounds are clamped.
+    pub fn scan_range(
+        &self,
+        start: RowId,
+        end: RowId,
+    ) -> impl Iterator<Item = (RowId, &[SqlValue])> {
+        let end = end.min(self.rows.len());
+        let start = start.min(end);
+        self.rows[start..end]
+            .iter()
+            .enumerate()
+            .map(move |(i, r)| (start + i, r.as_slice()))
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +134,21 @@ mod tests {
         let rows: Vec<_> = t.scan().collect();
         assert_eq!(rows.len(), 1);
         assert!(matches!(rows[0].1[0], SqlValue::Integer(1)));
+    }
+
+    #[test]
+    fn scan_range_matches_full_scan_slices() {
+        let mut t = orders();
+        for i in 0..5 {
+            let doc = xqdb_xmlparse::parse_document("<order/>").unwrap();
+            t.insert(vec![SqlValue::Integer(i), SqlValue::Xml(doc.root())]).unwrap();
+        }
+        let all: Vec<RowId> = t.scan().map(|(r, _)| r).collect();
+        let mid: Vec<RowId> = t.scan_range(1, 4).map(|(r, _)| r).collect();
+        assert_eq!(mid, all[1..4]);
+        // Clamped bounds: past-the-end and inverted ranges are empty/safe.
+        assert_eq!(t.scan_range(3, 99).map(|(r, _)| r).collect::<Vec<_>>(), vec![3, 4]);
+        assert!(t.scan_range(4, 2).next().is_none());
     }
 
     #[test]

@@ -97,6 +97,17 @@ pub struct ProbeStats {
     pub rows_matched: usize,
 }
 
+/// Encoded index keys extracted from one document, plus the count of
+/// pattern-matching nodes skipped by tolerant indexing. Produced by
+/// [`XmlIndex::extract_entries`], consumed by [`XmlIndex::insert_entries`].
+#[derive(Debug, Clone, Default)]
+pub struct ExtractedEntries {
+    /// Encoded keys (value prefix + row/node suffix), in document order.
+    pub keys: Vec<Vec<u8>>,
+    /// Matching nodes whose value did not cast to the index type.
+    pub skipped: usize,
+}
+
 /// One XML value index over a table's XML column.
 #[derive(Debug, Clone)]
 pub struct XmlIndex {
@@ -184,7 +195,17 @@ impl XmlIndex {
     /// without error (Section 2.1's tolerance, the enabler of schema
     /// evolution and of broad `//@*` indexes).
     pub fn insert_document(&mut self, row: u64, root: &NodeHandle) {
-        let mut entries: Vec<(Vec<u8>, ())> = Vec::new();
+        let extracted = self.extract_entries(row, root);
+        self.insert_entries(extracted);
+    }
+
+    /// The read-only half of [`XmlIndex::insert_document`]: walk the
+    /// document and build its encoded index keys without touching the tree.
+    /// Workers extract in parallel during an index back-fill; the merge into
+    /// the B+Tree happens serially via [`XmlIndex::insert_entries`] so the
+    /// resulting tree is identical to a serial build.
+    pub fn extract_entries(&self, row: u64, root: &NodeHandle) -> ExtractedEntries {
+        let mut entries: Vec<Vec<u8>> = Vec::new();
         let mut skipped = 0usize;
         let ty = self.ty;
         self.matcher.walk(root, &mut |node| {
@@ -204,15 +225,21 @@ impl XmlIndex {
                     }
                     key.extend_from_slice(&keyenc::encode_u64(row));
                     key.extend_from_slice(&node.id.0.to_be_bytes());
-                    entries.push((key, ()));
+                    entries.push(key);
                 }
                 Err(_) => skipped += 1,
             }
         });
-        for (k, v) in entries {
-            self.tree.insert(k, v);
+        ExtractedEntries { keys: entries, skipped }
+    }
+
+    /// The write half of [`XmlIndex::insert_document`]: merge extracted
+    /// entries into the tree, in the order they were extracted.
+    pub fn insert_entries(&mut self, extracted: ExtractedEntries) {
+        for k in extracted.keys {
+            self.tree.insert(k, ());
         }
-        self.skipped_nodes += skipped;
+        self.skipped_nodes += extracted.skipped;
     }
 
     /// Probe the index with a value range, returning the matching row set.

@@ -21,5 +21,5 @@
 pub mod index;
 pub mod matcher;
 
-pub use index::{IndexType, ProbeRange, ProbeStats, XmlIndex};
+pub use index::{ExtractedEntries, IndexType, ProbeRange, ProbeStats, XmlIndex};
 pub use matcher::{match_document, PatternMatcher};

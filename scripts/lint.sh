@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Panic-free lint gate: deny warnings plus unwrap/expect in non-test code.
+# Lint gate: deny warnings plus unwrap/expect in non-test code, keep thread
+# spawning confined to the runtime crate, and run the test suite a second
+# time at a parallel degree.
 #
 # unwrap_used/expect_used are allowed inside #[cfg(test)] (see clippy.toml);
 # production code must return typed errors instead. The only blanket opt-out
@@ -13,3 +15,17 @@ cargo clippy --workspace --all-targets -- \
   -D clippy::unwrap_used \
   -D clippy::expect_used \
   "$@"
+
+# All thread management goes through the xqdb-runtime pool: no ad-hoc
+# spawns elsewhere. (thread::sleep and available_parallelism are fine;
+# the pattern targets spawn/scope only.)
+if grep -rn --include='*.rs' -E 'thread::(spawn|scope)' crates tests \
+    | grep -v '^crates/runtime/'; then
+  echo "error: thread spawning outside crates/runtime (use the WorkerPool)" >&2
+  exit 1
+fi
+
+# Second test pass at a parallel degree: the chaos matrix picks the extra
+# thread count up from the environment, and every other test runs under
+# the same build to catch degree-dependent flakiness.
+XQDB_TEST_THREADS=4 cargo test --workspace -q

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/chaos_degradation-1dfc044e70e82cf6.d: crates/core/../../tests/chaos_degradation.rs crates/core/../../tests/common/mod.rs
+
+/root/repo/target/debug/deps/chaos_degradation-1dfc044e70e82cf6: crates/core/../../tests/chaos_degradation.rs crates/core/../../tests/common/mod.rs
+
+crates/core/../../tests/chaos_degradation.rs:
+crates/core/../../tests/common/mod.rs:

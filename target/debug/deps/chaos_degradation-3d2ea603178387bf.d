@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/chaos_degradation-3d2ea603178387bf.d: /root/repo/clippy.toml crates/core/../../tests/chaos_degradation.rs crates/core/../../tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_degradation-3d2ea603178387bf.rmeta: /root/repo/clippy.toml crates/core/../../tests/chaos_degradation.rs crates/core/../../tests/common/mod.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../tests/chaos_degradation.rs:
+crates/core/../../tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

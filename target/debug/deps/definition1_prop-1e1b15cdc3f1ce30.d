@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/definition1_prop-1e1b15cdc3f1ce30.d: crates/core/../../tests/definition1_prop.rs
+
+/root/repo/target/debug/deps/definition1_prop-1e1b15cdc3f1ce30: crates/core/../../tests/definition1_prop.rs
+
+crates/core/../../tests/definition1_prop.rs:

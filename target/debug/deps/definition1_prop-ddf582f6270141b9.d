@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/definition1_prop-ddf582f6270141b9.d: /root/repo/clippy.toml crates/core/../../tests/definition1_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefinition1_prop-ddf582f6270141b9.rmeta: /root/repo/clippy.toml crates/core/../../tests/definition1_prop.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../tests/definition1_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

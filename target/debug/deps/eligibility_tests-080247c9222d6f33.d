@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eligibility_tests-080247c9222d6f33.d: crates/core/tests/eligibility_tests.rs
+
+/root/repo/target/debug/deps/eligibility_tests-080247c9222d6f33: crates/core/tests/eligibility_tests.rs
+
+crates/core/tests/eligibility_tests.rs:

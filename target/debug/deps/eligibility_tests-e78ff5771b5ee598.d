@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/eligibility_tests-e78ff5771b5ee598.d: /root/repo/clippy.toml crates/core/tests/eligibility_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeligibility_tests-e78ff5771b5ee598.rmeta: /root/repo/clippy.toml crates/core/tests/eligibility_tests.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/tests/eligibility_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/end_to_end-6d91fcb385da9254.d: /root/repo/clippy.toml crates/core/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-6d91fcb385da9254.rmeta: /root/repo/clippy.toml crates/core/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

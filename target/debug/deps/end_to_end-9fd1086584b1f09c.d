@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9fd1086584b1f09c.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9fd1086584b1f09c: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

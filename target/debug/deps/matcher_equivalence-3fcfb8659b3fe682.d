@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/matcher_equivalence-3fcfb8659b3fe682.d: /root/repo/clippy.toml crates/core/tests/matcher_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatcher_equivalence-3fcfb8659b3fe682.rmeta: /root/repo/clippy.toml crates/core/tests/matcher_equivalence.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/tests/matcher_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

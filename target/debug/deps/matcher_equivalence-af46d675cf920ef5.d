@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matcher_equivalence-af46d675cf920ef5.d: crates/core/tests/matcher_equivalence.rs
+
+/root/repo/target/debug/deps/matcher_equivalence-af46d675cf920ef5: crates/core/tests/matcher_equivalence.rs
+
+crates/core/tests/matcher_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_queries-162f0d57bd292d84.d: crates/core/../../tests/paper_queries.rs
+
+/root/repo/target/debug/deps/paper_queries-162f0d57bd292d84: crates/core/../../tests/paper_queries.rs
+
+crates/core/../../tests/paper_queries.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paper_queries-f29b7de772705046.d: /root/repo/clippy.toml crates/core/../../tests/paper_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_queries-f29b7de772705046.rmeta: /root/repo/clippy.toml crates/core/../../tests/paper_queries.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../tests/paper_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

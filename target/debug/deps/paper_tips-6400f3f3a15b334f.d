@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tips-6400f3f3a15b334f.d: crates/core/../../tests/paper_tips.rs
+
+/root/repo/target/debug/deps/paper_tips-6400f3f3a15b334f: crates/core/../../tests/paper_tips.rs
+
+crates/core/../../tests/paper_tips.rs:

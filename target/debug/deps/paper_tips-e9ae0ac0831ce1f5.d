@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paper_tips-e9ae0ac0831ce1f5.d: /root/repo/clippy.toml crates/core/../../tests/paper_tips.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_tips-e9ae0ac0831ce1f5.rmeta: /root/repo/clippy.toml crates/core/../../tests/paper_tips.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../tests/paper_tips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parallel_scan-67b45d76d3047f7a.d: /root/repo/clippy.toml crates/bench/benches/parallel_scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_scan-67b45d76d3047f7a.rmeta: /root/repo/clippy.toml crates/bench/benches/parallel_scan.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/parallel_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

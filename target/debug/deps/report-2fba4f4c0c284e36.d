@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-2fba4f4c0c284e36.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-2fba4f4c0c284e36: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/report-fdea4a64e4333134.d: /root/repo/clippy.toml crates/bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-fdea4a64e4333134.rmeta: /root/repo/clippy.toml crates/bench/src/bin/report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

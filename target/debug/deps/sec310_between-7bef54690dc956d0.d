@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sec310_between-7bef54690dc956d0.d: /root/repo/clippy.toml crates/bench/benches/sec310_between.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec310_between-7bef54690dc956d0.rmeta: /root/repo/clippy.toml crates/bench/benches/sec310_between.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/sec310_between.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sec31_types-6a008b8de5bcb134.d: /root/repo/clippy.toml crates/bench/benches/sec31_types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec31_types-6a008b8de5bcb134.rmeta: /root/repo/clippy.toml crates/bench/benches/sec31_types.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/sec31_types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sec32_sqlxml-03fd23bc0e1f692d.d: /root/repo/clippy.toml crates/bench/benches/sec32_sqlxml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec32_sqlxml-03fd23bc0e1f692d.rmeta: /root/repo/clippy.toml crates/bench/benches/sec32_sqlxml.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/sec32_sqlxml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sec34_letfor-04b2300c2a0a767b.d: /root/repo/clippy.toml crates/bench/benches/sec34_letfor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec34_letfor-04b2300c2a0a767b.rmeta: /root/repo/clippy.toml crates/bench/benches/sec34_letfor.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/sec34_letfor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

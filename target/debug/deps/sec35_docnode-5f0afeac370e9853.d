@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sec35_docnode-5f0afeac370e9853.d: /root/repo/clippy.toml crates/bench/benches/sec35_docnode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec35_docnode-5f0afeac370e9853.rmeta: /root/repo/clippy.toml crates/bench/benches/sec35_docnode.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/sec35_docnode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

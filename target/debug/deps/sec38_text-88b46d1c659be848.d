@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sec38_text-88b46d1c659be848.d: /root/repo/clippy.toml crates/bench/benches/sec38_text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec38_text-88b46d1c659be848.rmeta: /root/repo/clippy.toml crates/bench/benches/sec38_text.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/sec38_text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sec39_attrs-6064ebee190def23.d: /root/repo/clippy.toml crates/bench/benches/sec39_attrs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec39_attrs-6064ebee190def23.rmeta: /root/repo/clippy.toml crates/bench/benches/sec39_attrs.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/sec39_attrs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlxml_tests-7561af2aa403723a.d: crates/core/tests/sqlxml_tests.rs
+
+/root/repo/target/debug/deps/sqlxml_tests-7561af2aa403723a: crates/core/tests/sqlxml_tests.rs
+
+crates/core/tests/sqlxml_tests.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sqlxml_tests-d8818778f24e2b8c.d: /root/repo/clippy.toml crates/core/tests/sqlxml_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlxml_tests-d8818778f24e2b8c.rmeta: /root/repo/clippy.toml crates/core/tests/sqlxml_tests.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/tests/sqlxml_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

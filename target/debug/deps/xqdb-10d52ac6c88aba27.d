@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xqdb-10d52ac6c88aba27.d: /root/repo/clippy.toml crates/core/src/bin/xqdb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb-10d52ac6c88aba27.rmeta: /root/repo/clippy.toml crates/core/src/bin/xqdb.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/bin/xqdb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

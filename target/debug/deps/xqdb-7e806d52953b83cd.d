@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xqdb-7e806d52953b83cd.d: crates/core/src/bin/xqdb.rs
+
+/root/repo/target/debug/deps/xqdb-7e806d52953b83cd: crates/core/src/bin/xqdb.rs
+
+crates/core/src/bin/xqdb.rs:

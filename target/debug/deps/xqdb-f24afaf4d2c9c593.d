@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xqdb-f24afaf4d2c9c593.d: crates/core/src/bin/xqdb.rs
+
+/root/repo/target/debug/deps/xqdb-f24afaf4d2c9c593: crates/core/src/bin/xqdb.rs
+
+crates/core/src/bin/xqdb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xqdb_bench-54e2f69b4e548ffd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/xqdb_bench-54e2f69b4e548ffd: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xqdb_bench-98b54c80fc418c47.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxqdb_bench-98b54c80fc418c47.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxqdb_bench-98b54c80fc418c47.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

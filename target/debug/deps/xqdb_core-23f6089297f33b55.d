@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xqdb_core-23f6089297f33b55.d: crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/send_sync.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs
+
+/root/repo/target/debug/deps/libxqdb_core-23f6089297f33b55.rlib: crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/send_sync.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs
+
+/root/repo/target/debug/deps/libxqdb_core-23f6089297f33b55.rmeta: crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/send_sync.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs
+
+crates/core/src/lib.rs:
+crates/core/src/catalog.rs:
+crates/core/src/eligibility/mod.rs:
+crates/core/src/eligibility/candidates.rs:
+crates/core/src/eligibility/containment.rs:
+crates/core/src/engine.rs:
+crates/core/src/send_sync.rs:
+crates/core/src/sqlxml/mod.rs:
+crates/core/src/sqlxml/ast.rs:
+crates/core/src/sqlxml/exec.rs:
+crates/core/src/sqlxml/parser.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/xqdb_core-6cd096b8d7162c7e.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/send_sync.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_core-6cd096b8d7162c7e.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/send_sync.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/lib.rs:
+crates/core/src/catalog.rs:
+crates/core/src/eligibility/mod.rs:
+crates/core/src/eligibility/candidates.rs:
+crates/core/src/eligibility/containment.rs:
+crates/core/src/engine.rs:
+crates/core/src/send_sync.rs:
+crates/core/src/sqlxml/mod.rs:
+crates/core/src/sqlxml/ast.rs:
+crates/core/src/sqlxml/exec.rs:
+crates/core/src/sqlxml/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

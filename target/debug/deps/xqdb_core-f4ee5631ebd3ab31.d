@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xqdb_core-f4ee5631ebd3ab31.d: crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/send_sync.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs
+
+/root/repo/target/debug/deps/xqdb_core-f4ee5631ebd3ab31: crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/send_sync.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs
+
+crates/core/src/lib.rs:
+crates/core/src/catalog.rs:
+crates/core/src/eligibility/mod.rs:
+crates/core/src/eligibility/candidates.rs:
+crates/core/src/eligibility/containment.rs:
+crates/core/src/engine.rs:
+crates/core/src/send_sync.rs:
+crates/core/src/sqlxml/mod.rs:
+crates/core/src/sqlxml/ast.rs:
+crates/core/src/sqlxml/exec.rs:
+crates/core/src/sqlxml/parser.rs:

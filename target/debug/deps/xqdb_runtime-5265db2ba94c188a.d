@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xqdb_runtime-5265db2ba94c188a.d: /root/repo/clippy.toml crates/runtime/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxqdb_runtime-5265db2ba94c188a.rmeta: /root/repo/clippy.toml crates/runtime/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/runtime/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xqdb_runtime-8f9b56378c50bb8a.d: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/xqdb_runtime-8f9b56378c50bb8a: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

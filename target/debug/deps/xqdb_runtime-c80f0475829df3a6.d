@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xqdb_runtime-c80f0475829df3a6.d: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/libxqdb_runtime-c80f0475829df3a6.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/libxqdb_runtime-c80f0475829df3a6.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xqdb_workload-7132589c5e43af69.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/xqdb_workload-7132589c5e43af69: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

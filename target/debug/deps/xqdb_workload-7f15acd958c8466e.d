@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xqdb_workload-7f15acd958c8466e.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libxqdb_workload-7f15acd958c8466e.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libxqdb_workload-7f15acd958c8466e.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

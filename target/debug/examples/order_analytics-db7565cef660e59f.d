@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/order_analytics-db7565cef660e59f.d: crates/core/../../examples/order_analytics.rs
+
+/root/repo/target/debug/examples/order_analytics-db7565cef660e59f: crates/core/../../examples/order_analytics.rs
+
+crates/core/../../examples/order_analytics.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/order_analytics-f19ac8b731777108.d: /root/repo/clippy.toml crates/core/../../examples/order_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/liborder_analytics-f19ac8b731777108.rmeta: /root/repo/clippy.toml crates/core/../../examples/order_analytics.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../examples/order_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1b793fe2904f9658.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1b793fe2904f9658: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

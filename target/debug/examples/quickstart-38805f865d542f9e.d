@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/quickstart-38805f865d542f9e.d: /root/repo/clippy.toml crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-38805f865d542f9e.rmeta: /root/repo/clippy.toml crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

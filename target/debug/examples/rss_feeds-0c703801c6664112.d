@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/rss_feeds-0c703801c6664112.d: /root/repo/clippy.toml crates/core/../../examples/rss_feeds.rs Cargo.toml
+
+/root/repo/target/debug/examples/librss_feeds-0c703801c6664112.rmeta: /root/repo/clippy.toml crates/core/../../examples/rss_feeds.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../examples/rss_feeds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rss_feeds-6a22f6adf7732024.d: crates/core/../../examples/rss_feeds.rs
+
+/root/repo/target/debug/examples/rss_feeds-6a22f6adf7732024: crates/core/../../examples/rss_feeds.rs
+
+crates/core/../../examples/rss_feeds.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/schema_evolution-5279db6156725ab7.d: /root/repo/clippy.toml crates/core/../../examples/schema_evolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschema_evolution-5279db6156725ab7.rmeta: /root/repo/clippy.toml crates/core/../../examples/schema_evolution.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/../../examples/schema_evolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schema_evolution-853843514e8a865a.d: crates/core/../../examples/schema_evolution.rs
+
+/root/repo/target/debug/examples/schema_evolution-853843514e8a865a: crates/core/../../examples/schema_evolution.rs
+
+crates/core/../../examples/schema_evolution.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-aaf5d003a915d1d4.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-aaf5d003a915d1d4.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-aaf5d003a915d1d4.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_scan-416fc0cfb49f1fc6.d: crates/bench/benches/parallel_scan.rs
+
+/root/repo/target/release/deps/parallel_scan-416fc0cfb49f1fc6: crates/bench/benches/parallel_scan.rs
+
+crates/bench/benches/parallel_scan.rs:

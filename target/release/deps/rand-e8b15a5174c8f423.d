@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e8b15a5174c8f423.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e8b15a5174c8f423.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e8b15a5174c8f423.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

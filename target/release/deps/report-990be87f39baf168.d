@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-990be87f39baf168.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-990be87f39baf168: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-fff1f56886c6e532.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-fff1f56886c6e532: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xqdb-383f8769105cb10e.d: crates/core/src/bin/xqdb.rs
+
+/root/repo/target/release/deps/xqdb-383f8769105cb10e: crates/core/src/bin/xqdb.rs
+
+crates/core/src/bin/xqdb.rs:

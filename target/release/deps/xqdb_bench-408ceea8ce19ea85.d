@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xqdb_bench-408ceea8ce19ea85.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_bench-408ceea8ce19ea85.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_bench-408ceea8ce19ea85.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xqdb_bench-d3b5207e497dc324.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_bench-d3b5207e497dc324.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_bench-d3b5207e497dc324.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

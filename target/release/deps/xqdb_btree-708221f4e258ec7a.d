@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xqdb_btree-708221f4e258ec7a.d: crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs
+
+/root/repo/target/release/deps/libxqdb_btree-708221f4e258ec7a.rlib: crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs
+
+/root/repo/target/release/deps/libxqdb_btree-708221f4e258ec7a.rmeta: crates/btree/src/lib.rs crates/btree/src/keyenc.rs crates/btree/src/tree.rs
+
+crates/btree/src/lib.rs:
+crates/btree/src/keyenc.rs:
+crates/btree/src/tree.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/xqdb_core-8536b4f5c894ff1e.d: crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/send_sync.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs
+
+/root/repo/target/release/deps/libxqdb_core-8536b4f5c894ff1e.rlib: crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/send_sync.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs
+
+/root/repo/target/release/deps/libxqdb_core-8536b4f5c894ff1e.rmeta: crates/core/src/lib.rs crates/core/src/catalog.rs crates/core/src/eligibility/mod.rs crates/core/src/eligibility/candidates.rs crates/core/src/eligibility/containment.rs crates/core/src/engine.rs crates/core/src/send_sync.rs crates/core/src/sqlxml/mod.rs crates/core/src/sqlxml/ast.rs crates/core/src/sqlxml/exec.rs crates/core/src/sqlxml/parser.rs
+
+crates/core/src/lib.rs:
+crates/core/src/catalog.rs:
+crates/core/src/eligibility/mod.rs:
+crates/core/src/eligibility/candidates.rs:
+crates/core/src/eligibility/containment.rs:
+crates/core/src/engine.rs:
+crates/core/src/send_sync.rs:
+crates/core/src/sqlxml/mod.rs:
+crates/core/src/sqlxml/ast.rs:
+crates/core/src/sqlxml/exec.rs:
+crates/core/src/sqlxml/parser.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xqdb_runtime-a4cdf69bd297c39d.d: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_runtime-a4cdf69bd297c39d.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_runtime-a4cdf69bd297c39d.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

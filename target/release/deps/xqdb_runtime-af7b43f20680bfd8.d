@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xqdb_runtime-af7b43f20680bfd8.d: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_runtime-af7b43f20680bfd8.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_runtime-af7b43f20680bfd8.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xqdb_storage-3d736ee417b879b5.d: crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libxqdb_storage-3d736ee417b879b5.rlib: crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libxqdb_storage-3d736ee417b879b5.rmeta: crates/storage/src/lib.rs crates/storage/src/db.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/db.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:

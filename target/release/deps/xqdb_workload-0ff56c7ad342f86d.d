@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xqdb_workload-0ff56c7ad342f86d.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_workload-0ff56c7ad342f86d.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_workload-0ff56c7ad342f86d.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xqdb_workload-a00ea9a76f21a87b.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_workload-a00ea9a76f21a87b.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libxqdb_workload-a00ea9a76f21a87b.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

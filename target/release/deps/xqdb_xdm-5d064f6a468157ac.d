@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/xqdb_xdm-5d064f6a468157ac.d: crates/xdm/src/lib.rs crates/xdm/src/atomic.rs crates/xdm/src/builder.rs crates/xdm/src/cast.rs crates/xdm/src/compare.rs crates/xdm/src/datetime.rs crates/xdm/src/error.rs crates/xdm/src/fault.rs crates/xdm/src/limits.rs crates/xdm/src/node.rs crates/xdm/src/qname.rs crates/xdm/src/sequence.rs crates/xdm/src/validate.rs
+
+/root/repo/target/release/deps/libxqdb_xdm-5d064f6a468157ac.rlib: crates/xdm/src/lib.rs crates/xdm/src/atomic.rs crates/xdm/src/builder.rs crates/xdm/src/cast.rs crates/xdm/src/compare.rs crates/xdm/src/datetime.rs crates/xdm/src/error.rs crates/xdm/src/fault.rs crates/xdm/src/limits.rs crates/xdm/src/node.rs crates/xdm/src/qname.rs crates/xdm/src/sequence.rs crates/xdm/src/validate.rs
+
+/root/repo/target/release/deps/libxqdb_xdm-5d064f6a468157ac.rmeta: crates/xdm/src/lib.rs crates/xdm/src/atomic.rs crates/xdm/src/builder.rs crates/xdm/src/cast.rs crates/xdm/src/compare.rs crates/xdm/src/datetime.rs crates/xdm/src/error.rs crates/xdm/src/fault.rs crates/xdm/src/limits.rs crates/xdm/src/node.rs crates/xdm/src/qname.rs crates/xdm/src/sequence.rs crates/xdm/src/validate.rs
+
+crates/xdm/src/lib.rs:
+crates/xdm/src/atomic.rs:
+crates/xdm/src/builder.rs:
+crates/xdm/src/cast.rs:
+crates/xdm/src/compare.rs:
+crates/xdm/src/datetime.rs:
+crates/xdm/src/error.rs:
+crates/xdm/src/fault.rs:
+crates/xdm/src/limits.rs:
+crates/xdm/src/node.rs:
+crates/xdm/src/qname.rs:
+crates/xdm/src/sequence.rs:
+crates/xdm/src/validate.rs:

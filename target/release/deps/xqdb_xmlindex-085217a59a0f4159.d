@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xqdb_xmlindex-085217a59a0f4159.d: crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs
+
+/root/repo/target/release/deps/libxqdb_xmlindex-085217a59a0f4159.rlib: crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs
+
+/root/repo/target/release/deps/libxqdb_xmlindex-085217a59a0f4159.rmeta: crates/xmlindex/src/lib.rs crates/xmlindex/src/index.rs crates/xmlindex/src/matcher.rs
+
+crates/xmlindex/src/lib.rs:
+crates/xmlindex/src/index.rs:
+crates/xmlindex/src/matcher.rs:

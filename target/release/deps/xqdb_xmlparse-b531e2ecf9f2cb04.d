@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xqdb_xmlparse-b531e2ecf9f2cb04.d: crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs
+
+/root/repo/target/release/deps/libxqdb_xmlparse-b531e2ecf9f2cb04.rlib: crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs
+
+/root/repo/target/release/deps/libxqdb_xmlparse-b531e2ecf9f2cb04.rmeta: crates/xmlparse/src/lib.rs crates/xmlparse/src/parser.rs crates/xmlparse/src/serialize.rs
+
+crates/xmlparse/src/lib.rs:
+crates/xmlparse/src/parser.rs:
+crates/xmlparse/src/serialize.rs:

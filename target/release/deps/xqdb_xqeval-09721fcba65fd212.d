@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xqdb_xqeval-09721fcba65fd212.d: crates/xqeval/src/lib.rs crates/xqeval/src/construct.rs crates/xqeval/src/context.rs crates/xqeval/src/eval.rs crates/xqeval/src/functions.rs
+
+/root/repo/target/release/deps/libxqdb_xqeval-09721fcba65fd212.rlib: crates/xqeval/src/lib.rs crates/xqeval/src/construct.rs crates/xqeval/src/context.rs crates/xqeval/src/eval.rs crates/xqeval/src/functions.rs
+
+/root/repo/target/release/deps/libxqdb_xqeval-09721fcba65fd212.rmeta: crates/xqeval/src/lib.rs crates/xqeval/src/construct.rs crates/xqeval/src/context.rs crates/xqeval/src/eval.rs crates/xqeval/src/functions.rs
+
+crates/xqeval/src/lib.rs:
+crates/xqeval/src/construct.rs:
+crates/xqeval/src/context.rs:
+crates/xqeval/src/eval.rs:
+crates/xqeval/src/functions.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xqdb_xquery-dcde78870f441010.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs
+
+/root/repo/target/release/deps/libxqdb_xquery-dcde78870f441010.rlib: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs
+
+/root/repo/target/release/deps/libxqdb_xquery-dcde78870f441010.rmeta: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/display.rs crates/xquery/src/parser.rs crates/xquery/src/pattern.rs
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/display.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/pattern.rs:

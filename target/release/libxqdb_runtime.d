@@ -1,0 +1,1 @@
+/root/repo/target/release/libxqdb_runtime.rlib: /root/repo/crates/runtime/src/lib.rs

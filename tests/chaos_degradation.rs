@@ -8,9 +8,14 @@
 // Test target: unwrap/expect are the assertion idiom here.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+mod common;
+
 use std::sync::Arc;
 
-use xqdb_core::{run_xquery, run_xquery_with_limits, Catalog};
+use xqdb_core::{
+    run_xquery, run_xquery_with_limits, run_xquery_with_options, Catalog, ExecOptions,
+    ParallelExecutor,
+};
 use xqdb_xdm::{Budget, ErrorCode, FaultInjector, FaultMode, Limits};
 use xqdb_workload::{create_paper_schema, load_orders, OrderParams};
 
@@ -169,6 +174,159 @@ fn cancellation_token_stops_evaluation() {
     let err = xqdb_core::execute_plan(&c, &plan, &ctx)
         .expect_err("a cancelled budget must stop evaluation");
     assert_eq!(err.code, ErrorCode::Cancelled);
+}
+
+// ------------------------------------------------- parallel execution matrix
+
+/// The thread counts every matrix test runs at. `XQDB_TEST_THREADS` (set by
+/// `scripts/lint.sh` for its second test pass) adds an extra degree on top
+/// of the fixed {1, 2, 4, 8} ladder.
+fn thread_matrix() -> Vec<usize> {
+    let mut degrees = vec![1, 2, 4, 8];
+    if let Some(n) = xqdb_runtime::test_threads_from_env() {
+        if !degrees.contains(&n) {
+            degrees.push(n);
+        }
+    }
+    degrees
+}
+
+fn run_with_threads(c: &Catalog, q: &str, threads: usize) -> String {
+    let opts = ExecOptions { threads, ..ExecOptions::default() };
+    let out = run_xquery_with_options(c, q, &opts).expect("parallel execution succeeds");
+    render(&out.sequence)
+}
+
+/// Every runnable paper query, at every thread count, with and without
+/// index-probe fault injection: the output must be byte-identical to the
+/// serial unindexed baseline. This is the subsystem's central invariant —
+/// parallelism (like the index, Definition 1) is a pure execution detail
+/// that may never change a result.
+#[test]
+fn paper_queries_byte_identical_across_thread_counts_and_fault_seeds() {
+    let baseline = common::paper_session(false);
+    let healthy = common::paper_session(true);
+    for (label, q) in common::PAPER_QUERIES {
+        let want = render(&run_xquery(&baseline.catalog, q).expect("baseline runs").sequence);
+        for &threads in &thread_matrix() {
+            let got = run_with_threads(&healthy.catalog, q, threads);
+            assert_eq!(got, want, "{label} diverged at {threads} threads (healthy index)");
+        }
+        for seed in 0..3u64 {
+            let mut faulty = common::paper_session(true);
+            faulty.catalog.set_index_fault_injector(Some(Arc::new(FaultInjector::new(
+                FaultMode::Probability { permille: 500, seed },
+            ))));
+            for &threads in &thread_matrix() {
+                let got = run_with_threads(&faulty.catalog, q, threads);
+                assert_eq!(
+                    got, want,
+                    "{label} diverged at {threads} threads under fault seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+/// The same invariant over the synthetic workload collection (120 orders —
+/// enough rows that every degree actually shards), including the
+/// every-probe-fails injector.
+#[test]
+fn workload_queries_byte_identical_across_thread_counts_and_fault_seeds() {
+    let baseline = orders_catalog(120, false);
+    for q in QUERIES {
+        let want = render(&run_xquery(&baseline, q).expect("baseline runs").sequence);
+        let healthy = orders_catalog(120, true);
+        let mut always = orders_catalog(120, true);
+        always.set_index_fault_injector(Some(Arc::new(FaultInjector::new(FaultMode::Always))));
+        let mut seeded = orders_catalog(120, true);
+        seeded.set_index_fault_injector(Some(Arc::new(FaultInjector::new(
+            FaultMode::Probability { permille: 500, seed: 7 },
+        ))));
+        for &threads in &thread_matrix() {
+            for (kind, c) in
+                [("healthy", &healthy), ("always-faulty", &always), ("seeded-faulty", &seeded)]
+            {
+                let got = run_with_threads(c, q, threads);
+                assert_eq!(got, want, "{q} diverged at {threads} threads ({kind} index)");
+            }
+        }
+    }
+}
+
+/// A cancelled budget stops a parallel run with the same typed error code
+/// as a serial one — the cancellation token is a shared atomic observed by
+/// every worker.
+#[test]
+fn cancellation_under_parallelism_matches_serial_error_code() {
+    let c = orders_catalog(300, false);
+    // A partitionable query, so degrees > 1 actually exercise the pool.
+    let query = xqdb_xquery::parse_query(QUERIES[2]).expect("query parses");
+    let plan = xqdb_core::plan_query(&c, query, &xqdb_core::AnalysisEnv::new());
+    for &threads in &thread_matrix() {
+        let budget = Arc::new(Budget::new(Limits::unlimited()));
+        budget.cancel();
+        let ctx = xqdb_xqeval::DynamicContext::new().with_budget(budget);
+        let err = ParallelExecutor::new(threads)
+            .execute(&c, &plan, &ctx)
+            .expect_err("a cancelled budget must stop evaluation at every degree");
+        assert_eq!(err.code, ErrorCode::Cancelled, "error code diverged at {threads} threads");
+    }
+}
+
+/// Step and deadline budgets exhaust parallel runs with the same typed
+/// error code as serial runs — one `Budget` governs all workers globally.
+#[test]
+fn budget_exhaustion_under_parallelism_matches_serial_error_code() {
+    let c = orders_catalog(300, false);
+    let q = QUERIES[2];
+    for &threads in &thread_matrix() {
+        let opts = ExecOptions {
+            limits: Limits::unlimited().with_max_steps(100),
+            threads,
+        };
+        let err = run_xquery_with_options(&c, q, &opts)
+            .expect_err("100 steps cannot evaluate 300 documents at any degree");
+        assert_eq!(
+            err.code,
+            ErrorCode::ResourceExhausted,
+            "step-budget error code diverged at {threads} threads"
+        );
+    }
+    let big = orders_catalog(10_000, false);
+    for &threads in &thread_matrix() {
+        let opts = ExecOptions {
+            limits: Limits::unlimited().with_timeout(std::time::Duration::from_millis(1)),
+            threads,
+        };
+        let err = run_xquery_with_options(&big, q, &opts)
+            .expect_err("a 1ms deadline cannot cover a 10k-document scan at any degree");
+        assert_eq!(
+            err.code,
+            ErrorCode::ResourceExhausted,
+            "deadline error code diverged at {threads} threads"
+        );
+    }
+}
+
+/// `ExecStats` records the degree and shard count when a run parallelizes,
+/// and reports the serial values on the fallback path.
+#[test]
+fn exec_stats_record_parallel_degree() {
+    let c = orders_catalog(64, false);
+    let serial = run_xquery(&c, QUERIES[2]).expect("serial run succeeds");
+    assert_eq!(serial.stats.parallel_workers, 1);
+    assert_eq!(serial.stats.parallel_shards, 1);
+    let opts = ExecOptions { threads: 4, ..ExecOptions::default() };
+    let parallel = run_xquery_with_options(&c, QUERIES[2], &opts).expect("parallel run succeeds");
+    assert_eq!(parallel.stats.parallel_workers, 4);
+    assert!(parallel.stats.parallel_shards > 1, "64 docs at 4 workers must shard");
+    // A let-headed FLWOR binds the whole collection at once: not
+    // partitionable, so the executor falls back to the serial path.
+    let q = "let $all := db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return $all";
+    let fallback = run_xquery_with_options(&c, q, &opts).expect("fallback run succeeds");
+    assert_eq!(fallback.stats.parallel_workers, 1);
+    assert_eq!(fallback.stats.parallel_shards, 1);
 }
 
 // ------------------------------------------------------- adversarial parsing

@@ -1,0 +1,142 @@
+//! Shared integration-test fixtures: the paper's schema and example
+//! documents (mirroring `paper_queries.rs`), plus the list of paper queries
+//! that run to a value (as opposed to asserting a typed error). The chaos
+//! matrix in `chaos_degradation.rs` iterates this list across thread counts
+//! and fault seeds, asserting byte-identity with the serial unindexed
+//! baseline.
+
+// Shared between test binaries that each use a subset of it.
+#![allow(dead_code)]
+// Test fixture: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use xqdb_core::sqlxml::SqlSession;
+
+/// The paper's schema plus its Section 2.2 example documents, extended with
+/// the Query 30 order (custid 1004, price 120.00) so the between-range
+/// query has two qualifying documents. `indexed` controls whether the
+/// paper's `li_price` index exists — the chaos matrix compares indexed
+/// (and fault-injected) runs against the unindexed serial baseline.
+pub fn paper_session(indexed: bool) -> SqlSession {
+    let mut s = SqlSession::new();
+    s.execute("create table customer (cid integer, cdoc XML)").unwrap();
+    s.execute("create table orders (ordid integer, orddoc XML)").unwrap();
+    s.execute("create table products (id varchar(13), name varchar(32))").unwrap();
+    if indexed {
+        s.execute(
+            "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+        )
+        .unwrap();
+    }
+    let docs = [
+        r#"<order><custid>1001</custid><date>January 1, 2001</date><lineitem><product><id>p5</id></product></lineitem></order>"#,
+        r#"<order><custid>1002</custid><date>January 1, 2002</date><lineitem price="99.50"><product><id>p1</id></product></lineitem></order>"#,
+        r#"<order><custid>1003</custid><lineitem price="250.00"><product><id>p2</id></product></lineitem><lineitem price="150.00"><product><id>p3</id></product></lineitem></order>"#,
+        r#"<order><custid>1004</custid><lineitem price="120.00"/></order>"#,
+    ];
+    for (i, d) in docs.iter().enumerate() {
+        s.execute(&format!("INSERT INTO orders VALUES ({}, '{d}')", i + 1)).unwrap();
+    }
+    for (i, c) in [
+        r#"<customer><id>1002</id><name>ACME</name><nation>1</nation></customer>"#,
+        r#"<customer><id>1003</id><name>Globex</name><nation>2</nation></customer>"#,
+    ]
+    .iter()
+    .enumerate()
+    {
+        s.execute(&format!("INSERT INTO customer VALUES ({}, '{c}')", i + 1)).unwrap();
+    }
+    s.execute("INSERT INTO products VALUES ('p1', 'widget')").unwrap();
+    s.execute("INSERT INTO products VALUES ('p2', 'gadget')").unwrap();
+    s
+}
+
+/// Every numbered paper query that evaluates to a value over
+/// [`paper_session`] — (label, XQuery text). Queries that assert a typed
+/// error (25), require their own schema (28, 29) or go through SQL/XML
+/// instead of the XQuery entry point (5, 6, 8–16) are exercised in
+/// `paper_queries.rs` and the SQL/XML tests.
+pub const PAPER_QUERIES: &[(&str, &str)] = &[
+    (
+        "query_01",
+        "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>100] return $i",
+    ),
+    (
+        "query_02",
+        "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>100] return $i",
+    ),
+    (
+        "query_03",
+        "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \"100\" ] return $i",
+    ),
+    (
+        "query_04",
+        "for $i in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")/order \
+         for $j in db2-fn:xmlcolumn(\"CUSTOMER.CDOC\")/customer \
+         where $i/custid/xs:double(.) = $j/id/xs:double(.) \
+         return $i",
+    ),
+    ("query_07", "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]"),
+    (
+        "query_17",
+        "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+         for $item in $doc//lineitem[@price > 100] \
+         return <result>{$item}</result>",
+    ),
+    (
+        "query_18",
+        "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+         let $item := $doc//lineitem[@price > 100] \
+         return <result>{$item}</result>",
+    ),
+    (
+        "query_19",
+        "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+         return <result>{$ord/lineitem[@price > 100]}</result>",
+    ),
+    (
+        "query_20",
+        "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+         where $ord/lineitem/@price > 100 \
+         return <result>{$ord/lineitem}</result>",
+    ),
+    (
+        "query_21",
+        "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+         let $price := $ord/lineitem/@price \
+         where $price > 100 \
+         return <result>{$ord/lineitem}</result>",
+    ),
+    (
+        "query_22",
+        "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+         return $ord/lineitem[@price > 100]",
+    ),
+    ("query_23", "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem"),
+    (
+        "query_24",
+        "for $ord in (for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+                      return <my_order>{$o/*}</my_order>) \
+         return $ord/my_order",
+    ),
+    (
+        "query_26",
+        "let $view := for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/ \
+         order/lineitem \
+         return <item> {$i/@quantity, $i/@price} \
+                  <pid> {$i/product/id/data(.)} </pid> \
+                </item> \
+         for $j in $view where $j/pid = 'p2' return $j/@price",
+    ),
+    (
+        "query_27",
+        "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem \
+         where $i/product/id/data(.) = 'p2' \
+         return $i/@price",
+    ),
+    (
+        "query_30",
+        "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+         //order[lineitem[@price>100 and @price<200]] return $i",
+    ),
+];
