@@ -10,7 +10,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use xqdb_bench::{orders_catalog, summarize, RunSummary};
-use xqdb_core::{run_xquery_with_options, ExecOptions, SqlSession};
+use xqdb_core::{run_xquery_with_options, ExecOptions, Obs, ObsConfig, SqlSession};
 use xqdb_workload::OrderParams;
 
 const N: usize = 5_000;
@@ -73,6 +73,58 @@ fn parallel_report() {
     println!("  wrote BENCH_parallel.json\n");
 }
 
+/// Measure the observability tax: the same 100k-document full-scan workload
+/// with `ObsConfig::disabled()` (the zero-allocation null handle) and fully
+/// instrumented (metrics + tracing). Records `BENCH_obs.json` and asserts
+/// the instrumented run stays within 5% of the disabled baseline — the
+/// tentpole's overhead budget. Document count is overridable via
+/// `XQDB_BENCH_OBS_DOCS` for quick local runs.
+fn obs_overhead_report() {
+    let docs: usize = std::env::var("XQDB_BENCH_OBS_DOCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PARALLEL_DOCS);
+    let query = "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+                 where $o/lineitem/@price > 900 return $o/custid";
+    let cat = orders_catalog(docs, OrderParams::default(), &[]);
+    println!("observability overhead ({docs} docs, serial full scan):");
+    // One warm-up, then best-of-three per configuration, interleaved so both
+    // configurations see the same cache/allocator state trends.
+    let mut best = [f64::INFINITY; 2];
+    let configs = [("disabled", ObsConfig::disabled()), ("instrumented", ObsConfig::enabled())];
+    for round in 0..4 {
+        for (i, (_, config)) in configs.iter().enumerate() {
+            let opts = ExecOptions { obs: Obs::new(*config), ..ExecOptions::default() };
+            let start = std::time::Instant::now();
+            run_xquery_with_options(&cat, query, &opts).expect("overhead workload runs");
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            if round > 0 && millis < best[i] {
+                best[i] = millis;
+            }
+        }
+    }
+    let overhead_pct = (best[1] / best[0] - 1.0) * 100.0;
+    for (i, (label, _)) in configs.iter().enumerate() {
+        println!("  {label:<12} {:.1} ms", best[i]);
+    }
+    println!("  overhead: {overhead_pct:.2}% (budget: <5%)");
+    let json = format!(
+        "{{\n  \"workload\": \"serial unindexed full scan, FLWOR over orders collection\",\n  \
+         \"query\": \"{}\",\n  \"docs\": {docs},\n  \
+         \"disabled_millis\": {:.3},\n  \"instrumented_millis\": {:.3},\n  \
+         \"overhead_pct\": {overhead_pct:.3},\n  \"budget_pct\": 5.0\n}}\n",
+        query.replace('\"', "\\\""),
+        best[0],
+        best[1],
+    );
+    std::fs::write("BENCH_obs.json", json).expect("BENCH_obs.json is writable");
+    println!("  wrote BENCH_obs.json\n");
+    assert!(
+        overhead_pct < 5.0,
+        "instrumented execution exceeded the 5% overhead budget: {overhead_pct:.2}%"
+    );
+}
+
 struct Row {
     experiment: &'static str,
     variant: String,
@@ -80,6 +132,10 @@ struct Row {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--obs-overhead") {
+        obs_overhead_report();
+        return;
+    }
     parallel_report();
     if std::env::args().any(|a| a == "--parallel-only") {
         return;

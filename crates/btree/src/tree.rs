@@ -125,21 +125,23 @@ impl<V: Clone> BPlusTree<V> {
         lower: Bound<&'a [u8]>,
         upper: Bound<&'a [u8]>,
     ) -> RangeIter<'a, V> {
-        // Find the starting leaf/position.
+        // Find the starting leaf/position, counting descent node touches
+        // (internal nodes plus the landing leaf) for the scan-effort stats.
+        let mut touched = 0usize;
         let (leaf, idx) = match lower {
-            Bound::Unbounded => (self.leftmost_leaf(), 0),
+            Bound::Unbounded => (self.leftmost_leaf_counted(&mut touched), 0),
             Bound::Included(k) => {
-                let leaf = self.find_leaf(k);
+                let leaf = self.find_leaf_counted(k, &mut touched);
                 let idx = self.lower_bound_in_leaf(leaf, k, true);
                 (leaf, idx)
             }
             Bound::Excluded(k) => {
-                let leaf = self.find_leaf(k);
+                let leaf = self.find_leaf_counted(k, &mut touched);
                 let idx = self.lower_bound_in_leaf(leaf, k, false);
                 (leaf, idx)
             }
         };
-        RangeIter { tree: self, leaf: Some(leaf), idx, upper }
+        RangeIter { tree: self, leaf: Some(leaf), idx, upper, touched }
     }
 
     /// Iterate every entry in key order.
@@ -167,9 +169,10 @@ impl<V: Clone> BPlusTree<V> {
         total
     }
 
-    fn leftmost_leaf(&self) -> usize {
+    fn leftmost_leaf_counted(&self, touched: &mut usize) -> usize {
         let mut cur = self.root;
         loop {
+            *touched += 1;
             match &self.nodes[cur] {
                 Node::Internal { children, .. } => cur = children[0],
                 Node::Leaf { .. } => return cur,
@@ -178,8 +181,14 @@ impl<V: Clone> BPlusTree<V> {
     }
 
     fn find_leaf(&self, key: &[u8]) -> usize {
+        let mut touched = 0;
+        self.find_leaf_counted(key, &mut touched)
+    }
+
+    fn find_leaf_counted(&self, key: &[u8], touched: &mut usize) -> usize {
         let mut cur = self.root;
         loop {
+            *touched += 1;
             match &self.nodes[cur] {
                 Node::Internal { keys, children } => {
                     let idx = match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
@@ -296,6 +305,16 @@ pub struct RangeIter<'a, V> {
     leaf: Option<usize>,
     idx: usize,
     upper: Bound<&'a [u8]>,
+    touched: usize,
+}
+
+impl<'a, V> RangeIter<'a, V> {
+    /// Tree nodes touched so far: the initial root-to-leaf descent plus
+    /// every leaf the scan advanced to along the leaf chain. The effort
+    /// metric behind the engine's B+Tree node-touch counters.
+    pub fn nodes_touched(&self) -> usize {
+        self.touched
+    }
 }
 
 impl<'a, V: Clone> Iterator for RangeIter<'a, V> {
@@ -306,6 +325,9 @@ impl<'a, V: Clone> Iterator for RangeIter<'a, V> {
             let leaf = self.leaf?;
             if let Node::Leaf { keys, values, next } = &self.tree.nodes[leaf] {
                 if self.idx >= keys.len() {
+                    if next.is_some() {
+                        self.touched += 1;
+                    }
                     self.leaf = *next;
                     self.idx = 0;
                     continue;

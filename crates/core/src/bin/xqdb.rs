@@ -23,20 +23,34 @@
 //! - `--max-doc-bytes N` reject XMLPARSE input larger than N bytes
 //! - `--threads N`       evaluate partitionable scans on N worker threads
 //!   (`--threads 1`, the default, is the exact legacy serial path)
+//!
+//! Observability flags:
+//!
+//! - `--trace`             record per-query span traces and print the span
+//!   tree after every statement
+//! - `--metrics-json PATH` keep session metrics and rewrite a JSON snapshot
+//!   of the registry to PATH after every statement
+//!
+//! `explain analyze xquery <expr>;` and `EXPLAIN ANALYZE SELECT ...;` execute
+//! the statement and print the plan with actual timings, counters and the
+//! query doctor's index-eligibility diagnoses.
 
 use std::io::{self, BufRead, Write};
 
 use xqdb_core::sqlxml::SqlSession;
-use xqdb_core::AnalysisEnv;
+use xqdb_core::{AnalysisEnv, Obs, ObsConfig};
 use xqdb_xdm::{ErrorCode, Limits, XdmError};
 
-/// Session-wide resource limits parsed from the command line.
-#[derive(Clone, Copy, Default)]
+/// Session-wide resource limits and observability options parsed from the
+/// command line.
+#[derive(Clone, Default)]
 struct CliLimits {
     timeout_ms: Option<u64>,
     max_steps: Option<u64>,
     max_doc_bytes: Option<usize>,
     threads: Option<usize>,
+    trace: bool,
+    metrics_json: Option<String>,
 }
 
 impl CliLimits {
@@ -57,8 +71,16 @@ impl CliLimits {
                     out.max_doc_bytes = Some(value("--max-doc-bytes")? as usize)
                 }
                 "--threads" => out.threads = Some(value("--threads")? as usize),
+                "--trace" => out.trace = true,
+                "--metrics-json" => {
+                    out.metrics_json = Some(
+                        it.next()
+                            .ok_or_else(|| "--metrics-json requires a path".to_string())?
+                            .clone(),
+                    )
+                }
                 "--help" | "-h" => {
-                    return Err("usage: xqdb [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N]"
+                    return Err("usage: xqdb [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--trace] [--metrics-json PATH]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}; try --help")),
@@ -104,6 +126,12 @@ fn main() {
     // phase, and index back-fills all read the catalog's runtime config.
     session.catalog.runtime =
         xqdb_runtime::RuntimeConfig::with_threads(limits.threads.unwrap_or(1));
+    // Metrics live for the whole session; traces are per-statement.
+    let obs = Obs::new(ObsConfig {
+        metrics: limits.metrics_json.is_some(),
+        tracing: limits.trace,
+    });
+    session.set_obs(obs.clone());
     let stdin = io::stdin();
     let mut buffer = String::new();
     print!("xqdb — XML database shell (statements end with ';', '.help' for help)\nxqdb> ");
@@ -133,9 +161,21 @@ fn main() {
         buffer.clear();
         if !stmt.is_empty() {
             run_statement(&mut session, &stmt, &limits);
+            write_metrics(&obs, &limits);
         }
         print!("xqdb> ");
         io::stdout().flush().ok();
+    }
+    write_metrics(&obs, &limits);
+}
+
+/// Rewrite the metrics-JSON snapshot, if the session asked for one.
+fn write_metrics(obs: &Obs, limits: &CliLimits) {
+    let (Some(path), Some(snap)) = (&limits.metrics_json, obs.metrics_snapshot()) else {
+        return;
+    };
+    if let Err(e) = std::fs::write(path, snap.to_json()) {
+        eprintln!("warning: could not write metrics to {path}: {e}");
     }
 }
 
@@ -172,8 +212,33 @@ fn report_degradation(stats: &xqdb_core::ExecStats) {
     }
 }
 
+/// Print the recorded span tree, when tracing was on for the statement.
+fn report_trace(trace: &xqdb_obs::Trace) {
+    if trace.enabled() {
+        print!("{}", trace.render());
+    }
+}
+
 fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
     let lower = stmt.to_ascii_lowercase();
+    if let Some(rest) = lower
+        .strip_prefix("explain analyze xquery")
+        .map(|_| stmt["explain analyze xquery".len()..].trim())
+    {
+        let opts = xqdb_core::ExecOptions {
+            limits: limits.query_limits(),
+            threads: session.catalog.runtime.effective_threads(),
+            obs: session.obs.clone(),
+        };
+        match xqdb_core::explain_analyze_xquery(&session.catalog, rest, &opts) {
+            Ok((report, out)) => {
+                print!("{report}");
+                report_degradation(&out.stats);
+            }
+            Err(e) => report_error(&e),
+        }
+        return;
+    }
     if let Some(rest) = lower
         .strip_prefix("explain xquery")
         .map(|_| stmt["explain xquery".len()..].trim())
@@ -197,6 +262,7 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
         let opts = xqdb_core::ExecOptions {
             limits: limits.query_limits(),
             threads: session.catalog.runtime.effective_threads(),
+            obs: session.obs.clone(),
         };
         match xqdb_core::run_xquery_with_options(&session.catalog, rest, &opts) {
             Ok(out) => {
@@ -223,6 +289,7 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
                     }
                 );
                 report_degradation(&out.stats);
+                report_trace(&out.trace);
             }
             Err(e) => report_error(&e),
         }
@@ -235,6 +302,7 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
                 println!("-- {} row(s)", result.rows.len());
             }
             report_degradation(&result.stats);
+            report_trace(&result.trace);
         }
         Err(e) => report_error(&e),
     }
@@ -247,10 +315,10 @@ fn dot_command(session: &SqlSession, cmd: &str) -> bool {
         ".help" => {
             println!(
                 "statements end with ';'\n\
-                 SQL:          CREATE TABLE/INDEX, INSERT, SELECT (XMLQUERY/XMLEXISTS/XMLTABLE/XMLCAST), EXPLAIN SELECT, VALUES\n\
-                 XQuery:       xquery <expr>;        explain xquery <expr>;\n\
+                 SQL:          CREATE TABLE/INDEX, INSERT, SELECT (XMLQUERY/XMLEXISTS/XMLTABLE/XMLCAST), EXPLAIN [ANALYZE] SELECT, VALUES\n\
+                 XQuery:       xquery <expr>;        explain xquery <expr>;        explain analyze xquery <expr>;\n\
                  shell:        .tables  .indexes  .help  .quit\n\
-                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N"
+                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N  --trace  --metrics-json PATH"
             );
         }
         ".tables" => {

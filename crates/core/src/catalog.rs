@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use xqdb_obs::{Counter, Obs};
 use xqdb_runtime::{chunk_ranges, RuntimeConfig, WorkerPool};
 use xqdb_xdm::{ErrorCode, FaultInjector, NodeHandle, XdmError};
 use xqdb_xmlindex::XmlIndex;
@@ -20,6 +21,9 @@ pub struct Catalog {
     /// the scan/WHERE phases in the engine and SQL layers. Defaults to
     /// serial.
     pub runtime: RuntimeConfig,
+    /// Observability handle for index-maintenance counters (entries built on
+    /// back-fill and insert). Defaults to the free disabled handle.
+    pub obs: Obs,
 }
 
 impl Catalog {
@@ -91,6 +95,7 @@ impl Catalog {
                 index.insert_document(*row, doc);
             }
         }
+        self.obs.add(Counter::IndexEntriesBuilt, index.len() as u64);
         self.indexes.insert(upper, index);
         Ok(())
     }
@@ -126,7 +131,9 @@ impl Catalog {
             }
             for (col, doc) in &xml_cells {
                 if idx.column == *col {
+                    let before = idx.len();
                     idx.insert_document(row as u64, doc);
+                    self.obs.add(Counter::IndexEntriesBuilt, (idx.len() - before) as u64);
                 }
             }
         }

@@ -3,6 +3,7 @@
 
 pub mod candidates;
 pub mod containment;
+pub mod doctor;
 
 use std::collections::BTreeSet;
 use std::ops::Bound;
@@ -17,6 +18,7 @@ pub use candidates::{
     Cond, Note,
 };
 pub use containment::path_contained_in;
+pub use doctor::{diagnose, Diagnosis, Pitfall, RejectReason};
 
 /// A compiled index-access condition for one collection.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +76,8 @@ impl IndexCond {
                 })?;
                 let (rows, s) = idx.probe_guarded(range, budget)?;
                 stats.entries_scanned += s.entries_scanned;
+                stats.nodes_touched += s.nodes_touched;
+                stats.probes += 1;
                 Ok(rows)
             }
             IndexCond::And(cs) => {
@@ -107,8 +111,9 @@ impl IndexCond {
 pub struct Rejection {
     /// Rendering of the candidate.
     pub candidate: String,
-    /// Per-index failure reasons (or a blanket "no indexes on source").
-    pub reasons: Vec<String>,
+    /// Per-index failure reasons (or a blanket "no indexes on source"),
+    /// each classified by the query doctor.
+    pub reasons: Vec<RejectReason>,
 }
 
 /// Result of compiling a condition for one collection.
@@ -358,7 +363,11 @@ fn compile_pred(
     let Some(range) = probe_range_for(c) else {
         rejections.push(Rejection {
             candidate: render_cond(&Cond::Pred(c.clone())),
-            reasons: vec!["'!=' predicates cannot be answered by a range scan".into()],
+            reasons: vec![RejectReason {
+                pitfall: Pitfall::NotEqualsPredicate,
+                index: None,
+                detail: "'!=' predicates cannot be answered by a range scan".into(),
+            }],
         });
         return None;
     };
@@ -379,19 +388,30 @@ fn compile_range_probe(
             continue;
         }
         if !index_type_serves(idx, c.target) {
-            reasons.push(format!(
-                "{}: index type '{}' cannot serve a {} comparison (Section 3.1)",
-                idx.name, idx.ty, c.target
-            ));
+            reasons.push(RejectReason {
+                pitfall: Pitfall::TypeMismatch,
+                index: Some(idx.name.clone()),
+                detail: format!(
+                    "{}: index type '{}' cannot serve a {} comparison (Section 3.1)",
+                    idx.name, idx.ty, c.target
+                ),
+            });
             continue;
         }
         if !path_contained_in(&c.steps, &idx.pattern.steps) {
-            reasons.push(format!(
-                "{}: query path {} is not contained in XMLPATTERN '{}' (Definition 1)",
-                idx.name,
-                render_steps(&c.steps),
-                idx.pattern
-            ));
+            // The doctor refines the generic Definition 1 failure into the
+            // specific pitfall (namespace / text() / attribute-axis tips).
+            let pitfall = doctor::classify_containment_failure(&c.steps, &idx.pattern.steps);
+            reasons.push(RejectReason {
+                pitfall,
+                index: Some(idx.name.clone()),
+                detail: format!(
+                    "{}: query path {} is not contained in XMLPATTERN '{}' (Definition 1)",
+                    idx.name,
+                    render_steps(&c.steps),
+                    idx.pattern
+                ),
+            });
             continue;
         }
         let desc = if between {
@@ -408,7 +428,11 @@ fn compile_range_probe(
         return Some(IndexCond::Probe { index: idx.name.clone(), range, desc });
     }
     if reasons.is_empty() {
-        reasons.push(format!("no XML index on {}", c.source));
+        reasons.push(RejectReason {
+            pitfall: Pitfall::NoIndex,
+            index: None,
+            detail: format!("no XML index on {}", c.source),
+        });
     }
     rejections.push(Rejection {
         candidate: render_cond(&Cond::Pred(c.clone())),

@@ -19,7 +19,9 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
+use xqdb_obs::{Counter, Gauge, Histogram, Obs, Trace};
 use xqdb_runtime::{chunk_ranges, WorkerPool};
 use xqdb_xdm::{Budget, ErrorCode, ExpandedName, Item, Limits, Sequence, XdmError};
 use xqdb_xmlindex::ProbeStats;
@@ -30,7 +32,8 @@ use xqdb_storage::SqlValue;
 
 use crate::catalog::Catalog;
 use crate::eligibility::{
-    analyze_query_root, compile, restrict_to_source, AnalysisEnv, Cond, IndexCond, Note, Rejection,
+    analyze_query_root, compile, diagnose, restrict_to_source, AnalysisEnv, Cond, IndexCond, Note,
+    Rejection,
 };
 
 /// Per-collection access decision.
@@ -62,6 +65,12 @@ pub struct QueryPlan {
 pub struct ExecStats {
     /// Index entries scanned across all probes.
     pub index_entries_scanned: usize,
+    /// Individual B+Tree range scans executed (a compound condition probes
+    /// once per `PROBE` leaf).
+    pub index_probes: usize,
+    /// B+Tree nodes touched by probes: root-to-leaf descents plus
+    /// leaf-chain advances.
+    pub btree_nodes_touched: usize,
     /// Documents fetched and evaluated, per source.
     pub docs_evaluated: HashMap<String, usize>,
     /// Collection sizes, per source.
@@ -80,6 +89,19 @@ pub struct ExecStats {
     pub parallel_shards: usize,
 }
 
+impl ExecStats {
+    /// Stats for a run entering the executor: serial (one worker, one
+    /// shard) until the sharded path proves otherwise, all counters zero.
+    pub fn new() -> ExecStats {
+        ExecStats { parallel_workers: 1, parallel_shards: 1, ..ExecStats::default() }
+    }
+
+    /// Documents evaluated, summed over all sources.
+    pub fn docs_evaluated_total(&self) -> usize {
+        self.docs_evaluated.values().sum()
+    }
+}
+
 /// Result of executing a planned query.
 #[derive(Debug)]
 pub struct ExecOutcome {
@@ -87,23 +109,44 @@ pub struct ExecOutcome {
     pub sequence: Sequence,
     /// Statistics.
     pub stats: ExecStats,
+    /// The run's span trace (the free disabled trace unless tracing was
+    /// requested via [`ExecOptions`] or `EXPLAIN ANALYZE`).
+    pub trace: Trace,
 }
 
 /// Plan an XQuery against the catalog. `env` carries externally-bound
 /// variables (the SQL/XML `PASSING` clause).
 pub fn plan_query(catalog: &Catalog, query: Query, env: &AnalysisEnv) -> QueryPlan {
+    plan_query_traced(catalog, query, env, &Trace::disabled())
+}
+
+/// [`plan_query`] recording a `plan` span with an `eligibility check`
+/// child when the trace is live.
+pub fn plan_query_traced(
+    catalog: &Catalog,
+    query: Query,
+    env: &AnalysisEnv,
+    trace: &Trace,
+) -> QueryPlan {
+    let mut span = trace.span("plan");
     let analysis = analyze_query_root(&query.body, env);
     let mut sources = BTreeSet::new();
     collect_sources(&query.body, &mut sources);
     let mut accesses = Vec::new();
     let mut rejections = Vec::new();
-    for source in sources {
-        let restricted = restrict_to_source(&analysis.cond, &source);
-        let indexes = catalog.indexes_for_source(&source);
-        let compiled = compile(&restricted, &indexes);
-        rejections.extend(compiled.rejections);
-        accesses.push(SourceAccess { source, access: compiled.access });
+    {
+        let mut elig = span.child("eligibility check");
+        for source in sources {
+            let restricted = restrict_to_source(&analysis.cond, &source);
+            let indexes = catalog.indexes_for_source(&source);
+            let compiled = compile(&restricted, &indexes);
+            rejections.extend(compiled.rejections);
+            accesses.push(SourceAccess { source, access: compiled.access });
+        }
+        elig.add_count(accesses.len() as u64);
+        elig.tag_with("rejections", || rejections.len().to_string());
     }
+    span.add_count(accesses.len() as u64);
     QueryPlan {
         query,
         cond: analysis.cond,
@@ -127,13 +170,17 @@ pub fn run_xquery_with_limits(
     run_xquery_with_options(catalog, text, &ExecOptions { limits, ..ExecOptions::default() })
 }
 
-/// Execution options: resource limits plus the parallelism degree.
+/// Execution options: resource limits, the parallelism degree, and the
+/// observability handle.
 #[derive(Debug, Clone, Default)]
 pub struct ExecOptions {
     /// Resource limits for the run.
     pub limits: Limits,
     /// Worker threads. `0` and `1` both select the serial legacy path.
     pub threads: usize,
+    /// Observability: metrics registry + tracing configuration. The default
+    /// is the free disabled handle.
+    pub obs: Obs,
 }
 
 /// Parse, plan and execute an XQuery string under [`ExecOptions`].
@@ -142,13 +189,70 @@ pub fn run_xquery_with_options(
     text: &str,
     opts: &ExecOptions,
 ) -> Result<ExecOutcome, XdmError> {
-    let query = xqdb_xquery::parse_query(text).map_err(|e| {
-        XdmError::new(xqdb_xdm::ErrorCode::XPST0003, e.to_string())
-    })?;
-    let plan = plan_query(catalog, query, &AnalysisEnv::new());
-    let budget = Arc::new(Budget::new(opts.limits.clone()));
-    let ctx = DynamicContext::new().with_budget(budget);
-    ParallelExecutor::new(opts.threads).execute(catalog, &plan, &ctx)
+    let trace = opts.obs.trace();
+    run_traced(catalog, text, opts, &trace).map(|(_, outcome)| outcome)
+}
+
+/// Parse, plan and execute with per-query metric recording, against the
+/// given trace. Returns the plan too, for `EXPLAIN ANALYZE`.
+fn run_traced(
+    catalog: &Catalog,
+    text: &str,
+    opts: &ExecOptions,
+    trace: &Trace,
+) -> Result<(QueryPlan, ExecOutcome), XdmError> {
+    let obs = &opts.obs;
+    let started = obs.metrics_enabled().then(Instant::now);
+    obs.incr(Counter::QueriesExecuted);
+    let result: Result<(QueryPlan, ExecOutcome), XdmError> = (|| {
+        let query = {
+            let _parse = trace.span("parse");
+            xqdb_xquery::parse_query(text).map_err(|e| {
+                XdmError::new(xqdb_xdm::ErrorCode::XPST0003, e.to_string())
+            })?
+        };
+        let plan = plan_query_traced(catalog, query, &AnalysisEnv::new(), trace);
+        if obs.metrics_enabled() {
+            let diagnoses = diagnose(&plan.rejections, &plan.notes);
+            obs.add(Counter::DoctorDiagnoses, diagnoses.len() as u64);
+        }
+        let budget = Arc::new(Budget::new(opts.limits.clone()));
+        let ctx = DynamicContext::new().with_budget(budget);
+        let outcome = ParallelExecutor::new(opts.threads)
+            .execute_observed(catalog, &plan, &ctx, obs, trace)?;
+        Ok((plan, outcome))
+    })();
+    if let Some(t0) = started {
+        obs.observe_ns(Histogram::QueryNanos, elapsed_ns(t0));
+    }
+    match &result {
+        Err(e) if e.code == ErrorCode::ResourceExhausted => {
+            obs.incr(Counter::BudgetExhaustions)
+        }
+        Err(e) if e.code == ErrorCode::Cancelled => obs.incr(Counter::QueriesCancelled),
+        _ => {}
+    }
+    result
+}
+
+/// `EXPLAIN ANALYZE` for the standalone XQuery path: run the query with
+/// tracing forced on and render the plan annotated with actual per-stage
+/// timings, execution counters (exactly the returned [`ExecStats`]) and the
+/// query doctor's diagnoses. Returns the report and the outcome it
+/// describes.
+pub fn explain_analyze_xquery(
+    catalog: &Catalog,
+    text: &str,
+    opts: &ExecOptions,
+) -> Result<(String, ExecOutcome), XdmError> {
+    let trace = Trace::recording();
+    let (plan, outcome) = run_traced(catalog, text, opts, &trace)?;
+    let report = explain_analyze_report(&plan, &outcome, opts.threads);
+    Ok((report, outcome))
+}
+
+fn elapsed_ns(from: Instant) -> u64 {
+    u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Execute a planned query. The context's budget governs the whole run:
@@ -176,6 +280,8 @@ fn probe_phase(
     plan: &QueryPlan,
     ctx: &DynamicContext,
     stats: &mut ExecStats,
+    obs: &Obs,
+    trace: &Trace,
 ) -> Result<HashMap<String, BTreeSet<u64>>, XdmError> {
     let mut filters: HashMap<String, BTreeSet<u64>> = HashMap::new();
     for access in &plan.accesses {
@@ -187,17 +293,29 @@ fn probe_phase(
         stats.docs_total.insert(access.source.clone(), total);
         match &access.access {
             Some(cond) => {
+                let mut span = trace.span("index probe");
+                span.tag_with("source", || access.source.clone());
                 let indexes = catalog.indexes_for_source(&access.source);
                 let mut pstats = ProbeStats::default();
-                match cond.execute(&indexes, &mut pstats, &ctx.budget) {
+                let t0 = obs.metrics_enabled().then(Instant::now);
+                let probed = cond.execute(&indexes, &mut pstats, &ctx.budget);
+                if let Some(t0) = t0 {
+                    obs.observe_ns(Histogram::ProbeNanos, elapsed_ns(t0));
+                }
+                stats.index_entries_scanned += pstats.entries_scanned;
+                stats.index_probes += pstats.probes;
+                stats.btree_nodes_touched += pstats.nodes_touched;
+                span.add_count(pstats.entries_scanned as u64);
+                match probed {
                     Ok(rows) => {
-                        stats.index_entries_scanned += pstats.entries_scanned;
+                        span.tag_str("outcome", "index hit");
+                        span.tag_with("survivors", || rows.len().to_string());
                         stats.docs_evaluated.insert(access.source.clone(), rows.len());
                         filters.insert(access.source.clone(), rows);
                     }
                     Err(e) if e.code == ErrorCode::StorageFault => {
                         // Graceful degradation: no filter for this source.
-                        stats.index_entries_scanned += pstats.entries_scanned;
+                        span.tag_str("outcome", "degraded to scan");
                         stats.index_faults += 1;
                         stats.degraded_sources.push(access.source.clone());
                         stats.docs_evaluated.insert(access.source.clone(), total);
@@ -243,8 +361,24 @@ impl ParallelExecutor {
         plan: &QueryPlan,
         ctx: &DynamicContext,
     ) -> Result<ExecOutcome, XdmError> {
-        let mut stats = ExecStats { parallel_workers: 1, parallel_shards: 1, ..Default::default() };
-        let filters = probe_phase(catalog, plan, ctx, &mut stats)?;
+        self.execute_observed(catalog, plan, ctx, &Obs::disabled(), &Trace::disabled())
+    }
+
+    /// [`ParallelExecutor::execute`] with observability: probe and scan
+    /// phases record spans into `trace`, and the finished run's stats are
+    /// recorded into `obs`'s metrics registry in one place
+    /// ([`record_exec_metrics`]) so a metrics delta reconciles exactly with
+    /// the returned [`ExecStats`].
+    pub fn execute_observed(
+        &self,
+        catalog: &Catalog,
+        plan: &QueryPlan,
+        ctx: &DynamicContext,
+        obs: &Obs,
+        trace: &Trace,
+    ) -> Result<ExecOutcome, XdmError> {
+        let mut stats = ExecStats::new();
+        let filters = probe_phase(catalog, plan, ctx, &mut stats, obs, trace)?;
         if self.pool.threads() > 1 {
             if let Some(part) = partition_plan(&plan.query) {
                 if let Some(rows) =
@@ -253,16 +387,24 @@ impl ParallelExecutor {
                     if rows.len() > 1 {
                         let scan =
                             ShardedScan { filters: &filters, rows: &rows, part: &part };
-                        return self.execute_sharded(catalog, plan, ctx, stats, &scan);
+                        let outcome =
+                            self.execute_sharded(catalog, plan, ctx, stats, &scan, trace)?;
+                        record_exec_metrics(obs, &outcome.stats);
+                        return Ok(outcome);
                     }
                 }
             }
         }
+        let mut span = trace.span("scan");
+        span.tag_str("mode", "serial");
         let provider = FilteredProvider { catalog, filters: &filters, shard: None };
         let sequence = xqdb_xqeval::eval_query(&plan.query, &provider, ctx)?;
         ctx.budget.check_result_items(sequence.len())?;
+        span.add_count(sequence.len() as u64);
+        drop(span);
         stats.steps_used = ctx.budget.steps_used();
-        Ok(ExecOutcome { sequence, stats })
+        record_exec_metrics(obs, &stats);
+        Ok(ExecOutcome { sequence, stats, trace: trace.clone() })
     }
 
     /// Sharded evaluation: split the surviving rows of the partition source
@@ -277,23 +419,69 @@ impl ParallelExecutor {
         ctx: &DynamicContext,
         mut stats: ExecStats,
         scan: &ShardedScan<'_>,
+        trace: &Trace,
     ) -> Result<ExecOutcome, XdmError> {
         let ShardedScan { filters, rows, part } = *scan;
         let ranges = chunk_ranges(rows.len(), self.pool.default_chunks(rows.len()));
-        let chunks = self.pool.try_run(ranges.len(), |i| {
+        let mut span = trace.span("scan");
+        span.tag_str("mode", "sharded");
+        span.tag_with("source", || part.source.clone());
+        let parent = span.id();
+        let task = |i: usize| {
             let shard = Shard { source: &part.source, rows: &rows[ranges[i].clone()] };
             let provider = FilteredProvider { catalog, filters, shard: Some(shard) };
             xqdb_xqeval::eval_query(&plan.query, &provider, ctx)
-        })?;
+        };
+        // The disabled path stays on plain `try_run`: no observation
+        // plumbing at all when nothing records.
+        let chunks = if trace.enabled() {
+            self.pool.try_run_observed(ranges.len(), task, |t| {
+                trace.record_finished(
+                    parent,
+                    "worker task",
+                    t.started,
+                    t.nanos,
+                    0,
+                    vec![("worker", t.worker.to_string()), ("task", t.task.to_string())],
+                );
+            })?
+        } else {
+            self.pool.try_run(ranges.len(), task)?
+        };
         let mut sequence: Sequence = Vec::new();
         for chunk in chunks {
             sequence.extend(chunk);
         }
         ctx.budget.check_result_items(sequence.len())?;
+        span.add_count(sequence.len() as u64);
+        drop(span);
         stats.steps_used = ctx.budget.steps_used();
         stats.parallel_workers = self.pool.threads();
         stats.parallel_shards = ranges.len();
-        Ok(ExecOutcome { sequence, stats })
+        Ok(ExecOutcome { sequence, stats, trace: trace.clone() })
+    }
+}
+
+/// Record a finished run's [`ExecStats`] into the metrics registry — the
+/// single coupling point between counters and stats, which is what makes a
+/// metrics snapshot delta reconcile *exactly* with the stats the query
+/// returned (asserted by the observability consistency tests).
+pub(crate) fn record_exec_metrics(obs: &Obs, stats: &ExecStats) {
+    if !obs.metrics_enabled() {
+        return;
+    }
+    obs.add(Counter::IndexEntriesScanned, stats.index_entries_scanned as u64);
+    obs.add(Counter::IndexProbes, stats.index_probes as u64);
+    obs.add(Counter::IndexProbeFaults, stats.index_faults as u64);
+    obs.add(Counter::DegradationsToScan, stats.degraded_sources.len() as u64);
+    obs.add(Counter::DocsEvaluated, stats.docs_evaluated_total() as u64);
+    obs.add(Counter::EvalSteps, stats.steps_used);
+    obs.add(Counter::BtreeNodeTouches, stats.btree_nodes_touched as u64);
+    obs.set_gauge(Gauge::ParallelWorkers, stats.parallel_workers as u64);
+    obs.set_gauge(Gauge::ParallelShards, stats.parallel_shards as u64);
+    if stats.parallel_workers > 1 {
+        obs.incr(Counter::ParallelQueries);
+        obs.add(Counter::ParallelShardsExecuted, stats.parallel_shards as u64);
     }
 }
 
@@ -486,6 +674,66 @@ pub fn explain(plan: &QueryPlan) -> String {
         }
     }
     out
+}
+
+/// Render an `EXPLAIN ANALYZE` report: the plan, the actual span trace
+/// (per-stage wall-clock timings and item counts), the execution counters
+/// — verbatim from the outcome's [`ExecStats`], so the report reconciles
+/// exactly with what the query returned — and one query-doctor line per
+/// eligibility pitfall, naming the paper Tip (or rule) that fired.
+pub fn explain_analyze_report(plan: &QueryPlan, outcome: &ExecOutcome, threads: usize) -> String {
+    let mut out = explain_with_threads(plan, threads);
+    render_execution_sections(&mut out, &outcome.stats, &outcome.trace);
+    render_doctor_section(&mut out, &diagnose(&plan.rejections, &plan.notes));
+    out
+}
+
+/// The shared `EXECUTION` (trace) and `COUNTERS` (stats, verbatim) sections
+/// of an `EXPLAIN ANALYZE` report — used by both the XQuery and the SQL/XML
+/// front ends.
+pub(crate) fn render_execution_sections(out: &mut String, s: &ExecStats, trace: &Trace) {
+    out.push_str("EXECUTION\n");
+    let rendered = trace.render();
+    if rendered.is_empty() {
+        out.push_str("  (trace disabled)\n");
+    } else {
+        for line in rendered.lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out.push_str("COUNTERS\n");
+    out.push_str(&format!("  index probes: {}\n", s.index_probes));
+    out.push_str(&format!("  index entries scanned: {}\n", s.index_entries_scanned));
+    out.push_str(&format!("  btree nodes touched: {}\n", s.btree_nodes_touched));
+    let total: usize = s.docs_total.values().sum();
+    out.push_str(&format!(
+        "  documents evaluated: {} of {total}\n",
+        s.docs_evaluated_total()
+    ));
+    out.push_str(&format!("  eval steps: {}\n", s.steps_used));
+    out.push_str(&format!(
+        "  index faults: {} (degraded to scan: {})\n",
+        s.index_faults,
+        s.degraded_sources.len()
+    ));
+    out.push_str(&format!(
+        "  workers: {}  shards: {}\n",
+        s.parallel_workers, s.parallel_shards
+    ));
+}
+
+/// The `QUERY DOCTOR` section: one line per diagnosis, naming the paper
+/// Tip (or rule) that disqualified the index.
+pub(crate) fn render_doctor_section(out: &mut String, diagnoses: &[crate::eligibility::Diagnosis]) {
+    if diagnoses.is_empty() {
+        return;
+    }
+    out.push_str("QUERY DOCTOR\n");
+    for d in diagnoses {
+        out.push_str(&format!("  {}\n", d.render()));
+    }
 }
 
 /// One worker's view of the partition source: a sorted slice of surviving

@@ -24,10 +24,15 @@ mod send_sync;
 pub mod sqlxml;
 
 pub use catalog::Catalog;
-pub use eligibility::{AnalysisEnv, Candidate, CmpTarget, Cond, IndexCond, Note};
+pub use eligibility::{
+    diagnose, AnalysisEnv, Candidate, CmpTarget, Cond, Diagnosis, IndexCond, Note, Pitfall,
+    RejectReason,
+};
 pub use engine::{
-    execute_plan, explain, explain_with_threads, partition_plan, plan_query, run_xquery,
-    run_xquery_with_limits, run_xquery_with_options, ExecOptions, ExecOutcome, ExecStats,
-    ParallelExecutor, Partition, QueryPlan,
+    execute_plan, explain, explain_analyze_report, explain_analyze_xquery, explain_with_threads,
+    partition_plan, plan_query, plan_query_traced, run_xquery, run_xquery_with_limits,
+    run_xquery_with_options, ExecOptions, ExecOutcome, ExecStats, ParallelExecutor, Partition,
+    QueryPlan,
 };
 pub use sqlxml::{SqlSession, SqlResult};
+pub use xqdb_obs::{Obs, ObsConfig};

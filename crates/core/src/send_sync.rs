@@ -44,4 +44,11 @@ fn audit_thread_crossing_types() {
     // Runtime: the pool itself must be shareable.
     assert_send_sync::<xqdb_runtime::WorkerPool>();
     assert_send_sync::<xqdb_runtime::RuntimeConfig>();
+
+    // Observability: the handle and per-query trace are recorded into from
+    // every worker; spans may be created concurrently.
+    assert_send_sync::<xqdb_obs::Obs>();
+    assert_send_sync::<xqdb_obs::Trace>();
+    assert_send_sync::<xqdb_obs::Span>();
+    assert_send_sync::<xqdb_obs::MetricsSnapshot>();
 }

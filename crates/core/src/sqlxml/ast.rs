@@ -40,6 +40,9 @@ pub enum SqlStmt {
     Values(Vec<SqlExpr>),
     /// `EXPLAIN SELECT ...`
     Explain(SelectStmt),
+    /// `EXPLAIN ANALYZE SELECT ...` — execute, then report the plan with
+    /// actual timings, counters and doctor diagnoses.
+    ExplainAnalyze(SelectStmt),
 }
 
 /// A `SELECT` statement.

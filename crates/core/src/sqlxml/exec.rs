@@ -14,7 +14,9 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::time::Instant;
 
+use xqdb_obs::{Counter, Histogram, Obs, Trace};
 use xqdb_runtime::{chunk_ranges, WorkerPool};
 use xqdb_xdm::{cast, AtomicType, AtomicValue, ErrorCode, ExpandedName, Item, Sequence, XdmError};
 use xqdb_xmlindex::ProbeStats;
@@ -24,10 +26,12 @@ use xqdb_storage::{sql_compare, SqlType, SqlValue};
 
 use crate::catalog::Catalog;
 use crate::eligibility::{
-    analyze_filtering, analyze_non_filtering, compile, restrict_to_source, AnalysisEnv, Cond,
-    IndexCond, Note, Rejection,
+    analyze_filtering, analyze_non_filtering, compile, diagnose, restrict_to_source, AnalysisEnv,
+    Cond, IndexCond, Note, Rejection,
 };
-use crate::engine::ExecStats;
+use crate::engine::{
+    record_exec_metrics, render_doctor_section, render_execution_sections, ExecStats,
+};
 
 use super::ast::*;
 use super::parser::parse_sql;
@@ -113,6 +117,8 @@ pub struct SqlResult {
     pub message: Option<String>,
     /// Execution statistics (index effort, rows scanned).
     pub stats: ExecStats,
+    /// The query trace (disabled unless the session's [`Obs`] traces).
+    pub trace: Trace,
 }
 
 impl SqlResult {
@@ -138,6 +144,8 @@ pub struct SqlSession {
     pub catalog: Catalog,
     /// Limits applied when INSERT parses document text (XMLPARSE).
     pub parse_limits: xqdb_xmlparse::ParseLimits,
+    /// Observability handle shared by every statement of the session.
+    pub obs: Obs,
 }
 
 impl SqlSession {
@@ -146,8 +154,16 @@ impl SqlSession {
         Self::default()
     }
 
+    /// Install one observability handle on the session and its catalog, so
+    /// statement execution and index maintenance record into one registry.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.catalog.obs = obs.clone();
+        self.obs = obs;
+    }
+
     /// Execute one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<SqlResult, XdmError> {
+        self.obs.incr(Counter::SqlStatements);
         let stmt = parse_sql(sql)
             .map_err(|e| XdmError::new(ErrorCode::XPST0003, e.to_string()))?;
         match stmt {
@@ -194,7 +210,23 @@ impl SqlSession {
                     ..Default::default()
                 })
             }
+            SqlStmt::ExplainAnalyze(sel) => self.explain_analyze_select(&sel),
         }
+    }
+
+    /// `EXPLAIN ANALYZE SELECT ...`: run the statement with tracing forced
+    /// on, then report the plan annotated with actual per-stage timings,
+    /// the execution counters (verbatim from the run's [`ExecStats`]), and
+    /// the query doctor's diagnoses. The result rows are discarded — the
+    /// report is the result.
+    fn explain_analyze_select(&self, sel: &SelectStmt) -> Result<SqlResult, XdmError> {
+        let trace = Trace::recording();
+        let (plan, result) = self.run_select_traced(sel, &trace)?;
+        let mut report = render_plan(&plan);
+        render_execution_sections(&mut report, &result.stats, &trace);
+        render_doctor_section(&mut report, &diagnose(&plan.rejections, &plan.notes));
+        report.push_str(&format!("-- executed: {} row(s) produced\n", result.rows.len()));
+        Ok(SqlResult { message: Some(report), stats: result.stats, ..Default::default() })
     }
 
     /// INSERT values: strings targeting XML columns are parsed as XML.
@@ -380,26 +412,56 @@ impl SqlSession {
     // ------------------------------------------------------------ execution
 
     fn run_select(&self, sel: &SelectStmt) -> Result<SqlResult, XdmError> {
-        let plan = self.plan_select(sel)?;
-        let mut stats = ExecStats::default();
-        // Resolve per-table row filters from compiled accesses.
+        let trace = self.obs.trace();
+        self.run_select_traced(sel, &trace).map(|(_, result)| result)
+    }
+
+    fn run_select_traced(
+        &self,
+        sel: &SelectStmt,
+        trace: &Trace,
+    ) -> Result<(SqlPlan, SqlResult), XdmError> {
+        let plan = {
+            let mut span = trace.span("plan");
+            let plan = self.plan_select(sel)?;
+            span.add_count(plan.accesses.len() as u64);
+            plan
+        };
+        let mut stats = ExecStats::new();
+        // Resolve per-table row filters from compiled accesses. Iterate in
+        // source order so spans and degradations are deterministic.
         let mut row_filters: HashMap<String, BTreeSet<u64>> = HashMap::new();
-        for (source, access) in &plan.accesses {
+        let mut sources: Vec<_> = plan.accesses.iter().collect();
+        sources.sort_by_key(|(s, _)| s.as_str());
+        for (source, access) in sources {
+            let mut span = trace.span("index probe");
+            span.tag_with("source", || source.clone());
             let indexes = self.catalog.indexes_for_source(source);
             let mut pstats = ProbeStats::default();
             let budget = xqdb_xdm::Budget::unlimited();
-            let rows = match access.execute(&indexes, &mut pstats, &budget) {
+            let t0 = self.obs.metrics_enabled().then(Instant::now);
+            let probed = access.execute(&indexes, &mut pstats, &budget);
+            if let Some(t0) = t0 {
+                self.obs.observe_ns(Histogram::ProbeNanos, elapsed_ns(t0));
+            }
+            stats.index_entries_scanned += pstats.entries_scanned;
+            stats.index_probes += pstats.probes;
+            stats.btree_nodes_touched += pstats.nodes_touched;
+            span.add_count(pstats.entries_scanned as u64);
+            let rows = match probed {
                 Ok(rows) => rows,
                 Err(e) if e.code == xqdb_xdm::ErrorCode::StorageFault => {
                     // Degrade to an unfiltered scan of this source (correct
                     // by Definition 1); record it for observability.
+                    span.tag_str("outcome", "degraded to scan");
                     stats.index_faults += 1;
                     stats.degraded_sources.push(source.clone());
                     continue;
                 }
                 Err(e) => return Err(e),
             };
-            stats.index_entries_scanned += pstats.entries_scanned;
+            span.tag_str("outcome", "index hit");
+            span.tag_with("survivors", || rows.len().to_string());
             let table = source.split('.').next().unwrap_or("").to_string();
             // Intersect if several XML columns of one table are filtered.
             row_filters
@@ -408,6 +470,7 @@ impl SqlSession {
                 .or_insert(rows);
         }
 
+        let mut scan_span = trace.span("scan");
         // Build the row stream via nested loops.
         let mut rows: Vec<RowCtx> = vec![RowCtx::default()];
         for item in &sel.from {
@@ -468,13 +531,33 @@ impl SqlSession {
                 let pool = WorkerPool::new(threads);
                 let ranges = chunk_ranges(rows.len(), pool.default_chunks(rows.len()));
                 let rows_ref = &rows;
-                let flags = pool.try_run(ranges.len(), |i| {
+                let parent = scan_span.id();
+                let task = |i: usize| {
                     let mut out = Vec::with_capacity(ranges[i].len());
                     for ctx in &rows_ref[ranges[i].clone()] {
                         out.push(self.eval_cond(cond, ctx)? == Some(true));
                     }
                     Ok::<_, XdmError>(out)
-                })?;
+                };
+                let flags = if trace.enabled() {
+                    pool.try_run_observed(ranges.len(), task, |t| {
+                        trace.record_finished(
+                            parent,
+                            "worker task",
+                            t.started,
+                            t.nanos,
+                            0,
+                            vec![
+                                ("worker", t.worker.to_string()),
+                                ("task", t.task.to_string()),
+                            ],
+                        );
+                    })?
+                } else {
+                    pool.try_run(ranges.len(), task)?
+                };
+                stats.parallel_workers = pool.threads();
+                stats.parallel_shards = ranges.len();
                 let mut pass = flags.into_iter().flatten();
                 rows.into_iter().filter(|_| pass.next() == Some(true)).collect()
             }
@@ -492,8 +575,11 @@ impl SqlSession {
                 kept
             }
         };
+        scan_span.add_count(kept.len() as u64);
+        drop(scan_span);
 
         // Projection.
+        let mut project_span = trace.span("serialize");
         let mut columns = Vec::new();
         let mut out_rows = Vec::new();
         for (ri, ctx) in kept.iter().enumerate() {
@@ -534,7 +620,10 @@ impl SqlSession {
                 }
             }
         }
-        Ok(SqlResult { columns, rows: out_rows, message: None, stats })
+        project_span.add_count(out_rows.len() as u64);
+        drop(project_span);
+        record_exec_metrics(&self.obs, &stats);
+        Ok((plan, SqlResult { columns, rows: out_rows, message: None, stats, trace: trace.clone() }))
     }
 
     fn expand_xmltable(
@@ -756,6 +845,10 @@ pub fn render_plan(plan: &SqlPlan) -> String {
         }
     }
     out
+}
+
+fn elapsed_ns(from: Instant) -> u64 {
+    u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn default_name(expr: &SqlExpr, i: usize) -> String {

@@ -264,6 +264,9 @@ impl P {
             return Ok(SqlStmt::Select(self.select()?));
         }
         if self.eat_word("EXPLAIN") {
+            if self.eat_word("ANALYZE") {
+                return Ok(SqlStmt::ExplainAnalyze(self.select()?));
+            }
             return Ok(SqlStmt::Explain(self.select()?));
         }
         if self.eat_word("VALUES") {

@@ -25,6 +25,22 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// What the pool observed about one finished task, reported to the
+/// `observe` callback of [`WorkerPool::try_run_observed`]. The pool times
+/// tasks itself so observability costs nothing when not requested.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskObservation {
+    /// Worker that ran the task (0-based; 0 on the inline serial path).
+    pub worker: usize,
+    /// Task index.
+    pub task: usize,
+    /// When the task started.
+    pub started: Instant,
+    /// Task wall-clock duration in nanoseconds.
+    pub nanos: u64,
+}
 
 /// How many chunks each worker gets on average when a caller splits work
 /// with [`WorkerPool::default_chunks`]. More than one, so stealing can
@@ -145,6 +161,26 @@ impl WorkerPool {
         E: Send,
         F: Fn(usize) -> Result<R, E> + Sync,
     {
+        self.try_run_observed(tasks, f, |_| {})
+    }
+
+    /// [`WorkerPool::try_run`] that additionally reports a
+    /// [`TaskObservation`] for every finished task — worker id, start time
+    /// and duration — to `observe`, which tracing builds spans from. The
+    /// callback fires on the worker thread right after its task completes
+    /// (on the caller's thread on the inline serial path) and must be cheap.
+    pub fn try_run_observed<R, E, F, O>(
+        &self,
+        tasks: usize,
+        f: F,
+        observe: O,
+    ) -> Result<Vec<R>, E>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(usize) -> Result<R, E> + Sync,
+        O: Fn(TaskObservation) + Sync,
+    {
         if tasks == 0 {
             return Ok(Vec::new());
         }
@@ -153,7 +189,15 @@ impl WorkerPool {
             // Exact legacy path: no threads, strict task order.
             let mut out = Vec::with_capacity(tasks);
             for i in 0..tasks {
-                out.push(f(i)?);
+                let started = Instant::now();
+                let r = f(i);
+                observe(TaskObservation {
+                    worker: 0,
+                    task: i,
+                    started,
+                    nanos: elapsed_ns(started),
+                });
+                out.push(r?);
             }
             return Ok(out);
         }
@@ -172,10 +216,19 @@ impl WorkerPool {
                 let queues = &queues;
                 let done = &done;
                 let f = &f;
+                let observe = &observe;
                 scope.spawn(move || {
                     let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
                     while let Some(i) = next_task(queues, w) {
-                        local.push((i, f(i)));
+                        let started = Instant::now();
+                        let r = f(i);
+                        observe(TaskObservation {
+                            worker: w,
+                            task: i,
+                            started,
+                            nanos: elapsed_ns(started),
+                        });
+                        local.push((i, r));
                     }
                     if let Ok(mut d) = done.lock() {
                         d.extend(local);
@@ -196,6 +249,10 @@ impl WorkerPool {
         }
         Ok(out)
     }
+}
+
+fn elapsed_ns(from: Instant) -> u64 {
+    u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Pop the next task for worker `w`: own queue front first, then steal from
@@ -252,6 +309,30 @@ mod tests {
                 .try_run(20, |i| if i % 7 == 3 { Err(i) } else { Ok(i) })
                 .expect_err("tasks 3, 10 and 17 fail");
             assert_eq!(err, 3, "must report the first error serial would hit");
+        }
+    }
+
+    #[test]
+    fn observed_run_reports_every_task_once() {
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let seen = Mutex::new(Vec::new());
+            let got = pool
+                .try_run_observed(
+                    23,
+                    Ok::<usize, ()>,
+                    |obs| {
+                        assert!(obs.worker < threads);
+                        if let Ok(mut s) = seen.lock() {
+                            s.push(obs.task);
+                        }
+                    },
+                )
+                .unwrap_or_default();
+            assert_eq!(got, (0..23).collect::<Vec<_>>());
+            let mut tasks = seen.into_inner().unwrap_or_default();
+            tasks.sort_unstable();
+            assert_eq!(tasks, (0..23).collect::<Vec<_>>(), "{threads} threads");
         }
     }
 

@@ -95,6 +95,11 @@ pub struct ProbeStats {
     pub entries_scanned: usize,
     /// Distinct rows produced.
     pub rows_matched: usize,
+    /// Individual index probes performed (set by the condition executor;
+    /// a compound condition may probe several times).
+    pub probes: usize,
+    /// B+Tree nodes touched: root-to-leaf descent plus leaf-chain advances.
+    pub nodes_touched: usize,
 }
 
 /// Encoded index keys extracted from one document, plus the count of
@@ -289,7 +294,8 @@ impl XmlIndex {
         let mut stats = ProbeStats::default();
         let lob = as_bound_slice(&lo);
         let hib = as_bound_slice(&hi);
-        for (key, ()) in self.tree.range(lob, hib) {
+        let mut it = self.tree.range(lob, hib);
+        for (key, ()) in it.by_ref() {
             stats.entries_scanned += 1;
             if let Some(b) = budget {
                 b.charge_index_entries(1)?;
@@ -298,6 +304,7 @@ impl XmlIndex {
                 rows.insert(row);
             }
         }
+        stats.nodes_touched = it.nodes_touched();
         stats.rows_matched = rows.len();
         Ok((rows, stats))
     }
@@ -315,12 +322,14 @@ impl XmlIndex {
         };
         let mut out = BTreeSet::new();
         let mut stats = ProbeStats::default();
-        for (key, ()) in self.tree.range(as_bound_slice(&lo), as_bound_slice(&hi)) {
+        let mut it = self.tree.range(as_bound_slice(&lo), as_bound_slice(&hi));
+        for (key, ()) in it.by_ref() {
             stats.entries_scanned += 1;
             if let Some(pair) = decode_suffix(key) {
                 out.insert(pair);
             }
         }
+        stats.nodes_touched = it.nodes_touched();
         stats.rows_matched = out.iter().map(|(r, _)| *r).collect::<BTreeSet<_>>().len();
         (out, stats)
     }

@@ -18,10 +18,27 @@ cargo clippy --workspace --all-targets -- \
 
 # All thread management goes through the xqdb-runtime pool: no ad-hoc
 # spawns elsewhere. (thread::sleep and available_parallelism are fine;
-# the pattern targets spawn/scope only.)
+# the pattern targets spawn/scope only.) crates/obs sits below the runtime
+# in the layering; its tests need raw scoped threads to contend on the
+# lock-cheap registry and the span mutex.
 if grep -rn --include='*.rs' -E 'thread::(spawn|scope)' crates tests \
-    | grep -v '^crates/runtime/'; then
+    | grep -v '^crates/runtime/' \
+    | grep -v '^crates/obs/'; then
   echo "error: thread spawning outside crates/runtime (use the WorkerPool)" >&2
+  exit 1
+fi
+
+# Library code never prints: diagnostics flow through the xqdb-obs handles
+# (traces, metrics, EXPLAIN ANALYZE reports) and are rendered by the caller.
+# Printing is allowed only in binaries (crates/*/src/bin), the obs crate's
+# exporters, the bench harness, and tests.
+if grep -rn --include='*.rs' -E '\b(println!|eprintln!)' crates tests \
+    | grep -v '/src/bin/' \
+    | grep -v '^crates/obs/' \
+    | grep -v '^crates/bench/' \
+    | grep -v '^crates/criterion/' \
+    | grep -v '^tests/'; then
+  echo "error: println!/eprintln! outside bin targets, crates/obs, crates/bench/criterion harnesses, or tests (return data; let the caller print)" >&2
   exit 1
 fi
 

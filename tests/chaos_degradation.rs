@@ -284,6 +284,7 @@ fn budget_exhaustion_under_parallelism_matches_serial_error_code() {
         let opts = ExecOptions {
             limits: Limits::unlimited().with_max_steps(100),
             threads,
+            ..ExecOptions::default()
         };
         let err = run_xquery_with_options(&c, q, &opts)
             .expect_err("100 steps cannot evaluate 300 documents at any degree");
@@ -298,6 +299,7 @@ fn budget_exhaustion_under_parallelism_matches_serial_error_code() {
         let opts = ExecOptions {
             limits: Limits::unlimited().with_timeout(std::time::Duration::from_millis(1)),
             threads,
+            ..ExecOptions::default()
         };
         let err = run_xquery_with_options(&big, q, &opts)
             .expect_err("a 1ms deadline cannot cover a 10k-document scan at any degree");

@@ -1,0 +1,394 @@
+//! Observability consistency: the metrics registry, `EXPLAIN ANALYZE`
+//! reports and the returned [`ExecStats`] are three views of one execution
+//! and must reconcile **exactly** — at every thread count, for every paper
+//! query family (indexed hit, Tip-disqualified full scan, fault-degraded
+//! probe, parallel sharded scan), on both the XQuery and SQL/XML front ends.
+
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use xqdb_core::{
+    explain_analyze_xquery, run_xquery_with_options, Catalog, ExecOptions, ExecStats, Obs,
+    ObsConfig, SqlSession,
+};
+use xqdb_obs::{Counter, Gauge, Histogram, MetricsSnapshot};
+use xqdb_xdm::{FaultInjector, FaultMode};
+use xqdb_workload::{create_paper_schema, load_orders, OrderParams};
+
+/// The thread counts the matrix runs at; `XQDB_TEST_THREADS` (set by
+/// `scripts/lint.sh` for its second test pass) adds an extra degree.
+fn thread_matrix() -> Vec<usize> {
+    let mut degrees = vec![1, 4];
+    if let Some(n) = xqdb_runtime::test_threads_from_env() {
+        if !degrees.contains(&n) {
+            degrees.push(n);
+        }
+    }
+    degrees
+}
+
+/// A populated orders catalog; `index_ty` selects the paper's price index
+/// type (`None` = no index).
+fn orders_catalog(n: usize, index_ty: Option<&str>) -> Catalog {
+    let mut c = Catalog::new();
+    create_paper_schema(&mut c);
+    load_orders(&mut c, n, OrderParams::default());
+    if let Some(ty) = index_ty {
+        c.create_index("li_price", "orders", "orddoc", "//lineitem/@price", ty)
+            .expect("index DDL is valid");
+    }
+    c
+}
+
+fn snap(obs: &Obs) -> MetricsSnapshot {
+    obs.metrics_snapshot().expect("metrics are enabled in this test")
+}
+
+/// The reconciliation assertion: every execution counter's delta equals the
+/// corresponding [`ExecStats`] field, the gauges hold the run's parallelism,
+/// and the query histogram counted the run.
+fn assert_registry_matches_stats(
+    before: &MetricsSnapshot,
+    after: &MetricsSnapshot,
+    stats: &ExecStats,
+    label: &str,
+) {
+    let delta = |c: Counter| after.counter(c) - before.counter(c);
+    assert_eq!(delta(Counter::QueriesExecuted), 1, "{label}: queries executed");
+    assert_eq!(
+        delta(Counter::IndexEntriesScanned),
+        stats.index_entries_scanned as u64,
+        "{label}: index entries scanned"
+    );
+    assert_eq!(delta(Counter::IndexProbes), stats.index_probes as u64, "{label}: index probes");
+    assert_eq!(
+        delta(Counter::IndexProbeFaults),
+        stats.index_faults as u64,
+        "{label}: index probe faults"
+    );
+    assert_eq!(
+        delta(Counter::DegradationsToScan),
+        stats.degraded_sources.len() as u64,
+        "{label}: degradations"
+    );
+    assert_eq!(
+        delta(Counter::DocsEvaluated),
+        stats.docs_evaluated_total() as u64,
+        "{label}: documents evaluated"
+    );
+    assert_eq!(delta(Counter::EvalSteps), stats.steps_used, "{label}: eval steps");
+    assert_eq!(
+        delta(Counter::BtreeNodeTouches),
+        stats.btree_nodes_touched as u64,
+        "{label}: btree nodes touched"
+    );
+    assert_eq!(
+        after.gauge(Gauge::ParallelWorkers),
+        stats.parallel_workers as u64,
+        "{label}: workers gauge"
+    );
+    assert_eq!(
+        after.gauge(Gauge::ParallelShards),
+        stats.parallel_shards as u64,
+        "{label}: shards gauge"
+    );
+    let parallel = u64::from(stats.parallel_workers > 1);
+    assert_eq!(delta(Counter::ParallelQueries), parallel, "{label}: parallel queries");
+    assert_eq!(
+        delta(Counter::ParallelShardsExecuted),
+        parallel * stats.parallel_shards as u64,
+        "{label}: parallel shards executed"
+    );
+    assert_eq!(
+        after.histogram(Histogram::QueryNanos).count - before.histogram(Histogram::QueryNanos).count,
+        1,
+        "{label}: query histogram count"
+    );
+    assert_eq!(
+        after.histogram(Histogram::ProbeNanos).count
+            - before.histogram(Histogram::ProbeNanos).count,
+        stats.index_probes as u64 + stats.index_faults as u64,
+        "{label}: probe histogram count"
+    );
+}
+
+/// Every `COUNTERS` line an `EXPLAIN ANALYZE` report must carry, rendered
+/// from the stats the run returned — the report and the stats must agree
+/// verbatim.
+fn expected_counter_lines(stats: &ExecStats) -> Vec<String> {
+    vec![
+        format!("  index probes: {}\n", stats.index_probes),
+        format!("  index entries scanned: {}\n", stats.index_entries_scanned),
+        format!("  btree nodes touched: {}\n", stats.btree_nodes_touched),
+        format!(
+            "  documents evaluated: {} of {}\n",
+            stats.docs_evaluated_total(),
+            stats.docs_total.values().sum::<usize>()
+        ),
+        format!("  eval steps: {}\n", stats.steps_used),
+        format!(
+            "  index faults: {} (degraded to scan: {})\n",
+            stats.index_faults,
+            stats.degraded_sources.len()
+        ),
+        format!("  workers: {}  shards: {}\n", stats.parallel_workers, stats.parallel_shards),
+    ]
+}
+
+/// One family of the matrix: build a catalog, run its query under a shared
+/// observability handle, and check the three-way reconciliation.
+fn check_family(make_catalog: impl Fn() -> Catalog, query: &str, label: &str) {
+    for threads in thread_matrix() {
+        let obs = Obs::new(ObsConfig::enabled());
+        let mut catalog = make_catalog();
+        catalog.obs = obs.clone();
+        let opts =
+            ExecOptions { threads, obs: obs.clone(), ..ExecOptions::default() };
+        let tag = format!("{label} at {threads} thread(s)");
+
+        // Registry vs returned stats.
+        let before = snap(&obs);
+        let out = run_xquery_with_options(&catalog, query, &opts).expect("query runs");
+        let after = snap(&obs);
+        assert_registry_matches_stats(&before, &after, &out.stats, &tag);
+        assert!(out.trace.enabled(), "{tag}: tracing was requested");
+        assert!(
+            out.trace.finished_spans().iter().any(|s| s.name == "scan"),
+            "{tag}: the scan span is recorded"
+        );
+
+        // EXPLAIN ANALYZE report vs its own returned stats, and vs a second
+        // registry delta (EXPLAIN ANALYZE executes for real).
+        let before = snap(&obs);
+        let (report, out2) =
+            explain_analyze_xquery(&catalog, query, &opts).expect("explain analyze runs");
+        let after = snap(&obs);
+        assert_registry_matches_stats(&before, &after, &out2.stats, &tag);
+        for line in expected_counter_lines(&out2.stats) {
+            assert!(
+                report.contains(&line),
+                "{tag}: EXPLAIN ANALYZE must carry the exact stats line {line:?} — report:\n{report}"
+            );
+        }
+        assert!(report.contains("EXECUTION\n"), "{tag}: report has the trace section");
+
+        // Determinism of the reconciled counters across thread counts is
+        // covered by the per-field equalities above; results byte-identity
+        // across threads is chaos_degradation's job.
+    }
+}
+
+#[test]
+fn indexed_hit_reconciles() {
+    check_family(
+        || orders_catalog(120, Some("double")),
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 900]",
+        "indexed hit",
+    );
+}
+
+#[test]
+fn tip_disqualified_scan_reconciles_and_names_the_tip() {
+    // A numeric predicate against a varchar index: Tip 1 (Section 3.1).
+    let q = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 900]";
+    check_family(|| orders_catalog(80, Some("varchar")), q, "tip-disqualified");
+    // And the doctor names the pitfall in the report.
+    let catalog = orders_catalog(20, Some("varchar"));
+    let (report, out) =
+        explain_analyze_xquery(&catalog, q, &ExecOptions::default()).expect("runs");
+    assert_eq!(out.stats.index_probes, 0, "a disqualified index must not be probed");
+    assert!(report.contains("QUERY DOCTOR\n"), "report:\n{report}");
+    assert!(
+        report.contains("index `LI_PRICE` not used: Tip 1 (type-mismatch)"),
+        "the doctor must name Tip 1 — report:\n{report}"
+    );
+}
+
+#[test]
+fn fault_degraded_probe_reconciles() {
+    check_family(
+        || {
+            let mut c = orders_catalog(80, Some("double"));
+            c.set_index_fault_injector(Some(Arc::new(FaultInjector::new(FaultMode::Always))));
+            c
+        },
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 900]",
+        "fault-degraded",
+    );
+}
+
+#[test]
+fn parallel_sharded_scan_reconciles() {
+    // Partitionable path query over enough documents to shard at 4 workers.
+    check_family(
+        || orders_catalog(120, None),
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 995]",
+        "parallel scan",
+    );
+    // The family above asserts reconciliation wherever it lands; this pins
+    // that 4 workers actually shard (so the parallel counters were real).
+    let obs = Obs::new(ObsConfig::enabled());
+    let catalog = orders_catalog(120, None);
+    let opts = ExecOptions { threads: 4, obs: obs.clone(), ..ExecOptions::default() };
+    let out = run_xquery_with_options(
+        &catalog,
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 995]",
+        &opts,
+    )
+    .expect("parallel run succeeds");
+    assert_eq!(out.stats.parallel_workers, 4);
+    assert!(out.stats.parallel_shards > 1, "120 docs at 4 workers must shard");
+    let s = snap(&obs);
+    assert_eq!(s.counter(Counter::ParallelQueries), 1);
+    assert_eq!(s.counter(Counter::ParallelShardsExecuted), out.stats.parallel_shards as u64);
+    assert!(
+        out.trace
+            .finished_spans()
+            .iter()
+            .filter(|sp| sp.name == "worker task")
+            .count()
+            == out.stats.parallel_shards,
+        "every shard's worker task is a child span"
+    );
+}
+
+#[test]
+fn missing_index_gets_a_doctor_line() {
+    let catalog = orders_catalog(10, None);
+    let (report, _) = explain_analyze_xquery(
+        &catalog,
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 900]",
+        &ExecOptions::default(),
+    )
+    .expect("runs");
+    assert!(
+        report.contains("no index used: rule no-index"),
+        "report:\n{report}"
+    );
+}
+
+#[test]
+fn sql_explain_analyze_reconciles_with_registry() {
+    for threads in thread_matrix() {
+        let obs = Obs::new(ObsConfig::enabled());
+        let mut s = SqlSession::new();
+        s.set_obs(obs.clone());
+        s.catalog.runtime = xqdb_runtime::RuntimeConfig::with_threads(threads);
+        s.execute("create table orders (ordid integer, orddoc XML)").unwrap();
+        s.execute(
+            "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+        )
+        .unwrap();
+        for i in 0..40 {
+            s.execute(&format!(
+                r#"INSERT INTO orders VALUES ({i}, '<order><lineitem price="{}"/></order>')"#,
+                i * 25
+            ))
+            .unwrap();
+        }
+        let tag = format!("sql explain analyze at {threads} thread(s)");
+        let before = snap(&obs);
+        let result = s
+            .execute(
+                "EXPLAIN ANALYZE SELECT ordid FROM orders \
+                 WHERE XMLEXISTS('$o//lineitem[@price > 500]' passing orddoc as \"o\")",
+            )
+            .expect("explain analyze select runs");
+        let after = snap(&obs);
+        let report = result.message.expect("explain analyze returns a report");
+        // The statement counter moved; the execution counters reconcile.
+        assert_eq!(
+            after.counter(Counter::SqlStatements) - before.counter(Counter::SqlStatements),
+            1,
+            "{tag}: one SQL statement"
+        );
+        for line in expected_counter_lines(&result.stats) {
+            assert!(
+                report.contains(&line),
+                "{tag}: report must carry {line:?} — report:\n{report}"
+            );
+        }
+        let delta = |c: Counter| after.counter(c) - before.counter(c);
+        assert_eq!(
+            delta(Counter::IndexEntriesScanned),
+            result.stats.index_entries_scanned as u64,
+            "{tag}: entries scanned"
+        );
+        assert_eq!(
+            delta(Counter::IndexProbes),
+            result.stats.index_probes as u64,
+            "{tag}: probes"
+        );
+        assert_eq!(
+            delta(Counter::DocsEvaluated),
+            result.stats.docs_evaluated_total() as u64,
+            "{tag}: documents evaluated"
+        );
+        assert!(result.stats.index_probes > 0, "{tag}: the probe actually ran");
+        assert!(report.contains("-- executed:"), "{tag}: report ends with the row count");
+    }
+}
+
+#[test]
+fn sql_boolean_xmlexists_diagnosed_as_tip_3() {
+    let mut s = SqlSession::new();
+    s.execute("create table orders (ordid integer, orddoc XML)").unwrap();
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    s.execute(r#"INSERT INTO orders VALUES (1, '<order><lineitem price="9"/></order>')"#)
+        .unwrap();
+    // The boolean form of XMLEXISTS is constant-true (Section 3.2, Tip 3).
+    let result = s
+        .execute(
+            "EXPLAIN ANALYZE SELECT ordid FROM orders \
+             WHERE XMLEXISTS('$o//lineitem/@price > 5' passing orddoc as \"o\")",
+        )
+        .expect("runs");
+    let report = result.message.expect("report");
+    assert!(report.contains("QUERY DOCTOR\n"), "report:\n{report}");
+    assert!(
+        report.contains("Tip 3 (boolean-xmlexists)"),
+        "the doctor must name Tip 3 — report:\n{report}"
+    );
+}
+
+#[test]
+fn index_build_counter_tracks_backfill_and_maintenance() {
+    let obs = Obs::new(ObsConfig::metrics_only());
+    let mut s = SqlSession::new();
+    s.set_obs(obs.clone());
+    s.execute("create table orders (ordid integer, orddoc XML)").unwrap();
+    s.execute(
+        r#"INSERT INTO orders VALUES (1, '<order><lineitem price="1"/><lineitem price="2"/></order>')"#,
+    )
+    .unwrap();
+    // Back-fill: two entries from the pre-existing row.
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    assert_eq!(snap(&obs).counter(Counter::IndexEntriesBuilt), 2);
+    // Maintenance on insert: one more entry.
+    s.execute(r#"INSERT INTO orders VALUES (2, '<order><lineitem price="3"/></order>')"#)
+        .unwrap();
+    assert_eq!(snap(&obs).counter(Counter::IndexEntriesBuilt), 3);
+}
+
+#[test]
+fn disabled_handle_records_nothing_while_stats_still_flow() {
+    let catalog = orders_catalog(20, Some("double"));
+    let opts = ExecOptions::default(); // Obs::disabled()
+    let out = run_xquery_with_options(
+        &catalog,
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 900]",
+        &opts,
+    )
+    .expect("runs");
+    assert!(!out.trace.enabled());
+    assert!(out.stats.index_probes > 0, "stats flow regardless of observability");
+    assert!(opts.obs.metrics_snapshot().is_none());
+}
