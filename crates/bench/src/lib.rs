@@ -39,7 +39,7 @@ pub fn orders_session(
     params: OrderParams,
     indexes: &[(&str, &str, &str)],
 ) -> xqdb_core::SqlSession {
-    xqdb_core::SqlSession { catalog: orders_catalog(n, params, indexes), ..Default::default() }
+    xqdb_core::SqlSession::from_catalog(orders_catalog(n, params, indexes))
 }
 
 /// Execute a SQL statement, asserting success, returning the row count.

@@ -31,6 +31,16 @@
 //! - `--metrics-json PATH` keep session metrics and rewrite a JSON snapshot
 //!   of the registry to PATH after every statement
 //!
+//! Durability flags and commands:
+//!
+//! - `--data-dir PATH`  back the session with a write-ahead log in PATH:
+//!   existing state is recovered on startup, every mutation is logged
+//! - `--fsync MODE`     `always` | `batch` (default) | `off` — when
+//!   acknowledged records reach the disk
+//! - `xqdb recover PATH` replay a data directory, print the recovery
+//!   report (snapshot loaded, records replayed, torn tails healed) and exit
+//! - `.checkpoint`       snapshot current state and prune the covered log
+//!
 //! `explain analyze xquery <expr>;` and `EXPLAIN ANALYZE SELECT ...;` execute
 //! the statement and print the plan with actual timings, counters and the
 //! query doctor's index-eligibility diagnoses.
@@ -51,6 +61,8 @@ struct CliLimits {
     threads: Option<usize>,
     trace: bool,
     metrics_json: Option<String>,
+    data_dir: Option<String>,
+    fsync: Option<xqdb_core::FsyncMode>,
 }
 
 impl CliLimits {
@@ -79,8 +91,23 @@ impl CliLimits {
                             .clone(),
                     )
                 }
+                "--data-dir" => {
+                    out.data_dir = Some(
+                        it.next()
+                            .ok_or_else(|| "--data-dir requires a path".to_string())?
+                            .clone(),
+                    )
+                }
+                "--fsync" => {
+                    let mode = it
+                        .next()
+                        .ok_or_else(|| "--fsync requires a mode".to_string())?;
+                    out.fsync = Some(xqdb_core::FsyncMode::parse(mode).ok_or_else(|| {
+                        format!("--fsync must be always, batch or off (got {mode:?})")
+                    })?)
+                }
                 "--help" | "-h" => {
-                    return Err("usage: xqdb [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--trace] [--metrics-json PATH]"
+                    return Err("usage: xqdb [recover PATH] [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--trace] [--metrics-json PATH] [--data-dir PATH] [--fsync always|batch|off]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}; try --help")),
@@ -106,6 +133,14 @@ impl CliLimits {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `xqdb recover PATH` — replay a data directory, report, exit.
+    if args.first().map(String::as_str) == Some("recover") {
+        let Some(dir) = args.get(1) else {
+            eprintln!("usage: xqdb recover PATH");
+            std::process::exit(2);
+        };
+        std::process::exit(run_recover(dir));
+    }
     let limits = match CliLimits::parse(&args) {
         Ok(l) => l,
         Err(msg) => {
@@ -118,7 +153,25 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut session = SqlSession::new();
+    let mut session = match &limits.data_dir {
+        None => SqlSession::new(),
+        Some(dir) => {
+            let config = xqdb_core::WalConfig {
+                fsync: limits.fsync.unwrap_or_default(),
+                ..Default::default()
+            };
+            match SqlSession::open_durable(std::path::Path::new(dir), config) {
+                Ok((session, report)) => {
+                    print!("{}", report.render());
+                    session
+                }
+                Err(e) => {
+                    eprintln!("error: could not open data directory {dir}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
     if let Some(bytes) = limits.max_doc_bytes {
         session.parse_limits = session.parse_limits.with_max_doc_bytes(bytes);
     }
@@ -167,6 +220,36 @@ fn main() {
         io::stdout().flush().ok();
     }
     write_metrics(&obs, &limits);
+}
+
+/// `xqdb recover PATH`: replay the directory with tracing on, print the
+/// recovery report and span tree. Exit code 0 on success, 1 when the log
+/// is unrecoverable (e.g. a quarantined segment).
+fn run_recover(dir: &str) -> i32 {
+    let trace = xqdb_obs::Trace::recording();
+    match xqdb_core::recover_catalog(
+        std::path::Path::new(dir),
+        xqdb_runtime::RuntimeConfig::default(),
+        &trace,
+        &Obs::disabled(),
+    ) {
+        Ok((catalog, report)) => {
+            print!("{}", report.render());
+            for name in catalog.db.table_names() {
+                let Some(t) = catalog.db.table(name) else { continue };
+                println!("  table {name}: {} row(s)", t.len());
+            }
+            for idx in catalog.all_indexes() {
+                println!("  index {}: {} entries", idx.name, idx.len());
+            }
+            print!("{}", trace.render());
+            0
+        }
+        Err(e) => {
+            report_error(&e);
+            1
+        }
+    }
 }
 
 /// Rewrite the metrics-JSON snapshot, if the session asked for one.
@@ -317,10 +400,16 @@ fn dot_command(session: &SqlSession, cmd: &str) -> bool {
                 "statements end with ';'\n\
                  SQL:          CREATE TABLE/INDEX, INSERT, SELECT (XMLQUERY/XMLEXISTS/XMLTABLE/XMLCAST), EXPLAIN [ANALYZE] SELECT, VALUES\n\
                  XQuery:       xquery <expr>;        explain xquery <expr>;        explain analyze xquery <expr>;\n\
-                 shell:        .tables  .indexes  .help  .quit\n\
-                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N  --trace  --metrics-json PATH"
+                 shell:        .tables  .indexes  .checkpoint  .help  .quit\n\
+                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N  --trace  --metrics-json PATH\n\
+                 durability:   --data-dir PATH  --fsync always|batch|off  (xqdb recover PATH replays and reports)"
             );
         }
+        ".checkpoint" => match session.checkpoint() {
+            Ok(Some(covers)) => println!("checkpoint written: snapshot covers sequence {covers}"),
+            Ok(None) => println!("session is in-memory; start with --data-dir to checkpoint"),
+            Err(e) => report_error(&e),
+        },
         ".tables" => {
             for name in session.catalog.db.table_names() {
                 // `table_names` and `table` read the same map; a miss here

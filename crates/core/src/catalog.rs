@@ -64,6 +64,19 @@ impl Catalog {
             )
         })?;
         let mut index = XmlIndex::create(name, table, column, xmlpattern, ty)?;
+        // Write-ahead: with a persistence hook installed the DDL is logged
+        // (in canonical spelling, so replay reproduces it exactly) after
+        // validation but before the index becomes visible. A log failure
+        // vetoes the creation.
+        if let Some(hook) = self.db.persistence() {
+            hook.log_create_index(
+                &upper,
+                &index.table,
+                &index.column,
+                &index.pattern.to_string(),
+                &index.ty.to_string(),
+            )?;
+        }
         // Back-fill. Entry extraction (the document walk) is read-only and
         // parallelizes across documents; the merge into the B+Tree stays
         // serial and in row order, so the built tree is identical to a

@@ -18,12 +18,16 @@
 //!   `XMLTABLE`, `XMLCAST`, with SQL comparison semantics.
 
 pub mod catalog;
+pub mod durability;
 pub mod eligibility;
 pub mod engine;
 mod send_sync;
 pub mod sqlxml;
 
 pub use catalog::Catalog;
+pub use durability::{
+    open_durable_catalog, recover_catalog, snapshot_records, Durability, RecoveryReport,
+};
 pub use eligibility::{
     diagnose, AnalysisEnv, Candidate, CmpTarget, Cond, Diagnosis, IndexCond, Note, Pitfall,
     RejectReason,
@@ -36,3 +40,4 @@ pub use engine::{
 };
 pub use sqlxml::{SqlSession, SqlResult};
 pub use xqdb_obs::{Obs, ObsConfig};
+pub use xqdb_wal::{CrashInjector, FsyncMode, WalConfig};

@@ -14,6 +14,8 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use xqdb_obs::{Counter, Histogram, Obs, Trace};
@@ -25,6 +27,7 @@ use xqdb_xquery::Query;
 use xqdb_storage::{sql_compare, SqlType, SqlValue};
 
 use crate::catalog::Catalog;
+use crate::durability::{open_durable_catalog, Durability, RecoveryReport};
 use crate::eligibility::{
     analyze_filtering, analyze_non_filtering, compile, diagnose, restrict_to_source, AnalysisEnv,
     Cond, IndexCond, Note, Rejection,
@@ -146,18 +149,92 @@ pub struct SqlSession {
     pub parse_limits: xqdb_xmlparse::ParseLimits,
     /// Observability handle shared by every statement of the session.
     pub obs: Obs,
+    /// The durability layer, when the session is backed by a data
+    /// directory (see [`SqlSession::open_durable`]).
+    durability: Option<Arc<Durability>>,
 }
 
 impl SqlSession {
-    /// Fresh session with an empty catalog.
+    /// Fresh session. In-memory by default; when `XQDB_DATA_DIR` is set in
+    /// the environment the session transparently becomes durable in a
+    /// unique subdirectory (fsync mode from `XQDB_FSYNC`, default `off` —
+    /// the fast mode, fitting the test-harness use this hook exists for).
+    /// Any failure to attach falls back to in-memory silently: an env
+    /// knob must not break programs that never asked for durability.
     pub fn new() -> Self {
-        Self::default()
+        Self::from_env().unwrap_or_default()
     }
 
-    /// Install one observability handle on the session and its catalog, so
-    /// statement execution and index maintenance record into one registry.
+    /// In-memory session over an already-populated catalog (benches and
+    /// tools build the catalog directly, then want SQL over it). Never
+    /// durable, regardless of environment.
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        SqlSession { catalog, ..SqlSession::default() }
+    }
+
+    fn from_env() -> Option<SqlSession> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let base = std::env::var("XQDB_DATA_DIR").ok()?;
+        if base.trim().is_empty() {
+            return None;
+        }
+        let fsync = std::env::var("XQDB_FSYNC")
+            .ok()
+            .and_then(|s| xqdb_wal::FsyncMode::parse(&s))
+            .unwrap_or(xqdb_wal::FsyncMode::Off);
+        let dir = Path::new(&base).join(format!(
+            "session-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let config = xqdb_wal::WalConfig { fsync, ..Default::default() };
+        SqlSession::open_durable(&dir, config).ok().map(|(s, _)| s)
+    }
+
+    /// Open a data directory as a durable session: recover whatever state
+    /// is there (tables, rows, indexes — the latter rebuilt by back-fill),
+    /// then log every further mutation write-ahead. Returns the session
+    /// and a report of what recovery found.
+    pub fn open_durable(
+        dir: &Path,
+        config: xqdb_wal::WalConfig,
+    ) -> Result<(SqlSession, RecoveryReport), XdmError> {
+        let mut session = SqlSession::default();
+        let (catalog, durability, report) = open_durable_catalog(
+            dir,
+            config,
+            session.catalog.runtime,
+            &session.obs.trace(),
+            &session.obs,
+        )?;
+        session.catalog = catalog;
+        session.durability = Some(durability);
+        Ok((session, report))
+    }
+
+    /// The durability layer, when this session has one.
+    pub fn durability(&self) -> Option<&Arc<Durability>> {
+        self.durability.as_ref()
+    }
+
+    /// Checkpoint a durable session: snapshot current state and prune the
+    /// log it covers. `Ok(None)` for in-memory sessions.
+    pub fn checkpoint(&self) -> Result<Option<u64>, XdmError> {
+        match &self.durability {
+            Some(d) => d.checkpoint(&self.catalog).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Install one observability handle on the session, its catalog and
+    /// its durability layer, so statement execution, index maintenance and
+    /// WAL appends record into one registry.
     pub fn set_obs(&mut self, obs: Obs) {
         self.catalog.obs = obs.clone();
+        if let Some(d) = &self.durability {
+            d.set_obs(obs.clone());
+        }
         self.obs = obs;
     }
 

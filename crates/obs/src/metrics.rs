@@ -43,11 +43,21 @@ pub enum Counter {
     DoctorDiagnoses,
     /// Index entries inserted by CREATE INDEX back-fills and row inserts.
     IndexEntriesBuilt,
+    /// Records appended to the write-ahead log.
+    WalRecordsAppended,
+    /// Bytes appended to the write-ahead log (frames, including headers).
+    WalBytes,
+    /// Records replayed during recovery (snapshot records + log suffix).
+    WalRecordsReplayed,
+    /// Torn WAL tails truncated during recovery.
+    TornTailTruncations,
+    /// Nanoseconds spent in recovery (replay + index rebuild), cumulative.
+    RecoveryNanos,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 20] = [
         Counter::QueriesExecuted,
         Counter::SqlStatements,
         Counter::IndexProbes,
@@ -63,6 +73,11 @@ impl Counter {
         Counter::ParallelShardsExecuted,
         Counter::DoctorDiagnoses,
         Counter::IndexEntriesBuilt,
+        Counter::WalRecordsAppended,
+        Counter::WalBytes,
+        Counter::WalRecordsReplayed,
+        Counter::TornTailTruncations,
+        Counter::RecoveryNanos,
     ];
 
     /// Prometheus series name.
@@ -83,6 +98,11 @@ impl Counter {
             Counter::ParallelShardsExecuted => "xqdb_parallel_shards_executed_total",
             Counter::DoctorDiagnoses => "xqdb_doctor_diagnoses_total",
             Counter::IndexEntriesBuilt => "xqdb_index_entries_built_total",
+            Counter::WalRecordsAppended => "xqdb_wal_records_appended_total",
+            Counter::WalBytes => "xqdb_wal_bytes_total",
+            Counter::WalRecordsReplayed => "xqdb_wal_records_replayed_total",
+            Counter::TornTailTruncations => "xqdb_torn_tail_truncations_total",
+            Counter::RecoveryNanos => "xqdb_recovery_ns_total",
         }
     }
 
@@ -104,6 +124,11 @@ impl Counter {
             Counter::ParallelShardsExecuted => "shard tasks executed by parallel scans",
             Counter::DoctorDiagnoses => "query-doctor diagnoses issued",
             Counter::IndexEntriesBuilt => "index entries inserted by back-fills and inserts",
+            Counter::WalRecordsAppended => "records appended to the write-ahead log",
+            Counter::WalBytes => "bytes appended to the write-ahead log",
+            Counter::WalRecordsReplayed => "records replayed during recovery",
+            Counter::TornTailTruncations => "torn WAL tails truncated during recovery",
+            Counter::RecoveryNanos => "nanoseconds spent in recovery, cumulative",
         }
     }
 }

@@ -10,6 +10,30 @@ use xqdb_xqeval::CollectionProvider;
 use crate::table::{RowId, Table};
 use crate::value::SqlValue;
 
+/// Write-ahead persistence: the durability layer installs one of these so
+/// every mutation is logged **before** it is applied. A hook that returns
+/// an error vetoes the mutation — in-memory state never runs ahead of the
+/// log, which is what makes replayed state a faithful prefix of history.
+///
+/// The trait lives in `xqdb-storage` (the layer that owns mutation) while
+/// the implementation lives above it (`xqdb-core`'s durability module), so
+/// storage stays free of any WAL dependency.
+pub trait PersistenceHook: std::fmt::Debug + Send + Sync {
+    /// A table is about to be created (validation already passed).
+    fn log_create_table(&self, table: &Table) -> Result<(), XdmError>;
+    /// A conformed row is about to be appended to `table`.
+    fn log_insert(&self, table: &str, row: &[SqlValue]) -> Result<(), XdmError>;
+    /// An index is about to be created (validation already passed).
+    fn log_create_index(
+        &self,
+        name: &str,
+        table: &str,
+        column: &str,
+        pattern: &str,
+        ty: &str,
+    ) -> Result<(), XdmError>;
+}
+
 /// An in-memory database.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
@@ -19,6 +43,8 @@ pub struct Database {
     /// `StorageFault` error — document data has no fallback, so the engine
     /// reports it rather than degrading.
     fault_injector: Option<Arc<FaultInjector>>,
+    /// Durability hook: when set, mutations are logged write-ahead.
+    persistence: Option<Arc<dyn PersistenceHook>>,
 }
 
 impl Database {
@@ -37,7 +63,19 @@ impl Database {
         self.fault_injector.as_ref()
     }
 
-    /// Register a table. Fails if a table of that name exists.
+    /// Install (or clear) the write-ahead persistence hook.
+    pub fn set_persistence(&mut self, hook: Option<Arc<dyn PersistenceHook>>) {
+        self.persistence = hook;
+    }
+
+    /// The installed persistence hook, if any.
+    pub fn persistence(&self) -> Option<&Arc<dyn PersistenceHook>> {
+        self.persistence.as_ref()
+    }
+
+    /// Register a table. Fails if a table of that name exists. With a
+    /// persistence hook installed the DDL is logged write-ahead: a log
+    /// failure vetoes the creation.
     pub fn create_table(&mut self, table: Table) -> Result<(), XdmError> {
         let name = table.name.clone();
         if self.tables.contains_key(&name) {
@@ -45,6 +83,9 @@ impl Database {
                 ErrorCode::SqlType,
                 format!("table {name} already exists"),
             ));
+        }
+        if let Some(hook) = &self.persistence {
+            hook.log_create_table(&table)?;
         }
         self.tables.insert(name, table);
         Ok(())
@@ -60,12 +101,22 @@ impl Database {
         self.tables.get_mut(&name.to_ascii_uppercase())
     }
 
-    /// Insert a row, returning its id.
+    /// Insert a row, returning its id. Ordering with a persistence hook:
+    /// conform first (so only rows that will actually be applied reach the
+    /// log), then log write-ahead, then apply.
     pub fn insert(&mut self, table: &str, values: Vec<SqlValue>) -> Result<RowId, XdmError> {
-        let t = self.tables.get_mut(&table.to_ascii_uppercase()).ok_or_else(|| {
+        let upper = table.to_ascii_uppercase();
+        let t = self.tables.get(&upper).ok_or_else(|| {
             XdmError::new(ErrorCode::SqlType, format!("unknown table {table}"))
         })?;
-        t.insert(values)
+        let row = t.conform_row(values)?;
+        if let Some(hook) = &self.persistence {
+            hook.log_insert(&upper, &row)?;
+        }
+        let t = self.tables.get_mut(&upper).ok_or_else(|| {
+            XdmError::internal(format!("table {table} vanished during insert"))
+        })?;
+        Ok(t.push_row(row))
     }
 
     /// All table names, sorted (for catalog listings).
@@ -108,7 +159,10 @@ impl CollectionProvider for Database {
                     )));
                 }
             }
-            match &row[col] {
+            let cell = row.get(col).ok_or_else(|| {
+                XdmError::internal(format!("row {rowid} of {name} is missing column {col}"))
+            })?;
+            match cell {
                 SqlValue::Xml(n) => out.push(Item::Node(n.clone())),
                 SqlValue::Null => {} // NULL documents contribute nothing
                 other => {

@@ -23,6 +23,6 @@ pub mod db;
 pub mod table;
 pub mod value;
 
-pub use db::Database;
+pub use db::{Database, PersistenceHook};
 pub use table::{Column, RowId, Table};
 pub use value::{sql_compare, SqlType, SqlValue};

@@ -49,6 +49,15 @@ impl Table {
     /// Append a row after type-conforming every value. Returns the new
     /// row's id.
     pub fn insert(&mut self, values: Vec<SqlValue>) -> Result<RowId, XdmError> {
+        let row = self.conform_row(values)?;
+        Ok(self.push_row(row))
+    }
+
+    /// Validate and type-conform a candidate row without applying it. Split
+    /// from [`Table::insert`] so the write-ahead path can validate → log →
+    /// apply, in that order: only rows that will actually be appended reach
+    /// the log.
+    pub fn conform_row(&self, values: Vec<SqlValue>) -> Result<Vec<SqlValue>, XdmError> {
         if values.len() != self.columns.len() {
             return Err(XdmError::new(
                 ErrorCode::SqlType,
@@ -64,8 +73,13 @@ impl Table {
         for (v, c) in values.into_iter().zip(&self.columns) {
             row.push(v.conform(&c.ty)?);
         }
+        Ok(row)
+    }
+
+    /// Append an already-conformed row (see [`Table::conform_row`]).
+    pub fn push_row(&mut self, row: Vec<SqlValue>) -> RowId {
         self.rows.push(row);
-        Ok(self.rows.len() - 1)
+        self.rows.len() - 1
     }
 
     /// Number of rows.

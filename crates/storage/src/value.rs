@@ -24,6 +24,44 @@ pub enum SqlType {
     Xml,
 }
 
+impl SqlType {
+    /// Parse the SQL spelling produced by [`fmt::Display`] (used by WAL
+    /// replay to round-trip column types through the log). Accepts any
+    /// case and optional spaces inside `DECIMAL(p, s)`.
+    pub fn parse(s: &str) -> Result<SqlType, XdmError> {
+        let upper = s.trim().to_ascii_uppercase();
+        let parse_err = || {
+            XdmError::new(ErrorCode::SqlType, format!("unparseable SQL type {s:?}"))
+        };
+        Ok(match upper.as_str() {
+            "INTEGER" | "INT" => SqlType::Integer,
+            "DOUBLE" => SqlType::Double,
+            "DATE" => SqlType::Date,
+            "TIMESTAMP" => SqlType::Timestamp,
+            "XML" => SqlType::Xml,
+            _ => {
+                let (head, args) = upper
+                    .strip_suffix(')')
+                    .and_then(|r| r.split_once('('))
+                    .ok_or_else(parse_err)?;
+                match head.trim() {
+                    "VARCHAR" => {
+                        SqlType::Varchar(args.trim().parse().map_err(|_| parse_err())?)
+                    }
+                    "DECIMAL" => {
+                        let (p, sc) = args.split_once(',').ok_or_else(parse_err)?;
+                        SqlType::Decimal(
+                            p.trim().parse().map_err(|_| parse_err())?,
+                            sc.trim().parse().map_err(|_| parse_err())?,
+                        )
+                    }
+                    _ => return Err(parse_err()),
+                }
+            }
+        })
+    }
+}
+
 impl fmt::Display for SqlType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -198,6 +236,25 @@ mod tests {
         assert_eq!(err.code, ErrorCode::SqlLength);
         let ok = SqlValue::Varchar("1234567890123".into()).conform(&SqlType::Varchar(13));
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn sql_type_display_parse_roundtrip() {
+        for ty in [
+            SqlType::Integer,
+            SqlType::Double,
+            SqlType::Decimal(10, 2),
+            SqlType::Varchar(13),
+            SqlType::Date,
+            SqlType::Timestamp,
+            SqlType::Xml,
+        ] {
+            assert_eq!(SqlType::parse(&ty.to_string()).unwrap(), ty);
+        }
+        assert_eq!(SqlType::parse("varchar( 32 )").unwrap(), SqlType::Varchar(32));
+        assert!(SqlType::parse("BLOB").is_err());
+        assert!(SqlType::parse("VARCHAR(x)").is_err());
+        assert!(SqlType::parse("DECIMAL(5)").is_err());
     }
 
     #[test]

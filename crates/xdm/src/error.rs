@@ -54,6 +54,11 @@ pub enum ErrorCode {
     /// attribute size) — input is rejected rather than risking a stack
     /// overflow or unbounded allocation.
     ParseLimit,
+    /// The write-ahead log is corrupt beyond the self-healing torn-tail
+    /// case: a mid-log CRC mismatch, an undecodable record, or a sequence
+    /// gap. The message names the offending segment file; the segment is
+    /// quarantined rather than silently skipped.
+    WalCorrupt,
     /// Internal invariant violation — a bug in the engine, never expected.
     Internal,
 }
@@ -75,6 +80,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Cancelled => "xqdb:CANCELLED",
             ErrorCode::StorageFault => "xqdb:STORAGE",
             ErrorCode::ParseLimit => "xqdb:PARSELIMIT",
+            ErrorCode::WalCorrupt => "xqdb:WALCORRUPT",
             ErrorCode::SqlLength => "sql:LENGTH",
             ErrorCode::SqlCardinality => "sql:CARDINALITY",
             ErrorCode::SqlType => "sql:TYPE",
@@ -127,6 +133,12 @@ impl XdmError {
     /// Shorthand for a parser-limit rejection.
     pub fn parse_limit(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::ParseLimit, message)
+    }
+
+    /// Shorthand for a write-ahead-log corruption error. The message should
+    /// name the segment file so operators know what was quarantined.
+    pub fn wal_corrupt(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::WalCorrupt, message)
     }
 
     /// Shorthand for an internal invariant violation (replaces `panic!` /

@@ -29,6 +29,28 @@ pub enum FaultMode {
     Probability { permille: u32, seed: u64 },
 }
 
+/// What a fired durability fault does to the write-ahead log. The WAL
+/// writer pairs one of these with a [`FaultInjector`] (which decides *when*
+/// to fire, counting record appends); this enum decides *what* happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityFault {
+    /// Simulated power loss before the in-process buffer reaches the OS:
+    /// every buffered-but-unflushed record is discarded and the writer goes
+    /// dead (later appends fail with a typed `StorageFault`). Under
+    /// `fsync always`/`off` the buffer is empty, so only the in-flight
+    /// record is lost; under `fsync batch` a whole batch can vanish.
+    CrashBeforeFlush,
+    /// Simulated crash mid-write: the first half of the in-flight record's
+    /// frame reaches the file, then the writer goes dead. Recovery must
+    /// truncate the torn tail and keep everything before it.
+    TornTail,
+    /// Simulated media corruption: one bit of the in-flight frame is
+    /// flipped before it is written. The writer *survives* (the application
+    /// never notices) — recovery must detect the damage by CRC and
+    /// quarantine the segment with a typed `WalCorrupt` error.
+    BitFlip,
+}
+
 /// A shareable, thread-safe fault injection point.
 #[derive(Debug)]
 pub struct FaultInjector {

@@ -42,7 +42,33 @@ if grep -rn --include='*.rs' -E '\b(println!|eprintln!)' crates tests \
   exit 1
 fi
 
+# Durable state reaches disk only through the WAL: no direct file-write
+# APIs outside crates/wal. Binaries (CLI output files), the bench harness
+# (BENCH_*.json), the workload generator, and tests (fixtures/temp dirs)
+# are exempt; reads (File::open, read_to_string) are fine everywhere.
+if grep -rn --include='*.rs' -E '\b(fs::write|File::create|OpenOptions::new)\b' crates tests \
+    | grep -v '^crates/wal/' \
+    | grep -v '/src/bin/' \
+    | grep -v '^crates/bench/' \
+    | grep -v '^crates/workload/' \
+    | grep -v '/tests/' \
+    | grep -v '^tests/'; then
+  echo "error: direct file-write API outside crates/wal (durable state goes through the WAL)" >&2
+  exit 1
+fi
+
 # Second test pass at a parallel degree: the chaos matrix picks the extra
 # thread count up from the environment, and every other test runs under
 # the same build to catch degree-dependent flakiness.
 XQDB_TEST_THREADS=4 cargo test --workspace -q
+
+# Third pass with every session transparently durable: XQDB_DATA_DIR makes
+# SqlSession::new() attach a WAL in a unique subdirectory (fsync off — the
+# fast mode), so the whole suite doubles as a write-ahead-ordering and
+# replay-compatibility soak. Baselines built via SqlSession::default() stay
+# in-memory by design, so oracle comparisons remain meaningful.
+DURABLE_TMP="target/lint-durable-$$"
+rm -rf "$DURABLE_TMP"
+mkdir -p "$DURABLE_TMP"
+XQDB_DATA_DIR="$DURABLE_TMP" XQDB_FSYNC=off cargo test --workspace -q
+rm -rf "$DURABLE_TMP"

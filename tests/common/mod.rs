@@ -12,21 +12,24 @@
 
 use xqdb_core::sqlxml::SqlSession;
 
-/// The paper's schema plus its Section 2.2 example documents, extended with
-/// the Query 30 order (custid 1004, price 120.00) so the between-range
-/// query has two qualifying documents. `indexed` controls whether the
-/// paper's `li_price` index exists — the chaos matrix compares indexed
-/// (and fault-injected) runs against the unindexed serial baseline.
-pub fn paper_session(indexed: bool) -> SqlSession {
-    let mut s = SqlSession::new();
-    s.execute("create table customer (cid integer, cdoc XML)").unwrap();
-    s.execute("create table orders (ordid integer, orddoc XML)").unwrap();
-    s.execute("create table products (id varchar(13), name varchar(32))").unwrap();
+/// The setup statements behind [`paper_session`], as a list: the paper's
+/// schema plus its Section 2.2 example documents, extended with the
+/// Query 30 order (custid 1004, price 120.00) so the between-range query
+/// has two qualifying documents. Exposed as data so the crash-recovery
+/// matrix in `chaos_recovery.rs` can cut the sequence at an arbitrary
+/// statement and replay the durable prefix. With a durability hook
+/// attached, each statement appends exactly one WAL record.
+pub fn paper_setup_stmts(indexed: bool) -> Vec<String> {
+    let mut stmts: Vec<String> = vec![
+        "create table customer (cid integer, cdoc XML)".into(),
+        "create table orders (ordid integer, orddoc XML)".into(),
+        "create table products (id varchar(13), name varchar(32))".into(),
+    ];
     if indexed {
-        s.execute(
-            "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
-        )
-        .unwrap();
+        stmts.push(
+            "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double"
+                .into(),
+        );
     }
     let docs = [
         r#"<order><custid>1001</custid><date>January 1, 2001</date><lineitem><product><id>p5</id></product></lineitem></order>"#,
@@ -35,7 +38,7 @@ pub fn paper_session(indexed: bool) -> SqlSession {
         r#"<order><custid>1004</custid><lineitem price="120.00"/></order>"#,
     ];
     for (i, d) in docs.iter().enumerate() {
-        s.execute(&format!("INSERT INTO orders VALUES ({}, '{d}')", i + 1)).unwrap();
+        stmts.push(format!("INSERT INTO orders VALUES ({}, '{d}')", i + 1));
     }
     for (i, c) in [
         r#"<customer><id>1002</id><name>ACME</name><nation>1</nation></customer>"#,
@@ -44,10 +47,21 @@ pub fn paper_session(indexed: bool) -> SqlSession {
     .iter()
     .enumerate()
     {
-        s.execute(&format!("INSERT INTO customer VALUES ({}, '{c}')", i + 1)).unwrap();
+        stmts.push(format!("INSERT INTO customer VALUES ({}, '{c}')", i + 1));
     }
-    s.execute("INSERT INTO products VALUES ('p1', 'widget')").unwrap();
-    s.execute("INSERT INTO products VALUES ('p2', 'gadget')").unwrap();
+    stmts.push("INSERT INTO products VALUES ('p1', 'widget')".into());
+    stmts.push("INSERT INTO products VALUES ('p2', 'gadget')".into());
+    stmts
+}
+
+/// [`paper_setup_stmts`] executed on a fresh session. `indexed` controls
+/// whether the paper's `li_price` index exists — the chaos matrix compares
+/// indexed (and fault-injected) runs against the unindexed serial baseline.
+pub fn paper_session(indexed: bool) -> SqlSession {
+    let mut s = SqlSession::new();
+    for stmt in paper_setup_stmts(indexed) {
+        s.execute(&stmt).unwrap();
+    }
     s
 }
 

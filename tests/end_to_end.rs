@@ -100,7 +100,7 @@ fn mixed_interface_session() {
     assert!(orders_eval < 200, "index filtered the orders side");
 
     // The same catalog through SQL.
-    let mut session = SqlSession { catalog, ..Default::default() };
+    let mut session = SqlSession::from_catalog(catalog);
     let r = session
         .execute(
             "SELECT c.cid FROM customer c \
