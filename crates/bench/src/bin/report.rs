@@ -270,6 +270,111 @@ fn durability_report() {
     println!("  wrote BENCH_durability.json\n");
 }
 
+/// Pre-filter report: a selective, unindexed query (`/order[promo/code]`)
+/// over a large heterogeneous collection where ~1% of documents carry the
+/// promo element. The structural pre-filter skips the other 99% on their
+/// path signatures alone; the same run measures the plan cache's hit rate
+/// over repeated executions. Records `BENCH_prefilter.json`. Document count
+/// overridable via `XQDB_BENCH_PREFILTER_DOCS`.
+fn prefilter_report() {
+    use xqdb_obs::Counter;
+
+    let docs: usize = std::env::var("XQDB_BENCH_PREFILTER_DOCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PARALLEL_DOCS);
+    let mut cat = orders_catalog(docs, OrderParams::default(), &[]);
+    let promo = (docs / 100).max(1);
+    for i in 0..promo {
+        let xml = format!(
+            "<order><custid>promo{i}</custid><promo><code>P{i}</code></promo></order>"
+        );
+        let d = xqdb_xmlparse::parse_document(&xml).expect("promo doc parses");
+        cat.insert(
+            "orders",
+            vec![
+                xqdb_storage::SqlValue::Integer((docs + i) as i64),
+                xqdb_storage::SqlValue::Xml(d.root()),
+            ],
+        )
+        .expect("promo insert succeeds");
+    }
+    let query = "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[promo/code]/custid";
+    println!(
+        "structural prefilter ({} docs, {promo} with /order/promo/code, unindexed):",
+        docs + promo
+    );
+
+    // Plan-cache hit rate first (this also warms the cache, so both timed
+    // configurations below execute against the same cached plan).
+    let cache_runs = 20usize;
+    let obs = Obs::new(ObsConfig::metrics_only());
+    let cache_opts = ExecOptions { obs: obs.clone(), ..ExecOptions::default() };
+    for _ in 0..cache_runs {
+        run_xquery_with_options(&cat, query, &cache_opts).expect("cache-rate run succeeds");
+    }
+    let snap = obs.metrics_snapshot().expect("metrics are enabled");
+    let hits = snap.counter(Counter::PlanCacheHits);
+    let misses = snap.counter(Counter::PlanCacheMisses);
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    println!(
+        "  plan cache: {hits} hit(s), {misses} miss(es) over {cache_runs} identical runs \
+         ({:.0}% hit rate)",
+        hit_rate * 100.0
+    );
+
+    // One warm-up, then best-of-three per configuration, interleaved.
+    let mut best = [f64::INFINITY; 2];
+    let mut results = [0usize; 2];
+    let mut skipped = 0usize;
+    for round in 0..4 {
+        for (i, prefilter) in [(0usize, false), (1usize, true)] {
+            let opts = ExecOptions { prefilter, ..ExecOptions::default() };
+            let start = std::time::Instant::now();
+            let out =
+                run_xquery_with_options(&cat, query, &opts).expect("prefilter bench runs");
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            results[i] = out.sequence.len();
+            if prefilter {
+                skipped = out.stats.prefilter_docs_skipped;
+            }
+            if round > 0 && millis < best[i] {
+                best[i] = millis;
+            }
+        }
+    }
+    assert_eq!(
+        results[0], results[1],
+        "the pre-filter changed the result cardinality — that is a correctness bug"
+    );
+    let speedup = best[0] / best[1];
+    println!("  prefilter off: {:.1} ms  ({} results)", best[0], results[0]);
+    println!(
+        "  prefilter on:  {:.1} ms  ({speedup:.2}x, {skipped} docs skipped structurally)",
+        best[1]
+    );
+    let json = format!(
+        "{{\n  \"workload\": \"selective unindexed query over a heterogeneous collection; ~1% of documents carry /order/promo/code\",\n  \
+         \"query\": \"{}\",\n  \"docs\": {},\n  \"promo_docs\": {promo},\n  \
+         \"off_millis\": {:.3},\n  \"on_millis\": {:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"prefilter_docs_skipped\": {skipped},\n  \
+         \"plan_cache\": {{ \"runs\": {cache_runs}, \"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.3} }},\n  \
+         \"note\": \"off = ExecOptions.prefilter=false, equivalent to XQDB_PREFILTER=off or --no-prefilter; results are asserted identical on and off\"\n}}\n",
+        query.replace('\"', "\\\""),
+        docs + promo,
+        best[0],
+        best[1],
+    );
+    std::fs::write("BENCH_prefilter.json", json).expect("BENCH_prefilter.json is writable");
+    println!("  wrote BENCH_prefilter.json\n");
+    if docs >= 50_000 {
+        assert!(
+            speedup >= 5.0,
+            "the structural pre-filter must be at least 5x on the selective workload, got {speedup:.2}x"
+        );
+    }
+}
+
 struct Row {
     experiment: &'static str,
     variant: String,
@@ -283,6 +388,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--durability") {
         durability_report();
+        return;
+    }
+    if std::env::args().any(|a| a == "--prefilter") {
+        prefilter_report();
         return;
     }
     parallel_report();

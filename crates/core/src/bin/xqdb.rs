@@ -63,6 +63,7 @@ struct CliLimits {
     metrics_json: Option<String>,
     data_dir: Option<String>,
     fsync: Option<xqdb_core::FsyncMode>,
+    no_prefilter: bool,
 }
 
 impl CliLimits {
@@ -84,6 +85,7 @@ impl CliLimits {
                 }
                 "--threads" => out.threads = Some(value("--threads")? as usize),
                 "--trace" => out.trace = true,
+                "--no-prefilter" => out.no_prefilter = true,
                 "--metrics-json" => {
                     out.metrics_json = Some(
                         it.next()
@@ -107,7 +109,7 @@ impl CliLimits {
                     })?)
                 }
                 "--help" | "-h" => {
-                    return Err("usage: xqdb [recover PATH] [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--trace] [--metrics-json PATH] [--data-dir PATH] [--fsync always|batch|off]"
+                    return Err("usage: xqdb [recover PATH] [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--no-prefilter] [--trace] [--metrics-json PATH] [--data-dir PATH] [--fsync always|batch|off]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}; try --help")),
@@ -185,6 +187,7 @@ fn main() {
         tracing: limits.trace,
     });
     session.set_obs(obs.clone());
+    session.prefilter = !limits.no_prefilter;
     let stdin = io::stdin();
     let mut buffer = String::new();
     print!("xqdb — XML database shell (statements end with ';', '.help' for help)\nxqdb> ");
@@ -312,6 +315,7 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
             limits: limits.query_limits(),
             threads: session.catalog.runtime.effective_threads(),
             obs: session.obs.clone(),
+            prefilter: !limits.no_prefilter,
         };
         match xqdb_core::explain_analyze_xquery(&session.catalog, rest, &opts) {
             Ok((report, out)) => {
@@ -346,6 +350,7 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
             limits: limits.query_limits(),
             threads: session.catalog.runtime.effective_threads(),
             obs: session.obs.clone(),
+            prefilter: !limits.no_prefilter,
         };
         match xqdb_core::run_xquery_with_options(&session.catalog, rest, &opts) {
             Ok(out) => {
@@ -401,7 +406,8 @@ fn dot_command(session: &SqlSession, cmd: &str) -> bool {
                  SQL:          CREATE TABLE/INDEX, INSERT, SELECT (XMLQUERY/XMLEXISTS/XMLTABLE/XMLCAST), EXPLAIN [ANALYZE] SELECT, VALUES\n\
                  XQuery:       xquery <expr>;        explain xquery <expr>;        explain analyze xquery <expr>;\n\
                  shell:        .tables  .indexes  .checkpoint  .help  .quit\n\
-                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N  --trace  --metrics-json PATH\n\
+                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N  --no-prefilter  --trace  --metrics-json PATH\n\
+                 prefilter:    structural pre-filter is on by default; disable with --no-prefilter or XQDB_PREFILTER=off\n\
                  durability:   --data-dir PATH  --fsync always|batch|off  (xqdb recover PATH replays and reports)"
             );
         }

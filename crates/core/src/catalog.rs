@@ -2,13 +2,17 @@
 //! insert.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use xqdb_obs::{Counter, Obs};
 use xqdb_runtime::{chunk_ranges, RuntimeConfig, WorkerPool};
 use xqdb_xdm::{ErrorCode, FaultInjector, NodeHandle, XdmError};
 use xqdb_xmlindex::XmlIndex;
 use xqdb_storage::{Database, RowId, SqlValue, Table};
+
+use crate::engine::QueryPlan;
+use crate::plancache::PlanCache;
 
 /// A database plus its XML indexes.
 #[derive(Debug, Default)]
@@ -24,6 +28,11 @@ pub struct Catalog {
     /// Observability handle for index-maintenance counters (entries built on
     /// back-fill and insert). Defaults to the free disabled handle.
     pub obs: Obs,
+    /// Monotone DDL epoch: bumped by `CREATE TABLE` / `CREATE INDEX`, read
+    /// by the plan caches to invalidate plans built against older schema.
+    ddl_epoch: AtomicU64,
+    /// LRU cache of compiled XQuery plans, keyed by query text.
+    plan_cache: Mutex<PlanCache<QueryPlan>>,
 }
 
 impl Catalog {
@@ -34,7 +43,36 @@ impl Catalog {
 
     /// `CREATE TABLE`.
     pub fn create_table(&mut self, table: Table) -> Result<(), XdmError> {
-        self.db.create_table(table)
+        self.db.create_table(table)?;
+        self.bump_ddl_epoch();
+        Ok(())
+    }
+
+    /// The current DDL epoch (see the field docs).
+    pub fn ddl_epoch(&self) -> u64 {
+        self.ddl_epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_ddl_epoch(&self) {
+        self.ddl_epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Look up a cached plan for this exact query text, if one was built
+    /// under the current DDL epoch.
+    pub fn cached_plan(&self, text: &str) -> Option<Arc<QueryPlan>> {
+        let epoch = self.ddl_epoch();
+        match self.plan_cache.lock() {
+            Ok(mut cache) => cache.get(text, epoch),
+            Err(_) => None,
+        }
+    }
+
+    /// Cache a plan under the current DDL epoch.
+    pub fn cache_plan(&self, text: &str, plan: Arc<QueryPlan>) {
+        let epoch = self.ddl_epoch();
+        if let Ok(mut cache) = self.plan_cache.lock() {
+            cache.insert(text.to_string(), plan, epoch);
+        }
     }
 
     /// `CREATE INDEX name ON table(column) USING XMLPATTERN 'p' AS type` —
@@ -110,6 +148,7 @@ impl Catalog {
         }
         self.obs.add(Counter::IndexEntriesBuilt, index.len() as u64);
         self.indexes.insert(upper, index);
+        self.bump_ddl_epoch();
         Ok(())
     }
 
@@ -260,6 +299,45 @@ mod tests {
         let mut c = orders_catalog();
         assert!(c.create_index("x", "nope", "orddoc", "//a", "double").is_err());
         assert!(c.create_index("x", "orders", "nope", "//a", "double").is_err());
+    }
+
+    #[test]
+    fn invalid_xml_through_production_insert_is_a_typed_error_not_a_panic() {
+        // The only `parse_document(..).unwrap()` in this file is the
+        // `insert_order` test helper above, which feeds known-good fixture
+        // XML. The production ingest path parses through
+        // `SqlSession::eval_insert_row`, which must surface malformed input
+        // as a typed error — never a panic.
+        let mut s = crate::sqlxml::SqlSession::new();
+        s.execute("create table t (id integer, doc XML)").unwrap();
+        let err = s
+            .execute("INSERT INTO t VALUES (1, '<broken')")
+            .expect_err("malformed XML is rejected");
+        assert_eq!(err.code, xqdb_xdm::ErrorCode::XPST0003);
+        // And a document over the session parse limits gets the limit code.
+        let mut s = crate::sqlxml::SqlSession::new();
+        s.parse_limits = s.parse_limits.with_max_doc_bytes(8);
+        s.execute("create table t (id integer, doc XML)").unwrap();
+        let err = s
+            .execute("INSERT INTO t VALUES (1, '<a>0123456789</a>')")
+            .expect_err("oversized XML is rejected");
+        assert_eq!(err.code, xqdb_xdm::ErrorCode::ParseLimit);
+    }
+
+    #[test]
+    fn ddl_bumps_epoch_and_invalidates_cached_plans() {
+        let mut c = orders_catalog();
+        let e0 = c.ddl_epoch();
+        insert_order(&mut c, 1, "<order><custid>c1</custid></order>");
+        assert_eq!(c.ddl_epoch(), e0, "DML must not bump the DDL epoch");
+        let parsed = xqdb_xquery::parse_query("1").unwrap();
+        let plan =
+            Arc::new(crate::engine::plan_query(&c, parsed, &crate::AnalysisEnv::new()));
+        c.cache_plan("q", Arc::clone(&plan));
+        assert!(c.cached_plan("q").is_some());
+        c.create_index("i9", "orders", "orddoc", "//a", "double").unwrap();
+        assert!(c.ddl_epoch() > e0);
+        assert!(c.cached_plan("q").is_none(), "DDL invalidates cached plans");
     }
 
     #[test]

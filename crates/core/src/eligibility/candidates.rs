@@ -233,6 +233,13 @@ impl AnalysisEnv {
             BindingPublic { source: source.as_ref().to_ascii_uppercase(), steps: Vec::new() },
         );
     }
+
+    /// Iterate the variables bound to whole documents of a collection (the
+    /// PASSING-clause bindings) — consumed by the structural pre-filter's
+    /// required-path extractor.
+    pub fn doc_bindings(&self) -> impl Iterator<Item = (&ExpandedName, &BindingPublic)> {
+        self.vars.iter().filter(|(_, b)| b.steps.is_empty())
+    }
 }
 
 /// Analyze an expression whose *emptiness* filters — the XMLEXISTS argument

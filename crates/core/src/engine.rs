@@ -35,6 +35,7 @@ use crate::eligibility::{
     analyze_query_root, compile, diagnose, restrict_to_source, AnalysisEnv, Cond, IndexCond, Note,
     Rejection,
 };
+use crate::prefilter::{extract_prefilters, SourcePrefilter};
 
 /// Per-collection access decision.
 #[derive(Debug, Clone)]
@@ -58,6 +59,9 @@ pub struct QueryPlan {
     pub notes: Vec<Note>,
     /// Candidates that found no index, with reasons.
     pub rejections: Vec<Rejection>,
+    /// Structural pre-filters per source: conservative required-path groups
+    /// checked against stored document signatures before evaluation.
+    pub prefilter: HashMap<String, SourcePrefilter>,
 }
 
 /// Execution statistics, reported by benches and EXPLAIN.
@@ -87,6 +91,15 @@ pub struct ExecStats {
     pub parallel_workers: usize,
     /// Shards the surviving document list was split into (1 = serial).
     pub parallel_shards: usize,
+    /// Documents skipped by the structural pre-filter (signature lacked a
+    /// required path in every requirement group).
+    pub prefilter_docs_skipped: usize,
+    /// 1 if this run's plan came from the plan cache (set by the front end
+    /// that consulted the cache; 0 otherwise).
+    pub plan_cache_hits: u64,
+    /// 1 if this run parsed and planned from scratch and the front end
+    /// consulted a cache first (0 on hits and on cache-less paths).
+    pub plan_cache_misses: u64,
 }
 
 impl ExecStats {
@@ -146,6 +159,12 @@ pub fn plan_query_traced(
         elig.add_count(accesses.len() as u64);
         elig.tag_with("rejections", || rejections.len().to_string());
     }
+    let prefilter = {
+        let mut extract = span.child("prefilter extract");
+        let prefilter = extract_prefilters(&query.body, env, true);
+        extract.add_count(prefilter.len() as u64);
+        prefilter
+    };
     span.add_count(accesses.len() as u64);
     QueryPlan {
         query,
@@ -153,6 +172,7 @@ pub fn plan_query_traced(
         accesses,
         notes: analysis.notes,
         rejections,
+        prefilter,
     }
 }
 
@@ -172,7 +192,7 @@ pub fn run_xquery_with_limits(
 
 /// Execution options: resource limits, the parallelism degree, and the
 /// observability handle.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Resource limits for the run.
     pub limits: Limits,
@@ -181,6 +201,25 @@ pub struct ExecOptions {
     /// Observability: metrics registry + tracing configuration. The default
     /// is the free disabled handle.
     pub obs: Obs,
+    /// Apply the structural pre-filter (on by default). The
+    /// `XQDB_PREFILTER=off` environment variable disables it regardless of
+    /// this flag; the flag exists so benches and tests can compare both
+    /// paths in-process without racing on the environment.
+    pub prefilter: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { limits: Limits::default(), threads: 0, obs: Obs::default(), prefilter: true }
+    }
+}
+
+/// True unless `XQDB_PREFILTER` is set to `off`/`0`/`false` (case-insensitive).
+pub fn prefilter_env_enabled() -> bool {
+    match std::env::var("XQDB_PREFILTER") {
+        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"),
+        Err(_) => true,
+    }
 }
 
 /// Parse, plan and execute an XQuery string under [`ExecOptions`].
@@ -195,31 +234,49 @@ pub fn run_xquery_with_options(
 
 /// Parse, plan and execute with per-query metric recording, against the
 /// given trace. Returns the plan too, for `EXPLAIN ANALYZE`.
+///
+/// Plans are cached on the catalog keyed by the exact query text: a hit
+/// does zero parse/plan work (no `parse`/`plan` spans are recorded) and is
+/// surfaced in the stats and the `PlanCacheHits` counter.
 fn run_traced(
     catalog: &Catalog,
     text: &str,
     opts: &ExecOptions,
     trace: &Trace,
-) -> Result<(QueryPlan, ExecOutcome), XdmError> {
+) -> Result<(Arc<QueryPlan>, ExecOutcome), XdmError> {
     let obs = &opts.obs;
     let started = obs.metrics_enabled().then(Instant::now);
     obs.incr(Counter::QueriesExecuted);
-    let result: Result<(QueryPlan, ExecOutcome), XdmError> = (|| {
-        let query = {
-            let _parse = trace.span("parse");
-            xqdb_xquery::parse_query(text).map_err(|e| {
-                XdmError::new(xqdb_xdm::ErrorCode::XPST0003, e.to_string())
-            })?
+    let result: Result<(Arc<QueryPlan>, ExecOutcome), XdmError> = (|| {
+        let cached = catalog.cached_plan(text);
+        let cache_hit = cached.is_some();
+        obs.incr(if cache_hit { Counter::PlanCacheHits } else { Counter::PlanCacheMisses });
+        let plan = match cached {
+            Some(plan) => plan,
+            None => {
+                let query = {
+                    let _parse = trace.span("parse");
+                    xqdb_xquery::parse_query(text).map_err(|e| {
+                        XdmError::new(xqdb_xdm::ErrorCode::XPST0003, e.to_string())
+                    })?
+                };
+                let plan =
+                    Arc::new(plan_query_traced(catalog, query, &AnalysisEnv::new(), trace));
+                if obs.metrics_enabled() {
+                    let diagnoses = diagnose(&plan.rejections, &plan.notes);
+                    obs.add(Counter::DoctorDiagnoses, diagnoses.len() as u64);
+                }
+                catalog.cache_plan(text, Arc::clone(&plan));
+                plan
+            }
         };
-        let plan = plan_query_traced(catalog, query, &AnalysisEnv::new(), trace);
-        if obs.metrics_enabled() {
-            let diagnoses = diagnose(&plan.rejections, &plan.notes);
-            obs.add(Counter::DoctorDiagnoses, diagnoses.len() as u64);
-        }
         let budget = Arc::new(Budget::new(opts.limits.clone()));
         let ctx = DynamicContext::new().with_budget(budget);
-        let outcome = ParallelExecutor::new(opts.threads)
+        let mut outcome = ParallelExecutor::new(opts.threads)
+            .with_prefilter(opts.prefilter && prefilter_env_enabled())
             .execute_observed(catalog, &plan, &ctx, obs, trace)?;
+        outcome.stats.plan_cache_hits = u64::from(cache_hit);
+        outcome.stats.plan_cache_misses = u64::from(!cache_hit);
         Ok((plan, outcome))
     })();
     if let Some(t0) = started {
@@ -341,12 +398,21 @@ fn probe_phase(
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelExecutor {
     pool: WorkerPool,
+    prefilter: bool,
 }
 
 impl ParallelExecutor {
     /// Executor with the given parallelism degree (0 and 1 mean serial).
+    /// The structural pre-filter defaults to the environment setting
+    /// (`XQDB_PREFILTER`).
     pub fn new(threads: usize) -> Self {
-        ParallelExecutor { pool: WorkerPool::new(threads) }
+        ParallelExecutor { pool: WorkerPool::new(threads), prefilter: prefilter_env_enabled() }
+    }
+
+    /// Override whether the structural pre-filter is applied.
+    pub fn with_prefilter(mut self, prefilter: bool) -> Self {
+        self.prefilter = prefilter;
+        self
     }
 
     /// The effective degree.
@@ -378,7 +444,14 @@ impl ParallelExecutor {
         trace: &Trace,
     ) -> Result<ExecOutcome, XdmError> {
         let mut stats = ExecStats::new();
-        let filters = probe_phase(catalog, plan, ctx, &mut stats, obs, trace)?;
+        let mut filters = probe_phase(catalog, plan, ctx, &mut stats, obs, trace)?;
+        if self.prefilter {
+            // Runs strictly after the (serial) probe phase so probe-side
+            // fault injection fires at the same points with or without the
+            // pre-filter, and applies equally to the serial and sharded
+            // scans below (both consume `filters`).
+            prefilter_phase(catalog, plan, &mut filters, &mut stats, trace);
+        }
         if self.pool.threads() > 1 {
             if let Some(part) = partition_plan(&plan.query) {
                 if let Some(rows) =
@@ -462,6 +535,56 @@ impl ParallelExecutor {
     }
 }
 
+/// Structural pre-filter pass: for each source with required-path groups,
+/// drop candidate rows whose stored signature satisfies no group. The
+/// check is conservative by construction (see [`crate::prefilter`]), so
+/// survivors are a superset of the rows that can contribute — Definition
+/// 1's contract, same as the index probes — and it composes with them:
+/// it intersects whatever row filter the probe phase produced, including
+/// none at all for fault-degraded sources.
+fn prefilter_phase(
+    catalog: &Catalog,
+    plan: &QueryPlan,
+    filters: &mut HashMap<String, BTreeSet<u64>>,
+    stats: &mut ExecStats,
+    trace: &Trace,
+) {
+    for (source, pf) in &plan.prefilter {
+        let Ok((table, _col)) = catalog.db.resolve_xml_column(source) else { continue };
+        let mut span = trace.span("prefilter");
+        span.tag_with("source", || source.clone());
+        span.tag_with("groups", || pf.groups.len().to_string());
+        let mut skipped = 0usize;
+        let survivors: BTreeSet<u64> = match filters.get(source) {
+            Some(rows) => rows
+                .iter()
+                .copied()
+                .filter(|row| {
+                    let keep = table
+                        .signature(*row as usize)
+                        .is_none_or(|sig| pf.accepts(sig));
+                    skipped += usize::from(!keep);
+                    keep
+                })
+                .collect(),
+            None => (0..table.len() as u64)
+                .filter(|row| {
+                    let keep = table
+                        .signature(*row as usize)
+                        .is_none_or(|sig| pf.accepts(sig));
+                    skipped += usize::from(!keep);
+                    keep
+                })
+                .collect(),
+        };
+        span.add_count(skipped as u64);
+        span.tag_with("survivors", || survivors.len().to_string());
+        stats.prefilter_docs_skipped += skipped;
+        stats.docs_evaluated.insert(source.clone(), survivors.len());
+        filters.insert(source.clone(), survivors);
+    }
+}
+
 /// Record a finished run's [`ExecStats`] into the metrics registry — the
 /// single coupling point between counters and stats, which is what makes a
 /// metrics snapshot delta reconcile *exactly* with the stats the query
@@ -475,6 +598,7 @@ pub(crate) fn record_exec_metrics(obs: &Obs, stats: &ExecStats) {
     obs.add(Counter::IndexProbeFaults, stats.index_faults as u64);
     obs.add(Counter::DegradationsToScan, stats.degraded_sources.len() as u64);
     obs.add(Counter::DocsEvaluated, stats.docs_evaluated_total() as u64);
+    obs.add(Counter::PrefilterDocsSkipped, stats.prefilter_docs_skipped as u64);
     obs.add(Counter::EvalSteps, stats.steps_used);
     obs.add(Counter::BtreeNodeTouches, stats.btree_nodes_touched as u64);
     obs.set_gauge(Gauge::ParallelWorkers, stats.parallel_workers as u64);
@@ -658,6 +782,14 @@ pub fn explain(plan: &QueryPlan) -> String {
             }
         }
     }
+    if !plan.prefilter.is_empty() {
+        out.push_str("  structural prefilter:\n");
+        let mut sources: Vec<&String> = plan.prefilter.keys().collect();
+        sources.sort();
+        for s in sources {
+            out.push_str(&format!("    - {s}: requires {}\n", plan.prefilter[s].render()));
+        }
+    }
     if !plan.notes.is_empty() {
         out.push_str("  notes:\n");
         for n in &plan.notes {
@@ -711,6 +843,14 @@ pub(crate) fn render_execution_sections(out: &mut String, s: &ExecStats, trace: 
     out.push_str(&format!(
         "  documents evaluated: {} of {total}\n",
         s.docs_evaluated_total()
+    ));
+    out.push_str(&format!(
+        "  prefilter docs skipped: {}\n",
+        s.prefilter_docs_skipped
+    ));
+    out.push_str(&format!(
+        "  plan cache: {} hit(s), {} miss(es)\n",
+        s.plan_cache_hits, s.plan_cache_misses
     ));
     out.push_str(&format!("  eval steps: {}\n", s.steps_used));
     out.push_str(&format!(
@@ -816,7 +956,7 @@ pub fn collect_sources(expr: &Expr, out: &mut BTreeSet<String>) {
 
 /// The upper-cased source named by a `db2-fn:xmlcolumn('T.C')` call, if
 /// `expr` is exactly such a call with a string-literal argument.
-fn xmlcolumn_literal(expr: &Expr) -> Option<String> {
+pub(crate) fn xmlcolumn_literal(expr: &Expr) -> Option<String> {
     if let Expr::FunctionCall { name, args } = expr {
         if &*name.local == "xmlcolumn" && name.ns.as_deref() == Some(xqdb_xdm::qname::DB2_FN_NS) {
             if let [Expr::Literal(xqdb_xdm::AtomicValue::String(s))] = args.as_slice() {
@@ -832,7 +972,7 @@ fn xmlcolumn_literal(expr: &Expr) -> Option<String> {
 /// behind [`collect_sources`] and the partitionability checks, so new
 /// `Expr` variants fail compilation here instead of silently escaping one
 /// of several hand-rolled traversals.
-fn visit_exprs(expr: &Expr, f: &mut impl FnMut(&Expr)) {
+pub(crate) fn visit_exprs(expr: &Expr, f: &mut impl FnMut(&Expr)) {
     f(expr);
     match expr {
         Expr::FunctionCall { args, .. } => {

@@ -21,6 +21,8 @@ pub mod catalog;
 pub mod durability;
 pub mod eligibility;
 pub mod engine;
+pub mod plancache;
+pub mod prefilter;
 mod send_sync;
 pub mod sqlxml;
 
@@ -37,6 +39,9 @@ pub use engine::{
     partition_plan, plan_query, plan_query_traced, run_xquery, run_xquery_with_limits,
     run_xquery_with_options, ExecOptions, ExecOutcome, ExecStats, ParallelExecutor, Partition,
     QueryPlan,
+};
+pub use prefilter::{
+    extract_prefilters, PathComponent, RequiredGroup, RequiredPath, SourcePrefilter,
 };
 pub use sqlxml::{SqlSession, SqlResult};
 pub use xqdb_obs::{Obs, ObsConfig};

@@ -1,0 +1,142 @@
+//! A small LRU cache for compiled query plans, keyed by query text.
+//!
+//! Both front ends pay a parse + eligibility-analysis + pre-filter
+//! extraction cost per statement; for the common case of re-submitted
+//! query text that work is identical, so each catalog/session keeps a
+//! bounded cache of `Arc`'d plans. Entries are validated against the
+//! catalog's DDL epoch: any `CREATE TABLE` / `CREATE INDEX` bumps the
+//! epoch, and a stale entry is dropped on lookup instead of being served
+//! (an old plan could name the wrong index or miss a new one). Plain
+//! inserts do *not* invalidate — plans hold no row data, only the parsed
+//! AST and per-source decisions, and probes/filters re-execute per run.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default capacity: large enough for a realistic statement working set,
+/// small enough that the O(capacity) LRU eviction scan is irrelevant.
+pub const PLAN_CACHE_CAPACITY: usize = 64;
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: Arc<V>,
+    /// DDL epoch the plan was built under.
+    epoch: u64,
+    /// Logical access clock for LRU eviction.
+    used: u64,
+}
+
+/// Bounded LRU map from statement text to a shared plan.
+#[derive(Debug)]
+pub struct PlanCache<V> {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, Entry<V>>,
+}
+
+impl<V> Default for PlanCache<V> {
+    fn default() -> Self {
+        PlanCache::new(PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl<V> PlanCache<V> {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache { capacity: capacity.max(1), tick: 0, entries: HashMap::new() }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a plan built under the current `epoch`. A hit refreshes the
+    /// entry's LRU position; an entry from an older epoch is removed and
+    /// reported as a miss.
+    pub fn get(&mut self, key: &str, epoch: u64) -> Option<Arc<V>> {
+        match self.entries.get_mut(key) {
+            Some(e) if e.epoch == epoch => {
+                self.tick += 1;
+                e.used = self.tick;
+                Some(Arc::clone(&e.value))
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Insert (or replace) a plan built under `epoch`, evicting the least
+    /// recently used entry when at capacity.
+    pub fn insert(&mut self, key: String, value: Arc<V>, epoch: u64) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries
+            .insert(key, Entry { value, epoch, used: self.tick });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_epoch_invalidation() {
+        let mut c: PlanCache<String> = PlanCache::new(4);
+        assert!(c.get("q1", 0).is_none());
+        c.insert("q1".into(), Arc::new("p1".into()), 0);
+        assert_eq!(*c.get("q1", 0).unwrap(), "p1");
+        // A DDL bump invalidates: the stale entry is dropped, not served.
+        assert!(c.get("q1", 1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_keeps_recent() {
+        let mut c: PlanCache<u32> = PlanCache::new(2);
+        c.insert("a".into(), Arc::new(1), 0);
+        c.insert("b".into(), Arc::new(2), 0);
+        // Touch "a" so "b" is the LRU victim.
+        assert!(c.get("a", 0).is_some());
+        c.insert("c".into(), Arc::new(3), 0);
+        assert_eq!(c.len(), 2);
+        assert!(c.get("a", 0).is_some());
+        assert!(c.get("b", 0).is_none());
+        assert!(c.get("c", 0).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c: PlanCache<u32> = PlanCache::new(2);
+        c.insert("a".into(), Arc::new(1), 0);
+        c.insert("b".into(), Arc::new(2), 0);
+        c.insert("a".into(), Arc::new(9), 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(*c.get("a", 0).unwrap(), 9);
+        assert_eq!(*c.get("b", 0).unwrap(), 2);
+    }
+}

@@ -15,7 +15,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use xqdb_obs::{Counter, Histogram, Obs, Trace};
@@ -33,8 +33,11 @@ use crate::eligibility::{
     Cond, IndexCond, Note, Rejection,
 };
 use crate::engine::{
-    record_exec_metrics, render_doctor_section, render_execution_sections, ExecStats,
+    prefilter_env_enabled, record_exec_metrics, render_doctor_section, render_execution_sections,
+    ExecStats,
 };
+use crate::plancache::PlanCache;
+use crate::prefilter::{extract_prefilters, SourcePrefilter};
 
 use super::ast::*;
 use super::parser::parse_sql;
@@ -141,7 +144,7 @@ impl SqlResult {
 }
 
 /// A SQL/XML session: a catalog plus statement execution.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SqlSession {
     /// The underlying catalog.
     pub catalog: Catalog,
@@ -149,9 +152,37 @@ pub struct SqlSession {
     pub parse_limits: xqdb_xmlparse::ParseLimits,
     /// Observability handle shared by every statement of the session.
     pub obs: Obs,
+    /// Apply the structural pre-filter to row selection (on by default;
+    /// `XQDB_PREFILTER=off` in the environment also disables it).
+    pub prefilter: bool,
     /// The durability layer, when the session is backed by a data
     /// directory (see [`SqlSession::open_durable`]).
     durability: Option<Arc<Durability>>,
+    /// LRU cache of parsed + planned SELECT statements, keyed by the raw
+    /// statement text and invalidated by the catalog's DDL epoch.
+    stmt_cache: Mutex<PlanCache<CachedSql>>,
+}
+
+impl Default for SqlSession {
+    fn default() -> Self {
+        SqlSession {
+            catalog: Catalog::default(),
+            parse_limits: xqdb_xmlparse::ParseLimits::default(),
+            obs: Obs::default(),
+            prefilter: true,
+            durability: None,
+            stmt_cache: Mutex::new(PlanCache::default()),
+        }
+    }
+}
+
+/// A cached SELECT-family statement: the parsed AST plus its compiled plan
+/// (access paths, notes, pre-filters). A cache hit replays both without
+/// touching the parser or the eligibility analyzer.
+#[derive(Debug)]
+struct CachedSql {
+    stmt: SqlStmt,
+    plan: Arc<SqlPlan>,
 }
 
 impl SqlSession {
@@ -241,6 +272,36 @@ impl SqlSession {
     /// Execute one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<SqlResult, XdmError> {
         self.obs.incr(Counter::SqlStatements);
+        // Statement cache: SELECT-family statements are cached (parsed AST +
+        // compiled plan) keyed by the raw statement text, invalidated by the
+        // catalog's DDL epoch. A hit replays the stored plan with zero parse
+        // or planning work.
+        let epoch = self.catalog.ddl_epoch();
+        let cached = match self.stmt_cache.lock() {
+            Ok(mut cache) => cache.get(sql, epoch),
+            Err(_) => None,
+        };
+        if let Some(entry) = cached {
+            self.obs.incr(Counter::PlanCacheHits);
+            return match &entry.stmt {
+                SqlStmt::Select(sel) => {
+                    let trace = self.obs.trace();
+                    self.run_select_planned(sel, &entry.plan, true, &trace)
+                }
+                SqlStmt::Explain(_) => Ok(SqlResult {
+                    message: Some(render_plan(&entry.plan)),
+                    ..Default::default()
+                }),
+                SqlStmt::ExplainAnalyze(sel) => {
+                    let trace = Trace::recording();
+                    self.explain_analyze_planned(sel, &entry.plan, true, &trace)
+                }
+                // Only SELECT-family statements are ever inserted.
+                _ => Err(XdmError::internal(
+                    "non-SELECT statement in plan cache".to_string(),
+                )),
+            };
+        }
         let stmt = parse_sql(sql)
             .map_err(|e| XdmError::new(ErrorCode::XPST0003, e.to_string()))?;
         match stmt {
@@ -279,15 +340,38 @@ impl SqlSession {
                     ..Default::default()
                 })
             }
-            SqlStmt::Select(sel) => self.run_select(&sel),
-            SqlStmt::Explain(sel) => {
-                let plan = self.plan_select(&sel)?;
-                Ok(SqlResult {
-                    message: Some(render_plan(&plan)),
-                    ..Default::default()
-                })
+            SqlStmt::Select(sel) => {
+                self.obs.incr(Counter::PlanCacheMisses);
+                let trace = self.obs.trace();
+                let plan = self.plan_select_traced(&sel, &trace)?;
+                let result = self.run_select_planned(&sel, &plan, false, &trace)?;
+                self.cache_stmt(sql, SqlStmt::Select(sel), plan);
+                Ok(result)
             }
-            SqlStmt::ExplainAnalyze(sel) => self.explain_analyze_select(&sel),
+            SqlStmt::Explain(sel) => {
+                self.obs.incr(Counter::PlanCacheMisses);
+                let plan = Arc::new(self.plan_select(&sel)?);
+                let message = render_plan(&plan);
+                self.cache_stmt(sql, SqlStmt::Explain(sel), plan);
+                Ok(SqlResult { message: Some(message), ..Default::default() })
+            }
+            SqlStmt::ExplainAnalyze(sel) => {
+                self.obs.incr(Counter::PlanCacheMisses);
+                let trace = Trace::recording();
+                let plan = self.plan_select_traced(&sel, &trace)?;
+                let result = self.explain_analyze_planned(&sel, &plan, false, &trace)?;
+                self.cache_stmt(sql, SqlStmt::ExplainAnalyze(sel), plan);
+                Ok(result)
+            }
+        }
+    }
+
+    /// Store a SELECT-family statement in the statement cache under the
+    /// current DDL epoch.
+    fn cache_stmt(&self, sql: &str, stmt: SqlStmt, plan: Arc<SqlPlan>) {
+        let epoch = self.catalog.ddl_epoch();
+        if let Ok(mut cache) = self.stmt_cache.lock() {
+            cache.insert(sql.to_string(), Arc::new(CachedSql { stmt, plan }), epoch);
         }
     }
 
@@ -296,11 +380,16 @@ impl SqlSession {
     /// the execution counters (verbatim from the run's [`ExecStats`]), and
     /// the query doctor's diagnoses. The result rows are discarded — the
     /// report is the result.
-    fn explain_analyze_select(&self, sel: &SelectStmt) -> Result<SqlResult, XdmError> {
-        let trace = Trace::recording();
-        let (plan, result) = self.run_select_traced(sel, &trace)?;
-        let mut report = render_plan(&plan);
-        render_execution_sections(&mut report, &result.stats, &trace);
+    fn explain_analyze_planned(
+        &self,
+        sel: &SelectStmt,
+        plan: &SqlPlan,
+        cache_hit: bool,
+        trace: &Trace,
+    ) -> Result<SqlResult, XdmError> {
+        let result = self.run_select_planned(sel, plan, cache_hit, trace)?;
+        let mut report = render_plan(plan);
+        render_execution_sections(&mut report, &result.stats, trace);
         render_doctor_section(&mut report, &diagnose(&plan.rejections, &plan.notes));
         report.push_str(&format!("-- executed: {} row(s) produced\n", result.rows.len()));
         Ok(SqlResult { message: Some(report), stats: result.stats, ..Default::default() })
@@ -476,6 +565,15 @@ impl SqlSession {
             analyze_non_filtering(&query.body, &env, "non-filtering")
         };
         plan.notes.extend(analysis.notes);
+        if filtering {
+            // Structural pre-filter requirements for this conjunct.
+            // `db2-fn:xmlcolumn` is NOT recognized here: inside XMLEXISTS it
+            // ranges over the whole collection, not the candidate row, so
+            // only PASSING-variable uses may narrow the row set.
+            for (source, pf) in extract_prefilters(&query.body, &env, false) {
+                plan.prefilters.entry(source).or_default().push(pf);
+            }
+        }
         // Attribute conditions to their sources.
         let mut sources = BTreeSet::new();
         collect_cond_sources(&analysis.cond, &mut sources);
@@ -488,23 +586,31 @@ impl SqlSession {
 
     // ------------------------------------------------------------ execution
 
-    fn run_select(&self, sel: &SelectStmt) -> Result<SqlResult, XdmError> {
-        let trace = self.obs.trace();
-        self.run_select_traced(sel, &trace).map(|(_, result)| result)
-    }
-
-    fn run_select_traced(
+    /// Compile a SELECT under a "plan" span.
+    fn plan_select_traced(
         &self,
         sel: &SelectStmt,
         trace: &Trace,
-    ) -> Result<(SqlPlan, SqlResult), XdmError> {
-        let plan = {
-            let mut span = trace.span("plan");
-            let plan = self.plan_select(sel)?;
-            span.add_count(plan.accesses.len() as u64);
-            plan
-        };
+    ) -> Result<Arc<SqlPlan>, XdmError> {
+        let mut span = trace.span("plan");
+        let plan = self.plan_select(sel)?;
+        span.add_count(plan.accesses.len() as u64);
+        Ok(Arc::new(plan))
+    }
+
+    /// Execute a SELECT against an already-compiled plan. `cache_hit`
+    /// records whether the plan came from the statement cache (the matching
+    /// counter was incremented by the caller).
+    fn run_select_planned(
+        &self,
+        sel: &SelectStmt,
+        plan: &SqlPlan,
+        cache_hit: bool,
+        trace: &Trace,
+    ) -> Result<SqlResult, XdmError> {
         let mut stats = ExecStats::new();
+        stats.plan_cache_hits = u64::from(cache_hit);
+        stats.plan_cache_misses = u64::from(!cache_hit);
         // Resolve per-table row filters from compiled accesses. Iterate in
         // source order so spans and degradations are deterministic.
         let mut row_filters: HashMap<String, BTreeSet<u64>> = HashMap::new();
@@ -545,6 +651,54 @@ impl SqlSession {
                 .entry(table)
                 .and_modify(|r| *r = r.intersection(&rows).copied().collect())
                 .or_insert(rows);
+        }
+
+        // Structural pre-filter: drop rows whose path signature cannot
+        // satisfy some filtering conjunct (conservative per Definition 1 —
+        // false positives only, so survivors are still re-checked by the
+        // WHERE phase). Runs strictly after the index-probe loop so probe
+        // spans and fault degradations are unchanged by the filter.
+        if self.prefilter && prefilter_env_enabled() {
+            let mut pf_sources: Vec<_> = plan.prefilters.keys().collect();
+            pf_sources.sort();
+            for source in pf_sources {
+                let pfs = &plan.prefilters[source];
+                if pfs.is_empty() {
+                    continue;
+                }
+                let Some(t) = source
+                    .split('.')
+                    .next()
+                    .and_then(|name| self.catalog.db.table(name))
+                else {
+                    continue;
+                };
+                let table = t.name.clone();
+                let mut span = trace.span("prefilter");
+                span.tag_with("source", || source.clone());
+                let mut skipped = 0usize;
+                // Each filtering conjunct must hold, so a row survives only
+                // if its signature satisfies every conjunct's pre-filter.
+                // Rows without a signature (no XML cell) are kept: the
+                // residual WHERE decides them, never the pre-filter.
+                let mut keep = |rid: u64| {
+                    let ok = t
+                        .signature(rid as usize)
+                        .is_none_or(|sig| pfs.iter().all(|pf| pf.accepts(sig)));
+                    if !ok {
+                        skipped += 1;
+                    }
+                    ok
+                };
+                let survivors: BTreeSet<u64> = match row_filters.get(&table) {
+                    Some(rows) => rows.iter().copied().filter(|r| keep(*r)).collect(),
+                    None => (0..t.len() as u64).filter(|r| keep(*r)).collect(),
+                };
+                span.add_count(skipped as u64);
+                span.tag_with("survivors", || survivors.len().to_string());
+                stats.prefilter_docs_skipped += skipped;
+                row_filters.insert(table, survivors);
+            }
         }
 
         let mut scan_span = trace.span("scan");
@@ -700,7 +854,7 @@ impl SqlSession {
         project_span.add_count(out_rows.len() as u64);
         drop(project_span);
         record_exec_metrics(&self.obs, &stats);
-        Ok((plan, SqlResult { columns, rows: out_rows, message: None, stats, trace: trace.clone() }))
+        Ok(SqlResult { columns, rows: out_rows, message: None, stats, trace: trace.clone() })
     }
 
     fn expand_xmltable(
@@ -881,6 +1035,9 @@ pub struct SqlPlan {
     pub notes: Vec<Note>,
     /// Rejected candidates.
     pub rejections: Vec<Rejection>,
+    /// Structural pre-filter per source, one entry per filtering conjunct
+    /// (all must hold for a row to survive).
+    pub prefilters: HashMap<String, Vec<SourcePrefilter>>,
 }
 
 /// Render the EXPLAIN output.
@@ -904,6 +1061,15 @@ pub fn render_plan(plan: &SqlPlan) -> String {
         }
         if !printed {
             out.push_str(&format!("  table {table} (alias {alias}): TABLE SCAN\n"));
+        }
+    }
+    if !plan.prefilters.is_empty() {
+        out.push_str("  structural prefilter:\n");
+        let mut sources: Vec<_> = plan.prefilters.iter().collect();
+        sources.sort_by_key(|(s, _)| s.as_str());
+        for (source, pfs) in sources {
+            let reqs: Vec<String> = pfs.iter().map(|pf| pf.render()).collect();
+            out.push_str(&format!("    - {source}: requires {}\n", reqs.join(" AND ")));
         }
     }
     if !plan.notes.is_empty() {

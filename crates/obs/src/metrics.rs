@@ -53,11 +53,17 @@ pub enum Counter {
     TornTailTruncations,
     /// Nanoseconds spent in recovery (replay + index rebuild), cumulative.
     RecoveryNanos,
+    /// Documents skipped by the structural path-signature pre-filter.
+    PrefilterDocsSkipped,
+    /// Query texts answered from the plan cache (parse and plan skipped).
+    PlanCacheHits,
+    /// Query texts parsed and planned because the cache had no entry.
+    PlanCacheMisses,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::QueriesExecuted,
         Counter::SqlStatements,
         Counter::IndexProbes,
@@ -78,6 +84,9 @@ impl Counter {
         Counter::WalRecordsReplayed,
         Counter::TornTailTruncations,
         Counter::RecoveryNanos,
+        Counter::PrefilterDocsSkipped,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
     ];
 
     /// Prometheus series name.
@@ -103,6 +112,9 @@ impl Counter {
             Counter::WalRecordsReplayed => "xqdb_wal_records_replayed_total",
             Counter::TornTailTruncations => "xqdb_torn_tail_truncations_total",
             Counter::RecoveryNanos => "xqdb_recovery_ns_total",
+            Counter::PrefilterDocsSkipped => "xqdb_prefilter_docs_skipped_total",
+            Counter::PlanCacheHits => "xqdb_plan_cache_hits_total",
+            Counter::PlanCacheMisses => "xqdb_plan_cache_misses_total",
         }
     }
 
@@ -129,6 +141,11 @@ impl Counter {
             Counter::WalRecordsReplayed => "records replayed during recovery",
             Counter::TornTailTruncations => "torn WAL tails truncated during recovery",
             Counter::RecoveryNanos => "nanoseconds spent in recovery, cumulative",
+            Counter::PrefilterDocsSkipped => {
+                "documents skipped by the structural path-signature pre-filter"
+            }
+            Counter::PlanCacheHits => "query texts answered from the plan cache",
+            Counter::PlanCacheMisses => "query texts parsed and planned on a cache miss",
         }
     }
 }

@@ -20,9 +20,14 @@
 //! XQuery's exact comparison.
 
 pub mod db;
+pub mod synopsis;
 pub mod table;
 pub mod value;
 
 pub use db::{Database, PersistenceHook};
+pub use synopsis::{
+    document_paths, extend_attribute, extend_element, render_component, signature_for_document,
+    PathSignature, PathSynopsis, PATH_HASH_SEED,
+};
 pub use table::{Column, RowId, Table};
 pub use value::{sql_compare, SqlType, SqlValue};

@@ -2,6 +2,7 @@
 
 use xqdb_xdm::{ErrorCode, XdmError};
 
+use crate::synopsis::{observe_document, PathSignature, PathSynopsis};
 use crate::value::{SqlType, SqlValue};
 
 /// A column definition.
@@ -32,12 +33,24 @@ pub struct Table {
     /// Column definitions.
     pub columns: Vec<Column>,
     rows: Vec<Vec<SqlValue>>,
+    /// One structural path signature per row (union over the row's XML
+    /// cells), maintained in [`Table::push_row`]. Derived state: WAL replay
+    /// re-inserts rows through the same path, so recovery rebuilds it.
+    signatures: Vec<PathSignature>,
+    /// Dictionary of distinct rooted paths observed across all rows.
+    synopsis: PathSynopsis,
 }
 
 impl Table {
     /// Create an empty table.
     pub fn new(name: impl AsRef<str>, columns: Vec<Column>) -> Self {
-        Table { name: name.as_ref().to_ascii_uppercase(), columns, rows: Vec::new() }
+        Table {
+            name: name.as_ref().to_ascii_uppercase(),
+            columns,
+            rows: Vec::new(),
+            signatures: Vec::new(),
+            synopsis: PathSynopsis::default(),
+        }
     }
 
     /// Index of the named column (case-insensitive).
@@ -77,9 +90,30 @@ impl Table {
     }
 
     /// Append an already-conformed row (see [`Table::conform_row`]).
+    ///
+    /// The single choke point every insert path goes through (direct
+    /// inserts, catalog inserts, WAL replay), so the row's path signature
+    /// and the table synopsis stay consistent with the stored documents.
     pub fn push_row(&mut self, row: Vec<SqlValue>) -> RowId {
+        let mut sig = PathSignature::default();
+        for v in &row {
+            if let SqlValue::Xml(n) = v {
+                sig.union_with(&observe_document(n, Some(&mut self.synopsis)));
+            }
+        }
+        self.signatures.push(sig);
         self.rows.push(row);
         self.rows.len() - 1
+    }
+
+    /// The structural path signature of a row.
+    pub fn signature(&self, id: RowId) -> Option<&PathSignature> {
+        self.signatures.get(id)
+    }
+
+    /// The table's path-synopsis dictionary.
+    pub fn synopsis(&self) -> &PathSynopsis {
+        &self.synopsis
     }
 
     /// Number of rows.

@@ -72,3 +72,8 @@ rm -rf "$DURABLE_TMP"
 mkdir -p "$DURABLE_TMP"
 XQDB_DATA_DIR="$DURABLE_TMP" XQDB_FSYNC=off cargo test --workspace -q
 rm -rf "$DURABLE_TMP"
+
+# Fourth pass with the structural pre-filter disabled: every result the
+# suite asserts must be reachable by the plain evaluation path too, so a
+# pre-filter bug can never hide behind its own optimization being on.
+XQDB_PREFILTER=off cargo test --workspace -q

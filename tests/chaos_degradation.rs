@@ -254,6 +254,88 @@ fn workload_queries_byte_identical_across_thread_counts_and_fault_seeds() {
     }
 }
 
+/// The structural pre-filter is, like the index and parallelism, a pure
+/// execution detail: {prefilter on, off} × {healthy, every-probe-fails}
+/// × {1, 4} threads must all be byte-identical to the serial, unfiltered,
+/// unindexed baseline.
+#[test]
+fn prefiltered_scans_byte_identical_across_threads_and_faults() {
+    // A mixed collection: synthetic orders (no promo element) plus a few
+    // hand-built promo orders, so the pre-filter has real docs to skip AND
+    // real docs to keep.
+    fn mixed(indexed: bool) -> Catalog {
+        let mut c = orders_catalog(100, indexed);
+        for i in 0..5i64 {
+            let doc = xqdb_xmlparse::parse_document(&format!(
+                "<order><custid>c{i}</custid><promo><code>P{i}</code></promo>\
+                 <lineitem price=\"999\" quantity=\"1\"/></order>"
+            ))
+            .expect("promo doc parses");
+            c.insert(
+                "orders",
+                vec![
+                    xqdb_storage::SqlValue::Integer(5000 + i),
+                    xqdb_storage::SqlValue::Xml(doc.root()),
+                ],
+            )
+            .expect("insert succeeds");
+        }
+        c
+    }
+    let prefilter_queries = [
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[promo/code]/custid",
+        "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+         where $o/promo/code = 'P3' return $o/custid",
+        QUERIES[0],
+    ];
+    let baseline = mixed(false);
+    for q in prefilter_queries {
+        let base_opts =
+            ExecOptions { threads: 1, prefilter: false, ..ExecOptions::default() };
+        let want = render(
+            &run_xquery_with_options(&baseline, q, &base_opts)
+                .expect("baseline runs")
+                .sequence,
+        );
+        for prefilter in [false, true] {
+            for threads in [1usize, 4] {
+                let opts = ExecOptions { threads, prefilter, ..ExecOptions::default() };
+                let healthy = mixed(true);
+                let got = run_xquery_with_options(&healthy, q, &opts)
+                    .expect("healthy run succeeds");
+                assert_eq!(
+                    render(&got.sequence),
+                    want,
+                    "{q} diverged at {threads} threads (prefilter={prefilter}, healthy)"
+                );
+                let mut faulty = mixed(true);
+                faulty.set_index_fault_injector(Some(Arc::new(FaultInjector::new(
+                    FaultMode::Always,
+                ))));
+                let got = run_xquery_with_options(&faulty, q, &opts)
+                    .expect("degraded run succeeds");
+                assert_eq!(
+                    render(&got.sequence),
+                    want,
+                    "{q} diverged at {threads} threads (prefilter={prefilter}, faulty)"
+                );
+            }
+        }
+    }
+    // The on-filter runs above were not vacuous: the selective query really
+    // skips the synthetic orders (unless the environment disables it).
+    if std::env::var("XQDB_PREFILTER").map_or(true, |v| v != "off") {
+        let out = run_xquery_with_options(
+            &mixed(false),
+            prefilter_queries[0],
+            &ExecOptions::default(),
+        )
+        .expect("runs");
+        assert_eq!(out.stats.prefilter_docs_skipped, 100, "every promo-less doc is skipped");
+        assert_eq!(out.sequence.len(), 5, "every promo doc survives");
+    }
+}
+
 /// A cancelled budget stops a parallel run with the same typed error code
 /// as a serial one — the cancellation token is a shared atomic observed by
 /// every worker.

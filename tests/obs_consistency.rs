@@ -80,6 +80,21 @@ fn assert_registry_matches_stats(
     );
     assert_eq!(delta(Counter::EvalSteps), stats.steps_used, "{label}: eval steps");
     assert_eq!(
+        delta(Counter::PrefilterDocsSkipped),
+        stats.prefilter_docs_skipped as u64,
+        "{label}: prefilter docs skipped"
+    );
+    assert_eq!(
+        delta(Counter::PlanCacheHits),
+        stats.plan_cache_hits,
+        "{label}: plan cache hits"
+    );
+    assert_eq!(
+        delta(Counter::PlanCacheMisses),
+        stats.plan_cache_misses,
+        "{label}: plan cache misses"
+    );
+    assert_eq!(
         delta(Counter::BtreeNodeTouches),
         stats.btree_nodes_touched as u64,
         "{label}: btree nodes touched"
@@ -126,6 +141,11 @@ fn expected_counter_lines(stats: &ExecStats) -> Vec<String> {
             "  documents evaluated: {} of {}\n",
             stats.docs_evaluated_total(),
             stats.docs_total.values().sum::<usize>()
+        ),
+        format!("  prefilter docs skipped: {}\n", stats.prefilter_docs_skipped),
+        format!(
+            "  plan cache: {} hit(s), {} miss(es)\n",
+            stats.plan_cache_hits, stats.plan_cache_misses
         ),
         format!("  eval steps: {}\n", stats.steps_used),
         format!(
@@ -376,6 +396,146 @@ fn index_build_counter_tracks_backfill_and_maintenance() {
     s.execute(r#"INSERT INTO orders VALUES (2, '<order><lineitem price="3"/></order>')"#)
         .unwrap();
     assert_eq!(snap(&obs).counter(Counter::IndexEntriesBuilt), 3);
+}
+
+#[test]
+fn prefiltered_scan_reconciles() {
+    // An unindexed selective query: the structural pre-filter skips every
+    // document lacking /order/promo/code, and the skip count reconciles
+    // across registry, stats and report (asserted by check_family).
+    check_family(
+        || {
+            let mut c = Catalog::new();
+            create_paper_schema(&mut c);
+            load_orders(&mut c, 60, OrderParams::default());
+            for i in 0..4 {
+                let doc = xqdb_xmlparse::parse_document(&format!(
+                    "<order><promo><code>P{i}</code></promo></order>"
+                ))
+                .unwrap();
+                c.insert(
+                    "orders",
+                    vec![
+                        xqdb_storage::SqlValue::Integer(1000 + i),
+                        xqdb_storage::SqlValue::Xml(doc.root()),
+                    ],
+                )
+                .unwrap();
+            }
+            c
+        },
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[promo/code]",
+        "prefiltered scan",
+    );
+    // And the skip was real: the workload's orders have no promo element.
+    // (Vacuously true when the environment disables the filter — the
+    // reconciliation above still holds with every count at zero.)
+    if std::env::var("XQDB_PREFILTER")
+        .is_ok_and(|v| matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"))
+    {
+        return;
+    }
+    let mut c = Catalog::new();
+    create_paper_schema(&mut c);
+    load_orders(&mut c, 60, OrderParams::default());
+    let out = run_xquery_with_options(
+        &c,
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[promo/code]",
+        &ExecOptions::default(),
+    )
+    .expect("runs");
+    assert_eq!(out.stats.prefilter_docs_skipped, 60, "all 60 docs lack /order/promo/code");
+    assert_eq!(out.stats.docs_evaluated_total(), 0);
+}
+
+#[test]
+fn xquery_plan_cache_hit_skips_parse_and_plan() {
+    let obs = Obs::new(ObsConfig::enabled());
+    let mut catalog = orders_catalog(20, Some("double"));
+    catalog.obs = obs.clone();
+    let q = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 900]";
+    let opts = ExecOptions { obs: obs.clone(), ..ExecOptions::default() };
+
+    let first = run_xquery_with_options(&catalog, q, &opts).expect("first run");
+    assert_eq!(first.stats.plan_cache_hits, 0);
+    assert_eq!(first.stats.plan_cache_misses, 1);
+    let spans: Vec<_> = first.trace.finished_spans().iter().map(|s| s.name).collect();
+    assert!(spans.contains(&"parse"), "first run parses: {spans:?}");
+
+    // Second identical query: zero parse/plan work, counter-verified.
+    let (report, second) = explain_analyze_xquery(&catalog, q, &opts).expect("second run");
+    assert_eq!(second.stats.plan_cache_hits, 1);
+    assert_eq!(second.stats.plan_cache_misses, 0);
+    let spans: Vec<_> = second.trace.finished_spans().iter().map(|s| s.name).collect();
+    assert!(!spans.contains(&"parse"), "hit must not parse: {spans:?}");
+    assert!(!spans.contains(&"plan"), "hit must not plan: {spans:?}");
+    assert!(
+        report.contains("  plan cache: 1 hit(s), 0 miss(es)\n"),
+        "report surfaces the hit:\n{report}"
+    );
+    assert_eq!(snap(&obs).counter(Counter::PlanCacheHits), 1);
+    assert_eq!(snap(&obs).counter(Counter::PlanCacheMisses), 1);
+
+    // Identical results both times.
+    assert_eq!(
+        xqdb_xmlparse::serialize_sequence(&first.sequence),
+        xqdb_xmlparse::serialize_sequence(&second.sequence)
+    );
+
+    // DDL invalidates: a new index bumps the epoch, so the next run replans.
+    catalog.create_index("li_q", "orders", "orddoc", "//lineitem/@quantity", "double").unwrap();
+    let third = run_xquery_with_options(&catalog, q, &opts).expect("third run");
+    assert_eq!(third.stats.plan_cache_hits, 0, "DDL must invalidate the cached plan");
+    assert_eq!(third.stats.plan_cache_misses, 1);
+}
+
+#[test]
+fn sql_plan_cache_hit_and_ddl_invalidation() {
+    let obs = Obs::new(ObsConfig::enabled());
+    let mut s = SqlSession::new();
+    s.set_obs(obs.clone());
+    s.execute("create table orders (ordid integer, orddoc XML)").unwrap();
+    for i in 0..10 {
+        s.execute(&format!(
+            r#"INSERT INTO orders VALUES ({i}, '<order><lineitem price="{}"/></order>')"#,
+            i * 100
+        ))
+        .unwrap();
+    }
+    let q = "SELECT ordid FROM orders \
+             WHERE XMLEXISTS('$o/order[lineitem/@price > 500]' passing orddoc as \"o\")";
+    let first = s.execute(q).expect("first run");
+    assert_eq!(first.stats.plan_cache_misses, 1);
+    let second = s.execute(q).expect("second run");
+    assert_eq!(second.stats.plan_cache_hits, 1, "second identical statement hits the cache");
+    assert_eq!(second.stats.plan_cache_misses, 0);
+    assert_eq!(
+        format!("{:?}", first.rows),
+        format!("{:?}", second.rows),
+        "cached plan produces identical rows"
+    );
+    assert_eq!(snap(&obs).counter(Counter::PlanCacheHits), 1);
+
+    // EXPLAIN ANALYZE surfaces the hit for its own (distinct) cache entry.
+    let ea = format!("EXPLAIN ANALYZE {q}");
+    s.execute(&ea).expect("explain analyze miss");
+    let hit = s.execute(&ea).expect("explain analyze hit");
+    let report = hit.message.expect("report");
+    assert!(
+        report.contains("  plan cache: 1 hit(s), 0 miss(es)\n"),
+        "report surfaces the hit:\n{report}"
+    );
+
+    // DDL bumps the epoch: the SELECT replans.
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    let third = s.execute(q).expect("post-DDL run");
+    assert_eq!(third.stats.plan_cache_hits, 0, "CREATE INDEX must invalidate the plan");
+    assert_eq!(third.stats.plan_cache_misses, 1);
+    assert!(third.stats.index_probes > 0, "the replanned statement uses the new index");
+    assert_eq!(format!("{:?}", first.rows), format!("{:?}", third.rows));
 }
 
 #[test]
