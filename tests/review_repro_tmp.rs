@@ -1,0 +1,38 @@
+//! Temporary review repro: `let` over a for-var path must not tighten the
+//! for-group (let preserves empty sequences; the tuple survives).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use xqdb_core::{run_xquery_with_options, Catalog, ExecOptions};
+use xqdb_storage::{Column, SqlType, SqlValue, Table};
+
+#[test]
+fn let_over_for_var_does_not_drop_docs() {
+    let mut c = Catalog::new();
+    c.create_table(Table::new(
+        "docs",
+        vec![Column::new("id", SqlType::Integer), Column::new("doc", SqlType::Xml)],
+    ))
+    .unwrap();
+    for (i, xml) in [
+        "<order><promo><code/></promo><custid>a</custid></order>",
+        "<order><custid>b</custid></order>", // no promo
+    ]
+    .iter()
+    .enumerate()
+    {
+        let doc = xqdb_xmlparse::parse_document(xml).unwrap();
+        c.insert("docs", vec![SqlValue::Integer(i as i64), SqlValue::Xml(doc.root())])
+            .unwrap();
+    }
+    let q = "for $o in db2-fn:xmlcolumn('DOCS.DOC')/order \
+             let $p := $o/promo \
+             return $o/custid";
+    let off = ExecOptions { prefilter: false, ..ExecOptions::default() };
+    let want = xqdb_xmlparse::serialize_sequence(
+        &run_xquery_with_options(&c, q, &off).unwrap().sequence,
+    );
+    let on = ExecOptions::default();
+    let out = run_xquery_with_options(&c, q, &on).unwrap();
+    let got = xqdb_xmlparse::serialize_sequence(&out.sequence);
+    assert_eq!(got, want, "prefilter dropped a doc (skipped={})", out.stats.prefilter_docs_skipped);
+}
