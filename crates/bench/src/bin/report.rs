@@ -381,9 +381,158 @@ struct Row {
     summary: RunSummary,
 }
 
+/// Orders documents behind the server throughput ladder. Overridable via
+/// `XQDB_BENCH_SERVER_DOCS` for quick local runs.
+const SERVER_DOCS: usize = 2_000;
+
+/// Start a loopback server over an indexed orders session.
+fn bench_server(cfg: xqdb_server::ServerConfig) -> xqdb_server::ServerHandle {
+    let docs: usize = std::env::var("XQDB_BENCH_SERVER_DOCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(SERVER_DOCS);
+    let catalog =
+        orders_catalog(docs, OrderParams::default(), &[("li_price", "//lineitem/@price", "double")]);
+    let session = SqlSession::from_catalog(catalog);
+    xqdb_server::Server::start("127.0.0.1:0", cfg, session).expect("bench server binds")
+}
+
+/// One client's slice of a ladder step: mixed read/write requests, with
+/// per-request latencies and the shed count.
+fn drive_client(addr: &str, client_id: usize, requests: usize) -> (Vec<f64>, u64) {
+    use xqdb_server::protocol::Response;
+    let mut client = xqdb_server::chaos::Client::connect(addr).expect("bench client connects");
+    let read = "SELECT ordid FROM orders \
+                WHERE XMLEXISTS('$o//lineitem[@price > 990]' passing orddoc as \"o\")";
+    let mut latencies = Vec::with_capacity(requests);
+    let mut shed = 0u64;
+    for r in 0..requests {
+        // ~10% writes: one insert per ten requests, unique ids per client.
+        let stmt = if r % 10 == 9 {
+            format!(
+                r#"INSERT INTO orders VALUES ({}, '<order><custid>{}</custid><lineitem price="5.00"/></order>')"#,
+                1_000_000 + client_id * 10_000 + r,
+                9_000 + client_id
+            )
+        } else {
+            read.to_string()
+        };
+        let t0 = std::time::Instant::now();
+        match client.statement(&stmt).expect("bench request gets a typed response") {
+            Response::Ok { .. } | Response::Error { .. } => {
+                latencies.push(t0.elapsed().as_secs_f64() * 1e3)
+            }
+            Response::Busy { .. } => shed += 1,
+            Response::Protocol { reason, message } => {
+                panic!("bench traffic is well-formed; got {reason:?}: {message}")
+            }
+        }
+    }
+    (latencies, shed)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Throughput ladder 1 → 256 concurrent sessions of mixed read/write
+/// traffic against one server, then a deliberately undersized server to
+/// measure the shed rate under overload. Records `BENCH_server.json`.
+fn server_report() {
+    let hardware_threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("server throughput ladder ({hardware_threads} hardware threads):");
+    let mut steps = Vec::new();
+    for sessions in [1usize, 4, 16, 64, 256] {
+        let cfg = xqdb_server::ServerConfig {
+            max_sessions: 32,
+            queue_depth: 512,
+            queue_timeout: std::time::Duration::from_secs(5),
+            ..Default::default()
+        };
+        let handle = bench_server(cfg);
+        let addr = handle.local_addr().to_string();
+        // Aim for a comparable request total at every rung.
+        let per_client = (2_048 / sessions).max(4);
+        let addr_ref = &addr;
+        let t0 = std::time::Instant::now();
+        let per = xqdb_runtime::WorkerPool::new(sessions)
+            .run(sessions, |ci| drive_client(addr_ref, ci, per_client));
+        let wall = t0.elapsed().as_secs_f64();
+        let mut latencies: Vec<f64> = per.iter().flat_map(|(l, _)| l.iter().copied()).collect();
+        let shed: u64 = per.iter().map(|(_, s)| s).sum();
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let completed = latencies.len();
+        let throughput = completed as f64 / wall;
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        let report = handle.shutdown();
+        assert_eq!(report.connection_panics, 0, "bench load must not panic handlers");
+        println!(
+            "  {sessions:>3} sessions: {throughput:>8.0} req/s  p50 {p50:.2} ms  p99 {p99:.2} ms  \
+             ({completed} completed, {shed} shed)"
+        );
+        steps.push(format!(
+            "    {{ \"sessions\": {sessions}, \"requests_completed\": {completed}, \
+             \"throughput_rps\": {throughput:.1}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \
+             \"shed\": {shed} }}"
+        ));
+    }
+
+    // Overload: a server sized for 2 concurrent statements and a 4-deep
+    // queue, hammered by 64 sessions — the shed rate is the story.
+    let cfg = xqdb_server::ServerConfig {
+        max_sessions: 2,
+        queue_depth: 4,
+        queue_timeout: std::time::Duration::from_millis(10),
+        retry_after_ms: 25,
+        ..Default::default()
+    };
+    let handle = bench_server(cfg);
+    let addr = handle.local_addr().to_string();
+    let addr_ref = &addr;
+    let sessions = 64usize;
+    let per_client = 16usize;
+    let t0 = std::time::Instant::now();
+    let per = xqdb_runtime::WorkerPool::new(sessions)
+        .run(sessions, |ci| drive_client(addr_ref, ci, per_client));
+    let wall = t0.elapsed().as_secs_f64();
+    let completed: usize = per.iter().map(|(l, _)| l.len()).sum();
+    let shed: u64 = per.iter().map(|(_, s)| s).sum();
+    let total = (sessions * per_client) as u64;
+    let shed_rate = shed as f64 / total as f64;
+    let report = handle.shutdown();
+    assert_eq!(report.connection_panics, 0, "overload must not panic handlers");
+    println!(
+        "  overload (2 slots, 4-deep queue, 64 sessions): {completed} completed, \
+         {shed} shed of {total} ({:.0}% shed rate)",
+        shed_rate * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"mixed 90/10 read/write over indexed orders via loopback server\",\n  \
+         \"hardware_threads\": {hardware_threads},\n  \
+         \"ladder\": [\n{}\n  ],\n  \
+         \"overload\": {{ \"max_sessions\": 2, \"queue_depth\": 4, \"sessions\": 64, \
+         \"requests\": {total}, \"completed\": {completed}, \"shed\": {shed}, \
+         \"shed_rate\": {shed_rate:.3}, \"wall_seconds\": {wall:.3} }}\n}}\n",
+        steps.join(",\n"),
+    );
+    std::fs::write("BENCH_server.json", json).expect("BENCH_server.json is writable");
+    println!("  wrote BENCH_server.json\n");
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--obs-overhead") {
         obs_overhead_report();
+        return;
+    }
+    if std::env::args().any(|a| a == "--server") {
+        server_report();
         return;
     }
     if std::env::args().any(|a| a == "--durability") {

@@ -269,39 +269,36 @@ impl SqlSession {
         self.obs = obs;
     }
 
-    /// Execute one SQL statement.
+    /// Execute one SQL statement with no resource limits — the interactive
+    /// single-session default.
     pub fn execute(&mut self, sql: &str) -> Result<SqlResult, XdmError> {
-        self.obs.incr(Counter::SqlStatements);
-        // Statement cache: SELECT-family statements are cached (parsed AST +
-        // compiled plan) keyed by the raw statement text, invalidated by the
-        // catalog's DDL epoch. A hit replays the stored plan with zero parse
-        // or planning work.
-        let epoch = self.catalog.ddl_epoch();
-        let cached = match self.stmt_cache.lock() {
-            Ok(mut cache) => cache.get(sql, epoch),
-            Err(_) => None,
-        };
-        if let Some(entry) = cached {
-            self.obs.incr(Counter::PlanCacheHits);
-            return match &entry.stmt {
-                SqlStmt::Select(sel) => {
-                    let trace = self.obs.trace();
-                    self.run_select_planned(sel, &entry.plan, true, &trace)
-                }
-                SqlStmt::Explain(_) => Ok(SqlResult {
-                    message: Some(render_plan(&entry.plan)),
-                    ..Default::default()
-                }),
-                SqlStmt::ExplainAnalyze(sel) => {
-                    let trace = Trace::recording();
-                    self.explain_analyze_planned(sel, &entry.plan, true, &trace)
-                }
-                // Only SELECT-family statements are ever inserted.
-                _ => Err(XdmError::internal(
-                    "non-SELECT statement in plan cache".to_string(),
-                )),
-            };
+        self.execute_with_limits(sql, &xqdb_xdm::Limits::unlimited())
+    }
+
+    /// Does this statement mutate the catalog? The server routes writes
+    /// through the session's exclusive write path and everything else
+    /// through the shared read path, so the classifier is deliberately a
+    /// leading-keyword check over the closed statement grammar (`CREATE
+    /// TABLE`, `CREATE INDEX`, `INSERT`); anything unrecognized is treated
+    /// as a read and rejected by the parser with a typed error.
+    pub fn is_write_statement(sql: &str) -> bool {
+        let first = sql.split_whitespace().next().unwrap_or("");
+        first.eq_ignore_ascii_case("create") || first.eq_ignore_ascii_case("insert")
+    }
+
+    /// Execute one SQL statement under the given resource limits. The
+    /// limits become the statement's [`xqdb_xdm::Budget`]: a deadline
+    /// cancels mid-evaluation at the next budget checkpoint, a step cap
+    /// bounds total work.
+    pub fn execute_with_limits(
+        &mut self,
+        sql: &str,
+        limits: &xqdb_xdm::Limits,
+    ) -> Result<SqlResult, XdmError> {
+        if !Self::is_write_statement(sql) {
+            return self.execute_read(sql, limits);
         }
+        self.obs.incr(Counter::SqlStatements);
         let stmt = parse_sql(sql)
             .map_err(|e| XdmError::new(ErrorCode::XPST0003, e.to_string()))?;
         match stmt {
@@ -328,11 +325,79 @@ impl SqlSession {
                 self.catalog.insert(&table, row)?;
                 Ok(SqlResult { message: Some("1 row inserted".into()), ..Default::default() })
             }
+            // is_write_statement admits only the arms above.
+            _ => Err(XdmError::internal("write classifier admitted a read statement")),
+        }
+    }
+
+    /// Execute a read-only (SELECT-family) statement through `&self`: many
+    /// server sessions run these concurrently under a shared read lock
+    /// while writes serialize through [`SqlSession::execute_with_limits`].
+    /// Write statements are rejected with a typed error rather than
+    /// executed.
+    pub fn execute_read(
+        &self,
+        sql: &str,
+        limits: &xqdb_xdm::Limits,
+    ) -> Result<SqlResult, XdmError> {
+        self.obs.incr(Counter::SqlStatements);
+        let budget = Arc::new(xqdb_xdm::Budget::new(limits.clone()));
+        let result = self.execute_read_budgeted(sql, &budget);
+        if let Err(e) = &result {
+            match e.code {
+                ErrorCode::ResourceExhausted => self.obs.incr(Counter::BudgetExhaustions),
+                ErrorCode::Cancelled => self.obs.incr(Counter::QueriesCancelled),
+                _ => {}
+            }
+        }
+        result
+    }
+
+    fn execute_read_budgeted(
+        &self,
+        sql: &str,
+        budget: &Arc<xqdb_xdm::Budget>,
+    ) -> Result<SqlResult, XdmError> {
+        // Statement cache: SELECT-family statements are cached (parsed AST +
+        // compiled plan) keyed by the raw statement text, invalidated by the
+        // catalog's DDL epoch. A hit replays the stored plan with zero parse
+        // or planning work. The epoch is read from the *shared* catalog, so
+        // a DDL committed by any other session of a server invalidates this
+        // session's cached plans on the next lookup.
+        let epoch = self.catalog.ddl_epoch();
+        let cached = match self.stmt_cache.lock() {
+            Ok(mut cache) => cache.get(sql, epoch),
+            Err(_) => None,
+        };
+        if let Some(entry) = cached {
+            self.obs.incr(Counter::PlanCacheHits);
+            return match &entry.stmt {
+                SqlStmt::Select(sel) => {
+                    let trace = self.obs.trace();
+                    self.run_select_planned(sel, &entry.plan, true, &trace, budget)
+                }
+                SqlStmt::Explain(_) => Ok(SqlResult {
+                    message: Some(render_plan(&entry.plan)),
+                    ..Default::default()
+                }),
+                SqlStmt::ExplainAnalyze(sel) => {
+                    let trace = Trace::recording();
+                    self.explain_analyze_planned(sel, &entry.plan, true, &trace, budget)
+                }
+                // Only SELECT-family statements are ever inserted.
+                _ => Err(XdmError::internal(
+                    "non-SELECT statement in plan cache".to_string(),
+                )),
+            };
+        }
+        let stmt = parse_sql(sql)
+            .map_err(|e| XdmError::new(ErrorCode::XPST0003, e.to_string()))?;
+        match stmt {
             SqlStmt::Values(exprs) => {
                 let empty = RowCtx::default();
                 let mut row = Vec::new();
                 for e in exprs {
-                    row.push(self.eval_expr(&e, &empty)?);
+                    row.push(self.eval_expr(&e, &empty, budget)?);
                 }
                 Ok(SqlResult {
                     columns: (1..=row.len()).map(|i| format!("C{i}")).collect(),
@@ -344,7 +409,7 @@ impl SqlSession {
                 self.obs.incr(Counter::PlanCacheMisses);
                 let trace = self.obs.trace();
                 let plan = self.plan_select_traced(&sel, &trace)?;
-                let result = self.run_select_planned(&sel, &plan, false, &trace)?;
+                let result = self.run_select_planned(&sel, &plan, false, &trace, budget)?;
                 self.cache_stmt(sql, SqlStmt::Select(sel), plan);
                 Ok(result)
             }
@@ -359,9 +424,15 @@ impl SqlSession {
                 self.obs.incr(Counter::PlanCacheMisses);
                 let trace = Trace::recording();
                 let plan = self.plan_select_traced(&sel, &trace)?;
-                let result = self.explain_analyze_planned(&sel, &plan, false, &trace)?;
+                let result = self.explain_analyze_planned(&sel, &plan, false, &trace, budget)?;
                 self.cache_stmt(sql, SqlStmt::ExplainAnalyze(sel), plan);
                 Ok(result)
+            }
+            SqlStmt::CreateTable { .. } | SqlStmt::CreateIndex { .. } | SqlStmt::Insert { .. } => {
+                Err(XdmError::new(
+                    ErrorCode::SqlType,
+                    "write statement in a read-only execution context",
+                ))
             }
         }
     }
@@ -386,8 +457,9 @@ impl SqlSession {
         plan: &SqlPlan,
         cache_hit: bool,
         trace: &Trace,
+        budget: &Arc<xqdb_xdm::Budget>,
     ) -> Result<SqlResult, XdmError> {
-        let result = self.run_select_planned(sel, plan, cache_hit, trace)?;
+        let result = self.run_select_planned(sel, plan, cache_hit, trace, budget)?;
         let mut report = render_plan(plan);
         render_execution_sections(&mut report, &result.stats, trace);
         render_doctor_section(&mut report, &diagnose(&plan.rejections, &plan.notes));
@@ -607,6 +679,7 @@ impl SqlSession {
         plan: &SqlPlan,
         cache_hit: bool,
         trace: &Trace,
+        budget: &Arc<xqdb_xdm::Budget>,
     ) -> Result<SqlResult, XdmError> {
         let mut stats = ExecStats::new();
         stats.plan_cache_hits = u64::from(cache_hit);
@@ -621,9 +694,8 @@ impl SqlSession {
             span.tag_with("source", || source.clone());
             let indexes = self.catalog.indexes_for_source(source);
             let mut pstats = ProbeStats::default();
-            let budget = xqdb_xdm::Budget::unlimited();
             let t0 = self.obs.metrics_enabled().then(Instant::now);
-            let probed = access.execute(&indexes, &mut pstats, &budget);
+            let probed = access.execute(&indexes, &mut pstats, budget);
             if let Some(t0) = t0 {
                 self.obs.observe_ns(Histogram::ProbeNanos, elapsed_ns(t0));
             }
@@ -744,6 +816,7 @@ impl SqlSession {
                             alias,
                             column_aliases,
                             base,
+                            budget,
                         )?;
                         next.extend(produced);
                     }
@@ -766,7 +839,7 @@ impl SqlSession {
                 let task = |i: usize| {
                     let mut out = Vec::with_capacity(ranges[i].len());
                     for ctx in &rows_ref[ranges[i].clone()] {
-                        out.push(self.eval_cond(cond, ctx)? == Some(true));
+                        out.push(self.eval_cond(cond, ctx, budget)? == Some(true));
                     }
                     Ok::<_, XdmError>(out)
                 };
@@ -797,7 +870,7 @@ impl SqlSession {
                 for ctx in rows {
                     let pass = match &sel.where_cond {
                         None => true,
-                        Some(c) => self.eval_cond(c, &ctx)? == Some(true),
+                        Some(c) => self.eval_cond(c, &ctx, budget)? == Some(true),
                     };
                     if pass {
                         kept.push(ctx);
@@ -834,7 +907,7 @@ impl SqlSession {
                         if ri == 0 {
                             columns.push(alias.clone().unwrap_or_else(|| default_name(expr, ii)));
                         }
-                        row.push(self.eval_expr(expr, ctx)?);
+                        row.push(self.eval_expr(expr, ctx, budget)?);
                     }
                 }
             }
@@ -857,6 +930,7 @@ impl SqlSession {
         Ok(SqlResult { columns, rows: out_rows, message: None, stats, trace: trace.clone() })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn expand_xmltable(
         &self,
         row_query: &Query,
@@ -865,8 +939,9 @@ impl SqlSession {
         alias: &str,
         column_aliases: &[String],
         base: &RowCtx,
+        budget: &Arc<xqdb_xdm::Budget>,
     ) -> Result<Vec<RowCtx>, XdmError> {
-        let ctx = self.passing_context(passing, base)?;
+        let ctx = self.passing_context(passing, base, budget)?;
         let items = eval_query(row_query, &self.catalog.db, &ctx)?;
         let mut out = Vec::new();
         for item in items {
@@ -877,6 +952,7 @@ impl SqlSession {
                     .cloned()
                     .unwrap_or_else(|| col.name.clone());
                 let col_ctx = DynamicContext::with_variables(HashMap::new())
+                    .with_budget(budget.clone())
                     .with_focus(item.clone(), 1, 1);
                 let seq = eval_query(&col.path, &self.catalog.db, &col_ctx)?;
                 let value = match &col.ty {
@@ -900,21 +976,29 @@ impl SqlSession {
         Ok(out)
     }
 
-    /// Evaluate the PASSING clause into a dynamic context.
+    /// Evaluate the PASSING clause into a dynamic context carrying the
+    /// statement's budget, so embedded XQuery evaluation observes the
+    /// deadline, step cap, and cancellation token.
     fn passing_context(
         &self,
         passing: &[(String, SqlExpr)],
         row: &RowCtx,
+        budget: &Arc<xqdb_xdm::Budget>,
     ) -> Result<DynamicContext, XdmError> {
         let mut vars = HashMap::new();
         for (name, expr) in passing {
-            let v = self.eval_expr(expr, row)?;
+            let v = self.eval_expr(expr, row, budget)?;
             vars.insert(ExpandedName::local(name.as_str()), v.to_sequence()?);
         }
-        Ok(DynamicContext::with_variables(vars))
+        Ok(DynamicContext::with_variables(vars).with_budget(budget.clone()))
     }
 
-    fn eval_expr(&self, expr: &SqlExpr, row: &RowCtx) -> Result<Scalar, XdmError> {
+    fn eval_expr(
+        &self,
+        expr: &SqlExpr,
+        row: &RowCtx,
+        budget: &Arc<xqdb_xdm::Budget>,
+    ) -> Result<Scalar, XdmError> {
         match expr {
             SqlExpr::Integer(i) => Ok(Scalar::Integer(*i)),
             SqlExpr::Double(d) => Ok(Scalar::Double(*d)),
@@ -922,39 +1006,47 @@ impl SqlSession {
             SqlExpr::Null => Ok(Scalar::Null),
             SqlExpr::Column { qualifier, name } => row.lookup(qualifier.as_deref(), name),
             SqlExpr::XmlQuery { query, passing } => {
-                let ctx = self.passing_context(passing, row)?;
+                let ctx = self.passing_context(passing, row, budget)?;
                 let seq = eval_query(query, &self.catalog.db, &ctx)?;
                 Ok(Scalar::Xml(seq))
             }
             SqlExpr::XmlCast { expr, ty } => {
-                let v = self.eval_expr(expr, row)?;
+                let v = self.eval_expr(expr, row, budget)?;
                 xmlcast(&v, ty)
             }
         }
     }
 
-    /// Three-valued condition evaluation (`None` = UNKNOWN).
-    fn eval_cond(&self, cond: &SqlCond, row: &RowCtx) -> Result<Option<bool>, XdmError> {
+    /// Three-valued condition evaluation (`None` = UNKNOWN). Each row
+    /// condition ticks the statement budget so a deadline interrupts even
+    /// pure-SQL scans that never enter XQuery evaluation.
+    fn eval_cond(
+        &self,
+        cond: &SqlCond,
+        row: &RowCtx,
+        budget: &Arc<xqdb_xdm::Budget>,
+    ) -> Result<Option<bool>, XdmError> {
+        budget.tick()?;
         match cond {
             SqlCond::Cmp(op, a, b) => {
-                let l = self.eval_expr(a, row)?;
-                let r = self.eval_expr(b, row)?;
+                let l = self.eval_expr(a, row, budget)?;
+                let r = self.eval_expr(b, row, budget)?;
                 let ord = sql_compare(&to_stored_for_cmp(&l)?, &to_stored_for_cmp(&r)?)?;
                 Ok(ord.map(|o| op.test(Some(o))))
             }
             SqlCond::XmlExists { query, passing } => {
-                let ctx = self.passing_context(passing, row)?;
+                let ctx = self.passing_context(passing, row, budget)?;
                 let seq = eval_query(query, &self.catalog.db, &ctx)?;
                 // XMLEXISTS is a pure non-emptiness test — NOT the EBV.
                 // `false()` is a non-empty sequence, so it passes (Query 9).
                 Ok(Some(!seq.is_empty()))
             }
             SqlCond::And(a, b) => {
-                let l = self.eval_cond(a, row)?;
+                let l = self.eval_cond(a, row, budget)?;
                 if l == Some(false) {
                     return Ok(Some(false));
                 }
-                let r = self.eval_cond(b, row)?;
+                let r = self.eval_cond(b, row, budget)?;
                 Ok(match (l, r) {
                     (Some(true), Some(true)) => Some(true),
                     (_, Some(false)) => Some(false),
@@ -962,18 +1054,18 @@ impl SqlSession {
                 })
             }
             SqlCond::Or(a, b) => {
-                let l = self.eval_cond(a, row)?;
+                let l = self.eval_cond(a, row, budget)?;
                 if l == Some(true) {
                     return Ok(Some(true));
                 }
-                let r = self.eval_cond(b, row)?;
+                let r = self.eval_cond(b, row, budget)?;
                 Ok(match (l, r) {
                     (_, Some(true)) => Some(true),
                     (Some(false), Some(false)) => Some(false),
                     _ => None,
                 })
             }
-            SqlCond::Not(c) => Ok(self.eval_cond(c, row)?.map(|b| !b)),
+            SqlCond::Not(c) => Ok(self.eval_cond(c, row, budget)?.map(|b| !b)),
         }
     }
 }

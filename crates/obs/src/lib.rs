@@ -129,6 +129,27 @@ impl Obs {
         }
     }
 
+    /// Increment an up/down gauge by one. No-op when metrics are off.
+    #[inline]
+    pub fn inc_gauge(&self, gauge: Gauge) {
+        if let Some(inner) = &self.inner {
+            if inner.config.metrics {
+                inner.metrics.inc_gauge(gauge);
+            }
+        }
+    }
+
+    /// Decrement an up/down gauge by one (saturating at zero). No-op when
+    /// metrics are off.
+    #[inline]
+    pub fn dec_gauge(&self, gauge: Gauge) {
+        if let Some(inner) = &self.inner {
+            if inner.config.metrics {
+                inner.metrics.dec_gauge(gauge);
+            }
+        }
+    }
+
     /// Record one observation (in nanoseconds) into a histogram. No-op when
     /// metrics are off.
     #[inline]

@@ -59,11 +59,18 @@ pub enum Counter {
     PlanCacheHits,
     /// Query texts parsed and planned because the cache had no entry.
     PlanCacheMisses,
+    /// Server requests admitted past admission control (a lease was granted).
+    SessionsAdmitted,
+    /// Server requests shed by admission control (queue full or the queue
+    /// deadline expired before a lease freed up).
+    SessionsShed,
+    /// Admitted server requests aborted by their per-request deadline.
+    RequestsTimedOut,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 26] = [
         Counter::QueriesExecuted,
         Counter::SqlStatements,
         Counter::IndexProbes,
@@ -87,6 +94,9 @@ impl Counter {
         Counter::PrefilterDocsSkipped,
         Counter::PlanCacheHits,
         Counter::PlanCacheMisses,
+        Counter::SessionsAdmitted,
+        Counter::SessionsShed,
+        Counter::RequestsTimedOut,
     ];
 
     /// Prometheus series name.
@@ -115,6 +125,9 @@ impl Counter {
             Counter::PrefilterDocsSkipped => "xqdb_prefilter_docs_skipped_total",
             Counter::PlanCacheHits => "xqdb_plan_cache_hits_total",
             Counter::PlanCacheMisses => "xqdb_plan_cache_misses_total",
+            Counter::SessionsAdmitted => "xqdb_sessions_admitted_total",
+            Counter::SessionsShed => "xqdb_sessions_shed_total",
+            Counter::RequestsTimedOut => "xqdb_requests_timed_out_total",
         }
     }
 
@@ -146,28 +159,37 @@ impl Counter {
             }
             Counter::PlanCacheHits => "query texts answered from the plan cache",
             Counter::PlanCacheMisses => "query texts parsed and planned on a cache miss",
+            Counter::SessionsAdmitted => "server requests admitted past admission control",
+            Counter::SessionsShed => "server requests shed by admission control",
+            Counter::RequestsTimedOut => "admitted requests aborted by their deadline",
         }
     }
 }
 
-/// Last-write-wins gauges.
+/// Gauges. `ParallelWorkers`/`ParallelShards` are last-write-wins (set);
+/// `ActiveConnections` is a live up/down count maintained with
+/// [`MetricsRegistry::inc_gauge`]/[`MetricsRegistry::dec_gauge`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Gauge {
     /// Workers used by the most recent parallel phase.
     ParallelWorkers,
     /// Shards executed by the most recent parallel phase.
     ParallelShards,
+    /// Server connections currently open (accepted and not yet closed).
+    ActiveConnections,
 }
 
 impl Gauge {
     /// Every gauge, in export order.
-    pub const ALL: [Gauge; 2] = [Gauge::ParallelWorkers, Gauge::ParallelShards];
+    pub const ALL: [Gauge; 3] =
+        [Gauge::ParallelWorkers, Gauge::ParallelShards, Gauge::ActiveConnections];
 
     /// Prometheus series name.
     pub fn name(self) -> &'static str {
         match self {
             Gauge::ParallelWorkers => "xqdb_parallel_workers",
             Gauge::ParallelShards => "xqdb_parallel_shards",
+            Gauge::ActiveConnections => "xqdb_active_connections",
         }
     }
 
@@ -176,6 +198,7 @@ impl Gauge {
         match self {
             Gauge::ParallelWorkers => "workers used by the most recent parallel phase",
             Gauge::ParallelShards => "shards executed by the most recent parallel phase",
+            Gauge::ActiveConnections => "server connections currently open",
         }
     }
 }
@@ -286,6 +309,23 @@ impl MetricsRegistry {
     #[inline]
     pub fn set_gauge(&self, gauge: Gauge, v: u64) {
         self.gauges[gauge as usize].store(v, Ordering::Relaxed);
+    }
+
+    /// Increment an up/down gauge by one.
+    #[inline]
+    pub fn inc_gauge(&self, gauge: Gauge) {
+        self.gauges[gauge as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement an up/down gauge by one, saturating at zero: a stray
+    /// double-decrement must not wrap to `u64::MAX` in an exporter.
+    #[inline]
+    pub fn dec_gauge(&self, gauge: Gauge) {
+        let _ = self.gauges[gauge as usize].fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |v| Some(v.saturating_sub(1)),
+        );
     }
 
     /// Record one duration observation.
@@ -434,6 +474,18 @@ mod tests {
         assert_eq!(snap.counter(Counter::IndexProbes), 5);
         assert_eq!(snap.counter(Counter::QueriesExecuted), 0);
         assert_eq!(snap.gauge(Gauge::ParallelWorkers), 2, "gauges are last-write-wins");
+    }
+
+    #[test]
+    fn up_down_gauge_saturates_at_zero() {
+        let reg = MetricsRegistry::new();
+        reg.inc_gauge(Gauge::ActiveConnections);
+        reg.inc_gauge(Gauge::ActiveConnections);
+        reg.dec_gauge(Gauge::ActiveConnections);
+        assert_eq!(reg.snapshot().gauge(Gauge::ActiveConnections), 1);
+        reg.dec_gauge(Gauge::ActiveConnections);
+        reg.dec_gauge(Gauge::ActiveConnections); // stray: must not wrap
+        assert_eq!(reg.snapshot().gauge(Gauge::ActiveConnections), 0);
     }
 
     #[test]

@@ -104,6 +104,43 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// A detached, named service thread — the long-lived complement to the
+/// scoped [`WorkerPool`]. The pool is for bounded fork/join phases inside a
+/// query; a service thread is for components that outlive any one call
+/// (the server's accept loop, one handler per client connection). Keeping
+/// this constructor here keeps *all* thread creation in the runtime crate
+/// (enforced by `scripts/lint.sh`).
+#[derive(Debug)]
+pub struct ServiceThread<T> {
+    handle: std::thread::JoinHandle<T>,
+}
+
+impl<T> ServiceThread<T> {
+    /// Wait for the service to finish and return its result, or `None` if
+    /// the service thread panicked. Callers that must prove "never panics"
+    /// (the server chaos matrix) assert `Some`.
+    pub fn join(self) -> Option<T> {
+        self.handle.join().ok()
+    }
+
+    /// Has the service finished (its closure returned or panicked)?
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+/// Spawn a named detached service thread. Fails (rather than panicking)
+/// when the OS refuses a thread — under a connection burst the server turns
+/// that into a shed response instead of dying.
+pub fn spawn_service<T, F>(name: &str, f: F) -> std::io::Result<ServiceThread<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let handle = std::thread::Builder::new().name(name.to_string()).spawn(f)?;
+    Ok(ServiceThread { handle })
+}
+
 /// A scoped worker pool. Holds no threads while idle: each [`WorkerPool::run`]
 /// call spawns scoped workers, joins them, and returns — queries are
 /// long-lived relative to thread start-up, and a threadless idle state keeps
@@ -405,6 +442,14 @@ mod tests {
             total <= 1000,
             "workers together must not tick past the shared cap (got {total})"
         );
+    }
+
+    #[test]
+    fn service_thread_joins_with_result_and_reports_panics_as_none() {
+        let ok = spawn_service("svc-test", || 41 + 1).unwrap();
+        assert_eq!(ok.join(), Some(42));
+        let boom = spawn_service("svc-panic", || -> u32 { panic!("boom") }).unwrap();
+        assert_eq!(boom.join(), None, "a panicking service joins as None");
     }
 
     #[test]

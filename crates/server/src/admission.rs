@@ -1,0 +1,190 @@
+//! Admission control: the global resource budget split into per-request
+//! leases.
+//!
+//! The server is willing to run at most `max_sessions` statements at once
+//! (each under its own per-request [`xqdb_xdm::Limits`], so the worst-case
+//! concurrent work is `max_sessions × session_budget`). Requests beyond
+//! capacity wait in a bounded queue with a deadline; a full queue or an
+//! expired deadline sheds the request with a typed [`Shed`] — the caller
+//! turns that into a `ServerBusy{retry_after_ms}` response and the
+//! connection stays open. Shedding is load control, not failure: the
+//! client is told exactly when to come back.
+//!
+//! The implementation is a counting semaphore over `Mutex` + `Condvar`
+//! (std-only, no async runtime): a [`Lease`] releases its slot and wakes
+//! one waiter on drop, so a panicking handler can never strand capacity.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// All execution slots busy and the wait queue at `queue_depth`.
+    QueueFull,
+    /// Queued, but no slot freed before the queue deadline.
+    QueueTimeout,
+}
+
+/// A typed shed decision, carrying the client back-off hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// Why the request was not admitted.
+    pub reason: ShedReason,
+    /// Hint for the client's retry delay in milliseconds.
+    pub retry_after_ms: u32,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Leases currently held.
+    active: usize,
+    /// Requests currently blocked in [`Admission::admit`].
+    waiting: usize,
+}
+
+/// The admission gate. Shared by every connection handler of a server.
+#[derive(Debug)]
+pub struct Admission {
+    max_sessions: usize,
+    queue_depth: usize,
+    queue_timeout: Duration,
+    retry_after_ms: u32,
+    state: Mutex<State>,
+    freed: Condvar,
+}
+
+impl Admission {
+    /// A gate admitting `max_sessions` concurrent requests, queueing up to
+    /// `queue_depth` more for at most `queue_timeout` each.
+    pub fn new(
+        max_sessions: usize,
+        queue_depth: usize,
+        queue_timeout: Duration,
+        retry_after_ms: u32,
+    ) -> Self {
+        Admission {
+            max_sessions: max_sessions.max(1),
+            queue_depth,
+            queue_timeout,
+            retry_after_ms,
+            state: Mutex::new(State::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Try to acquire an execution lease, queueing up to the deadline.
+    pub fn admit(&self) -> Result<Lease<'_>, Shed> {
+        let shed = |reason| Shed { reason, retry_after_ms: self.retry_after_ms };
+        // A poisoned lock means a handler panicked while holding it; shed
+        // rather than propagate the panic into every future request.
+        let Ok(mut st) = self.state.lock() else {
+            return Err(shed(ShedReason::QueueFull));
+        };
+        if st.active < self.max_sessions {
+            st.active += 1;
+            return Ok(Lease { gate: self });
+        }
+        if st.waiting >= self.queue_depth {
+            return Err(shed(ShedReason::QueueFull));
+        }
+        st.waiting += 1;
+        let deadline = Instant::now() + self.queue_timeout;
+        loop {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                st.waiting -= 1;
+                return Err(shed(ShedReason::QueueTimeout));
+            };
+            let Ok((guard, _)) = self.freed.wait_timeout(st, remaining) else {
+                return Err(shed(ShedReason::QueueFull));
+            };
+            st = guard;
+            if st.active < self.max_sessions {
+                st.waiting -= 1;
+                st.active += 1;
+                return Ok(Lease { gate: self });
+            }
+            if Instant::now() >= deadline {
+                st.waiting -= 1;
+                return Err(shed(ShedReason::QueueTimeout));
+            }
+        }
+    }
+
+    /// Leases currently held (for tests and the drain report).
+    pub fn active(&self) -> usize {
+        self.state.lock().map(|s| s.active).unwrap_or(0)
+    }
+
+    /// Requests currently queued.
+    pub fn waiting(&self) -> usize {
+        self.state.lock().map(|s| s.waiting).unwrap_or(0)
+    }
+
+    fn release(&self) {
+        if let Ok(mut st) = self.state.lock() {
+            st.active = st.active.saturating_sub(1);
+        }
+        self.freed.notify_one();
+    }
+}
+
+/// One admitted request's slot. Dropping it (normally or during a panic
+/// unwind) releases the slot and wakes one queued waiter.
+#[derive(Debug)]
+pub struct Lease<'a> {
+    gate: &'a Admission,
+}
+
+impl Drop for Lease<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(max: usize, depth: usize, timeout_ms: u64) -> Admission {
+        Admission::new(max, depth, Duration::from_millis(timeout_ms), 50)
+    }
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds_on_full_queue() {
+        let g = gate(2, 0, 10);
+        let a = g.admit().expect("slot 1");
+        let _b = g.admit().expect("slot 2");
+        let shed = g.admit().expect_err("queue depth 0 sheds immediately");
+        assert_eq!(shed.reason, ShedReason::QueueFull);
+        assert_eq!(shed.retry_after_ms, 50);
+        drop(a);
+        assert!(g.admit().is_ok(), "released slot is reusable");
+    }
+
+    #[test]
+    fn queue_timeout_sheds_with_deadline_reason() {
+        let g = gate(1, 4, 30);
+        let _held = g.admit().expect("slot");
+        let t0 = Instant::now();
+        let shed = g.admit().expect_err("no slot ever frees");
+        assert_eq!(shed.reason, ShedReason::QueueTimeout);
+        assert!(t0.elapsed() >= Duration::from_millis(25), "waited for the deadline");
+        assert_eq!(g.waiting(), 0, "the waiter deregistered itself");
+    }
+
+    #[test]
+    fn lease_drop_releases_even_across_threads() {
+        use std::sync::Arc;
+        let g = Arc::new(gate(1, 8, 2_000));
+        let held = g.admit().expect("slot");
+        let g2 = Arc::clone(&g);
+        let waiter = xqdb_runtime::spawn_service("admit-test", move || g2.admit().is_ok())
+            .expect("spawn");
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(g.waiting(), 1);
+        drop(held);
+        assert_eq!(waiter.join(), Some(true), "queued waiter got the freed slot");
+        assert_eq!(g.active(), 0, "lease dropped inside the thread released too");
+    }
+}

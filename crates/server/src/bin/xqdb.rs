@@ -1,7 +1,7 @@
 //! `xqdb` — an interactive SQL/XML + XQuery shell over the engine.
 //!
 //! ```console
-//! $ cargo run -p xqdb-core --bin xqdb
+//! $ cargo run -p xqdb-server --bin xqdb
 //! xqdb> create table orders (ordid integer, orddoc XML);
 //! xqdb> CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double;
 //! xqdb> INSERT INTO orders VALUES (1, '<order><lineitem price="250"/></order>');
@@ -44,6 +44,15 @@
 //! `explain analyze xquery <expr>;` and `EXPLAIN ANALYZE SELECT ...;` execute
 //! the statement and print the plan with actual timings, counters and the
 //! query doctor's index-eligibility diagnoses.
+//!
+//! Server mode:
+//!
+//! - `xqdb serve [--addr HOST:PORT] [--max-sessions N] [--session-budget N]
+//!   [--queue-depth N] [--queue-timeout-ms N] [--request-timeout-ms N]
+//!   [--threads N] [--data-dir PATH] [--fsync MODE] [--metrics-json PATH]`
+//!   runs the concurrent TCP front end (see `xqdb-server`); `SIGTERM`
+//!   triggers a graceful drain (stop accepting, finish in-flight requests,
+//!   checkpoint, exit 0).
 
 use std::io::{self, BufRead, Write};
 
@@ -142,6 +151,10 @@ fn main() {
             std::process::exit(2);
         };
         std::process::exit(run_recover(dir));
+    }
+    // `xqdb serve ...` — run the concurrent TCP front end until SIGTERM.
+    if args.first().map(String::as_str) == Some("serve") {
+        std::process::exit(run_serve(&args[1..]));
     }
     let limits = match CliLimits::parse(&args) {
         Ok(l) => l,
@@ -253,6 +266,192 @@ fn run_recover(dir: &str) -> i32 {
             1
         }
     }
+}
+
+/// Graceful-shutdown signals, std-only: a raw `signal(2)` registration
+/// that flips an atomic the serve loop polls. `SIGINT` is included so an
+/// interactive ^C drains the same way `SIGTERM` does.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_term as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    pub fn requested() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+/// Server-mode flags.
+struct ServeOpts {
+    addr: String,
+    cfg: xqdb_server::ServerConfig,
+    threads: Option<usize>,
+    data_dir: Option<String>,
+    fsync: Option<xqdb_core::FsyncMode>,
+    metrics_json: Option<String>,
+}
+
+impl ServeOpts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = ServeOpts {
+            addr: "127.0.0.1:0".to_string(),
+            cfg: xqdb_server::ServerConfig::default(),
+            threads: None,
+            data_dir: None,
+            fsync: None,
+            metrics_json: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut text = |flag: &str| -> Result<String, String> {
+                it.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--addr" => out.addr = text("--addr")?,
+                "--max-sessions" => {
+                    out.cfg.max_sessions = parse_num(&text("--max-sessions")?, "--max-sessions")?
+                }
+                "--session-budget" => {
+                    out.cfg.session_budget =
+                        Some(parse_num(&text("--session-budget")?, "--session-budget")?)
+                }
+                "--queue-depth" => {
+                    out.cfg.queue_depth = parse_num(&text("--queue-depth")?, "--queue-depth")?
+                }
+                "--queue-timeout-ms" => {
+                    out.cfg.queue_timeout = std::time::Duration::from_millis(parse_num(
+                        &text("--queue-timeout-ms")?,
+                        "--queue-timeout-ms",
+                    )?)
+                }
+                "--request-timeout-ms" => {
+                    out.cfg.request_timeout = Some(std::time::Duration::from_millis(
+                        parse_num(&text("--request-timeout-ms")?, "--request-timeout-ms")?,
+                    ))
+                }
+                "--threads" => out.threads = Some(parse_num(&text("--threads")?, "--threads")?),
+                "--data-dir" => out.data_dir = Some(text("--data-dir")?),
+                "--fsync" => {
+                    let mode = text("--fsync")?;
+                    out.fsync = Some(xqdb_core::FsyncMode::parse(&mode).ok_or_else(|| {
+                        format!("--fsync must be always, batch or off (got {mode:?})")
+                    })?)
+                }
+                "--metrics-json" => out.metrics_json = Some(text("--metrics-json")?),
+                "--help" | "-h" => {
+                    return Err("usage: xqdb serve [--addr HOST:PORT] [--max-sessions N] [--session-budget N] [--queue-depth N] [--queue-timeout-ms N] [--request-timeout-ms N] [--threads N] [--data-dir PATH] [--fsync always|batch|off] [--metrics-json PATH]"
+                        .to_string())
+                }
+                other => return Err(format!("unknown serve flag {other}; try --help")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse::<T>().map_err(|_| format!("{flag} requires a non-negative integer"))
+}
+
+/// `xqdb serve`: run the TCP front end until SIGTERM/SIGINT, then drain.
+fn run_serve(args: &[String]) -> i32 {
+    let opts = match ServeOpts::parse(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.starts_with("usage:") {
+                println!("{msg}");
+                return 0;
+            }
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let mut session = match &opts.data_dir {
+        None => SqlSession::new(),
+        Some(dir) => {
+            let config = xqdb_core::WalConfig {
+                fsync: opts.fsync.unwrap_or_default(),
+                ..Default::default()
+            };
+            match SqlSession::open_durable(std::path::Path::new(dir), config) {
+                Ok((session, report)) => {
+                    print!("{}", report.render());
+                    session
+                }
+                Err(e) => {
+                    eprintln!("error: could not open data directory {dir}: {e}");
+                    return 2;
+                }
+            }
+        }
+    };
+    session.catalog.runtime =
+        xqdb_runtime::RuntimeConfig::with_threads(opts.threads.unwrap_or(1));
+    let obs = Obs::new(ObsConfig { metrics: true, tracing: false });
+    session.set_obs(obs.clone());
+    sig::install();
+    let handle = match xqdb_server::Server::start(&opts.addr, opts.cfg.clone(), session) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: could not bind {}: {e}", opts.addr);
+            return 2;
+        }
+    };
+    // The harness (and scripts) read this line to learn the bound port.
+    println!("listening on {}", handle.local_addr());
+    io::stdout().flush().ok();
+    while !sig::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("draining: accepting no new connections, finishing in-flight requests");
+    let report = handle.shutdown();
+    println!(
+        "drained: {} connection(s) served, {} handler panic(s)",
+        report.connections_served, report.connection_panics
+    );
+    match (&report.checkpoint_seq, &report.checkpoint_error) {
+        (Some(seq), _) => println!("checkpoint written: snapshot covers sequence {seq}"),
+        (None, Some(e)) => eprintln!("warning: shutdown checkpoint failed: {e}"),
+        (None, None) => {}
+    }
+    if let Some(path) = &opts.metrics_json {
+        if let Some(snap) = obs.metrics_snapshot() {
+            if let Err(e) = std::fs::write(path, snap.to_json()) {
+                eprintln!("warning: could not write metrics to {path}: {e}");
+            }
+        }
+    }
+    if report.accept_panicked || report.connection_panics > 0 {
+        return 1;
+    }
+    0
 }
 
 /// Rewrite the metrics-JSON snapshot, if the session asked for one.

@@ -1,0 +1,245 @@
+//! Wire-level clients for tests and benches: a well-behaved [`Client`]
+//! plus a [`ChaosClient`] that injects connection-level faults through an
+//! [`xqdb_xdm::FaultInjector`].
+//!
+//! The chaos client is the offensive half of the chaos matrix: each
+//! [`ConnectionFault`] variant misbehaves on the wire in a specific way
+//! (vanishing mid-frame, trickling bytes, flipping bits, lying about
+//! frame sizes) and reports what it did, so the test can assert the
+//! server's response — a typed protocol error or a clean close, never a
+//! panic, hang, or leaked session.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use xqdb_xdm::{ConnectionFault, FaultInjector};
+
+use crate::protocol::{
+    self, FrameReadError, Request, Response, FRAME_HEADER, MAX_FRAME,
+};
+
+/// A well-behaved wire client: one framed request, one framed response.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// Client-side failure modes for a request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or writing failed.
+    Io(std::io::Error),
+    /// The server closed or the response frame was unreadable.
+    Frame(FrameReadError),
+    /// The response frame decoded to garbage.
+    Decode(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Frame(e) => write!(f, "frame: {e:?}"),
+            ClientError::Decode(e) => write!(f, "decode: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connect to a server address (e.g. from `ServerHandle::local_addr`).
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        Ok(Client { stream: TcpStream::connect(addr)? })
+    }
+
+    /// Send one statement and wait for the server's typed response.
+    pub fn statement(&mut self, text: &str) -> Result<Response, ClientError> {
+        self.roundtrip(&Request::Statement(text.to_string()))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.roundtrip(&Request::Ping)
+    }
+
+    /// Write a statement frame without waiting for the reply. Paired with
+    /// [`Client::read_reply`], this lets tests act (e.g. signal the server)
+    /// while the request is in flight.
+    pub fn send_statement(&mut self, text: &str) -> Result<(), ClientError> {
+        let req = Request::Statement(text.to_string());
+        protocol::write_frame(&mut self.stream, &req.encode(), Duration::from_secs(10))?;
+        Ok(())
+    }
+
+    /// Read the reply to a previously sent statement.
+    pub fn read_reply(&mut self) -> Result<Response, ClientError> {
+        read_response(&mut self.stream)
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        protocol::write_frame(&mut self.stream, &req.encode(), Duration::from_secs(10))?;
+        read_response(&mut self.stream)
+    }
+}
+
+/// Read and decode one response frame with a generous client-side deadline.
+pub fn read_response(stream: &mut TcpStream) -> Result<Response, ClientError> {
+    let payload =
+        protocol::read_frame(stream, Duration::from_millis(50), Duration::from_secs(10), &|| {
+            false
+        })
+        .map_err(ClientError::Frame)?;
+    Response::decode(&payload).map_err(|e| ClientError::Decode(e.to_string()))
+}
+
+/// What one chaos request did.
+#[derive(Debug)]
+pub enum ChaosOutcome {
+    /// The injector let the request through; here is the server's answer.
+    Response(Response),
+    /// The injector fired: the client misbehaved as `ConnectionFault`
+    /// describes. If the server sent a typed protocol error before the
+    /// connection died, it is included.
+    FaultInjected(ConnectionFault, Option<Response>),
+}
+
+/// A client that misbehaves on the wire per its configured fault whenever
+/// the shared injector fires, reconnecting as needed afterwards.
+#[derive(Debug)]
+pub struct ChaosClient {
+    addr: String,
+    fault: ConnectionFault,
+    injector: Arc<FaultInjector>,
+    stream: Option<TcpStream>,
+}
+
+impl ChaosClient {
+    /// A chaos client for `addr` injecting `fault` whenever `injector`
+    /// fires. Connects lazily.
+    pub fn new(addr: &str, fault: ConnectionFault, injector: Arc<FaultInjector>) -> Self {
+        ChaosClient { addr: addr.to_string(), fault, injector, stream: None }
+    }
+
+    fn stream(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            self.stream = Some(TcpStream::connect(&self.addr)?);
+        }
+        match self.stream.as_mut() {
+            Some(s) => Ok(s),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "chaos client stream missing after connect",
+            )),
+        }
+    }
+
+    /// Send `text` as a statement — faithfully, or corrupted per the
+    /// configured fault when the injector fires.
+    pub fn statement(&mut self, text: &str) -> Result<ChaosOutcome, ClientError> {
+        if !self.injector.should_fail() {
+            let stream = self.stream()?;
+            let req = Request::Statement(text.to_string());
+            protocol::write_frame(stream, &req.encode(), Duration::from_secs(10))?;
+            return match read_response(stream) {
+                Ok(resp) => Ok(ChaosOutcome::Response(resp)),
+                Err(e) => {
+                    // The server may close after a protocol error on a
+                    // previous exchange; drop the stream so the next call
+                    // reconnects, and surface the error.
+                    self.stream = None;
+                    Err(e)
+                }
+            };
+        }
+        let fault = self.fault;
+        let outcome = self.inject(text, fault);
+        // Every fault leaves the stream in an unknown state; reconnect
+        // next time.
+        self.stream = None;
+        outcome.map(|resp| ChaosOutcome::FaultInjected(fault, resp))
+    }
+
+    /// Misbehave per `fault`; returns the server's typed protocol error if
+    /// one arrived before the connection died.
+    fn inject(
+        &mut self,
+        text: &str,
+        fault: ConnectionFault,
+    ) -> Result<Option<Response>, ClientError> {
+        let frame = protocol::encode_frame(&Request::Statement(text.to_string()).encode());
+        match fault {
+            ConnectionFault::DisconnectMidFrame => {
+                let stream = self.stream()?;
+                // Send the header plus half the payload, then vanish.
+                let cut = FRAME_HEADER + (frame.len() - FRAME_HEADER) / 2;
+                stream.write_all(&frame[..cut])?;
+                stream.flush()?;
+                let _ = stream.shutdown(Shutdown::Both);
+                Ok(None)
+            }
+            ConnectionFault::SlowLoris => {
+                // Trickle the frame one byte at a time, slower than the
+                // server's whole-frame deadline allows; expect a typed
+                // ReadTimeout (or a close once the server gives up).
+                let stream = self.stream()?;
+                for chunk in frame.chunks(1).take(64) {
+                    // Writes start failing once the server gives up and
+                    // closes — stop trickling and read its parting word.
+                    if stream.write_all(chunk).is_err() || stream.flush().is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+                Ok(read_response(stream).ok())
+            }
+            ConnectionFault::CorruptFrame => {
+                let mut bad = frame.clone();
+                // Flip one payload bit; the header CRC no longer matches.
+                let idx = FRAME_HEADER + (text.len() % (bad.len() - FRAME_HEADER));
+                bad[idx] ^= 0x40;
+                let stream = self.stream()?;
+                stream.write_all(&bad)?;
+                stream.flush()?;
+                Ok(read_response(stream).ok())
+            }
+            ConnectionFault::OversizedFrame => {
+                // A header claiming a frame the server must refuse.
+                let claimed = (MAX_FRAME as u32) + 1;
+                let mut header = Vec::with_capacity(FRAME_HEADER);
+                header.extend_from_slice(&claimed.to_le_bytes());
+                header.extend_from_slice(&0u32.to_le_bytes());
+                let stream = self.stream()?;
+                stream.write_all(&header)?;
+                stream.flush()?;
+                Ok(read_response(stream).ok())
+            }
+            ConnectionFault::Burst => {
+                // Fire several back-to-back requests on one connection
+                // without waiting; drain whatever responses come back.
+                let stream = self.stream()?;
+                for _ in 0..4 {
+                    protocol::write_frame(
+                        stream,
+                        &Request::Statement(text.to_string()).encode(),
+                        Duration::from_secs(10),
+                    )?;
+                }
+                let mut last = None;
+                for _ in 0..4 {
+                    match read_response(stream) {
+                        Ok(resp) => last = Some(resp),
+                        Err(_) => break,
+                    }
+                }
+                Ok(last)
+            }
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! The wire protocol: length-prefixed, CRC-framed request/response.
+//!
+//! Every message travels in one frame, mirroring the WAL's on-disk format
+//! (and reusing its CRC-32): `[u32 payload_len LE][u32 crc32(payload) LE]
+//! [payload]`. A frame is validated *before* it is interpreted — a length
+//! beyond [`MAX_FRAME`] is rejected without allocating it, a CRC mismatch
+//! is rejected without decoding — so a malformed or corrupted frame can
+//! produce a typed [`Response::Protocol`] error but never a panic or an
+//! unbounded allocation.
+//!
+//! Decoding is pure slicing over a bounds-checked cursor: the fuzz suite
+//! (`frame_roundtrip.rs`) feeds seeded garbage, truncations, and bit flips
+//! through [`Request::decode`]/[`Response::decode`] and asserts typed
+//! errors only.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use xqdb_wal::crc32;
+
+/// Protocol version carried as the first payload byte of every message.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Maximum frame payload accepted (4 MiB — far above any paper query or
+/// rendered result, far below an allocation-of-death).
+pub const MAX_FRAME: usize = 4 * 1024 * 1024;
+
+/// Frame header bytes: payload length + CRC-32, both little-endian u32.
+pub const FRAME_HEADER: usize = 8;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with `Ok("pong")` without admission.
+    Ping,
+    /// One statement in the shell grammar (SQL, `xquery ...`,
+    /// `explain [analyze] xquery ...`).
+    Statement(String),
+}
+
+const KIND_PING: u8 = 0;
+const KIND_STATEMENT: u8 = 1;
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The statement ran; `body` is its rendered result.
+    Ok {
+        /// Rendered result text (rows, report, or confirmation).
+        body: String,
+    },
+    /// The statement ran and failed with a typed engine error.
+    Error {
+        /// The engine error code's display form (e.g. `xqdb:RESOURCE`).
+        code: String,
+        /// Human-readable context.
+        message: String,
+    },
+    /// Admission control shed the request: the server is at capacity and
+    /// the queue was full or the queue deadline passed. The connection
+    /// stays open; retry after the hinted delay.
+    Busy {
+        /// Client back-off hint in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The frame or its payload was malformed. Sent once, then the server
+    /// closes the connection (the stream may be desynchronized).
+    Protocol {
+        /// What was wrong with the frame.
+        reason: ProtocolReason,
+        /// Human-readable context.
+        message: String,
+    },
+}
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERROR: u8 = 1;
+const STATUS_BUSY: u8 = 2;
+const STATUS_PROTOCOL: u8 = 3;
+
+/// Why a frame was rejected at the protocol layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolReason {
+    /// The payload CRC did not match the header.
+    CrcMismatch,
+    /// The header claimed a payload beyond [`MAX_FRAME`].
+    Oversized,
+    /// The payload did not decode (bad version/kind/UTF-8/truncation).
+    Malformed,
+    /// The frame did not arrive within the read deadline (slow client).
+    ReadTimeout,
+}
+
+impl ProtocolReason {
+    fn to_byte(self) -> u8 {
+        match self {
+            ProtocolReason::CrcMismatch => 0,
+            ProtocolReason::Oversized => 1,
+            ProtocolReason::Malformed => 2,
+            ProtocolReason::ReadTimeout => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, DecodeError> {
+        Ok(match b {
+            0 => ProtocolReason::CrcMismatch,
+            1 => ProtocolReason::Oversized,
+            2 => ProtocolReason::Malformed,
+            3 => ProtocolReason::ReadTimeout,
+            _ => return Err(DecodeError::Malformed("unknown protocol reason")),
+        })
+    }
+}
+
+/// A typed decode failure. Never a panic: every variant is produced by a
+/// bounds-checked read over the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// First payload byte is not [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// Unknown request kind / response status byte.
+    BadKind(u8),
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// The payload ended before a declared field.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            DecodeError::BadUtf8 => f.write_str("string field is not valid UTF-8"),
+            DecodeError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+/// Bounds-checked forward-only reader over a payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Malformed(what))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        let end = self.pos.checked_add(4).ok_or(DecodeError::Malformed(what))?;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Malformed(what))?;
+        self.pos = end;
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(bytes);
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, DecodeError> {
+        let len = self.u32(what)? as usize;
+        let end = self.pos.checked_add(len).ok_or(DecodeError::Malformed(what))?;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Malformed(what))?;
+        self.pos = end;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn finish(&self, what: &'static str) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Malformed(what))
+        }
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Request {
+    /// Encode to a frame payload (version + kind + fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![PROTOCOL_VERSION];
+        match self {
+            Request::Ping => out.push(KIND_PING),
+            Request::Statement(text) => {
+                out.push(KIND_STATEMENT);
+                push_str(&mut out, text);
+            }
+        }
+        out
+    }
+
+    /// Decode from a frame payload. Typed errors, never a panic.
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        let mut cur = Cursor::new(payload);
+        let version = cur.u8("missing version byte")?;
+        if version != PROTOCOL_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let kind = cur.u8("missing kind byte")?;
+        let req = match kind {
+            KIND_PING => Request::Ping,
+            KIND_STATEMENT => Request::Statement(cur.str("statement text")?),
+            other => return Err(DecodeError::BadKind(other)),
+        };
+        cur.finish("trailing bytes after request")?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode to a frame payload (version + status + fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![PROTOCOL_VERSION];
+        match self {
+            Response::Ok { body } => {
+                out.push(STATUS_OK);
+                push_str(&mut out, body);
+            }
+            Response::Error { code, message } => {
+                out.push(STATUS_ERROR);
+                push_str(&mut out, code);
+                push_str(&mut out, message);
+            }
+            Response::Busy { retry_after_ms } => {
+                out.push(STATUS_BUSY);
+                out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+            Response::Protocol { reason, message } => {
+                out.push(STATUS_PROTOCOL);
+                out.push(reason.to_byte());
+                push_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode from a frame payload. Typed errors, never a panic.
+    pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
+        let mut cur = Cursor::new(payload);
+        let version = cur.u8("missing version byte")?;
+        if version != PROTOCOL_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let status = cur.u8("missing status byte")?;
+        let resp = match status {
+            STATUS_OK => Response::Ok { body: cur.str("response body")? },
+            STATUS_ERROR => Response::Error {
+                code: cur.str("error code")?,
+                message: cur.str("error message")?,
+            },
+            STATUS_BUSY => Response::Busy { retry_after_ms: cur.u32("retry_after_ms")? },
+            STATUS_PROTOCOL => Response::Protocol {
+                reason: ProtocolReason::from_byte(cur.u8("protocol reason")?)?,
+                message: cur.str("protocol message")?,
+            },
+            other => return Err(DecodeError::BadKind(other)),
+        };
+        cur.finish("trailing bytes after response")?;
+        Ok(resp)
+    }
+}
+
+/// Wrap a payload in a frame: `[len][crc][payload]`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Why a frame could not be read from a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameReadError {
+    /// The peer closed cleanly at a frame boundary (normal end).
+    Closed,
+    /// The peer disconnected mid-frame.
+    Truncated,
+    /// The header claimed a payload beyond [`MAX_FRAME`]; the claimed
+    /// length is reported without having been allocated.
+    Oversized(u32),
+    /// The payload CRC did not match the header.
+    CrcMismatch,
+    /// The frame did not complete within the read deadline (slow-loris
+    /// defense: the clock starts at the frame's first byte).
+    Deadline,
+    /// The caller's stop check fired while idle between frames.
+    Shutdown,
+    /// Any other I/O failure.
+    Io(std::io::ErrorKind),
+}
+
+/// Read one frame. While *idle* (no byte of a new frame yet) the stream is
+/// polled in `idle_poll` slices and `should_stop` is consulted, so a drain
+/// wakes idle connections promptly; once the first byte arrives the whole
+/// frame must complete within `frame_deadline`.
+pub fn read_frame(
+    stream: &mut TcpStream,
+    idle_poll: Duration,
+    frame_deadline: Duration,
+    should_stop: &dyn Fn() -> bool,
+) -> Result<Vec<u8>, FrameReadError> {
+    let mut header = [0u8; FRAME_HEADER];
+    // Idle phase: wait for the first byte, polling the stop flag.
+    let mut filled = 0usize;
+    if stream.set_read_timeout(Some(idle_poll)).is_err() {
+        return Err(FrameReadError::Io(std::io::ErrorKind::Other));
+    }
+    while filled == 0 {
+        match stream.read(&mut header) {
+            Ok(0) => return Err(FrameReadError::Closed),
+            Ok(n) => filled = n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if should_stop() {
+                    return Err(FrameReadError::Shutdown);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameReadError::Io(e.kind())),
+        }
+    }
+    // Framed phase: the clock is running.
+    let started = Instant::now();
+    read_remaining(stream, &mut header, filled, started, frame_deadline)?;
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len as usize > MAX_FRAME {
+        return Err(FrameReadError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_remaining(stream, &mut payload, 0, started, frame_deadline)?;
+    if crc32(&payload) != crc {
+        return Err(FrameReadError::CrcMismatch);
+    }
+    Ok(payload)
+}
+
+/// Fill `buf[filled..]` before `started + deadline`, polling in short
+/// slices so a dribbling writer cannot stall past the deadline.
+fn read_remaining(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    mut filled: usize,
+    started: Instant,
+    deadline: Duration,
+) -> Result<(), FrameReadError> {
+    while filled < buf.len() {
+        let Some(remaining) = deadline.checked_sub(started.elapsed()) else {
+            return Err(FrameReadError::Deadline);
+        };
+        // Cap each wait so the deadline is re-checked even if the peer
+        // trickles a byte right before every timeout.
+        let slice = remaining.min(Duration::from_millis(20)).max(Duration::from_millis(1));
+        if stream.set_read_timeout(Some(slice)).is_err() {
+            return Err(FrameReadError::Io(std::io::ErrorKind::Other));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(FrameReadError::Truncated),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameReadError::Io(e.kind())),
+        }
+    }
+    Ok(())
+}
+
+/// Write one frame under a write deadline. A stalled reader (full socket
+/// buffer) turns into a typed error instead of a wedged handler thread.
+pub fn write_frame(
+    stream: &mut TcpStream,
+    payload: &[u8],
+    write_timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(write_timeout))?;
+    stream.write_all(&encode_frame(payload))?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [Request::Ping, Request::Statement("SELECT 1 FROM t".into())] {
+            assert_eq!(Request::decode(&req.encode()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let cases = [
+            Response::Ok { body: "row 1: x\n".into() },
+            Response::Error { code: "xqdb:RESOURCE".into(), message: "deadline".into() },
+            Response::Busy { retry_after_ms: 75 },
+            Response::Protocol {
+                reason: ProtocolReason::CrcMismatch,
+                message: "crc mismatch".into(),
+            },
+        ];
+        for resp in cases {
+            assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_typed_not_panic() {
+        let full = Request::Statement("SELECT 1".into()).encode();
+        for cut in 0..full.len() {
+            let r = Request::decode(&full[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn bad_version_and_kind_are_typed() {
+        assert_eq!(Request::decode(&[9, KIND_PING]), Err(DecodeError::BadVersion(9)));
+        assert_eq!(
+            Request::decode(&[PROTOCOL_VERSION, 77]),
+            Err(DecodeError::BadKind(77))
+        );
+    }
+
+    #[test]
+    fn frame_encoding_matches_wal_layout() {
+        let payload = b"hello";
+        let frame = encode_frame(payload);
+        assert_eq!(frame.len(), FRAME_HEADER + payload.len());
+        assert_eq!(u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]), 5);
+        assert_eq!(
+            u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]),
+            crc32(payload)
+        );
+        assert_eq!(&frame[FRAME_HEADER..], payload);
+    }
+}

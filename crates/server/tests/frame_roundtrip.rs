@@ -1,0 +1,176 @@
+//! Malformed-frame fuzz suite: seeded garbage, truncation, bit flips and
+//! oversized length claims must all surface as *typed* errors — decode
+//! failures or frame-read failures — and never as a panic, a hang, or an
+//! unbounded allocation. Runs both at the payload layer (pure decode) and
+//! the stream layer (a real loopback socket through `read_frame`).
+
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use xqdb_server::protocol::{
+    encode_frame, read_frame, FrameReadError, Request, Response, FRAME_HEADER, MAX_FRAME,
+};
+use xqdb_wal::crc32;
+
+fn never_stop() -> bool {
+    false
+}
+
+/// A loopback pair: the returned writer feeds the returned reader.
+fn socket_pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("addr");
+    let writer = TcpStream::connect(addr).expect("connect");
+    let (reader, _) = listener.accept().expect("accept");
+    (writer, reader)
+}
+
+fn read_with_deadline(reader: &mut TcpStream) -> Result<Vec<u8>, FrameReadError> {
+    read_frame(reader, Duration::from_millis(20), Duration::from_millis(500), &never_stop)
+}
+
+#[test]
+fn seeded_garbage_decodes_to_typed_errors_only() {
+    let mut rng = StdRng::seed_from_u64(0xF4A2);
+    for _ in 0..2_000 {
+        let len = rng.random_range(0usize..96);
+        let payload: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..=255)).collect();
+        // Either a typed error or a valid message that reencodes exactly —
+        // never a panic. (A random payload can be valid: version 1, kind 0.)
+        if let Ok(req) = Request::decode(&payload) {
+            assert_eq!(req.encode(), payload, "accepted request must reencode verbatim");
+        }
+        if let Ok(resp) = Response::decode(&payload) {
+            assert_eq!(resp.encode(), payload, "accepted response must reencode verbatim");
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_every_message_is_rejected() {
+    let messages: Vec<Vec<u8>> = vec![
+        Request::Ping.encode(),
+        Request::Statement("SELECT ordid FROM orders".into()).encode(),
+        Request::Statement("xquery db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem".into())
+            .encode(),
+        Response::Ok { body: "row 1: <a/>\n-- 1 item(s)\n".into() }.encode(),
+        Response::Error { code: "xqdb:RESOURCE".into(), message: "deadline".into() }.encode(),
+        Response::Busy { retry_after_ms: 50 }.encode(),
+    ];
+    for full in messages {
+        for cut in 0..full.len() {
+            assert!(
+                Request::decode(&full[..cut]).is_err() || Response::decode(&full[..cut]).is_err(),
+                "a strict prefix ({cut} of {} bytes) must not decode as both kinds",
+                full.len()
+            );
+            // Neither decode may panic; reaching here proves both returned.
+            let _ = Request::decode(&full[..cut]);
+            let _ = Response::decode(&full[..cut]);
+        }
+    }
+}
+
+#[test]
+fn single_bit_flips_never_panic_and_crc_catches_frame_corruption() {
+    let payload = Request::Statement("SELECT ordid FROM orders WHERE ordid > 1".into()).encode();
+    for byte in 0..payload.len() {
+        for bit in 0..8 {
+            let mut bad = payload.clone();
+            bad[byte] ^= 1 << bit;
+            let _ = Request::decode(&bad); // typed result either way, no panic
+            // CRC-32 detects every single-bit error, so a corrupted frame
+            // can never pass the header check.
+            assert_ne!(
+                crc32(&bad),
+                crc32(&payload),
+                "crc must differ after flipping bit {bit} of byte {byte}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_bit_flip_is_a_typed_crc_mismatch() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..32 {
+        let (mut writer, mut reader) = socket_pair();
+        let payload = Request::Statement("xquery 1 + 1".into()).encode();
+        let mut frame = encode_frame(&payload);
+        let byte = rng.random_range(FRAME_HEADER..frame.len());
+        let bit = rng.random_range(0u32..8);
+        frame[byte] ^= 1 << bit;
+        writer.write_all(&frame).expect("write corrupted frame");
+        writer.flush().expect("flush");
+        assert_eq!(
+            read_with_deadline(&mut reader),
+            Err(FrameReadError::CrcMismatch),
+            "payload corruption at byte {byte} bit {bit} must be a typed CRC mismatch"
+        );
+    }
+}
+
+#[test]
+fn oversized_length_claim_is_rejected_without_allocation() {
+    for claimed in [MAX_FRAME as u32 + 1, u32::MAX / 2, u32::MAX] {
+        let (mut writer, mut reader) = socket_pair();
+        let mut header = Vec::with_capacity(FRAME_HEADER);
+        header.extend_from_slice(&claimed.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        writer.write_all(&header).expect("write lying header");
+        writer.flush().expect("flush");
+        assert_eq!(
+            read_with_deadline(&mut reader),
+            Err(FrameReadError::Oversized(claimed)),
+            "a {claimed}-byte claim must be refused before allocating"
+        );
+    }
+}
+
+#[test]
+fn truncated_stream_and_slow_writer_are_typed() {
+    // Disconnect mid-frame: Truncated.
+    let (mut writer, mut reader) = socket_pair();
+    let frame = encode_frame(&Request::Ping.encode());
+    writer.write_all(&frame[..frame.len() - 1]).expect("write all but one byte");
+    writer.flush().expect("flush");
+    drop(writer);
+    assert_eq!(read_with_deadline(&mut reader), Err(FrameReadError::Truncated));
+
+    // A writer that stalls mid-frame: Deadline (slow-loris defense).
+    let (mut writer, mut reader) = socket_pair();
+    writer.write_all(&frame[..3]).expect("write a frame fragment");
+    writer.flush().expect("flush");
+    assert_eq!(
+        read_frame(&mut reader, Duration::from_millis(10), Duration::from_millis(80), &never_stop),
+        Err(FrameReadError::Deadline),
+        "an incomplete frame must hit the whole-frame deadline"
+    );
+    drop(writer);
+
+    // A clean close at a frame boundary: Closed (normal end of session).
+    let (writer, mut reader) = socket_pair();
+    drop(writer);
+    assert_eq!(read_with_deadline(&mut reader), Err(FrameReadError::Closed));
+}
+
+#[test]
+fn valid_frames_roundtrip_through_a_real_socket() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let (mut writer, mut reader) = socket_pair();
+    for i in 0..64 {
+        let text: String = (0..rng.random_range(0usize..200))
+            .map(|_| char::from(rng.random_range(b' '..=b'~')))
+            .collect();
+        let req = if i % 7 == 0 { Request::Ping } else { Request::Statement(text) };
+        writer.write_all(&encode_frame(&req.encode())).expect("write frame");
+        writer.flush().expect("flush");
+        let payload = read_with_deadline(&mut reader).expect("frame arrives intact");
+        assert_eq!(Request::decode(&payload), Ok(req), "roundtrip {i} is exact");
+    }
+}

@@ -1,0 +1,99 @@
+//! The paper's query suite, served: every numbered paper query (and the
+//! SQL/XML setup that feeds it) runs through a loopback `xqdb-server` and
+//! must return byte-identical results to direct in-process execution via
+//! the same renderer. This is the wire-level counterpart of
+//! `paper_queries.rs`: the protocol, admission and locking layers must be
+//! invisible in the results.
+
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+#[path = "../../../tests/common/mod.rs"]
+mod common;
+
+use xqdb_core::sqlxml::SqlSession;
+use xqdb_server::chaos::Client;
+use xqdb_server::protocol::Response;
+use xqdb_server::{Server, ServerConfig};
+use xqdb_xdm::Limits;
+
+fn expect_ok(resp: Response, what: &str) -> String {
+    match resp {
+        Response::Ok { body } => body,
+        other => panic!("{what}: expected Ok, got {other:?}"),
+    }
+}
+
+#[test]
+fn paper_suite_over_loopback_matches_direct_execution() {
+    for indexed in [false, true] {
+        // The server starts empty: the paper schema is created *over the
+        // wire*, exercising the write path end to end.
+        let handle = Server::start("127.0.0.1:0", ServerConfig::default(), SqlSession::new())
+            .expect("server binds loopback");
+        let addr = handle.local_addr().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        assert_eq!(
+            client.ping().expect("ping"),
+            Response::Ok { body: "pong".into() },
+            "liveness probe answers without admission"
+        );
+        let mut direct = SqlSession::new();
+        for stmt in common::paper_setup_stmts(indexed) {
+            let over_wire = expect_ok(client.statement(&stmt).expect("setup"), &stmt);
+            let in_process =
+                xqdb_server::run_statement(&mut direct, &stmt, &Limits::unlimited())
+                    .expect("direct setup");
+            assert_eq!(over_wire, in_process, "setup statement renders identically: {stmt}");
+        }
+        for (label, query) in common::PAPER_QUERIES {
+            let stmt = format!("xquery {query}");
+            let over_wire = expect_ok(
+                client.statement(&stmt).expect("query gets a response"),
+                label,
+            );
+            let in_process =
+                xqdb_server::run_statement(&mut direct, &stmt, &Limits::unlimited())
+                    .expect("direct query");
+            assert_eq!(
+                over_wire, in_process,
+                "{label} (indexed={indexed}) must be byte-identical over the wire"
+            );
+            assert!(
+                over_wire.ends_with("item(s)\n"),
+                "{label}: the wire body carries the rendered summary"
+            );
+        }
+        // EXPLAIN forms travel too (reports, not rows).
+        let explain = "explain xquery db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]";
+        let over_wire = expect_ok(client.statement(explain).expect("explain"), "explain");
+        let in_process = xqdb_server::run_statement(&mut direct, explain, &Limits::unlimited())
+            .expect("direct explain");
+        assert_eq!(over_wire, in_process, "EXPLAIN output is byte-identical over the wire");
+
+        drop(client);
+        let report = handle.shutdown();
+        assert_eq!(report.connection_panics, 0);
+        assert!(!report.accept_panicked);
+    }
+}
+
+#[test]
+fn engine_errors_travel_as_typed_error_responses() {
+    let handle = Server::start("127.0.0.1:0", ServerConfig::default(), SqlSession::new())
+        .expect("server binds loopback");
+    let mut client = Client::connect(&handle.local_addr().to_string()).expect("connect");
+    // A parse error in XQuery surfaces with its W3C code, not a closed
+    // connection.
+    match client.statement("xquery for $x in (((").expect("typed response") {
+        Response::Error { code, .. } => {
+            assert_eq!(code, "err:XPST0003", "parse errors keep their typed code on the wire")
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    // The connection survives the error: the next statement still works.
+    let resp = client.statement("VALUES (1)").expect("session continues");
+    assert!(matches!(resp, Response::Ok { .. }), "connection survives an engine error");
+    drop(client);
+    assert_eq!(handle.shutdown().connection_panics, 0);
+}

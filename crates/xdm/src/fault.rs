@@ -51,6 +51,35 @@ pub enum DurabilityFault {
     BitFlip,
 }
 
+/// What a fired connection fault does to a client's use of the server
+/// protocol. The chaos client pairs one of these with a [`FaultInjector`]
+/// (which decides *when* to fire, counting requests); this enum decides
+/// *what* the misbehaving client does on the wire. Server-side handling is
+/// the invariant under test: a typed protocol error or a clean close —
+/// never a panic, a hang, or a leaked session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionFault {
+    /// The client writes only a prefix of the request frame and then
+    /// disconnects. The server must drop the partial frame and release the
+    /// connection without disturbing other sessions.
+    DisconnectMidFrame,
+    /// Slow-loris: the client dribbles the frame a byte at a time with
+    /// pauses, holding the connection open far longer than an honest
+    /// client. The server's per-frame read deadline must cut it off.
+    SlowLoris,
+    /// One bit of the frame payload is flipped after the CRC was computed.
+    /// The server must answer with a typed CRC-mismatch protocol error.
+    CorruptFrame,
+    /// The frame header claims a payload far beyond the protocol maximum.
+    /// The server must reject it with a typed oversized-frame error
+    /// without allocating the claimed length.
+    OversizedFrame,
+    /// Burst arrival: the client opens its connection and fires its
+    /// requests with no pacing, so admission control sees the whole load
+    /// at once and must queue or shed the excess.
+    Burst,
+}
+
 /// A shareable, thread-safe fault injection point.
 #[derive(Debug)]
 pub struct FaultInjector {

@@ -37,7 +37,7 @@ pub use atomic::{AtomicType, AtomicValue};
 pub use builder::DocumentBuilder;
 pub use datetime::{Date, DateTime};
 pub use error::{ErrorCode, XdmError};
-pub use fault::{DurabilityFault, FaultInjector, FaultMode};
+pub use fault::{ConnectionFault, DurabilityFault, FaultInjector, FaultMode};
 pub use limits::{Budget, Limits};
 pub use node::{Document, DocId, NodeHandle, NodeId, NodeKind, TypeAnnotation};
 pub use qname::{ExpandedName, QName};

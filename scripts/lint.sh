@@ -57,6 +57,21 @@ if grep -rn --include='*.rs' -E '\b(fs::write|File::create|OpenOptions::new)\b' 
   exit 1
 fi
 
+# Sockets are the server crate's business: raw TcpListener/TcpStream use
+# anywhere else would bypass the framed protocol, admission control and the
+# read/write deadlines. Everyone else talks to the server through
+# xqdb_server::chaos::Client (tests, benches) or the xqdb serve binary.
+if grep -rn --include='*.rs' -E '\b(TcpListener|TcpStream)\b' crates tests \
+    | grep -v '^crates/server/'; then
+  echo "error: raw TcpListener/TcpStream outside crates/server (speak the framed protocol via xqdb-server)" >&2
+  exit 1
+fi
+
+# The paper's query suite must survive the wire: run it through a loopback
+# server (framing, admission, session locking) and byte-compare against
+# direct in-process execution.
+cargo test -p xqdb-server --test paper_over_wire -q
+
 # Second test pass at a parallel degree: the chaos matrix picks the extra
 # thread count up from the environment, and every other test runs under
 # the same build to catch degree-dependent flakiness.

@@ -539,6 +539,61 @@ fn sql_plan_cache_hit_and_ddl_invalidation() {
 }
 
 #[test]
+fn server_admission_metrics_export_and_reconcile() {
+    // The server-facing admission metrics (PR 6): three counters and one
+    // up/down gauge, present and consistent in both export formats. Their
+    // end-to-end reconciliation against live server traffic is asserted in
+    // `chaos_server.rs`; this pins the registry/export layer.
+    let obs = Obs::new(ObsConfig::metrics_only());
+    for _ in 0..3 {
+        obs.incr(Counter::SessionsAdmitted);
+    }
+    for _ in 0..2 {
+        obs.incr(Counter::SessionsShed);
+    }
+    obs.incr(Counter::RequestsTimedOut);
+    // Two connections open, one closes.
+    obs.inc_gauge(Gauge::ActiveConnections);
+    obs.inc_gauge(Gauge::ActiveConnections);
+    obs.dec_gauge(Gauge::ActiveConnections);
+
+    let snap = snap(&obs);
+    assert_eq!(snap.counter(Counter::SessionsAdmitted), 3);
+    assert_eq!(snap.counter(Counter::SessionsShed), 2);
+    assert_eq!(snap.counter(Counter::RequestsTimedOut), 1);
+    assert_eq!(snap.gauge(Gauge::ActiveConnections), 1);
+
+    let prom = snap.to_prometheus();
+    for line in [
+        "# TYPE xqdb_sessions_admitted_total counter",
+        "xqdb_sessions_admitted_total 3",
+        "# TYPE xqdb_sessions_shed_total counter",
+        "xqdb_sessions_shed_total 2",
+        "# TYPE xqdb_requests_timed_out_total counter",
+        "xqdb_requests_timed_out_total 1",
+        "# TYPE xqdb_active_connections gauge",
+        "xqdb_active_connections 1",
+    ] {
+        assert!(prom.contains(line), "prometheus export must carry {line:?}:\n{prom}");
+    }
+    let json = snap.to_json();
+    for field in [
+        "\"xqdb_sessions_admitted_total\": 3",
+        "\"xqdb_sessions_shed_total\": 2",
+        "\"xqdb_requests_timed_out_total\": 1",
+        "\"xqdb_active_connections\": 1",
+    ] {
+        assert!(json.contains(field), "json export must carry {field:?}:\n{json}");
+    }
+
+    // The up/down gauge saturates at zero rather than wrapping: a spurious
+    // double-decrement must not report 2^64-1 open connections.
+    obs.dec_gauge(Gauge::ActiveConnections);
+    obs.dec_gauge(Gauge::ActiveConnections);
+    assert_eq!(obs.metrics_snapshot().unwrap().gauge(Gauge::ActiveConnections), 0);
+}
+
+#[test]
 fn disabled_handle_records_nothing_while_stats_still_flow() {
     let catalog = orders_catalog(20, Some("double"));
     let opts = ExecOptions::default(); // Obs::disabled()
