@@ -270,6 +270,196 @@ fn durability_report() {
     println!("  wrote BENCH_durability.json\n");
 }
 
+/// Pager numbers for `BENCH_pager.json` (the paged-storage tentpole):
+///
+/// 1. the buffer-pool hit-rate ladder — the same scan and probe workloads
+///    at pool capacities 4/16/64/256 frames against a heap ~10x larger
+///    than the mid-ladder pool, with per-rung latency and hit rate;
+/// 2. suffix-only recovery vs full WAL replay at 100k records — after a
+///    checkpoint the manifest adopts rows straight from heap pages, so
+///    recovery replays zero records and must beat the full replay that
+///    re-parses every document.
+fn pager_report() {
+    use xqdb_core::recover_catalog;
+    use xqdb_obs::Trace;
+    use xqdb_runtime::RuntimeConfig;
+    use xqdb_wal::{FsyncMode, WalConfig, WalRecord, WalValue, WalWriter};
+
+    // --- hit-rate ladder -------------------------------------------------
+    let docs: usize = std::env::var("XQDB_BENCH_PAGER_DOCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25_000);
+    let cat = orders_catalog(
+        docs,
+        OrderParams::default(),
+        &[("li_price", "//lineitem/@price", "double")],
+    );
+    let heap_pages = xqdb_pager::file_stats(cat.db.pager())
+        .expect("heap scan succeeds")
+        .heap_pages;
+    let scan_q = "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order \
+                  where $o/lineitem/@price > 900 return $o/custid";
+    let probe_q = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 990]";
+    println!("pager ladder ({docs} docs, {heap_pages} heap pages):");
+    let mut rungs = Vec::new();
+    // Top rung comfortably holds the whole working set (heap + chains +
+    // index nodes): the only rung where steady state means full residency,
+    // so the hit-rate climb to 100% is visible at the top of the ladder.
+    let resident = (heap_pages as usize + 256).next_power_of_two();
+    for capacity in [4usize, 16, 64, 256, resident] {
+        cat.db.pager().set_capacity(capacity).expect("row-store pool resizes");
+        for idx in cat.all_indexes() {
+            idx.set_pool_pages(capacity);
+        }
+        // One warm-up, then best-of-three; hit rates are measured on the
+        // final round (steady state — warm-up already faulted the pool).
+        // The scan rate is intra-page locality (~records-per-page, pool-
+        // size-invariant by design); the probe rate is cross-round reuse
+        // of index nodes and result rows, which is what capacity buys.
+        let mut scan_best = f64::INFINITY;
+        let mut probe_best = f64::INFINITY;
+        let mut scan_hit = 0.0f64;
+        let mut probe_hit = 0.0f64;
+        let mut results = 0usize;
+        for round in 0..4 {
+            let before = cat.db.pager().pool_stats();
+            let t0 = std::time::Instant::now();
+            let out = run_xquery_with_options(&cat, scan_q, &ExecOptions::default())
+                .expect("pager scan runs");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            results = out.sequence.len();
+            let d = cat.db.pager().pool_stats().delta_since(&before);
+            scan_hit = d.hits as f64 / (d.hits + d.misses).max(1) as f64;
+            if round > 0 && ms < scan_best {
+                scan_best = ms;
+            }
+            let before = cat.pool_stats();
+            let t0 = std::time::Instant::now();
+            run_xquery_with_options(&cat, probe_q, &ExecOptions::default())
+                .expect("pager probe runs");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let d = cat.pool_stats().delta_since(&before);
+            probe_hit = d.hits as f64 / (d.hits + d.misses).max(1) as f64;
+            if round > 0 && ms < probe_best {
+                probe_best = ms;
+            }
+        }
+        let ws_ratio = heap_pages as f64 / capacity as f64;
+        println!(
+            "  {capacity:>4} frames: scan {scan_best:>7.1} ms (hit {:.1}%)  \
+             probe {probe_best:>6.2} ms (hit {:.1}%)  (working set {ws_ratio:.1}x pool, \
+             {results} results)",
+            scan_hit * 100.0,
+            probe_hit * 100.0
+        );
+        rungs.push(format!(
+            "    {{ \"capacity_frames\": {capacity}, \"working_set_over_pool\": {ws_ratio:.2}, \
+             \"scan_millis\": {scan_best:.3}, \"probe_millis\": {probe_best:.3}, \
+             \"scan_hit_rate\": {scan_hit:.4}, \"probe_hit_rate\": {probe_hit:.4} }}"
+        ));
+    }
+
+    // --- suffix vs full recovery ----------------------------------------
+    let records: usize = std::env::var("XQDB_BENCH_PAGER_RECORDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let dir = std::path::PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/bench-tmp/pager_recovery"
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let doc = r#"<order><custid>1003</custid><lineitem price="123.45"><product><id>p2</id></product></lineitem></order>"#;
+    {
+        let mut w = WalWriter::open(
+            &dir,
+            WalConfig { fsync: FsyncMode::Off, ..Default::default() },
+            0,
+        )
+        .expect("bench WAL opens");
+        w.append(&WalRecord::CreateTable {
+            name: "ORDERS".into(),
+            columns: vec![("ORDID".into(), "INTEGER".into()), ("ORDDOC".into(), "XML".into())],
+        })
+        .expect("DDL appends");
+        for i in 0..records {
+            w.append(&WalRecord::Insert {
+                table: "ORDERS".into(),
+                values: vec![WalValue::Integer(i as i64), WalValue::Xml(doc.into())],
+            })
+            .expect("row appends");
+        }
+        w.flush().expect("bench flush succeeds");
+    }
+    let t0 = std::time::Instant::now();
+    let (catalog, report) = recover_catalog(
+        &dir,
+        RuntimeConfig::default(),
+        &Trace::disabled(),
+        &xqdb_core::Obs::disabled(),
+    )
+    .expect("full replay succeeds");
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(catalog.db.table("orders").map(|t| t.len()), Some(records));
+    assert_eq!(report.wal_records_replayed as usize, records + 1, "full replay replays the log");
+    println!(
+        "pager recovery ({records} records):\n  full replay:     {full_ms:>8.1} ms  \
+         ({} records replayed)",
+        report.wal_records_replayed
+    );
+
+    // Checkpoint through the session path: flush dirty pages, write the
+    // manifest, cut the WAL. The reopen below then replays only the suffix
+    // — which is empty.
+    {
+        let (session, _) = SqlSession::open_durable(
+            &dir,
+            xqdb_core::WalConfig { fsync: xqdb_core::FsyncMode::Off, ..Default::default() },
+        )
+        .expect("durable session opens");
+        session
+            .checkpoint()
+            .expect("checkpoint succeeds")
+            .expect("a durable session always checkpoints");
+    }
+    let t0 = std::time::Instant::now();
+    let (catalog, report) = recover_catalog(
+        &dir,
+        RuntimeConfig::default(),
+        &Trace::disabled(),
+        &xqdb_core::Obs::disabled(),
+    )
+    .expect("suffix recovery succeeds");
+    let suffix_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(catalog.db.table("orders").map(|t| t.len()), Some(records));
+    assert_eq!(report.wal_records_replayed, 0, "the manifest covers every record");
+    assert_eq!(report.manifest_rows as usize, records, "rows adopted from heap pages");
+    let _ = std::fs::remove_dir_all(&dir);
+    let speedup = full_ms / suffix_ms;
+    println!(
+        "  suffix replay:   {suffix_ms:>8.1} ms  (0 records replayed, {records} rows \
+         adopted from pages, {speedup:.1}x)"
+    );
+    assert!(
+        suffix_ms < full_ms,
+        "suffix recovery must beat full replay ({suffix_ms:.1} ms vs {full_ms:.1} ms)"
+    );
+
+    let json = format!(
+        "{{\n  \"scan_workload\": \"serial full scan + indexed probe over the orders collection at five pool capacities (4 frames to full residency)\",\n  \
+         \"docs\": {docs},\n  \"heap_pages\": {heap_pages},\n  \
+         \"ladder\": [\n{}\n  ],\n  \
+         \"recovery\": {{ \"records\": {records}, \"full_replay_millis\": {full_ms:.3}, \
+         \"suffix_millis\": {suffix_ms:.3}, \"speedup\": {speedup:.3}, \
+         \"suffix_records_replayed\": 0 }},\n  \
+         \"note\": \"suffix recovery adopts rows from checkpointed heap pages via the manifest instead of re-parsing every logged document\"\n}}\n",
+        rungs.join(",\n"),
+    );
+    std::fs::write("BENCH_pager.json", json).expect("BENCH_pager.json is writable");
+    println!("  wrote BENCH_pager.json\n");
+}
+
 /// Pre-filter report: a selective, unindexed query (`/order[promo/code]`)
 /// over a large heterogeneous collection where ~1% of documents carry the
 /// promo element. The structural pre-filter skips the other 99% on their
@@ -541,6 +731,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--prefilter") {
         prefilter_report();
+        return;
+    }
+    if std::env::args().any(|a| a == "--pager") {
+        pager_report();
         return;
     }
     parallel_report();

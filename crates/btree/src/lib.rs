@@ -8,8 +8,9 @@
 //!
 //! This crate provides:
 //!
-//! * [`BPlusTree`] — an in-memory B+Tree over byte-comparable keys with
-//!   linked leaves and `std::ops::Bound`-based range scans;
+//! * [`BPlusTree`] — a paged B+Tree over byte-comparable keys: nodes are
+//!   records in an `xqdb-pager` buffer pool, with linked leaves and
+//!   `std::ops::Bound`-based range scans;
 //! * [`keyenc`] — order-preserving byte encodings for the key components an
 //!   XML index needs (doubles, strings, dates, doc/node ids), so composite
 //!   keys compare correctly as plain byte strings.
@@ -17,4 +18,5 @@
 pub mod keyenc;
 pub mod tree;
 
-pub use tree::BPlusTree;
+pub use tree::{BPlusTree, RangeIter, ValueCodec};
+pub use xqdb_pager::PoolStats;

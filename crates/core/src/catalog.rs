@@ -119,13 +119,13 @@ impl Catalog {
         // parallelizes across documents; the merge into the B+Tree stays
         // serial and in row order, so the built tree is identical to a
         // serial build whatever the thread count.
-        let docs: Vec<(u64, NodeHandle)> = t
-            .scan()
-            .filter_map(|(row, values)| match &values[col] {
-                SqlValue::Xml(doc) => Some((row as u64, doc.clone())),
-                _ => None,
-            })
-            .collect();
+        let mut docs: Vec<(u64, NodeHandle)> = Vec::new();
+        for item in t.scan() {
+            let (row, values) = item?;
+            if let SqlValue::Xml(doc) = &values[col] {
+                docs.push((row as u64, doc.clone()));
+            }
+        }
         let pool = WorkerPool::new(self.runtime.effective_threads());
         if pool.threads() > 1 && docs.len() > 1 {
             let ranges = chunk_ranges(docs.len(), pool.default_chunks(docs.len()));
@@ -170,7 +170,7 @@ impl Catalog {
         let table_upper = table.to_ascii_uppercase();
         // Collect the XML values of this row per column name.
         let mut xml_cells: Vec<(String, NodeHandle)> = Vec::new();
-        if let Some(r) = t.row(row) {
+        if let Some(r) = t.row(row)? {
             for (i, v) in r.iter().enumerate() {
                 if let SqlValue::Xml(n) = v {
                     xml_cells.push((t.columns[i].name.clone(), n.clone()));
@@ -210,6 +210,18 @@ impl Catalog {
     /// Look up one index.
     pub fn index(&self, name: &str) -> Option<&XmlIndex> {
         self.indexes.get(&name.to_ascii_uppercase())
+    }
+
+    /// Aggregate buffer-pool counters across every pool this catalog owns:
+    /// the row store's shared page file plus each index's private node pool.
+    /// Monotone, so two snapshots bracket a query's physical page traffic
+    /// (`PoolStats::delta_since`).
+    pub fn pool_stats(&self) -> xqdb_pager::PoolStats {
+        let mut total = self.db.pager().pool_stats();
+        for idx in self.indexes.values() {
+            total.add(&idx.pool_stats());
+        }
+        total
     }
 }
 

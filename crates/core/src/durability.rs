@@ -1,13 +1,15 @@
 //! Durability: the mapping between engine state and the write-ahead log.
 //!
-//! `xqdb-wal` knows only records, frames, segments and snapshots; this
+//! `xqdb-wal` knows only records, frames, segments and manifests; this
 //! module gives those records meaning. [`Durability`] implements the
 //! storage layer's [`PersistenceHook`] so every catalog mutation is
-//! appended to the log **before** it is applied, and [`recover_catalog`]
-//! rebuilds a [`Catalog`] by replaying the newest snapshot plus the
-//! surviving log suffix through the ordinary DDL/DML code paths — indexes
-//! are re-derived by the same (parallelizable) back-fill a live
-//! `CREATE INDEX` runs, never read from disk.
+//! appended to the log **before** it is applied. A checkpoint flushes the
+//! dirty pages of the shared page file (`pages.xqp`), freezes them, writes
+//! the metadata manifest and cuts the log; [`recover_catalog`] then adopts
+//! the checkpointed rows straight from heap pages (a record-header scan)
+//! and replays only the WAL *suffix* through the ordinary DDL/DML code
+//! paths — indexes are re-derived by the same (parallelizable) back-fill a
+//! live `CREATE INDEX` runs, never read from disk.
 //!
 //! Correctness is judged by the paper's Definition 1 oracle: a recovered
 //! catalog must answer every query byte-identically to an in-memory
@@ -20,14 +22,22 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use xqdb_obs::{Counter, Obs, Trace};
+use xqdb_pager::{buffer_pages_from_env, discover_heap_pages, Pager};
 use xqdb_runtime::RuntimeConfig;
-use xqdb_storage::{Column, PersistenceHook, SqlType, SqlValue, Table};
+use xqdb_storage::{
+    Column, Database, PathSynopsis, PersistenceHook, SqlType, SqlValue, Table,
+};
 use xqdb_wal::{
-    replay, write_snapshot, CrashInjector, WalConfig, WalRecord, WalValue, WalWriter,
+    replay, write_manifest, CrashInjector, Manifest, ManifestTable, WalConfig, WalRecord,
+    WalValue, WalWriter,
 };
 use xqdb_xdm::XdmError;
 
 use crate::catalog::Catalog;
+
+/// The page file's name within a data directory (next to the WAL
+/// segments and the checkpoint manifest).
+pub const PAGES_FILE: &str = "pages.xqp";
 
 // ------------------------------------------------------- value conversion
 
@@ -132,11 +142,13 @@ impl Durability {
         Ok(())
     }
 
-    /// Checkpoint: flush the log, write a snapshot of `catalog` covering
-    /// every sequence appended so far, rotate to a fresh segment and prune
-    /// the segments (and older snapshots) the new snapshot covers. Returns
-    /// the covered sequence (0 when the log is still empty — nothing to
-    /// snapshot).
+    /// Checkpoint: flush the log, flush every dirty page and freeze the
+    /// page file, write the metadata manifest, then cut the log — rotate,
+    /// append a [`WalRecord::Checkpoint`] marker and prune the covered
+    /// segments. No row is re-serialized: the rows are already in the page
+    /// file, which is what makes checkpoints O(dirty pages) instead of
+    /// O(database). Returns the covered sequence (0 when the log is still
+    /// empty — nothing to checkpoint).
     pub fn checkpoint(&self, catalog: &Catalog) -> Result<u64, XdmError> {
         let mut writer = self.writer.lock().map_err(|_| lock_err("writer"))?;
         writer.flush()?;
@@ -144,12 +156,44 @@ impl Durability {
         if covers == 0 {
             return Ok(0);
         }
-        let records = snapshot_records(catalog);
-        write_snapshot(&self.dir, covers, &records)?;
+        let pager = catalog.db.pager();
+        pager.flush_all()?;
+        let frozen_below = pager.freeze()?;
+        write_manifest(&self.dir, &build_manifest(catalog, covers, frozen_below))?;
         writer.rotate()?;
+        writer.append(&WalRecord::Checkpoint { covers })?;
         writer.prune(covers)?;
         Ok(covers)
     }
+}
+
+/// Collect the checkpoint metadata pages don't carry: table DDL + heap
+/// table ids + row counts + synopsis dictionaries, and index DDL for
+/// back-fill.
+fn build_manifest(catalog: &Catalog, covers: u64, frozen_below: u64) -> Manifest {
+    let mut tables = Vec::new();
+    for name in catalog.db.table_names() {
+        let Some(t) = catalog.db.table(name) else { continue };
+        tables.push(ManifestTable {
+            name: t.name.clone(),
+            table_id: t.table_id(),
+            columns: t.columns.iter().map(|c| (c.name.clone(), c.ty.to_string())).collect(),
+            row_count: t.len() as u64,
+            synopsis: t.synopsis().entries(),
+        });
+    }
+    let indexes = catalog
+        .all_indexes()
+        .into_iter()
+        .map(|idx| WalRecord::CreateIndex {
+            name: idx.name.clone(),
+            table: idx.table.clone(),
+            column: idx.column.clone(),
+            pattern: idx.pattern.to_string(),
+            ty: idx.ty.to_string(),
+        })
+        .collect();
+    Manifest { covers, frozen_below, tables, indexes }
 }
 
 impl PersistenceHook for Durability {
@@ -194,8 +238,10 @@ impl PersistenceHook for Durability {
 /// Dump a catalog as the minimal record sequence that rebuilds it:
 /// table DDL (name order), then every row (table order, row order), then
 /// index DDL last — so replayed `CREATE INDEX` back-fills from the full
-/// row set, exactly like a live one.
-pub fn snapshot_records(catalog: &Catalog) -> Vec<WalRecord> {
+/// row set, exactly like a live one. Legacy snapshot format — live
+/// checkpoints write manifests instead, but replay still accepts
+/// snapshot files from older data directories.
+pub fn snapshot_records(catalog: &Catalog) -> Result<Vec<WalRecord>, XdmError> {
     let mut out = Vec::new();
     let names: Vec<String> =
         catalog.db.table_names().into_iter().map(String::from).collect();
@@ -208,7 +254,8 @@ pub fn snapshot_records(catalog: &Catalog) -> Vec<WalRecord> {
     }
     for name in &names {
         let Some(t) = catalog.db.table(name) else { continue };
-        for (_row, values) in t.scan() {
+        for item in t.scan() {
+            let (_row, values) = item?;
             out.push(WalRecord::Insert {
                 table: t.name.clone(),
                 values: values.iter().map(to_wal_value).collect(),
@@ -224,7 +271,7 @@ pub fn snapshot_records(catalog: &Catalog) -> Vec<WalRecord> {
             ty: idx.ty.to_string(),
         });
     }
-    out
+    Ok(out)
 }
 
 /// Apply one logged record through the ordinary catalog code paths.
@@ -247,6 +294,9 @@ fn apply_record(catalog: &mut Catalog, rec: &WalRecord) -> Result<(), XdmError> 
             }
             catalog.insert(table, row).map(|_| ())
         }
+        // Checkpoint markers mutate nothing; recovery counts them to
+        // verify the suffix-only property.
+        WalRecord::Checkpoint { .. } => Ok(()),
     }
 }
 
@@ -257,8 +307,22 @@ pub struct RecoveryReport {
     pub snapshot_covers: u64,
     /// Records applied from the snapshot.
     pub snapshot_records: usize,
-    /// Records applied from log segments after the snapshot.
+    /// Sequence the checkpoint manifest covers (0: no manifest — no paged
+    /// checkpoint has run in this directory yet).
+    pub manifest_covers: u64,
+    /// Tables adopted from the page file via the manifest.
+    pub manifest_tables: usize,
+    /// Rows adopted directly from heap pages (a header scan, no XML
+    /// parsing and no replay).
+    pub manifest_rows: usize,
+    /// Checkpoint markers found in the log suffix (skipped, not applied).
+    pub checkpoint_markers: u64,
+    /// Records applied from log segments after the snapshot/manifest cover
+    /// (suffix-only when a checkpoint ran: excludes markers).
     pub wal_records_replayed: u64,
+    /// True when the page file had a torn trailing page (trimmed away; the
+    /// WAL suffix re-creates whatever it held).
+    pub page_file_torn: bool,
     /// Torn tails truncated away (crash artifacts, self-healed).
     pub torn_tail_truncations: u64,
     /// Segment files scanned.
@@ -279,18 +343,32 @@ impl RecoveryReport {
     /// Human-readable rendering for the CLI.
     pub fn render(&self) -> String {
         let mut out = String::from("RECOVERY\n");
-        if self.snapshot_covers > 0 {
+        if self.manifest_covers > 0 {
+            out.push_str(&format!(
+                "  checkpoint: manifest covers seq {} ({} table(s), {} row(s) from pages)\n",
+                self.manifest_covers, self.manifest_tables, self.manifest_rows
+            ));
+        } else if self.snapshot_covers > 0 {
             out.push_str(&format!(
                 "  snapshot: covers seq {} ({} records)\n",
                 self.snapshot_covers, self.snapshot_records
             ));
         } else {
-            out.push_str("  snapshot: none (full log replay)\n");
+            out.push_str("  checkpoint: none (full log replay)\n");
         }
         out.push_str(&format!(
             "  wal: {} record(s) replayed from {} segment(s)\n",
             self.wal_records_replayed, self.segments_scanned
         ));
+        if self.checkpoint_markers > 0 {
+            out.push_str(&format!(
+                "  checkpoint markers skipped: {}\n",
+                self.checkpoint_markers
+            ));
+        }
+        if self.page_file_torn {
+            out.push_str("  warning: torn trailing page trimmed from the page file\n");
+        }
         if self.torn_tail_truncations > 0 {
             out.push_str(&format!(
                 "  warning: {} torn tail(s) truncated (unsynced writes lost in a crash)\n",
@@ -330,9 +408,62 @@ pub fn recover_catalog(
         r
     };
 
+    // Open the page file under the manifest's freeze watermark: everything
+    // below it is immutable checkpointed state; anything damaged above it
+    // is a crash artifact the WAL suffix re-creates.
+    let frozen_below = recovered.manifest.as_ref().map_or(0, |m| m.frozen_below);
+    let (pager, page_file_torn) = {
+        let mut span = root.child("open pages");
+        std::fs::create_dir_all(dir).map_err(|e| {
+            XdmError::storage_fault(format!("create {}: {e}", dir.display()))
+        })?;
+        let (p, torn) =
+            Pager::open_file(&dir.join(PAGES_FILE), buffer_pages_from_env(), frozen_below)?;
+        // Drop every page above the watermark before discovery, intact or
+        // not: the WAL suffix re-creates that state, and replaying next to
+        // a stale partially-flushed copy would duplicate live rowids.
+        let dropped = p.discard_unfrozen()?;
+        span.tag_with("pages", || p.page_count().to_string());
+        span.tag_with("discarded", || dropped.to_string());
+        (Arc::new(p), torn)
+    };
+
     let mut catalog = Catalog::new();
     catalog.runtime = runtime;
     catalog.obs = obs.clone();
+    catalog.db = Database::with_pager(Arc::clone(&pager));
+
+    // Manifest path: adopt checkpointed tables straight from heap pages (a
+    // record-header scan — no XML parsing, no replay), then rebuild the
+    // indexes by back-fill, exactly like a live CREATE INDEX.
+    let (mut manifest_tables, mut manifest_rows) = (0usize, 0usize);
+    if let Some(manifest) = &recovered.manifest {
+        let mut span = root.child("adopt pages");
+        let mut heap_pages = discover_heap_pages(&pager)?;
+        for mt in &manifest.tables {
+            let mut cols = Vec::with_capacity(mt.columns.len());
+            for (cn, ct) in &mt.columns {
+                cols.push(Column::new(cn, SqlType::parse(ct)?));
+            }
+            let pages = heap_pages.remove(&mt.table_id).unwrap_or_default();
+            let mut table = Table::from_pages(
+                &mt.name,
+                cols,
+                Arc::clone(&pager),
+                mt.table_id,
+                pages,
+                mt.row_count,
+            )?;
+            table.set_synopsis(PathSynopsis::from_entries(mt.synopsis.iter().cloned()));
+            manifest_tables += 1;
+            manifest_rows += table.len();
+            catalog.db.adopt_recovered_table(table)?;
+        }
+        for rec in &manifest.indexes {
+            apply_record(&mut catalog, rec)?;
+        }
+        span.add_count(manifest_rows as u64);
+    }
 
     {
         let mut span = root.child("apply snapshot");
@@ -341,17 +472,23 @@ pub fn recover_catalog(
         }
         span.add_count(recovered.snapshot_records.len() as u64);
     }
+    let mut checkpoint_markers = 0u64;
+    let mut replayed = 0u64;
     {
         let mut span = root.child("replay wal");
         for (_seq, rec) in &recovered.wal_records {
+            if matches!(rec, WalRecord::Checkpoint { .. }) {
+                checkpoint_markers += 1;
+                continue;
+            }
             apply_record(&mut catalog, rec)?;
+            replayed += 1;
         }
-        span.add_count(recovered.wal_records.len() as u64);
+        span.add_count(replayed);
     }
 
     let duration_ns =
         u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    let replayed = recovered.wal_records.len() as u64;
     obs.add(Counter::WalRecordsReplayed, replayed);
     obs.add(Counter::TornTailTruncations, recovered.torn_tail_truncations);
     obs.add(Counter::RecoveryNanos, duration_ns);
@@ -368,7 +505,12 @@ pub fn recover_catalog(
     let report = RecoveryReport {
         snapshot_covers: recovered.snapshot_covers,
         snapshot_records: recovered.snapshot_records.len(),
+        manifest_covers: recovered.manifest.as_ref().map_or(0, |m| m.covers),
+        manifest_tables,
+        manifest_rows,
+        checkpoint_markers,
         wal_records_replayed: replayed,
+        page_file_torn,
         torn_tail_truncations: recovered.torn_tail_truncations,
         segments_scanned: recovered.segments_scanned,
         last_seq: recovered.last_seq,
@@ -485,9 +627,12 @@ mod tests {
             durability.flush().unwrap();
         }
         let (catalog, _d, report) = open(&dir);
-        assert_eq!(report.snapshot_covers, 6);
-        assert_eq!(report.snapshot_records, 6);
-        assert_eq!(report.wal_records_replayed, 1);
+        assert_eq!(report.snapshot_covers, 0, "paged checkpoints write no snapshot");
+        assert_eq!(report.manifest_covers, 6);
+        assert_eq!(report.manifest_tables, 1);
+        assert_eq!(report.manifest_rows, 4, "checkpointed rows come from pages");
+        assert_eq!(report.checkpoint_markers, 1);
+        assert_eq!(report.wal_records_replayed, 1, "suffix-only replay");
         assert_eq!(report.rows, 5);
         assert_eq!(catalog.index("li_price").unwrap().len(), 4);
     }
@@ -499,7 +644,38 @@ mod tests {
         assert_eq!(durability.checkpoint(&catalog).unwrap(), 0);
         let (_, _, report) = open(&dir);
         assert_eq!(report.snapshot_covers, 0);
+        assert_eq!(report.manifest_covers, 0);
         assert_eq!(report.last_seq, 0);
+    }
+
+    #[test]
+    fn repeated_checkpoints_keep_suffix_replay_exact() {
+        let dir = temp_dir("re_ckpt");
+        {
+            let (mut catalog, durability, _) = open(&dir);
+            populate(&mut catalog);
+            durability.checkpoint(&catalog).unwrap();
+            for i in 10..13 {
+                let doc = xqdb_xmlparse::parse_document(&format!(
+                    r#"<order><lineitem price="{i}"/></order>"#
+                ))
+                .unwrap();
+                catalog
+                    .insert("orders", vec![SqlValue::Integer(i), SqlValue::Xml(doc.root())])
+                    .unwrap();
+            }
+            durability.checkpoint(&catalog).unwrap();
+            durability.flush().unwrap();
+        }
+        let (catalog, _d, report) = open(&dir);
+        assert_eq!(report.manifest_rows, 7);
+        assert_eq!(report.wal_records_replayed, 0, "second checkpoint covers everything");
+        assert_eq!(report.checkpoint_markers, 1, "only the newest marker survives pruning");
+        assert_eq!(report.rows, 7);
+        assert_eq!(catalog.index("li_price").unwrap().len(), 7);
+        let t = catalog.db.table("orders").unwrap();
+        let (_rid, row) = t.scan().nth(5).unwrap().unwrap();
+        assert!(matches!(row[0], SqlValue::Integer(11)));
     }
 
     #[test]

@@ -100,6 +100,15 @@ pub struct ExecStats {
     /// 1 if this run parsed and planned from scratch and the front end
     /// consulted a cache first (0 on hits and on cache-less paths).
     pub plan_cache_misses: u64,
+    /// Page fetches this run answered from a resident buffer-pool frame,
+    /// summed over the row store's page file and every index's node pool.
+    /// Physical traffic: distinct from `btree_nodes_touched`, which counts
+    /// *logical* node visits whether or not the node's page was resident.
+    pub buffer_pool_hits: u64,
+    /// Page fetches this run that had to read the backing store.
+    pub buffer_pool_misses: u64,
+    /// Pages this run evicted from a buffer pool to make room.
+    pub pages_evicted: u64,
 }
 
 impl ExecStats {
@@ -444,6 +453,7 @@ impl ParallelExecutor {
         trace: &Trace,
     ) -> Result<ExecOutcome, XdmError> {
         let mut stats = ExecStats::new();
+        let pool_baseline = catalog.pool_stats();
         let mut filters = probe_phase(catalog, plan, ctx, &mut stats, obs, trace)?;
         if self.prefilter {
             // Runs strictly after the (serial) probe phase so probe-side
@@ -460,8 +470,9 @@ impl ParallelExecutor {
                     if rows.len() > 1 {
                         let scan =
                             ShardedScan { filters: &filters, rows: &rows, part: &part };
-                        let outcome =
+                        let mut outcome =
                             self.execute_sharded(catalog, plan, ctx, stats, &scan, trace)?;
+                        apply_pool_delta(&mut outcome.stats, catalog, &pool_baseline);
                         record_exec_metrics(obs, &outcome.stats);
                         return Ok(outcome);
                     }
@@ -476,6 +487,7 @@ impl ParallelExecutor {
         span.add_count(sequence.len() as u64);
         drop(span);
         stats.steps_used = ctx.budget.steps_used();
+        apply_pool_delta(&mut stats, catalog, &pool_baseline);
         record_exec_metrics(obs, &stats);
         Ok(ExecOutcome { sequence, stats, trace: trace.clone() })
     }
@@ -585,6 +597,21 @@ fn prefilter_phase(
     }
 }
 
+/// Charge this run's physical page traffic to its stats: the delta of the
+/// catalog's aggregated pool counters ([`Catalog::pool_stats`]) since the
+/// baseline taken on entry to the executor. Runs after evaluation so the
+/// bracket covers probes, pre-filter signature reads, and document scans.
+fn apply_pool_delta(
+    stats: &mut ExecStats,
+    catalog: &Catalog,
+    baseline: &xqdb_pager::PoolStats,
+) {
+    let delta = catalog.pool_stats().delta_since(baseline);
+    stats.buffer_pool_hits = delta.hits;
+    stats.buffer_pool_misses = delta.misses;
+    stats.pages_evicted = delta.evictions;
+}
+
 /// Record a finished run's [`ExecStats`] into the metrics registry — the
 /// single coupling point between counters and stats, which is what makes a
 /// metrics snapshot delta reconcile *exactly* with the stats the query
@@ -601,6 +628,9 @@ pub(crate) fn record_exec_metrics(obs: &Obs, stats: &ExecStats) {
     obs.add(Counter::PrefilterDocsSkipped, stats.prefilter_docs_skipped as u64);
     obs.add(Counter::EvalSteps, stats.steps_used);
     obs.add(Counter::BtreeNodeTouches, stats.btree_nodes_touched as u64);
+    obs.add(Counter::BufferPoolHits, stats.buffer_pool_hits);
+    obs.add(Counter::BufferPoolMisses, stats.buffer_pool_misses);
+    obs.add(Counter::PagesEvicted, stats.pages_evicted);
     obs.set_gauge(Gauge::ParallelWorkers, stats.parallel_workers as u64);
     obs.set_gauge(Gauge::ParallelShards, stats.parallel_shards as u64);
     if stats.parallel_workers > 1 {
@@ -727,7 +757,10 @@ fn monotone_surviving_rows(
     let (table, col) = catalog.db.resolve_xml_column(source).ok()?;
     let mut rows = Vec::new();
     let mut last_doc: Option<u64> = None;
-    for (row, values) in table.scan() {
+    for item in table.scan() {
+        // A page fault here means the serial path will surface the same
+        // typed error; declining the parallel plan is enough.
+        let (row, values) = item.ok()?;
         if let Some(f) = filter {
             if !f.contains(&(row as u64)) {
                 continue;
@@ -839,6 +872,10 @@ pub(crate) fn render_execution_sections(out: &mut String, s: &ExecStats, trace: 
     out.push_str(&format!("  index probes: {}\n", s.index_probes));
     out.push_str(&format!("  index entries scanned: {}\n", s.index_entries_scanned));
     out.push_str(&format!("  btree nodes touched: {}\n", s.btree_nodes_touched));
+    out.push_str(&format!(
+        "  buffer pool: {} hit(s), {} miss(es), {} eviction(s)\n",
+        s.buffer_pool_hits, s.buffer_pool_misses, s.pages_evicted
+    ));
     let total: usize = s.docs_total.values().sum();
     out.push_str(&format!(
         "  documents evaluated: {} of {total}\n",
@@ -917,7 +954,8 @@ impl<'a> CollectionProvider for FilteredProvider<'a> {
             let lo = shard.rows.first().map_or(0, |r| *r as usize);
             let hi = shard.rows.last().map_or(0, |r| *r as usize + 1);
             let mut out = Vec::with_capacity(shard.rows.len());
-            for (row, values) in table.scan_range(lo, hi) {
+            for item in table.scan_range(lo, hi) {
+                let (row, values) = item?;
                 if shard.rows.binary_search(&(row as u64)).is_err() {
                     continue;
                 }
@@ -930,7 +968,8 @@ impl<'a> CollectionProvider for FilteredProvider<'a> {
         }
         let filter = self.filters.get(&key);
         let mut out = Vec::new();
-        for (row, values) in table.scan() {
+        for item in table.scan() {
+            let (row, values) = item?;
             if let Some(f) = filter {
                 if !f.contains(&(row as u64)) {
                     continue;

@@ -29,6 +29,7 @@ pub mod sqlxml;
 pub use catalog::Catalog;
 pub use durability::{
     open_durable_catalog, recover_catalog, snapshot_records, Durability, RecoveryReport,
+    PAGES_FILE,
 };
 pub use eligibility::{
     diagnose, AnalysisEnv, Candidate, CmpTarget, Cond, Diagnosis, IndexCond, Note, Pitfall,

@@ -786,7 +786,8 @@ impl SqlSession {
                     let filter = row_filters.get(&t.name);
                     stats.docs_total.insert(t.name.clone(), t.len());
                     let mut scanned = 0usize;
-                    for (rid, values) in t.scan() {
+                    for item in t.scan() {
+                        let (rid, values) = item?;
                         if let Some(f) = filter {
                             if !f.contains(&(rid as u64)) {
                                 continue;

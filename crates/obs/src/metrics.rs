@@ -66,11 +66,17 @@ pub enum Counter {
     SessionsShed,
     /// Admitted server requests aborted by their per-request deadline.
     RequestsTimedOut,
+    /// Page fetches answered from the buffer pool (no backing read).
+    BufferPoolHits,
+    /// Page fetches that had to read from the backing store.
+    BufferPoolMisses,
+    /// Pages evicted from the buffer pool to make room.
+    PagesEvicted,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 29] = [
         Counter::QueriesExecuted,
         Counter::SqlStatements,
         Counter::IndexProbes,
@@ -97,6 +103,9 @@ impl Counter {
         Counter::SessionsAdmitted,
         Counter::SessionsShed,
         Counter::RequestsTimedOut,
+        Counter::BufferPoolHits,
+        Counter::BufferPoolMisses,
+        Counter::PagesEvicted,
     ];
 
     /// Prometheus series name.
@@ -128,6 +137,9 @@ impl Counter {
             Counter::SessionsAdmitted => "xqdb_sessions_admitted_total",
             Counter::SessionsShed => "xqdb_sessions_shed_total",
             Counter::RequestsTimedOut => "xqdb_requests_timed_out_total",
+            Counter::BufferPoolHits => "xqdb_buffer_pool_hits_total",
+            Counter::BufferPoolMisses => "xqdb_buffer_pool_misses_total",
+            Counter::PagesEvicted => "xqdb_pages_evicted_total",
         }
     }
 
@@ -162,6 +174,9 @@ impl Counter {
             Counter::SessionsAdmitted => "server requests admitted past admission control",
             Counter::SessionsShed => "server requests shed by admission control",
             Counter::RequestsTimedOut => "admitted requests aborted by their deadline",
+            Counter::BufferPoolHits => "page fetches answered from the buffer pool",
+            Counter::BufferPoolMisses => "page fetches read from the backing store",
+            Counter::PagesEvicted => "pages evicted from the buffer pool",
         }
     }
 }
@@ -177,12 +192,18 @@ pub enum Gauge {
     ParallelShards,
     /// Server connections currently open (accepted and not yet closed).
     ActiveConnections,
+    /// Configured buffer-pool capacity of the shared page file, in pages.
+    BufferPoolPages,
 }
 
 impl Gauge {
     /// Every gauge, in export order.
-    pub const ALL: [Gauge; 3] =
-        [Gauge::ParallelWorkers, Gauge::ParallelShards, Gauge::ActiveConnections];
+    pub const ALL: [Gauge; 4] = [
+        Gauge::ParallelWorkers,
+        Gauge::ParallelShards,
+        Gauge::ActiveConnections,
+        Gauge::BufferPoolPages,
+    ];
 
     /// Prometheus series name.
     pub fn name(self) -> &'static str {
@@ -190,6 +211,7 @@ impl Gauge {
             Gauge::ParallelWorkers => "xqdb_parallel_workers",
             Gauge::ParallelShards => "xqdb_parallel_shards",
             Gauge::ActiveConnections => "xqdb_active_connections",
+            Gauge::BufferPoolPages => "xqdb_buffer_pool_pages",
         }
     }
 
@@ -199,6 +221,7 @@ impl Gauge {
             Gauge::ParallelWorkers => "workers used by the most recent parallel phase",
             Gauge::ParallelShards => "shards executed by the most recent parallel phase",
             Gauge::ActiveConnections => "server connections currently open",
+            Gauge::BufferPoolPages => "configured buffer-pool capacity in pages",
         }
     }
 }

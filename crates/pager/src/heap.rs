@@ -1,0 +1,435 @@
+//! Slotted-page heap files: variable-length records with stable ids.
+//!
+//! A [`HeapFile`] is one table's record store inside a shared [`Pager`].
+//! Heap page payload layout (after the 16-byte page header):
+//!
+//! ```text
+//! offset  size      field
+//! 16      4         table id (which heap this page belongs to)
+//! 20      2         slot count
+//! 22      2         data tail (records occupy [tail, PAGE_SIZE))
+//! 24      4×slots   slot array: (offset u16, length u16) per record
+//! ```
+//!
+//! Slots grow forward from the header, record bytes grow backward from
+//! the page end; the gap between them is the page's free space, tracked
+//! in an in-memory free-space map (first fit, lowest page id — so slot
+//! placement is a pure function of the insert sequence, a determinism
+//! requirement inherited from the chaos matrix). Each stored record
+//! starts with a tag byte: inline (`0`, bytes follow) or overflow (`1`,
+//! total length + head page of a [`crate::chain_read`] chain).
+//!
+//! The durability protocol's freeze watermark is honored here: inserts
+//! never place records (or overflow chains — the pool allocates those
+//! above the watermark too) on pages below [`Pager::frozen_below`], so
+//! checkpointed pages stay byte-stable until the next checkpoint.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use xqdb_xdm::XdmError;
+
+use crate::chain::{chain_read, chain_write};
+use crate::page::{page_kind, PageKind, HEADER_LEN, PAGE_SIZE};
+use crate::pool::Pager;
+use crate::PageId;
+
+const TABLE_OFF: usize = HEADER_LEN;
+const NSLOTS_OFF: usize = HEADER_LEN + 4;
+const TAIL_OFF: usize = HEADER_LEN + 6;
+const SLOTS_OFF: usize = HEADER_LEN + 8;
+
+const TAG_INLINE: u8 = 0;
+const TAG_OVERFLOW: u8 = 1;
+/// Largest record stored inline: tag + bytes + one slot entry must fit an
+/// empty page.
+const MAX_INLINE: usize = PAGE_SIZE - SLOTS_OFF - 4 - 1;
+/// Overflow stub: tag, total length, chain head.
+const STUB_LEN: usize = 1 + 8 + 8;
+
+/// Stable address of a heap record: page plus slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordId {
+    /// The heap page holding the record (or its overflow stub).
+    pub page: PageId,
+    /// Slot index within the page.
+    pub slot: u16,
+}
+
+fn heap_header(buf: &[u8; PAGE_SIZE]) -> (u32, u16, u16) {
+    let table = u32::from_le_bytes([buf[TABLE_OFF], buf[TABLE_OFF + 1], buf[TABLE_OFF + 2], buf[TABLE_OFF + 3]]);
+    let nslots = u16::from_le_bytes([buf[NSLOTS_OFF], buf[NSLOTS_OFF + 1]]);
+    let tail = u16::from_le_bytes([buf[TAIL_OFF], buf[TAIL_OFF + 1]]);
+    (table, nslots, tail)
+}
+
+fn free_in(nslots: u16, tail: u16) -> usize {
+    (tail as usize).saturating_sub(SLOTS_OFF + 4 * nslots as usize)
+}
+
+/// One table's slotted-page heap within a shared pager.
+#[derive(Debug)]
+pub struct HeapFile {
+    pager: Arc<Pager>,
+    table_id: u32,
+    /// Heap pages of this table, in allocation order.
+    pages: Vec<PageId>,
+    /// Free bytes per heap page (in-memory; rebuilt on open).
+    fsm: BTreeMap<PageId, usize>,
+    records: u64,
+}
+
+impl HeapFile {
+    /// Fresh empty heap for `table_id`.
+    pub fn create(pager: Arc<Pager>, table_id: u32) -> HeapFile {
+        HeapFile { pager, table_id, pages: Vec::new(), fsm: BTreeMap::new(), records: 0 }
+    }
+
+    /// Reopen a heap from its surviving pages (recovery): rebuilds the
+    /// free-space map and record count from page headers.
+    pub fn open(
+        pager: Arc<Pager>,
+        table_id: u32,
+        pages: Vec<PageId>,
+    ) -> Result<HeapFile, XdmError> {
+        let mut fsm = BTreeMap::new();
+        let mut records = 0u64;
+        for &pid in &pages {
+            let (tid, nslots, tail) = pager.with_page(pid, |buf| heap_header(buf))?;
+            if tid != table_id {
+                return Err(XdmError::page_corrupt(format!(
+                    "page {pid}: heap page of table {tid}, expected {table_id}"
+                )));
+            }
+            fsm.insert(pid, free_in(nslots, tail));
+            records += u64::from(nslots);
+        }
+        Ok(HeapFile { pager, table_id, pages, fsm, records })
+    }
+
+    /// The shared pager underneath.
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    /// This heap's table id (the tag on its pages).
+    pub fn table_id(&self) -> u32 {
+        self.table_id
+    }
+
+    /// Heap pages in allocation order.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Records stored.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Append a record, returning its stable id. Oversized records spill
+    /// into an overflow chain with an inline stub.
+    pub fn insert(&mut self, record: &[u8]) -> Result<RecordId, XdmError> {
+        let payload: Vec<u8> = if record.len() <= MAX_INLINE - 1 {
+            let mut p = Vec::with_capacity(record.len() + 1);
+            p.push(TAG_INLINE);
+            p.extend_from_slice(record);
+            p
+        } else {
+            let head = chain_write(&self.pager, record)?;
+            let mut p = Vec::with_capacity(STUB_LEN);
+            p.push(TAG_OVERFLOW);
+            p.extend_from_slice(&(record.len() as u64).to_le_bytes());
+            p.extend_from_slice(&head.to_le_bytes());
+            p
+        };
+        let need = payload.len() + 4; // record bytes + a slot entry
+        let frozen = self.pager.frozen_below();
+        let target = self
+            .fsm
+            .iter()
+            .find(|(pid, free)| **pid >= frozen && **free >= need)
+            .map(|(pid, _)| *pid);
+        let pid = match target {
+            Some(pid) => pid,
+            None => {
+                let (pid, guard) = self.pager.allocate(PageKind::Heap)?;
+                {
+                    let mut buf = guard.data_mut();
+                    buf[TABLE_OFF..TABLE_OFF + 4].copy_from_slice(&self.table_id.to_le_bytes());
+                    buf[NSLOTS_OFF..NSLOTS_OFF + 2].copy_from_slice(&0u16.to_le_bytes());
+                    buf[TAIL_OFF..TAIL_OFF + 2]
+                        .copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+                }
+                drop(guard);
+                self.pages.push(pid);
+                self.fsm.insert(pid, free_in(0, PAGE_SIZE as u16));
+                pid
+            }
+        };
+        let slot = self.pager.with_page_mut(pid, |buf| {
+            let (_, nslots, tail) = heap_header(buf);
+            let new_tail = tail as usize - payload.len();
+            buf[new_tail..tail as usize].copy_from_slice(&payload);
+            let slot_off = SLOTS_OFF + 4 * nslots as usize;
+            buf[slot_off..slot_off + 2].copy_from_slice(&(new_tail as u16).to_le_bytes());
+            buf[slot_off + 2..slot_off + 4]
+                .copy_from_slice(&(payload.len() as u16).to_le_bytes());
+            buf[NSLOTS_OFF..NSLOTS_OFF + 2].copy_from_slice(&(nslots + 1).to_le_bytes());
+            buf[TAIL_OFF..TAIL_OFF + 2].copy_from_slice(&(new_tail as u16).to_le_bytes());
+            (nslots, free_in(nslots + 1, new_tail as u16))
+        })?;
+        self.fsm.insert(pid, slot.1);
+        self.records += 1;
+        Ok(RecordId { page: pid, slot: slot.0 })
+    }
+
+    /// Fetch a record by id, following its overflow chain if present.
+    /// `pages_fetched` counts physical page reads (1 for the heap page
+    /// plus one per chain link).
+    pub fn get_counted(
+        &self,
+        rid: RecordId,
+        pages_fetched: &mut u64,
+    ) -> Result<Vec<u8>, XdmError> {
+        *pages_fetched += 1;
+        let stub = self.pager.with_page(rid.page, |buf| {
+            if page_kind(buf) != Some(PageKind::Heap) {
+                return Err(XdmError::page_corrupt(format!(
+                    "page {}: expected a heap page",
+                    rid.page
+                )));
+            }
+            let (tid, nslots, _) = heap_header(buf);
+            if tid != self.table_id {
+                return Err(XdmError::page_corrupt(format!(
+                    "page {}: heap page of table {tid}, expected {}",
+                    rid.page, self.table_id
+                )));
+            }
+            if rid.slot >= nslots {
+                return Err(XdmError::page_corrupt(format!(
+                    "page {}: slot {} out of range ({nslots} slots)",
+                    rid.page, rid.slot
+                )));
+            }
+            let slot_off = SLOTS_OFF + 4 * rid.slot as usize;
+            let off = u16::from_le_bytes([buf[slot_off], buf[slot_off + 1]]) as usize;
+            let len = u16::from_le_bytes([buf[slot_off + 2], buf[slot_off + 3]]) as usize;
+            if off + len > PAGE_SIZE || len == 0 {
+                return Err(XdmError::page_corrupt(format!(
+                    "page {}: slot {} points outside the page",
+                    rid.page, rid.slot
+                )));
+            }
+            Ok(buf[off..off + len].to_vec())
+        })??;
+        match stub[0] {
+            TAG_INLINE => Ok(stub[1..].to_vec()),
+            TAG_OVERFLOW if stub.len() == STUB_LEN => {
+                let mut total = [0u8; 8];
+                total.copy_from_slice(&stub[1..9]);
+                let mut head = [0u8; 8];
+                head.copy_from_slice(&stub[9..17]);
+                let bytes = chain_read(&self.pager, PageId::from_le_bytes(head), pages_fetched)?;
+                if bytes.len() as u64 != u64::from_le_bytes(total) {
+                    return Err(XdmError::page_corrupt(format!(
+                        "record {:?}: overflow chain length mismatch",
+                        rid
+                    )));
+                }
+                Ok(bytes)
+            }
+            t => Err(XdmError::page_corrupt(format!("record {rid:?}: unknown record tag {t}"))),
+        }
+    }
+
+    /// Fetch a record by id.
+    pub fn get(&self, rid: RecordId) -> Result<Vec<u8>, XdmError> {
+        let mut n = 0;
+        self.get_counted(rid, &mut n)
+    }
+
+    /// Every record of one heap page, in slot order — the recovery scan.
+    pub fn page_records(&self, pid: PageId) -> Result<Vec<(RecordId, Vec<u8>)>, XdmError> {
+        let nslots = self.pager.with_page(pid, |buf| heap_header(buf).1)?;
+        let mut out = Vec::with_capacity(nslots as usize);
+        for slot in 0..nslots {
+            let rid = RecordId { page: pid, slot };
+            out.push((rid, self.get(rid)?));
+        }
+        Ok(out)
+    }
+}
+
+/// Discover which heap pages belong to which table by scanning the whole
+/// pager with torn-write classification (recovery entry point). Corrupt
+/// pages above the freeze watermark are discarded (counted in
+/// [`crate::PagerStats::discarded`]); corrupt frozen pages are a typed
+/// error.
+pub fn discover_heap_pages(
+    pager: &Arc<Pager>,
+) -> Result<BTreeMap<u32, Vec<PageId>>, XdmError> {
+    let mut out: BTreeMap<u32, Vec<PageId>> = BTreeMap::new();
+    for pid in 1..pager.page_count() {
+        let Some(guard) = pager.fetch_classified(pid)? else { continue };
+        let data = guard.data();
+        if page_kind(&data) == Some(PageKind::Heap) {
+            let (table_id, _, _) = heap_header(&data);
+            out.entry(table_id).or_default().push(pid);
+        }
+    }
+    Ok(out)
+}
+
+/// Page-file statistics for the `xqdb pages` subcommand.
+#[derive(Debug, Clone)]
+pub struct HeapStats {
+    /// Total pages in the file (including the Meta page).
+    pub pages: u64,
+    /// Heap pages.
+    pub heap_pages: u64,
+    /// Chain (overflow) pages.
+    pub chain_pages: u64,
+    /// Freed pages awaiting reuse.
+    pub free_pages: u64,
+    /// Payload bytes actually used across heap and chain pages.
+    pub used_bytes: u64,
+    /// used_bytes over the total payload capacity of non-meta pages.
+    pub fill_factor: f64,
+    /// Per-table extents: (table id, pages, records, used bytes).
+    pub tables: Vec<(u32, u64, u64, u64)>,
+}
+
+/// Compute [`HeapStats`] by scanning every page once.
+pub fn file_stats(pager: &Arc<Pager>) -> Result<HeapStats, XdmError> {
+    let total = pager.page_count();
+    let mut stats = HeapStats {
+        pages: total,
+        heap_pages: 0,
+        chain_pages: 0,
+        free_pages: 0,
+        used_bytes: 0,
+        fill_factor: 0.0,
+        tables: Vec::new(),
+    };
+    let mut per_table: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
+    for pid in 1..total {
+        let Some(guard) = pager.fetch_classified(pid)? else {
+            stats.free_pages += 1;
+            continue;
+        };
+        let data = guard.data();
+        match page_kind(&data) {
+            Some(PageKind::Heap) => {
+                stats.heap_pages += 1;
+                let (table_id, nslots, tail) = heap_header(&data);
+                let used = (PAGE_SIZE - tail as usize + 4 * nslots as usize) as u64;
+                stats.used_bytes += used;
+                let e = per_table.entry(table_id).or_default();
+                e.0 += 1;
+                e.1 += u64::from(nslots);
+                e.2 += used;
+            }
+            Some(PageKind::Chain) => {
+                stats.chain_pages += 1;
+                let mut len = [0u8; 4];
+                len.copy_from_slice(&data[HEADER_LEN + 8..HEADER_LEN + 12]);
+                stats.used_bytes += u64::from(u32::from_le_bytes(len)) + 12;
+            }
+            Some(PageKind::Free) => stats.free_pages += 1,
+            _ => {}
+        }
+    }
+    let capacity = (total.saturating_sub(1)) * (PAGE_SIZE - HEADER_LEN) as u64;
+    stats.fill_factor =
+        if capacity == 0 { 0.0 } else { stats.used_bytes as f64 / capacity as f64 };
+    stats.tables =
+        per_table.into_iter().map(|(t, (p, r, b))| (t, p, r, b)).collect();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(frames: usize) -> Arc<Pager> {
+        Arc::new(Pager::new_mem(frames))
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let pager = mem(4);
+        let mut heap = HeapFile::create(Arc::clone(&pager), 1);
+        let mut rids = Vec::new();
+        for i in 0..500usize {
+            let rec: Vec<u8> = format!("record-{i}-{}", "x".repeat(i % 97)).into_bytes();
+            rids.push((heap.insert(&rec).unwrap(), rec));
+        }
+        for (rid, rec) in &rids {
+            assert_eq!(&heap.get(*rid).unwrap(), rec);
+        }
+        assert_eq!(heap.record_count(), 500);
+        assert!(heap.pages().len() > 1, "500 records span several pages");
+    }
+
+    #[test]
+    fn oversized_records_overflow() {
+        let pager = mem(4);
+        let mut heap = HeapFile::create(Arc::clone(&pager), 7);
+        let big: Vec<u8> = (0..3 * PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+        let rid = heap.insert(&big).unwrap();
+        let small = b"tiny".to_vec();
+        let rid2 = heap.insert(&small).unwrap();
+        assert_eq!(heap.get(rid).unwrap(), big);
+        assert_eq!(heap.get(rid2).unwrap(), small);
+        let mut fetched = 0;
+        heap.get_counted(rid, &mut fetched).unwrap();
+        assert!(fetched > 1, "overflow record reads its chain");
+    }
+
+    #[test]
+    fn reopen_rebuilds_fsm_and_records() {
+        let pager = mem(8);
+        let mut heap = HeapFile::create(Arc::clone(&pager), 3);
+        let mut expect = Vec::new();
+        for i in 0..100usize {
+            let rec = format!("row {i}").into_bytes();
+            expect.push((heap.insert(&rec).unwrap(), rec));
+        }
+        let pages = heap.pages().to_vec();
+        let reopened = HeapFile::open(Arc::clone(&pager), 3, pages).unwrap();
+        assert_eq!(reopened.record_count(), 100);
+        for (rid, rec) in &expect {
+            assert_eq!(&reopened.get(*rid).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn discover_partitions_by_table() {
+        let pager = mem(8);
+        let mut a = HeapFile::create(Arc::clone(&pager), 1);
+        let mut b = HeapFile::create(Arc::clone(&pager), 2);
+        for i in 0..50 {
+            a.insert(format!("a{i}").as_bytes()).unwrap();
+            b.insert(format!("b{i}").as_bytes()).unwrap();
+        }
+        let found = discover_heap_pages(&pager).unwrap();
+        assert_eq!(found.get(&1).map(Vec::as_slice), Some(a.pages()));
+        assert_eq!(found.get(&2).map(Vec::as_slice), Some(b.pages()));
+    }
+
+    #[test]
+    fn frozen_pages_never_receive_inserts() {
+        let pager = mem(8);
+        let mut heap = HeapFile::create(Arc::clone(&pager), 1);
+        heap.insert(b"before checkpoint").unwrap();
+        let watermark = pager.freeze().unwrap();
+        let before_pages = heap.pages().to_vec();
+        heap.insert(b"after checkpoint").unwrap();
+        let new_pages: Vec<_> =
+            heap.pages().iter().filter(|p| !before_pages.contains(p)).collect();
+        assert!(!new_pages.is_empty(), "post-freeze insert goes to a new page");
+        assert!(new_pages.iter().all(|p| **p >= watermark));
+    }
+}

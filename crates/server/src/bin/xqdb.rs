@@ -37,9 +37,17 @@
 //!   existing state is recovered on startup, every mutation is logged
 //! - `--fsync MODE`     `always` | `batch` (default) | `off` — when
 //!   acknowledged records reach the disk
+//! - `--buffer-pages N` cap every buffer pool (the shared page file and
+//!   each index's node pool) at N 8 KiB frames; pages beyond that spill to
+//!   disk and fault back in on demand (also settable via
+//!   `XQDB_BUFFER_PAGES`)
 //! - `xqdb recover PATH` replay a data directory, print the recovery
-//!   report (snapshot loaded, records replayed, torn tails healed) and exit
-//! - `.checkpoint`       snapshot current state and prune the covered log
+//!   report (manifest loaded, WAL suffix replayed, torn tails healed) and
+//!   exit
+//! - `xqdb pages PATH`  print page-file statistics (page counts by kind,
+//!   fill factor, per-table extents) for a data directory or `.xqp` file
+//! - `.checkpoint`       flush dirty pages, write the manifest and prune
+//!   the covered log
 //!
 //! `explain analyze xquery <expr>;` and `EXPLAIN ANALYZE SELECT ...;` execute
 //! the statement and print the plan with actual timings, counters and the
@@ -73,6 +81,7 @@ struct CliLimits {
     data_dir: Option<String>,
     fsync: Option<xqdb_core::FsyncMode>,
     no_prefilter: bool,
+    buffer_pages: Option<usize>,
 }
 
 impl CliLimits {
@@ -93,6 +102,9 @@ impl CliLimits {
                     out.max_doc_bytes = Some(value("--max-doc-bytes")? as usize)
                 }
                 "--threads" => out.threads = Some(value("--threads")? as usize),
+                "--buffer-pages" => {
+                    out.buffer_pages = Some(value("--buffer-pages")? as usize)
+                }
                 "--trace" => out.trace = true,
                 "--no-prefilter" => out.no_prefilter = true,
                 "--metrics-json" => {
@@ -118,7 +130,7 @@ impl CliLimits {
                     })?)
                 }
                 "--help" | "-h" => {
-                    return Err("usage: xqdb [recover PATH] [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--no-prefilter] [--trace] [--metrics-json PATH] [--data-dir PATH] [--fsync always|batch|off]"
+                    return Err("usage: xqdb [recover PATH] [pages PATH] [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--buffer-pages N] [--no-prefilter] [--trace] [--metrics-json PATH] [--data-dir PATH] [--fsync always|batch|off]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}; try --help")),
@@ -152,6 +164,14 @@ fn main() {
         };
         std::process::exit(run_recover(dir));
     }
+    // `xqdb pages PATH` — print page-file statistics, exit.
+    if args.first().map(String::as_str) == Some("pages") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: xqdb pages PATH (a data directory or a .xqp page file)");
+            std::process::exit(2);
+        };
+        std::process::exit(run_pages(path));
+    }
     // `xqdb serve ...` — run the concurrent TCP front end until SIGTERM.
     if args.first().map(String::as_str) == Some("serve") {
         std::process::exit(run_serve(&args[1..]));
@@ -168,6 +188,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // The flag is just a spelling of the env knob; every pool created from
+    // here on (row store, recovery, index node pools) reads it. Set before
+    // any session exists, while the process is still single-threaded.
+    if let Some(n) = limits.buffer_pages {
+        std::env::set_var("XQDB_BUFFER_PAGES", n.to_string());
+    }
     let mut session = match &limits.data_dir {
         None => SqlSession::new(),
         Some(dir) => {
@@ -200,6 +226,10 @@ fn main() {
         tracing: limits.trace,
     });
     session.set_obs(obs.clone());
+    obs.set_gauge(
+        xqdb_obs::Gauge::BufferPoolPages,
+        session.catalog.db.pager().capacity() as u64,
+    );
     session.prefilter = !limits.no_prefilter;
     let stdin = io::stdin();
     let mut buffer = String::new();
@@ -268,6 +298,59 @@ fn run_recover(dir: &str) -> i32 {
     }
 }
 
+/// `xqdb pages PATH`: open a page file (PATH is a data directory holding
+/// `pages.xqp`, or the `.xqp` file itself) and print its statistics —
+/// page counts by kind, fill factor, and per-table extents. A torn
+/// trailing page (a crashed partial write) is reported; opening trims it,
+/// exactly as recovery would before replaying the WAL suffix.
+fn run_pages(arg: &str) -> i32 {
+    let p = std::path::Path::new(arg);
+    let file = if p.is_dir() { p.join(xqdb_core::PAGES_FILE) } else { p.to_path_buf() };
+    if !file.exists() {
+        eprintln!("error: no page file at {}", file.display());
+        return 2;
+    }
+    let (pager, torn) =
+        match xqdb_pager::Pager::open_file(&file, xqdb_pager::DEFAULT_BUFFER_PAGES, 0) {
+            Ok(opened) => opened,
+            Err(e) => {
+                eprintln!("error: could not open {}: {e}", file.display());
+                return 1;
+            }
+        };
+    let pager = std::sync::Arc::new(pager);
+    let stats = match xqdb_pager::file_stats(&pager) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not scan {}: {e}", file.display());
+            return 1;
+        }
+    };
+    println!(
+        "page file {} — {} page(s), {} KiB",
+        file.display(),
+        stats.pages,
+        stats.pages * xqdb_pager::PAGE_SIZE as u64 / 1024
+    );
+    println!(
+        "  heap: {}  chain: {}  free: {}  meta: 1",
+        stats.heap_pages, stats.chain_pages, stats.free_pages
+    );
+    println!(
+        "  used: {} byte(s), fill factor {:.2}",
+        stats.used_bytes, stats.fill_factor
+    );
+    if torn {
+        println!("  torn trailing page trimmed (recovery replays the WAL suffix to heal it)");
+    }
+    for (table_id, pages, records, bytes) in &stats.tables {
+        println!(
+            "  table {table_id}: {pages} page(s), {records} record(s), {bytes} byte(s)"
+        );
+    }
+    0
+}
+
 /// Graceful-shutdown signals, std-only: a raw `signal(2)` registration
 /// that flips an atomic the serve loop polls. `SIGINT` is included so an
 /// interactive ^C drains the same way `SIGTERM` does.
@@ -316,6 +399,7 @@ struct ServeOpts {
     data_dir: Option<String>,
     fsync: Option<xqdb_core::FsyncMode>,
     metrics_json: Option<String>,
+    buffer_pages: Option<usize>,
 }
 
 impl ServeOpts {
@@ -327,6 +411,7 @@ impl ServeOpts {
             data_dir: None,
             fsync: None,
             metrics_json: None,
+            buffer_pages: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -357,6 +442,10 @@ impl ServeOpts {
                     ))
                 }
                 "--threads" => out.threads = Some(parse_num(&text("--threads")?, "--threads")?),
+                "--buffer-pages" => {
+                    out.buffer_pages =
+                        Some(parse_num(&text("--buffer-pages")?, "--buffer-pages")?)
+                }
                 "--data-dir" => out.data_dir = Some(text("--data-dir")?),
                 "--fsync" => {
                     let mode = text("--fsync")?;
@@ -366,7 +455,7 @@ impl ServeOpts {
                 }
                 "--metrics-json" => out.metrics_json = Some(text("--metrics-json")?),
                 "--help" | "-h" => {
-                    return Err("usage: xqdb serve [--addr HOST:PORT] [--max-sessions N] [--session-budget N] [--queue-depth N] [--queue-timeout-ms N] [--request-timeout-ms N] [--threads N] [--data-dir PATH] [--fsync always|batch|off] [--metrics-json PATH]"
+                    return Err("usage: xqdb serve [--addr HOST:PORT] [--max-sessions N] [--session-budget N] [--queue-depth N] [--queue-timeout-ms N] [--request-timeout-ms N] [--threads N] [--buffer-pages N] [--data-dir PATH] [--fsync always|batch|off] [--metrics-json PATH]"
                         .to_string())
                 }
                 other => return Err(format!("unknown serve flag {other}; try --help")),
@@ -393,6 +482,11 @@ fn run_serve(args: &[String]) -> i32 {
             return 2;
         }
     };
+    // Same spelling-of-the-env-knob rule as the shell path: set before the
+    // session (and its pools) exist, while still single-threaded.
+    if let Some(n) = opts.buffer_pages {
+        std::env::set_var("XQDB_BUFFER_PAGES", n.to_string());
+    }
     let mut session = match &opts.data_dir {
         None => SqlSession::new(),
         Some(dir) => {
@@ -416,6 +510,10 @@ fn run_serve(args: &[String]) -> i32 {
         xqdb_runtime::RuntimeConfig::with_threads(opts.threads.unwrap_or(1));
     let obs = Obs::new(ObsConfig { metrics: true, tracing: false });
     session.set_obs(obs.clone());
+    obs.set_gauge(
+        xqdb_obs::Gauge::BufferPoolPages,
+        session.catalog.db.pager().capacity() as u64,
+    );
     sig::install();
     let handle = match xqdb_server::Server::start(&opts.addr, opts.cfg.clone(), session) {
         Ok(h) => h,
@@ -437,7 +535,7 @@ fn run_serve(args: &[String]) -> i32 {
         report.connections_served, report.connection_panics
     );
     match (&report.checkpoint_seq, &report.checkpoint_error) {
-        (Some(seq), _) => println!("checkpoint written: snapshot covers sequence {seq}"),
+        (Some(seq), _) => println!("checkpoint written: manifest covers sequence {seq}"),
         (None, Some(e)) => eprintln!("warning: shutdown checkpoint failed: {e}"),
         (None, None) => {}
     }
@@ -605,13 +703,14 @@ fn dot_command(session: &SqlSession, cmd: &str) -> bool {
                  SQL:          CREATE TABLE/INDEX, INSERT, SELECT (XMLQUERY/XMLEXISTS/XMLTABLE/XMLCAST), EXPLAIN [ANALYZE] SELECT, VALUES\n\
                  XQuery:       xquery <expr>;        explain xquery <expr>;        explain analyze xquery <expr>;\n\
                  shell:        .tables  .indexes  .checkpoint  .help  .quit\n\
-                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N  --no-prefilter  --trace  --metrics-json PATH\n\
+                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N  --buffer-pages N  --no-prefilter  --trace  --metrics-json PATH\n\
                  prefilter:    structural pre-filter is on by default; disable with --no-prefilter or XQDB_PREFILTER=off\n\
+                 storage:      --buffer-pages N (or XQDB_BUFFER_PAGES) caps every buffer pool; xqdb pages PATH prints page-file stats\n\
                  durability:   --data-dir PATH  --fsync always|batch|off  (xqdb recover PATH replays and reports)"
             );
         }
         ".checkpoint" => match session.checkpoint() {
-            Ok(Some(covers)) => println!("checkpoint written: snapshot covers sequence {covers}"),
+            Ok(Some(covers)) => println!("checkpoint written: manifest covers sequence {covers}"),
             Ok(None) => println!("session is in-memory; start with --data-dir to checkpoint"),
             Err(e) => report_error(&e),
         },

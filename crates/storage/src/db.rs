@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use xqdb_pager::Pager;
 use xqdb_xdm::{ErrorCode, FaultInjector, Item, Sequence, XdmError};
 use xqdb_xqeval::CollectionProvider;
 
@@ -34,10 +35,17 @@ pub trait PersistenceHook: std::fmt::Debug + Send + Sync {
     ) -> Result<(), XdmError>;
 }
 
-/// An in-memory database.
-#[derive(Debug, Default, Clone)]
+/// A database whose table rows live in heap pages behind one shared
+/// buffer pool.
+#[derive(Debug)]
 pub struct Database {
     tables: HashMap<String, Table>,
+    /// The shared pager all tables' heap pages live in — in-memory by
+    /// default, file-backed for durable sessions.
+    pager: Arc<Pager>,
+    /// Next heap table id to hand out (0 is reserved for free-standing
+    /// tables not yet adopted by a database).
+    next_table_id: u32,
     /// Chaos-testing hook: when set, each document fetched from an XML
     /// column is an injection point. A fired fault surfaces as a typed
     /// `StorageFault` error — document data has no fallback, so the engine
@@ -47,10 +55,34 @@ pub struct Database {
     persistence: Option<Arc<dyn PersistenceHook>>,
 }
 
+impl Default for Database {
+    fn default() -> Self {
+        Database::with_pager(Arc::new(Pager::new_mem(xqdb_pager::buffer_pages_from_env())))
+    }
+}
+
 impl Database {
-    /// Create an empty database.
+    /// Create an empty database over a fresh in-memory pager sized from
+    /// `XQDB_BUFFER_PAGES`.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty database over a specific pager (file-backed for
+    /// durable sessions, or a small in-memory pool in eviction tests).
+    pub fn with_pager(pager: Arc<Pager>) -> Self {
+        Database {
+            tables: HashMap::new(),
+            pager,
+            next_table_id: 1,
+            fault_injector: None,
+            persistence: None,
+        }
+    }
+
+    /// The pager that backs this database's tables.
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
     }
 
     /// Install (or clear) the storage fault injector.
@@ -76,6 +108,10 @@ impl Database {
     /// Register a table. Fails if a table of that name exists. With a
     /// persistence hook installed the DDL is logged write-ahead: a log
     /// failure vetoes the creation.
+    ///
+    /// The table is re-homed onto the database's shared pager under a
+    /// fresh table id (any rows it already holds migrate), so every
+    /// catalog table competes for the same bounded pool of frames.
     pub fn create_table(&mut self, table: Table) -> Result<(), XdmError> {
         let name = table.name.clone();
         if self.tables.contains_key(&name) {
@@ -87,6 +123,30 @@ impl Database {
         if let Some(hook) = &self.persistence {
             hook.log_create_table(&table)?;
         }
+        let table_id = self.next_table_id;
+        self.next_table_id += 1;
+        let mut homed =
+            Table::with_pager(&name, table.columns.clone(), Arc::clone(&self.pager), table_id);
+        for item in table.scan() {
+            let (_, row) = item?;
+            homed.push_row(row)?;
+        }
+        self.tables.insert(name, homed);
+        Ok(())
+    }
+
+    /// Register a table recovered from persistent pages, keeping its pager
+    /// and table id (it already lives in the shared page file). Bumps the
+    /// id allocator past it so later CREATE TABLEs don't collide.
+    pub fn adopt_recovered_table(&mut self, table: Table) -> Result<(), XdmError> {
+        let name = table.name.clone();
+        if self.tables.contains_key(&name) {
+            return Err(XdmError::new(
+                ErrorCode::SqlType,
+                format!("table {name} already exists"),
+            ));
+        }
+        self.next_table_id = self.next_table_id.max(table.table_id() + 1);
         self.tables.insert(name, table);
         Ok(())
     }
@@ -116,7 +176,7 @@ impl Database {
         let t = self.tables.get_mut(&upper).ok_or_else(|| {
             XdmError::internal(format!("table {table} vanished during insert"))
         })?;
-        Ok(t.push_row(row))
+        t.push_row(row)
     }
 
     /// All table names, sorted (for catalog listings).
@@ -151,7 +211,8 @@ impl CollectionProvider for Database {
     fn xmlcolumn(&self, name: &str) -> Result<Sequence, XdmError> {
         let (table, col) = self.resolve_xml_column(name)?;
         let mut out = Vec::with_capacity(table.len());
-        for (rowid, row) in table.scan() {
+        for item in table.scan() {
+            let (rowid, row) = item?;
             if let Some(inj) = &self.fault_injector {
                 if inj.should_fail() {
                     return Err(XdmError::storage_fault(format!(
@@ -234,6 +295,18 @@ mod tests {
             .create_table(Table::new("ORDERS", vec![]))
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::SqlType);
+    }
+
+    #[test]
+    fn tables_share_the_database_pager() {
+        let mut db = db_with_orders(&["<order/>"]);
+        db.create_table(Table::new("other", vec![Column::new("x", SqlType::Integer)]))
+            .unwrap();
+        let a = db.table("orders").unwrap();
+        let b = db.table("other").unwrap();
+        assert!(Arc::ptr_eq(a.pager(), db.pager()));
+        assert!(Arc::ptr_eq(b.pager(), db.pager()));
+        assert_ne!(a.table_id(), b.table_id());
     }
 
     #[test]

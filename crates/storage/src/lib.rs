@@ -8,9 +8,12 @@
 //! create table products (id varchar(13), name varchar(32));
 //! ```
 //!
-//! Tables are in-memory row stores. XML columns hold parsed
-//! [`xqdb_xdm::Document`] trees (the "native XML storage" of DB2 Viper —
-//! all XDM information preserved, schemas optional and per-document).
+//! Tables are append-only row stores over `xqdb-pager` heap pages: rows
+//! encode through [`rowcodec`] into slotted pages behind a bounded buffer
+//! pool, so collections bigger than RAM work by eviction rather than by
+//! luck. XML columns hold [`xqdb_xdm::Document`] trees (the "native XML
+//! storage" of DB2 Viper — all XDM information preserved, schemas optional
+//! and per-document), serialized in page records and re-parsed on fetch.
 //! The [`Database`] also implements
 //! [`xqdb_xqeval::CollectionProvider`], so `db2-fn:xmlcolumn('T.C')` resolves
 //! against stored tables.
@@ -20,14 +23,15 @@
 //! XQuery's exact comparison.
 
 pub mod db;
+pub mod rowcodec;
 pub mod synopsis;
 pub mod table;
 pub mod value;
 
 pub use db::{Database, PersistenceHook};
 pub use synopsis::{
-    document_paths, extend_attribute, extend_element, render_component, signature_for_document,
-    PathSignature, PathSynopsis, PATH_HASH_SEED,
+    document_paths, extend_attribute, extend_element, hash_rendered_path, render_component,
+    signature_for_document, PathSignature, PathSynopsis, PATH_HASH_SEED,
 };
 pub use table::{Column, RowId, Table};
 pub use value::{sql_compare, SqlType, SqlValue};

@@ -86,6 +86,16 @@ impl PathSignature {
     pub fn count_ones(&self) -> u32 {
         self.bits.iter().map(|w| w.count_ones()).sum()
     }
+
+    /// The raw bit words (serialization into heap records).
+    pub fn words(&self) -> &[u64; SIGNATURE_WORDS] {
+        &self.bits
+    }
+
+    /// Rebuild from raw bit words (deserialization from heap records).
+    pub fn from_words(bits: [u64; SIGNATURE_WORDS]) -> PathSignature {
+        PathSignature { bits }
+    }
 }
 
 fn mix_bytes(mut h: u64, bytes: &[u8]) -> u64 {
@@ -104,6 +114,16 @@ fn mix_name(h: u64, name: &ExpandedName) -> u64 {
         None => h,
     };
     mix_bytes(h, name.local.as_bytes())
+}
+
+/// Hash a rendered rooted path (the `/{ns}a/b/@c` clark form emitted by
+/// [`render_component`]). Byte-identical to the incremental
+/// [`extend_element`]/[`extend_attribute`] chain — [`extend_element`]
+/// mixes `/` then the clark-form name, which is exactly what
+/// [`render_component`] appends — so a synopsis persisted as rendered
+/// strings (the checkpoint manifest) rehydrates to the same hash keys.
+pub fn hash_rendered_path(path: &str) -> u64 {
+    mix_bytes(PATH_HASH_SEED, path.as_bytes())
 }
 
 /// Extend a rooted-path hash by one child **element** step.
@@ -160,6 +180,25 @@ impl PathSynopsis {
             .entry(hash)
             .and_modify(|(_, n)| *n += 1)
             .or_insert_with(|| (render(), 1));
+    }
+
+    /// `(rendered path, count)` pairs sorted by path — the deterministic
+    /// form the checkpoint manifest persists.
+    pub fn entries(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> =
+            self.paths.values().map(|(p, n)| (p.clone(), *n)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rebuild a synopsis from persisted `(rendered path, count)` pairs,
+    /// re-deriving each hash key via [`hash_rendered_path`].
+    pub fn from_entries(entries: impl IntoIterator<Item = (String, u64)>) -> PathSynopsis {
+        let mut paths = HashMap::new();
+        for (p, n) in entries {
+            paths.insert(hash_rendered_path(&p), (p, n));
+        }
+        PathSynopsis { paths }
     }
 }
 

@@ -1,7 +1,25 @@
-//! Tables and rows.
+//! Tables: append-only row stores over paged heap files.
+//!
+//! Rows no longer live in a `Vec` — they are encoded through
+//! [`crate::rowcodec`] into a slotted-page [`HeapFile`] behind a buffer
+//! pool, so a table bigger than the pool's frame budget still works (the
+//! pool evicts clean pages and writes back dirty ones). What stays in
+//! memory per row is deliberately tiny: the heap [`RecordId`] directory
+//! (rowid → record address) and the 32-byte structural path signature
+//! the pre-filter needs on every query.
+//!
+//! Scans decode rows on the fly, which re-parses XML cells into fresh
+//! document trees. That is semantically safe for the same reason WAL
+//! replay is: parse order equals row order, so document identities are
+//! assigned monotonically within a scan, and Definition 1 observes
+//! content, not identity.
 
+use std::sync::Arc;
+
+use xqdb_pager::{HeapFile, PageId, Pager, RecordId};
 use xqdb_xdm::{ErrorCode, XdmError};
 
+use crate::rowcodec::{decode_header, decode_row, encode_row};
 use crate::synopsis::{observe_document, PathSignature, PathSynopsis};
 use crate::value::{SqlType, SqlValue};
 
@@ -21,36 +39,132 @@ impl Column {
     }
 }
 
-/// Row identifier: position in the table's row vector. Stable because rows
-/// are append-only (no SQL DELETE in the engine's scope).
+/// Row identifier: dense insertion ordinal. Stable because rows are
+/// append-only (no SQL DELETE in the engine's scope).
 pub type RowId = usize;
 
-/// An in-memory, append-only row store.
-#[derive(Debug, Clone)]
+/// An append-only row store backed by heap pages.
 pub struct Table {
     /// Table name, upper-cased.
     pub name: String,
     /// Column definitions.
     pub columns: Vec<Column>,
-    rows: Vec<Vec<SqlValue>>,
+    heap: HeapFile,
+    /// rowid → heap record address.
+    directory: Vec<RecordId>,
     /// One structural path signature per row (union over the row's XML
-    /// cells), maintained in [`Table::push_row`]. Derived state: WAL replay
-    /// re-inserts rows through the same path, so recovery rebuilds it.
+    /// cells), maintained in [`Table::push_row`] and persisted in the
+    /// record header so recovery rebuilds it without parsing XML.
     signatures: Vec<PathSignature>,
     /// Dictionary of distinct rooted paths observed across all rows.
     synopsis: PathSynopsis,
 }
 
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("columns", &self.columns)
+            .field("rows", &self.directory.len())
+            .field("heap_pages", &self.heap.pages().len())
+            .finish()
+    }
+}
+
 impl Table {
-    /// Create an empty table.
+    /// Create an empty table over its own private in-memory pager (sized
+    /// from `XQDB_BUFFER_PAGES`). Used by unit tests and ad-hoc callers;
+    /// the catalog re-homes tables onto its shared pager at CREATE TABLE.
     pub fn new(name: impl AsRef<str>, columns: Vec<Column>) -> Self {
+        let pager = Arc::new(Pager::new_mem(xqdb_pager::buffer_pages_from_env()));
+        Table::with_pager(name, columns, pager, 0)
+    }
+
+    /// Create an empty table whose rows live in `pager` under `table_id`.
+    pub fn with_pager(
+        name: impl AsRef<str>,
+        columns: Vec<Column>,
+        pager: Arc<Pager>,
+        table_id: u32,
+    ) -> Self {
         Table {
             name: name.as_ref().to_ascii_uppercase(),
             columns,
-            rows: Vec::new(),
+            heap: HeapFile::create(pager, table_id),
+            directory: Vec::new(),
             signatures: Vec::new(),
             synopsis: PathSynopsis::default(),
         }
+    }
+
+    /// Reopen a table from its surviving heap pages (recovery). Rows with
+    /// rowid `>= row_count` are ignored: they were inserted after the
+    /// checkpoint that produced the manifest, and the WAL suffix re-creates
+    /// them through [`Table::push_row`]. Signatures come from record
+    /// headers — no XML is parsed here, which is what makes suffix-only
+    /// recovery fast. The synopsis starts empty; the caller installs the
+    /// manifest's dictionary via [`Table::set_synopsis`].
+    pub fn from_pages(
+        name: impl AsRef<str>,
+        columns: Vec<Column>,
+        pager: Arc<Pager>,
+        table_id: u32,
+        pages: Vec<PageId>,
+        row_count: u64,
+    ) -> Result<Self, XdmError> {
+        let name = name.as_ref().to_ascii_uppercase();
+        let heap = HeapFile::open(pager, table_id, pages)?;
+        let mut entries: Vec<(u64, RecordId, PathSignature)> = Vec::new();
+        for &pid in heap.pages() {
+            for (rid, bytes) in heap.page_records(pid)? {
+                let (rowid, sig) = decode_header(&bytes)?;
+                if rowid < row_count {
+                    entries.push((rowid, rid, sig));
+                }
+            }
+        }
+        entries.sort_by_key(|e| e.0);
+        let mut directory = Vec::with_capacity(entries.len());
+        let mut signatures = Vec::with_capacity(entries.len());
+        for (expect, (rowid, rid, sig)) in entries.into_iter().enumerate() {
+            if rowid != expect as u64 {
+                return Err(XdmError::page_corrupt(format!(
+                    "table {name}: heap pages are missing row {expect} (next surviving rowid is {rowid})"
+                )));
+            }
+            directory.push(rid);
+            signatures.push(sig);
+        }
+        if (directory.len() as u64) < row_count {
+            return Err(XdmError::page_corrupt(format!(
+                "table {name}: heap pages hold {} of {row_count} checkpointed rows",
+                directory.len()
+            )));
+        }
+        Ok(Table {
+            name,
+            columns,
+            heap,
+            directory,
+            signatures,
+            synopsis: PathSynopsis::default(),
+        })
+    }
+
+    /// Install a synopsis dictionary (recovery: the manifest's snapshot,
+    /// which subsequent [`Table::push_row`] calls extend).
+    pub fn set_synopsis(&mut self, synopsis: PathSynopsis) {
+        self.synopsis = synopsis;
+    }
+
+    /// The pager this table's heap pages live in.
+    pub fn pager(&self) -> &Arc<Pager> {
+        self.heap.pager()
+    }
+
+    /// The heap's table id (tag on its pages, recorded in the manifest).
+    pub fn table_id(&self) -> u32 {
+        self.heap.table_id()
     }
 
     /// Index of the named column (case-insensitive).
@@ -63,7 +177,7 @@ impl Table {
     /// row's id.
     pub fn insert(&mut self, values: Vec<SqlValue>) -> Result<RowId, XdmError> {
         let row = self.conform_row(values)?;
-        Ok(self.push_row(row))
+        self.push_row(row)
     }
 
     /// Validate and type-conform a candidate row without applying it. Split
@@ -94,16 +208,19 @@ impl Table {
     /// The single choke point every insert path goes through (direct
     /// inserts, catalog inserts, WAL replay), so the row's path signature
     /// and the table synopsis stay consistent with the stored documents.
-    pub fn push_row(&mut self, row: Vec<SqlValue>) -> RowId {
+    pub fn push_row(&mut self, row: Vec<SqlValue>) -> Result<RowId, XdmError> {
         let mut sig = PathSignature::default();
         for v in &row {
             if let SqlValue::Xml(n) = v {
                 sig.union_with(&observe_document(n, Some(&mut self.synopsis)));
             }
         }
+        let rowid = self.directory.len() as u64;
+        let bytes = encode_row(rowid, &sig, &row);
+        let rid = self.heap.insert(&bytes)?;
+        self.directory.push(rid);
         self.signatures.push(sig);
-        self.rows.push(row);
-        self.rows.len() - 1
+        Ok(rowid as RowId)
     }
 
     /// The structural path signature of a row.
@@ -118,30 +235,52 @@ impl Table {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.directory.len()
     }
 
     /// True if the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.directory.is_empty()
     }
 
-    /// Borrow a row.
-    pub fn row(&self, id: RowId) -> Option<&[SqlValue]> {
-        self.rows.get(id).map(Vec::as_slice)
+    /// Heap pages of this table, in allocation order.
+    pub fn heap_pages(&self) -> &[PageId] {
+        self.heap.pages()
     }
 
-    /// Borrow a single cell.
-    pub fn cell(&self, id: RowId, col: usize) -> Option<&SqlValue> {
-        self.rows.get(id).and_then(|r| r.get(col))
+    /// Fetch a row from its heap page, counting physical page reads into
+    /// `pages_fetched`. `Ok(None)` for out-of-range ids; decode or page
+    /// errors are typed.
+    pub fn row_counted(
+        &self,
+        id: RowId,
+        pages_fetched: &mut u64,
+    ) -> Result<Option<Vec<SqlValue>>, XdmError> {
+        let Some(rid) = self.directory.get(id) else { return Ok(None) };
+        let bytes = self.heap.get_counted(*rid, pages_fetched)?;
+        let (_, _, row) = decode_row(&bytes)?;
+        Ok(Some(row))
     }
 
-    /// Iterate `(RowId, &row)` pairs — the full table scan.
-    pub fn scan(&self) -> impl Iterator<Item = (RowId, &[SqlValue])> {
-        self.rows.iter().enumerate().map(|(i, r)| (i, r.as_slice()))
+    /// Fetch a row from its heap page.
+    pub fn row(&self, id: RowId) -> Result<Option<Vec<SqlValue>>, XdmError> {
+        let mut n = 0;
+        self.row_counted(id, &mut n)
     }
 
-    /// Iterate `(RowId, &row)` pairs for rows in `[start, end)` — the
+    /// Fetch a single cell (decodes the whole row — rows are records).
+    pub fn cell(&self, id: RowId, col: usize) -> Result<Option<SqlValue>, XdmError> {
+        Ok(self.row(id)?.and_then(|r| r.into_iter().nth(col)))
+    }
+
+    /// Iterate `(RowId, row)` pairs — the full table scan. Rows decode
+    /// lazily from their heap pages, so only the pages the iterator has
+    /// reached occupy pool frames.
+    pub fn scan(&self) -> impl Iterator<Item = Result<(RowId, Vec<SqlValue>), XdmError>> + '_ {
+        self.scan_range(0, self.directory.len())
+    }
+
+    /// Iterate `(RowId, row)` pairs for rows in `[start, end)` — the
     /// sharded scan used by parallel execution, so each worker touches only
     /// its own row range instead of re-scanning the whole table. Out-of-range
     /// bounds are clamped.
@@ -149,13 +288,14 @@ impl Table {
         &self,
         start: RowId,
         end: RowId,
-    ) -> impl Iterator<Item = (RowId, &[SqlValue])> {
-        let end = end.min(self.rows.len());
+    ) -> impl Iterator<Item = Result<(RowId, Vec<SqlValue>), XdmError>> + '_ {
+        let end = end.min(self.directory.len());
         let start = start.min(end);
-        self.rows[start..end]
-            .iter()
-            .enumerate()
-            .map(move |(i, r)| (start + i, r.as_slice()))
+        (start..end).map(move |id| {
+            let bytes = self.heap.get(self.directory[id])?;
+            let (_, _, row) = decode_row(&bytes)?;
+            Ok((id, row))
+        })
     }
 }
 
@@ -179,7 +319,7 @@ mod tests {
             .unwrap();
         assert_eq!(id, 0);
         assert_eq!(t.len(), 1);
-        let rows: Vec<_> = t.scan().collect();
+        let rows: Vec<_> = t.scan().collect::<Result<_, _>>().unwrap();
         assert_eq!(rows.len(), 1);
         assert!(matches!(rows[0].1[0], SqlValue::Integer(1)));
     }
@@ -191,11 +331,14 @@ mod tests {
             let doc = xqdb_xmlparse::parse_document("<order/>").unwrap();
             t.insert(vec![SqlValue::Integer(i), SqlValue::Xml(doc.root())]).unwrap();
         }
-        let all: Vec<RowId> = t.scan().map(|(r, _)| r).collect();
-        let mid: Vec<RowId> = t.scan_range(1, 4).map(|(r, _)| r).collect();
+        let all: Vec<RowId> = t.scan().map(|r| r.unwrap().0).collect();
+        let mid: Vec<RowId> = t.scan_range(1, 4).map(|r| r.unwrap().0).collect();
         assert_eq!(mid, all[1..4]);
         // Clamped bounds: past-the-end and inverted ranges are empty/safe.
-        assert_eq!(t.scan_range(3, 99).map(|(r, _)| r).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(
+            t.scan_range(3, 99).map(|r| r.unwrap().0).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
         assert!(t.scan_range(4, 2).next().is_none());
     }
 
@@ -221,5 +364,55 @@ mod tests {
             .insert(vec![SqlValue::Varchar("x".into()), SqlValue::Null])
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::SqlType);
+    }
+
+    #[test]
+    fn rows_survive_tiny_pool_eviction() {
+        // 2 frames over hundreds of multi-KiB rows: every scan step evicts.
+        let pager = Arc::new(Pager::new_mem(2));
+        let mut t = Table::with_pager(
+            "big",
+            vec![Column::new("id", SqlType::Integer), Column::new("doc", SqlType::Xml)],
+            pager,
+            1,
+        );
+        for i in 0..100i64 {
+            let xml = format!("<row n=\"{i}\">{}</row>", "payload ".repeat(200));
+            let doc = xqdb_xmlparse::parse_document(&xml).unwrap();
+            t.insert(vec![SqlValue::Integer(i), SqlValue::Xml(doc.root())]).unwrap();
+        }
+        let mut seen = 0;
+        for item in t.scan() {
+            let (id, row) = item.unwrap();
+            assert!(matches!(row[0], SqlValue::Integer(n) if n == id as i64));
+            seen += 1;
+        }
+        assert_eq!(seen, 100);
+        // Point fetches after a full scan still work (pages re-fault in).
+        let row = t.row(42).unwrap().unwrap();
+        assert!(matches!(row[0], SqlValue::Integer(42)));
+    }
+
+    #[test]
+    fn from_pages_rebuilds_directory_and_signatures() {
+        let pager = Arc::new(Pager::new_mem(8));
+        let cols =
+            vec![Column::new("id", SqlType::Integer), Column::new("doc", SqlType::Xml)];
+        let mut t = Table::with_pager("t", cols.clone(), Arc::clone(&pager), 5);
+        for i in 0..30i64 {
+            let doc = xqdb_xmlparse::parse_document(&format!("<d><k{i}/></d>")).unwrap();
+            t.insert(vec![SqlValue::Integer(i), SqlValue::Xml(doc.root())]).unwrap();
+        }
+        let pages = t.heap_pages().to_vec();
+        // Reopen keeping only the first 20 rows (as if rows 20.. were
+        // post-checkpoint and will be replayed from the WAL suffix).
+        let r = Table::from_pages("t", cols, pager, 5, pages, 20).unwrap();
+        assert_eq!(r.len(), 20);
+        for i in 0..20usize {
+            assert_eq!(r.signature(i), t.signature(i), "signature {i} survives");
+            let row = r.row(i).unwrap().unwrap();
+            assert!(matches!(row[0], SqlValue::Integer(n) if n == i as i64));
+        }
+        assert!(r.row(20).unwrap().is_none());
     }
 }

@@ -21,12 +21,14 @@
 //! state lives in `xqdb-core`'s `durability` module.
 
 pub mod log;
+pub mod manifest;
 pub mod record;
 
 pub use log::{
     replay, segment_file_name, snapshot_file_name, write_snapshot, CrashInjector, FsyncMode,
     Recovered, WalConfig, WalWriter,
 };
+pub use manifest::{read_manifest, write_manifest, Manifest, ManifestTable, MANIFEST_FILE};
 pub use record::{crc32, parse_frame, FrameOutcome, WalRecord, WalValue, FRAME_HEADER};
 
 #[cfg(test)]
@@ -233,6 +235,41 @@ mod tests {
         assert_eq!(rec.snapshot_records.len(), 6);
         assert_eq!(rec.wal_records.len(), 1, "only the post-checkpoint record replays");
         assert_eq!(rec.last_seq, 7);
+        assert_eq!(rec.segments_scanned, 1, "covered segments pruned");
+    }
+
+    #[test]
+    fn manifest_checkpoint_bounds_replay_to_the_suffix() {
+        let dir = temp_dir("manifest_ckpt");
+        let mut w = WalWriter::open(
+            &dir,
+            WalConfig { fsync: FsyncMode::Off, ..WalConfig::default() },
+            0,
+        )
+        .unwrap();
+        append_all(&mut w, 6);
+        // Paged checkpoint: flush, manifest, rotate, checkpoint marker, prune.
+        w.flush().unwrap();
+        let covers = w.next_seq() - 1;
+        let manifest = Manifest { covers, frozen_below: 9, ..Manifest::default() };
+        write_manifest(&dir, &manifest).unwrap();
+        w.rotate().unwrap();
+        w.append(&WalRecord::Checkpoint { covers }).unwrap();
+        w.prune(covers).unwrap();
+        let (seq, _) = w.append(&insert(6)).unwrap();
+        assert_eq!(seq, 8, "checkpoint marker takes seq 7");
+        drop(w);
+        let rec = replay(&dir).unwrap();
+        assert_eq!(rec.snapshot_covers, 0, "no snapshot file involved");
+        assert_eq!(rec.manifest.as_ref().map(|m| m.covers), Some(6));
+        assert_eq!(rec.manifest.as_ref().map(|m| m.frozen_below), Some(9));
+        assert_eq!(
+            rec.wal_records.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![7, 8],
+            "only the checkpoint marker and the post-checkpoint insert replay"
+        );
+        assert!(matches!(rec.wal_records[0].1, WalRecord::Checkpoint { covers: 6 }));
+        assert_eq!(rec.last_seq, 8);
         assert_eq!(rec.segments_scanned, 1, "covered segments pruned");
     }
 

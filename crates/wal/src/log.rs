@@ -36,6 +36,7 @@ use std::sync::Arc;
 
 use xqdb_xdm::{DurabilityFault, FaultInjector, XdmError};
 
+use crate::manifest::{read_manifest, Manifest};
 use crate::record::{parse_frame, FrameOutcome, WalRecord};
 
 const SEGMENT_MAGIC: &[u8; 8] = b"XQWALSG1";
@@ -457,7 +458,11 @@ pub struct Recovered {
     pub snapshot_covers: u64,
     /// State-rebuilding records from the snapshot, in order.
     pub snapshot_records: Vec<WalRecord>,
-    /// Log records after the snapshot, as `(sequence, record)` in order.
+    /// The page-file manifest, if the directory holds one (paged
+    /// checkpoints write manifests instead of snapshots).
+    pub manifest: Option<Manifest>,
+    /// Log records after the snapshot/manifest cover, as
+    /// `(sequence, record)` in order.
     pub wal_records: Vec<(u64, WalRecord)>,
     /// Highest sequence number recovered (0 for an empty directory).
     pub last_seq: u64,
@@ -491,6 +496,12 @@ pub fn replay(dir: &Path) -> Result<Recovered, XdmError> {
         out.snapshot_records = records;
         out.last_seq = covers;
     }
+
+    out.manifest = read_manifest(dir)?;
+    // Records at or below the cover are already durable (snapshot state or
+    // checkpointed pages); replay applies only the suffix.
+    let covered = out.snapshot_covers.max(out.manifest.as_ref().map_or(0, |m| m.covers));
+    out.last_seq = out.last_seq.max(covered);
 
     let segments = list_segments(dir)?;
     let mut next_expected: Option<u64> = None;
@@ -531,10 +542,9 @@ pub fn replay(dir: &Path) -> Result<Recovered, XdmError> {
                     seg.path.display()
                 )));
             }
-        } else if out.snapshot_covers > 0 && first_seq > out.snapshot_covers + 1 {
+        } else if covered > 0 && first_seq > covered + 1 {
             return Err(XdmError::wal_corrupt(format!(
-                "sequence gap after snapshot {}: first segment {} starts at {first_seq}",
-                out.snapshot_covers,
+                "sequence gap after checkpoint {covered}: first segment {} starts at {first_seq}",
                 seg.path.display()
             )));
         }
@@ -547,7 +557,7 @@ pub fn replay(dir: &Path) -> Result<Recovered, XdmError> {
             }
             match parse_frame(&bytes[pos..]) {
                 FrameOutcome::Record(rec, consumed) => {
-                    if seq > out.snapshot_covers {
+                    if seq > covered {
                         out.wal_records.push((seq, rec));
                         out.last_seq = seq;
                     }

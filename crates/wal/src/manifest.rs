@@ -1,0 +1,339 @@
+//! The page-file manifest: the checkpoint's metadata companion.
+//!
+//! With paged storage a checkpoint no longer serializes the whole database
+//! into a snapshot file — the rows already live in the page file, and
+//! [`crate::log`]'s freeze watermark makes everything below it immutable.
+//! What recovery still needs is the *catalog* metadata that pages don't
+//! carry: which tables exist (name, columns, heap table id), how many rows
+//! each had at the checkpoint, the path-synopsis dictionary, and the index
+//! DDL to rebuild by back-fill. That is the manifest.
+//!
+//! One file, `manifest.xqm`, written atomically (temp + fsync + rename) so
+//! a named manifest is always complete. Format:
+//!
+//! ```text
+//! [8-byte magic "XQMANIF1"] [u32 payload_len] [u32 crc32(payload)] [payload]
+//! ```
+//!
+//! The payload reuses the WAL's length-prefixed string conventions and
+//! embeds each index's `CreateIndex` record as a frame, so index recovery
+//! goes through exactly the replay code path a logged `CREATE INDEX` does.
+
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use xqdb_xdm::XdmError;
+
+use crate::record::{crc32, parse_frame, FrameOutcome, WalRecord, FRAME_HEADER};
+
+const MANIFEST_MAGIC: &[u8; 8] = b"XQMANIF1";
+
+/// The manifest file name within a data directory.
+pub const MANIFEST_FILE: &str = "manifest.xqm";
+
+/// One table's checkpoint metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestTable {
+    /// Table name (upper-cased).
+    pub name: String,
+    /// Heap table id: the tag on this table's pages in the page file.
+    pub table_id: u32,
+    /// `(column name, SQL type spelling)` pairs.
+    pub columns: Vec<(String, String)>,
+    /// Rows at checkpoint time. Page records with rowid `>= row_count` are
+    /// post-checkpoint leftovers the WAL suffix re-creates.
+    pub row_count: u64,
+    /// The path-synopsis dictionary: `(rendered path, occurrences)`.
+    pub synopsis: Vec<(String, u64)>,
+}
+
+/// Checkpoint metadata for a paged data directory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Manifest {
+    /// WAL sequence this checkpoint covers: replay applies only records
+    /// with greater sequence numbers.
+    pub covers: u64,
+    /// The page file's freeze watermark at checkpoint time.
+    pub frozen_below: u64,
+    /// Per-table metadata.
+    pub tables: Vec<ManifestTable>,
+    /// Index DDL, as `CreateIndex` records (rebuilt by back-fill).
+    pub indexes: Vec<WalRecord>,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Manifest {
+    /// Encode the payload (no magic/frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        put_u64(&mut out, self.covers);
+        put_u64(&mut out, self.frozen_below);
+        put_u32(&mut out, self.tables.len() as u32);
+        for t in &self.tables {
+            put_str(&mut out, &t.name);
+            put_u32(&mut out, t.table_id);
+            put_u32(&mut out, t.columns.len() as u32);
+            for (cn, ct) in &t.columns {
+                put_str(&mut out, cn);
+                put_str(&mut out, ct);
+            }
+            put_u64(&mut out, t.row_count);
+            put_u32(&mut out, t.synopsis.len() as u32);
+            for (path, count) in &t.synopsis {
+                put_str(&mut out, path);
+                put_u64(&mut out, *count);
+            }
+        }
+        put_u32(&mut out, self.indexes.len() as u32);
+        for idx in &self.indexes {
+            out.extend_from_slice(&idx.encode_frame());
+        }
+        out
+    }
+
+    /// Decode a payload.
+    pub fn decode(payload: &[u8]) -> Result<Manifest, XdmError> {
+        let corrupt = |why: &str| XdmError::wal_corrupt(format!("manifest: {why}"));
+        let mut r = Reader { buf: payload, pos: 0 };
+        let covers = r.u64()?;
+        let frozen_below = r.u64()?;
+        let ntables = r.u32()? as usize;
+        let mut tables = Vec::with_capacity(ntables.min(1024));
+        for _ in 0..ntables {
+            let name = r.str()?;
+            let table_id = r.u32()?;
+            let ncols = r.u32()? as usize;
+            let mut columns = Vec::with_capacity(ncols.min(1024));
+            for _ in 0..ncols {
+                let cn = r.str()?;
+                let ct = r.str()?;
+                columns.push((cn, ct));
+            }
+            let row_count = r.u64()?;
+            let nsyn = r.u32()? as usize;
+            let mut synopsis = Vec::with_capacity(nsyn.min(65536));
+            for _ in 0..nsyn {
+                let p = r.str()?;
+                let c = r.u64()?;
+                synopsis.push((p, c));
+            }
+            tables.push(ManifestTable { name, table_id, columns, row_count, synopsis });
+        }
+        let nidx = r.u32()? as usize;
+        let mut indexes = Vec::with_capacity(nidx.min(1024));
+        for _ in 0..nidx {
+            match parse_frame(&payload[r.pos..]) {
+                FrameOutcome::Record(rec, consumed) => {
+                    if !matches!(rec, WalRecord::CreateIndex { .. }) {
+                        return Err(corrupt("index entry is not a CreateIndex record"));
+                    }
+                    indexes.push(rec);
+                    r.pos += consumed;
+                }
+                FrameOutcome::Torn => return Err(corrupt("truncated index record")),
+                FrameOutcome::Corrupt(e) => return Err(e),
+            }
+        }
+        if r.pos != payload.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Manifest { covers, frozen_below, tables, indexes })
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], XdmError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            XdmError::wal_corrupt("manifest truncated mid-field")
+        })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, XdmError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, XdmError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn str(&mut self) -> Result<String, XdmError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| XdmError::wal_corrupt("manifest string field is not UTF-8"))
+    }
+}
+
+/// Write the manifest atomically (temp + fsync + rename). The previous
+/// manifest, if any, is replaced only by the completed rename.
+pub fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<PathBuf, XdmError> {
+    fs::create_dir_all(dir)
+        .map_err(|e| XdmError::storage_fault(format!("create {}: {e}", dir.display())))?;
+    let payload = manifest.encode();
+    let mut buf = Vec::with_capacity(8 + FRAME_HEADER + payload.len());
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    let final_path = dir.join(MANIFEST_FILE);
+    let tmp_path = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let mut f = File::create(&tmp_path)
+        .map_err(|e| XdmError::storage_fault(format!("create {}: {e}", tmp_path.display())))?;
+    f.write_all(&buf)
+        .map_err(|e| XdmError::storage_fault(format!("write {}: {e}", tmp_path.display())))?;
+    f.sync_all()
+        .map_err(|e| XdmError::storage_fault(format!("fsync {}: {e}", tmp_path.display())))?;
+    drop(f);
+    fs::rename(&tmp_path, &final_path)
+        .map_err(|e| XdmError::storage_fault(format!("rename manifest into place: {e}")))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// Read the manifest, if one exists. A damaged manifest is a typed
+/// `WalCorrupt` error (manifests are written atomically, so damage is
+/// media corruption, not a crash artifact).
+pub fn read_manifest(dir: &Path) -> Result<Option<Manifest>, XdmError> {
+    let path = dir.join(MANIFEST_FILE);
+    // Crash artifact from an interrupted write: the real manifest (if any)
+    // is still in place.
+    let _ = fs::remove_file(dir.join(format!("{MANIFEST_FILE}.tmp")));
+    if !path.exists() {
+        return Ok(None);
+    }
+    let mut bytes = Vec::new();
+    File::open(&path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| XdmError::storage_fault(format!("read {}: {e}", path.display())))?;
+    let corrupt =
+        |why: &str| XdmError::wal_corrupt(format!("{}: {why}", path.display()));
+    if bytes.len() < 8 + FRAME_HEADER || &bytes[..8] != MANIFEST_MAGIC {
+        return Err(corrupt("bad manifest header"));
+    }
+    let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    if bytes.len() != 8 + FRAME_HEADER + len {
+        return Err(corrupt("manifest length mismatch"));
+    }
+    let payload = &bytes[8 + FRAME_HEADER..];
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err(corrupt(&format!(
+            "CRC mismatch (stored {crc:#010x}, computed {actual:#010x})"
+        )));
+    }
+    Ok(Some(Manifest::decode(payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(label: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/test-tmp"))
+            .join(format!(
+                "manifest_{label}_{}_{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            covers: 42,
+            frozen_below: 17,
+            tables: vec![ManifestTable {
+                name: "ORDERS".into(),
+                table_id: 3,
+                columns: vec![("ORDID".into(), "INTEGER".into()), ("ORDDOC".into(), "XML".into())],
+                row_count: 1000,
+                synopsis: vec![("/order".into(), 1000), ("/order/@id".into(), 998)],
+            }],
+            indexes: vec![WalRecord::CreateIndex {
+                name: "LI_PRICE".into(),
+                table: "ORDERS".into(),
+                column: "ORDDOC".into(),
+                pattern: "//lineitem/@price".into(),
+                ty: "double".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = temp_dir("roundtrip");
+        let m = sample();
+        write_manifest(&dir, &m).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), Some(m.clone()));
+        // Rewrite replaces atomically.
+        let mut m2 = m;
+        m2.covers = 99;
+        write_manifest(&dir, &m2).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().unwrap().covers, 99);
+    }
+
+    #[test]
+    fn missing_manifest_is_none() {
+        let dir = temp_dir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        let dir = temp_dir("corrupt");
+        write_manifest(&dir, &sample()).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let pos = bytes.len() - 3;
+        bytes[pos] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = read_manifest(&dir).unwrap_err();
+        assert_eq!(err.code, xqdb_xdm::ErrorCode::WalCorrupt);
+        // Truncation too.
+        write_manifest(&dir, &sample()).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(read_manifest(&dir).is_err());
+    }
+
+    #[test]
+    fn leftover_tmp_is_cleaned_up() {
+        let dir = temp_dir("tmp");
+        write_manifest(&dir, &sample()).unwrap();
+        fs::write(dir.join(format!("{MANIFEST_FILE}.tmp")), b"junk").unwrap();
+        assert!(read_manifest(&dir).unwrap().is_some());
+        assert!(!dir.join(format!("{MANIFEST_FILE}.tmp")).exists());
+    }
+}

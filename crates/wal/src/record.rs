@@ -120,11 +120,20 @@ pub enum WalRecord {
         /// The row, one value per column.
         values: Vec<WalValue>,
     },
+    /// A checkpoint marker: everything up to and including `covers` is
+    /// durable in the page file + manifest. Replay skips it (it mutates
+    /// nothing) but counts it, so recovery can assert the suffix-only
+    /// property.
+    Checkpoint {
+        /// Highest WAL sequence captured by the checkpoint.
+        covers: u64,
+    },
 }
 
 const TAG_CREATE_TABLE: u8 = 1;
 const TAG_CREATE_INDEX: u8 = 2;
 const TAG_INSERT: u8 = 3;
+const TAG_CHECKPOINT: u8 = 4;
 
 const VTAG_NULL: u8 = 0;
 const VTAG_INTEGER: u8 = 1;
@@ -190,6 +199,10 @@ impl WalRecord {
                     }
                 }
             }
+            WalRecord::Checkpoint { covers } => {
+                out.push(TAG_CHECKPOINT);
+                out.extend_from_slice(&covers.to_le_bytes());
+            }
         }
         out
     }
@@ -242,6 +255,9 @@ impl WalRecord {
                     });
                 }
                 WalRecord::Insert { table, values }
+            }
+            TAG_CHECKPOINT => {
+                WalRecord::Checkpoint { covers: u64::from_le_bytes(r.bytes8()?) }
             }
             t => return Err(XdmError::wal_corrupt(format!("unknown WAL record tag {t}"))),
         };
@@ -396,6 +412,7 @@ mod tests {
                     WalValue::Null,
                 ],
             },
+            WalRecord::Checkpoint { covers: 12345 },
         ]
     }
 

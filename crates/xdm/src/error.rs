@@ -59,6 +59,12 @@ pub enum ErrorCode {
     /// gap. The message names the offending segment file; the segment is
     /// quarantined rather than silently skipped.
     WalCorrupt,
+    /// A storage page is corrupt beyond the self-healing torn-write case:
+    /// a CRC or self-identification mismatch on a page the durability
+    /// protocol froze at a checkpoint (pages written after the newest
+    /// checkpoint are covered by the WAL suffix and may be discarded
+    /// instead). The message names the page.
+    PageCorrupt,
     /// Internal invariant violation — a bug in the engine, never expected.
     Internal,
 }
@@ -81,6 +87,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::StorageFault => "xqdb:STORAGE",
             ErrorCode::ParseLimit => "xqdb:PARSELIMIT",
             ErrorCode::WalCorrupt => "xqdb:WALCORRUPT",
+            ErrorCode::PageCorrupt => "xqdb:PAGECORRUPT",
             ErrorCode::SqlLength => "sql:LENGTH",
             ErrorCode::SqlCardinality => "sql:CARDINALITY",
             ErrorCode::SqlType => "sql:TYPE",
@@ -139,6 +146,12 @@ impl XdmError {
     /// name the segment file so operators know what was quarantined.
     pub fn wal_corrupt(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::WalCorrupt, message)
+    }
+
+    /// Shorthand for a corrupt-page error. The message should name the
+    /// page id and what failed (CRC, magic, self-identification).
+    pub fn page_corrupt(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::PageCorrupt, message)
     }
 
     /// Shorthand for an internal invariant violation (replaces `panic!` /

@@ -5,7 +5,7 @@ use std::fmt;
 use std::ops::Bound;
 use std::sync::Arc;
 
-use xqdb_btree::{keyenc, BPlusTree};
+use xqdb_btree::{keyenc, BPlusTree, PoolStats};
 use xqdb_xdm::{
     cast, AtomicType, AtomicValue, Budget, ErrorCode, FaultInjector, NodeHandle, XdmError,
 };
@@ -114,7 +114,7 @@ pub struct ExtractedEntries {
 }
 
 /// One XML value index over a table's XML column.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct XmlIndex {
     /// Index name (upper-cased).
     pub name: String,
@@ -190,9 +190,19 @@ impl XmlIndex {
         self.tree.is_empty()
     }
 
-    /// Approximate index size in bytes.
+    /// Approximate index size in bytes (pages allocated by the node store).
     pub fn approx_bytes(&self) -> usize {
         self.tree.approx_bytes()
+    }
+
+    /// Buffer-pool counters of the index's node store (monotone).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.tree.pool_stats()
+    }
+
+    /// Resize the index's node-store buffer pool (eviction-pressure tests).
+    pub fn set_pool_pages(&self, capacity: usize) {
+        self.tree.set_pool_pages(capacity);
     }
 
     /// Index one stored document: insert an entry per matching node whose
@@ -300,7 +310,7 @@ impl XmlIndex {
             if let Some(b) = budget {
                 b.charge_index_entries(1)?;
             }
-            if let Some((row, _node)) = decode_suffix(key) {
+            if let Some((row, _node)) = decode_suffix(&key) {
                 rows.insert(row);
             }
         }
@@ -325,7 +335,7 @@ impl XmlIndex {
         let mut it = self.tree.range(as_bound_slice(&lo), as_bound_slice(&hi));
         for (key, ()) in it.by_ref() {
             stats.entries_scanned += 1;
-            if let Some(pair) = decode_suffix(key) {
+            if let Some(pair) = decode_suffix(&key) {
                 out.insert(pair);
             }
         }

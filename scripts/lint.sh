@@ -42,12 +42,15 @@ if grep -rn --include='*.rs' -E '\b(println!|eprintln!)' crates tests \
   exit 1
 fi
 
-# Durable state reaches disk only through the WAL: no direct file-write
-# APIs outside crates/wal. Binaries (CLI output files), the bench harness
-# (BENCH_*.json), the workload generator, and tests (fixtures/temp dirs)
-# are exempt; reads (File::open, read_to_string) are fine everywhere.
+# Durable state reaches disk only through the WAL and the pager: the WAL
+# owns log segments and the manifest, the pager owns the page file — no
+# direct file-write APIs anywhere else. Binaries (CLI output files), the
+# bench harness (BENCH_*.json), the workload generator, and tests
+# (fixtures/temp dirs) are exempt; reads (File::open, read_to_string) are
+# fine everywhere.
 if grep -rn --include='*.rs' -E '\b(fs::write|File::create|OpenOptions::new)\b' crates tests \
     | grep -v '^crates/wal/' \
+    | grep -v '^crates/pager/' \
     | grep -v '/src/bin/' \
     | grep -v '^crates/bench/' \
     | grep -v '^crates/workload/' \
@@ -92,3 +95,10 @@ rm -rf "$DURABLE_TMP"
 # suite asserts must be reachable by the plain evaluation path too, so a
 # pre-filter bug can never hide behind its own optimization being on.
 XQDB_PREFILTER=off cargo test --workspace -q
+
+# Fifth pass starved for buffer pages: a 4-frame pool (the minimum that
+# still holds a pinned page and its chain successor) forces continuous
+# eviction and re-fetch through every pager-backed structure — tables,
+# index node pools, recovery — so no test may depend on pages staying
+# resident.
+XQDB_BUFFER_PAGES=4 cargo test --workspace -q

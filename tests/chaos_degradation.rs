@@ -336,6 +336,43 @@ fn prefiltered_scans_byte_identical_across_threads_and_faults() {
     }
 }
 
+/// Buffer-pool pressure is, like the index, the pre-filter and parallelism,
+/// a pure execution detail: {4-page, default} pool × {1, 4} threads ×
+/// {healthy, every-probe-fails} must all be byte-identical to the serial
+/// unindexed baseline run at the default pool size. A 4-frame pool cannot
+/// hold even one table's working set, so every scan faults pages in and
+/// evicts continuously — and may never change a result.
+#[test]
+fn pool_pressure_byte_identical_across_threads_and_faults() {
+    let baseline = orders_catalog(120, false);
+    for q in QUERIES {
+        let want = render(&run_xquery(&baseline, q).expect("baseline runs").sequence);
+        for pool in [Some(4usize), None] {
+            for faulty in [false, true] {
+                let mut c = orders_catalog(120, true);
+                if faulty {
+                    c.set_index_fault_injector(Some(Arc::new(FaultInjector::new(
+                        FaultMode::Always,
+                    ))));
+                }
+                if let Some(pages) = pool {
+                    c.db.pager().set_capacity(pages).expect("shrinking the shared pool");
+                    for idx in c.all_indexes() {
+                        idx.set_pool_pages(pages);
+                    }
+                }
+                for threads in [1usize, 4] {
+                    let got = run_with_threads(&c, q, threads);
+                    assert_eq!(
+                        got, want,
+                        "{q} diverged at {threads} threads (pool={pool:?}, faulty={faulty})"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// A cancelled budget stops a parallel run with the same typed error code
 /// as a serial one — the cancellation token is a shared atomic observed by
 /// every worker.

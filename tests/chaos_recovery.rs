@@ -168,10 +168,12 @@ fn recovery_matches_in_memory_baseline_across_crash_matrix() {
 }
 
 /// A checkpoint mid-history bounds replay without changing the oracle:
-/// recovery = snapshot + log suffix, still byte-identical to the
-/// in-memory baseline over the durable prefix.
+/// recovery = checkpointed pages + log suffix, still byte-identical to
+/// the in-memory baseline over the durable prefix. The report's counters
+/// prove the suffix-only property: the checkpointed rows come from heap
+/// pages, not replay.
 #[test]
-fn crash_after_checkpoint_recovers_snapshot_plus_suffix() {
+fn crash_after_checkpoint_recovers_pages_plus_suffix() {
     let dir = temp_dir("post_checkpoint");
     let stmts = common::paper_setup_stmts(true);
     let config = WalConfig { fsync: FsyncMode::Always, ..Default::default() };
@@ -205,11 +207,47 @@ fn crash_after_checkpoint_recovers_snapshot_plus_suffix() {
         &Obs::disabled(),
     )
     .unwrap();
-    assert_eq!(report.snapshot_covers, 6);
-    assert_eq!(report.snapshot_records, 6);
-    assert_eq!(report.wal_records_replayed, 1);
+    assert_eq!(report.snapshot_covers, 0, "paged checkpoints write no snapshot file");
+    assert_eq!(report.manifest_covers, 6);
+    assert_eq!(report.manifest_tables, 3);
+    assert_eq!(report.manifest_rows, 2, "the two checkpointed orders come from pages");
+    assert_eq!(report.checkpoint_markers, 1);
+    assert_eq!(report.wal_records_replayed, 1, "suffix-only: one post-checkpoint insert");
     assert_eq!(report.torn_tail_truncations, 1);
+    assert!(dir.join(xqdb_core::PAGES_FILE).exists());
     assert_eq!(query_fingerprint(&catalog, 1), baseline_fingerprint(7));
+}
+
+/// Replay must be idempotent against a page file that already holds
+/// flushed copies of the logged rows (dirty pages reach disk on eviction
+/// long before any checkpoint cuts the log). Recovery discards everything
+/// above the freeze watermark before replaying; without that, the replay
+/// would sit fresh copies of every row next to the stale flushed ones,
+/// the first checkpoint would freeze the duplicate rowids in, and the
+/// *next* recovery would reject the heap as corrupt.
+#[test]
+fn replay_is_idempotent_against_partially_flushed_pages() {
+    let dir = temp_dir("replay_idempotent");
+    {
+        let (mut session, _) = SqlSession::open_durable(&dir, WalConfig::default()).unwrap();
+        for stmt in common::paper_setup_stmts(true) {
+            session.execute(&stmt).unwrap();
+        }
+        // Push every dirty heap page to disk WITHOUT cutting the log: the
+        // page file now holds a copy of state the WAL still owns outright.
+        session.catalog.db.pager().flush_all().unwrap();
+    }
+    // Reopening replays the whole WAL into that file...
+    let (mut session, report) = SqlSession::open_durable(&dir, WalConfig::default()).unwrap();
+    assert_eq!(report.wal_records_replayed, 12);
+    // ...and the first checkpoint freezes whatever the heap now holds:
+    session.checkpoint().unwrap();
+    drop(session);
+    // so this recovery adopts the checkpointed pages. Duplicate rowids
+    // below row_count would surface here as a PageCorrupt error.
+    let (session, report) = SqlSession::open_durable(&dir, WalConfig::default()).unwrap();
+    assert_eq!(report.wal_records_replayed, 0, "manifest covers everything");
+    assert_eq!(query_fingerprint(&session.catalog, 1), baseline_fingerprint(usize::MAX));
 }
 
 /// A clean shutdown loses nothing in any mode, and the recovered session

@@ -490,7 +490,7 @@ fn sigterm_drains_checkpoints_and_recovers() {
     std::io::Read::read_to_string(&mut reader, &mut rest).expect("drain output");
     assert!(rest.contains("draining:"), "drain banner printed — output:\n{rest}");
     assert!(
-        rest.contains("checkpoint written: snapshot covers sequence"),
+        rest.contains("checkpoint written: manifest covers sequence"),
         "SIGTERM must checkpoint through the WAL path — output:\n{rest}"
     );
 

@@ -100,6 +100,17 @@ fn assert_registry_matches_stats(
         "{label}: btree nodes touched"
     );
     assert_eq!(
+        delta(Counter::BufferPoolHits),
+        stats.buffer_pool_hits,
+        "{label}: buffer pool hits"
+    );
+    assert_eq!(
+        delta(Counter::BufferPoolMisses),
+        stats.buffer_pool_misses,
+        "{label}: buffer pool misses"
+    );
+    assert_eq!(delta(Counter::PagesEvicted), stats.pages_evicted, "{label}: pages evicted");
+    assert_eq!(
         after.gauge(Gauge::ParallelWorkers),
         stats.parallel_workers as u64,
         "{label}: workers gauge"
@@ -137,6 +148,10 @@ fn expected_counter_lines(stats: &ExecStats) -> Vec<String> {
         format!("  index probes: {}\n", stats.index_probes),
         format!("  index entries scanned: {}\n", stats.index_entries_scanned),
         format!("  btree nodes touched: {}\n", stats.btree_nodes_touched),
+        format!(
+            "  buffer pool: {} hit(s), {} miss(es), {} eviction(s)\n",
+            stats.buffer_pool_hits, stats.buffer_pool_misses, stats.pages_evicted
+        ),
         format!(
             "  documents evaluated: {} of {}\n",
             stats.docs_evaluated_total(),
@@ -591,6 +606,50 @@ fn server_admission_metrics_export_and_reconcile() {
     obs.dec_gauge(Gauge::ActiveConnections);
     obs.dec_gauge(Gauge::ActiveConnections);
     assert_eq!(obs.metrics_snapshot().unwrap().gauge(Gauge::ActiveConnections), 0);
+}
+
+#[test]
+fn logical_node_visits_are_separate_from_pool_hits() {
+    // Satellite of the pager PR: `btree_nodes_touched` counts *logical*
+    // node visits during probes, while the buffer-pool counters count
+    // *physical* page fetches. The two must not be conflated: shrinking the
+    // index's node pool changes the hit/miss mix but must leave the logical
+    // visit count — and the query result — byte-identical.
+    let q = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 900]";
+    let catalog = orders_catalog(200, Some("double"));
+    // Pin both pool sizes explicitly so the contrast holds whatever
+    // XQDB_BUFFER_PAGES the environment set (lint.sh runs a starved pass),
+    // and warm the pools once so "generous" means fully resident.
+    catalog.db.pager().set_capacity(512).expect("row-store pool resizes");
+    catalog.index("LI_PRICE").expect("index exists").set_pool_pages(512);
+    run_xquery_with_options(&catalog, q, &ExecOptions::default()).expect("warm-up runs");
+    let generous = run_xquery_with_options(&catalog, q, &ExecOptions::default()).expect("runs");
+    assert!(generous.stats.btree_nodes_touched > 0, "the probe walks the tree");
+    assert!(generous.stats.buffer_pool_hits > 0, "resident fetches count as hits");
+    assert_eq!(
+        generous.stats.buffer_pool_misses, 0,
+        "a pool larger than the tree reads nothing from the backing store: \
+         every node page stayed resident from the insert phase"
+    );
+    assert_eq!(generous.stats.pages_evicted, 0, "no pressure, no evictions");
+
+    // Same catalog, starved node pool: the probe now faults pages back in.
+    catalog.index("LI_PRICE").expect("index exists").set_pool_pages(2);
+    let starved = run_xquery_with_options(&catalog, q, &ExecOptions::default()).expect("runs");
+    assert_eq!(
+        starved.stats.btree_nodes_touched, generous.stats.btree_nodes_touched,
+        "logical visits are a property of the plan, not the pool size"
+    );
+    assert!(
+        starved.stats.buffer_pool_misses > 0,
+        "a 2-page pool cannot hold the probe's working set"
+    );
+    assert!(starved.stats.pages_evicted > 0, "faulting pages in evicts others");
+    assert_eq!(
+        xqdb_xmlparse::serialize_sequence(&generous.sequence),
+        xqdb_xmlparse::serialize_sequence(&starved.sequence),
+        "pool pressure never changes results"
+    );
 }
 
 #[test]
