@@ -434,7 +434,7 @@ fn pager_report() {
     let suffix_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(catalog.db.table("orders").map(|t| t.len()), Some(records));
     assert_eq!(report.wal_records_replayed, 0, "the manifest covers every record");
-    assert_eq!(report.manifest_rows as usize, records, "rows adopted from heap pages");
+    assert_eq!(report.manifest_rows, records, "rows adopted from heap pages");
     let _ = std::fs::remove_dir_all(&dir);
     let speedup = full_ms / suffix_ms;
     println!(
@@ -561,6 +561,104 @@ fn prefilter_report() {
         assert!(
             speedup >= 5.0,
             "the structural pre-filter must be at least 5x on the selective workload, got {speedup:.2}x"
+        );
+    }
+}
+
+/// Twig-join trajectory: a descendant-axis branching query over a large
+/// heterogeneous collection, with the holistic twig join on vs off. The
+/// leading `//` step defeats the structural pre-filter's rooted-path
+/// signatures, so without the twig join the query falls back to full
+/// navigation — exactly the class the labeling subsystem exists for.
+fn twig_report() {
+    let docs: usize = std::env::var("XQDB_BENCH_TWIG_DOCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PARALLEL_DOCS);
+    let mut cat = orders_catalog(docs, OrderParams::default(), &[]);
+    // ~1% of the collection carries a `remark` under a lineitem — the
+    // branch the query selects on. Synthetic orders never do.
+    let remarked = (docs / 100).max(1);
+    for i in 0..remarked {
+        let xml = format!(
+            "<order><custid>rush{i}</custid>\
+             <lineitem price=\"999\" quantity=\"1\"><remark>rush</remark>\
+             <product><id>r{i}</id></product></lineitem></order>"
+        );
+        let d = xqdb_xmlparse::parse_document(&xml).expect("remark doc parses");
+        cat.insert(
+            "orders",
+            vec![
+                xqdb_storage::SqlValue::Integer((docs + i) as i64),
+                xqdb_storage::SqlValue::Xml(d.root()),
+            ],
+        )
+        .expect("remark insert succeeds");
+    }
+    let query = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem[@price > 500]/remark]//custid";
+    println!(
+        "holistic twig join ({} docs, {remarked} with a lineitem remark, unindexed):",
+        docs + remarked
+    );
+
+    // One warm-up, then best-of-three per configuration, interleaved.
+    let mut best = [f64::INFINITY; 2];
+    let mut results = [0usize; 2];
+    let mut skipped = 0usize;
+    let mut candidates = 0usize;
+    let mut joins = 0u64;
+    for round in 0..4 {
+        for (i, twig) in [(0usize, false), (1usize, true)] {
+            let opts = ExecOptions { twig, ..ExecOptions::default() };
+            let start = std::time::Instant::now();
+            let out = run_xquery_with_options(&cat, query, &opts).expect("twig bench runs");
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            results[i] = out.sequence.len();
+            if twig {
+                skipped = out.stats.twig_docs_skipped;
+                candidates = out.stats.twig_candidates;
+                joins = out.stats.twig_joins;
+            }
+            if round > 0 && millis < best[i] {
+                best[i] = millis;
+            }
+        }
+    }
+    assert_eq!(
+        results[0], results[1],
+        "the twig join changed the result cardinality — that is a correctness bug"
+    );
+    let twig_ran = joins > 0;
+    if twig_ran {
+        assert_eq!(joins, 1, "exactly one source routes through the twig join");
+        assert_eq!(skipped, docs, "every remark-less synthetic order is skipped structurally");
+        assert_eq!(candidates, remarked, "only the remark orders survive the row-set check");
+    }
+    let speedup = best[0] / best[1];
+    println!("  twig off: {:.1} ms  ({} results, full navigation)", best[0], results[0]);
+    println!(
+        "  twig on:  {:.1} ms  ({speedup:.2}x, {joins} join(s), {candidates} candidate(s), \
+         {skipped} docs skipped structurally)",
+        best[1]
+    );
+    let json = format!(
+        "{{\n  \"workload\": \"descendant-axis branching query over a heterogeneous collection; ~1% of documents carry //order/lineitem/remark\",\n  \
+         \"query\": \"{}\",\n  \"docs\": {},\n  \"remark_docs\": {remarked},\n  \
+         \"off_millis\": {:.3},\n  \"on_millis\": {:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"twig_joins\": {joins},\n  \"twig_candidates\": {candidates},\n  \
+         \"twig_docs_skipped\": {skipped},\n  \
+         \"note\": \"off = ExecOptions.twig=false, equivalent to XQDB_TWIG=off or --no-twig; the leading // defeats the rooted-path prefilter, so off means full navigation; results are asserted identical on and off\"\n}}\n",
+        query.replace('\"', "\\\""),
+        docs + remarked,
+        best[0],
+        best[1],
+    );
+    std::fs::write("BENCH_twig.json", json).expect("BENCH_twig.json is writable");
+    println!("  wrote BENCH_twig.json\n");
+    if twig_ran && docs >= 50_000 {
+        assert!(
+            speedup >= 5.0,
+            "the twig join must be at least 5x on the selective descendant workload, got {speedup:.2}x"
         );
     }
 }
@@ -735,6 +833,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--pager") {
         pager_report();
+        return;
+    }
+    if std::env::args().any(|a| a == "--twig") {
+        twig_report();
         return;
     }
     parallel_report();

@@ -36,6 +36,7 @@ use crate::eligibility::{
     Rejection,
 };
 use crate::prefilter::{extract_prefilters, SourcePrefilter};
+use crate::twig::{extract_twigs, PreparedTwig, SourceTwig};
 
 /// Per-collection access decision.
 #[derive(Debug, Clone)]
@@ -62,6 +63,11 @@ pub struct QueryPlan {
     /// Structural pre-filters per source: conservative required-path groups
     /// checked against stored document signatures before evaluation.
     pub prefilter: HashMap<String, SourcePrefilter>,
+    /// Twig patterns per source: branching/descendant path shapes served
+    /// by the holistic twig join over structural labels. Resolution
+    /// against the table's synopsis happens at execution time, so cached
+    /// plans stay valid as collections grow.
+    pub twig: HashMap<String, SourceTwig>,
 }
 
 /// Execution statistics, reported by benches and EXPLAIN.
@@ -94,6 +100,16 @@ pub struct ExecStats {
     /// Documents skipped by the structural pre-filter (signature lacked a
     /// required path in every requirement group).
     pub prefilter_docs_skipped: usize,
+    /// Holistic twig joins executed (one per source the twig phase
+    /// actually filtered; declined sources — incomplete labels — don't
+    /// count).
+    pub twig_joins: u64,
+    /// Candidate documents admitted by the twig joins' per-node row-set
+    /// intersections and handed to the full structural match.
+    pub twig_candidates: usize,
+    /// Documents skipped by the twig phase (not a candidate, or the
+    /// structural match rejected them).
+    pub twig_docs_skipped: usize,
     /// 1 if this run's plan came from the plan cache (set by the front end
     /// that consulted the cache; 0 otherwise).
     pub plan_cache_hits: u64,
@@ -174,6 +190,12 @@ pub fn plan_query_traced(
         extract.add_count(prefilter.len() as u64);
         prefilter
     };
+    let twig = {
+        let mut extract = span.child("twig compile");
+        let twig = extract_twigs(&query.body, env, true);
+        extract.add_count(twig.len() as u64);
+        twig
+    };
     span.add_count(accesses.len() as u64);
     QueryPlan {
         query,
@@ -182,6 +204,7 @@ pub fn plan_query_traced(
         notes: analysis.notes,
         rejections,
         prefilter,
+        twig,
     }
 }
 
@@ -215,11 +238,21 @@ pub struct ExecOptions {
     /// this flag; the flag exists so benches and tests can compare both
     /// paths in-process without racing on the environment.
     pub prefilter: bool,
+    /// Apply the holistic twig join over structural labels (on by
+    /// default). `XQDB_TWIG=off` disables it regardless of this flag,
+    /// same contract as `prefilter`.
+    pub twig: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { limits: Limits::default(), threads: 0, obs: Obs::default(), prefilter: true }
+        ExecOptions {
+            limits: Limits::default(),
+            threads: 0,
+            obs: Obs::default(),
+            prefilter: true,
+            twig: true,
+        }
     }
 }
 
@@ -229,6 +262,14 @@ pub fn prefilter_env_enabled() -> bool {
         Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"),
         Err(_) => true,
     }
+}
+
+/// True unless `XQDB_TWIG` is set to `off`/`0`/`false` (case-insensitive).
+/// The same switch gates label *construction* at ingest, so flipping it
+/// mid-process also stops twig execution on tables whose labels went
+/// incomplete.
+pub fn twig_env_enabled() -> bool {
+    xqdb_twig::enabled_in_env()
 }
 
 /// Parse, plan and execute an XQuery string under [`ExecOptions`].
@@ -283,6 +324,7 @@ fn run_traced(
         let ctx = DynamicContext::new().with_budget(budget);
         let mut outcome = ParallelExecutor::new(opts.threads)
             .with_prefilter(opts.prefilter && prefilter_env_enabled())
+            .with_twig(opts.twig && twig_env_enabled())
             .execute_observed(catalog, &plan, &ctx, obs, trace)?;
         outcome.stats.plan_cache_hits = u64::from(cache_hit);
         outcome.stats.plan_cache_misses = u64::from(!cache_hit);
@@ -408,19 +450,30 @@ fn probe_phase(
 pub struct ParallelExecutor {
     pool: WorkerPool,
     prefilter: bool,
+    twig: bool,
 }
 
 impl ParallelExecutor {
     /// Executor with the given parallelism degree (0 and 1 mean serial).
-    /// The structural pre-filter defaults to the environment setting
-    /// (`XQDB_PREFILTER`).
+    /// The structural pre-filter and the twig join default to their
+    /// environment settings (`XQDB_PREFILTER`, `XQDB_TWIG`).
     pub fn new(threads: usize) -> Self {
-        ParallelExecutor { pool: WorkerPool::new(threads), prefilter: prefilter_env_enabled() }
+        ParallelExecutor {
+            pool: WorkerPool::new(threads),
+            prefilter: prefilter_env_enabled(),
+            twig: twig_env_enabled(),
+        }
     }
 
     /// Override whether the structural pre-filter is applied.
     pub fn with_prefilter(mut self, prefilter: bool) -> Self {
         self.prefilter = prefilter;
+        self
+    }
+
+    /// Override whether the holistic twig join is applied.
+    pub fn with_twig(mut self, twig: bool) -> Self {
+        self.twig = twig;
         self
     }
 
@@ -455,6 +508,13 @@ impl ParallelExecutor {
         let mut stats = ExecStats::new();
         let pool_baseline = catalog.pool_stats();
         let mut filters = probe_phase(catalog, plan, ctx, &mut stats, obs, trace)?;
+        if self.twig {
+            // Like the pre-filter below: strictly after the serial probe
+            // phase, purely in-memory (label streams never touch the
+            // pager), so it adds no fault-injection points and the chaos
+            // matrix stays byte-identical with the join on or off.
+            twig_phase(catalog, plan, &mut filters, &mut stats, &self.pool, trace);
+        }
         if self.prefilter {
             // Runs strictly after the (serial) probe phase so probe-side
             // fault injection fires at the same points with or without the
@@ -547,6 +607,77 @@ impl ParallelExecutor {
     }
 }
 
+/// Holistic twig-join pass: for each source with compiled twig patterns,
+/// drop candidate rows no pattern structurally matches. Labels live
+/// entirely in RAM (no heap or page fetches), matching is conservative
+/// by construction (see [`crate::twig`]), and the pass composes with the
+/// probe filters exactly like [`prefilter_phase`] — it intersects
+/// whatever row set survives so far. Sources whose label store cannot
+/// vouch for every row (recovery adopted rows without re-parsing, or
+/// `XQDB_TWIG=off` at ingest) are declined untouched.
+///
+/// With more than one worker the row set is sharded over the pool in
+/// contiguous chunks and the per-chunk survivor lists are concatenated
+/// in chunk order, so the surviving set — and therefore everything
+/// downstream — is independent of the thread count.
+fn twig_phase(
+    catalog: &Catalog,
+    plan: &QueryPlan,
+    filters: &mut HashMap<String, BTreeSet<u64>>,
+    stats: &mut ExecStats,
+    pool: &WorkerPool,
+    trace: &Trace,
+) {
+    for (source, twig) in &plan.twig {
+        let Ok((table, _col)) = catalog.db.resolve_xml_column(source) else { continue };
+        let mut span = trace.span("twig join");
+        span.tag_with("source", || source.clone());
+        span.tag_with("patterns", || twig.patterns.len().to_string());
+        let Some(prepared) = PreparedTwig::prepare(twig, table) else {
+            span.tag_str("outcome", "declined: labels incomplete");
+            continue;
+        };
+        let base: Vec<u64> = match filters.get(source) {
+            Some(rows) => rows.iter().copied().collect(),
+            None => (0..table.len() as u64).collect(),
+        };
+        let check = |rows: &[u64]| {
+            let mut kept = Vec::new();
+            let mut candidates = 0usize;
+            for &row in rows {
+                let candidate = prepared.is_candidate(row);
+                candidates += usize::from(candidate);
+                if candidate && prepared.accepts(row) {
+                    kept.push(row);
+                }
+            }
+            (kept, candidates)
+        };
+        let (survivors, candidates) = if pool.threads() > 1 && base.len() > 1 {
+            let ranges = chunk_ranges(base.len(), pool.default_chunks(base.len()));
+            let chunks = pool.run(ranges.len(), |i| check(&base[ranges[i].clone()]));
+            let mut kept = Vec::new();
+            let mut candidates = 0usize;
+            for (chunk, n) in chunks {
+                kept.extend(chunk);
+                candidates += n;
+            }
+            (kept, candidates)
+        } else {
+            check(&base)
+        };
+        let skipped = base.len() - survivors.len();
+        span.add_count(skipped as u64);
+        span.tag_with("candidates", || candidates.to_string());
+        span.tag_with("survivors", || survivors.len().to_string());
+        stats.twig_joins += 1;
+        stats.twig_candidates += candidates;
+        stats.twig_docs_skipped += skipped;
+        stats.docs_evaluated.insert(source.clone(), survivors.len());
+        filters.insert(source.clone(), survivors.into_iter().collect());
+    }
+}
+
 /// Structural pre-filter pass: for each source with required-path groups,
 /// drop candidate rows whose stored signature satisfies no group. The
 /// check is conservative by construction (see [`crate::prefilter`]), so
@@ -626,6 +757,9 @@ pub(crate) fn record_exec_metrics(obs: &Obs, stats: &ExecStats) {
     obs.add(Counter::DegradationsToScan, stats.degraded_sources.len() as u64);
     obs.add(Counter::DocsEvaluated, stats.docs_evaluated_total() as u64);
     obs.add(Counter::PrefilterDocsSkipped, stats.prefilter_docs_skipped as u64);
+    obs.add(Counter::TwigJoinsExecuted, stats.twig_joins);
+    obs.add(Counter::TwigCandidates, stats.twig_candidates as u64);
+    obs.add(Counter::TwigDocsSkipped, stats.twig_docs_skipped as u64);
     obs.add(Counter::EvalSteps, stats.steps_used);
     obs.add(Counter::BtreeNodeTouches, stats.btree_nodes_touched as u64);
     obs.add(Counter::BufferPoolHits, stats.buffer_pool_hits);
@@ -823,6 +957,14 @@ pub fn explain(plan: &QueryPlan) -> String {
             out.push_str(&format!("    - {s}: requires {}\n", plan.prefilter[s].render()));
         }
     }
+    if !plan.twig.is_empty() {
+        out.push_str("  twig join:\n");
+        let mut sources: Vec<&String> = plan.twig.keys().collect();
+        sources.sort();
+        for s in sources {
+            out.push_str(&format!("    - {s}: matches {}\n", plan.twig[s].render()));
+        }
+    }
     if !plan.notes.is_empty() {
         out.push_str("  notes:\n");
         for n in &plan.notes {
@@ -884,6 +1026,10 @@ pub(crate) fn render_execution_sections(out: &mut String, s: &ExecStats, trace: 
     out.push_str(&format!(
         "  prefilter docs skipped: {}\n",
         s.prefilter_docs_skipped
+    ));
+    out.push_str(&format!(
+        "  twig joins: {} ({} candidate(s), {} skipped)\n",
+        s.twig_joins, s.twig_candidates, s.twig_docs_skipped
     ));
     out.push_str(&format!(
         "  plan cache: {} hit(s), {} miss(es)\n",
@@ -950,31 +1096,36 @@ impl<'a> CollectionProvider for FilteredProvider<'a> {
         let key = name.to_ascii_uppercase();
         let (table, col) = self.catalog.db.resolve_xml_column(&key)?;
         if let Some(shard) = self.shard.as_ref().filter(|s| s.source == key) {
-            // Sharded scan: only this worker's row range.
-            let lo = shard.rows.first().map_or(0, |r| *r as usize);
-            let hi = shard.rows.last().map_or(0, |r| *r as usize + 1);
+            // Sharded scan: decode exactly this worker's surviving rows —
+            // a point lookup per row, never the whole range (the shard may
+            // be sparse after probes/joins/pre-filters pruned it).
             let mut out = Vec::with_capacity(shard.rows.len());
-            for item in table.scan_range(lo, hi) {
-                let (row, values) = item?;
-                if shard.rows.binary_search(&(row as u64)).is_err() {
-                    continue;
-                }
-                self.check_fetch_fault(row, &key)?;
-                if let SqlValue::Xml(n) = &values[col] {
-                    out.push(Item::Node(n.clone()));
+            for &row in shard.rows {
+                self.check_fetch_fault(row as usize, &key)?;
+                if let Some(SqlValue::Xml(n)) = table.cell(row as usize, col)? {
+                    out.push(Item::Node(n));
                 }
             }
             return Ok(out);
         }
-        let filter = self.filters.get(&key);
+        if let Some(f) = self.filters.get(&key) {
+            // A filter survived the probe/twig/pre-filter phases: decode
+            // only the surviving rows. Skipped documents must cost nothing
+            // here, or the filtering phases' savings evaporate in decode
+            // work. Fault-injection semantics are unchanged — the full
+            // scan below also only fault-checked filter-passing rows.
+            let mut out = Vec::with_capacity(f.len());
+            for &row in f {
+                self.check_fetch_fault(row as usize, &key)?;
+                if let Some(SqlValue::Xml(n)) = table.cell(row as usize, col)? {
+                    out.push(Item::Node(n));
+                }
+            }
+            return Ok(out);
+        }
         let mut out = Vec::new();
         for item in table.scan() {
             let (row, values) = item?;
-            if let Some(f) = filter {
-                if !f.contains(&(row as u64)) {
-                    continue;
-                }
-            }
             self.check_fetch_fault(row, &key)?;
             if let SqlValue::Xml(n) = &values[col] {
                 out.push(Item::Node(n.clone()));

@@ -25,6 +25,7 @@ pub mod plancache;
 pub mod prefilter;
 mod send_sync;
 pub mod sqlxml;
+pub mod twig;
 
 pub use catalog::Catalog;
 pub use durability::{
@@ -45,5 +46,7 @@ pub use prefilter::{
     extract_prefilters, PathComponent, RequiredGroup, RequiredPath, SourcePrefilter,
 };
 pub use sqlxml::{SqlSession, SqlResult};
+pub use twig::{extract_twigs, PreparedTwig, SourceTwig};
 pub use xqdb_obs::{Obs, ObsConfig};
+pub use xqdb_storage::hash_rendered_path;
 pub use xqdb_wal::{CrashInjector, FsyncMode, WalConfig};

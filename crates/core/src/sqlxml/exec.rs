@@ -34,10 +34,11 @@ use crate::eligibility::{
 };
 use crate::engine::{
     prefilter_env_enabled, record_exec_metrics, render_doctor_section, render_execution_sections,
-    ExecStats,
+    twig_env_enabled, ExecStats,
 };
 use crate::plancache::PlanCache;
 use crate::prefilter::{extract_prefilters, SourcePrefilter};
+use crate::twig::{extract_twigs, PreparedTwig, SourceTwig};
 
 use super::ast::*;
 use super::parser::parse_sql;
@@ -155,6 +156,9 @@ pub struct SqlSession {
     /// Apply the structural pre-filter to row selection (on by default;
     /// `XQDB_PREFILTER=off` in the environment also disables it).
     pub prefilter: bool,
+    /// Apply the holistic twig join to row selection (on by default;
+    /// `XQDB_TWIG=off` in the environment also disables it).
+    pub twig: bool,
     /// The durability layer, when the session is backed by a data
     /// directory (see [`SqlSession::open_durable`]).
     durability: Option<Arc<Durability>>,
@@ -170,6 +174,7 @@ impl Default for SqlSession {
             parse_limits: xqdb_xmlparse::ParseLimits::default(),
             obs: Obs::default(),
             prefilter: true,
+            twig: true,
             durability: None,
             stmt_cache: Mutex::new(PlanCache::default()),
         }
@@ -645,6 +650,12 @@ impl SqlSession {
             for (source, pf) in extract_prefilters(&query.body, &env, false) {
                 plan.prefilters.entry(source).or_default().push(pf);
             }
+            // Twig patterns for this conjunct, same PASSING-variable-only
+            // recognition: a row must satisfy every filtering conjunct, so
+            // per source the conjuncts' twigs are AND'd at execution.
+            for (source, tw) in extract_twigs(&query.body, &env, false) {
+                plan.twigs.entry(source).or_default().push(tw);
+            }
         }
         // Attribute conditions to their sources.
         let mut sources = BTreeSet::new();
@@ -723,6 +734,66 @@ impl SqlSession {
                 .entry(table)
                 .and_modify(|r| *r = r.intersection(&rows).copied().collect())
                 .or_insert(rows);
+        }
+
+        // Holistic twig join: drop rows no conjunct's twig patterns can
+        // structurally match (conservative per Definition 1 — survivors
+        // are still re-checked by the WHERE phase). Runs strictly after
+        // the index-probe loop, before the signature pre-filter; label
+        // streams live in RAM, so the pass adds no fault points. Tables
+        // whose labels cannot vouch for every row are declined untouched.
+        if self.twig && twig_env_enabled() {
+            let mut tw_sources: Vec<_> = plan.twigs.keys().collect();
+            tw_sources.sort();
+            for source in tw_sources {
+                let tws = &plan.twigs[source];
+                if tws.is_empty() {
+                    continue;
+                }
+                let Some(t) = source
+                    .split('.')
+                    .next()
+                    .and_then(|name| self.catalog.db.table(name))
+                else {
+                    continue;
+                };
+                let table = t.name.clone();
+                let mut span = trace.span("twig join");
+                span.tag_with("source", || source.clone());
+                let prepared: Vec<PreparedTwig<'_>> = match tws
+                    .iter()
+                    .map(|tw| PreparedTwig::prepare(tw, t))
+                    .collect::<Option<Vec<_>>>()
+                {
+                    Some(p) => p,
+                    None => {
+                        span.tag_str("outcome", "declined: labels incomplete");
+                        continue;
+                    }
+                };
+                let mut skipped = 0usize;
+                let mut candidates = 0usize;
+                // Each filtering conjunct must hold, so a row survives
+                // only if every conjunct's twig matches it.
+                let mut keep = |rid: u64| {
+                    let candidate = prepared.iter().all(|p| p.is_candidate(rid));
+                    candidates += usize::from(candidate);
+                    let ok = candidate && prepared.iter().all(|p| p.accepts(rid));
+                    skipped += usize::from(!ok);
+                    ok
+                };
+                let survivors: BTreeSet<u64> = match row_filters.get(&table) {
+                    Some(rows) => rows.iter().copied().filter(|r| keep(*r)).collect(),
+                    None => (0..t.len() as u64).filter(|r| keep(*r)).collect(),
+                };
+                span.add_count(skipped as u64);
+                span.tag_with("candidates", || candidates.to_string());
+                span.tag_with("survivors", || survivors.len().to_string());
+                stats.twig_joins += 1;
+                stats.twig_candidates += candidates;
+                stats.twig_docs_skipped += skipped;
+                row_filters.insert(table, survivors);
+            }
         }
 
         // Structural pre-filter: drop rows whose path signature cannot
@@ -1131,6 +1202,11 @@ pub struct SqlPlan {
     /// Structural pre-filter per source, one entry per filtering conjunct
     /// (all must hold for a row to survive).
     pub prefilters: HashMap<String, Vec<SourcePrefilter>>,
+    /// Twig patterns per source, one entry per filtering conjunct (all
+    /// must hold for a row to survive). Resolved against the table's
+    /// synopsis at execution time, so cached plans stay valid as
+    /// collections grow.
+    pub twigs: HashMap<String, Vec<SourceTwig>>,
 }
 
 /// Render the EXPLAIN output.
@@ -1163,6 +1239,15 @@ pub fn render_plan(plan: &SqlPlan) -> String {
         for (source, pfs) in sources {
             let reqs: Vec<String> = pfs.iter().map(|pf| pf.render()).collect();
             out.push_str(&format!("    - {source}: requires {}\n", reqs.join(" AND ")));
+        }
+    }
+    if !plan.twigs.is_empty() {
+        out.push_str("  twig join:\n");
+        let mut sources: Vec<_> = plan.twigs.iter().collect();
+        sources.sort_by_key(|(s, _)| s.as_str());
+        for (source, tws) in sources {
+            let reqs: Vec<String> = tws.iter().map(SourceTwig::render).collect();
+            out.push_str(&format!("    - {source}: matches {}\n", reqs.join(" AND ")));
         }
     }
     if !plan.notes.is_empty() {

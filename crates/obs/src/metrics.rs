@@ -72,11 +72,17 @@ pub enum Counter {
     BufferPoolMisses,
     /// Pages evicted from the buffer pool to make room.
     PagesEvicted,
+    /// Holistic twig joins executed over structural labels.
+    TwigJoinsExecuted,
+    /// Candidate documents admitted by twig-join row-set intersections.
+    TwigCandidates,
+    /// Documents skipped by the twig-join phase.
+    TwigDocsSkipped,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 32] = [
         Counter::QueriesExecuted,
         Counter::SqlStatements,
         Counter::IndexProbes,
@@ -106,6 +112,9 @@ impl Counter {
         Counter::BufferPoolHits,
         Counter::BufferPoolMisses,
         Counter::PagesEvicted,
+        Counter::TwigJoinsExecuted,
+        Counter::TwigCandidates,
+        Counter::TwigDocsSkipped,
     ];
 
     /// Prometheus series name.
@@ -140,6 +149,9 @@ impl Counter {
             Counter::BufferPoolHits => "xqdb_buffer_pool_hits_total",
             Counter::BufferPoolMisses => "xqdb_buffer_pool_misses_total",
             Counter::PagesEvicted => "xqdb_pages_evicted_total",
+            Counter::TwigJoinsExecuted => "xqdb_twig_joins_executed_total",
+            Counter::TwigCandidates => "xqdb_twig_candidates_total",
+            Counter::TwigDocsSkipped => "xqdb_twig_docs_skipped_total",
         }
     }
 
@@ -177,6 +189,11 @@ impl Counter {
             Counter::BufferPoolHits => "page fetches answered from the buffer pool",
             Counter::BufferPoolMisses => "page fetches read from the backing store",
             Counter::PagesEvicted => "pages evicted from the buffer pool",
+            Counter::TwigJoinsExecuted => "holistic twig joins executed over structural labels",
+            Counter::TwigCandidates => {
+                "candidate documents admitted by twig-join row-set intersections"
+            }
+            Counter::TwigDocsSkipped => "documents skipped by the twig-join phase",
         }
     }
 }

@@ -95,7 +95,7 @@ impl HeapFile {
         let mut fsm = BTreeMap::new();
         let mut records = 0u64;
         for &pid in &pages {
-            let (tid, nslots, tail) = pager.with_page(pid, |buf| heap_header(buf))?;
+            let (tid, nslots, tail) = pager.with_page(pid, heap_header)?;
             if tid != table_id {
                 return Err(XdmError::page_corrupt(format!(
                     "page {pid}: heap page of table {tid}, expected {table_id}"
@@ -130,7 +130,7 @@ impl HeapFile {
     /// Append a record, returning its stable id. Oversized records spill
     /// into an overflow chain with an inline stub.
     pub fn insert(&mut self, record: &[u8]) -> Result<RecordId, XdmError> {
-        let payload: Vec<u8> = if record.len() <= MAX_INLINE - 1 {
+        let payload: Vec<u8> = if record.len() < MAX_INLINE {
             let mut p = Vec::with_capacity(record.len() + 1);
             p.push(TAG_INLINE);
             p.extend_from_slice(record);

@@ -502,8 +502,29 @@ impl Pager {
                 }
             }
         };
-        let slot = Self::victim(&mut g, &self.evictions)?;
-        Self::evict_occupant(&mut g, slot, &self.evictions)?;
+        // A free-listed id can still occupy a frame (discard_unfrozen and
+        // torn-write classification park freed pages dirty in the pool).
+        // That frame must be claimed in place: claiming a *different*
+        // victim would leave two frames for one id, and evicting the
+        // stale one later would clobber the new content on disk with the
+        // dead Free image (and drop the live mapping with it).
+        let slot = match g.map.get(&id).copied() {
+            Some(slot) => {
+                if g.frames[slot].pins > 0 {
+                    return Err(XdmError::internal(format!(
+                        "allocate: freed page {id} is still pinned"
+                    )));
+                }
+                // No write-back: the old image is dead whatever it held.
+                g.frames[slot].buf.dirty.store(false, Ordering::Release);
+                slot
+            }
+            None => {
+                let slot = Self::victim(&mut g, &self.evictions)?;
+                Self::evict_occupant(&mut g, slot, &self.evictions)?;
+                slot
+            }
+        };
         {
             let frame = &g.frames[slot];
             let mut data = frame.buf.data.write().unwrap_or_else(|e| e.into_inner());
@@ -773,6 +794,46 @@ mod tests {
         let stats = pager.pool_stats();
         assert!(stats.evictions > 0, "2-frame pool over 20 pages must evict");
         assert!(stats.misses > 0);
+    }
+
+    /// Reallocating a discarded id that is still parked in a frame must
+    /// claim that frame in place. The regression this pins down: allocate
+    /// used to take a fresh victim and re-point the map, leaving the stale
+    /// dirty Free frame behind — whose later eviction wrote the dead Free
+    /// image over the new page's disk slot and dropped the live mapping.
+    /// The pool shrink below keeps low-index frames, which is exactly
+    /// where the stale duplicates sit, so the bug surfaced as reads of
+    /// the dead Free image where freshly written records should be.
+    #[test]
+    fn reallocated_discarded_page_survives_stale_frame_eviction() {
+        // 16 frames: all 8 pages stay resident through discard, so every
+        // one of them has a live frame when its id is reallocated.
+        let pager = Pager::new_mem(16);
+        let mut ids = Vec::new();
+        for _ in 0..8 {
+            let (id, g) = pager.allocate(PageKind::Heap).unwrap();
+            g.data_mut()[30] = 1;
+            ids.push(id);
+        }
+        pager.flush_all().unwrap();
+        // Watermark 0: discard parks every page Free + dirty in its frame.
+        assert_eq!(pager.discard_unfrozen().unwrap(), 8);
+        // Reuse every id while those Free frames are all still resident.
+        let mut reused = Vec::new();
+        for i in 0..8u8 {
+            let (id, g) = pager.allocate(PageKind::Heap).unwrap();
+            g.data_mut()[30] = 100 + i;
+            reused.push(id);
+        }
+        assert_eq!(reused, ids, "the free list hands the discarded ids back");
+        // Shrink: surplus frames are evicted, low-index frames survive.
+        // Before the fix the survivors were the stale Free duplicates, and
+        // the map was rebuilt pointing at them.
+        pager.set_capacity(8).unwrap();
+        for (i, id) in reused.iter().enumerate() {
+            let g = pager.fetch(*id).unwrap();
+            assert_eq!(g.data()[30] as usize, 100 + i, "page {id} clobbered");
+        }
     }
 
     #[test]

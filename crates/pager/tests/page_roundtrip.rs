@@ -4,6 +4,9 @@
 //! errors (or classified discards above the freeze watermark), never as
 //! panics or silently wrong data.
 
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::PathBuf;
 use std::sync::Arc;
 

@@ -81,6 +81,7 @@ struct CliLimits {
     data_dir: Option<String>,
     fsync: Option<xqdb_core::FsyncMode>,
     no_prefilter: bool,
+    no_twig: bool,
     buffer_pages: Option<usize>,
 }
 
@@ -107,6 +108,7 @@ impl CliLimits {
                 }
                 "--trace" => out.trace = true,
                 "--no-prefilter" => out.no_prefilter = true,
+                "--no-twig" => out.no_twig = true,
                 "--metrics-json" => {
                     out.metrics_json = Some(
                         it.next()
@@ -130,7 +132,7 @@ impl CliLimits {
                     })?)
                 }
                 "--help" | "-h" => {
-                    return Err("usage: xqdb [recover PATH] [pages PATH] [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--buffer-pages N] [--no-prefilter] [--trace] [--metrics-json PATH] [--data-dir PATH] [--fsync always|batch|off]"
+                    return Err("usage: xqdb [recover PATH] [pages PATH] [labels PATH TABLE] [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--buffer-pages N] [--no-prefilter] [--no-twig] [--trace] [--metrics-json PATH] [--data-dir PATH] [--fsync always|batch|off]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}; try --help")),
@@ -171,6 +173,14 @@ fn main() {
             std::process::exit(2);
         };
         std::process::exit(run_pages(path));
+    }
+    // `xqdb labels PATH TABLE` — dump a table's label-stream cardinalities.
+    if args.first().map(String::as_str) == Some("labels") {
+        let (Some(dir), Some(table)) = (args.get(1), args.get(2)) else {
+            eprintln!("usage: xqdb labels PATH TABLE (PATH is a data directory)");
+            std::process::exit(2);
+        };
+        std::process::exit(run_labels(dir, table));
     }
     // `xqdb serve ...` — run the concurrent TCP front end until SIGTERM.
     if args.first().map(String::as_str) == Some("serve") {
@@ -231,6 +241,7 @@ fn main() {
         session.catalog.db.pager().capacity() as u64,
     );
     session.prefilter = !limits.no_prefilter;
+    session.twig = !limits.no_twig;
     let stdin = io::stdin();
     let mut buffer = String::new();
     print!("xqdb — XML database shell (statements end with ';', '.help' for help)\nxqdb> ");
@@ -348,6 +359,65 @@ fn run_pages(arg: &str) -> i32 {
             "  table {table_id}: {pages} page(s), {records} record(s), {bytes} byte(s)"
         );
     }
+    0
+}
+
+/// `xqdb labels PATH TABLE`: recover the data directory (offline, no
+/// server needed) and print the table's structural-label streams — one
+/// line per synopsis path with its label cardinality. Labels are derived
+/// state rebuilt through the ordinary insert path, so a directory whose
+/// rows were adopted from a page snapshot (not re-parsed) honestly
+/// reports its store as incomplete: the twig join declines such tables.
+fn run_labels(dir: &str, table: &str) -> i32 {
+    let catalog = match xqdb_core::recover_catalog(
+        std::path::Path::new(dir),
+        xqdb_runtime::RuntimeConfig::default(),
+        &xqdb_obs::Trace::disabled(),
+        &Obs::disabled(),
+    ) {
+        Ok((catalog, _report)) => catalog,
+        Err(e) => {
+            report_error(&e);
+            return 1;
+        }
+    };
+    let Some(t) = catalog.db.table(table) else {
+        eprintln!("error: unknown table {table:?}");
+        return 2;
+    };
+    let labels = t.labels();
+    println!(
+        "table {} — {} row(s), {} labeled, store {}",
+        t.name,
+        t.len(),
+        labels.labeled_rows(),
+        if labels.is_complete_for(t.len() as u64) {
+            "complete (twig join eligible)"
+        } else {
+            "incomplete (twig join declines; navigation answers instead)"
+        }
+    );
+    // Label streams are keyed by path hash; render them through the
+    // synopsis, which knows every path the labeler has ever seen.
+    let mut rendered: std::collections::HashMap<u64, &str> = std::collections::HashMap::new();
+    for (path, _rows) in t.synopsis().paths() {
+        rendered.insert(xqdb_core::hash_rendered_path(path), path);
+    }
+    let mut streams: Vec<(String, usize)> = labels
+        .streams()
+        .map(|(hash, entries)| {
+            let name = rendered
+                .get(&hash)
+                .map(|p| (*p).to_string())
+                .unwrap_or_else(|| format!("<path #{hash:016x}>"));
+            (name, entries.len())
+        })
+        .collect();
+    streams.sort();
+    for (path, n) in &streams {
+        println!("  {path}: {n} label(s)");
+    }
+    println!("-- {} stream(s)", streams.len());
     0
 }
 
@@ -613,6 +683,7 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
             threads: session.catalog.runtime.effective_threads(),
             obs: session.obs.clone(),
             prefilter: !limits.no_prefilter,
+            twig: !limits.no_twig,
         };
         match xqdb_core::explain_analyze_xquery(&session.catalog, rest, &opts) {
             Ok((report, out)) => {
@@ -648,6 +719,7 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
             threads: session.catalog.runtime.effective_threads(),
             obs: session.obs.clone(),
             prefilter: !limits.no_prefilter,
+            twig: !limits.no_twig,
         };
         match xqdb_core::run_xquery_with_options(&session.catalog, rest, &opts) {
             Ok(out) => {
@@ -703,8 +775,9 @@ fn dot_command(session: &SqlSession, cmd: &str) -> bool {
                  SQL:          CREATE TABLE/INDEX, INSERT, SELECT (XMLQUERY/XMLEXISTS/XMLTABLE/XMLCAST), EXPLAIN [ANALYZE] SELECT, VALUES\n\
                  XQuery:       xquery <expr>;        explain xquery <expr>;        explain analyze xquery <expr>;\n\
                  shell:        .tables  .indexes  .checkpoint  .help  .quit\n\
-                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N  --buffer-pages N  --no-prefilter  --trace  --metrics-json PATH\n\
+                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N  --buffer-pages N  --no-prefilter  --no-twig  --trace  --metrics-json PATH\n\
                  prefilter:    structural pre-filter is on by default; disable with --no-prefilter or XQDB_PREFILTER=off\n\
+                 twig:         holistic twig join is on by default; disable with --no-twig or XQDB_TWIG=off; xqdb labels PATH TABLE dumps label streams\n\
                  storage:      --buffer-pages N (or XQDB_BUFFER_PAGES) caps every buffer pool; xqdb pages PATH prints page-file stats\n\
                  durability:   --data-dir PATH  --fsync always|batch|off  (xqdb recover PATH replays and reports)"
             );

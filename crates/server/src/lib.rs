@@ -416,6 +416,7 @@ fn exec_options(session: &SqlSession, limits: &Limits) -> ExecOptions {
         threads: session.catalog.runtime.effective_threads(),
         obs: session.obs.clone(),
         prefilter: session.prefilter,
+        twig: session.twig,
     }
 }
 

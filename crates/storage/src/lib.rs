@@ -30,8 +30,9 @@ pub mod value;
 
 pub use db::{Database, PersistenceHook};
 pub use synopsis::{
-    document_paths, extend_attribute, extend_element, hash_rendered_path, render_component,
-    signature_for_document, PathSignature, PathSynopsis, PATH_HASH_SEED,
+    document_paths, extend_attribute, extend_element, hash_rendered_path,
+    observe_document_labeled, render_component, signature_for_document, PathSignature,
+    PathSynopsis, PATH_HASH_SEED,
 };
 pub use table::{Column, RowId, Table};
 pub use value::{sql_compare, SqlType, SqlValue};

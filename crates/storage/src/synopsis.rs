@@ -207,8 +207,31 @@ impl PathSynopsis {
 /// (stored XML columns) or an element (constructed values); anything else
 /// yields the empty signature.
 pub fn observe_document(root: &NodeHandle, synopsis: Option<&mut PathSynopsis>) -> PathSignature {
+    observe_impl(root, synopsis, None)
+}
+
+/// [`observe_document`] plus structural labeling: `sink` receives
+/// `(path hash, pre, post, level)` for **every** element and attribute
+/// node (no per-document dedup — label streams need each occurrence).
+/// `pre` is the node's arena id, `post` the arena id of its last
+/// descendant (its own id for attributes), `level` its depth with the
+/// root element at 1. This is the ingest side of the twig-join label
+/// streams (see `xqdb-twig`).
+pub fn observe_document_labeled(
+    root: &NodeHandle,
+    synopsis: Option<&mut PathSynopsis>,
+    sink: &mut dyn FnMut(u64, u32, u32, u32),
+) -> PathSignature {
+    observe_impl(root, synopsis, Some(sink))
+}
+
+fn observe_impl(
+    root: &NodeHandle,
+    synopsis: Option<&mut PathSynopsis>,
+    sink: Option<&mut dyn FnMut(u64, u32, u32, u32)>,
+) -> PathSignature {
     let mut sig = PathSignature::default();
-    let mut walker = Walker { sig: &mut sig, synopsis, components: Vec::new() };
+    let mut walker = Walker { sig: &mut sig, synopsis, sink, components: Vec::new() };
     match root.kind() {
         NodeKind::Document => {
             for child in root.children() {
@@ -241,13 +264,14 @@ pub fn document_paths(root: &NodeHandle) -> std::collections::BTreeSet<String> {
 /// Depth-first signature/synopsis walk. Per-document de-duplication is by
 /// hash: a path seen twice in one document sets its bit twice (idempotent)
 /// and the dictionary counts rows, not occurrences, via `seen`.
-struct Walker<'a> {
+struct Walker<'a, 's> {
     sig: &'a mut PathSignature,
     synopsis: Option<&'a mut PathSynopsis>,
+    sink: Option<&'s mut dyn FnMut(u64, u32, u32, u32)>,
     components: Vec<(bool, ExpandedName)>,
 }
 
-impl Walker<'_> {
+impl Walker<'_, '_> {
     fn visit(&mut self, hash: u64) {
         let first_in_doc = !self.sig.contains_hash(hash);
         self.sig.set_hash(hash);
@@ -273,11 +297,18 @@ impl Walker<'_> {
         let h = extend_element(parent_hash, &name);
         self.components.push((false, name));
         self.visit(h);
+        if let Some(sink) = self.sink.as_mut() {
+            let post = el.doc.node(el.id).subtree_end.0;
+            sink(h, el.id.0, post, self.components.len() as u32);
+        }
         for attr in el.attributes() {
             if let Some(aname) = attr.name().cloned() {
                 let ah = extend_attribute(h, &aname);
                 self.components.push((true, aname));
                 self.visit(ah);
+                if let Some(sink) = self.sink.as_mut() {
+                    sink(ah, attr.id.0, attr.id.0, self.components.len() as u32);
+                }
                 self.components.pop();
             }
         }

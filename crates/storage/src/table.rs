@@ -19,8 +19,10 @@ use std::sync::Arc;
 use xqdb_pager::{HeapFile, PageId, Pager, RecordId};
 use xqdb_xdm::{ErrorCode, XdmError};
 
+use xqdb_twig::{LabelEntry, LabelStore};
+
 use crate::rowcodec::{decode_header, decode_row, encode_row};
-use crate::synopsis::{observe_document, PathSignature, PathSynopsis};
+use crate::synopsis::{observe_document, observe_document_labeled, PathSignature, PathSynopsis};
 use crate::value::{SqlType, SqlValue};
 
 /// A column definition.
@@ -58,6 +60,12 @@ pub struct Table {
     signatures: Vec<PathSignature>,
     /// Dictionary of distinct rooted paths observed across all rows.
     synopsis: PathSynopsis,
+    /// Per-path (pre, post, level) label streams for the twig-join path.
+    /// Derived state like the synopsis, but — unlike signatures — not
+    /// persisted in record headers: recovery paths that skip XML parsing
+    /// mark the store incomplete and the planner declines twig joins for
+    /// the table.
+    labels: LabelStore,
 }
 
 impl std::fmt::Debug for Table {
@@ -94,6 +102,7 @@ impl Table {
             directory: Vec::new(),
             signatures: Vec::new(),
             synopsis: PathSynopsis::default(),
+            labels: LabelStore::default(),
         }
     }
 
@@ -141,6 +150,13 @@ impl Table {
                 directory.len()
             )));
         }
+        // Adopted rows were never re-parsed, so their labels do not exist:
+        // the store is incomplete for this table until a full re-ingest,
+        // and the twig planner falls back to navigation (always correct).
+        let mut labels = LabelStore::default();
+        if !directory.is_empty() {
+            labels.mark_incomplete();
+        }
         Ok(Table {
             name,
             columns,
@@ -148,6 +164,7 @@ impl Table {
             directory,
             signatures,
             synopsis: PathSynopsis::default(),
+            labels,
         })
     }
 
@@ -209,13 +226,38 @@ impl Table {
     /// inserts, catalog inserts, WAL replay), so the row's path signature
     /// and the table synopsis stay consistent with the stored documents.
     pub fn push_row(&mut self, row: Vec<SqlValue>) -> Result<RowId, XdmError> {
+        let rowid = self.directory.len() as u64;
         let mut sig = PathSignature::default();
+        let labeling = xqdb_twig::enabled_in_env() && !self.labels.is_incomplete();
+        let mut cell = 0u32;
         for v in &row {
             if let SqlValue::Xml(n) = v {
-                sig.union_with(&observe_document(n, Some(&mut self.synopsis)));
+                if labeling {
+                    let (synopsis, labels) = (&mut self.synopsis, &mut self.labels);
+                    let this_cell = cell;
+                    sig.union_with(&observe_document_labeled(
+                        n,
+                        Some(synopsis),
+                        &mut |path, pre, post, level| {
+                            labels.record_label(
+                                path,
+                                LabelEntry { row: rowid, cell: this_cell, pre, post, level },
+                            );
+                        },
+                    ));
+                } else {
+                    sig.union_with(&observe_document(n, Some(&mut self.synopsis)));
+                }
+                cell += 1;
             }
         }
-        let rowid = self.directory.len() as u64;
+        if labeling {
+            self.labels.finish_row();
+        } else {
+            // Labeling disabled (XQDB_TWIG=off) or already incomplete:
+            // keep the store honestly unusable rather than part-labeled.
+            self.labels.mark_incomplete();
+        }
         let bytes = encode_row(rowid, &sig, &row);
         let rid = self.heap.insert(&bytes)?;
         self.directory.push(rid);
@@ -231,6 +273,13 @@ impl Table {
     /// The table's path-synopsis dictionary.
     pub fn synopsis(&self) -> &PathSynopsis {
         &self.synopsis
+    }
+
+    /// The table's structural label streams (twig joins). Check
+    /// [`LabelStore::is_complete_for`] against [`Table::len`] before
+    /// trusting them.
+    pub fn labels(&self) -> &LabelStore {
+        &self.labels
     }
 
     /// Number of rows.

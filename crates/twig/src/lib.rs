@@ -1,0 +1,736 @@
+//! Structural labels and holistic twig joins.
+//!
+//! Every element and attribute node of an ingested document gets a
+//! *(pre, post, level)* label at insert time: `pre` is the node's
+//! document-order position, `post` the position of its last descendant
+//! (so `a` is an ancestor of `d` iff `a.pre < d.pre && d.pre <= a.post`),
+//! and `level` its depth. Labels are grouped into **streams**, one per
+//! rooted path of the table's path synopsis, so a stream holds exactly
+//! the nodes the dataguide says can match a given pattern node.
+//!
+//! A [`Pattern`] is a small tree of named steps joined by child or
+//! descendant edges — the shape of a branching path query like
+//! `//order[lineitem/@price]//id`. [`resolve_pattern`] maps each pattern
+//! node to the synopsis paths that can produce it (pruning impossible
+//! branches), and [`TwigJoin`] runs a TwigStack-style merge of the
+//! resolved streams: one pass over a row's labels with a stack per
+//! pattern node, partial matches encoded as open stack entries with a
+//! child-satisfaction bitmask.
+//!
+//! The join is a conservative pre-selection in the sense of the paper's
+//! Definition 1: a row it rejects provably cannot match the pattern, and
+//! every surviving row is re-checked by the real evaluator — false
+//! positives cost time, false negatives are impossible.
+//!
+//! The crate is std-only and knows nothing about tables, documents or
+//! queries: callers feed it rendered path strings (clark-notation
+//! components separated by `/`), label entries, and patterns.
+
+use std::collections::HashMap;
+
+/// One labeled node: which row and XML cell it lives in, plus its
+/// (pre, post, level) structural label.
+///
+/// `pre` and `post` are arena node ids: `pre` is the node's own id (ids
+/// are assigned in document order) and `post` the id of its last
+/// descendant (for attributes, its own id). `level` is the depth of the
+/// node, with the root element at 1 and its attributes/children at 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelEntry {
+    /// Row id within the owning table.
+    pub row: u64,
+    /// Ordinal of the XML cell within the row (tables may have several
+    /// XML columns; labels from different cells must never join).
+    pub cell: u32,
+    /// Document-order position (the node's arena id).
+    pub pre: u32,
+    /// Arena id of the node's last descendant (own id for attributes):
+    /// `a` is a proper ancestor of `d` iff `a.pre < d.pre && d.pre <= a.post`.
+    pub post: u32,
+    /// Depth: root element 1, its attributes and children 2, and so on.
+    pub level: u32,
+}
+
+/// Per-table label streams, keyed by rooted-path hash.
+///
+/// Streams are append-only and ordered: entries arrive in (row, cell,
+/// pre) order because rows are labeled as they are inserted and each
+/// document is walked in document order. [`LabelStore::is_complete_for`]
+/// reports whether every row of the table was labeled — recovery paths
+/// that adopt rows without re-parsing their XML mark the store
+/// incomplete, and the planner then declines the twig path for the
+/// table (falling back to navigation, which is always correct).
+#[derive(Debug, Default, Clone)]
+pub struct LabelStore {
+    streams: HashMap<u64, Vec<LabelEntry>>,
+    labeled_rows: u64,
+    incomplete: bool,
+}
+
+impl LabelStore {
+    /// Append one label to the stream for `path`. No-op once the store
+    /// has been marked incomplete (the labels could never be trusted).
+    pub fn record_label(&mut self, path: u64, entry: LabelEntry) {
+        if self.incomplete {
+            return;
+        }
+        self.streams.entry(path).or_default().push(entry);
+    }
+
+    /// Count one fully labeled row. Called once per inserted row after
+    /// all its XML cells have been walked.
+    pub fn finish_row(&mut self) {
+        self.labeled_rows += 1;
+    }
+
+    /// Record that at least one row was adopted without labels (e.g.
+    /// page-image recovery, or ingest with labeling disabled). Sticky:
+    /// the table's twig path stays disabled until the store is rebuilt.
+    pub fn mark_incomplete(&mut self) {
+        self.incomplete = true;
+        self.streams.clear();
+    }
+
+    /// True if every one of the table's `rows` rows was labeled.
+    pub fn is_complete_for(&self, rows: u64) -> bool {
+        !self.incomplete && self.labeled_rows == rows
+    }
+
+    /// True if the store was marked incomplete.
+    pub fn is_incomplete(&self) -> bool {
+        self.incomplete
+    }
+
+    /// Number of rows labeled so far.
+    pub fn labeled_rows(&self) -> u64 {
+        self.labeled_rows
+    }
+
+    /// The label stream for a path hash (empty if the path was never
+    /// seen).
+    pub fn stream(&self, path: u64) -> &[LabelEntry] {
+        self.streams.get(&path).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All streams, for offline inspection. Iteration order is
+    /// unspecified; callers sort.
+    pub fn streams(&self) -> impl Iterator<Item = (u64, &[LabelEntry])> {
+        self.streams.iter().map(|(&h, v)| (h, v.as_slice()))
+    }
+}
+
+/// How a pattern node relates to its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Direct child (or attribute-of) — `a/b`, `a/@x`.
+    Child,
+    /// Proper descendant — `a//b`. For attributes this is the
+    /// `//@x` shape: any attribute strictly inside the ancestor's
+    /// interval, which includes the ancestor's own attributes.
+    Descendant,
+}
+
+/// One node of a twig pattern: a named step plus the edge to its parent
+/// (for the root, the edge from the document root).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternNode {
+    /// Index of the parent node, `None` for the root. Parents always
+    /// precede children, so `parent < own index`.
+    pub parent: Option<usize>,
+    /// Edge from the parent (or from the document root).
+    pub edge: Edge,
+    /// The path segment this node matches: a clark-notation name
+    /// (`{uri}local` or bare `local`), prefixed with `@` for
+    /// attributes. This is exactly one `/`-separated segment of the
+    /// synopsis's rendered path strings.
+    pub component: String,
+    /// True for attribute nodes (always leaves).
+    pub attribute: bool,
+}
+
+/// A twig pattern: a tree of [`PatternNode`]s with node 0 as the root.
+///
+/// Every node is *required*: a row matches the pattern iff there is an
+/// embedding of the whole tree into the row's document respecting names
+/// and edges. Queries lower their optional parts by simply omitting
+/// them — omission only widens the match set, which is the conservative
+/// direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Nodes in parent-before-child order; node 0 is the root.
+    pub nodes: Vec<PatternNode>,
+}
+
+/// Bitmask child positions are limited to a `u64`; capping total nodes
+/// at 64 guarantees every node has at most 63 children.
+pub const MAX_PATTERN_NODES: usize = 64;
+
+impl Pattern {
+    /// A single-node pattern rooted at `component`.
+    pub fn root(edge: Edge, component: impl Into<String>, attribute: bool) -> Self {
+        Pattern {
+            nodes: vec![PatternNode { parent: None, edge, component: component.into(), attribute }],
+        }
+    }
+
+    /// Append a child of `parent` and return its index, or `None` once
+    /// the [`MAX_PATTERN_NODES`] cap is reached (callers then abandon
+    /// the lowering — never matching fewer rows, just opting out).
+    pub fn add_child(
+        &mut self,
+        parent: usize,
+        edge: Edge,
+        component: impl Into<String>,
+        attribute: bool,
+    ) -> Option<usize> {
+        if self.nodes.len() >= MAX_PATTERN_NODES || parent >= self.nodes.len() {
+            return None;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(PatternNode {
+            parent: Some(parent),
+            edge,
+            component: component.into(),
+            attribute,
+        });
+        Some(idx)
+    }
+
+    /// Child indices per node, in pattern order.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let Some(p) = node.parent {
+                out[p].push(idx);
+            }
+        }
+        out
+    }
+
+    /// True if any edge is a descendant edge — the shape the signature
+    /// prefilter cannot serve.
+    pub fn has_descendant_edge(&self) -> bool {
+        self.nodes.iter().any(|n| n.edge == Edge::Descendant)
+    }
+
+    /// True if any node has two or more children (a genuine branch).
+    pub fn has_branch(&self) -> bool {
+        self.children().iter().any(|c| c.len() >= 2)
+    }
+
+    /// Render the pattern for EXPLAIN output, e.g.
+    /// `//order[/lineitem[/@price]][//id]`.
+    pub fn render(&self) -> String {
+        let children = self.children();
+        let mut out = String::new();
+        self.render_node(0, &children, &mut out);
+        out
+    }
+
+    fn render_node(&self, idx: usize, children: &[Vec<usize>], out: &mut String) {
+        let node = &self.nodes[idx];
+        out.push_str(match node.edge {
+            Edge::Child => "/",
+            Edge::Descendant => "//",
+        });
+        out.push_str(&node.component);
+        for &c in &children[idx] {
+            out.push('[');
+            self.render_node(c, children, out);
+            out.push(']');
+        }
+    }
+}
+
+/// Split a rendered synopsis path (`/order/lineitem/@price`,
+/// `/{urn:a/b}x/y`) into its segments. `/` inside clark braces belongs
+/// to the namespace URI, not the path.
+pub fn split_rendered_path(rendered: &str) -> Vec<&str> {
+    let mut segments = Vec::new();
+    let mut depth = 0usize;
+    let mut start: Option<usize> = None;
+    for (i, b) in rendered.bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => depth = depth.saturating_sub(1),
+            b'/' if depth == 0 => {
+                if let Some(s) = start {
+                    segments.push(&rendered[s..i]);
+                }
+                start = Some(i + 1);
+                continue;
+            }
+            _ => {}
+        }
+        if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        if s < rendered.len() {
+            segments.push(&rendered[s..]);
+        }
+    }
+    segments
+}
+
+/// Map each pattern node to the synopsis paths (given as
+/// `(rendered, hash)` pairs) that can produce a matching node.
+///
+/// A path matches a node when its last segment equals the node's
+/// component and its parent prefix satisfies the node's edge: for a
+/// `Child` edge the exact length-minus-one prefix must be in the parent
+/// node's set, for a `Descendant` edge any proper prefix; the root's
+/// edge constrains the path's length (a `Child` root is a direct child
+/// of the document root, so exactly one segment).
+///
+/// Every proper prefix of a synopsis path is itself a synopsis path
+/// (the ingest walker visits all ancestors), so prefix lookups resolve
+/// within `paths`. An empty set for any node means the dataguide proves
+/// the pattern matches nothing in this table.
+pub fn resolve_pattern(pattern: &Pattern, paths: &[(&str, u64)]) -> Vec<Vec<u64>> {
+    let split: Vec<Vec<&str>> = paths.iter().map(|(r, _)| split_rendered_path(r)).collect();
+    let mut by_segments: HashMap<&[&str], usize> = HashMap::with_capacity(split.len());
+    for (i, segs) in split.iter().enumerate() {
+        by_segments.insert(segs.as_slice(), i);
+    }
+    let mut sets: Vec<Vec<bool>> = Vec::with_capacity(pattern.nodes.len());
+    for node in &pattern.nodes {
+        let mut set = vec![false; paths.len()];
+        for (i, segs) in split.iter().enumerate() {
+            let Some(last) = segs.last() else { continue };
+            if *last != node.component.as_str() {
+                continue;
+            }
+            let ok = match node.parent {
+                None => match node.edge {
+                    Edge::Child => segs.len() == 1,
+                    Edge::Descendant => true,
+                },
+                Some(p) => match node.edge {
+                    Edge::Child => {
+                        segs.len() >= 2
+                            && by_segments
+                                .get(&segs[..segs.len() - 1])
+                                .is_some_and(|&idx| sets[p][idx])
+                    }
+                    Edge::Descendant => (1..segs.len()).any(|k| {
+                        by_segments.get(&segs[..k]).is_some_and(|&idx| sets[p][idx])
+                    }),
+                },
+            };
+            if ok {
+                set[i] = true;
+            }
+        }
+        sets.push(set);
+    }
+    sets.iter()
+        .map(|set| {
+            let mut hashes: Vec<u64> = set
+                .iter()
+                .enumerate()
+                .filter(|(_, &on)| on)
+                .map(|(i, _)| paths[i].1)
+                .collect();
+            hashes.sort_unstable();
+            hashes.dedup();
+            hashes
+        })
+        .collect()
+}
+
+/// An open (pushed, not yet popped) stack entry during the sweep: a
+/// node that may still become part of a match, with a bitmask of the
+/// child positions already proven below it.
+#[derive(Debug, Clone, Copy)]
+struct OpenEntry {
+    pre: u32,
+    post: u32,
+    level: u32,
+    mask: u64,
+}
+
+/// A holistic twig join over one table's label streams: the pattern,
+/// the streams resolved for each pattern node, and the candidate row
+/// set (rows that have at least one label in every node's streams).
+pub struct TwigJoin<'a> {
+    pattern: &'a Pattern,
+    children: Vec<Vec<usize>>,
+    full_mask: Vec<u64>,
+    /// Per pattern node, the resolved streams (sorted by row).
+    streams: Vec<Vec<&'a [LabelEntry]>>,
+    /// Sorted rows that survive the per-node presence intersection.
+    candidates: Vec<u64>,
+}
+
+impl<'a> TwigJoin<'a> {
+    /// Build a join from a pattern, the table's label store, and the
+    /// per-node path hashes from [`resolve_pattern`].
+    pub fn new(pattern: &'a Pattern, store: &'a LabelStore, resolved: &[Vec<u64>]) -> Self {
+        let children = pattern.children();
+        // MAX_PATTERN_NODES caps children at 63, so the shift is safe.
+        let full_mask: Vec<u64> =
+            children.iter().map(|c| (1u64 << c.len().min(63)) - 1).collect();
+        let streams: Vec<Vec<&[LabelEntry]>> = resolved
+            .iter()
+            .map(|hashes| {
+                hashes.iter().map(|&h| store.stream(h)).filter(|s| !s.is_empty()).collect()
+            })
+            .collect();
+        let mut candidates: Option<Vec<u64>> = None;
+        for node_streams in &streams {
+            let rows = distinct_rows(node_streams);
+            candidates = Some(match candidates {
+                None => rows,
+                Some(prev) => intersect_sorted(&prev, &rows),
+            });
+            if candidates.as_ref().is_some_and(Vec::is_empty) {
+                break;
+            }
+        }
+        TwigJoin {
+            pattern,
+            children,
+            full_mask,
+            streams,
+            candidates: candidates.unwrap_or_default(),
+        }
+    }
+
+    /// Rows that have at least one label in every pattern node's
+    /// streams — the only rows [`Self::matches_row`] can accept.
+    pub fn candidates(&self) -> &[u64] {
+        &self.candidates
+    }
+
+    /// True if `row` is in the candidate set.
+    pub fn is_candidate(&self, row: u64) -> bool {
+        self.candidates.binary_search(&row).is_ok()
+    }
+
+    /// Run the stack-merge over one row's labels: true iff some
+    /// embedding of the whole pattern exists in one of the row's XML
+    /// cells.
+    pub fn matches_row(&self, row: u64) -> bool {
+        // Gather this row's events: (label, pattern node) pairs, one per
+        // stream occurrence, ordered by (cell, pre, node).
+        let mut events: Vec<(LabelEntry, usize)> = Vec::new();
+        for (node, node_streams) in self.streams.iter().enumerate() {
+            for stream in node_streams {
+                let lo = stream.partition_point(|e| e.row < row);
+                let hi = stream.partition_point(|e| e.row <= row);
+                for e in &stream[lo..hi] {
+                    events.push((*e, node));
+                }
+            }
+        }
+        events.sort_unstable_by_key(|(e, node)| (e.cell, e.pre, *node));
+
+        let mut stacks: Vec<Vec<OpenEntry>> = vec![Vec::new(); self.pattern.nodes.len()];
+        let mut current_cell = None;
+        for (entry, node) in events {
+            if current_cell != Some(entry.cell) {
+                // New document cell: finish the previous one entirely.
+                if self.drain(&mut stacks, u32::MAX) {
+                    return true;
+                }
+                current_cell = Some(entry.cell);
+            }
+            // Pop everything that ends before this node starts; what
+            // remains on each stack is an ancestor chain of `entry`.
+            if self.drain(&mut stacks, entry.pre) {
+                return true;
+            }
+            stacks[node].push(OpenEntry {
+                pre: entry.pre,
+                post: entry.post,
+                level: entry.level,
+                mask: 0,
+            });
+        }
+        self.drain(&mut stacks, u32::MAX)
+    }
+
+    /// Pop every open entry with `post < limit`, deepest-first
+    /// (ascending post, descending pre), propagating child-satisfaction
+    /// bits upward. Returns true as soon as a root match completes.
+    fn drain(&self, stacks: &mut [Vec<OpenEntry>], limit: u32) -> bool {
+        loop {
+            // Stacks are nested ancestor chains, so each stack's top has
+            // its smallest post: scanning tops finds the global minimum.
+            let mut best: Option<(usize, u32, u32)> = None;
+            for (node, stack) in stacks.iter().enumerate() {
+                if let Some(top) = stack.last() {
+                    if top.post < limit
+                        && best.map_or(true, |(_, post, pre)| {
+                            (top.post, std::cmp::Reverse(top.pre)) < (post, std::cmp::Reverse(pre))
+                        })
+                    {
+                        best = Some((node, top.post, top.pre));
+                    }
+                }
+            }
+            let Some((node, _, _)) = best else { return false };
+            let Some(entry) = stacks[node].pop() else { return false };
+            if entry.mask != self.full_mask[node] {
+                continue; // some required child never appeared below it
+            }
+            match self.pattern.nodes[node].parent {
+                None => {
+                    // Root: check the edge from the document root.
+                    match self.pattern.nodes[node].edge {
+                        Edge::Descendant => return true,
+                        Edge::Child if entry.level == 1 => return true,
+                        Edge::Child => {}
+                    }
+                }
+                Some(parent) => {
+                    let Some(position) = self.children[parent].iter().position(|&c| c == node)
+                    else {
+                        continue;
+                    };
+                    let bit = 1u64 << position;
+                    let edge = self.pattern.nodes[node].edge;
+                    for open in &mut stacks[parent] {
+                        let is_ancestor = open.pre < entry.pre && entry.pre <= open.post;
+                        if !is_ancestor {
+                            continue;
+                        }
+                        match edge {
+                            Edge::Descendant => open.mask |= bit,
+                            Edge::Child if open.level + 1 == entry.level => open.mask |= bit,
+                            Edge::Child => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Distinct rows across a node's streams, sorted ascending. Each
+/// stream is already sorted by row, so this is a k-way merge.
+fn distinct_rows(streams: &[&[LabelEntry]]) -> Vec<u64> {
+    let mut out: Vec<u64> = Vec::new();
+    for stream in streams {
+        let mut rows: Vec<u64> = Vec::with_capacity(stream.len().min(1024));
+        for e in *stream {
+            if rows.last() != Some(&e.row) {
+                rows.push(e.row);
+            }
+        }
+        out = if out.is_empty() { rows } else { union_sorted(&out, &rows) };
+    }
+    out
+}
+
+fn union_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len().max(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let next = match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                i += 1;
+                a[i - 1]
+            }
+            std::cmp::Ordering::Greater => {
+                j += 1;
+                b[j - 1]
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+                a[i - 1]
+            }
+        };
+        out.push(next);
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn intersect_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The `XQDB_TWIG` kill switch: `off`, `0` or `false` (any case)
+/// disables both label construction at ingest and the twig path at
+/// execution; anything else — including unset — enables them.
+pub fn enabled_in_env() -> bool {
+    match std::env::var("XQDB_TWIG") {
+        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"),
+        Err(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(row: u64, cell: u32, pre: u32, post: u32, level: u32) -> LabelEntry {
+        LabelEntry { row, cell, pre, post, level }
+    }
+
+    /// `<a><b x="1"/><c/></a>`: arena ids doc=0, a=1, b=2, @x=3, c=4.
+    fn store_abc(row: u64) -> LabelStore {
+        let mut s = LabelStore::default();
+        s.record_label(1, entry(row, 0, 1, 4, 1)); // /a
+        s.record_label(2, entry(row, 0, 2, 3, 2)); // /a/b
+        s.record_label(3, entry(row, 0, 3, 3, 3)); // /a/b/@x
+        s.record_label(4, entry(row, 0, 4, 4, 2)); // /a/c
+        s.finish_row();
+        s
+    }
+
+    const PATHS_ABC: [(&str, u64); 4] = [("/a", 1), ("/a/b", 2), ("/a/b/@x", 3), ("/a/c", 4)];
+
+    #[test]
+    fn split_handles_plain_and_clark_segments() {
+        assert_eq!(split_rendered_path("/a/b/@x"), vec!["a", "b", "@x"]);
+        assert_eq!(split_rendered_path("/{urn:a/b}x/y"), vec!["{urn:a/b}x", "y"]);
+        assert_eq!(split_rendered_path("/a/@{urn:n/s}id"), vec!["a", "@{urn:n/s}id"]);
+        assert!(split_rendered_path("").is_empty());
+    }
+
+    #[test]
+    fn resolve_respects_edges_and_root() {
+        // //b — descendant root, matches /a/b only.
+        let p = Pattern::root(Edge::Descendant, "b", false);
+        assert_eq!(resolve_pattern(&p, &PATHS_ABC), vec![vec![2]]);
+        // /b — child-of-document-root, no one-segment path named b.
+        let p = Pattern::root(Edge::Child, "b", false);
+        assert_eq!(resolve_pattern(&p, &PATHS_ABC), vec![Vec::<u64>::new()]);
+        // /a[/b[/@x]][/c]
+        let mut p = Pattern::root(Edge::Child, "a", false);
+        let b = p.add_child(0, Edge::Child, "b", false).unwrap();
+        p.add_child(b, Edge::Child, "@x", true).unwrap();
+        p.add_child(0, Edge::Child, "c", false).unwrap();
+        assert_eq!(resolve_pattern(&p, &PATHS_ABC), vec![vec![1], vec![2], vec![3], vec![4]]);
+        // //a//@x — descendant edge to the attribute.
+        let mut p = Pattern::root(Edge::Descendant, "a", false);
+        p.add_child(0, Edge::Descendant, "@x", true).unwrap();
+        assert_eq!(resolve_pattern(&p, &PATHS_ABC), vec![vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn join_matches_branching_pattern() {
+        let store = store_abc(7);
+        let mut p = Pattern::root(Edge::Child, "a", false);
+        let b = p.add_child(0, Edge::Child, "b", false).unwrap();
+        p.add_child(b, Edge::Child, "@x", true).unwrap();
+        p.add_child(0, Edge::Child, "c", false).unwrap();
+        let resolved = resolve_pattern(&p, &PATHS_ABC);
+        let join = TwigJoin::new(&p, &store, &resolved);
+        assert_eq!(join.candidates(), &[7]);
+        assert!(join.matches_row(7));
+        assert!(!join.matches_row(8));
+    }
+
+    #[test]
+    fn join_rejects_missing_branch() {
+        // /a[/b][/d] — d never appears, so the dataguide already prunes it.
+        let store = store_abc(0);
+        let mut p = Pattern::root(Edge::Child, "a", false);
+        p.add_child(0, Edge::Child, "b", false).unwrap();
+        p.add_child(0, Edge::Child, "d", false).unwrap();
+        let resolved = resolve_pattern(&p, &PATHS_ABC);
+        assert!(resolved[2].is_empty());
+        let join = TwigJoin::new(&p, &store, &resolved);
+        assert!(join.candidates().is_empty());
+    }
+
+    #[test]
+    fn join_handles_recursive_elements() {
+        // <a><a><b/></a></a>: doc=0, outer a=1, inner a=2, b=3.
+        let mut store = LabelStore::default();
+        store.record_label(10, entry(0, 0, 1, 3, 1)); // /a
+        store.record_label(11, entry(0, 0, 2, 3, 2)); // /a/a
+        store.record_label(12, entry(0, 0, 3, 3, 3)); // /a/a/b
+        store.finish_row();
+        let paths = [("/a", 10u64), ("/a/a", 11), ("/a/a/b", 12)];
+        // //a[/b]: only the inner a has a b child.
+        let mut p = Pattern::root(Edge::Descendant, "a", false);
+        p.add_child(0, Edge::Child, "b", false).unwrap();
+        let resolved = resolve_pattern(&p, &paths);
+        assert_eq!(resolved[0], vec![10, 11]);
+        let join = TwigJoin::new(&p, &store, &resolved);
+        assert!(join.matches_row(0));
+        // /a[/b]: the outer a has no direct b child — level discipline
+        // must reject the grandchild.
+        let mut p2 = Pattern::root(Edge::Child, "a", false);
+        p2.add_child(0, Edge::Child, "b", false).unwrap();
+        let resolved2 = resolve_pattern(&p2, &paths);
+        assert!(resolved2[1].is_empty());
+        let join2 = TwigJoin::new(&p2, &store, &resolved2);
+        assert!(join2.candidates().is_empty());
+        // //a//b matches through the descendant edge.
+        let mut p3 = Pattern::root(Edge::Descendant, "a", false);
+        p3.add_child(0, Edge::Descendant, "b", false).unwrap();
+        let resolved3 = resolve_pattern(&p3, &paths);
+        let join3 = TwigJoin::new(&p3, &store, &resolved3);
+        assert!(join3.matches_row(0));
+    }
+
+    #[test]
+    fn cells_never_join_across() {
+        // Row with two XML cells: a in cell 0, b (inside a different a)
+        // in cell 1. Pattern /a[/b] must not stitch them together.
+        let mut store = LabelStore::default();
+        store.record_label(20, entry(0, 0, 1, 1, 1)); // cell 0: lone /a
+        store.record_label(20, entry(0, 1, 1, 2, 1)); // cell 1: /a
+        store.record_label(21, entry(0, 1, 2, 2, 2)); // cell 1: /a/b
+        store.finish_row();
+        let paths = [("/a", 20u64), ("/a/b", 21)];
+        let mut p = Pattern::root(Edge::Child, "a", false);
+        p.add_child(0, Edge::Child, "b", false).unwrap();
+        let resolved = resolve_pattern(&p, &paths);
+        let join = TwigJoin::new(&p, &store, &resolved);
+        // Cell 1 alone satisfies it, so the row matches…
+        assert!(join.matches_row(0));
+        // …but with cell 1's b removed, cell 0's a + a stray b in a
+        // later cell must not match.
+        let mut store2 = LabelStore::default();
+        store2.record_label(20, entry(0, 0, 1, 1, 1)); // cell 0: lone /a
+        store2.record_label(21, entry(0, 1, 2, 2, 2)); // cell 1: b without its a label
+        store2.finish_row();
+        let join2 = TwigJoin::new(&p, &store2, &resolved);
+        assert!(!join2.matches_row(0));
+    }
+
+    #[test]
+    fn incomplete_store_declines() {
+        let mut store = store_abc(0);
+        assert!(store.is_complete_for(1));
+        assert!(!store.is_complete_for(2));
+        store.mark_incomplete();
+        assert!(!store.is_complete_for(1));
+        store.record_label(1, entry(1, 0, 1, 1, 1));
+        assert_eq!(store.stream(1), &[]);
+    }
+
+    #[test]
+    fn render_shows_edges_and_branches() {
+        let mut p = Pattern::root(Edge::Descendant, "order", false);
+        let li = p.add_child(0, Edge::Child, "lineitem", false).unwrap();
+        p.add_child(li, Edge::Child, "@price", true).unwrap();
+        p.add_child(0, Edge::Descendant, "id", false).unwrap();
+        assert_eq!(p.render(), "//order[/lineitem[/@price]][//id]");
+        assert!(p.has_descendant_edge());
+        assert!(p.has_branch());
+    }
+}

@@ -70,6 +70,17 @@ if grep -rn --include='*.rs' -E '\b(TcpListener|TcpStream)\b' crates tests \
   exit 1
 fi
 
+# Structural label streams are built in exactly one place: `Table::push_row`
+# calling into crates/twig's LabelStore. Any other construction site could
+# drift from the insert path and break the labels-complete invariant the
+# twig join's soundness rests on.
+if grep -rn --include='*.rs' -E '\.(record_label|finish_row)\(' crates tests \
+    | grep -v '^crates/twig/' \
+    | grep -v '^crates/storage/'; then
+  echo "error: label-stream construction outside crates/twig and crates/storage (labels are built only on the insert path)" >&2
+  exit 1
+fi
+
 # The paper's query suite must survive the wire: run it through a loopback
 # server (framing, admission, session locking) and byte-compare against
 # direct in-process execution.
@@ -102,3 +113,8 @@ XQDB_PREFILTER=off cargo test --workspace -q
 # index node pools, recovery — so no test may depend on pages staying
 # resident.
 XQDB_BUFFER_PAGES=4 cargo test --workspace -q
+
+# Sixth pass with the twig join disabled: labels are never built and every
+# query answers through navigation, so a twig-join bug can never hide
+# behind its own optimization being on (mirrors the pre-filter pass above).
+XQDB_TWIG=off cargo test --workspace -q

@@ -323,16 +323,105 @@ fn prefiltered_scans_byte_identical_across_threads_and_faults() {
         }
     }
     // The on-filter runs above were not vacuous: the selective query really
-    // skips the synthetic orders (unless the environment disables it).
+    // skips the synthetic orders (unless the environment disables it). The
+    // twig join is held off so the pre-filter is what does the skipping —
+    // it runs first and would otherwise leave the filter nothing to prune.
     if std::env::var("XQDB_PREFILTER").map_or(true, |v| v != "off") {
         let out = run_xquery_with_options(
             &mixed(false),
             prefilter_queries[0],
-            &ExecOptions::default(),
+            &ExecOptions { twig: false, ..ExecOptions::default() },
         )
         .expect("runs");
         assert_eq!(out.stats.prefilter_docs_skipped, 100, "every promo-less doc is skipped");
         assert_eq!(out.sequence.len(), 5, "every promo doc survives");
+    }
+}
+
+/// The holistic twig join is, like the pre-filter, a pure execution
+/// detail: {twig on, off} × {1, 4} threads × {healthy, every-probe-fails}
+/// must all be byte-identical to the serial, twig-less, unindexed
+/// baseline. The join reads only in-memory label streams (never the
+/// pager or an index), so fault injection must not interact with it: the
+/// degradation matrix is the same whether the join ran or not.
+#[test]
+fn twig_joins_byte_identical_across_threads_and_faults() {
+    // Synthetic orders are structurally uniform, so mix in a few
+    // hand-built orders with a `remark` under a lineitem — structure the
+    // twig join can actually discriminate on.
+    fn mixed(indexed: bool) -> Catalog {
+        let mut c = orders_catalog(100, indexed);
+        for i in 0..5i64 {
+            let doc = xqdb_xmlparse::parse_document(&format!(
+                "<order><custid>c{i}</custid>\
+                 <lineitem price=\"999\" quantity=\"1\"><remark>rush</remark>\
+                 <product><id>r{i}</id></product></lineitem></order>"
+            ))
+            .expect("remark doc parses");
+            c.insert(
+                "orders",
+                vec![
+                    xqdb_storage::SqlValue::Integer(6000 + i),
+                    xqdb_storage::SqlValue::Xml(doc.root()),
+                ],
+            )
+            .expect("insert succeeds");
+        }
+        c
+    }
+    // Descendant-axis, branching queries — the class the twig join is
+    // routed for. The third query branches twice below the `//` step.
+    let twig_queries = [
+        QUERIES[0],
+        QUERIES[1],
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem[@price]/remark]//custid",
+    ];
+    let baseline = mixed(false);
+    for q in twig_queries {
+        let base_opts =
+            ExecOptions { threads: 1, twig: false, prefilter: false, ..ExecOptions::default() };
+        let want = render(
+            &run_xquery_with_options(&baseline, q, &base_opts)
+                .expect("baseline runs")
+                .sequence,
+        );
+        for twig in [false, true] {
+            for threads in [1usize, 4] {
+                let opts = ExecOptions { threads, twig, ..ExecOptions::default() };
+                let healthy = mixed(true);
+                let got = run_xquery_with_options(&healthy, q, &opts)
+                    .expect("healthy run succeeds");
+                assert_eq!(
+                    render(&got.sequence),
+                    want,
+                    "{q} diverged at {threads} threads (twig={twig}, healthy)"
+                );
+                let mut faulty = mixed(true);
+                faulty.set_index_fault_injector(Some(Arc::new(FaultInjector::new(
+                    FaultMode::Always,
+                ))));
+                let got = run_xquery_with_options(&faulty, q, &opts)
+                    .expect("degraded run succeeds");
+                assert_eq!(
+                    render(&got.sequence),
+                    want,
+                    "{q} diverged at {threads} threads (twig={twig}, faulty)"
+                );
+            }
+        }
+    }
+    // The twig-on runs above were not vacuous: the selective query really
+    // routes through the join and skips documents (unless the environment
+    // disables it).
+    if std::env::var("XQDB_TWIG").map_or(true, |v| !v.eq_ignore_ascii_case("off")) {
+        let opts = ExecOptions { prefilter: false, ..ExecOptions::default() };
+        let out = run_xquery_with_options(&mixed(false), twig_queries[2], &opts).expect("runs");
+        assert_eq!(out.stats.twig_joins, 1, "the branching query routes through the twig join");
+        assert_eq!(
+            out.stats.twig_docs_skipped, 100,
+            "every remark-less synthetic order is skipped structurally"
+        );
+        assert_eq!(out.sequence.len(), 5, "every remark order survives");
     }
 }
 

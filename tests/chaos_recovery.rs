@@ -238,7 +238,7 @@ fn replay_is_idempotent_against_partially_flushed_pages() {
         session.catalog.db.pager().flush_all().unwrap();
     }
     // Reopening replays the whole WAL into that file...
-    let (mut session, report) = SqlSession::open_durable(&dir, WalConfig::default()).unwrap();
+    let (session, report) = SqlSession::open_durable(&dir, WalConfig::default()).unwrap();
     assert_eq!(report.wal_records_replayed, 12);
     // ...and the first checkpoint freezes whatever the heap now holds:
     session.checkpoint().unwrap();

@@ -110,6 +110,17 @@ fn assert_registry_matches_stats(
         "{label}: buffer pool misses"
     );
     assert_eq!(delta(Counter::PagesEvicted), stats.pages_evicted, "{label}: pages evicted");
+    assert_eq!(delta(Counter::TwigJoinsExecuted), stats.twig_joins, "{label}: twig joins");
+    assert_eq!(
+        delta(Counter::TwigCandidates),
+        stats.twig_candidates as u64,
+        "{label}: twig candidates"
+    );
+    assert_eq!(
+        delta(Counter::TwigDocsSkipped),
+        stats.twig_docs_skipped as u64,
+        "{label}: twig docs skipped"
+    );
     assert_eq!(
         after.gauge(Gauge::ParallelWorkers),
         stats.parallel_workers as u64,
@@ -158,6 +169,10 @@ fn expected_counter_lines(stats: &ExecStats) -> Vec<String> {
             stats.docs_total.values().sum::<usize>()
         ),
         format!("  prefilter docs skipped: {}\n", stats.prefilter_docs_skipped),
+        format!(
+            "  twig joins: {} ({} candidate(s), {} skipped)\n",
+            stats.twig_joins, stats.twig_candidates, stats.twig_docs_skipped
+        ),
         format!(
             "  plan cache: {} hit(s), {} miss(es)\n",
             stats.plan_cache_hits, stats.plan_cache_misses
@@ -461,6 +476,56 @@ fn prefiltered_scan_reconciles() {
     .expect("runs");
     assert_eq!(out.stats.prefilter_docs_skipped, 60, "all 60 docs lack /order/promo/code");
     assert_eq!(out.stats.docs_evaluated_total(), 0);
+}
+
+#[test]
+fn twig_joined_scan_reconciles() {
+    // A descendant-axis branching query over a structurally mixed
+    // collection: the twig join skips every synthetic order (none has a
+    // `remark` under a lineitem), and all three twig counters reconcile
+    // across registry, stats and report (asserted by check_family).
+    fn mixed() -> Catalog {
+        let mut c = Catalog::new();
+        create_paper_schema(&mut c);
+        load_orders(&mut c, 60, OrderParams::default());
+        for i in 0..4 {
+            let doc = xqdb_xmlparse::parse_document(&format!(
+                "<order><custid>c{i}</custid>\
+                 <lineitem price=\"9\" quantity=\"1\"><remark>rush</remark>\
+                 <product><id>r{i}</id></product></lineitem></order>"
+            ))
+            .unwrap();
+            c.insert(
+                "orders",
+                vec![
+                    xqdb_storage::SqlValue::Integer(2000 + i),
+                    xqdb_storage::SqlValue::Xml(doc.root()),
+                ],
+            )
+            .unwrap();
+        }
+        c
+    }
+    let q = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem[@price]/remark]//custid";
+    check_family(mixed, q, "twig-joined scan");
+    // And the join was real: it routed, admitted the 4 remark orders as
+    // candidates, and skipped the 60 synthetic ones. (Vacuously reconciled
+    // above when the environment disables the join — all counts zero.)
+    if std::env::var("XQDB_TWIG")
+        .is_ok_and(|v| matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"))
+    {
+        return;
+    }
+    let obs = Obs::new(ObsConfig::enabled());
+    let opts = ExecOptions { prefilter: false, obs, ..ExecOptions::default() };
+    let out = run_xquery_with_options(&mixed(), q, &opts).expect("runs");
+    assert_eq!(out.stats.twig_joins, 1, "the branching query routes through the twig join");
+    assert_eq!(out.stats.twig_docs_skipped, 60, "every remark-less synthetic order is skipped");
+    assert_eq!(out.stats.docs_evaluated_total(), 4, "only the remark orders are evaluated");
+    assert!(
+        out.trace.finished_spans().iter().any(|s| s.name == "twig join"),
+        "the twig join span is recorded"
+    );
 }
 
 #[test]

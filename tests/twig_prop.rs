@@ -1,0 +1,287 @@
+//! Property-based validation of the holistic twig join: for randomized
+//! heterogeneous collections (namespaced and plain, attributed, depth ≤ 4)
+//! and randomized *branching/descendant* queries — the class the twig
+//! subsystem exists for — executing with the twig join ON must give
+//! byte-identical results to executing with it OFF.
+//!
+//! This is Definition 1 for structural labels: the twig match may admit
+//! documents the evaluator then rejects (false positives), but it may
+//! never skip a document the query would keep (zero false negatives).
+//! The signature pre-filter is held OFF on both sides so every skipped
+//! document is attributable to the twig join alone.
+
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xqdb_core::{run_xquery_with_options, Catalog, ExecOptions, SqlSession};
+use xqdb_storage::{Column, SqlType, SqlValue, Table};
+
+const NAMES: &[&str] = &["order", "item", "promo", "code", "note", "deal", "price"];
+const ATTRS: &[&str] = &["id", "price", "kind"];
+const NS: &str = "urn:twig-prop";
+
+fn gen_elem(rng: &mut StdRng, depth: usize, out: &mut String) {
+    let name = NAMES[rng.random_range(0..NAMES.len())];
+    out.push('<');
+    out.push_str(name);
+    if rng.random_bool(0.4) {
+        let a = ATTRS[rng.random_range(0..ATTRS.len())];
+        out.push_str(&format!(" {a}=\"{}\"", rng.random_range(0..100u32)));
+    }
+    if depth >= 4 || rng.random_bool(0.3) {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for _ in 0..rng.random_range(1..=3usize) {
+        if rng.random_bool(0.8) {
+            gen_elem(rng, depth + 1, out);
+        } else {
+            out.push_str("text");
+        }
+    }
+    out.push_str(&format!("</{name}>"));
+}
+
+/// One random document; ~30% of documents live in the test namespace.
+/// Element names repeat across levels, so recursive nestings (the classic
+/// TwigStack stress shape) occur naturally.
+fn gen_doc(rng: &mut StdRng) -> String {
+    let root = NAMES[rng.random_range(0..NAMES.len())];
+    let mut out = String::new();
+    out.push('<');
+    out.push_str(root);
+    if rng.random_bool(0.3) {
+        out.push_str(&format!(" xmlns=\"{NS}\""));
+    }
+    out.push('>');
+    for _ in 0..rng.random_range(1..=3usize) {
+        gen_elem(rng, 1, &mut out);
+    }
+    out.push_str(&format!("</{root}>"));
+    out
+}
+
+fn name(rng: &mut StdRng) -> &'static str {
+    NAMES[rng.random_range(0..NAMES.len())]
+}
+
+fn attr(rng: &mut StdRng) -> &'static str {
+    ATTRS[rng.random_range(0..ATTRS.len())]
+}
+
+/// A random branching predicate — the twig join's reason to exist.
+fn gen_pred(rng: &mut StdRng) -> String {
+    match rng.random_range(0..6u32) {
+        0 => format!("[@{}]", attr(rng)),
+        1 => format!("[{}/{}]", name(rng), name(rng)),
+        2 => format!("[{}/@{}]", name(rng), attr(rng)),
+        3 => format!("[.//{}]", name(rng)),
+        4 => format!("[{}/@{} > 50]", name(rng), attr(rng)),
+        _ => format!("[{}]", name(rng)),
+    }
+}
+
+/// A random rooted path biased toward descendant steps and branching
+/// predicates (so most cases are routed through the twig join), with an
+/// occasional wildcard or positional predicate to exercise conservative
+/// truncation.
+fn gen_path(rng: &mut StdRng, base: &str) -> String {
+    let mut path = String::from(base);
+    let steps = rng.random_range(1..=3usize);
+    for i in 0..steps {
+        // Descendant-heavy: the first separator is `//` three times in
+        // four, later ones half the time.
+        let dd = if i == 0 { rng.random_bool(0.75) } else { rng.random_bool(0.5) };
+        path.push_str(if dd { "//" } else { "/" });
+        let last = i + 1 == steps;
+        match rng.random_range(0..12u32) {
+            0 => path.push('*'),
+            1 if last => {
+                path.push('@');
+                path.push_str(attr(rng));
+            }
+            _ => path.push_str(name(rng)),
+        }
+        if !path.ends_with('*') && rng.random_bool(0.6) {
+            if rng.random_bool(0.1) {
+                path.push_str("[1]");
+            } else {
+                path.push_str(&gen_pred(rng));
+            }
+        }
+    }
+    path
+}
+
+/// A random query over the twig-friendly fragment: bare paths, FLWOR
+/// (with `where`), aggregates — ~30% declare the test namespace.
+fn gen_query(rng: &mut StdRng) -> String {
+    let prolog = if rng.random_bool(0.3) {
+        format!("declare default element namespace \"{NS}\"; ")
+    } else {
+        String::new()
+    };
+    let col = "db2-fn:xmlcolumn('DOCS.DOC')";
+    match rng.random_range(0..5u32) {
+        0 => format!("{prolog}{}", gen_path(rng, col)),
+        1 => format!("{prolog}for $d in {} return $d", gen_path(rng, col)),
+        2 => format!(
+            "{prolog}for $d in {col}//{}{} where $d/{} return $d",
+            name(rng),
+            gen_pred(rng),
+            name(rng)
+        ),
+        3 => format!(
+            "{prolog}for $d in {col}//{} let $x := $d//{} where $x{} return $x",
+            name(rng),
+            name(rng),
+            gen_pred(rng)
+        ),
+        _ => format!("{prolog}count({})", gen_path(rng, col)),
+    }
+}
+
+/// A fresh catalog with `n` random documents in DOCS(ID, DOC).
+fn gen_catalog(rng: &mut StdRng, n: usize) -> Catalog {
+    let mut c = Catalog::new();
+    c.create_table(Table::new(
+        "docs",
+        vec![Column::new("id", SqlType::Integer), Column::new("doc", SqlType::Xml)],
+    ))
+    .unwrap();
+    for i in 0..n {
+        let xml = gen_doc(rng);
+        let doc = xqdb_xmlparse::parse_document(&xml).unwrap();
+        c.insert("docs", vec![SqlValue::Integer(i as i64), SqlValue::Xml(doc.root())])
+            .unwrap();
+    }
+    c
+}
+
+/// The central property: twig ON is byte-identical to twig OFF (the
+/// navigation baseline) for every (collection, query) pair — at 1 and 4
+/// threads. Zero false negatives, ever.
+#[test]
+fn twig_on_equals_navigation_baseline() {
+    let mut skipped_total = 0usize;
+    let mut joins_total = 0u64;
+    let mut nonempty_cases = 0usize;
+    for case in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(0x7716 ^ case);
+        let catalog = gen_catalog(&mut rng, 25);
+        let query = gen_query(&mut rng);
+        let off = ExecOptions { twig: false, prefilter: false, ..ExecOptions::default() };
+        let want = match run_xquery_with_options(&catalog, &query, &off) {
+            Ok(out) => xqdb_xmlparse::serialize_sequence(&out.sequence),
+            // The generator can produce queries the evaluator rejects;
+            // the twig join cannot turn an error into a result.
+            Err(e) => {
+                let on = ExecOptions { prefilter: false, ..ExecOptions::default() };
+                assert!(
+                    run_xquery_with_options(&catalog, &query, &on).is_err(),
+                    "case {case}: twig join masked error {e} for {query}"
+                );
+                continue;
+            }
+        };
+        let mut case_skipped = None;
+        for threads in [1usize, 4] {
+            let on = ExecOptions { threads, prefilter: false, ..ExecOptions::default() };
+            let out = run_xquery_with_options(&catalog, &query, &on)
+                .unwrap_or_else(|e| panic!("case {case}: twig run failed: {e}\n{query}"));
+            let got = xqdb_xmlparse::serialize_sequence(&out.sequence);
+            assert_eq!(
+                got, want,
+                "case {case} at {threads} thread(s): results diverged (false negative!)\nquery: {query}"
+            );
+            match case_skipped {
+                None => {
+                    case_skipped = Some(out.stats.twig_docs_skipped);
+                    skipped_total += out.stats.twig_docs_skipped;
+                    joins_total += out.stats.twig_joins;
+                    if !out.sequence.is_empty() {
+                        nonempty_cases += 1;
+                    }
+                }
+                // The surviving set is thread-count independent: the
+                // sharded twig merge concatenates chunk results in chunk
+                // order, so the skip count must match the serial pass.
+                Some(serial) => assert_eq!(
+                    out.stats.twig_docs_skipped, serial,
+                    "case {case}: sharded twig skipped differently"
+                ),
+            }
+        }
+    }
+    // The suite must not pass vacuously: some cases returned rows, and
+    // (when the environment has not disabled the join) the twig phase
+    // actually executed and actually skipped documents.
+    assert!(nonempty_cases > 10, "only {nonempty_cases} cases returned rows");
+    if std::env::var("XQDB_TWIG").map_or(true, |v| !v.eq_ignore_ascii_case("off")) {
+        assert!(joins_total > 20, "twig join rarely planned ({joins_total} joins)");
+        assert!(skipped_total > 0, "twig join never skipped a document");
+    }
+}
+
+/// Per-case skip accounting, kept separate so the main property stays
+/// readable: at both thread counts the twig phase must report the same
+/// skip count for the same (collection, query) pair.
+#[test]
+fn twig_skip_counts_are_thread_count_independent() {
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EED ^ case);
+        let catalog = gen_catalog(&mut rng, 25);
+        let query = gen_query(&mut rng);
+        let run = |threads: usize| {
+            let opts = ExecOptions { threads, prefilter: false, ..ExecOptions::default() };
+            run_xquery_with_options(&catalog, &query, &opts)
+                .map(|out| (out.stats.twig_docs_skipped, out.stats.twig_candidates))
+        };
+        match (run(1), run(4)) {
+            (Ok(serial), Ok(sharded)) => assert_eq!(
+                serial, sharded,
+                "case {case}: twig accounting diverged across thread counts\n{query}"
+            ),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("case {case}: error asymmetry {a:?} vs {b:?}\n{query}"),
+        }
+    }
+}
+
+/// The same property on the SQL/XML front end: `XMLEXISTS` row selection
+/// with the session twig join on and off returns identical rows.
+#[test]
+fn sql_twig_on_equals_off() {
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x7B1D ^ case);
+        let mut on = SqlSession::new();
+        let mut off = SqlSession::new();
+        on.prefilter = false;
+        off.prefilter = false;
+        off.twig = false;
+        for s in [&mut on, &mut off] {
+            s.execute("create table docs (id integer, doc XML)").unwrap();
+        }
+        let mut doc_rng = StdRng::seed_from_u64(0xD0C5 ^ case);
+        for i in 0..20 {
+            let xml = gen_doc(&mut doc_rng).replace('\'', "");
+            let stmt = format!("INSERT INTO docs VALUES ({i}, '{xml}')");
+            on.execute(&stmt).unwrap();
+            off.execute(&stmt).unwrap();
+        }
+        let pred = gen_path(&mut rng, "$d").replace('\'', "\"");
+        let q = format!(
+            "SELECT id FROM docs WHERE XMLEXISTS('{pred}' passing doc as \"d\")"
+        );
+        let a = on.execute(&q).unwrap_or_else(|e| panic!("case {case}: {e}\n{q}"));
+        let b = off.execute(&q).unwrap_or_else(|e| panic!("case {case}: {e}\n{q}"));
+        assert_eq!(
+            format!("{:?}", a.rows),
+            format!("{:?}", b.rows),
+            "case {case}: SQL rows diverged (false negative!)\n{q}"
+        );
+    }
+}
