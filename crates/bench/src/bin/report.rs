@@ -413,7 +413,7 @@ fn pager_report() {
     // manifest, cut the WAL. The reopen below then replays only the suffix
     // — which is empty.
     {
-        let (session, _) = SqlSession::open_durable(
+        let (mut session, _) = SqlSession::open_durable(
             &dir,
             xqdb_core::WalConfig { fsync: xqdb_core::FsyncMode::Off, ..Default::default() },
         )
@@ -663,6 +663,137 @@ fn twig_report() {
     }
 }
 
+/// Mixed-DML scenario for `BENCH_dml.json`: the TPoX-style order
+/// lifecycle (insert → amend → query → delete, hot-key skew) against a
+/// durable session, with a checkpoint every quarter of the run so
+/// tombstone reclamation happens mid-workload, not just at the end.
+/// Reports per-kind throughput and closes with two oracle passes: the
+/// rebuild oracle over the live session, then a full crash-recovery of
+/// the directory and the oracle again over the recovered catalog —
+/// asserting the incremental maintenance and the recovery path agree.
+/// Op count overridable via `XQDB_BENCH_DML_OPS`.
+fn dml_report() {
+    use xqdb_obs::Counter;
+    use xqdb_workload::{MixedDmlParams, MixedDmlScenario};
+
+    let ops: usize = std::env::var("XQDB_BENCH_DML_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let dir = std::path::PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/bench-tmp/dml_bench"
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut session, _) = SqlSession::open_durable(
+        &dir,
+        xqdb_core::WalConfig { fsync: xqdb_core::FsyncMode::Batch, ..Default::default() },
+    )
+    .expect("durable DML session opens");
+    session.set_obs(Obs::new(ObsConfig::metrics_only()));
+    session
+        .execute("CREATE TABLE orders (ordid INTEGER, orddoc XML)")
+        .expect("schema DDL runs");
+    session
+        .execute(
+            "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+        )
+        .expect("index DDL runs");
+
+    let mut scenario = MixedDmlScenario::new(MixedDmlParams::default());
+    let kinds = ["insert", "amend", "query", "delete"];
+    let mut count = [0usize; 4];
+    let mut secs = [0f64; 4];
+    let checkpoint_every = (ops / 4).max(1);
+    let wall0 = std::time::Instant::now();
+    for i in 0..ops {
+        let op = scenario.next_op();
+        let k = kinds.iter().position(|k| *k == op.kind()).expect("known op kind");
+        let sql = op.to_sql();
+        let t0 = std::time::Instant::now();
+        session.execute(&sql).expect("scenario statement runs");
+        secs[k] += t0.elapsed().as_secs_f64();
+        count[k] += 1;
+        if (i + 1) % checkpoint_every == 0 {
+            session.checkpoint().expect("mid-run checkpoint succeeds");
+        }
+    }
+    let wall = wall0.elapsed().as_secs_f64();
+    session.checkpoint().expect("final checkpoint succeeds");
+
+    let live = scenario.live_ids().len();
+    let snap = session.obs.metrics_snapshot().expect("metrics are enabled");
+    let deleted = snap.counter(Counter::RowsDeleted);
+    let replaced = snap.counter(Counter::DocsReplaced);
+    let reclaimed = snap.counter(Counter::TombstonesReclaimed);
+    println!("mixed DML scenario ({ops} ops, order lifecycle with hot-key skew):");
+    let mut kind_rows = Vec::new();
+    for (k, kind) in kinds.iter().enumerate() {
+        let per_sec = count[k] as f64 / secs[k].max(1e-9);
+        let mean_ms = secs[k] * 1e3 / count[k].max(1) as f64;
+        println!(
+            "  {kind:<7} {:>7} ops  {per_sec:>9.0} op/s  (mean {mean_ms:.3} ms)",
+            count[k]
+        );
+        kind_rows.push(format!(
+            "    {{ \"kind\": \"{kind}\", \"ops\": {}, \"ops_per_sec\": {per_sec:.1}, \
+             \"mean_millis\": {mean_ms:.4} }}",
+            count[k]
+        ));
+    }
+    println!(
+        "  counters: {deleted} deleted, {replaced} replaced, {reclaimed} tombstone(s) \
+         reclaimed, {live} live row(s)"
+    );
+
+    // Oracle pass 1: the live session's incrementally-maintained state.
+    let report = xqdb_core::verify_derived_state(&session.catalog)
+        .expect("oracle pass runs");
+    assert!(
+        report.is_clean(),
+        "live-session derived state diverged from rebuild:\n{}",
+        report.render()
+    );
+    drop(session);
+
+    // Oracle pass 2: recover the directory from disk and verify again.
+    let t0 = std::time::Instant::now();
+    let (catalog, _) = xqdb_core::recover_catalog(
+        &dir,
+        xqdb_runtime::RuntimeConfig::default(),
+        &xqdb_obs::Trace::disabled(),
+        &xqdb_core::Obs::disabled(),
+    )
+    .expect("post-scenario recovery succeeds");
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        catalog.db.table("orders").map(xqdb_storage::Table::live_len),
+        Some(live),
+        "recovered live rows match the scenario"
+    );
+    let report = xqdb_core::verify_derived_state(&catalog).expect("oracle pass runs");
+    assert!(
+        report.is_clean(),
+        "recovered derived state diverged from rebuild:\n{}",
+        report.render()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("  oracle: clean on the live session and after recovery ({recovery_ms:.1} ms)");
+
+    let json = format!(
+        "{{\n  \"workload\": \"TPoX-style order lifecycle (insert/amend/query/delete, hot-key skew) over a durable session, checkpoint every quarter\",\n  \
+         \"ops\": {ops},\n  \"wall_seconds\": {wall:.3},\n  \
+         \"per_kind\": [\n{}\n  ],\n  \
+         \"rows_deleted\": {deleted},\n  \"docs_replaced\": {replaced},\n  \
+         \"tombstones_reclaimed\": {reclaimed},\n  \"live_rows\": {live},\n  \
+         \"recovery_millis\": {recovery_ms:.3},\n  \
+         \"oracle\": \"verify_derived_state clean on the live session and again after crash-recovery\"\n}}\n",
+        kind_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_dml.json", json).expect("BENCH_dml.json is writable");
+    println!("  wrote BENCH_dml.json\n");
+}
+
 struct Row {
     experiment: &'static str,
     variant: String,
@@ -837,6 +968,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--twig") {
         twig_report();
+        return;
+    }
+    if std::env::args().any(|a| a == "--dml") {
+        dml_report();
         return;
     }
     parallel_report();

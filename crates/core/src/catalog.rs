@@ -1,5 +1,5 @@
 //! The catalog: tables plus their XML indexes, with index maintenance on
-//! insert.
+//! insert, delete and replace.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -190,6 +190,98 @@ impl Catalog {
             }
         }
         Ok(row)
+    }
+
+    /// `DELETE`, maintaining every index on the table. Each rowid must
+    /// name a live row (validated inside [`Database::delete`] before the
+    /// statement is logged). The doomed rows' XML cells are collected
+    /// *first* — once the rows are gone they can no longer tell the
+    /// indexes which entries to drop. Index removal re-extracts entries
+    /// from the stored document, which yields exactly the keys insertion
+    /// built: node ids are per-document pre-order positions, deterministic
+    /// across re-parses of the same stored bytes. Returns rows deleted.
+    pub fn delete(&mut self, table: &str, rowids: &[u64]) -> Result<u64, XdmError> {
+        let table_upper = table.to_ascii_uppercase();
+        let t = self.db.table(&table_upper).ok_or_else(|| {
+            XdmError::new(ErrorCode::SqlType, format!("unknown table {table}"))
+        })?;
+        let mut xml_cells: Vec<(u64, String, NodeHandle)> = Vec::new();
+        for &id in rowids {
+            if let Some(r) = t.row(id as RowId)? {
+                for (i, v) in r.iter().enumerate() {
+                    if let SqlValue::Xml(n) = v {
+                        xml_cells.push((id, t.columns[i].name.clone(), n.clone()));
+                    }
+                }
+            }
+        }
+        let n = self.db.delete(&table_upper, rowids)?;
+        for idx in self.indexes.values_mut() {
+            if idx.table != table_upper {
+                continue;
+            }
+            for (row, col, doc) in &xml_cells {
+                if idx.column == *col {
+                    idx.remove_document(*row, doc);
+                }
+            }
+        }
+        self.obs.add(Counter::RowsDeleted, n);
+        Ok(n)
+    }
+
+    /// Document REPLACE (`UPDATE t SET … WHERE …`, resolved to one rowid),
+    /// maintaining every index: the old document's entries are removed and
+    /// the new document's inserted under the same rowid.
+    pub fn replace(
+        &mut self,
+        table: &str,
+        rowid: u64,
+        values: Vec<SqlValue>,
+    ) -> Result<(), XdmError> {
+        let table_upper = table.to_ascii_uppercase();
+        let t = self.db.table(&table_upper).ok_or_else(|| {
+            XdmError::new(ErrorCode::SqlType, format!("unknown table {table}"))
+        })?;
+        let mut old_cells: Vec<(String, NodeHandle)> = Vec::new();
+        if let Some(r) = t.row(rowid as RowId)? {
+            for (i, v) in r.iter().enumerate() {
+                if let SqlValue::Xml(n) = v {
+                    old_cells.push((t.columns[i].name.clone(), n.clone()));
+                }
+            }
+        }
+        self.db.replace(&table_upper, rowid, values)?;
+        let t = self.db.table(&table_upper).ok_or_else(|| {
+            XdmError::internal(format!("table {table} vanished during replace"))
+        })?;
+        let mut new_cells: Vec<(String, NodeHandle)> = Vec::new();
+        if let Some(r) = t.row(rowid as RowId)? {
+            for (i, v) in r.iter().enumerate() {
+                if let SqlValue::Xml(n) = v {
+                    new_cells.push((t.columns[i].name.clone(), n.clone()));
+                }
+            }
+        }
+        for idx in self.indexes.values_mut() {
+            if idx.table != table_upper {
+                continue;
+            }
+            for (col, doc) in &old_cells {
+                if idx.column == *col {
+                    idx.remove_document(rowid, doc);
+                }
+            }
+            for (col, doc) in &new_cells {
+                if idx.column == *col {
+                    let before = idx.len();
+                    idx.insert_document(rowid, doc);
+                    self.obs.add(Counter::IndexEntriesBuilt, (idx.len() - before) as u64);
+                }
+            }
+        }
+        self.obs.incr(Counter::DocsReplaced);
+        Ok(())
     }
 
     /// Indexes on a given `TABLE.COLUMN` source key.

@@ -142,19 +142,33 @@ impl Durability {
         Ok(())
     }
 
-    /// Checkpoint: flush the log, flush every dirty page and freeze the
-    /// page file, write the metadata manifest, then cut the log — rotate,
+    /// Checkpoint: flush the log, reclaim tombstoned heap records from
+    /// still-mutable pages, flush every dirty page and freeze the page
+    /// file, write the metadata manifest, then cut the log — rotate,
     /// append a [`WalRecord::Checkpoint`] marker and prune the covered
-    /// segments. No row is re-serialized: the rows are already in the page
-    /// file, which is what makes checkpoints O(dirty pages) instead of
-    /// O(database). Returns the covered sequence (0 when the log is still
-    /// empty — nothing to checkpoint).
-    pub fn checkpoint(&self, catalog: &Catalog) -> Result<u64, XdmError> {
+    /// segments. Reclamation runs before the freeze so frozen pages never
+    /// carry tombstones: only logical deletes (the manifest's per-table
+    /// deleted/stale lists) describe dead data below the watermark. No
+    /// live row is re-serialized, which keeps checkpoints O(dirty pages)
+    /// instead of O(database). Returns the covered sequence (0 when the
+    /// log is still empty — nothing to checkpoint).
+    pub fn checkpoint(&self, catalog: &mut Catalog) -> Result<u64, XdmError> {
         let mut writer = self.writer.lock().map_err(|_| lock_err("writer"))?;
         writer.flush()?;
         let covers = writer.next_seq().saturating_sub(1);
         if covers == 0 {
             return Ok(0);
+        }
+        let names: Vec<String> =
+            catalog.db.table_names().into_iter().map(String::from).collect();
+        let mut reclaimed = 0u64;
+        for name in &names {
+            if let Some(t) = catalog.db.table_mut(name) {
+                reclaimed += t.reclaim_tombstones()?;
+            }
+        }
+        if let Ok(obs) = self.obs.lock() {
+            obs.add(Counter::TombstonesReclaimed, reclaimed);
         }
         let pager = catalog.db.pager();
         pager.flush_all()?;
@@ -180,6 +194,8 @@ fn build_manifest(catalog: &Catalog, covers: u64, frozen_below: u64) -> Manifest
             columns: t.columns.iter().map(|c| (c.name.clone(), c.ty.to_string())).collect(),
             row_count: t.len() as u64,
             synopsis: t.synopsis().entries(),
+            deleted: t.deleted_rows().collect(),
+            stale: t.stale_rows().collect(),
         });
     }
     let indexes = catalog
@@ -215,6 +231,21 @@ impl PersistenceHook for Durability {
         })
     }
 
+    fn log_delete(&self, table: &str, rowids: &[u64]) -> Result<(), XdmError> {
+        self.append(&WalRecord::Delete {
+            table: table.to_string(),
+            rowids: rowids.to_vec(),
+        })
+    }
+
+    fn log_replace(&self, table: &str, rowid: u64, row: &[SqlValue]) -> Result<(), XdmError> {
+        self.append(&WalRecord::Replace {
+            table: table.to_string(),
+            rowid,
+            values: row.iter().map(to_wal_value).collect(),
+        })
+    }
+
     fn log_create_index(
         &self,
         name: &str,
@@ -240,7 +271,10 @@ impl PersistenceHook for Durability {
 /// index DDL last — so replayed `CREATE INDEX` back-fills from the full
 /// row set, exactly like a live one. Legacy snapshot format — live
 /// checkpoints write manifests instead, but replay still accepts
-/// snapshot files from older data directories.
+/// snapshot files from older data directories. Deleted rows are compacted
+/// away (survivors renumber), which is content-faithful only because a
+/// snapshot is a full-state dump: legacy directories predate DML, so no
+/// WAL suffix can reference the old rowids.
 pub fn snapshot_records(catalog: &Catalog) -> Result<Vec<WalRecord>, XdmError> {
     let mut out = Vec::new();
     let names: Vec<String> =
@@ -293,6 +327,14 @@ fn apply_record(catalog: &mut Catalog, rec: &WalRecord) -> Result<(), XdmError> 
                 row.push(from_wal_value(v)?);
             }
             catalog.insert(table, row).map(|_| ())
+        }
+        WalRecord::Delete { table, rowids } => catalog.delete(table, rowids).map(|_| ()),
+        WalRecord::Replace { table, rowid, values } => {
+            let mut row = Vec::with_capacity(values.len());
+            for v in values {
+                row.push(from_wal_value(v)?);
+            }
+            catalog.replace(table, *rowid, row)
         }
         // Checkpoint markers mutate nothing; recovery counts them to
         // verify the suffix-only property.
@@ -453,10 +495,12 @@ pub fn recover_catalog(
                 mt.table_id,
                 pages,
                 mt.row_count,
+                &mt.deleted,
+                &mt.stale,
             )?;
             table.set_synopsis(PathSynopsis::from_entries(mt.synopsis.iter().cloned()));
             manifest_tables += 1;
-            manifest_rows += table.len();
+            manifest_rows += table.live_len();
             catalog.db.adopt_recovered_table(table)?;
         }
         for rec in &manifest.indexes {
@@ -500,7 +544,7 @@ pub fn recover_catalog(
         .table_names()
         .iter()
         .filter_map(|n| catalog.db.table(n))
-        .map(Table::len)
+        .map(Table::live_len)
         .sum();
     let report = RecoveryReport {
         snapshot_covers: recovered.snapshot_covers,
@@ -617,7 +661,7 @@ mod tests {
         {
             let (mut catalog, durability, _) = open(&dir);
             populate(&mut catalog);
-            let covers = durability.checkpoint(&catalog).unwrap();
+            let covers = durability.checkpoint(&mut catalog).unwrap();
             assert_eq!(covers, 6);
             // One more row after the checkpoint.
             let doc = xqdb_xmlparse::parse_document("<order/>").unwrap();
@@ -640,8 +684,8 @@ mod tests {
     #[test]
     fn empty_checkpoint_is_a_noop() {
         let dir = temp_dir("empty_ckpt");
-        let (catalog, durability, _) = open(&dir);
-        assert_eq!(durability.checkpoint(&catalog).unwrap(), 0);
+        let (mut catalog, durability, _) = open(&dir);
+        assert_eq!(durability.checkpoint(&mut catalog).unwrap(), 0);
         let (_, _, report) = open(&dir);
         assert_eq!(report.snapshot_covers, 0);
         assert_eq!(report.manifest_covers, 0);
@@ -654,7 +698,7 @@ mod tests {
         {
             let (mut catalog, durability, _) = open(&dir);
             populate(&mut catalog);
-            durability.checkpoint(&catalog).unwrap();
+            durability.checkpoint(&mut catalog).unwrap();
             for i in 10..13 {
                 let doc = xqdb_xmlparse::parse_document(&format!(
                     r#"<order><lineitem price="{i}"/></order>"#
@@ -664,7 +708,7 @@ mod tests {
                     .insert("orders", vec![SqlValue::Integer(i), SqlValue::Xml(doc.root())])
                     .unwrap();
             }
-            durability.checkpoint(&catalog).unwrap();
+            durability.checkpoint(&mut catalog).unwrap();
             durability.flush().unwrap();
         }
         let (catalog, _d, report) = open(&dir);

@@ -125,6 +125,13 @@ pub struct ExecStats {
     pub buffer_pool_misses: u64,
     /// Pages this run evicted from a buffer pool to make room.
     pub pages_evicted: u64,
+    /// Rows removed by this statement (DELETE).
+    pub rows_deleted: u64,
+    /// Documents replaced in place by this statement (UPDATE).
+    pub docs_replaced: u64,
+    /// Tombstoned heap records physically reclaimed (checkpoint only;
+    /// always 0 for a plain statement).
+    pub tombstones_reclaimed: u64,
 }
 
 impl ExecStats {
@@ -1045,6 +1052,19 @@ pub(crate) fn render_execution_sections(out: &mut String, s: &ExecStats, trace: 
         "  workers: {}  shards: {}\n",
         s.parallel_workers, s.parallel_shards
     ));
+    if s.rows_deleted > 0 || s.docs_replaced > 0 || s.tombstones_reclaimed > 0 {
+        out.push_str(&render_dml_line(s));
+    }
+}
+
+/// The `dml:` counters line of a DML `EXPLAIN ANALYZE` report. Rendered
+/// unconditionally by the DML front end and only when non-zero by the
+/// shared COUNTERS section (SELECT reports stay byte-identical).
+pub(crate) fn render_dml_line(s: &ExecStats) -> String {
+    format!(
+        "  dml: {} row(s) deleted, {} doc(s) replaced, {} tombstone(s) reclaimed\n",
+        s.rows_deleted, s.docs_replaced, s.tombstones_reclaimed
+    )
 }
 
 /// The `QUERY DOCTOR` section: one line per diagnosis, naming the paper

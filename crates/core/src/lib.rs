@@ -26,6 +26,7 @@ pub mod prefilter;
 mod send_sync;
 pub mod sqlxml;
 pub mod twig;
+pub mod verify;
 
 pub use catalog::Catalog;
 pub use durability::{
@@ -47,6 +48,7 @@ pub use prefilter::{
 };
 pub use sqlxml::{SqlSession, SqlResult};
 pub use twig::{extract_twigs, PreparedTwig, SourceTwig};
+pub use verify::{verify_derived_state, TableVerdict, VerifyReport};
 pub use xqdb_obs::{Obs, ObsConfig};
 pub use xqdb_storage::hash_rendered_path;
 pub use xqdb_wal::{CrashInjector, FsyncMode, WalConfig};

@@ -34,6 +34,26 @@ pub enum SqlStmt {
         /// Row values.
         values: Vec<SqlExpr>,
     },
+    /// `DELETE FROM table [WHERE cond]` — row deletion. The WHERE clause
+    /// is evaluated over the table exactly as a SELECT's would be; every
+    /// matching row is removed in one statement (one WAL record).
+    Delete {
+        /// Target table.
+        table: String,
+        /// WHERE condition (`None` deletes every row).
+        where_cond: Option<SqlCond>,
+    },
+    /// `UPDATE table SET col = expr, ... [WHERE cond]` — document REPLACE.
+    /// Each matching row keeps its rowid; listed columns take their new
+    /// values, unlisted columns carry over.
+    Update {
+        /// Target table.
+        table: String,
+        /// `SET` assignments in source order.
+        set: Vec<(String, SqlExpr)>,
+        /// WHERE condition (`None` updates every row).
+        where_cond: Option<SqlCond>,
+    },
     /// `SELECT ...`
     Select(SelectStmt),
     /// `VALUES (expr, ...)` — single-row values statement (Query 6).
@@ -43,6 +63,9 @@ pub enum SqlStmt {
     /// `EXPLAIN ANALYZE SELECT ...` — execute, then report the plan with
     /// actual timings, counters and doctor diagnoses.
     ExplainAnalyze(SelectStmt),
+    /// `EXPLAIN ANALYZE DELETE|UPDATE ...` — execute the DML, then report
+    /// what it did (rows touched, derived-state maintenance counters).
+    ExplainAnalyzeDml(Box<SqlStmt>),
 }
 
 /// A `SELECT` statement.

@@ -254,11 +254,12 @@ impl SqlSession {
         self.durability.as_ref()
     }
 
-    /// Checkpoint a durable session: snapshot current state and prune the
-    /// log it covers. `Ok(None)` for in-memory sessions.
-    pub fn checkpoint(&self) -> Result<Option<u64>, XdmError> {
+    /// Checkpoint a durable session: reclaim tombstones, flush and freeze
+    /// pages, write the manifest and prune the log it covers. `Ok(None)`
+    /// for in-memory sessions.
+    pub fn checkpoint(&mut self) -> Result<Option<u64>, XdmError> {
         match &self.durability {
-            Some(d) => d.checkpoint(&self.catalog).map(Some),
+            Some(d) => Arc::clone(d).checkpoint(&mut self.catalog).map(Some),
             None => Ok(None),
         }
     }
@@ -284,11 +285,25 @@ impl SqlSession {
     /// through the session's exclusive write path and everything else
     /// through the shared read path, so the classifier is deliberately a
     /// leading-keyword check over the closed statement grammar (`CREATE
-    /// TABLE`, `CREATE INDEX`, `INSERT`); anything unrecognized is treated
+    /// TABLE`, `CREATE INDEX`, `INSERT`, `DELETE`, `UPDATE`, and `EXPLAIN
+    /// ANALYZE` over a DML statement); anything unrecognized is treated
     /// as a read and rejected by the parser with a typed error.
     pub fn is_write_statement(sql: &str) -> bool {
-        let first = sql.split_whitespace().next().unwrap_or("");
-        first.eq_ignore_ascii_case("create") || first.eq_ignore_ascii_case("insert")
+        let mut words = sql.split_whitespace();
+        let first = words.next().unwrap_or("");
+        if first.eq_ignore_ascii_case("create")
+            || first.eq_ignore_ascii_case("insert")
+            || first.eq_ignore_ascii_case("delete")
+            || first.eq_ignore_ascii_case("update")
+        {
+            return true;
+        }
+        // `EXPLAIN ANALYZE DELETE|UPDATE` executes the DML it reports on.
+        first.eq_ignore_ascii_case("explain")
+            && words.next().is_some_and(|w| w.eq_ignore_ascii_case("analyze"))
+            && words.next().is_some_and(|w| {
+                w.eq_ignore_ascii_case("delete") || w.eq_ignore_ascii_case("update")
+            })
     }
 
     /// Execute one SQL statement under the given resource limits. The
@@ -330,9 +345,192 @@ impl SqlSession {
                 self.catalog.insert(&table, row)?;
                 Ok(SqlResult { message: Some("1 row inserted".into()), ..Default::default() })
             }
+            stmt @ (SqlStmt::Delete { .. } | SqlStmt::Update { .. }) => {
+                let trace = self.obs.trace();
+                self.run_dml(&stmt, limits, &trace)
+            }
+            SqlStmt::ExplainAnalyzeDml(inner) => {
+                let trace = Trace::recording();
+                let result = self.run_dml(&inner, limits, &trace)?;
+                let mut report = String::from("SQL/XML DML\n");
+                report.push_str(&format!("  statement: {}\n", dml_headline(&inner)));
+                render_execution_sections(&mut report, &result.stats, &trace);
+                // The shared COUNTERS section prints the dml line only when
+                // non-zero; a DML report must always carry one.
+                let s = &result.stats;
+                if s.rows_deleted == 0 && s.docs_replaced == 0 && s.tombstones_reclaimed == 0 {
+                    report.push_str(&crate::engine::render_dml_line(s));
+                }
+                report.push_str(&format!(
+                    "-- executed: {}\n",
+                    result.message.as_deref().unwrap_or("0 row(s)")
+                ));
+                Ok(SqlResult { message: Some(report), stats: result.stats, ..Default::default() })
+            }
             // is_write_statement admits only the arms above.
             _ => Err(XdmError::internal("write classifier admitted a read statement")),
         }
+    }
+
+    /// Execute a DELETE or UPDATE: resolve the WHERE clause over the
+    /// target table exactly as a SELECT would (three-valued logic; only
+    /// rows where it is TRUE match), then apply the mutation through the
+    /// catalog so every derived structure — indexes, synopsis, signatures,
+    /// label streams — is maintained incrementally and the change is
+    /// logged write-ahead (DELETE batches all matching rows into one WAL
+    /// record; UPDATE logs one replace per row).
+    fn run_dml(
+        &mut self,
+        stmt: &SqlStmt,
+        limits: &xqdb_xdm::Limits,
+        trace: &Trace,
+    ) -> Result<SqlResult, XdmError> {
+        let budget = Arc::new(xqdb_xdm::Budget::new(limits.clone()));
+        let (table, where_cond) = match stmt {
+            SqlStmt::Delete { table, where_cond } => (table, where_cond),
+            SqlStmt::Update { table, where_cond, .. } => (table, where_cond),
+            other => {
+                return Err(XdmError::internal(format!("run_dml on non-DML {other:?}")))
+            }
+        };
+        let mut stats = ExecStats::new();
+        let matches = self.dml_matching_rows(table, where_cond, &mut stats, trace, &budget)?;
+        let message = match stmt {
+            SqlStmt::Delete { .. } => {
+                let rowids: Vec<u64> = matches.iter().map(|(rid, _)| *rid).collect();
+                let mut span = trace.span("delete");
+                let n = if rowids.is_empty() {
+                    0 // no matches: nothing to log, nothing to apply
+                } else {
+                    self.catalog.delete(table, &rowids)?
+                };
+                span.add_count(n);
+                stats.rows_deleted = n;
+                format!("{n} row(s) deleted")
+            }
+            SqlStmt::Update { set, .. } => {
+                let mut span = trace.span("replace");
+                let mut n = 0u64;
+                for (rid, old) in &matches {
+                    let row = self.eval_update_row(table, set, *rid, old, &budget)?;
+                    self.catalog.replace(table, *rid, row)?;
+                    n += 1;
+                }
+                span.add_count(n);
+                stats.docs_replaced = n;
+                format!("{n} row(s) updated")
+            }
+            _ => unreachable!(),
+        };
+        record_exec_metrics(&self.obs, &stats);
+        Ok(SqlResult { message: Some(message), stats, trace: trace.clone(), ..Default::default() })
+    }
+
+    /// The rows of `table` whose WHERE evaluation is TRUE, as
+    /// `(rowid, stored values)` pairs in row order. `None` matches every
+    /// live row (SQL semantics of a missing WHERE).
+    fn dml_matching_rows(
+        &self,
+        table: &str,
+        where_cond: &Option<SqlCond>,
+        stats: &mut ExecStats,
+        trace: &Trace,
+        budget: &Arc<xqdb_xdm::Budget>,
+    ) -> Result<Vec<(u64, Vec<SqlValue>)>, XdmError> {
+        let t = self.catalog.db.table(table).ok_or_else(|| {
+            XdmError::new(ErrorCode::SqlType, format!("unknown table {table:?}"))
+        })?;
+        let alias = t.name.clone();
+        let mut span = trace.span("scan");
+        stats.docs_total.insert(t.name.clone(), t.len());
+        let mut scanned = 0usize;
+        let mut out = Vec::new();
+        for item in t.scan() {
+            let (rid, values) = item?;
+            scanned += 1;
+            let pass = match where_cond {
+                None => true,
+                Some(cond) => {
+                    let mut ctx = RowCtx::default();
+                    for (ci, col) in t.columns.iter().enumerate() {
+                        ctx.values.insert(
+                            (alias.clone(), col.name.clone()),
+                            Scalar::from_stored(&values[ci]),
+                        );
+                        ctx.order.push((alias.clone(), col.name.clone()));
+                    }
+                    self.eval_cond(cond, &ctx, budget)? == Some(true)
+                }
+            };
+            if pass {
+                out.push((rid as u64, values));
+            }
+        }
+        stats.docs_evaluated.insert(t.name.clone(), scanned);
+        span.add_count(out.len() as u64);
+        Ok(out)
+    }
+
+    /// Build the replacement row for one UPDATE target: unlisted columns
+    /// carry over from the old row, listed columns take their SET
+    /// expression evaluated against the *old* row (so `SET a = b` reads
+    /// the pre-update value, per SQL). Strings assigned to XML columns are
+    /// parsed as documents (XMLPARSE), mirroring INSERT.
+    fn eval_update_row(
+        &self,
+        table: &str,
+        set: &[(String, SqlExpr)],
+        rowid: u64,
+        old: &[SqlValue],
+        budget: &Arc<xqdb_xdm::Budget>,
+    ) -> Result<Vec<SqlValue>, XdmError> {
+        let t = self.catalog.db.table(table).ok_or_else(|| {
+            XdmError::new(ErrorCode::SqlType, format!("unknown table {table:?}"))
+        })?;
+        let alias = t.name.clone();
+        let mut ctx = RowCtx::default();
+        for (ci, col) in t.columns.iter().enumerate() {
+            ctx.values
+                .insert((alias.clone(), col.name.clone()), Scalar::from_stored(&old[ci]));
+            ctx.order.push((alias.clone(), col.name.clone()));
+        }
+        let mut row = old.to_vec();
+        for (col, expr) in set {
+            let upper = col.to_ascii_uppercase();
+            let ci = t.column_index(&upper).ok_or_else(|| {
+                XdmError::new(
+                    ErrorCode::SqlType,
+                    format!("UPDATE {}: unknown column {upper} (row {rowid})", t.name),
+                )
+            })?;
+            let ty = &t.columns[ci].ty;
+            row[ci] = match (expr, ty) {
+                // String literal into an XML column: XMLPARSE, as INSERT.
+                (SqlExpr::Varchar(s), SqlType::Xml) => {
+                    let doc = xqdb_xmlparse::parse_document_with(s, &self.parse_limits)
+                        .map_err(|pe| {
+                            let code = if pe.limit_exceeded {
+                                ErrorCode::ParseLimit
+                            } else {
+                                ErrorCode::XPST0003
+                            };
+                            XdmError::new(code, format!("XMLPARSE: {pe}"))
+                        })?;
+                    SqlValue::Xml(doc.root())
+                }
+                (SqlExpr::Varchar(s), SqlType::Date) => {
+                    SqlValue::Date(xqdb_xdm::Date::parse(s)?)
+                }
+                (SqlExpr::Varchar(s), SqlType::Timestamp) => {
+                    SqlValue::Timestamp(xqdb_xdm::DateTime::parse(s)?)
+                }
+                (expr, ty) => {
+                    let v = self.eval_expr(expr, &ctx, budget)?;
+                    scalar_to_stored(&v, ty)?
+                }
+            };
+        }
+        Ok(row)
     }
 
     /// Execute a read-only (SELECT-family) statement through `&self`: many
@@ -433,12 +631,15 @@ impl SqlSession {
                 self.cache_stmt(sql, SqlStmt::ExplainAnalyze(sel), plan);
                 Ok(result)
             }
-            SqlStmt::CreateTable { .. } | SqlStmt::CreateIndex { .. } | SqlStmt::Insert { .. } => {
-                Err(XdmError::new(
-                    ErrorCode::SqlType,
-                    "write statement in a read-only execution context",
-                ))
-            }
+            SqlStmt::CreateTable { .. }
+            | SqlStmt::CreateIndex { .. }
+            | SqlStmt::Insert { .. }
+            | SqlStmt::Delete { .. }
+            | SqlStmt::Update { .. }
+            | SqlStmt::ExplainAnalyzeDml(_) => Err(XdmError::new(
+                ErrorCode::SqlType,
+                "write statement in a read-only execution context",
+            )),
         }
     }
 
@@ -1361,6 +1562,51 @@ pub fn xmlcast(v: &Scalar, ty: &SqlType) -> Result<Scalar, XdmError> {
 /// (XMLTABLE column semantics: caller handles the empty case).
 fn sequence_to_scalar(seq: &Sequence, ty: &SqlType) -> Result<Scalar, XdmError> {
     xmlcast(&Scalar::Xml(seq.clone()), ty)
+}
+
+/// The one-line description of a DML statement for its EXPLAIN ANALYZE
+/// report header.
+fn dml_headline(stmt: &SqlStmt) -> String {
+    match stmt {
+        SqlStmt::Delete { table, where_cond } => format!(
+            "DELETE FROM {table}{}",
+            if where_cond.is_some() { " WHERE ..." } else { "" }
+        ),
+        SqlStmt::Update { table, set, where_cond } => {
+            let cols: Vec<&str> = set.iter().map(|(c, _)| c.as_str()).collect();
+            format!(
+                "UPDATE {table} SET {}{}",
+                cols.join(", "),
+                if where_cond.is_some() { " WHERE ..." } else { "" }
+            )
+        }
+        other => format!("{other:?}"),
+    }
+}
+
+/// Convert a runtime scalar into a stored value for an UPDATE assignment
+/// targeting a column of type `ty`. XML columns accept a singleton node
+/// sequence (an XMLQUERY result); everything else stores its natural
+/// stored form, with NULL always allowed.
+fn scalar_to_stored(v: &Scalar, ty: &SqlType) -> Result<SqlValue, XdmError> {
+    match (v, ty) {
+        (Scalar::Null, _) => Ok(SqlValue::Null),
+        (Scalar::Xml(seq), SqlType::Xml) => match seq.as_slice() {
+            [Item::Node(n)] => Ok(SqlValue::Xml(n.clone())),
+            _ => Err(XdmError::new(
+                ErrorCode::SqlCardinality,
+                format!(
+                    "UPDATE of an XML column requires a single node, got {} item(s)",
+                    seq.len()
+                ),
+            )),
+        },
+        (Scalar::Xml(_), _) => Err(XdmError::new(
+            ErrorCode::SqlType,
+            "XML value assigned to a non-XML column; use XMLCAST",
+        )),
+        (other, _) => to_stored_for_cmp(other),
+    }
 }
 
 /// Convert a runtime scalar into a stored value for SQL comparison; XML

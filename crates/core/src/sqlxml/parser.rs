@@ -260,11 +260,23 @@ impl P {
         if self.eat_word("INSERT") {
             return self.insert();
         }
+        if self.eat_word("DELETE") {
+            return self.delete();
+        }
+        if self.eat_word("UPDATE") {
+            return self.update();
+        }
         if self.peek_word("SELECT") {
             return Ok(SqlStmt::Select(self.select()?));
         }
         if self.eat_word("EXPLAIN") {
             if self.eat_word("ANALYZE") {
+                if self.eat_word("DELETE") {
+                    return Ok(SqlStmt::ExplainAnalyzeDml(Box::new(self.delete()?)));
+                }
+                if self.eat_word("UPDATE") {
+                    return Ok(SqlStmt::ExplainAnalyzeDml(Box::new(self.update()?)));
+                }
                 return Ok(SqlStmt::ExplainAnalyze(self.select()?));
             }
             return Ok(SqlStmt::Explain(self.select()?));
@@ -278,7 +290,7 @@ impl P {
             self.expect_punct(')')?;
             return Ok(SqlStmt::Values(values));
         }
-        Err(self.error("expected CREATE, INSERT, SELECT, EXPLAIN or VALUES"))
+        Err(self.error("expected CREATE, INSERT, DELETE, UPDATE, SELECT, EXPLAIN or VALUES"))
     }
 
     fn sql_type(&mut self) -> Result<SqlType, SqlParseError> {
@@ -366,6 +378,29 @@ impl P {
         }
         self.expect_punct(')')?;
         Ok(SqlStmt::Insert { table, values })
+    }
+
+    fn delete(&mut self) -> Result<SqlStmt, SqlParseError> {
+        self.expect_word("FROM")?;
+        let table = self.identifier()?;
+        let where_cond = if self.eat_word("WHERE") { Some(self.cond()?) } else { None };
+        Ok(SqlStmt::Delete { table, where_cond })
+    }
+
+    fn update(&mut self) -> Result<SqlStmt, SqlParseError> {
+        let table = self.identifier()?;
+        self.expect_word("SET")?;
+        let mut set = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            self.expect_punct('=')?;
+            set.push((col, self.expr()?));
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        let where_cond = if self.eat_word("WHERE") { Some(self.cond()?) } else { None };
+        Ok(SqlStmt::Update { table, set, where_cond })
     }
 
     fn select(&mut self) -> Result<SelectStmt, SqlParseError> {
@@ -768,6 +803,43 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_delete_and_update() {
+        let s = parse_sql("DELETE FROM orders WHERE ordid = 3").unwrap();
+        match s {
+            SqlStmt::Delete { table, where_cond } => {
+                assert_eq!(table, "ORDERS");
+                assert!(matches!(where_cond, Some(SqlCond::Cmp(..))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = parse_sql("DELETE FROM orders").unwrap();
+        assert!(matches!(s, SqlStmt::Delete { where_cond: None, .. }));
+        let s = parse_sql("UPDATE orders SET orddoc = '<order/>' WHERE ordid = 3").unwrap();
+        match s {
+            SqlStmt::Update { table, set, where_cond } => {
+                assert_eq!(table, "ORDERS");
+                assert_eq!(set.len(), 1);
+                assert_eq!(set[0].0, "ORDDOC");
+                assert!(where_cond.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = parse_sql("EXPLAIN ANALYZE DELETE FROM orders WHERE ordid = 3").unwrap();
+        match s {
+            SqlStmt::ExplainAnalyzeDml(inner) => {
+                assert!(matches!(*inner, SqlStmt::Delete { .. }))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = parse_sql("EXPLAIN ANALYZE UPDATE orders SET orddoc = NULL").unwrap();
+        assert!(matches!(s, SqlStmt::ExplainAnalyzeDml(_)));
+        // Malformed DML is rejected with a parse error, never a panic.
+        assert!(parse_sql("DELETE orders").is_err());
+        assert!(parse_sql("UPDATE orders WHERE ordid = 1").is_err());
+        assert!(parse_sql("UPDATE orders SET").is_err());
     }
 
     #[test]

@@ -78,11 +78,17 @@ pub enum Counter {
     TwigCandidates,
     /// Documents skipped by the twig-join phase.
     TwigDocsSkipped,
+    /// Rows removed by SQL DELETE statements.
+    RowsDeleted,
+    /// Rows whose contents were replaced by SQL UPDATE statements.
+    DocsReplaced,
+    /// Tombstoned heap records compacted away at checkpoint.
+    TombstonesReclaimed,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 35] = [
         Counter::QueriesExecuted,
         Counter::SqlStatements,
         Counter::IndexProbes,
@@ -115,6 +121,9 @@ impl Counter {
         Counter::TwigJoinsExecuted,
         Counter::TwigCandidates,
         Counter::TwigDocsSkipped,
+        Counter::RowsDeleted,
+        Counter::DocsReplaced,
+        Counter::TombstonesReclaimed,
     ];
 
     /// Prometheus series name.
@@ -152,6 +161,9 @@ impl Counter {
             Counter::TwigJoinsExecuted => "xqdb_twig_joins_executed_total",
             Counter::TwigCandidates => "xqdb_twig_candidates_total",
             Counter::TwigDocsSkipped => "xqdb_twig_docs_skipped_total",
+            Counter::RowsDeleted => "xqdb_rows_deleted_total",
+            Counter::DocsReplaced => "xqdb_docs_replaced_total",
+            Counter::TombstonesReclaimed => "xqdb_tombstones_reclaimed_total",
         }
     }
 
@@ -194,6 +206,9 @@ impl Counter {
                 "candidate documents admitted by twig-join row-set intersections"
             }
             Counter::TwigDocsSkipped => "documents skipped by the twig-join phase",
+            Counter::RowsDeleted => "rows removed by SQL DELETE statements",
+            Counter::DocsReplaced => "rows replaced by SQL UPDATE statements",
+            Counter::TombstonesReclaimed => "tombstoned heap records compacted at checkpoint",
         }
     }
 }

@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use xqdb_xdm::XdmError;
 
-use crate::chain::{chain_read, chain_write};
+use crate::chain::{chain_free, chain_read, chain_write};
 use crate::page::{page_kind, PageKind, HEADER_LEN, PAGE_SIZE};
 use crate::pool::Pager;
 use crate::PageId;
@@ -41,6 +41,11 @@ const SLOTS_OFF: usize = HEADER_LEN + 8;
 
 const TAG_INLINE: u8 = 0;
 const TAG_OVERFLOW: u8 = 1;
+/// A deleted record awaiting reclamation: the slot stays (record ids are
+/// stable), the payload bytes are dead. Tombstones exist only on unfrozen
+/// pages — checkpoint reclamation compacts them away before the freeze, so
+/// frozen pages hold only live records and dead `(0, 0)` slots.
+const TAG_TOMBSTONE: u8 = 2;
 /// Largest record stored inline: tag + bytes + one slot entry must fit an
 /// empty page.
 const MAX_INLINE: usize = PAGE_SIZE - SLOTS_OFF - 4 - 1;
@@ -67,6 +72,20 @@ fn free_in(nslots: u16, tail: u16) -> usize {
     (tail as usize).saturating_sub(SLOTS_OFF + 4 * nslots as usize)
 }
 
+fn slot_entry(buf: &[u8; PAGE_SIZE], slot: u16) -> (usize, usize) {
+    let so = SLOTS_OFF + 4 * slot as usize;
+    let off = u16::from_le_bytes([buf[so], buf[so + 1]]) as usize;
+    let len = u16::from_le_bytes([buf[so + 2], buf[so + 3]]) as usize;
+    (off, len)
+}
+
+/// A slot holds a live record iff it is non-dead (`len > 0`), in bounds,
+/// and not tombstoned.
+fn slot_is_live(buf: &[u8; PAGE_SIZE], slot: u16) -> bool {
+    let (off, len) = slot_entry(buf, slot);
+    len > 0 && off + len <= PAGE_SIZE && buf[off] != TAG_TOMBSTONE
+}
+
 /// One table's slotted-page heap within a shared pager.
 #[derive(Debug)]
 pub struct HeapFile {
@@ -86,7 +105,8 @@ impl HeapFile {
     }
 
     /// Reopen a heap from its surviving pages (recovery): rebuilds the
-    /// free-space map and record count from page headers.
+    /// free-space map and record count from page headers. Dead slots and
+    /// tombstones do not count as records.
     pub fn open(
         pager: Arc<Pager>,
         table_id: u32,
@@ -95,14 +115,18 @@ impl HeapFile {
         let mut fsm = BTreeMap::new();
         let mut records = 0u64;
         for &pid in &pages {
-            let (tid, nslots, tail) = pager.with_page(pid, heap_header)?;
+            let (tid, nslots, tail, live) = pager.with_page(pid, |buf| {
+                let (tid, nslots, tail) = heap_header(buf);
+                let live = (0..nslots).filter(|&s| slot_is_live(buf, s)).count() as u64;
+                (tid, nslots, tail, live)
+            })?;
             if tid != table_id {
                 return Err(XdmError::page_corrupt(format!(
                     "page {pid}: heap page of table {tid}, expected {table_id}"
                 )));
             }
             fsm.insert(pid, free_in(nslots, tail));
-            records += u64::from(nslots);
+            records += live;
         }
         Ok(HeapFile { pager, table_id, pages, fsm, records })
     }
@@ -250,11 +274,134 @@ impl HeapFile {
         self.get_counted(rid, &mut n)
     }
 
-    /// Every record of one heap page, in slot order — the recovery scan.
+    /// Tombstone a record in place: the slot survives (record ids are
+    /// stable), the payload is marked dead, and any overflow chain is
+    /// freed. Only legal on unfrozen pages — frozen pages are byte-stable,
+    /// so deletes there must be recorded logically by the caller.
+    /// Tombstoning an already-tombstoned record is a no-op (idempotent
+    /// replay).
+    pub fn delete(&mut self, rid: RecordId) -> Result<(), XdmError> {
+        if rid.page < self.pager.frozen_below() {
+            return Err(XdmError::internal(format!(
+                "heap delete on frozen page {} (must be a logical delete)",
+                rid.page
+            )));
+        }
+        let outcome = self.pager.with_page_mut(rid.page, |buf| {
+            let (tid, nslots, _) = heap_header(buf);
+            if tid != self.table_id {
+                return Err(XdmError::page_corrupt(format!(
+                    "page {}: heap page of table {tid}, expected {}",
+                    rid.page, self.table_id
+                )));
+            }
+            if rid.slot >= nslots {
+                return Err(XdmError::page_corrupt(format!(
+                    "page {}: slot {} out of range ({nslots} slots)",
+                    rid.page, rid.slot
+                )));
+            }
+            let (off, len) = slot_entry(buf, rid.slot);
+            if len == 0 || off + len > PAGE_SIZE {
+                return Err(XdmError::page_corrupt(format!(
+                    "page {}: slot {} points outside the page",
+                    rid.page, rid.slot
+                )));
+            }
+            match buf[off] {
+                TAG_TOMBSTONE => Ok(None),
+                TAG_INLINE => {
+                    buf[off] = TAG_TOMBSTONE;
+                    Ok(Some(None))
+                }
+                TAG_OVERFLOW if len == STUB_LEN => {
+                    let mut head = [0u8; 8];
+                    head.copy_from_slice(&buf[off + 9..off + 17]);
+                    buf[off] = TAG_TOMBSTONE;
+                    Ok(Some(Some(PageId::from_le_bytes(head))))
+                }
+                t => Err(XdmError::page_corrupt(format!(
+                    "record {rid:?}: unknown record tag {t}"
+                ))),
+            }
+        })??;
+        if let Some(chain) = outcome {
+            self.records = self.records.saturating_sub(1);
+            if let Some(head) = chain {
+                chain_free(&self.pager, head)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Compact tombstones out of every unfrozen page, preserving slot
+    /// numbers: live payloads are repacked toward the page end, dead slots
+    /// become `(0, 0)`, and the reclaimed bytes rejoin the page's free
+    /// space. Run by the checkpoint immediately before the flush + freeze,
+    /// so no tombstone ever reaches a frozen page. Returns the number of
+    /// tombstoned records reclaimed.
+    pub fn reclaim_tombstones(&mut self) -> Result<u64, XdmError> {
+        let frozen = self.pager.frozen_below();
+        let mut reclaimed = 0u64;
+        for &pid in &self.pages {
+            if pid < frozen {
+                continue;
+            }
+            // Peek first so tombstone-free pages stay clean.
+            let dirty = self.pager.with_page(pid, |buf| {
+                let (_, nslots, _) = heap_header(buf);
+                (0..nslots).any(|s| {
+                    let (off, len) = slot_entry(buf, s);
+                    len > 0 && off + len <= PAGE_SIZE && buf[off] == TAG_TOMBSTONE
+                })
+            })?;
+            if !dirty {
+                continue;
+            }
+            let (dead, free) = self.pager.with_page_mut(pid, |buf| {
+                let (_, nslots, _) = heap_header(buf);
+                let mut live: Vec<(u16, Vec<u8>)> = Vec::new();
+                let mut dead = 0u64;
+                for s in 0..nslots {
+                    let (off, len) = slot_entry(buf, s);
+                    if len == 0 {
+                        continue;
+                    }
+                    if off + len <= PAGE_SIZE && buf[off] == TAG_TOMBSTONE {
+                        dead += 1;
+                        let so = SLOTS_OFF + 4 * s as usize;
+                        buf[so..so + 4].copy_from_slice(&[0u8; 4]);
+                    } else {
+                        live.push((s, buf[off..off + len].to_vec()));
+                    }
+                }
+                let mut tail = PAGE_SIZE;
+                for (s, payload) in &live {
+                    tail -= payload.len();
+                    buf[tail..tail + payload.len()].copy_from_slice(payload);
+                    let so = SLOTS_OFF + 4 * *s as usize;
+                    buf[so..so + 2].copy_from_slice(&(tail as u16).to_le_bytes());
+                    buf[so + 2..so + 4]
+                        .copy_from_slice(&(payload.len() as u16).to_le_bytes());
+                }
+                buf[TAIL_OFF..TAIL_OFF + 2].copy_from_slice(&(tail as u16).to_le_bytes());
+                (dead, free_in(nslots, tail as u16))
+            })?;
+            reclaimed += dead;
+            self.fsm.insert(pid, free);
+        }
+        Ok(reclaimed)
+    }
+
+    /// Every *live* record of one heap page, in slot order — the recovery
+    /// scan. Dead slots and tombstones are skipped.
     pub fn page_records(&self, pid: PageId) -> Result<Vec<(RecordId, Vec<u8>)>, XdmError> {
-        let nslots = self.pager.with_page(pid, |buf| heap_header(buf).1)?;
-        let mut out = Vec::with_capacity(nslots as usize);
-        for slot in 0..nslots {
+        let live: Vec<u16> = self.pager.with_page(pid, |buf| {
+            let (_, nslots, _) = heap_header(buf);
+            (0..nslots).filter(|&s| slot_is_live(buf, s)).collect()
+        })?;
+        let mut out = Vec::with_capacity(live.len());
+        for slot in live {
             let rid = RecordId { page: pid, slot };
             out.push((rid, self.get(rid)?));
         }
@@ -417,6 +564,76 @@ mod tests {
         let found = discover_heap_pages(&pager).unwrap();
         assert_eq!(found.get(&1).map(Vec::as_slice), Some(a.pages()));
         assert_eq!(found.get(&2).map(Vec::as_slice), Some(b.pages()));
+    }
+
+    #[test]
+    fn delete_tombstones_and_reclaim_compacts() {
+        let pager = mem(8);
+        let mut heap = HeapFile::create(Arc::clone(&pager), 1);
+        let mut rids = Vec::new();
+        for i in 0..40usize {
+            let rec = format!("record-{i}-{}", "y".repeat(i * 7 % 50)).into_bytes();
+            rids.push((heap.insert(&rec).unwrap(), rec));
+        }
+        // Delete every third record; deletes are idempotent.
+        let mut deleted = Vec::new();
+        for (i, (rid, _)) in rids.iter().enumerate() {
+            if i % 3 == 0 {
+                heap.delete(*rid).unwrap();
+                heap.delete(*rid).unwrap();
+                deleted.push(*rid);
+            }
+        }
+        assert_eq!(heap.record_count(), 40 - deleted.len() as u64);
+        // Tombstoned records are unreachable; survivors intact.
+        for (i, (rid, rec)) in rids.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(heap.get(*rid).is_err());
+            } else {
+                assert_eq!(&heap.get(*rid).unwrap(), rec);
+            }
+        }
+        let freed = heap.reclaim_tombstones().unwrap();
+        assert_eq!(freed, deleted.len() as u64);
+        assert_eq!(heap.reclaim_tombstones().unwrap(), 0, "second pass finds nothing");
+        // Slot ids survive compaction; dead slots read as errors.
+        for (i, (rid, rec)) in rids.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(heap.get(*rid).is_err());
+            } else {
+                assert_eq!(&heap.get(*rid).unwrap(), rec, "slot preserved for {rid:?}");
+            }
+        }
+        // page_records skips dead slots, and reopen agrees on the count.
+        let total: usize =
+            heap.pages().iter().map(|&p| heap.page_records(p).unwrap().len()).sum();
+        assert_eq!(total as u64, heap.record_count());
+        let reopened =
+            HeapFile::open(Arc::clone(&pager), 1, heap.pages().to_vec()).unwrap();
+        assert_eq!(reopened.record_count(), heap.record_count());
+    }
+
+    #[test]
+    fn delete_frees_overflow_chains_for_reuse() {
+        let pager = mem(8);
+        let mut heap = HeapFile::create(Arc::clone(&pager), 2);
+        let big: Vec<u8> = (0..3 * PAGE_SIZE).map(|i| (i % 241) as u8).collect();
+        let rid = heap.insert(&big).unwrap();
+        let before = pager.page_count();
+        heap.delete(rid).unwrap();
+        let rid2 = heap.insert(&big).unwrap();
+        assert_eq!(pager.page_count(), before, "freed chain pages reused");
+        assert_eq!(heap.get(rid2).unwrap(), big);
+    }
+
+    #[test]
+    fn delete_on_frozen_page_is_refused() {
+        let pager = mem(8);
+        let mut heap = HeapFile::create(Arc::clone(&pager), 1);
+        let rid = heap.insert(b"frozen soon").unwrap();
+        pager.freeze().unwrap();
+        assert!(heap.delete(rid).is_err());
+        assert_eq!(heap.get(rid).unwrap(), b"frozen soon");
     }
 
     #[test]

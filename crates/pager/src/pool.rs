@@ -541,11 +541,43 @@ impl Pager {
     }
 
     /// Return a page to the free list. The caller must hold no guard on
-    /// it. Content is dropped without write-back; the id becomes eligible
-    /// for reuse by [`Pager::allocate`].
+    /// it; the id becomes eligible for reuse by [`Pager::allocate`].
+    ///
+    /// An unfrozen page is parked in the pool as a dirty `Free` image (the
+    /// same move `discard_unfrozen` and torn-write classification make):
+    /// if the id is never reallocated before the next checkpoint, the
+    /// flush writes a CRC-valid Free page instead of leaving whatever
+    /// stale or never-written bytes the backing file held — which a later
+    /// freeze would otherwise turn into a permanent recovery error. A
+    /// frozen id keeps its on-disk bytes untouched (it is unusable until
+    /// the next open anyway).
     pub fn free_page(&self, id: PageId) -> Result<(), XdmError> {
+        let frozen = self.frozen_below();
         let mut g = self.lock();
-        if let Some(slot) = g.map.remove(&id) {
+        if id >= frozen {
+            let slot = match g.map.get(&id).copied() {
+                Some(slot) => {
+                    if g.frames[slot].pins > 0 {
+                        return Err(XdmError::internal(format!("freeing pinned page {id}")));
+                    }
+                    slot
+                }
+                None => {
+                    let slot = Self::victim(&mut g, &self.evictions)?;
+                    Self::evict_occupant(&mut g, slot, &self.evictions)?;
+                    g.frames[slot].page = Some(id);
+                    g.map.insert(id, slot);
+                    slot
+                }
+            };
+            {
+                let frame = &g.frames[slot];
+                let mut data = frame.buf.data.write().unwrap_or_else(|e| e.into_inner());
+                page::init_page(&mut data, id, PageKind::Free);
+                frame.buf.dirty.store(true, Ordering::Release);
+            }
+            g.frames[slot].refbit = true;
+        } else if let Some(slot) = g.map.remove(&id) {
             if g.frames[slot].pins > 0 {
                 g.map.insert(id, slot);
                 return Err(XdmError::internal(format!("freeing pinned page {id}")));
@@ -553,8 +585,9 @@ impl Pager {
             g.frames[slot].page = None;
             g.frames[slot].buf.dirty.store(false, Ordering::Release);
         }
-        let pos = g.free.binary_search_by(|p| id.cmp(p)).unwrap_or_else(|p| p);
-        g.free.insert(pos, id);
+        if let Err(pos) = g.free.binary_search_by(|p| id.cmp(p)) {
+            g.free.insert(pos, id);
+        }
         Ok(())
     }
 

@@ -132,7 +132,7 @@ impl CliLimits {
                     })?)
                 }
                 "--help" | "-h" => {
-                    return Err("usage: xqdb [recover PATH] [pages PATH] [labels PATH TABLE] [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--buffer-pages N] [--no-prefilter] [--no-twig] [--trace] [--metrics-json PATH] [--data-dir PATH] [--fsync always|batch|off]"
+                    return Err("usage: xqdb [recover PATH] [pages PATH] [verify PATH] [labels PATH TABLE] [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--buffer-pages N] [--no-prefilter] [--no-twig] [--trace] [--metrics-json PATH] [--data-dir PATH] [--fsync always|batch|off]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}; try --help")),
@@ -173,6 +173,15 @@ fn main() {
             std::process::exit(2);
         };
         std::process::exit(run_pages(path));
+    }
+    // `xqdb verify PATH` — offline scrub: CRC-check every page, recover,
+    // run the rebuild oracle, print per-table verdicts, exit.
+    if args.first().map(String::as_str) == Some("verify") {
+        let Some(dir) = args.get(1) else {
+            eprintln!("usage: xqdb verify PATH (a data directory)");
+            std::process::exit(2);
+        };
+        std::process::exit(run_verify(dir));
     }
     // `xqdb labels PATH TABLE` — dump a table's label-stream cardinalities.
     if args.first().map(String::as_str) == Some("labels") {
@@ -253,7 +262,7 @@ fn main() {
         };
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('.') {
-            if !dot_command(&session, trimmed) {
+            if !dot_command(&mut session, trimmed) {
                 break;
             }
             print!("xqdb> ");
@@ -360,6 +369,117 @@ fn run_pages(arg: &str) -> i32 {
         );
     }
     0
+}
+
+/// `xqdb verify PATH`: offline scrub of a data directory. Three passes:
+///
+/// 1. **Page CRCs** — every full 8 KiB page of `pages.xqp` is checked
+///    (magic, version, CRC, self-identification) by reading the raw file,
+///    not the buffer pool, so a latent corruption on a never-fetched page
+///    is found too. A damaged *trailing* page is reported but tolerated:
+///    that is the torn-write shape recovery trims and heals from the WAL.
+/// 2. **Recovery** — the directory is recovered exactly as a session
+///    would (manifest adoption + WAL suffix replay). Failures are typed
+///    errors, never panics, whatever garbage the directory holds.
+/// 3. **Rebuild oracle** — `verify_derived_state` compares every derived
+///    structure (index keys, synopsis, signatures, label streams) against
+///    a from-scratch rebuild over the live rows; one verdict per table.
+///
+/// Exit 0 only when all three pass.
+fn run_verify(dir: &str) -> i32 {
+    let p = std::path::Path::new(dir);
+    if !p.is_dir() {
+        eprintln!("error: {dir} is not a data directory");
+        return 2;
+    }
+    let mut failed = false;
+    let pages_file = p.join(xqdb_core::PAGES_FILE);
+    if pages_file.exists() {
+        match std::fs::read(&pages_file) {
+            Ok(bytes) => {
+                let n = bytes.len() / xqdb_pager::PAGE_SIZE;
+                let torn_tail = bytes.len() % xqdb_pager::PAGE_SIZE != 0;
+                let mut bad: Vec<String> = Vec::new();
+                for i in 0..n {
+                    let start = i * xqdb_pager::PAGE_SIZE;
+                    let buf: &[u8; xqdb_pager::PAGE_SIZE] =
+                        match bytes[start..start + xqdb_pager::PAGE_SIZE].try_into() {
+                            Ok(b) => b,
+                            Err(_) => break, // unreachable: slice is exact
+                        };
+                    if let Err(reason) = xqdb_pager::verify_page(buf, i as u64) {
+                        // A damaged final page is the torn-write shape;
+                        // anything earlier is real corruption.
+                        if i + 1 == n {
+                            println!(
+                                "page file: trailing page damaged ({reason}); \
+                                 recovery trims it and replays the WAL suffix"
+                            );
+                        } else {
+                            bad.push(reason);
+                        }
+                    }
+                }
+                if torn_tail {
+                    println!(
+                        "page file: {} trailing byte(s) of a partial page write; \
+                         recovery trims them",
+                        bytes.len() % xqdb_pager::PAGE_SIZE
+                    );
+                }
+                if bad.is_empty() {
+                    println!("page file: {n} page(s) scanned, all CRCs valid");
+                } else {
+                    failed = true;
+                    println!("page file: {n} page(s) scanned, {} corrupt:", bad.len());
+                    for reason in &bad {
+                        println!("  - {reason}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not read {}: {e}", pages_file.display());
+                return 1;
+            }
+        }
+    } else {
+        println!("page file: none (no checkpoint has run; recovery replays the WAL only)");
+    }
+    let catalog = match xqdb_core::recover_catalog(
+        p,
+        xqdb_runtime::RuntimeConfig::default(),
+        &xqdb_obs::Trace::disabled(),
+        &Obs::disabled(),
+    ) {
+        Ok((catalog, report)) => {
+            print!("{}", report.render());
+            catalog
+        }
+        Err(e) => {
+            report_error(&e);
+            println!("verdict: FAILED (unrecoverable)");
+            return 1;
+        }
+    };
+    match xqdb_core::verify_derived_state(&catalog) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if !report.is_clean() {
+                failed = true;
+            }
+        }
+        Err(e) => {
+            report_error(&e);
+            failed = true;
+        }
+    }
+    if failed {
+        println!("verdict: FAILED");
+        1
+    } else {
+        println!("verdict: OK");
+        0
+    }
 }
 
 /// `xqdb labels PATH TABLE`: recover the data directory (offline, no
@@ -766,7 +886,7 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
 }
 
 /// Returns false to exit the shell.
-fn dot_command(session: &SqlSession, cmd: &str) -> bool {
+fn dot_command(session: &mut SqlSession, cmd: &str) -> bool {
     match cmd {
         ".quit" | ".exit" => return false,
         ".help" => {

@@ -185,8 +185,8 @@ impl ServerHandle {
             }
             None => true,
         };
-        let (checkpoint_seq, checkpoint_error) = match self.shared.session.read() {
-            Ok(session) => match session.checkpoint() {
+        let (checkpoint_seq, checkpoint_error) = match self.shared.session.write() {
+            Ok(mut session) => match session.checkpoint() {
                 Ok(seq) => (seq, None),
                 Err(e) => (None, Some(e.to_string())),
             },
@@ -401,13 +401,13 @@ pub fn request_limits(cfg: &ServerConfig) -> Limits {
 }
 
 /// Statement classifier shared by the lock router and the test baselines:
-/// the XQuery forms and the SQL SELECT family are reads; `CREATE`/`INSERT`
-/// are writes.
+/// the XQuery forms and the SQL SELECT family are reads; `CREATE`,
+/// `INSERT`, `DELETE`, `UPDATE` — and `EXPLAIN ANALYZE` over DML, which
+/// executes the statement it reports on — are writes and serialize under
+/// the session's exclusive write lock.
 pub fn is_read_statement(text: &str) -> bool {
     let lower = text.trim_start().to_ascii_lowercase();
-    lower.starts_with("xquery")
-        || lower.starts_with("explain")
-        || !SqlSession::is_write_statement(text)
+    lower.starts_with("xquery") || !SqlSession::is_write_statement(text)
 }
 
 fn exec_options(session: &SqlSession, limits: &Limits) -> ExecOptions {

@@ -24,6 +24,12 @@ pub trait PersistenceHook: std::fmt::Debug + Send + Sync {
     fn log_create_table(&self, table: &Table) -> Result<(), XdmError>;
     /// A conformed row is about to be appended to `table`.
     fn log_insert(&self, table: &str, row: &[SqlValue]) -> Result<(), XdmError>;
+    /// The listed rows are about to be deleted from `table` (all ids
+    /// validated live). One log record covers the whole statement.
+    fn log_delete(&self, table: &str, rowids: &[u64]) -> Result<(), XdmError>;
+    /// Row `rowid` of `table` is about to be replaced by the conformed
+    /// `row`.
+    fn log_replace(&self, table: &str, rowid: u64, row: &[SqlValue]) -> Result<(), XdmError>;
     /// An index is about to be created (validation already passed).
     fn log_create_index(
         &self,
@@ -177,6 +183,69 @@ impl Database {
             XdmError::internal(format!("table {table} vanished during insert"))
         })?;
         t.push_row(row)
+    }
+
+    /// Delete rows by id. Validation → write-ahead log → apply, mirroring
+    /// [`Database::insert`]: every id must name a live row before anything
+    /// is logged, so the WAL never records a delete that was refused.
+    /// Returns the number of rows deleted.
+    pub fn delete(&mut self, table: &str, rowids: &[u64]) -> Result<u64, XdmError> {
+        let upper = table.to_ascii_uppercase();
+        let t = self.tables.get(&upper).ok_or_else(|| {
+            XdmError::new(ErrorCode::SqlType, format!("unknown table {table}"))
+        })?;
+        for &id in rowids {
+            let id = id as RowId;
+            if id >= t.len() || t.is_deleted(id) {
+                return Err(XdmError::new(
+                    ErrorCode::SqlType,
+                    format!("DELETE from {upper}: no live row {id}"),
+                ));
+            }
+        }
+        if let Some(hook) = &self.persistence {
+            hook.log_delete(&upper, rowids)?;
+        }
+        let t = self.tables.get_mut(&upper).ok_or_else(|| {
+            XdmError::internal(format!("table {table} vanished during delete"))
+        })?;
+        let mut n = 0u64;
+        for &id in rowids {
+            if t.delete_row(id as RowId)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Replace one row's contents under its existing rowid (document
+    /// REPLACE). Conform → validate → log → apply, like
+    /// [`Database::insert`].
+    pub fn replace(
+        &mut self,
+        table: &str,
+        rowid: u64,
+        values: Vec<SqlValue>,
+    ) -> Result<(), XdmError> {
+        let upper = table.to_ascii_uppercase();
+        let t = self.tables.get(&upper).ok_or_else(|| {
+            XdmError::new(ErrorCode::SqlType, format!("unknown table {table}"))
+        })?;
+        let row = t.conform_row(values)?;
+        let id = rowid as RowId;
+        if id >= t.len() || t.is_deleted(id) {
+            return Err(XdmError::new(
+                ErrorCode::SqlType,
+                format!("UPDATE {upper}: no live row {id}"),
+            ));
+        }
+        if let Some(hook) = &self.persistence {
+            hook.log_replace(&upper, rowid, &row)?;
+        }
+        let t = self.tables.get_mut(&upper).ok_or_else(|| {
+            XdmError::internal(format!("table {table} vanished during replace"))
+        })?;
+        t.replace_row(id, row)
     }
 
     /// All table names, sorted (for catalog listings).

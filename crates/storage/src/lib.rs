@@ -8,10 +8,11 @@
 //! create table products (id varchar(13), name varchar(32));
 //! ```
 //!
-//! Tables are append-only row stores over `xqdb-pager` heap pages: rows
-//! encode through [`rowcodec`] into slotted pages behind a bounded buffer
-//! pool, so collections bigger than RAM work by eviction rather than by
-//! luck. XML columns hold [`xqdb_xdm::Document`] trees (the "native XML
+//! Tables are row stores over `xqdb-pager` heap pages: rows encode
+//! through [`rowcodec`] into slotted pages behind a bounded buffer pool,
+//! so collections bigger than RAM work by eviction rather than by luck.
+//! Inserts append; DELETE and REPLACE retire records in place (tombstones
+//! on mutable pages, logical delete sets over frozen ones). XML columns hold [`xqdb_xdm::Document`] trees (the "native XML
 //! storage" of DB2 Viper — all XDM information preserved, schemas optional
 //! and per-document), serialized in page records and re-parsed on fetch.
 //! The [`Database`] also implements
@@ -30,9 +31,9 @@ pub mod value;
 
 pub use db::{Database, PersistenceHook};
 pub use synopsis::{
-    document_paths, extend_attribute, extend_element, hash_rendered_path,
-    observe_document_labeled, render_component, signature_for_document, PathSignature,
-    PathSynopsis, PATH_HASH_SEED,
+    document_path_hashes, document_paths, extend_attribute, extend_element,
+    hash_rendered_path, observe_document_labeled, render_component, signature_for_document,
+    PathSignature, PathSynopsis, PATH_HASH_SEED,
 };
 pub use table::{Column, RowId, Table};
 pub use value::{sql_compare, SqlType, SqlValue};

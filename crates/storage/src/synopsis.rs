@@ -200,6 +200,29 @@ impl PathSynopsis {
         }
         PathSynopsis { paths }
     }
+
+    /// Remove one document's contribution to a path's count (row DELETE /
+    /// document REPLACE). Entries that reach zero are dropped entirely, so
+    /// an incrementally-maintained synopsis stays equal — entry for entry —
+    /// to one rebuilt from scratch over the surviving documents.
+    pub fn decrement(&mut self, hash: u64) {
+        if let Some((_, n)) = self.paths.get_mut(&hash) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.paths.remove(&hash);
+            }
+        }
+    }
+}
+
+/// The distinct rooted-path hashes of one document — the delete-side twin
+/// of [`observe_document`]: exactly the hashes whose dictionary counts the
+/// document contributed at insert, so `decrement`-ing each one undoes the
+/// insert's synopsis effect.
+pub fn document_path_hashes(root: &NodeHandle) -> Vec<u64> {
+    let mut syn = PathSynopsis::default();
+    observe_document(root, Some(&mut syn));
+    syn.paths.keys().copied().collect()
 }
 
 /// Compute a document's path signature, and record its distinct rooted

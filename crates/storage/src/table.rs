@@ -1,4 +1,4 @@
-//! Tables: append-only row stores over paged heap files.
+//! Tables: paged row stores supporting INSERT, DELETE and REPLACE.
 //!
 //! Rows no longer live in a `Vec` — they are encoded through
 //! [`crate::rowcodec`] into a slotted-page [`HeapFile`] behind a buffer
@@ -14,6 +14,7 @@
 //! assigned monotonically within a scan, and Definition 1 observes
 //! content, not identity.
 
+use std::collections::{btree_map, BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use xqdb_pager::{HeapFile, PageId, Pager, RecordId};
@@ -22,7 +23,9 @@ use xqdb_xdm::{ErrorCode, XdmError};
 use xqdb_twig::{LabelEntry, LabelStore};
 
 use crate::rowcodec::{decode_header, decode_row, encode_row};
-use crate::synopsis::{observe_document, observe_document_labeled, PathSignature, PathSynopsis};
+use crate::synopsis::{
+    document_path_hashes, observe_document, observe_document_labeled, PathSignature, PathSynopsis,
+};
 use crate::value::{SqlType, SqlValue};
 
 /// A column definition.
@@ -41,11 +44,15 @@ impl Column {
     }
 }
 
-/// Row identifier: dense insertion ordinal. Stable because rows are
-/// append-only (no SQL DELETE in the engine's scope).
+/// Row identifier: dense insertion ordinal. Stable for the lifetime of
+/// the table — DELETE retires an id without renumbering survivors, and
+/// REPLACE reuses the id for the new document, so ids in WAL records and
+/// index entries never shift meaning.
 pub type RowId = usize;
 
-/// An append-only row store backed by heap pages.
+/// A row store backed by heap pages. Rows append at the tail; DELETE and
+/// REPLACE retire earlier rows in place (tombstones on mutable pages,
+/// logical delete sets over frozen ones).
 pub struct Table {
     /// Table name, upper-cased.
     pub name: String,
@@ -66,6 +73,17 @@ pub struct Table {
     /// mark the store incomplete and the planner declines twig joins for
     /// the table.
     labels: LabelStore,
+    /// Rowids retired by DELETE. Their directory/signature slots remain
+    /// (ids stay dense) but every read path treats them as absent. Rows
+    /// whose heap record sat on an unfrozen page are also physically
+    /// tombstoned; for frozen pages this set is the only record of the
+    /// delete, so it is persisted in the checkpoint manifest.
+    deleted: BTreeSet<RowId>,
+    /// Rowids whose pre-REPLACE copy survives on a frozen page. Recovery
+    /// must expect two (or more) heap records for exactly these ids and
+    /// keep the highest-page copy; a duplicate rowid *not* in this set is
+    /// corruption. Persisted in the checkpoint manifest.
+    stale: BTreeSet<RowId>,
 }
 
 impl std::fmt::Debug for Table {
@@ -74,6 +92,7 @@ impl std::fmt::Debug for Table {
             .field("name", &self.name)
             .field("columns", &self.columns)
             .field("rows", &self.directory.len())
+            .field("deleted", &self.deleted.len())
             .field("heap_pages", &self.heap.pages().len())
             .finish()
     }
@@ -103,6 +122,8 @@ impl Table {
             signatures: Vec::new(),
             synopsis: PathSynopsis::default(),
             labels: LabelStore::default(),
+            deleted: BTreeSet::new(),
+            stale: BTreeSet::new(),
         }
     }
 
@@ -113,6 +134,18 @@ impl Table {
     /// headers — no XML is parsed here, which is what makes suffix-only
     /// recovery fast. The synopsis starts empty; the caller installs the
     /// manifest's dictionary via [`Table::set_synopsis`].
+    ///
+    /// `deleted` lists rowids logically deleted while their record sat on a
+    /// frozen page (the bytes survive but must be ignored); `stale` lists
+    /// rowids REPLACEd after their original copy froze, for which recovery
+    /// keeps the highest-page copy. A duplicate rowid outside `stale`, or a
+    /// missing live rowid, is reported as page corruption, never patched
+    /// over.
+    //
+    // The parameter list mirrors the manifest's per-table fields one-for-one;
+    // bundling them into a struct here would just restate the WAL's manifest
+    // type in a crate that must not depend on the WAL.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_pages(
         name: impl AsRef<str>,
         columns: Vec<Column>,
@@ -120,35 +153,59 @@ impl Table {
         table_id: u32,
         pages: Vec<PageId>,
         row_count: u64,
+        deleted: &[u64],
+        stale: &[u64],
     ) -> Result<Self, XdmError> {
         let name = name.as_ref().to_ascii_uppercase();
         let heap = HeapFile::open(pager, table_id, pages)?;
-        let mut entries: Vec<(u64, RecordId, PathSignature)> = Vec::new();
+        let deleted: BTreeSet<RowId> = deleted.iter().map(|&r| r as RowId).collect();
+        let stale: BTreeSet<RowId> = stale.iter().map(|&r| r as RowId).collect();
+        // Best surviving copy per rowid. Only stale-listed rowids may have
+        // more than one copy (the pre-REPLACE record on a lower, frozen
+        // page); for those the highest page wins.
+        let mut best: BTreeMap<u64, (RecordId, PathSignature)> = BTreeMap::new();
         for &pid in heap.pages() {
             for (rid, bytes) in heap.page_records(pid)? {
                 let (rowid, sig) = decode_header(&bytes)?;
-                if rowid < row_count {
-                    entries.push((rowid, rid, sig));
+                if rowid >= row_count || deleted.contains(&(rowid as RowId)) {
+                    continue;
+                }
+                match best.entry(rowid) {
+                    btree_map::Entry::Vacant(e) => {
+                        e.insert((rid, sig));
+                    }
+                    btree_map::Entry::Occupied(mut e) => {
+                        if !stale.contains(&(rowid as RowId)) {
+                            return Err(XdmError::page_corrupt(format!(
+                                "table {name}: rowid {rowid} appears on pages {} and {} but is not marked stale",
+                                e.get().0.page, rid.page
+                            )));
+                        }
+                        if rid.page > e.get().0.page {
+                            e.insert((rid, sig));
+                        }
+                    }
                 }
             }
         }
-        entries.sort_by_key(|e| e.0);
-        let mut directory = Vec::with_capacity(entries.len());
-        let mut signatures = Vec::with_capacity(entries.len());
-        for (expect, (rowid, rid, sig)) in entries.into_iter().enumerate() {
-            if rowid != expect as u64 {
-                return Err(XdmError::page_corrupt(format!(
-                    "table {name}: heap pages are missing row {expect} (next surviving rowid is {rowid})"
-                )));
+        let mut directory = Vec::with_capacity(row_count as usize);
+        let mut signatures = Vec::with_capacity(row_count as usize);
+        for rowid in 0..row_count {
+            if deleted.contains(&(rowid as RowId)) {
+                // Keep ids dense: park an address on the meta page (never a
+                // heap page, so an accidental fetch fails loudly) behind
+                // the `deleted` guard every read path checks first.
+                directory.push(RecordId { page: 0, slot: 0 });
+                signatures.push(PathSignature::EMPTY);
+                continue;
             }
+            let Some((rid, sig)) = best.remove(&rowid) else {
+                return Err(XdmError::page_corrupt(format!(
+                    "table {name}: heap pages are missing row {rowid} of {row_count}"
+                )));
+            };
             directory.push(rid);
             signatures.push(sig);
-        }
-        if (directory.len() as u64) < row_count {
-            return Err(XdmError::page_corrupt(format!(
-                "table {name}: heap pages hold {} of {row_count} checkpointed rows",
-                directory.len()
-            )));
         }
         // Adopted rows were never re-parsed, so their labels do not exist:
         // the store is incomplete for this table until a full re-ingest,
@@ -165,6 +222,8 @@ impl Table {
             signatures,
             synopsis: PathSynopsis::default(),
             labels,
+            deleted,
+            stale,
         })
     }
 
@@ -265,9 +324,145 @@ impl Table {
         Ok(rowid as RowId)
     }
 
-    /// The structural path signature of a row.
+    /// Delete a row, maintaining every derived structure incrementally:
+    /// the synopsis doc-count decrements once per path the row's documents
+    /// contained, its label streams are pruned, its signature zeroed. The
+    /// heap record is tombstoned in place when its page is still mutable;
+    /// a frozen page gets a logical delete only (persisted via the
+    /// manifest's deleted list). Returns `false` if the row was already
+    /// deleted — the operation is idempotent, which WAL replay relies on.
+    pub fn delete_row(&mut self, id: RowId) -> Result<bool, XdmError> {
+        if id >= self.directory.len() {
+            return Err(XdmError::new(
+                ErrorCode::SqlType,
+                format!("DELETE from {}: no row {id}", self.name),
+            ));
+        }
+        if self.deleted.contains(&id) {
+            return Ok(false);
+        }
+        let row = self.row(id)?.ok_or_else(|| {
+            XdmError::internal(format!("table {}: live row {id} has no heap record", self.name))
+        })?;
+        for v in &row {
+            if let SqlValue::Xml(n) = v {
+                for h in document_path_hashes(n) {
+                    self.synopsis.decrement(h);
+                }
+            }
+        }
+        self.labels.prune_row(id as u64);
+        let rid = self.directory[id];
+        if rid.page >= self.heap.pager().frozen_below() {
+            self.heap.delete(rid)?;
+        }
+        self.deleted.insert(id);
+        self.stale.remove(&id); // any older copies are ignored wholesale now
+        self.signatures[id] = PathSignature::EMPTY;
+        Ok(true)
+    }
+
+    /// Replace a row's contents under the same rowid (document REPLACE:
+    /// `UPDATE t SET xmlcol = …`). The old record is tombstoned (mutable
+    /// page) or marked stale (frozen page — recovery then keeps the
+    /// highest-page copy), the new record appended, and all derived state
+    /// swapped: synopsis counts move from the old documents' paths to the
+    /// new ones, label streams are pruned and re-inserted in sort order
+    /// when the store is complete, and the signature is recomputed. The
+    /// row must be live; `values` must already be conformed.
+    pub fn replace_row(&mut self, id: RowId, row: Vec<SqlValue>) -> Result<(), XdmError> {
+        if id >= self.directory.len() || self.deleted.contains(&id) {
+            return Err(XdmError::new(
+                ErrorCode::SqlType,
+                format!("UPDATE {}: no live row {id}", self.name),
+            ));
+        }
+        let old = self.row(id)?.ok_or_else(|| {
+            XdmError::internal(format!("table {}: live row {id} has no heap record", self.name))
+        })?;
+        for v in &old {
+            if let SqlValue::Xml(n) = v {
+                for h in document_path_hashes(n) {
+                    self.synopsis.decrement(h);
+                }
+            }
+        }
+        self.labels.prune_row(id as u64);
+        let rowid = id as u64;
+        let mut sig = PathSignature::default();
+        let labeling = xqdb_twig::enabled_in_env() && !self.labels.is_incomplete();
+        let mut cell = 0u32;
+        for v in &row {
+            if let SqlValue::Xml(n) = v {
+                if labeling {
+                    let (synopsis, labels) = (&mut self.synopsis, &mut self.labels);
+                    let this_cell = cell;
+                    sig.union_with(&observe_document_labeled(
+                        n,
+                        Some(synopsis),
+                        &mut |path, pre, post, level| {
+                            labels.insert_label_sorted(
+                                path,
+                                LabelEntry { row: rowid, cell: this_cell, pre, post, level },
+                            );
+                        },
+                    ));
+                } else {
+                    sig.union_with(&observe_document(n, Some(&mut self.synopsis)));
+                }
+                cell += 1;
+            }
+        }
+        if !labeling {
+            // The replacement could not be labeled (twig labeling off, or
+            // the store was already incomplete): sticky downgrade, same
+            // policy as push_row. No finish_row in the labeled case — the
+            // rowid domain is unchanged by a replace.
+            self.labels.mark_incomplete();
+        }
+        let old_rid = self.directory[id];
+        if old_rid.page >= self.heap.pager().frozen_below() {
+            self.heap.delete(old_rid)?;
+        } else {
+            self.stale.insert(id);
+        }
+        let bytes = encode_row(rowid, &sig, &row);
+        let rid = self.heap.insert(&bytes)?;
+        self.directory[id] = rid;
+        self.signatures[id] = sig;
+        Ok(())
+    }
+
+    /// Compact tombstoned records out of this table's mutable heap pages
+    /// (checkpoint runs this before freezing them). Returns the number of
+    /// records reclaimed.
+    pub fn reclaim_tombstones(&mut self) -> Result<u64, XdmError> {
+        self.heap.reclaim_tombstones()
+    }
+
+    /// The structural path signature of a row (`None` for deleted rows).
     pub fn signature(&self, id: RowId) -> Option<&PathSignature> {
+        if self.deleted.contains(&id) {
+            return None;
+        }
         self.signatures.get(id)
+    }
+
+    /// True if `id` names a row that existed and was deleted.
+    pub fn is_deleted(&self, id: RowId) -> bool {
+        self.deleted.contains(&id)
+    }
+
+    /// Rowids logically deleted while frozen or not — the manifest persists
+    /// this whole set so recovery can ignore surviving frozen copies.
+    pub fn deleted_rows(&self) -> impl Iterator<Item = u64> + '_ {
+        self.deleted.iter().map(|&r| r as u64)
+    }
+
+    /// Rowids whose pre-REPLACE copy survives on a frozen page (manifest
+    /// persists this so recovery expects the duplicate).
+    pub fn stale_rows(&self) -> impl Iterator<Item = u64> + '_ {
+        self.stale.iter().map(|&r| r as u64)
     }
 
     /// The table's path-synopsis dictionary.
@@ -282,14 +477,21 @@ impl Table {
         &self.labels
     }
 
-    /// Number of rows.
+    /// Size of the rowid domain: every id in `0..len()` was assigned at
+    /// some point, though deleted ids no longer resolve to rows. Scan
+    /// bounds and label-store completeness are defined over this domain.
     pub fn len(&self) -> usize {
         self.directory.len()
     }
 
-    /// True if the table has no rows.
+    /// Number of live (non-deleted) rows.
+    pub fn live_len(&self) -> usize {
+        self.directory.len() - self.deleted.len()
+    }
+
+    /// True if the table has no live rows.
     pub fn is_empty(&self) -> bool {
-        self.directory.is_empty()
+        self.live_len() == 0
     }
 
     /// Heap pages of this table, in allocation order.
@@ -298,13 +500,16 @@ impl Table {
     }
 
     /// Fetch a row from its heap page, counting physical page reads into
-    /// `pages_fetched`. `Ok(None)` for out-of-range ids; decode or page
-    /// errors are typed.
+    /// `pages_fetched`. `Ok(None)` for out-of-range or deleted ids; decode
+    /// or page errors are typed.
     pub fn row_counted(
         &self,
         id: RowId,
         pages_fetched: &mut u64,
     ) -> Result<Option<Vec<SqlValue>>, XdmError> {
+        if self.deleted.contains(&id) {
+            return Ok(None);
+        }
         let Some(rid) = self.directory.get(id) else { return Ok(None) };
         let bytes = self.heap.get_counted(*rid, pages_fetched)?;
         let (_, _, row) = decode_row(&bytes)?;
@@ -329,9 +534,10 @@ impl Table {
         self.scan_range(0, self.directory.len())
     }
 
-    /// Iterate `(RowId, row)` pairs for rows in `[start, end)` — the
+    /// Iterate `(RowId, row)` pairs for live rows in `[start, end)` — the
     /// sharded scan used by parallel execution, so each worker touches only
-    /// its own row range instead of re-scanning the whole table. Out-of-range
+    /// its own row range instead of re-scanning the whole table. Deleted
+    /// rows are skipped (their ids simply don't appear); out-of-range
     /// bounds are clamped.
     pub fn scan_range(
         &self,
@@ -340,10 +546,15 @@ impl Table {
     ) -> impl Iterator<Item = Result<(RowId, Vec<SqlValue>), XdmError>> + '_ {
         let end = end.min(self.directory.len());
         let start = start.min(end);
-        (start..end).map(move |id| {
-            let bytes = self.heap.get(self.directory[id])?;
-            let (_, _, row) = decode_row(&bytes)?;
-            Ok((id, row))
+        (start..end).filter_map(move |id| {
+            if self.deleted.contains(&id) {
+                return None;
+            }
+            Some((|| {
+                let bytes = self.heap.get(self.directory[id])?;
+                let (_, _, row) = decode_row(&bytes)?;
+                Ok((id, row))
+            })())
         })
     }
 }
@@ -455,7 +666,7 @@ mod tests {
         let pages = t.heap_pages().to_vec();
         // Reopen keeping only the first 20 rows (as if rows 20.. were
         // post-checkpoint and will be replayed from the WAL suffix).
-        let r = Table::from_pages("t", cols, pager, 5, pages, 20).unwrap();
+        let r = Table::from_pages("t", cols, pager, 5, pages, 20, &[], &[]).unwrap();
         assert_eq!(r.len(), 20);
         for i in 0..20usize {
             assert_eq!(r.signature(i), t.signature(i), "signature {i} survives");
@@ -463,5 +674,101 @@ mod tests {
             assert!(matches!(row[0], SqlValue::Integer(n) if n == i as i64));
         }
         assert!(r.row(20).unwrap().is_none());
+    }
+
+    fn doc_row(i: i64, xml: &str) -> Vec<SqlValue> {
+        let doc = xqdb_xmlparse::parse_document(xml).unwrap();
+        vec![SqlValue::Integer(i), SqlValue::Xml(doc.root())]
+    }
+
+    #[test]
+    fn delete_hides_row_and_decrements_synopsis() {
+        let mut t = orders();
+        t.insert(doc_row(0, "<order><gone/></order>")).unwrap();
+        t.insert(doc_row(1, "<order><kept/></order>")).unwrap();
+        let before = t.synopsis().len();
+        assert!(t.delete_row(0).unwrap());
+        assert!(!t.delete_row(0).unwrap(), "second delete is an idempotent no-op");
+        assert!(t.row(0).unwrap().is_none());
+        assert!(t.signature(0).is_none());
+        assert_eq!(t.len(), 2, "rowid domain keeps the retired id");
+        assert_eq!(t.live_len(), 1);
+        let seen: Vec<RowId> = t.scan().map(|r| r.unwrap().0).collect();
+        assert_eq!(seen, vec![1]);
+        // /order/gone left the synopsis; /order and /order/kept remain.
+        assert!(t.synopsis().len() < before);
+        // Rebuild oracle: re-inserting the surviving row into a fresh table
+        // yields the same synopsis entries.
+        let mut oracle = orders();
+        oracle.insert(doc_row(1, "<order><kept/></order>")).unwrap();
+        assert_eq!(t.synopsis().entries(), oracle.synopsis().entries());
+    }
+
+    #[test]
+    fn replace_swaps_content_under_same_rowid() {
+        let mut t = orders();
+        t.insert(doc_row(0, "<order><old/></order>")).unwrap();
+        t.insert(doc_row(1, "<order/>")).unwrap();
+        t.replace_row(0, t.conform_row(doc_row(7, "<order><new/></order>")).unwrap())
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.live_len(), 2);
+        let row = t.row(0).unwrap().unwrap();
+        assert!(matches!(row[0], SqlValue::Integer(7)));
+        // Synopsis matches a from-scratch rebuild of the current contents.
+        let mut oracle = orders();
+        oracle.insert(doc_row(7, "<order><new/></order>")).unwrap();
+        oracle.insert(doc_row(1, "<order/>")).unwrap();
+        assert_eq!(t.synopsis().entries(), oracle.synopsis().entries());
+        // Replacing a deleted row is refused.
+        t.delete_row(1).unwrap();
+        assert!(t.replace_row(1, doc_row(9, "<x/>")).is_err());
+    }
+
+    #[test]
+    fn from_pages_honors_deleted_and_stale_lists() {
+        let pager = Arc::new(Pager::new_mem(8));
+        let cols =
+            vec![Column::new("id", SqlType::Integer), Column::new("doc", SqlType::Xml)];
+        let mut t = Table::with_pager("t", cols.clone(), Arc::clone(&pager), 5);
+        for i in 0..10i64 {
+            t.insert(doc_row(i, &format!("<d><k{i}/></d>"))).unwrap();
+        }
+        // Freeze everything, then delete row 3 and replace row 5: both hit
+        // frozen records, so the delete is logical and the replace marks
+        // its old copy stale.
+        pager.flush_all().unwrap();
+        pager.freeze().unwrap();
+        t.delete_row(3).unwrap();
+        t.replace_row(5, t.conform_row(doc_row(55, "<d><new5/></d>")).unwrap()).unwrap();
+        pager.flush_all().unwrap();
+        pager.freeze().unwrap();
+        let deleted: Vec<u64> = t.deleted_rows().collect();
+        let stale: Vec<u64> = t.stale_rows().collect();
+        assert_eq!(deleted, vec![3]);
+        assert_eq!(stale, vec![5]);
+        let pages = t.heap_pages().to_vec();
+        let r = Table::from_pages(
+            "t",
+            cols.clone(),
+            Arc::clone(&pager),
+            5,
+            pages.clone(),
+            10,
+            &deleted,
+            &stale,
+        )
+        .unwrap();
+        assert!(r.row(3).unwrap().is_none(), "deleted row stays deleted");
+        let row5 = r.row(5).unwrap().unwrap();
+        assert!(matches!(row5[0], SqlValue::Integer(55)), "newest copy wins");
+        assert_eq!(r.live_len(), 9);
+        for i in [0usize, 4, 9] {
+            assert!(r.row(i).unwrap().is_some());
+        }
+        // Without the stale annotation the duplicate rowid is corruption.
+        let err =
+            Table::from_pages("t", cols, pager, 5, pages, 10, &deleted, &[]).unwrap_err();
+        assert!(err.to_string().contains("not marked stale"), "{err}");
     }
 }

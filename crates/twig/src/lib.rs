@@ -91,6 +91,41 @@ impl LabelStore {
         self.streams.clear();
     }
 
+    /// Remove every label of `row` from every stream (row DELETE, or the
+    /// un-label half of a document REPLACE). Streams are sorted by row,
+    /// so each removal is one binary-searched drain; streams left empty
+    /// are dropped so the store compares equal to one rebuilt from
+    /// scratch over the surviving rows. No-op once incomplete. Does not
+    /// touch `labeled_rows`: [`LabelStore::is_complete_for`] vouches for
+    /// the rowid *domain*, and a deleted rowid stays in the domain.
+    pub fn prune_row(&mut self, row: u64) {
+        if self.incomplete {
+            return;
+        }
+        self.streams.retain(|_, v| {
+            let lo = v.partition_point(|e| e.row < row);
+            let hi = v.partition_point(|e| e.row <= row);
+            v.drain(lo..hi);
+            !v.is_empty()
+        });
+    }
+
+    /// Insert one label at its sorted `(row, cell, pre)` position — the
+    /// re-label half of a document REPLACE, where the new labels of an
+    /// old rowid land between neighbouring rows' entries instead of at
+    /// the end. Equal keys keep insertion order, so a row walked in
+    /// document order rebuilds exactly the stream an ingest-time
+    /// labeling would have produced. No-op once incomplete.
+    pub fn insert_label_sorted(&mut self, path: u64, entry: LabelEntry) {
+        if self.incomplete {
+            return;
+        }
+        let v = self.streams.entry(path).or_default();
+        let key = (entry.row, entry.cell, entry.pre);
+        let pos = v.partition_point(|e| (e.row, e.cell, e.pre) <= key);
+        v.insert(pos, entry);
+    }
+
     /// True if every one of the table's `rows` rows was labeled.
     pub fn is_complete_for(&self, rows: u64) -> bool {
         !self.incomplete && self.labeled_rows == rows
@@ -721,6 +756,44 @@ mod tests {
         assert!(!store.is_complete_for(1));
         store.record_label(1, entry(1, 0, 1, 1, 1));
         assert_eq!(store.stream(1), &[]);
+    }
+
+    #[test]
+    fn prune_row_drains_and_drops_empty_streams() {
+        let mut s = LabelStore::default();
+        for row in 0..3u64 {
+            s.record_label(1, entry(row, 0, 1, 4, 1));
+            s.record_label(2, entry(row, 0, 2, 3, 2));
+            s.finish_row();
+        }
+        s.record_label(9, entry(1, 0, 4, 4, 2)); // path only row 1 has
+        s.prune_row(1);
+        assert_eq!(s.stream(1).iter().map(|e| e.row).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(s.stream(9), &[], "stream emptied by the prune is dropped");
+        assert_eq!(s.streams().count(), 2);
+        // Pruning a row with no labels is a no-op.
+        s.prune_row(77);
+        assert_eq!(s.stream(1).len(), 2);
+    }
+
+    #[test]
+    fn sorted_insert_matches_rebuild_order() {
+        // Rows 0 and 2 ingested, then row 1 re-labeled (replace): the
+        // stream must read exactly as if rows 0,1,2 were ingested in order.
+        let mut replaced = LabelStore::default();
+        replaced.record_label(1, entry(0, 0, 1, 2, 1));
+        replaced.finish_row();
+        replaced.record_label(1, entry(2, 0, 1, 2, 1));
+        replaced.finish_row();
+        replaced.insert_label_sorted(1, entry(1, 0, 1, 3, 1));
+        replaced.insert_label_sorted(1, entry(1, 0, 2, 3, 2));
+        let mut rebuilt = LabelStore::default();
+        for (row, pre, post, level) in
+            [(0, 1, 2, 1), (1, 1, 3, 1), (1, 2, 3, 2), (2, 1, 2, 1)]
+        {
+            rebuilt.record_label(1, entry(row, 0, pre, post, level));
+        }
+        assert_eq!(replaced.stream(1), rebuilt.stream(1));
     }
 
     #[test]

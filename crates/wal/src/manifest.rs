@@ -46,6 +46,15 @@ pub struct ManifestTable {
     pub row_count: u64,
     /// The path-synopsis dictionary: `(rendered path, occurrences)`.
     pub synopsis: Vec<(String, u64)>,
+    /// Row ids deleted *logically* (their records sit on frozen pages that
+    /// cannot be tombstoned in place). Recovery must skip these rows when
+    /// re-adopting pages. Ascending.
+    pub deleted: Vec<u64>,
+    /// Row ids whose frozen record was superseded by a REPLACE: a newer
+    /// copy with the same rowid exists on a higher page. Recovery keeps the
+    /// highest-page copy for exactly these rowids; a duplicate rowid *not*
+    /// listed here is corruption. Ascending.
+    pub stale: Vec<u64>,
 }
 
 /// Checkpoint metadata for a paged data directory.
@@ -96,6 +105,14 @@ impl Manifest {
                 put_str(&mut out, path);
                 put_u64(&mut out, *count);
             }
+            put_u32(&mut out, t.deleted.len() as u32);
+            for &row in &t.deleted {
+                put_u64(&mut out, row);
+            }
+            put_u32(&mut out, t.stale.len() as u32);
+            for &row in &t.stale {
+                put_u64(&mut out, row);
+            }
         }
         put_u32(&mut out, self.indexes.len() as u32);
         for idx in &self.indexes {
@@ -130,7 +147,25 @@ impl Manifest {
                 let c = r.u64()?;
                 synopsis.push((p, c));
             }
-            tables.push(ManifestTable { name, table_id, columns, row_count, synopsis });
+            let ndel = r.u32()? as usize;
+            let mut deleted = Vec::with_capacity(ndel.min(65536));
+            for _ in 0..ndel {
+                deleted.push(r.u64()?);
+            }
+            let nstale = r.u32()? as usize;
+            let mut stale = Vec::with_capacity(nstale.min(65536));
+            for _ in 0..nstale {
+                stale.push(r.u64()?);
+            }
+            tables.push(ManifestTable {
+                name,
+                table_id,
+                columns,
+                row_count,
+                synopsis,
+                deleted,
+                stale,
+            });
         }
         let nidx = r.u32()? as usize;
         let mut indexes = Vec::with_capacity(nidx.min(1024));
@@ -279,6 +314,8 @@ mod tests {
                 columns: vec![("ORDID".into(), "INTEGER".into()), ("ORDDOC".into(), "XML".into())],
                 row_count: 1000,
                 synopsis: vec![("/order".into(), 1000), ("/order/@id".into(), 998)],
+                deleted: vec![7, 12, 999],
+                stale: vec![3],
             }],
             indexes: vec![WalRecord::CreateIndex {
                 name: "LI_PRICE".into(),

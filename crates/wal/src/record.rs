@@ -128,12 +128,34 @@ pub enum WalRecord {
         /// Highest WAL sequence captured by the checkpoint.
         covers: u64,
     },
+    /// `DELETE FROM table WHERE ...` resolved to the matching row ids.
+    /// One record per statement: the whole statement is atomic in the log.
+    /// Row ids are stable insertion ordinals, never reused, so replay is
+    /// deterministic and idempotent.
+    Delete {
+        /// Table name.
+        table: String,
+        /// The deleted row ids, in ascending order.
+        rowids: Vec<u64>,
+    },
+    /// Full-row replacement (`UPDATE table SET ... WHERE ...` resolved to
+    /// one row): the row keeps its id, every column takes the new value.
+    Replace {
+        /// Table name.
+        table: String,
+        /// The replaced row id.
+        rowid: u64,
+        /// The new row, one value per column.
+        values: Vec<WalValue>,
+    },
 }
 
 const TAG_CREATE_TABLE: u8 = 1;
 const TAG_CREATE_INDEX: u8 = 2;
 const TAG_INSERT: u8 = 3;
 const TAG_CHECKPOINT: u8 = 4;
+const TAG_DELETE: u8 = 5;
+const TAG_REPLACE: u8 = 6;
 
 const VTAG_NULL: u8 = 0;
 const VTAG_INTEGER: u8 = 1;
@@ -168,40 +190,25 @@ impl WalRecord {
             WalRecord::Insert { table, values } => {
                 out.push(TAG_INSERT);
                 put_str(&mut out, table);
-                put_u32(&mut out, values.len() as u32);
-                for v in values {
-                    match v {
-                        WalValue::Null => out.push(VTAG_NULL),
-                        WalValue::Integer(i) => {
-                            out.push(VTAG_INTEGER);
-                            out.extend_from_slice(&i.to_le_bytes());
-                        }
-                        WalValue::Double(d) => {
-                            out.push(VTAG_DOUBLE);
-                            out.extend_from_slice(&d.to_bits().to_le_bytes());
-                        }
-                        WalValue::Varchar(s) => {
-                            out.push(VTAG_VARCHAR);
-                            put_str(&mut out, s);
-                        }
-                        WalValue::Date(s) => {
-                            out.push(VTAG_DATE);
-                            put_str(&mut out, s);
-                        }
-                        WalValue::Timestamp(s) => {
-                            out.push(VTAG_TIMESTAMP);
-                            put_str(&mut out, s);
-                        }
-                        WalValue::Xml(s) => {
-                            out.push(VTAG_XML);
-                            put_str(&mut out, s);
-                        }
-                    }
-                }
+                put_values(&mut out, values);
             }
             WalRecord::Checkpoint { covers } => {
                 out.push(TAG_CHECKPOINT);
                 out.extend_from_slice(&covers.to_le_bytes());
+            }
+            WalRecord::Delete { table, rowids } => {
+                out.push(TAG_DELETE);
+                put_str(&mut out, table);
+                put_u32(&mut out, rowids.len() as u32);
+                for &row in rowids {
+                    out.extend_from_slice(&row.to_le_bytes());
+                }
+            }
+            WalRecord::Replace { table, rowid, values } => {
+                out.push(TAG_REPLACE);
+                put_str(&mut out, table);
+                out.extend_from_slice(&rowid.to_le_bytes());
+                put_values(&mut out, values);
             }
         }
         out
@@ -234,30 +241,26 @@ impl WalRecord {
             },
             TAG_INSERT => {
                 let table = r.str()?;
-                let n = r.u32()? as usize;
-                let mut values = Vec::with_capacity(n.min(1024));
-                for _ in 0..n {
-                    values.push(match r.u8()? {
-                        VTAG_NULL => WalValue::Null,
-                        VTAG_INTEGER => WalValue::Integer(i64::from_le_bytes(r.bytes8()?)),
-                        VTAG_DOUBLE => {
-                            WalValue::Double(f64::from_bits(u64::from_le_bytes(r.bytes8()?)))
-                        }
-                        VTAG_VARCHAR => WalValue::Varchar(r.str()?),
-                        VTAG_DATE => WalValue::Date(r.str()?),
-                        VTAG_TIMESTAMP => WalValue::Timestamp(r.str()?),
-                        VTAG_XML => WalValue::Xml(r.str()?),
-                        t => {
-                            return Err(XdmError::wal_corrupt(format!(
-                                "unknown WAL value tag {t}"
-                            )))
-                        }
-                    });
-                }
+                let values = read_values(&mut r)?;
                 WalRecord::Insert { table, values }
             }
             TAG_CHECKPOINT => {
                 WalRecord::Checkpoint { covers: u64::from_le_bytes(r.bytes8()?) }
+            }
+            TAG_DELETE => {
+                let table = r.str()?;
+                let n = r.u32()? as usize;
+                let mut rowids = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    rowids.push(u64::from_le_bytes(r.bytes8()?));
+                }
+                WalRecord::Delete { table, rowids }
+            }
+            TAG_REPLACE => {
+                let table = r.str()?;
+                let rowid = u64::from_le_bytes(r.bytes8()?);
+                let values = read_values(&mut r)?;
+                WalRecord::Replace { table, rowid, values }
             }
             t => return Err(XdmError::wal_corrupt(format!("unknown WAL record tag {t}"))),
         };
@@ -288,6 +291,59 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode a value list as `u32 count` + tagged values (shared by Insert
+/// and Replace so both row-image encodings are byte-compatible).
+fn put_values(out: &mut Vec<u8>, values: &[WalValue]) {
+    put_u32(out, values.len() as u32);
+    for v in values {
+        match v {
+            WalValue::Null => out.push(VTAG_NULL),
+            WalValue::Integer(i) => {
+                out.push(VTAG_INTEGER);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            WalValue::Double(d) => {
+                out.push(VTAG_DOUBLE);
+                out.extend_from_slice(&d.to_bits().to_le_bytes());
+            }
+            WalValue::Varchar(s) => {
+                out.push(VTAG_VARCHAR);
+                put_str(out, s);
+            }
+            WalValue::Date(s) => {
+                out.push(VTAG_DATE);
+                put_str(out, s);
+            }
+            WalValue::Timestamp(s) => {
+                out.push(VTAG_TIMESTAMP);
+                put_str(out, s);
+            }
+            WalValue::Xml(s) => {
+                out.push(VTAG_XML);
+                put_str(out, s);
+            }
+        }
+    }
+}
+
+fn read_values(r: &mut Reader<'_>) -> Result<Vec<WalValue>, XdmError> {
+    let n = r.u32()? as usize;
+    let mut values = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        values.push(match r.u8()? {
+            VTAG_NULL => WalValue::Null,
+            VTAG_INTEGER => WalValue::Integer(i64::from_le_bytes(r.bytes8()?)),
+            VTAG_DOUBLE => WalValue::Double(f64::from_bits(u64::from_le_bytes(r.bytes8()?))),
+            VTAG_VARCHAR => WalValue::Varchar(r.str()?),
+            VTAG_DATE => WalValue::Date(r.str()?),
+            VTAG_TIMESTAMP => WalValue::Timestamp(r.str()?),
+            VTAG_XML => WalValue::Xml(r.str()?),
+            t => return Err(XdmError::wal_corrupt(format!("unknown WAL value tag {t}"))),
+        });
+    }
+    Ok(values)
 }
 
 struct Reader<'a> {
@@ -413,6 +469,16 @@ mod tests {
                 ],
             },
             WalRecord::Checkpoint { covers: 12345 },
+            WalRecord::Delete { table: "ORDERS".into(), rowids: vec![0, 3, 17, u64::MAX] },
+            WalRecord::Replace {
+                table: "ORDERS".into(),
+                rowid: 42,
+                values: vec![
+                    WalValue::Integer(42),
+                    WalValue::Xml("<order><lineitem price=\"1.25\"/></order>".into()),
+                    WalValue::Null,
+                ],
+            },
         ]
     }
 

@@ -168,6 +168,203 @@ impl OrderGenerator {
     }
 }
 
+/// One step of the TPoX-style mixed-DML scenario — the order lifecycle
+/// *insert → amend → query → delete* — rendered as executable SQL by
+/// [`DmlOp::to_sql`]. The scenario models a brokerage-style update
+/// workload: new orders arrive, a skewed subset of open orders is amended
+/// (document replaced wholesale), reports run concurrently, and fulfilled
+/// orders are deleted.
+#[derive(Debug, Clone)]
+pub enum DmlOp {
+    /// A new order enters the system.
+    Insert {
+        /// Row key for the new order.
+        ordid: i64,
+        /// Its generated document.
+        xml: String,
+    },
+    /// An open order is amended: its document is replaced wholesale
+    /// (`UPDATE … SET orddoc = …`), which exercises every derived
+    /// structure's remove-then-reinsert path.
+    Amend {
+        /// Row key of the amended order.
+        ordid: i64,
+        /// The replacement document (carries an `<amended>` marker, a
+        /// path no freshly-inserted order has).
+        xml: String,
+    },
+    /// A point-in-time report over the collection (indexable price
+    /// predicate).
+    Query {
+        /// Price threshold of the report's predicate.
+        threshold: f64,
+    },
+    /// A fulfilled (or cancelled) order leaves the system.
+    Delete {
+        /// Row key of the departing order.
+        ordid: i64,
+    },
+}
+
+impl DmlOp {
+    /// Render the operation as the SQL statement a client would send.
+    /// Generated XML uses double quotes only, so embedding it in a
+    /// single-quoted SQL literal needs no escaping.
+    pub fn to_sql(&self) -> String {
+        match self {
+            DmlOp::Insert { ordid, xml } => {
+                format!("INSERT INTO orders VALUES ({ordid}, '{xml}')")
+            }
+            DmlOp::Amend { ordid, xml } => {
+                format!("UPDATE orders SET orddoc = '{xml}' WHERE ordid = {ordid}")
+            }
+            DmlOp::Query { threshold } => format!(
+                "SELECT ordid FROM orders WHERE XMLEXISTS('$o//lineitem[@price > {threshold}]' \
+                 passing orddoc as \"o\")"
+            ),
+            DmlOp::Delete { ordid } => format!("DELETE FROM orders WHERE ordid = {ordid}"),
+        }
+    }
+
+    /// Short label for per-kind reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DmlOp::Insert { .. } => "insert",
+            DmlOp::Amend { .. } => "amend",
+            DmlOp::Query { .. } => "query",
+            DmlOp::Delete { .. } => "delete",
+        }
+    }
+}
+
+/// Parameters for [`MixedDmlScenario`].
+#[derive(Debug, Clone)]
+pub struct MixedDmlParams {
+    /// RNG seed — op sequences are deterministic per seed.
+    pub seed: u64,
+    /// Relative weight of inserts in the mix.
+    pub insert_weight: u32,
+    /// Relative weight of amendments.
+    pub amend_weight: u32,
+    /// Relative weight of queries.
+    pub query_weight: u32,
+    /// Relative weight of deletes.
+    pub delete_weight: u32,
+    /// Probability an amend/delete targets the *hot set* (the oldest
+    /// `hot_keys` live orders) instead of a uniformly random live order —
+    /// the TPoX-style access skew.
+    pub hot_fraction: f64,
+    /// Size of the hot set.
+    pub hot_keys: usize,
+    /// Selectivity of the report query's price predicate.
+    pub query_selectivity: f64,
+    /// Document shape for inserted orders.
+    pub order: OrderParams,
+}
+
+impl Default for MixedDmlParams {
+    fn default() -> Self {
+        MixedDmlParams {
+            seed: 42,
+            insert_weight: 40,
+            amend_weight: 25,
+            query_weight: 20,
+            delete_weight: 15,
+            hot_fraction: 0.8,
+            hot_keys: 16,
+            query_selectivity: 0.01,
+            order: OrderParams::default(),
+        }
+    }
+}
+
+/// Deterministic generator for the mixed-DML order-lifecycle workload.
+/// Tracks the live key set, so every amend/delete targets a row that
+/// exists; with an empty collection the next op is always an insert.
+#[derive(Debug)]
+pub struct MixedDmlScenario {
+    params: MixedDmlParams,
+    rng: StdRng,
+    generator: OrderGenerator,
+    live: Vec<i64>,
+    next_id: i64,
+    amend_seq: u64,
+}
+
+impl MixedDmlScenario {
+    /// Create a scenario. The op-mix RNG and the document generator are
+    /// seeded independently so changing the mix never changes document
+    /// content for a given insert ordinal.
+    pub fn new(params: MixedDmlParams) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let generator = OrderGenerator::new(params.order.clone());
+        MixedDmlScenario { params, rng, generator, live: Vec::new(), next_id: 0, amend_seq: 0 }
+    }
+
+    /// Keys currently live (inserted and not yet deleted), oldest first.
+    pub fn live_ids(&self) -> &[i64] {
+        &self.live
+    }
+
+    /// Generate the next operation and advance the lifecycle state.
+    pub fn next_op(&mut self) -> DmlOp {
+        let p = self.params.clone();
+        let total = p.insert_weight + p.amend_weight + p.query_weight + p.delete_weight;
+        let draw = if self.live.is_empty() {
+            0 // nothing to amend, report on, or delete yet
+        } else {
+            self.rng.random_range(0..total.max(1))
+        };
+        if draw < p.insert_weight {
+            let ordid = self.next_id;
+            self.next_id += 1;
+            self.live.push(ordid);
+            DmlOp::Insert { ordid, xml: self.generator.next_order() }
+        } else if draw < p.insert_weight + p.amend_weight {
+            let ordid = self.pick_target();
+            let xml = self.amend_xml(ordid);
+            DmlOp::Amend { ordid, xml }
+        } else if draw < p.insert_weight + p.amend_weight + p.query_weight {
+            DmlOp::Query { threshold: p.order.price_threshold(p.query_selectivity) }
+        } else {
+            let ordid = self.pick_target();
+            let pos = self.live.iter().position(|&id| id == ordid).expect("target is live");
+            self.live.remove(pos);
+            DmlOp::Delete { ordid }
+        }
+    }
+
+    /// Pick an amend/delete target: the hot set (oldest live keys) with
+    /// probability `hot_fraction`, otherwise uniform over the live set.
+    fn pick_target(&mut self) -> i64 {
+        let hot = self.live.len().min(self.params.hot_keys.max(1));
+        if self.rng.random_bool(self.params.hot_fraction.clamp(0.0, 1.0)) {
+            self.live[self.rng.random_range(0..hot)]
+        } else {
+            self.live[self.rng.random_range(0..self.live.len())]
+        }
+    }
+
+    /// Replacement document for an amendment: same vocabulary as a fresh
+    /// order plus an `<amended>` marker — a path only amended documents
+    /// carry, so the synopsis gains (and on delete loses) entries the
+    /// initial load never had.
+    fn amend_xml(&mut self, ordid: i64) -> String {
+        self.amend_seq += 1;
+        let p = &self.params.order;
+        let custid = self.rng.random_range(0..p.customers.max(1));
+        let price: f64 = self.rng.random_range(p.price_lo..p.price_hi.max(p.price_lo + 1.0));
+        let qty = self.rng.random_range(1..=10u32);
+        let product = self.rng.random_range(0..p.products.max(1));
+        format!(
+            "<order id=\"{ordid}\"><custid>{custid}</custid><amended seq=\"{}\"/>\
+             <lineitem price=\"{price:.2}\" quantity=\"{qty}\">\
+             <product><id>p{product}</id></product></lineitem></order>",
+            self.amend_seq
+        )
+    }
+}
+
 /// Generate a customer document.
 pub fn customer_xml(id: u32, namespace: Option<&str>) -> String {
     let nation = id % 25;
@@ -321,6 +518,48 @@ mod tests {
         .unwrap();
         let frac = out.sequence.len() as f64 / 1000.0;
         assert!((0.05..0.15).contains(&frac), "selectivity {frac} should be near 0.1");
+    }
+
+    #[test]
+    fn dml_scenario_is_deterministic() {
+        let mut a = MixedDmlScenario::new(MixedDmlParams::default());
+        let mut b = MixedDmlScenario::new(MixedDmlParams::default());
+        for _ in 0..200 {
+            assert_eq!(a.next_op().to_sql(), b.next_op().to_sql());
+        }
+        assert_eq!(a.live_ids(), b.live_ids());
+    }
+
+    #[test]
+    fn dml_scenario_drives_a_session_and_verifies() {
+        let mut s = xqdb_core::SqlSession::from_catalog(Catalog::new());
+        s.execute("CREATE TABLE orders (ordid INTEGER, orddoc XML)").unwrap();
+        s.execute(
+            "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+        )
+        .unwrap();
+        let mut scenario = MixedDmlScenario::new(MixedDmlParams::default());
+        let mut kinds = std::collections::BTreeMap::new();
+        // scripts/lint.sh raises the op count (XQDB_TEST_DML_OPS) for its
+        // buffer-starved churn pass; 300 is enough for every lifecycle
+        // stage to occur under the default mix.
+        let ops = std::env::var("XQDB_TEST_DML_OPS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(300);
+        for _ in 0..ops {
+            let op = scenario.next_op();
+            *kinds.entry(op.kind()).or_insert(0usize) += 1;
+            s.execute(&op.to_sql()).expect("scenario statement runs");
+        }
+        // The default mix produces every lifecycle stage in 300 ops.
+        for kind in ["insert", "amend", "query", "delete"] {
+            assert!(kinds.contains_key(kind), "mix never produced a {kind}: {kinds:?}");
+        }
+        let t = s.catalog.db.table("orders").unwrap();
+        assert_eq!(t.live_len(), scenario.live_ids().len(), "live rows track the scenario");
+        let report = xqdb_core::verify_derived_state(&s.catalog).unwrap();
+        assert!(report.is_clean(), "derived state after the mix:\n{}", report.render());
     }
 
     #[test]

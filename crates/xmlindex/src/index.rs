@@ -257,6 +257,27 @@ impl XmlIndex {
         self.skipped_nodes += extracted.skipped;
     }
 
+    /// Remove every entry a stored document contributed (row DELETE /
+    /// document REPLACE): the document's keys are re-extracted exactly the
+    /// way [`XmlIndex::insert_document`] built them, then deleted from the
+    /// tree. `skipped_nodes` gives the document's skips back, so the
+    /// counter always equals what a rebuild over the remaining documents
+    /// would report.
+    pub fn remove_document(&mut self, row: u64, root: &NodeHandle) {
+        let extracted = self.extract_entries(row, root);
+        for k in &extracted.keys {
+            self.tree.remove(k);
+        }
+        self.skipped_nodes = self.skipped_nodes.saturating_sub(extracted.skipped);
+    }
+
+    /// Every encoded key in tree order — the rebuild-oracle comparison
+    /// surface (`verify_derived_state` checks an incrementally-maintained
+    /// tree holds exactly the keys a from-scratch rebuild produces).
+    pub fn all_keys(&self) -> Vec<Vec<u8>> {
+        self.tree.iter().map(|(k, ())| k).collect()
+    }
+
     /// Probe the index with a value range, returning the matching row set.
     /// The probe value is cast to the index type first; an impossible cast
     /// yields the empty set (the value cannot occur in this index).
@@ -606,6 +627,31 @@ mod tests {
         // id, price, qty are numeric; status is skipped.
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.skipped_nodes, 1);
+    }
+
+    #[test]
+    fn remove_document_undoes_insert_exactly() {
+        let mut idx = li_price();
+        let docs = [
+            r#"<order><lineitem price="99.50"/></order>"#,
+            r#"<order><lineitem price="250"/><lineitem price="20 USD"/></order>"#,
+            r#"<order><lineitem price="50"/></order>"#,
+        ];
+        index_docs(&mut idx, &docs);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.skipped_nodes, 1);
+        // Snapshot without row 1, then remove row 1 from the full index.
+        let mut oracle = li_price();
+        let d0 = parse_document(docs[0]).unwrap();
+        let d2 = parse_document(docs[2]).unwrap();
+        oracle.insert_document(0, &d0.root());
+        oracle.insert_document(2, &d2.root());
+        let d1 = parse_document(docs[1]).unwrap();
+        idx.remove_document(1, &d1.root());
+        assert_eq!(idx.all_keys(), oracle.all_keys());
+        assert_eq!(idx.skipped_nodes, oracle.skipped_nodes);
+        let (rows, _) = idx.probe(&ProbeRange::all());
+        assert_eq!(rows.into_iter().collect::<Vec<_>>(), vec![0, 2]);
     }
 
     #[test]

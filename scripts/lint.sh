@@ -73,11 +73,36 @@ fi
 # Structural label streams are built in exactly one place: `Table::push_row`
 # calling into crates/twig's LabelStore. Any other construction site could
 # drift from the insert path and break the labels-complete invariant the
-# twig join's soundness rests on.
+# twig join's soundness rests on. The rebuild oracle (core/src/verify.rs)
+# is the one exception: it constructs a scratch LabelStore from the live
+# rows to *compare* against the maintained one, and never installs it.
 if grep -rn --include='*.rs' -E '\.(record_label|finish_row)\(' crates tests \
     | grep -v '^crates/twig/' \
-    | grep -v '^crates/storage/'; then
+    | grep -v '^crates/storage/' \
+    | grep -v '^crates/core/src/verify.rs'; then
   echo "error: label-stream construction outside crates/twig and crates/storage (labels are built only on the insert path)" >&2
+  exit 1
+fi
+
+# Tombstone bytes are written in exactly two places: the heap page code in
+# crates/pager (in-place retirement, reclamation compaction) and the table
+# layer in crates/storage that drives it. Any other writer could tombstone
+# a record without the synopsis/signature/label maintenance that keeps the
+# rebuild oracle clean, or leave one on a page about to freeze. Retire rows
+# through Table::delete_row/replace_row; checkpoint-time reclamation goes
+# through Table::reclaim_tombstones (the one call site outside storage is
+# core's checkpoint in durability.rs).
+if grep -rn --include='*.rs' -E 'TAG_TOMBSTONE|HeapFile|\.heap\.' crates tests \
+    | grep -v '^crates/pager/' \
+    | grep -v '^crates/storage/'; then
+  echo "error: tombstone/heap byte manipulation outside crates/pager and crates/storage (retire rows through the Table API)" >&2
+  exit 1
+fi
+if grep -rln --include='*.rs' 'reclaim_tombstones' crates tests \
+    | grep -v '^crates/pager/' \
+    | grep -v '^crates/storage/' \
+    | grep -v '^crates/core/src/durability.rs$'; then
+  echo "error: tombstone reclamation driven outside the checkpoint path" >&2
   exit 1
 fi
 
@@ -118,3 +143,11 @@ XQDB_BUFFER_PAGES=4 cargo test --workspace -q
 # query answers through navigation, so a twig-join bug can never hide
 # behind its own optimization being on (mirrors the pre-filter pass above).
 XQDB_TWIG=off cargo test --workspace -q
+
+# Seventh pass: buffer starvation × update churn. The 4-frame pool from
+# pass five combined with a much longer mixed-DML scenario run (inserts,
+# amends, deletes, hot-key skew — XQDB_TEST_DML_OPS scales the workload
+# crate's scenario test) cycles tombstoned, replaced, and reclaimed pages
+# through continuous eviction, so no DML path may depend on a retired
+# record's page staying resident.
+XQDB_BUFFER_PAGES=4 XQDB_TEST_DML_OPS=2000 cargo test --workspace -q

@@ -58,17 +58,22 @@ fn query_fingerprint(catalog: &Catalog, threads: usize) -> Vec<String> {
 }
 
 /// The serial in-memory oracle: a plain (never-durable) session that
-/// executed exactly the first `k` setup statements.
-fn baseline_fingerprint(k: usize) -> Vec<String> {
+/// executed exactly the first `k` of `stmts`.
+fn baseline_fingerprint_of(stmts: &[String], k: usize) -> Vec<String> {
     let mut s = SqlSession::default();
-    for stmt in common::paper_setup_stmts(true).iter().take(k) {
+    for stmt in stmts.iter().take(k) {
         s.execute(stmt).unwrap();
     }
     query_fingerprint(&s.catalog, 1)
 }
 
-/// Open a durable session on `dir`, arm the fault, and push the full
-/// setup through it. Returns how many statements succeeded before the
+/// [`baseline_fingerprint_of`] over the insert-only paper setup.
+fn baseline_fingerprint(k: usize) -> Vec<String> {
+    baseline_fingerprint_of(&common::paper_setup_stmts(true), k)
+}
+
+/// Open a durable session on `dir`, arm the fault, and push `stmts`
+/// through it. Returns how many statements succeeded before the
 /// injected crash (every later statement must be refused with a typed
 /// `StorageFault`, never applied half-way).
 fn run_until_crash(
@@ -76,6 +81,7 @@ fn run_until_crash(
     fsync: FsyncMode,
     fault: DurabilityFault,
     crash_at: usize,
+    stmts: &[String],
 ) -> usize {
     let config = WalConfig { fsync, ..Default::default() };
     let (mut session, report) = SqlSession::open_durable(dir, config).unwrap();
@@ -90,8 +96,8 @@ fn run_until_crash(
         .unwrap();
     let mut applied = 0;
     let mut first_failure = None;
-    for stmt in common::paper_setup_stmts(true) {
-        match session.execute(&stmt) {
+    for stmt in stmts {
+        match session.execute(stmt) {
             Ok(_) => applied += 1,
             // The crashing statement fails with a typed StorageFault;
             // statements after it either hit the crashed writer (also
@@ -135,7 +141,7 @@ fn recovery_matches_in_memory_baseline_across_crash_matrix() {
         for fsync in [FsyncMode::Always, FsyncMode::Batch, FsyncMode::Off] {
             for crash_at in [2, 5, 10] {
                 let dir = temp_dir("matrix");
-                run_until_crash(&dir, fsync, fault, crash_at);
+                run_until_crash(&dir, fsync, fault, crash_at, &common::paper_setup_stmts(true));
                 let k = durable_prefix(fault, fsync, crash_at);
                 let want = baseline_fingerprint(k);
                 for threads in [1, 4] {
@@ -162,6 +168,123 @@ fn recovery_matches_in_memory_baseline_across_crash_matrix() {
                          ({fault:?}, {fsync:?}, crash at {crash_at}, {threads} threads)"
                     );
                 }
+            }
+        }
+    }
+}
+
+/// The DML crash matrix: the same oracle as the insert-only matrix, over
+/// a history ending in deletes and replaces (the `paper_dml_stmts` tail),
+/// with crash points placed inside that tail. Two properties per cell:
+/// the recovered catalog answers every paper query byte-identically to
+/// the in-memory baseline over the durable prefix, AND every derived
+/// structure passes the rebuild oracle — a crash must never leave an
+/// index entry, synopsis count, signature or label stream behind for a
+/// row whose delete/replace was durable (or vice versa). Recovery runs
+/// twice per cell ({1, 4} threads), so it is also checked idempotent.
+#[test]
+fn dml_recovery_matches_baseline_and_rebuild_oracle_across_crash_matrix() {
+    let stmts = common::paper_dml_stmts(true);
+    // Statements 13..17 are the DML tail: crash on the first delete, on
+    // the insert-after-delete, and on the final replace.
+    for fault in [DurabilityFault::TornTail, DurabilityFault::CrashBeforeFlush] {
+        for fsync in [FsyncMode::Always, FsyncMode::Batch, FsyncMode::Off] {
+            for crash_at in [13, 15, 17] {
+                let dir = temp_dir("dml_matrix");
+                run_until_crash(&dir, fsync, fault, crash_at, &stmts);
+                let k = durable_prefix(fault, fsync, crash_at);
+                let want = baseline_fingerprint_of(&stmts, k);
+                for threads in [1, 4] {
+                    let (catalog, report) = recover_catalog(
+                        &dir,
+                        RuntimeConfig::with_threads(threads),
+                        &Trace::disabled(),
+                        &Obs::disabled(),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        report.wal_records_replayed, k as u64,
+                        "durable prefix diverged ({fault:?}, {fsync:?}, crash at {crash_at})"
+                    );
+                    assert_eq!(
+                        query_fingerprint(&catalog, threads),
+                        want,
+                        "recovered results diverged from the in-memory baseline \
+                         ({fault:?}, {fsync:?}, crash at {crash_at}, {threads} threads)"
+                    );
+                    let oracle = xqdb_core::verify_derived_state(&catalog).unwrap();
+                    assert!(
+                        oracle.is_clean(),
+                        "derived state diverged from rebuild ({fault:?}, {fsync:?}, \
+                         crash at {crash_at}, {threads} threads):\n{}",
+                        oracle.render()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Crash *mid-checkpoint*: the injector is armed right before the
+/// checkpoint call, so the fault fires on the checkpoint-marker append —
+/// after tombstone reclamation, the page flush and the manifest write,
+/// before the marker and the log prune. The freshly-written manifest
+/// already covers the whole history, so recovery (in any fsync mode)
+/// must adopt it, replay an empty suffix, answer byte-identically to the
+/// full-history baseline, and pass the rebuild oracle. The deletes in
+/// the history mean reclamation ran: a half-checkpointed tombstone state
+/// that leaked would surface here.
+#[test]
+fn crash_mid_checkpoint_recovers_idempotently_with_clean_oracle() {
+    let stmts = common::paper_dml_stmts(true);
+    let want = baseline_fingerprint_of(&stmts, stmts.len());
+    for fault in [DurabilityFault::TornTail, DurabilityFault::CrashBeforeFlush] {
+        for fsync in [FsyncMode::Always, FsyncMode::Batch, FsyncMode::Off] {
+            let dir = temp_dir("mid_checkpoint");
+            {
+                let (mut session, _) =
+                    SqlSession::open_durable(&dir, WalConfig { fsync, ..Default::default() })
+                        .unwrap();
+                for stmt in &stmts {
+                    session.execute(stmt).unwrap();
+                }
+                session
+                    .durability()
+                    .unwrap()
+                    .set_crash_injector(Some(CrashInjector {
+                        injector: Arc::new(FaultInjector::new(FaultMode::Nth(1))),
+                        fault,
+                    }))
+                    .unwrap();
+                let err = session
+                    .checkpoint()
+                    .expect_err("the checkpoint crashes on its marker append");
+                assert_eq!(err.code, ErrorCode::StorageFault, "({fault:?}, {fsync:?})");
+            }
+            for threads in [1, 4] {
+                let (catalog, report) = recover_catalog(
+                    &dir,
+                    RuntimeConfig::with_threads(threads),
+                    &Trace::disabled(),
+                    &Obs::disabled(),
+                )
+                .unwrap();
+                assert_eq!(
+                    report.wal_records_replayed, 0,
+                    "the manifest covers the full history ({fault:?}, {fsync:?})"
+                );
+                assert_eq!(
+                    query_fingerprint(&catalog, threads),
+                    want,
+                    "mid-checkpoint crash changed results ({fault:?}, {fsync:?}, {threads} threads)"
+                );
+                let oracle = xqdb_core::verify_derived_state(&catalog).unwrap();
+                assert!(
+                    oracle.is_clean(),
+                    "derived state diverged after mid-checkpoint crash \
+                     ({fault:?}, {fsync:?}, {threads} threads):\n{}",
+                    oracle.render()
+                );
             }
         }
     }
@@ -238,7 +361,7 @@ fn replay_is_idempotent_against_partially_flushed_pages() {
         session.catalog.db.pager().flush_all().unwrap();
     }
     // Reopening replays the whole WAL into that file...
-    let (session, report) = SqlSession::open_durable(&dir, WalConfig::default()).unwrap();
+    let (mut session, report) = SqlSession::open_durable(&dir, WalConfig::default()).unwrap();
     assert_eq!(report.wal_records_replayed, 12);
     // ...and the first checkpoint freezes whatever the heap now holds:
     session.checkpoint().unwrap();

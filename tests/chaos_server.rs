@@ -423,6 +423,177 @@ fn writes_serialize_against_concurrent_reads() {
     assert_eq!(handle.shutdown().connection_panics, 0);
 }
 
+#[test]
+fn readers_never_observe_half_removed_documents() {
+    // DELETE and REPLACE are atomic to concurrent connections: every
+    // marker document here carries exactly three lineitems, so a reader
+    // admitted mid-delete that counted anything not divisible by three
+    // would have seen a half-removed document, and the row being flipped
+    // by concurrent REPLACEs must always show exactly three (never zero,
+    // six, or a partial mix of old and new).
+    let (handle, _obs) = paper_server(ServerConfig::default(), true, 1);
+    let addr = handle.local_addr().to_string();
+    let doc = |price: u32| {
+        format!(
+            r#"<order><custid>2000</custid><lineitem price="{price}.00"/><lineitem price="{price}.00"/><lineitem price="{price}.00"/></order>"#
+        )
+    };
+    let mut setup = Client::connect(&addr).expect("connect for setup");
+    for i in 0..6u32 {
+        let stmt = format!("INSERT INTO orders VALUES ({}, '{}')", 200 + i, doc(5001 + i));
+        match setup.statement(&stmt).expect("setup insert") {
+            Response::Ok { .. } => {}
+            other => panic!("setup insert failed: {other:?}"),
+        }
+    }
+    match setup
+        .statement(&format!("INSERT INTO orders VALUES (250, '{}')", doc(6001)))
+        .expect("setup insert")
+    {
+        Response::Ok { .. } => {}
+        other => panic!("setup insert failed: {other:?}"),
+    }
+    drop(setup);
+
+    let count_of = |body: &str, what: &str| -> u64 {
+        body.lines()
+            .next()
+            .and_then(|l| l.strip_prefix("row 1: "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("{what} must return one number, got {body:?}"))
+    };
+    let addr_ref = &addr;
+    let doc_ref = &doc;
+    let count_ref = &count_of;
+    // 3 deleters (two disjoint rows each), 1 replacer flipping row 250,
+    // 4 readers probing through XQuery counts and the indexed SQL path.
+    WorkerPool::new(8).run(8, |i| {
+        let mut client = Client::connect(addr_ref).expect("connect");
+        if i < 3 {
+            for k in 0..2 {
+                let stmt = format!("DELETE FROM orders WHERE ordid = {}", 200 + i * 2 + k);
+                match client.statement(&stmt).expect("delete") {
+                    Response::Ok { body } => assert!(
+                        body.contains("1 row(s) deleted"),
+                        "deleter {i}: each target exists exactly once, got {body:?}"
+                    ),
+                    other => panic!("deleter {i}: {other:?}"),
+                }
+            }
+        } else if i == 3 {
+            for flip in 0..4u32 {
+                let price = if flip % 2 == 0 { 6002 } else { 6001 };
+                let stmt = format!(
+                    "UPDATE orders SET orddoc = '{}' WHERE ordid = 250",
+                    doc_ref(price)
+                );
+                match client.statement(&stmt).expect("replace") {
+                    Response::Ok { body } => assert!(
+                        body.contains("1 row(s) updated"),
+                        "replacer: row 250 always exists, got {body:?}"
+                    ),
+                    other => panic!("replacer: {other:?}"),
+                }
+            }
+        } else {
+            for _ in 0..6 {
+                match client
+                    .statement(
+                        "xquery count(db2-fn:xmlcolumn('ORDERS.ORDDOC')\
+                         //lineitem[@price > 5000 and @price < 6000])",
+                    )
+                    .expect("read")
+                {
+                    Response::Ok { body } => {
+                        let n = count_ref(&body, "delete-marker count");
+                        assert!(
+                            n % 3 == 0 && n <= 18,
+                            "reader {i}: a count of {n} exposes a half-removed document"
+                        );
+                    }
+                    Response::Busy { .. } => {}
+                    other => panic!("reader {i}: {other:?}"),
+                }
+                match client
+                    .statement(
+                        "xquery count(db2-fn:xmlcolumn('ORDERS.ORDDOC')\
+                         //lineitem[@price > 6000])",
+                    )
+                    .expect("read")
+                {
+                    Response::Ok { body } => assert_eq!(
+                        count_ref(&body, "replace-marker count"),
+                        3,
+                        "reader {i}: a REPLACE must swap the document wholesale"
+                    ),
+                    Response::Busy { .. } => {}
+                    other => panic!("reader {i}: {other:?}"),
+                }
+                // The indexed probe runs against the same churn: every row
+                // it returns must be a marker row that still fully exists.
+                match client
+                    .statement(
+                        "SELECT ordid FROM orders WHERE XMLExists(\
+                         '$o//lineitem[@price > 5000]' passing orddoc as \"o\")",
+                    )
+                    .expect("read")
+                {
+                    Response::Ok { body } => {
+                        for val in body.lines().filter_map(|l| {
+                            l.strip_prefix("row ").and_then(|r| r.split_once(": ")).map(|(_, v)| v)
+                        }) {
+                            let id: u32 = val.trim().parse().expect("ordid is an integer");
+                            assert!(
+                                (200..206).contains(&id) || id == 250,
+                                "reader {i}: indexed probe surfaced a phantom row {id}"
+                            );
+                        }
+                    }
+                    Response::Busy { .. } => {}
+                    other => panic!("reader {i}: {other:?}"),
+                }
+            }
+        }
+    });
+
+    // Final state: byte-identical to a baseline session replaying the same
+    // net effect (all six marker rows deleted, row 250 on its last flip).
+    let mut baseline_session = common::paper_session(true);
+    for i in 0..6u32 {
+        baseline_session
+            .execute(&format!("INSERT INTO orders VALUES ({}, '{}')", 200 + i, doc(5001 + i)))
+            .expect("baseline insert");
+    }
+    baseline_session
+        .execute(&format!("INSERT INTO orders VALUES (250, '{}')", doc(6001)))
+        .expect("baseline insert");
+    for i in 0..6u32 {
+        baseline_session
+            .execute(&format!("DELETE FROM orders WHERE ordid = {}", 200 + i))
+            .expect("baseline delete");
+    }
+    baseline_session
+        .execute(&format!("UPDATE orders SET orddoc = '{}' WHERE ordid = 250", doc(6001)))
+        .expect("baseline replace");
+    let mut client = Client::connect(&addr).expect("connect");
+    for probe in [
+        "SELECT ordid FROM orders",
+        "xquery db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 5000]",
+    ] {
+        let got = match client.statement(probe).expect("final read") {
+            Response::Ok { body } => body,
+            other => panic!("final read: {other:?}"),
+        };
+        let want = xqdb_server::run_statement(&mut baseline_session, probe, &Limits::unlimited())
+            .expect("baseline read");
+        assert_eq!(got, want, "final state diverged from the serial baseline for {probe:?}");
+    }
+
+    drop(client);
+    await_zero_connections(&handle);
+    assert_eq!(handle.shutdown().connection_panics, 0);
+}
+
 /// End-to-end drain: run the real `xqdb serve` binary on a durable data
 /// directory, load it over the wire, SIGTERM it with a request in flight,
 /// and verify: the in-flight request completes, the exit code is 0, the

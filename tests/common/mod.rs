@@ -54,6 +54,33 @@ pub fn paper_setup_stmts(indexed: bool) -> Vec<String> {
     stmts
 }
 
+/// [`paper_setup_stmts`] plus a DML tail exercising the full update
+/// lifecycle: row deletes, a wholesale document replace on each table, and
+/// an insert landing *after* a delete (its rowid must not collide with a
+/// tombstoned one). Like the setup list, every statement appends exactly
+/// one WAL record — each DELETE matches at least one row (a zero-match
+/// DELETE logs nothing) and each UPDATE matches exactly one row (one
+/// `Replace` record per row) — so the crash matrix's durable-prefix
+/// arithmetic holds over the whole sequence.
+pub fn paper_dml_stmts(indexed: bool) -> Vec<String> {
+    let mut stmts = paper_setup_stmts(indexed);
+    stmts.push("DELETE FROM orders WHERE ordid = 1".into());
+    stmts.push(
+        "UPDATE orders SET orddoc = '<order><custid>1003</custid><lineitem price=\"475.00\"><product><id>p9</id></product></lineitem></order>' WHERE ordid = 3"
+            .into(),
+    );
+    stmts.push(
+        "INSERT INTO orders VALUES (5, '<order><custid>1005</custid><lineitem price=\"180.00\"/></order>')"
+            .into(),
+    );
+    stmts.push("DELETE FROM orders WHERE ordid = 4".into());
+    stmts.push(
+        "UPDATE customer SET cdoc = '<customer><id>1002</id><name>ACME Corp</name><nation>3</nation></customer>' WHERE cid = 1"
+            .into(),
+    );
+    stmts
+}
+
 /// [`paper_setup_stmts`] executed on a fresh session. `indexed` controls
 /// whether the paper's `li_price` index exists — the chaos matrix compares
 /// indexed (and fault-injected) runs against the unindexed serial baseline.

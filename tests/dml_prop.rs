@@ -1,0 +1,216 @@
+//! Seeded property suite for the DML paths: random insert / delete /
+//! replace / query interleavings against a **shadow model**, at 1 and 4
+//! worker threads.
+//!
+//! The shadow model is a sorted map `ordid → document text` updated by
+//! plain Rust code. At every query step the suite rebuilds a fresh
+//! session — same schema, same index, populated by bulk insert from the
+//! shadow — and demands byte-identical answers from the long-lived,
+//! DML-churned session. Identical indexing on both sides is deliberate:
+//! the comparison then isolates exactly what this suite is about — an
+//! incrementally-maintained index/synopsis/label state answering like a
+//! from-scratch build over the surviving rows. (Indexed-vs-unindexed
+//! equivalence, the paper's Definition 1, is `definition1_prop`'s job;
+//! on polluted prices a tolerant double index legitimately diverges from
+//! the erroring scan, which is the paper's Section 2.1 trade-off.)
+//! Every interleaving ends with a [`xqdb_core::verify_derived_state`]
+//! pass: after any random history, the incrementally-maintained index,
+//! synopsis, signatures and label streams must equal a from-scratch
+//! rebuild over the surviving rows.
+//!
+//! Ordids are assigned monotonically and never reused, and REPLACE keeps
+//! the row in place, so the churned table's scan order equals ascending
+//! ordid order — which is exactly how the shadow rebuild inserts. Result
+//! order therefore never needs normalization.
+
+// Test target: unwrap/expect are the assertion idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xqdb_core::{run_xquery_with_options, ExecOptions, SqlSession};
+use xqdb_runtime::RuntimeConfig;
+
+/// Queries compared at every query step: a SQL XMLEXISTS probe, an
+/// XQuery descendant probe, and a between-range — all over the indexed
+/// `//lineitem/@price` pattern, plus one structural query with no
+/// price at all (exercises synopsis/prefilter paths after DML).
+const SQL_PROBE: &str = "SELECT ordid FROM orders \
+     WHERE XMLEXISTS('$o//lineitem[@price > 500]' passing orddoc as \"o\")";
+const XQ_PROBES: &[&str] = &[
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 500]",
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem[@price>250 and @price<750]]",
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[rush]/custid",
+];
+
+/// A small random order document. ~10% polluted prices ("N USD") keep
+/// the index's skipped-entry bookkeeping honest across delete/replace,
+/// and ~20% carry a `<rush/>` child so structure (not just values)
+/// varies between a row's versions.
+fn random_doc(rng: &mut StdRng) -> String {
+    let custid = rng.random_range(0..50u32);
+    let rush = if rng.random_bool(0.2) { "<rush/>" } else { "" };
+    let mut doc = format!("<order><custid>{custid}</custid>{rush}");
+    for _ in 0..rng.random_range(1..=3usize) {
+        let price: f64 = rng.random_range(0.0..1000.0);
+        if rng.random_bool(0.1) {
+            doc.push_str(&format!("<lineitem price=\"{price:.2} USD\"/>"));
+        } else {
+            doc.push_str(&format!("<lineitem price=\"{price:.2}\"/>"));
+        }
+    }
+    doc.push_str("</order>");
+    doc
+}
+
+/// Fresh session — same schema and index as the churned one — holding
+/// exactly the shadow's rows, bulk-inserted in ordid order.
+fn shadow_session(shadow: &BTreeMap<i64, String>, threads: usize) -> SqlSession {
+    let mut s = SqlSession::default();
+    s.catalog.runtime = RuntimeConfig::with_threads(threads);
+    s.execute("CREATE TABLE orders (ordid INTEGER, orddoc XML)").unwrap();
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    for (id, doc) in shadow {
+        s.execute(&format!("INSERT INTO orders VALUES ({id}, '{doc}')")).unwrap();
+    }
+    s
+}
+
+/// Byte-compare every probe between the churned session and the shadow
+/// rebuild. Polluted prices can make a value probe raise FORG0001 — a
+/// legitimate outcome that must then be **identical** on both sides
+/// (same code; an index must never make an erroring query succeed), so
+/// outcomes render as result bytes or the error code.
+fn assert_probes_match(
+    churned: &mut SqlSession,
+    shadow: &BTreeMap<i64, String>,
+    threads: usize,
+    context: &str,
+) {
+    let mut baseline = shadow_session(shadow, threads);
+    let want = match baseline.execute(SQL_PROBE) {
+        Ok(r) => r.render(),
+        Err(e) => format!("error {}", e.code),
+    };
+    let got = match churned.execute(SQL_PROBE) {
+        Ok(r) => r.render(),
+        Err(e) => format!("error {}", e.code),
+    };
+    assert_eq!(got, want, "SQL probe diverged from the shadow model ({context})");
+    let opts = ExecOptions { threads, ..ExecOptions::default() };
+    for q in XQ_PROBES {
+        let render = |catalog: &xqdb_core::Catalog| match run_xquery_with_options(
+            catalog, q, &opts,
+        ) {
+            Ok(out) => xqdb_xmlparse::serialize_sequence(&out.sequence),
+            Err(e) => format!("error {}", e.code),
+        };
+        assert_eq!(
+            render(&churned.catalog),
+            render(&baseline.catalog),
+            "XQuery probe {q} diverged from the shadow model ({context})"
+        );
+    }
+}
+
+/// One random interleaving: ~120 weighted ops, shadow-checked queries
+/// throughout, rebuild oracle at the end. Ops deliberately include
+/// zero-match DELETEs and UPDATEs (a retired or never-issued ordid) —
+/// they must report 0 rows and change nothing.
+fn run_interleaving(seed: u64, threads: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut session = SqlSession::default();
+    session.catalog.runtime = RuntimeConfig::with_threads(threads);
+    session.execute("CREATE TABLE orders (ordid INTEGER, orddoc XML)").unwrap();
+    session
+        .execute(
+            "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+        )
+        .unwrap();
+    let mut shadow: BTreeMap<i64, String> = BTreeMap::new();
+    let mut next_id = 0i64;
+    let context = |step: usize| format!("seed {seed}, {threads} threads, step {step}");
+
+    for step in 0..120 {
+        let draw = rng.random_range(0..100u32);
+        if draw < 40 || shadow.is_empty() {
+            let id = next_id;
+            next_id += 1;
+            let doc = random_doc(&mut rng);
+            let r = session
+                .execute(&format!("INSERT INTO orders VALUES ({id}, '{doc}')"))
+                .unwrap();
+            assert_eq!(r.message.as_deref(), Some("1 row inserted"), "{}", context(step));
+            shadow.insert(id, doc);
+        } else if draw < 65 {
+            // Replace: a live ordid, or (1 in 5) one that no longer or
+            // never existed — the zero-match UPDATE.
+            let id = if rng.random_bool(0.2) {
+                next_id + 1_000
+            } else {
+                *shadow.keys().nth(rng.random_range(0..shadow.len())).unwrap()
+            };
+            let doc = random_doc(&mut rng);
+            let r = session
+                .execute(&format!(
+                    "UPDATE orders SET orddoc = '{doc}' WHERE ordid = {id}"
+                ))
+                .unwrap();
+            if let std::collections::btree_map::Entry::Occupied(mut e) = shadow.entry(id) {
+                assert_eq!(r.message.as_deref(), Some("1 row(s) updated"), "{}", context(step));
+                e.insert(doc);
+            } else {
+                assert_eq!(r.message.as_deref(), Some("0 row(s) updated"), "{}", context(step));
+            }
+        } else if draw < 85 {
+            let id = if rng.random_bool(0.2) {
+                next_id + 1_000
+            } else {
+                *shadow.keys().nth(rng.random_range(0..shadow.len())).unwrap()
+            };
+            let r = session
+                .execute(&format!("DELETE FROM orders WHERE ordid = {id}"))
+                .unwrap();
+            if shadow.remove(&id).is_some() {
+                assert_eq!(r.message.as_deref(), Some("1 row(s) deleted"), "{}", context(step));
+            } else {
+                assert_eq!(r.message.as_deref(), Some("0 row(s) deleted"), "{}", context(step));
+            }
+        } else {
+            assert_probes_match(&mut session, &shadow, threads, &context(step));
+        }
+    }
+
+    assert_probes_match(&mut session, &shadow, threads, &format!("seed {seed}, final"));
+    let t = session.catalog.db.table("orders").unwrap();
+    assert_eq!(
+        t.live_len(),
+        shadow.len(),
+        "live rows diverged from the shadow model (seed {seed}, {threads} threads)"
+    );
+    let oracle = xqdb_core::verify_derived_state(&session.catalog).unwrap();
+    assert!(
+        oracle.is_clean(),
+        "derived state diverged from rebuild (seed {seed}, {threads} threads):\n{}",
+        oracle.render()
+    );
+}
+
+#[test]
+fn random_dml_interleavings_match_shadow_model_serial() {
+    for seed in 0..6 {
+        run_interleaving(seed, 1);
+    }
+}
+
+#[test]
+fn random_dml_interleavings_match_shadow_model_threaded() {
+    for seed in 0..6 {
+        run_interleaving(seed, 4);
+    }
+}

@@ -619,6 +619,122 @@ fn sql_plan_cache_hit_and_ddl_invalidation() {
 }
 
 #[test]
+fn dml_counters_reconcile_exactly() {
+    // The three DML counters (PR 9): `RowsDeleted` and `DocsReplaced` move
+    // with the statement and must equal the returned stats field *exactly*
+    // — the catalog increments the registry and the executor fills the
+    // stats, so a double-count in either place breaks this equality.
+    let obs = Obs::new(ObsConfig::enabled());
+    let mut s = SqlSession::new();
+    s.set_obs(obs.clone());
+    s.execute("create table orders (ordid integer, orddoc XML)").unwrap();
+    s.execute(
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double",
+    )
+    .unwrap();
+    for i in 0..6 {
+        s.execute(&format!(
+            r#"INSERT INTO orders VALUES ({i}, '<order><lineitem price="{}"/></order>')"#,
+            i * 100
+        ))
+        .unwrap();
+    }
+    let delta = |a: &MetricsSnapshot, b: &MetricsSnapshot, c: Counter| a.counter(c) - b.counter(c);
+
+    let before = snap(&obs);
+    let del = s.execute("DELETE FROM orders WHERE ordid < 2").unwrap();
+    let after = snap(&obs);
+    assert_eq!(del.stats.rows_deleted, 2);
+    assert_eq!(delta(&after, &before, Counter::RowsDeleted), del.stats.rows_deleted);
+    assert_eq!(delta(&after, &before, Counter::DocsReplaced), 0);
+    assert_eq!(del.message.as_deref(), Some("2 row(s) deleted"));
+
+    let before = snap(&obs);
+    let upd = s
+        .execute(r#"UPDATE orders SET orddoc = '<order><lineitem price="9"/></order>' WHERE ordid = 3"#)
+        .unwrap();
+    let after = snap(&obs);
+    assert_eq!(upd.stats.docs_replaced, 1);
+    assert_eq!(delta(&after, &before, Counter::DocsReplaced), upd.stats.docs_replaced);
+    assert_eq!(delta(&after, &before, Counter::RowsDeleted), 0);
+
+    // Zero-match DML: nothing moves, the message says so.
+    let before = snap(&obs);
+    let none = s.execute("DELETE FROM orders WHERE ordid = 999").unwrap();
+    let after = snap(&obs);
+    assert_eq!(none.stats.rows_deleted, 0);
+    assert_eq!(none.message.as_deref(), Some("0 row(s) deleted"));
+    assert_eq!(delta(&after, &before, Counter::RowsDeleted), 0);
+
+    // EXPLAIN ANALYZE over DML executes for real: the counter moves and
+    // the report's `dml:` line renders the exact stats of that execution.
+    let before = snap(&obs);
+    let ea = s.execute("EXPLAIN ANALYZE DELETE FROM orders WHERE ordid = 4").unwrap();
+    let after = snap(&obs);
+    assert_eq!(ea.stats.rows_deleted, 1);
+    assert_eq!(delta(&after, &before, Counter::RowsDeleted), 1);
+    let report = ea.message.expect("explain analyze returns a report");
+    assert!(
+        report.contains("  dml: 1 row(s) deleted, 0 doc(s) replaced, 0 tombstone(s) reclaimed\n"),
+        "the dml line carries the exact counts — report:\n{report}"
+    );
+    assert!(report.contains("-- executed:"), "EXPLAIN ANALYZE DML really executed");
+}
+
+#[test]
+fn tombstone_reclamation_counter_reconciles_at_checkpoint() {
+    // `TombstonesReclaimed` is checkpoint-only: plain statements leave it
+    // untouched, and the checkpoint's delta equals the physically
+    // tombstoned records exactly — here 2 deletes + 1 replaced old copy,
+    // all on never-frozen pages, so all three are physical tombstones.
+    let dir = std::path::PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/test-tmp"
+    ))
+    .join(format!("obs_dml_reclaim_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let obs = Obs::new(ObsConfig::metrics_only());
+    let (mut s, _) =
+        SqlSession::open_durable(&dir, xqdb_core::WalConfig::default()).unwrap();
+    s.set_obs(obs.clone());
+    s.execute("create table orders (ordid integer, orddoc XML)").unwrap();
+    for i in 0..4 {
+        s.execute(&format!(
+            r#"INSERT INTO orders VALUES ({i}, '<order><lineitem price="{}"/></order>')"#,
+            i * 100
+        ))
+        .unwrap();
+    }
+    s.execute("DELETE FROM orders WHERE ordid < 2").unwrap();
+    s.execute(r#"UPDATE orders SET orddoc = '<order><lineitem price="7"/></order>' WHERE ordid = 2"#)
+        .unwrap();
+    assert_eq!(
+        snap(&obs).counter(Counter::TombstonesReclaimed),
+        0,
+        "statements never reclaim; only a checkpoint does"
+    );
+    let before = snap(&obs);
+    s.checkpoint().unwrap().expect("durable sessions checkpoint");
+    let after = snap(&obs);
+    assert_eq!(
+        after.counter(Counter::TombstonesReclaimed) - before.counter(Counter::TombstonesReclaimed),
+        3,
+        "2 deleted rows + 1 replaced old copy, all physically tombstoned"
+    );
+    // A second checkpoint finds nothing left to reclaim.
+    let before = snap(&obs);
+    s.checkpoint().unwrap().expect("durable sessions checkpoint");
+    let after = snap(&obs);
+    assert_eq!(
+        after.counter(Counter::TombstonesReclaimed) - before.counter(Counter::TombstonesReclaimed),
+        0,
+        "reclamation is idempotent"
+    );
+    drop(s);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn server_admission_metrics_export_and_reconcile() {
     // The server-facing admission metrics (PR 6): three counters and one
     // up/down gauge, present and consistent in both export formats. Their
