@@ -11,8 +11,9 @@ use xqdb_xdm::{ErrorCode, FaultInjector, NodeHandle, XdmError};
 use xqdb_xmlindex::XmlIndex;
 use xqdb_storage::{Database, RowId, SqlValue, Table};
 
+use crate::eligibility::CostModel;
 use crate::engine::QueryPlan;
-use crate::plancache::PlanCache;
+use crate::plancache::{CacheEpoch, PlanCache};
 
 /// A database plus its XML indexes.
 #[derive(Debug, Default)]
@@ -31,6 +32,13 @@ pub struct Catalog {
     /// Monotone DDL epoch: bumped by `CREATE TABLE` / `CREATE INDEX`, read
     /// by the plan caches to invalidate plans built against older schema.
     ddl_epoch: AtomicU64,
+    /// Monotone statistics epoch: bumped when a table's live row count
+    /// drifts ≥25% from its baseline, so costed plans are re-costed
+    /// against the shifted synopsis histograms instead of served stale.
+    stats_epoch: AtomicU64,
+    /// Per-table live row count at the last stats-epoch bump (or first
+    /// sighting) — the drift baseline.
+    stats_baseline: Mutex<HashMap<String, u64>>,
     /// LRU cache of compiled XQuery plans, keyed by query text.
     plan_cache: Mutex<PlanCache<QueryPlan>>,
 }
@@ -57,19 +65,61 @@ impl Catalog {
         self.ddl_epoch.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// The current statistics epoch (see the field docs).
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch.load(Ordering::Acquire)
+    }
+
+    /// The full plan-validation epoch pair (DDL shape + statistics).
+    pub fn plan_epoch(&self) -> CacheEpoch {
+        CacheEpoch::new(self.ddl_epoch(), self.stats_epoch())
+    }
+
+    /// Record post-DML row-count drift for `table`: a ≥25% move from the
+    /// baseline bumps the stats epoch (invalidating costed cached plans)
+    /// and resets the baseline to the current count.
+    fn note_stats_drift(&self, table_upper: &str) {
+        let Some(t) = self.db.table(table_upper) else { return };
+        let cur = t.live_len() as u64;
+        let Ok(mut base) = self.stats_baseline.lock() else { return };
+        let entry = base.entry(table_upper.to_string()).or_insert(cur);
+        let drift = cur.abs_diff(*entry);
+        if drift > 0 && drift * 4 >= (*entry).max(1) {
+            *entry = cur;
+            self.stats_epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Planning-time statistics for one `TABLE.COLUMN` source, or `None`
+    /// when the table is unknown or its synopsis lacks complete value
+    /// statistics (e.g. rows adopted from a manifest without re-parsing —
+    /// the planner then falls back to rule-based index choice).
+    pub fn cost_model_for(&self, source: &str) -> Option<CostModel<'_>> {
+        let (t, _) = self.db.resolve_xml_column(source).ok()?;
+        let synopsis = t.synopsis();
+        if !synopsis.stats_complete() {
+            return None;
+        }
+        Some(CostModel {
+            docs: t.live_len() as u64,
+            pages: t.heap_pages().len() as u64,
+            synopsis,
+        })
+    }
+
     /// Look up a cached plan for this exact query text, if one was built
-    /// under the current DDL epoch.
+    /// under the current epoch pair.
     pub fn cached_plan(&self, text: &str) -> Option<Arc<QueryPlan>> {
-        let epoch = self.ddl_epoch();
+        let epoch = self.plan_epoch();
         match self.plan_cache.lock() {
             Ok(mut cache) => cache.get(text, epoch),
             Err(_) => None,
         }
     }
 
-    /// Cache a plan under the current DDL epoch.
+    /// Cache a plan under the current epoch pair.
     pub fn cache_plan(&self, text: &str, plan: Arc<QueryPlan>) {
-        let epoch = self.ddl_epoch();
+        let epoch = self.plan_epoch();
         if let Ok(mut cache) = self.plan_cache.lock() {
             cache.insert(text.to_string(), plan, epoch);
         }
@@ -189,6 +239,7 @@ impl Catalog {
                 }
             }
         }
+        self.note_stats_drift(&table_upper);
         Ok(row)
     }
 
@@ -227,6 +278,7 @@ impl Catalog {
             }
         }
         self.obs.add(Counter::RowsDeleted, n);
+        self.note_stats_drift(&table_upper);
         Ok(n)
     }
 
@@ -281,15 +333,21 @@ impl Catalog {
             }
         }
         self.obs.incr(Counter::DocsReplaced);
+        self.note_stats_drift(&table_upper);
         Ok(())
     }
 
-    /// Indexes on a given `TABLE.COLUMN` source key.
+    /// Indexes on a given `TABLE.COLUMN` source key, sorted by name so
+    /// the rule-based "first eligible" choice is deterministic and
+    /// matches the catalog-listing order (`all_indexes`, EXPLAIN).
     pub fn indexes_for_source(&self, source: &str) -> Vec<&XmlIndex> {
-        self.indexes
+        let mut v: Vec<&XmlIndex> = self
+            .indexes
             .values()
             .filter(|i| format!("{}.{}", i.table, i.column) == source)
-            .collect()
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
     }
 
     /// All indexes (for EXPLAIN/catalog listings), sorted by name.
@@ -442,6 +500,28 @@ mod tests {
         c.create_index("i9", "orders", "orddoc", "//a", "double").unwrap();
         assert!(c.ddl_epoch() > e0);
         assert!(c.cached_plan("q").is_none(), "DDL invalidates cached plans");
+    }
+
+    #[test]
+    fn stats_drift_recosts_cached_plans_after_delete_churn() {
+        let mut c = orders_catalog();
+        for i in 0..8 {
+            insert_order(&mut c, i, r#"<order><lineitem price="9"/></order>"#);
+        }
+        let e = c.ddl_epoch();
+        let parsed = xqdb_xquery::parse_query("1").unwrap();
+        let plan =
+            Arc::new(crate::engine::plan_query(&c, parsed, &crate::AnalysisEnv::new()));
+        c.cache_plan("q", Arc::clone(&plan));
+        assert!(c.cached_plan("q").is_some());
+        // Dropping half the rows is a ≥25% drift: the stats epoch bumps,
+        // the cached plan is re-costed — but the DDL epoch is untouched.
+        c.delete("orders", &[0, 1, 2, 3]).unwrap();
+        assert_eq!(c.ddl_epoch(), e, "DML must not bump the DDL epoch");
+        assert!(c.cached_plan("q").is_none(), "heavy churn invalidates cached plans");
+        // Re-caching under the new epoch works, and light churn keeps it.
+        c.cache_plan("q", plan);
+        assert!(c.cached_plan("q").is_some(), "plan re-cached under new stats epoch");
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub enum Pitfall {
     NoIndex,
     /// An indexable predicate in some other non-filtering position.
     NonFilteringContext,
+    /// The cost model's cardinality estimate was >4× off the actual row
+    /// count — the synopsis statistics no longer describe the data.
+    Misestimate,
 }
 
 impl Pitfall {
@@ -79,7 +82,8 @@ impl Pitfall {
             Pitfall::PathNotContained
             | Pitfall::NotEqualsPredicate
             | Pitfall::NoIndex
-            | Pitfall::NonFilteringContext => None,
+            | Pitfall::NonFilteringContext
+            | Pitfall::Misestimate => None,
         }
     }
 
@@ -98,6 +102,7 @@ impl Pitfall {
             Pitfall::NotEqualsPredicate => "not-equals-predicate",
             Pitfall::NoIndex => "no-index",
             Pitfall::NonFilteringContext => "non-filtering-context",
+            Pitfall::Misestimate => "cost-misestimate",
         }
     }
 
@@ -137,6 +142,9 @@ impl Pitfall {
             Pitfall::NoIndex => "create an XML index on this column to pre-filter the collection",
             Pitfall::NonFilteringContext => {
                 "move the predicate into a position where an empty result removes the document (Sections 3.2-3.6)"
+            }
+            Pitfall::Misestimate => {
+                "the cardinality estimate is >4x off; statistics may be stale — heavy churn re-costs cached plans automatically"
             }
         }
     }
@@ -297,6 +305,22 @@ fn wildcard_namespaces(steps: &[PatternStep]) -> Vec<PatternStep> {
             PatternStep { axis: s.axis, test }
         })
         .collect()
+}
+
+/// Flag a costed plan whose estimate diverged >4× from the actual row
+/// count in either direction. Tiny absolute gaps (both sides < 8 rows) are
+/// noise from histogram granularity, not staleness, and stay silent.
+pub fn diagnose_misestimate(est: u64, actual: u64) -> Option<Diagnosis> {
+    let hi = est.max(actual);
+    let lo = est.min(actual);
+    if hi < 8 || hi <= lo.saturating_mul(4) {
+        return None;
+    }
+    Some(Diagnosis {
+        pitfall: Pitfall::Misestimate,
+        index: None,
+        subject: format!("cost estimate {est} row(s) vs actual {actual}"),
+    })
 }
 
 /// All diagnoses for a planned query: one per rejection reason, one per

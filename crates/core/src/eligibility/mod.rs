@@ -3,6 +3,7 @@
 
 pub mod candidates;
 pub mod containment;
+pub mod cost;
 pub mod doctor;
 
 use std::collections::BTreeSet;
@@ -18,7 +19,8 @@ pub use candidates::{
     Cond, Note,
 };
 pub use containment::path_contained_in;
-pub use doctor::{diagnose, Diagnosis, Pitfall, RejectReason};
+pub use cost::{estimate_probe_entries, CostModel, Est};
+pub use doctor::{diagnose, diagnose_misestimate, Diagnosis, Pitfall, RejectReason};
 
 /// A compiled index-access condition for one collection.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +94,7 @@ impl IndexCond {
                     }
                     let rows = c.execute(indexes, stats, budget)?;
                     acc = acc.intersection(&rows).copied().collect();
+                    stats.intersections += 1;
                 }
                 Ok(acc)
             }
@@ -123,6 +126,12 @@ pub struct Compilation {
     pub access: Option<IndexCond>,
     /// Candidates that could not be served, with reasons.
     pub rejections: Vec<Rejection>,
+    /// (candidate, eligible index) pairs scored by the cost model.
+    pub candidates_costed: u64,
+    /// Estimated rows fetched by `access`, when a cost model was supplied.
+    pub est_rows: Option<u64>,
+    /// Costing decisions, rendered into EXPLAIN plan notes.
+    pub cost_notes: Vec<String>,
 }
 
 /// Keep only the parts of `cond` that constrain documents of `source`;
@@ -164,10 +173,47 @@ pub fn restrict_to_source(cond: &Cond, source: &str) -> Cond {
     }
 }
 
+/// Mutable costing context threaded through compilation. With no model the
+/// compiler is the original rule-based one: first eligible index wins and
+/// every [`Est`] stays at its zero default.
+struct CostCx<'m, 'a> {
+    model: Option<&'m CostModel<'a>>,
+    candidates_costed: u64,
+    notes: Vec<String>,
+}
+
 /// Compile a (source-restricted) condition against that source's indexes.
-pub fn compile(cond: &Cond, indexes: &[&XmlIndex]) -> Compilation {
-    let mut out = Compilation::default();
-    out.access = compile_cond(cond, indexes, &mut out.rejections);
+///
+/// With a [`CostModel`], eligible indexes are scored by estimated entries
+/// scanned (lowest wins), and the finished access is weighed against the
+/// scan it would pre-filter — a probe expected to touch far more index
+/// entries than a sequential pass over the collection's documents and pages
+/// is declined entirely (three-way choice: probe / prefilter-scan / scan).
+pub fn compile(cond: &Cond, indexes: &[&XmlIndex], model: Option<&CostModel<'_>>) -> Compilation {
+    let mut cx = CostCx { model, candidates_costed: 0, notes: Vec::new() };
+    let mut rejections = Vec::new();
+    let compiled = compile_cond(cond, indexes, &mut rejections, &mut cx);
+    let mut out = Compilation {
+        access: None,
+        rejections,
+        candidates_costed: cx.candidates_costed,
+        est_rows: None,
+        cost_notes: cx.notes,
+    };
+    if let Some((ic, est)) = compiled {
+        if let Some(model) = model {
+            let scan_cost = (model.docs + model.pages) as f64;
+            if est.entries > scan_cost * 3.0 + 64.0 {
+                out.cost_notes.push(format!(
+                    "cost: declined index access (est {:.0} entries vs {} docs) — scan is cheaper",
+                    est.entries, model.docs
+                ));
+                return out;
+            }
+            out.est_rows = Some(est.rows.round() as u64);
+        }
+        out.access = Some(ic);
+    }
     out
 }
 
@@ -175,11 +221,12 @@ fn compile_cond(
     cond: &Cond,
     indexes: &[&XmlIndex],
     rejections: &mut Vec<Rejection>,
-) -> Option<IndexCond> {
+    cx: &mut CostCx<'_, '_>,
+) -> Option<(IndexCond, Est)> {
     match cond {
         Cond::Any => None,
-        Cond::Pred(c) => compile_pred(c, indexes, rejections),
-        Cond::Exists { source, steps } => compile_exists(source, steps, indexes),
+        Cond::Pred(c) => compile_pred(c, indexes, rejections, cx),
+        Cond::Exists { source, steps } => compile_exists(source, steps, indexes, cx),
         Cond::And(cs) => {
             // Between-merge first (Section 3.10), then compile children and
             // keep whichever succeed — any subset of a conjunction is still
@@ -191,7 +238,7 @@ fn compile_cond(
                 if let MergedCond::Range { key: _, lo, hi, sample } = child {
                     let range = ProbeRange { lo: lo.clone(), hi: hi.clone() };
                     if let Some(probe) =
-                        compile_range_probe(sample, range, indexes, rejections, true)
+                        compile_range_probe(sample, range, indexes, rejections, true, cx)
                     {
                         compiled.push(probe);
                         value_preds += 1;
@@ -202,7 +249,7 @@ fn compile_cond(
                 match child {
                     Cond::Exists { .. } => {} // second pass below
                     other => {
-                        if let Some(ic) = compile_cond(other, indexes, rejections) {
+                        if let Some(ic) = compile_cond(other, indexes, rejections, cx) {
                             if !matches!(other, Cond::Exists { .. }) {
                                 value_preds += 1;
                             }
@@ -218,7 +265,7 @@ fn compile_cond(
             if value_preds == 0 {
                 for child in &merged {
                     if let MergedCond::Plain(Cond::Exists { source, steps }) = child {
-                        if let Some(ic) = compile_exists(source, steps, indexes) {
+                        if let Some(ic) = compile_exists(source, steps, indexes, cx) {
                             compiled.push(ic);
                             break;
                         }
@@ -228,19 +275,35 @@ fn compile_cond(
             match compiled.len() {
                 0 => None,
                 1 => compiled.into_iter().next(),
-                _ => Some(IndexCond::And(compiled)),
+                _ => {
+                    // Docid-set intersection: every probe runs (entries add
+                    // up), survivors are the least-selective lower bound.
+                    let est = Est {
+                        entries: compiled.iter().map(|(_, e)| e.entries).sum(),
+                        rows: compiled
+                            .iter()
+                            .map(|(_, e)| e.rows)
+                            .fold(f64::INFINITY, f64::min),
+                    };
+                    Some((IndexCond::And(compiled.into_iter().map(|(c, _)| c).collect()), est))
+                }
             }
         }
         Cond::Or(cs) => {
             // Every branch must be answerable, else no pre-filtering.
             let mut compiled = Vec::with_capacity(cs.len());
             for c in cs {
-                match compile_cond(c, indexes, rejections) {
+                match compile_cond(c, indexes, rejections, cx) {
                     Some(ic) => compiled.push(ic),
                     None => return None,
                 }
             }
-            Some(IndexCond::Or(compiled))
+            // Docid-set union: entries and surviving rows both add up.
+            let est = Est {
+                entries: compiled.iter().map(|(_, e)| e.entries).sum(),
+                rows: compiled.iter().map(|(_, e)| e.rows).sum(),
+            };
+            Some((IndexCond::Or(compiled.into_iter().map(|(c, _)| c).collect()), est))
         }
     }
 }
@@ -359,7 +422,8 @@ fn compile_pred(
     c: &Candidate,
     indexes: &[&XmlIndex],
     rejections: &mut Vec<Rejection>,
-) -> Option<IndexCond> {
+    cx: &mut CostCx<'_, '_>,
+) -> Option<(IndexCond, Est)> {
     let Some(range) = probe_range_for(c) else {
         rejections.push(Rejection {
             candidate: render_cond(&Cond::Pred(c.clone())),
@@ -371,7 +435,50 @@ fn compile_pred(
         });
         return None;
     };
-    compile_range_probe(c, range, indexes, rejections, false)
+    compile_range_probe(c, range, indexes, rejections, false, cx)
+}
+
+/// Pick the serving index among all eligible ones: first by catalog order
+/// without a cost model, lowest estimated entries scanned with one (ties
+/// keep catalog order, so costing is deterministic).
+fn choose_costed<'i>(
+    eligible: Vec<&'i XmlIndex>,
+    range: &ProbeRange,
+    subject: &str,
+    cx: &mut CostCx<'_, '_>,
+) -> (&'i XmlIndex, f64) {
+    let Some(model) = cx.model else {
+        return (eligible[0], 0.0);
+    };
+    let scored: Vec<(&XmlIndex, f64)> = eligible
+        .into_iter()
+        .map(|idx| {
+            let est = estimate_probe_entries(model, idx, range);
+            (idx, est)
+        })
+        .collect();
+    cx.candidates_costed += scored.len() as u64;
+    let mut best = 0usize;
+    for i in 1..scored.len() {
+        if scored[i].1 < scored[best].1 {
+            best = i;
+        }
+    }
+    if scored.len() > 1 {
+        let losers: Vec<String> = scored
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != best)
+            .map(|(_, (idx, e))| format!("{} (est {:.0})", idx.name, e))
+            .collect();
+        cx.notes.push(format!(
+            "cost: {subject}: chose {} (est {:.0} entries) over {}",
+            scored[best].0.name,
+            scored[best].1,
+            losers.join(", ")
+        ));
+    }
+    scored[best]
 }
 
 fn compile_range_probe(
@@ -380,8 +487,10 @@ fn compile_range_probe(
     indexes: &[&XmlIndex],
     rejections: &mut Vec<Rejection>,
     between: bool,
-) -> Option<IndexCond> {
+    cx: &mut CostCx<'_, '_>,
+) -> Option<(IndexCond, Est)> {
     let mut reasons = Vec::new();
+    let mut eligible: Vec<&XmlIndex> = Vec::new();
     for idx in indexes {
         let key = format!("{}.{}", idx.table, idx.column);
         if key != c.source {
@@ -414,51 +523,79 @@ fn compile_range_probe(
             });
             continue;
         }
-        let desc = if between {
-            format!("{} between-range on {}", c.target, render_steps(&c.steps))
-        } else {
-            format!(
-                "{} {} {} on {}",
-                c.target,
-                c.op.general_symbol(),
-                c.value.lexical(),
-                render_steps(&c.steps)
-            )
-        };
-        return Some(IndexCond::Probe { index: idx.name.clone(), range, desc });
+        eligible.push(idx);
+        if cx.model.is_none() {
+            break; // rule-based: first eligible wins, stop looking
+        }
     }
-    if reasons.is_empty() {
-        reasons.push(RejectReason {
-            pitfall: Pitfall::NoIndex,
-            index: None,
-            detail: format!("no XML index on {}", c.source),
+    if eligible.is_empty() {
+        if reasons.is_empty() {
+            reasons.push(RejectReason {
+                pitfall: Pitfall::NoIndex,
+                index: None,
+                detail: format!("no XML index on {}", c.source),
+            });
+        }
+        rejections.push(Rejection {
+            candidate: render_cond(&Cond::Pred(c.clone())),
+            reasons,
         });
+        return None;
     }
-    rejections.push(Rejection {
-        candidate: render_cond(&Cond::Pred(c.clone())),
-        reasons,
-    });
-    None
+    let subject = render_steps(&c.steps);
+    let (chosen, est_entries) = choose_costed(eligible, &range, &subject, cx);
+    let desc = if between {
+        format!("{} between-range on {}", c.target, subject)
+    } else {
+        format!(
+            "{} {} {} on {}",
+            c.target,
+            c.op.general_symbol(),
+            c.value.lexical(),
+            subject
+        )
+    };
+    let est = match cx.model {
+        Some(m) => Est { entries: est_entries, rows: est_entries.min(m.docs as f64) },
+        None => Est::default(),
+    };
+    Some((IndexCond::Probe { index: chosen.name.clone(), range, desc }, est))
 }
 
 fn compile_exists(
     source: &str,
     steps: &[xqdb_xquery::PatternStep],
     indexes: &[&XmlIndex],
-) -> Option<IndexCond> {
+    cx: &mut CostCx<'_, '_>,
+) -> Option<(IndexCond, Est)> {
     // A varchar index "by definition includes all matching values", so a
     // full range scan answers the structural predicate (Section 2.2).
-    for idx in indexes {
-        if format!("{}.{}", idx.table, idx.column) == source
-            && idx.ty == xqdb_xmlindex::IndexType::Varchar
-            && path_contained_in(steps, &idx.pattern.steps)
-        {
-            return Some(IndexCond::Probe {
-                index: idx.name.clone(),
-                range: ProbeRange::all(),
-                desc: format!("structural scan for {}", render_steps(steps)),
-            });
-        }
+    let eligible: Vec<&XmlIndex> = indexes
+        .iter()
+        .copied()
+        .filter(|idx| {
+            format!("{}.{}", idx.table, idx.column) == source
+                && idx.ty == xqdb_xmlindex::IndexType::Varchar
+                && path_contained_in(steps, &idx.pattern.steps)
+        })
+        .collect();
+    if eligible.is_empty() {
+        return None;
     }
-    None
+    let range = ProbeRange::all();
+    let eligible = if cx.model.is_none() { vec![eligible[0]] } else { eligible };
+    let subject = render_steps(steps);
+    let (chosen, est_entries) = choose_costed(eligible, &range, &subject, cx);
+    let est = match cx.model {
+        Some(m) => Est { entries: est_entries, rows: est_entries.min(m.docs as f64) },
+        None => Est::default(),
+    };
+    Some((
+        IndexCond::Probe {
+            index: chosen.name.clone(),
+            range,
+            desc: format!("structural scan for {subject}"),
+        },
+        est,
+    ))
 }

@@ -17,6 +17,7 @@
 //! scan evaluates exactly the documents the serial scan would, in the same
 //! document order.
 
+use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
@@ -32,8 +33,8 @@ use xqdb_storage::SqlValue;
 
 use crate::catalog::Catalog;
 use crate::eligibility::{
-    analyze_query_root, compile, diagnose, restrict_to_source, AnalysisEnv, Cond, IndexCond, Note,
-    Rejection,
+    analyze_query_root, compile, diagnose, diagnose_misestimate, restrict_to_source, AnalysisEnv,
+    Cond, IndexCond, Note, Rejection,
 };
 use crate::prefilter::{extract_prefilters, SourcePrefilter};
 use crate::twig::{extract_twigs, PreparedTwig, SourceTwig};
@@ -68,6 +69,25 @@ pub struct QueryPlan {
     /// against the table's synopsis happens at execution time, so cached
     /// plans stay valid as collections grow.
     pub twig: HashMap<String, SourceTwig>,
+    /// Cost-model metadata: what the planner estimated and why it chose
+    /// the accesses it did. Empty/default on rule-based plans.
+    pub cost: PlanCost,
+}
+
+/// Cost-model metadata attached to a plan.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCost {
+    /// True when the synopsis-backed cost model scored at least one
+    /// candidate while planning (statistics were complete and consulted).
+    pub costed: bool,
+    /// (candidate, eligible index) pairs scored.
+    pub candidates: u64,
+    /// Estimated rows fetched by index probes, summed over sources that
+    /// kept an access. `None` when nothing was estimated.
+    pub est_rows: Option<u64>,
+    /// Human-readable costing decisions (index choices, declined probes),
+    /// rendered by EXPLAIN.
+    pub notes: Vec<String>,
 }
 
 /// Execution statistics, reported by benches and EXPLAIN.
@@ -132,6 +152,20 @@ pub struct ExecStats {
     /// Tombstoned heap records physically reclaimed (checkpoint only;
     /// always 0 for a plain statement).
     pub tombstones_reclaimed: u64,
+    /// 1 if this run's plan was costed: the synopsis-backed cost model
+    /// scored at least one candidate at plan time.
+    pub plans_costed: u64,
+    /// (candidate, eligible index) pairs the cost model scored when this
+    /// run's plan was built (0 on cache hits of rule-based plans and when
+    /// costing is off).
+    pub index_candidates_costed: u64,
+    /// Docid-set intersections performed while AND-combining index probes.
+    pub multi_index_intersections: u64,
+    /// The plan's estimated probe output in rows (0 when not costed).
+    pub cost_est_rows: u64,
+    /// Rows actually produced by the probe phase, before the twig and
+    /// prefilter passes — the number the estimate predicts.
+    pub cost_actual_rows: u64,
 }
 
 impl ExecStats {
@@ -166,12 +200,27 @@ pub fn plan_query(catalog: &Catalog, query: Query, env: &AnalysisEnv) -> QueryPl
 }
 
 /// [`plan_query`] recording a `plan` span with an `eligibility check`
-/// child when the trace is live.
+/// child when the trace is live. Costing follows the `XQDB_COST`
+/// environment switch.
 pub fn plan_query_traced(
     catalog: &Catalog,
     query: Query,
     env: &AnalysisEnv,
     trace: &Trace,
+) -> QueryPlan {
+    plan_query_costed(catalog, query, env, trace, cost_env_enabled())
+}
+
+/// [`plan_query_traced`] with the cost model explicitly enabled or
+/// disabled. With `use_cost` false (or when a source's synopsis statistics
+/// are incomplete) index choice is the original rule-based
+/// first-eligible-wins.
+pub fn plan_query_costed(
+    catalog: &Catalog,
+    query: Query,
+    env: &AnalysisEnv,
+    trace: &Trace,
+    use_cost: bool,
 ) -> QueryPlan {
     let mut span = trace.span("plan");
     let analysis = analyze_query_root(&query.body, env);
@@ -179,13 +228,23 @@ pub fn plan_query_traced(
     collect_sources(&query.body, &mut sources);
     let mut accesses = Vec::new();
     let mut rejections = Vec::new();
+    let mut cost = PlanCost::default();
     {
         let mut elig = span.child("eligibility check");
         for source in sources {
             let restricted = restrict_to_source(&analysis.cond, &source);
             let indexes = catalog.indexes_for_source(&source);
-            let compiled = compile(&restricted, &indexes);
+            let model = if use_cost { catalog.cost_model_for(&source) } else { None };
+            let compiled = compile(&restricted, &indexes, model.as_ref());
             rejections.extend(compiled.rejections);
+            if compiled.candidates_costed > 0 {
+                cost.costed = true;
+                cost.candidates += compiled.candidates_costed;
+            }
+            if let Some(est) = compiled.est_rows {
+                *cost.est_rows.get_or_insert(0) += est;
+            }
+            cost.notes.extend(compiled.cost_notes);
             accesses.push(SourceAccess { source, access: compiled.access });
         }
         elig.add_count(accesses.len() as u64);
@@ -212,6 +271,7 @@ pub fn plan_query_traced(
         rejections,
         prefilter,
         twig,
+        cost,
     }
 }
 
@@ -249,6 +309,11 @@ pub struct ExecOptions {
     /// default). `XQDB_TWIG=off` disables it regardless of this flag,
     /// same contract as `prefilter`.
     pub twig: bool,
+    /// Use the synopsis-backed cost model at plan time (on by default).
+    /// `XQDB_COST=off` disables it regardless of this flag. Unlike
+    /// `prefilter`/`twig` this is a *planning* switch: with costing off
+    /// the planner is the original rule-based first-eligible-index one.
+    pub cost: bool,
 }
 
 impl Default for ExecOptions {
@@ -259,6 +324,7 @@ impl Default for ExecOptions {
             obs: Obs::default(),
             prefilter: true,
             twig: true,
+            cost: true,
         }
     }
 }
@@ -277,6 +343,17 @@ pub fn prefilter_env_enabled() -> bool {
 /// incomplete.
 pub fn twig_env_enabled() -> bool {
     xqdb_twig::enabled_in_env()
+}
+
+/// True unless `XQDB_COST` is set to `off`/`0`/`false` (case-insensitive).
+/// Gates the cost model at plan time; results are byte-identical either
+/// way (Definition 1 — probes are conservative pre-filters), only the
+/// access-path choice changes.
+pub fn cost_env_enabled() -> bool {
+    match std::env::var("XQDB_COST") {
+        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"),
+        Err(_) => true,
+    }
 }
 
 /// Parse, plan and execute an XQuery string under [`ExecOptions`].
@@ -305,7 +382,13 @@ fn run_traced(
     let started = obs.metrics_enabled().then(Instant::now);
     obs.incr(Counter::QueriesExecuted);
     let result: Result<(Arc<QueryPlan>, ExecOutcome), XdmError> = (|| {
-        let cached = catalog.cached_plan(text);
+        // The cost flag is part of the cache key: a costed and a
+        // rule-based plan for the same text are different plans, and a
+        // cost-off run must never leave a plan a cost-on run reuses.
+        let use_cost = opts.cost && cost_env_enabled();
+        let key: Cow<str> =
+            if use_cost { Cow::Borrowed(text) } else { Cow::Owned(format!("#nocost\n{text}")) };
+        let cached = catalog.cached_plan(&key);
         let cache_hit = cached.is_some();
         obs.incr(if cache_hit { Counter::PlanCacheHits } else { Counter::PlanCacheMisses });
         let plan = match cached {
@@ -317,13 +400,18 @@ fn run_traced(
                         XdmError::new(xqdb_xdm::ErrorCode::XPST0003, e.to_string())
                     })?
                 };
-                let plan =
-                    Arc::new(plan_query_traced(catalog, query, &AnalysisEnv::new(), trace));
+                let plan = Arc::new(plan_query_costed(
+                    catalog,
+                    query,
+                    &AnalysisEnv::new(),
+                    trace,
+                    use_cost,
+                ));
                 if obs.metrics_enabled() {
                     let diagnoses = diagnose(&plan.rejections, &plan.notes);
                     obs.add(Counter::DoctorDiagnoses, diagnoses.len() as u64);
                 }
-                catalog.cache_plan(text, Arc::clone(&plan));
+                catalog.cache_plan(&key, Arc::clone(&plan));
                 plan
             }
         };
@@ -420,11 +508,13 @@ fn probe_phase(
                 stats.index_entries_scanned += pstats.entries_scanned;
                 stats.index_probes += pstats.probes;
                 stats.btree_nodes_touched += pstats.nodes_touched;
+                stats.multi_index_intersections += pstats.intersections as u64;
                 span.add_count(pstats.entries_scanned as u64);
                 match probed {
                     Ok(rows) => {
                         span.tag_str("outcome", "index hit");
                         span.tag_with("survivors", || rows.len().to_string());
+                        stats.cost_actual_rows += rows.len() as u64;
                         stats.docs_evaluated.insert(access.source.clone(), rows.len());
                         filters.insert(access.source.clone(), rows);
                     }
@@ -513,6 +603,11 @@ impl ParallelExecutor {
         trace: &Trace,
     ) -> Result<ExecOutcome, XdmError> {
         let mut stats = ExecStats::new();
+        if plan.cost.costed {
+            stats.plans_costed = 1;
+            stats.index_candidates_costed = plan.cost.candidates;
+            stats.cost_est_rows = plan.cost.est_rows.unwrap_or(0);
+        }
         let pool_baseline = catalog.pool_stats();
         let mut filters = probe_phase(catalog, plan, ctx, &mut stats, obs, trace)?;
         if self.twig {
@@ -772,6 +867,9 @@ pub(crate) fn record_exec_metrics(obs: &Obs, stats: &ExecStats) {
     obs.add(Counter::BufferPoolHits, stats.buffer_pool_hits);
     obs.add(Counter::BufferPoolMisses, stats.buffer_pool_misses);
     obs.add(Counter::PagesEvicted, stats.pages_evicted);
+    obs.add(Counter::PlansCosted, stats.plans_costed);
+    obs.add(Counter::IndexCandidatesCosted, stats.index_candidates_costed);
+    obs.add(Counter::MultiIndexIntersections, stats.multi_index_intersections);
     obs.set_gauge(Gauge::ParallelWorkers, stats.parallel_workers as u64);
     obs.set_gauge(Gauge::ParallelShards, stats.parallel_shards as u64);
     if stats.parallel_workers > 1 {
@@ -956,6 +1054,12 @@ pub fn explain(plan: &QueryPlan) -> String {
             }
         }
     }
+    if !plan.cost.notes.is_empty() {
+        out.push_str("  cost decisions:\n");
+        for n in &plan.cost.notes {
+            out.push_str(&format!("    - {n}\n"));
+        }
+    }
     if !plan.prefilter.is_empty() {
         out.push_str("  structural prefilter:\n");
         let mut sources: Vec<&String> = plan.prefilter.keys().collect();
@@ -998,7 +1102,14 @@ pub fn explain(plan: &QueryPlan) -> String {
 pub fn explain_analyze_report(plan: &QueryPlan, outcome: &ExecOutcome, threads: usize) -> String {
     let mut out = explain_with_threads(plan, threads);
     render_execution_sections(&mut out, &outcome.stats, &outcome.trace);
-    render_doctor_section(&mut out, &diagnose(&plan.rejections, &plan.notes));
+    let mut diagnoses = diagnose(&plan.rejections, &plan.notes);
+    if outcome.stats.plans_costed > 0 {
+        diagnoses.extend(diagnose_misestimate(
+            outcome.stats.cost_est_rows,
+            outcome.stats.cost_actual_rows,
+        ));
+    }
+    render_doctor_section(&mut out, &diagnoses);
     out
 }
 
@@ -1042,6 +1153,15 @@ pub(crate) fn render_execution_sections(out: &mut String, s: &ExecStats, trace: 
         "  plan cache: {} hit(s), {} miss(es)\n",
         s.plan_cache_hits, s.plan_cache_misses
     ));
+    if s.plans_costed > 0 {
+        out.push_str(&format!(
+            "  cost: est {} row(s), actual {} ({} candidate(s) scored, {} intersection(s))\n",
+            s.cost_est_rows,
+            s.cost_actual_rows,
+            s.index_candidates_costed,
+            s.multi_index_intersections
+        ));
+    }
     out.push_str(&format!("  eval steps: {}\n", s.steps_used));
     out.push_str(&format!(
         "  index faults: {} (degraded to scan: {})\n",

@@ -34,15 +34,16 @@ pub use durability::{
     PAGES_FILE,
 };
 pub use eligibility::{
-    diagnose, AnalysisEnv, Candidate, CmpTarget, Cond, Diagnosis, IndexCond, Note, Pitfall,
-    RejectReason,
+    diagnose, diagnose_misestimate, estimate_probe_entries, AnalysisEnv, Candidate, CmpTarget,
+    Cond, CostModel, Diagnosis, Est, IndexCond, Note, Pitfall, RejectReason,
 };
 pub use engine::{
-    execute_plan, explain, explain_analyze_report, explain_analyze_xquery, explain_with_threads,
-    partition_plan, plan_query, plan_query_traced, run_xquery, run_xquery_with_limits,
-    run_xquery_with_options, ExecOptions, ExecOutcome, ExecStats, ParallelExecutor, Partition,
-    QueryPlan,
+    cost_env_enabled, execute_plan, explain, explain_analyze_report, explain_analyze_xquery,
+    explain_with_threads, partition_plan, plan_query, plan_query_costed, plan_query_traced,
+    run_xquery, run_xquery_with_limits, run_xquery_with_options, ExecOptions, ExecOutcome,
+    ExecStats, ParallelExecutor, Partition, PlanCost, QueryPlan,
 };
+pub use plancache::CacheEpoch;
 pub use prefilter::{
     extract_prefilters, PathComponent, RequiredGroup, RequiredPath, SourcePrefilter,
 };
@@ -50,5 +51,5 @@ pub use sqlxml::{SqlSession, SqlResult};
 pub use twig::{extract_twigs, PreparedTwig, SourceTwig};
 pub use verify::{verify_derived_state, TableVerdict, VerifyReport};
 pub use xqdb_obs::{Obs, ObsConfig};
-pub use xqdb_storage::hash_rendered_path;
+pub use xqdb_storage::{bucket_bounds, hash_rendered_path, PathSynopsis, ValueStats};
 pub use xqdb_wal::{CrashInjector, FsyncMode, WalConfig};

@@ -4,11 +4,15 @@
 //! extraction cost per statement; for the common case of re-submitted
 //! query text that work is identical, so each catalog/session keeps a
 //! bounded cache of `Arc`'d plans. Entries are validated against the
-//! catalog's DDL epoch: any `CREATE TABLE` / `CREATE INDEX` bumps the
-//! epoch, and a stale entry is dropped on lookup instead of being served
+//! catalog's [`CacheEpoch`]: any `CREATE TABLE` / `CREATE INDEX` bumps the
+//! DDL half, and a stale entry is dropped on lookup instead of being served
 //! (an old plan could name the wrong index or miss a new one). Plain
 //! inserts do *not* invalidate — plans hold no row data, only the parsed
-//! AST and per-source decisions, and probes/filters re-execute per run.
+//! AST and per-source decisions, and probes/filters re-execute per run —
+//! but *heavy* DML does: once a table's live row count drifts ≥25% from
+//! where it sat at plan time, the catalog bumps the statistics half of the
+//! epoch and costed plans are re-costed against the shifted synopsis
+//! histograms rather than served stale.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -17,11 +21,28 @@ use std::sync::Arc;
 /// small enough that the O(capacity) LRU eviction scan is irrelevant.
 pub const PLAN_CACHE_CAPACITY: usize = 64;
 
+/// The pair of invalidation clocks a cached plan was built under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheEpoch {
+    /// Bumped by CREATE TABLE / CREATE INDEX — the plan shape is stale.
+    pub ddl: u64,
+    /// Bumped when a table's row count drifts ≥25% since its baseline —
+    /// the plan's cost decisions are stale.
+    pub stats: u64,
+}
+
+impl CacheEpoch {
+    /// Construct from both clocks.
+    pub fn new(ddl: u64, stats: u64) -> Self {
+        CacheEpoch { ddl, stats }
+    }
+}
+
 #[derive(Debug)]
 struct Entry<V> {
     value: Arc<V>,
-    /// DDL epoch the plan was built under.
-    epoch: u64,
+    /// Epoch pair the plan was built under.
+    epoch: CacheEpoch,
     /// Logical access clock for LRU eviction.
     used: u64,
 }
@@ -62,9 +83,9 @@ impl<V> PlanCache<V> {
     }
 
     /// Look up a plan built under the current `epoch`. A hit refreshes the
-    /// entry's LRU position; an entry from an older epoch is removed and
-    /// reported as a miss.
-    pub fn get(&mut self, key: &str, epoch: u64) -> Option<Arc<V>> {
+    /// entry's LRU position; an entry from an older epoch (either clock) is
+    /// removed and reported as a miss.
+    pub fn get(&mut self, key: &str, epoch: CacheEpoch) -> Option<Arc<V>> {
         match self.entries.get_mut(key) {
             Some(e) if e.epoch == epoch => {
                 self.tick += 1;
@@ -81,7 +102,7 @@ impl<V> PlanCache<V> {
 
     /// Insert (or replace) a plan built under `epoch`, evicting the least
     /// recently used entry when at capacity.
-    pub fn insert(&mut self, key: String, value: Arc<V>, epoch: u64) {
+    pub fn insert(&mut self, key: String, value: Arc<V>, epoch: CacheEpoch) {
         self.tick += 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             if let Some(victim) = self
@@ -104,39 +125,53 @@ mod tests {
 
     use super::*;
 
+    fn ep(ddl: u64) -> CacheEpoch {
+        CacheEpoch::new(ddl, 0)
+    }
+
     #[test]
     fn hit_miss_and_epoch_invalidation() {
         let mut c: PlanCache<String> = PlanCache::new(4);
-        assert!(c.get("q1", 0).is_none());
-        c.insert("q1".into(), Arc::new("p1".into()), 0);
-        assert_eq!(*c.get("q1", 0).unwrap(), "p1");
+        assert!(c.get("q1", ep(0)).is_none());
+        c.insert("q1".into(), Arc::new("p1".into()), ep(0));
+        assert_eq!(*c.get("q1", ep(0)).unwrap(), "p1");
         // A DDL bump invalidates: the stale entry is dropped, not served.
-        assert!(c.get("q1", 1).is_none());
+        assert!(c.get("q1", ep(1)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_epoch_invalidates_independently() {
+        let mut c: PlanCache<String> = PlanCache::new(4);
+        c.insert("q1".into(), Arc::new("p1".into()), CacheEpoch::new(3, 7));
+        assert!(c.get("q1", CacheEpoch::new(3, 7)).is_some());
+        // Statistics drift alone (same DDL epoch) drops the entry.
+        assert!(c.get("q1", CacheEpoch::new(3, 8)).is_none());
         assert!(c.is_empty());
     }
 
     #[test]
     fn lru_eviction_is_bounded_and_keeps_recent() {
         let mut c: PlanCache<u32> = PlanCache::new(2);
-        c.insert("a".into(), Arc::new(1), 0);
-        c.insert("b".into(), Arc::new(2), 0);
+        c.insert("a".into(), Arc::new(1), ep(0));
+        c.insert("b".into(), Arc::new(2), ep(0));
         // Touch "a" so "b" is the LRU victim.
-        assert!(c.get("a", 0).is_some());
-        c.insert("c".into(), Arc::new(3), 0);
+        assert!(c.get("a", ep(0)).is_some());
+        c.insert("c".into(), Arc::new(3), ep(0));
         assert_eq!(c.len(), 2);
-        assert!(c.get("a", 0).is_some());
-        assert!(c.get("b", 0).is_none());
-        assert!(c.get("c", 0).is_some());
+        assert!(c.get("a", ep(0)).is_some());
+        assert!(c.get("b", ep(0)).is_none());
+        assert!(c.get("c", ep(0)).is_some());
     }
 
     #[test]
     fn reinsert_replaces_without_eviction() {
         let mut c: PlanCache<u32> = PlanCache::new(2);
-        c.insert("a".into(), Arc::new(1), 0);
-        c.insert("b".into(), Arc::new(2), 0);
-        c.insert("a".into(), Arc::new(9), 0);
+        c.insert("a".into(), Arc::new(1), ep(0));
+        c.insert("b".into(), Arc::new(2), ep(0));
+        c.insert("a".into(), Arc::new(9), ep(0));
         assert_eq!(c.len(), 2);
-        assert_eq!(*c.get("a", 0).unwrap(), 9);
-        assert_eq!(*c.get("b", 0).unwrap(), 2);
+        assert_eq!(*c.get("a", ep(0)).unwrap(), 9);
+        assert_eq!(*c.get("b", ep(0)).unwrap(), 2);
     }
 }

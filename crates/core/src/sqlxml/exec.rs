@@ -12,6 +12,7 @@
 //!   eliminate rows, so candidates found there surface as EXPLAIN notes
 //!   (Queries 5 and 12), never as index probes.
 
+use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::path::Path;
@@ -29,12 +30,12 @@ use xqdb_storage::{sql_compare, SqlType, SqlValue};
 use crate::catalog::Catalog;
 use crate::durability::{open_durable_catalog, Durability, RecoveryReport};
 use crate::eligibility::{
-    analyze_filtering, analyze_non_filtering, compile, diagnose, restrict_to_source, AnalysisEnv,
-    Cond, IndexCond, Note, Rejection,
+    analyze_filtering, analyze_non_filtering, compile, diagnose, diagnose_misestimate,
+    restrict_to_source, AnalysisEnv, Cond, IndexCond, Note, Rejection,
 };
 use crate::engine::{
-    prefilter_env_enabled, record_exec_metrics, render_doctor_section, render_execution_sections,
-    twig_env_enabled, ExecStats,
+    cost_env_enabled, prefilter_env_enabled, record_exec_metrics, render_doctor_section,
+    render_execution_sections, twig_env_enabled, ExecStats, PlanCost,
 };
 use crate::plancache::PlanCache;
 use crate::prefilter::{extract_prefilters, SourcePrefilter};
@@ -159,11 +160,16 @@ pub struct SqlSession {
     /// Apply the holistic twig join to row selection (on by default;
     /// `XQDB_TWIG=off` in the environment also disables it).
     pub twig: bool,
+    /// Cost index choices against synopsis statistics (on by default;
+    /// `XQDB_COST=off` in the environment also disables it). Off, the
+    /// planner takes the first eligible index in catalog order.
+    pub cost: bool,
     /// The durability layer, when the session is backed by a data
     /// directory (see [`SqlSession::open_durable`]).
     durability: Option<Arc<Durability>>,
     /// LRU cache of parsed + planned SELECT statements, keyed by the raw
-    /// statement text and invalidated by the catalog's DDL epoch.
+    /// statement text plus the cost mode and invalidated by the
+    /// catalog's plan epoch (DDL + statistics clocks).
     stmt_cache: Mutex<PlanCache<CachedSql>>,
 }
 
@@ -175,6 +181,7 @@ impl Default for SqlSession {
             obs: Obs::default(),
             prefilter: true,
             twig: true,
+            cost: true,
             durability: None,
             stmt_cache: Mutex::new(PlanCache::default()),
         }
@@ -562,14 +569,20 @@ impl SqlSession {
         budget: &Arc<xqdb_xdm::Budget>,
     ) -> Result<SqlResult, XdmError> {
         // Statement cache: SELECT-family statements are cached (parsed AST +
-        // compiled plan) keyed by the raw statement text, invalidated by the
-        // catalog's DDL epoch. A hit replays the stored plan with zero parse
-        // or planning work. The epoch is read from the *shared* catalog, so
-        // a DDL committed by any other session of a server invalidates this
-        // session's cached plans on the next lookup.
-        let epoch = self.catalog.ddl_epoch();
+        // compiled plan) keyed by the raw statement text plus the cost
+        // mode (a costed and a rule-based plan are different plans),
+        // invalidated by the catalog's plan epoch (DDL clock +
+        // statistics-drift clock). A hit replays the stored plan with
+        // zero parse or planning work. The epoch is read from the
+        // *shared* catalog, so a DDL — or heavy DML drift — committed by
+        // any other session of a server invalidates this session's
+        // cached plans on the next lookup.
+        let use_cost = self.cost && cost_env_enabled();
+        let key: Cow<str> =
+            if use_cost { Cow::Borrowed(sql) } else { Cow::Owned(format!("#nocost\n{sql}")) };
+        let epoch = self.catalog.plan_epoch();
         let cached = match self.stmt_cache.lock() {
-            Ok(mut cache) => cache.get(sql, epoch),
+            Ok(mut cache) => cache.get(&key, epoch),
             Err(_) => None,
         };
         if let Some(entry) = cached {
@@ -613,14 +626,14 @@ impl SqlSession {
                 let trace = self.obs.trace();
                 let plan = self.plan_select_traced(&sel, &trace)?;
                 let result = self.run_select_planned(&sel, &plan, false, &trace, budget)?;
-                self.cache_stmt(sql, SqlStmt::Select(sel), plan);
+                self.cache_stmt(&key, SqlStmt::Select(sel), plan);
                 Ok(result)
             }
             SqlStmt::Explain(sel) => {
                 self.obs.incr(Counter::PlanCacheMisses);
                 let plan = Arc::new(self.plan_select(&sel)?);
                 let message = render_plan(&plan);
-                self.cache_stmt(sql, SqlStmt::Explain(sel), plan);
+                self.cache_stmt(&key, SqlStmt::Explain(sel), plan);
                 Ok(SqlResult { message: Some(message), ..Default::default() })
             }
             SqlStmt::ExplainAnalyze(sel) => {
@@ -628,7 +641,7 @@ impl SqlSession {
                 let trace = Trace::recording();
                 let plan = self.plan_select_traced(&sel, &trace)?;
                 let result = self.explain_analyze_planned(&sel, &plan, false, &trace, budget)?;
-                self.cache_stmt(sql, SqlStmt::ExplainAnalyze(sel), plan);
+                self.cache_stmt(&key, SqlStmt::ExplainAnalyze(sel), plan);
                 Ok(result)
             }
             SqlStmt::CreateTable { .. }
@@ -644,11 +657,12 @@ impl SqlSession {
     }
 
     /// Store a SELECT-family statement in the statement cache under the
-    /// current DDL epoch.
-    fn cache_stmt(&self, sql: &str, stmt: SqlStmt, plan: Arc<SqlPlan>) {
-        let epoch = self.catalog.ddl_epoch();
+    /// current plan epoch (DDL + statistics clocks). `key` is the raw
+    /// statement text, prefixed by the caller when cost is off.
+    fn cache_stmt(&self, key: &str, stmt: SqlStmt, plan: Arc<SqlPlan>) {
+        let epoch = self.catalog.plan_epoch();
         if let Ok(mut cache) = self.stmt_cache.lock() {
-            cache.insert(sql.to_string(), Arc::new(CachedSql { stmt, plan }), epoch);
+            cache.insert(key.to_string(), Arc::new(CachedSql { stmt, plan }), epoch);
         }
     }
 
@@ -668,7 +682,14 @@ impl SqlSession {
         let result = self.run_select_planned(sel, plan, cache_hit, trace, budget)?;
         let mut report = render_plan(plan);
         render_execution_sections(&mut report, &result.stats, trace);
-        render_doctor_section(&mut report, &diagnose(&plan.rejections, &plan.notes));
+        let mut diagnoses = diagnose(&plan.rejections, &plan.notes);
+        if result.stats.plans_costed > 0 {
+            diagnoses.extend(diagnose_misestimate(
+                result.stats.cost_est_rows,
+                result.stats.cost_actual_rows,
+            ));
+        }
+        render_doctor_section(&mut report, &diagnoses);
         report.push_str(&format!("-- executed: {} row(s) produced\n", result.rows.len()));
         Ok(SqlResult { message: Some(report), stats: result.stats, ..Default::default() })
     }
@@ -776,14 +797,28 @@ impl SqlSession {
                 plan.notes.extend(analysis.notes);
             }
         }
-        // Compile per-source access conditions.
-        let all_conds = plan.conds.clone();
+        // Compile per-source access conditions, costed against the table's
+        // synopsis statistics when the session (and environment) allow it.
+        // Sources are visited in sorted order so cost notes and candidate
+        // tallies are deterministic across runs.
+        let use_cost = self.cost && cost_env_enabled();
+        let mut all_conds: Vec<_> = plan.conds.clone().into_iter().collect();
+        all_conds.sort_by(|a, b| a.0.cmp(&b.0));
         for (source, conds) in all_conds {
             let cond = Cond::And(conds);
             let restricted = restrict_to_source(&cond, &source);
             let indexes = self.catalog.indexes_for_source(&source);
-            let compiled = compile(&restricted, &indexes);
+            let model = if use_cost { self.catalog.cost_model_for(&source) } else { None };
+            let compiled = compile(&restricted, &indexes, model.as_ref());
             plan.rejections.extend(compiled.rejections);
+            if compiled.candidates_costed > 0 {
+                plan.cost.costed = true;
+                plan.cost.candidates += compiled.candidates_costed;
+            }
+            if let Some(est) = compiled.est_rows {
+                *plan.cost.est_rows.get_or_insert(0) += est;
+            }
+            plan.cost.notes.extend(compiled.cost_notes);
             if let Some(access) = compiled.access {
                 plan.accesses.insert(source, access);
             }
@@ -896,6 +931,11 @@ impl SqlSession {
         let mut stats = ExecStats::new();
         stats.plan_cache_hits = u64::from(cache_hit);
         stats.plan_cache_misses = u64::from(!cache_hit);
+        if plan.cost.costed {
+            stats.plans_costed = 1;
+            stats.index_candidates_costed = plan.cost.candidates;
+            stats.cost_est_rows = plan.cost.est_rows.unwrap_or(0);
+        }
         // Resolve per-table row filters from compiled accesses. Iterate in
         // source order so spans and degradations are deterministic.
         let mut row_filters: HashMap<String, BTreeSet<u64>> = HashMap::new();
@@ -914,6 +954,7 @@ impl SqlSession {
             stats.index_entries_scanned += pstats.entries_scanned;
             stats.index_probes += pstats.probes;
             stats.btree_nodes_touched += pstats.nodes_touched;
+            stats.multi_index_intersections += pstats.intersections as u64;
             span.add_count(pstats.entries_scanned as u64);
             let rows = match probed {
                 Ok(rows) => rows,
@@ -929,6 +970,7 @@ impl SqlSession {
             };
             span.tag_str("outcome", "index hit");
             span.tag_with("survivors", || rows.len().to_string());
+            stats.cost_actual_rows += rows.len() as u64;
             let table = source.split('.').next().unwrap_or("").to_string();
             // Intersect if several XML columns of one table are filtered.
             row_filters
@@ -1408,6 +1450,9 @@ pub struct SqlPlan {
     /// synopsis at execution time, so cached plans stay valid as
     /// collections grow.
     pub twigs: HashMap<String, Vec<SourceTwig>>,
+    /// Cost decisions made while compiling accesses (candidates scored,
+    /// estimated rows, human-readable choice notes).
+    pub cost: PlanCost,
 }
 
 /// Render the EXPLAIN output.
@@ -1431,6 +1476,12 @@ pub fn render_plan(plan: &SqlPlan) -> String {
         }
         if !printed {
             out.push_str(&format!("  table {table} (alias {alias}): TABLE SCAN\n"));
+        }
+    }
+    if !plan.cost.notes.is_empty() {
+        out.push_str("  cost decisions:\n");
+        for n in &plan.cost.notes {
+            out.push_str(&format!("    - {n}\n"));
         }
     }
     if !plan.prefilters.is_empty() {

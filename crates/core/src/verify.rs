@@ -17,7 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use xqdb_storage::{observe_document_labeled, PathSynopsis, SqlValue};
+use xqdb_storage::{observe_document_labeled, PathSynopsis, SqlValue, ValueStats};
 use xqdb_twig::{LabelEntry, LabelStore};
 use xqdb_xdm::XdmError;
 
@@ -165,6 +165,43 @@ fn verify_table(catalog: &Catalog, name: &str) -> Result<TableVerdict, XdmError>
     let rebuilt = synopsis.entries();
     if stored != rebuilt {
         issues.push(render_synopsis_diff(&stored, &rebuilt));
+    }
+
+    // Value statistics: the same contract one level deeper — when the
+    // store vouches for the stats (never after a manifest rehydration,
+    // whose adopted rows were not re-parsed), every per-path histogram,
+    // occurrence count and distinct sketch must equal the rebuild's. The
+    // cost model prices plans off these numbers; drift here silently
+    // mis-costs every future plan, which is exactly why it is a verdict.
+    if t.synopsis().stats_complete() {
+        let stored_stats: BTreeMap<String, _> = t
+            .synopsis()
+            .stats_entries()
+            .into_iter()
+            .map(|(p, _, s)| (p, s.cloned()))
+            .collect();
+        let rebuilt_stats: BTreeMap<String, _> = synopsis
+            .stats_entries()
+            .into_iter()
+            .map(|(p, _, s)| (p, s.cloned()))
+            .collect();
+        for (p, reb) in &rebuilt_stats {
+            match stored_stats.get(p) {
+                // A missing path is already reported by the entries diff.
+                None => {}
+                Some(st) if st != reb => issues.push(format!(
+                    "value stats at {p} differ from rebuild \
+                     (stored {} value(s) in {} bucket(s), rebuilt {} in {})",
+                    st.as_ref().map_or(0, ValueStats::total),
+                    st.as_ref().map_or(0, |s| s.buckets().count()),
+                    reb.as_ref().map_or(0, ValueStats::total),
+                    reb.as_ref().map_or(0, |s| s.buckets().count()),
+                )),
+                Some(_) => {}
+            }
+        }
+        // Paths stored but absent from the rebuild are covered by the
+        // entries diff above; no second report needed.
     }
 
     // Label streams: only when the store claims completeness — an

@@ -84,11 +84,17 @@ pub enum Counter {
     DocsReplaced,
     /// Tombstoned heap records compacted away at checkpoint.
     TombstonesReclaimed,
+    /// (candidate, eligible index) pairs scored by the cost model.
+    IndexCandidatesCosted,
+    /// Query plans built with the synopsis-backed cost model.
+    PlansCosted,
+    /// Docid-set intersections performed when AND-combining index probes.
+    MultiIndexIntersections,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 38] = [
         Counter::QueriesExecuted,
         Counter::SqlStatements,
         Counter::IndexProbes,
@@ -124,6 +130,9 @@ impl Counter {
         Counter::RowsDeleted,
         Counter::DocsReplaced,
         Counter::TombstonesReclaimed,
+        Counter::IndexCandidatesCosted,
+        Counter::PlansCosted,
+        Counter::MultiIndexIntersections,
     ];
 
     /// Prometheus series name.
@@ -164,6 +173,9 @@ impl Counter {
             Counter::RowsDeleted => "xqdb_rows_deleted_total",
             Counter::DocsReplaced => "xqdb_docs_replaced_total",
             Counter::TombstonesReclaimed => "xqdb_tombstones_reclaimed_total",
+            Counter::IndexCandidatesCosted => "xqdb_index_candidates_costed_total",
+            Counter::PlansCosted => "xqdb_plans_costed_total",
+            Counter::MultiIndexIntersections => "xqdb_multi_index_intersections_total",
         }
     }
 
@@ -209,6 +221,13 @@ impl Counter {
             Counter::RowsDeleted => "rows removed by SQL DELETE statements",
             Counter::DocsReplaced => "rows replaced by SQL UPDATE statements",
             Counter::TombstonesReclaimed => "tombstoned heap records compacted at checkpoint",
+            Counter::IndexCandidatesCosted => {
+                "(candidate, eligible index) pairs scored by the cost model"
+            }
+            Counter::PlansCosted => "query plans built with the synopsis-backed cost model",
+            Counter::MultiIndexIntersections => {
+                "docid-set intersections performed when AND-combining index probes"
+            }
         }
     }
 }

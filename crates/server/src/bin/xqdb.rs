@@ -46,6 +46,9 @@
 //!   exit
 //! - `xqdb pages PATH`  print page-file statistics (page counts by kind,
 //!   fill factor, per-table extents) for a data directory or `.xqp` file
+//! - `xqdb stats PATH TABLE` print a table's per-path synopsis statistics
+//!   (doc counts, value-histogram buckets, distinct estimates) — the
+//!   inputs of the cost-based planner
 //! - `.checkpoint`       flush dirty pages, write the manifest and prune
 //!   the covered log
 //!
@@ -82,6 +85,7 @@ struct CliLimits {
     fsync: Option<xqdb_core::FsyncMode>,
     no_prefilter: bool,
     no_twig: bool,
+    no_cost: bool,
     buffer_pages: Option<usize>,
 }
 
@@ -109,6 +113,7 @@ impl CliLimits {
                 "--trace" => out.trace = true,
                 "--no-prefilter" => out.no_prefilter = true,
                 "--no-twig" => out.no_twig = true,
+                "--no-cost" => out.no_cost = true,
                 "--metrics-json" => {
                     out.metrics_json = Some(
                         it.next()
@@ -132,7 +137,7 @@ impl CliLimits {
                     })?)
                 }
                 "--help" | "-h" => {
-                    return Err("usage: xqdb [recover PATH] [pages PATH] [verify PATH] [labels PATH TABLE] [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--buffer-pages N] [--no-prefilter] [--no-twig] [--trace] [--metrics-json PATH] [--data-dir PATH] [--fsync always|batch|off]"
+                    return Err("usage: xqdb [recover PATH] [pages PATH] [verify PATH] [labels PATH TABLE] [stats PATH TABLE] [--timeout-ms N] [--max-steps N] [--max-doc-bytes N] [--threads N] [--buffer-pages N] [--no-prefilter] [--no-twig] [--no-cost] [--trace] [--metrics-json PATH] [--data-dir PATH] [--fsync always|batch|off]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}; try --help")),
@@ -190,6 +195,14 @@ fn main() {
             std::process::exit(2);
         };
         std::process::exit(run_labels(dir, table));
+    }
+    // `xqdb stats PATH TABLE` — dump a table's synopsis statistics.
+    if args.first().map(String::as_str) == Some("stats") {
+        let (Some(dir), Some(table)) = (args.get(1), args.get(2)) else {
+            eprintln!("usage: xqdb stats PATH TABLE (PATH is a data directory)");
+            std::process::exit(2);
+        };
+        std::process::exit(run_stats(dir, table));
     }
     // `xqdb serve ...` — run the concurrent TCP front end until SIGTERM.
     if args.first().map(String::as_str) == Some("serve") {
@@ -251,6 +264,7 @@ fn main() {
     );
     session.prefilter = !limits.no_prefilter;
     session.twig = !limits.no_twig;
+    session.cost = !limits.no_cost;
     let stdin = io::stdin();
     let mut buffer = String::new();
     print!("xqdb — XML database shell (statements end with ';', '.help' for help)\nxqdb> ");
@@ -541,6 +555,67 @@ fn run_labels(dir: &str, table: &str) -> i32 {
     0
 }
 
+/// `xqdb stats PATH TABLE`: recover the data directory (offline, no
+/// server needed) and print the table's per-path synopsis statistics —
+/// document counts, value-histogram buckets and distinct-value estimates
+/// — exactly the inputs the cost-based planner scores index candidates
+/// with. Statistics are derived state rebuilt through the ordinary insert
+/// path; a store whose rows were adopted from a page snapshot (not
+/// re-parsed) honestly reports them incomplete, and the planner falls
+/// back to taking the first eligible index for that table.
+fn run_stats(dir: &str, table: &str) -> i32 {
+    let catalog = match xqdb_core::recover_catalog(
+        std::path::Path::new(dir),
+        xqdb_runtime::RuntimeConfig::default(),
+        &xqdb_obs::Trace::disabled(),
+        &Obs::disabled(),
+    ) {
+        Ok((catalog, _report)) => catalog,
+        Err(e) => {
+            report_error(&e);
+            return 1;
+        }
+    };
+    let Some(t) = catalog.db.table(table) else {
+        eprintln!("error: unknown table {table:?}");
+        return 2;
+    };
+    let synopsis = t.synopsis();
+    let entries = synopsis.stats_entries();
+    println!(
+        "table {} — {} row(s), {} path(s), statistics {}",
+        t.name,
+        t.len(),
+        entries.len(),
+        if synopsis.stats_complete() {
+            "complete (cost-based planning eligible)"
+        } else {
+            "incomplete (planner takes the first eligible index instead)"
+        }
+    );
+    for (path, docs, stats) in &entries {
+        match stats {
+            None => println!("  {path}: {docs} doc(s), no value statistics"),
+            Some(s) => {
+                println!(
+                    "  {path}: {docs} doc(s), {} value(s) ({} numeric), ~{:.0} distinct",
+                    s.total(),
+                    s.numeric(),
+                    s.distinct_estimate()
+                );
+                let mut buckets: Vec<(i16, u64)> = s.buckets().collect();
+                buckets.sort_unstable();
+                for (b, n) in buckets {
+                    let (lo, hi) = xqdb_core::bucket_bounds(b);
+                    println!("      bucket {b} [{lo}, {hi}): {n} value(s)");
+                }
+            }
+        }
+    }
+    println!("-- {} path(s)", entries.len());
+    0
+}
+
 /// Graceful-shutdown signals, std-only: a raw `signal(2)` registration
 /// that flips an atomic the serve loop polls. `SIGINT` is included so an
 /// interactive ^C drains the same way `SIGTERM` does.
@@ -804,6 +879,7 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
             obs: session.obs.clone(),
             prefilter: !limits.no_prefilter,
             twig: !limits.no_twig,
+            cost: !limits.no_cost,
         };
         match xqdb_core::explain_analyze_xquery(&session.catalog, rest, &opts) {
             Ok((report, out)) => {
@@ -840,6 +916,7 @@ fn run_statement(session: &mut SqlSession, stmt: &str, limits: &CliLimits) {
             obs: session.obs.clone(),
             prefilter: !limits.no_prefilter,
             twig: !limits.no_twig,
+            cost: !limits.no_cost,
         };
         match xqdb_core::run_xquery_with_options(&session.catalog, rest, &opts) {
             Ok(out) => {
@@ -895,9 +972,10 @@ fn dot_command(session: &mut SqlSession, cmd: &str) -> bool {
                  SQL:          CREATE TABLE/INDEX, INSERT, SELECT (XMLQUERY/XMLEXISTS/XMLTABLE/XMLCAST), EXPLAIN [ANALYZE] SELECT, VALUES\n\
                  XQuery:       xquery <expr>;        explain xquery <expr>;        explain analyze xquery <expr>;\n\
                  shell:        .tables  .indexes  .checkpoint  .help  .quit\n\
-                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N  --buffer-pages N  --no-prefilter  --no-twig  --trace  --metrics-json PATH\n\
+                 flags:        --timeout-ms N  --max-steps N  --max-doc-bytes N  --threads N  --buffer-pages N  --no-prefilter  --no-twig  --no-cost  --trace  --metrics-json PATH\n\
                  prefilter:    structural pre-filter is on by default; disable with --no-prefilter or XQDB_PREFILTER=off\n\
                  twig:         holistic twig join is on by default; disable with --no-twig or XQDB_TWIG=off; xqdb labels PATH TABLE dumps label streams\n\
+                 cost:         cost-based index choice is on by default; disable with --no-cost or XQDB_COST=off; xqdb stats PATH TABLE dumps synopsis statistics\n\
                  storage:      --buffer-pages N (or XQDB_BUFFER_PAGES) caps every buffer pool; xqdb pages PATH prints page-file stats\n\
                  durability:   --data-dir PATH  --fsync always|batch|off  (xqdb recover PATH replays and reports)"
             );

@@ -417,6 +417,7 @@ fn exec_options(session: &SqlSession, limits: &Limits) -> ExecOptions {
         obs: session.obs.clone(),
         prefilter: session.prefilter,
         twig: session.twig,
+        cost: session.cost,
     }
 }
 

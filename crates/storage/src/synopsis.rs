@@ -20,7 +20,7 @@
 //! direct inserts and WAL replay go through, so recovery rebuilds them
 //! without any log-format change.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use xqdb_xdm::{ExpandedName, NodeHandle, NodeKind};
 
@@ -146,12 +146,271 @@ pub fn render_component(out: &mut String, attribute: bool, name: &ExpandedName) 
     out.push_str(&name.clark());
 }
 
+/// Number of slots in the linear-counting distinct sketch.
+pub const DISTINCT_SLOTS: usize = 64;
+
+/// Largest histogram bucket magnitude: biased exponent 2046 (the top finite
+/// f64 range) × 4 sub-buckets + top mantissa bits + 1.
+const MAX_BUCKET_MAG: i16 = 2046 * 4 + 3 + 1;
+
+/// Histogram bucket of a finite double: 0 for zero, otherwise a signed
+/// magnitude built from the biased exponent and the top two mantissa bits —
+/// four buckets per power of two, so bucket bounds are value-independent
+/// and an incrementally-maintained histogram (insert increments, delete
+/// decrements) is exactly equal to one rebuilt from the surviving values.
+pub fn value_bucket(v: f64) -> i16 {
+    if v == 0.0 || !v.is_finite() {
+        return 0;
+    }
+    let bits = v.abs().to_bits();
+    let exp = (bits >> 52) & 0x7ff;
+    let man2 = (bits >> 50) & 0b11;
+    let mag = (exp * 4 + man2) as i16 + 1;
+    if v < 0.0 {
+        -mag
+    } else {
+        mag
+    }
+}
+
+fn bucket_mag_lo(mag: i16) -> f64 {
+    let m = (mag - 1) as u64;
+    f64::from_bits(((m / 4) << 52) | ((m % 4) << 50))
+}
+
+/// The value range `[lo, hi)` a histogram bucket covers (negative buckets
+/// return negative bounds with `lo < hi`). Bucket 0 is the point mass at
+/// zero (and non-finite values), returned as `(0.0, 0.0)`.
+pub fn bucket_bounds(bucket: i16) -> (f64, f64) {
+    if bucket == 0 {
+        return (0.0, 0.0);
+    }
+    let mag = bucket.abs();
+    let lo = bucket_mag_lo(mag);
+    let hi = if mag >= MAX_BUCKET_MAG { f64::MAX } else { bucket_mag_lo(mag + 1) };
+    if bucket > 0 {
+        (lo, hi)
+    } else {
+        (-hi, -lo)
+    }
+}
+
+/// Incrementally-maintained statistics over the values observed at one
+/// rooted path: occurrence counts, a fixed-width histogram of the numeric
+/// values (log-scale bucket bounds, so maintenance under DELETE is exact),
+/// and a linear-counting sketch estimating the number of distinct lexical
+/// values. All fields are pure occurrence counters, so a document's
+/// contribution can be subtracted exactly on DELETE/REPLACE and the result
+/// equals a rebuild over the surviving documents — the property
+/// `verify_derived_state` checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueStats {
+    /// Values observed (one per node occurrence, not per document).
+    total: u64,
+    /// Values that parse as finite doubles (histogram population).
+    numeric: u64,
+    /// Histogram: bucket id → occurrence count. Zero-count buckets are
+    /// removed so incremental == rebuilt, entry for entry.
+    buckets: BTreeMap<i16, u64>,
+    /// Occupancy per hash slot; a slot is "live" while any value hashing
+    /// to it survives, making `distinct_estimate` delete-safe.
+    distinct: [u64; DISTINCT_SLOTS],
+}
+
+impl Default for ValueStats {
+    fn default() -> Self {
+        ValueStats {
+            total: 0,
+            numeric: 0,
+            buckets: BTreeMap::new(),
+            distinct: [0; DISTINCT_SLOTS],
+        }
+    }
+}
+
+impl ValueStats {
+    /// Record one observed value.
+    pub fn observe(&mut self, value: &str) {
+        self.total += 1;
+        if let Some(v) = parse_numeric(value) {
+            self.numeric += 1;
+            *self.buckets.entry(value_bucket(v)).or_insert(0) += 1;
+        }
+        self.distinct[distinct_slot(value)] += 1;
+    }
+
+    /// Remove one previously-observed value (the exact inverse of
+    /// [`ValueStats::observe`] — parsing is deterministic, so the same
+    /// lexical value always hits the same counters).
+    pub fn remove(&mut self, value: &str) {
+        self.total = self.total.saturating_sub(1);
+        if let Some(v) = parse_numeric(value) {
+            self.numeric = self.numeric.saturating_sub(1);
+            let b = value_bucket(v);
+            if let Some(n) = self.buckets.get_mut(&b) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    self.buckets.remove(&b);
+                }
+            }
+        }
+        let slot = distinct_slot(value);
+        self.distinct[slot] = self.distinct[slot].saturating_sub(1);
+    }
+
+    /// Subtract another stats object's counts (a freshly-observed scratch
+    /// document on DELETE/REPLACE).
+    pub fn subtract(&mut self, other: &ValueStats) {
+        self.total = self.total.saturating_sub(other.total);
+        self.numeric = self.numeric.saturating_sub(other.numeric);
+        for (b, n) in &other.buckets {
+            if let Some(mine) = self.buckets.get_mut(b) {
+                *mine = mine.saturating_sub(*n);
+                if *mine == 0 {
+                    self.buckets.remove(b);
+                }
+            }
+        }
+        for (mine, theirs) in self.distinct.iter_mut().zip(&other.distinct) {
+            *mine = mine.saturating_sub(*theirs);
+        }
+    }
+
+    /// Merge another stats object's counts (REPLACE's insert half goes
+    /// through `observe`; this is for tools that aggregate across paths).
+    pub fn merge(&mut self, other: &ValueStats) {
+        self.total += other.total;
+        self.numeric += other.numeric;
+        for (b, n) in &other.buckets {
+            *self.buckets.entry(*b).or_insert(0) += *n;
+        }
+        for (mine, theirs) in self.distinct.iter_mut().zip(&other.distinct) {
+            *mine += *theirs;
+        }
+    }
+
+    /// True when no value survives.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0 && self.numeric == 0 && self.buckets.is_empty()
+    }
+
+    /// Total observed values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Values that entered the numeric histogram.
+    pub fn numeric(&self) -> u64 {
+        self.numeric
+    }
+
+    /// Histogram entries as `(bucket, count)` in bucket order.
+    pub fn buckets(&self) -> impl Iterator<Item = (i16, u64)> + '_ {
+        self.buckets.iter().map(|(b, n)| (*b, *n))
+    }
+
+    /// Linear-counting estimate of the number of distinct lexical values:
+    /// `m · ln(m / z)` with `m` slots and `z` empty slots; saturates near
+    /// `m · ln(2m)` when every slot is occupied.
+    pub fn distinct_estimate(&self) -> f64 {
+        let m = DISTINCT_SLOTS as f64;
+        let zeros = self.distinct.iter().filter(|&&n| n == 0).count();
+        if self.total == 0 {
+            return 0.0;
+        }
+        if zeros == 0 {
+            return m * (2.0 * m).ln();
+        }
+        let est = m * (m / zeros as f64).ln();
+        est.max(1.0)
+    }
+
+    /// Estimated number of occurrences whose numeric value falls in
+    /// `[lo, hi]` (either bound optional). Full buckets count whole;
+    /// partially-overlapped buckets contribute a linear fraction of their
+    /// width. Zero values (bucket 0) count when the range covers 0.
+    pub fn estimate_range(&self, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        let qlo = lo.unwrap_or(f64::MIN);
+        let qhi = hi.unwrap_or(f64::MAX);
+        if qlo > qhi {
+            return 0.0;
+        }
+        let mut est = 0.0;
+        for (&b, &n) in &self.buckets {
+            if b == 0 {
+                if qlo <= 0.0 && qhi >= 0.0 {
+                    est += n as f64;
+                }
+                continue;
+            }
+            let (blo, bhi) = bucket_bounds(b);
+            let ov_lo = qlo.max(blo);
+            let ov_hi = qhi.min(bhi);
+            if ov_hi <= ov_lo {
+                continue;
+            }
+            let width = bhi - blo;
+            let frac = if width > 0.0 { ((ov_hi - ov_lo) / width).min(1.0) } else { 1.0 };
+            est += n as f64 * frac;
+        }
+        est
+    }
+
+    /// Estimated occurrences equal to one numeric value: the value's bucket
+    /// population divided by the estimated distinct values sharing it,
+    /// bounded by the bucket count.
+    pub fn estimate_eq(&self, v: f64) -> f64 {
+        let in_bucket = self.buckets.get(&value_bucket(v)).copied().unwrap_or(0) as f64;
+        if in_bucket == 0.0 {
+            return 0.0;
+        }
+        let per_value = self.total as f64 / self.distinct_estimate().max(1.0);
+        per_value.min(in_bucket).max(1.0)
+    }
+
+    /// Estimated occurrences equal to one non-numeric lexical value.
+    pub fn estimate_eq_lexical(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.total as f64 / self.distinct_estimate().max(1.0)).max(1.0)
+    }
+}
+
+/// Parse a value the way the double index's tolerant cast does for
+/// estimation purposes: trimmed, finite doubles only.
+fn parse_numeric(s: &str) -> Option<f64> {
+    let t = s.trim();
+    if t.is_empty() {
+        return None;
+    }
+    t.parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
+fn distinct_slot(value: &str) -> usize {
+    (mix_bytes(PATH_HASH_SEED, value.as_bytes()) % DISTINCT_SLOTS as u64) as usize
+}
+
 /// Per-table dictionary of distinct rooted paths observed at insert time,
 /// interned by path hash. Values are the rendered path and the number of
-/// rows whose documents contain it (diagnostics / synopsis introspection).
-#[derive(Debug, Clone, Default)]
+/// rows whose documents contain it (diagnostics / synopsis introspection),
+/// plus per-path [`ValueStats`] over the attribute/text values observed at
+/// the path — the raw material of the cost-based planner.
+#[derive(Debug, Clone)]
 pub struct PathSynopsis {
     paths: HashMap<u64, (String, u64)>,
+    stats: HashMap<u64, ValueStats>,
+    /// Value statistics are *derived state rebuilt through the insert
+    /// path*: a synopsis rehydrated from the checkpoint manifest has path
+    /// counts but no values (adopted rows are never re-parsed), so its
+    /// stats are sticky-incomplete and the cost model declines to them.
+    stats_complete: bool,
+}
+
+impl Default for PathSynopsis {
+    fn default() -> Self {
+        PathSynopsis { paths: HashMap::new(), stats: HashMap::new(), stats_complete: true }
+    }
 }
 
 impl PathSynopsis {
@@ -192,13 +451,75 @@ impl PathSynopsis {
     }
 
     /// Rebuild a synopsis from persisted `(rendered path, count)` pairs,
-    /// re-deriving each hash key via [`hash_rendered_path`].
+    /// re-deriving each hash key via [`hash_rendered_path`]. The manifest
+    /// persists no values, so the resulting stats are marked incomplete;
+    /// WAL-suffix replay re-observes only the replayed documents.
     pub fn from_entries(entries: impl IntoIterator<Item = (String, u64)>) -> PathSynopsis {
         let mut paths = HashMap::new();
         for (p, n) in entries {
             paths.insert(hash_rendered_path(&p), (p, n));
         }
-        PathSynopsis { paths }
+        PathSynopsis { paths, stats: HashMap::new(), stats_complete: false }
+    }
+
+    /// Record one observed value at a path (insert-side maintenance; the
+    /// [`Walker`] is the only caller, keeping histogram construction inside
+    /// this crate).
+    fn record_value(&mut self, hash: u64, value: &str) {
+        self.stats.entry(hash).or_default().observe(value);
+    }
+
+    /// Per-path value statistics, when any value was observed at the path.
+    pub fn value_stats(&self, hash: u64) -> Option<&ValueStats> {
+        self.stats.get(&hash)
+    }
+
+    /// True when the value statistics cover every live document — false for
+    /// synopses rehydrated from a checkpoint manifest, whose adopted rows
+    /// were never re-parsed.
+    pub fn stats_complete(&self) -> bool {
+        self.stats_complete
+    }
+
+    /// Sticky incomplete marker (mirrors the label-store contract): once a
+    /// document's values could not be observed, the stats never claim
+    /// completeness again short of a full rebuild.
+    pub fn mark_stats_incomplete(&mut self) {
+        self.stats_complete = false;
+    }
+
+    /// Iterate `(rendered path, row count, value stats)` for inspection.
+    pub fn stats_entries(&self) -> Vec<(String, u64, Option<&ValueStats>)> {
+        let mut out: Vec<(String, u64, Option<&ValueStats>)> = self
+            .paths
+            .iter()
+            .map(|(h, (p, n))| (p.clone(), *n, self.stats.get(h)))
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The hash keys of every observed path (delete-side iteration over a
+    /// scratch synopsis built from the outgoing document).
+    pub fn path_hashes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.paths.keys().copied()
+    }
+
+    /// Subtract a scratch synopsis's value statistics — the delete-side
+    /// twin of the insert-path value observation: re-observe the outgoing
+    /// document into a scratch, then remove exactly those counts. Stats
+    /// entries whose counts all reach zero are dropped so an
+    /// incrementally-maintained synopsis stays equal, entry for entry, to
+    /// one rebuilt from the surviving documents.
+    pub fn subtract_stats_of(&mut self, scratch: &PathSynopsis) {
+        for (hash, theirs) in &scratch.stats {
+            if let Some(mine) = self.stats.get_mut(hash) {
+                mine.subtract(theirs);
+                if mine.is_empty() {
+                    self.stats.remove(hash);
+                }
+            }
+        }
     }
 
     /// Remove one document's contribution to a path's count (row DELETE /
@@ -324,6 +645,16 @@ impl Walker<'_, '_> {
             let post = el.doc.node(el.id).subtree_end.0;
             sink(h, el.id.0, post, self.components.len() as u32);
         }
+        if let Some(s) = self.synopsis.as_deref_mut() {
+            // Value statistics mirror what a value index stores: the XDM
+            // string value, recorded per occurrence. Only elements with
+            // direct text content contribute — purely structural elements
+            // (an <order> wrapping its lineitems) carry no value a
+            // predicate would compare.
+            if el.children().any(|c| c.kind() == NodeKind::Text) {
+                s.record_value(h, &el.string_value());
+            }
+        }
         for attr in el.attributes() {
             if let Some(aname) = attr.name().cloned() {
                 let ah = extend_attribute(h, &aname);
@@ -331,6 +662,9 @@ impl Walker<'_, '_> {
                 self.visit(ah);
                 if let Some(sink) = self.sink.as_mut() {
                     sink(ah, attr.id.0, attr.id.0, self.components.len() as u32);
+                }
+                if let Some(s) = self.synopsis.as_deref_mut() {
+                    s.record_value(ah, &attr.string_value());
                 }
                 self.components.pop();
             }
@@ -427,6 +761,106 @@ mod tests {
         let paths = document_paths(&d.root());
         assert!(paths.contains("/{urn:x}a"));
         assert!(paths.contains("/{urn:x}a/b"));
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [0.5, 1.0, 1.3, 2.0, 99.5, 250.0, 1e300, 5e-324, -7.25, -1e9] {
+            let b = value_bucket(v);
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= v && v < hi || v == f64::MAX, "{v} outside [{lo}, {hi}) of bucket {b}");
+        }
+        assert_eq!(value_bucket(0.0), 0);
+        assert_eq!(bucket_bounds(0), (0.0, 0.0));
+        // Sign symmetry.
+        assert_eq!(value_bucket(-3.0), -value_bucket(3.0));
+    }
+
+    #[test]
+    fn value_stats_observed_per_occurrence() {
+        let mut syn = PathSynopsis::default();
+        let d = doc(r#"<o><li price="250"/><li price="50"/><note>hi</note></o>"#);
+        observe_document(&d.root(), Some(&mut syn));
+        let price = hash_path(&["o", "li", "@price"]);
+        let stats = syn.value_stats(price).unwrap();
+        assert_eq!(stats.total(), 2);
+        assert_eq!(stats.numeric(), 2);
+        assert!(stats.estimate_range(Some(100.0), None) >= 1.0);
+        assert!(stats.estimate_range(Some(1000.0), None) < 0.5);
+        let note = hash_path(&["o", "note"]);
+        let nstats = syn.value_stats(note).unwrap();
+        assert_eq!(nstats.total(), 1);
+        assert_eq!(nstats.numeric(), 0);
+        // The structural wrapper has no direct text, hence no stats.
+        assert!(syn.value_stats(hash_path(&["o"])).is_none());
+        assert!(syn.stats_complete());
+    }
+
+    #[test]
+    fn subtract_stats_restores_exactly() {
+        let mut syn = PathSynopsis::default();
+        let d1 = doc(r#"<o><li price="250"/></o>"#);
+        let d2 = doc(r#"<o><li price="50"/><li price="250"/></o>"#);
+        observe_document(&d1.root(), Some(&mut syn));
+        observe_document(&d2.root(), Some(&mut syn));
+        // Remove d2's contribution via a scratch observation.
+        let mut scratch = PathSynopsis::default();
+        observe_document(&d2.root(), Some(&mut scratch));
+        syn.subtract_stats_of(&scratch);
+        // What remains must equal a fresh observation of d1 alone.
+        let mut oracle = PathSynopsis::default();
+        observe_document(&d1.root(), Some(&mut oracle));
+        let price = hash_path(&["o", "li", "@price"]);
+        assert_eq!(syn.value_stats(price), oracle.value_stats(price));
+        // Remove d1 too: the stats entry disappears entirely.
+        let mut scratch1 = PathSynopsis::default();
+        observe_document(&d1.root(), Some(&mut scratch1));
+        syn.subtract_stats_of(&scratch1);
+        assert!(syn.value_stats(price).is_none());
+    }
+
+    #[test]
+    fn distinct_estimate_tracks_cardinality() {
+        let mut stats = ValueStats::default();
+        for i in 0..20 {
+            stats.observe(&format!("v{i}"));
+            stats.observe(&format!("v{i}")); // duplicate occurrences
+        }
+        let est = stats.distinct_estimate();
+        assert!((5.0..80.0).contains(&est), "estimate {est} for 20 distinct");
+        // Repeats don't inflate the estimate: same slots stay occupied.
+        let mut rep = ValueStats::default();
+        for _ in 0..40 {
+            rep.observe("only");
+        }
+        assert!(rep.distinct_estimate() <= 3.0);
+        assert!(rep.estimate_eq_lexical() > 10.0);
+    }
+
+    #[test]
+    fn manifest_rehydration_marks_stats_incomplete() {
+        let mut syn = PathSynopsis::default();
+        let d = doc(r#"<a x="1"/>"#);
+        observe_document(&d.root(), Some(&mut syn));
+        let rehydrated = PathSynopsis::from_entries(syn.entries());
+        assert!(!rehydrated.stats_complete());
+        assert!(rehydrated.value_stats(hash_path(&["a", "@x"])).is_none());
+        assert_eq!(rehydrated.entries(), syn.entries());
+    }
+
+    #[test]
+    fn mixed_content_element_value_is_string_value() {
+        // Mirrors the index: <price>99.50<currency>USD</currency></price>
+        // stores "99.50USD" (Section 3.8), which does not parse as numeric.
+        let mut syn = PathSynopsis::default();
+        let d = doc("<o><price>99.50<currency>USD</currency></price></o>");
+        observe_document(&d.root(), Some(&mut syn));
+        let price = hash_path(&["o", "price"]);
+        let stats = syn.value_stats(price).unwrap();
+        assert_eq!(stats.total(), 1);
+        assert_eq!(stats.numeric(), 0);
+        let cur = hash_path(&["o", "price", "currency"]);
+        assert_eq!(syn.value_stats(cur).unwrap().numeric(), 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use xqdb_twig::{LabelEntry, LabelStore};
 
 use crate::rowcodec::{decode_header, decode_row, encode_row};
 use crate::synopsis::{
-    document_path_hashes, observe_document, observe_document_labeled, PathSignature, PathSynopsis,
+    observe_document, observe_document_labeled, PathSignature, PathSynopsis,
 };
 use crate::value::{SqlType, SqlValue};
 
@@ -344,13 +344,7 @@ impl Table {
         let row = self.row(id)?.ok_or_else(|| {
             XdmError::internal(format!("table {}: live row {id} has no heap record", self.name))
         })?;
-        for v in &row {
-            if let SqlValue::Xml(n) = v {
-                for h in document_path_hashes(n) {
-                    self.synopsis.decrement(h);
-                }
-            }
-        }
+        self.retire_row_synopsis(&row);
         self.labels.prune_row(id as u64);
         let rid = self.directory[id];
         if rid.page >= self.heap.pager().frozen_below() {
@@ -380,13 +374,7 @@ impl Table {
         let old = self.row(id)?.ok_or_else(|| {
             XdmError::internal(format!("table {}: live row {id} has no heap record", self.name))
         })?;
-        for v in &old {
-            if let SqlValue::Xml(n) = v {
-                for h in document_path_hashes(n) {
-                    self.synopsis.decrement(h);
-                }
-            }
-        }
+        self.retire_row_synopsis(&old);
         self.labels.prune_row(id as u64);
         let rowid = id as u64;
         let mut sig = PathSignature::default();
@@ -431,6 +419,24 @@ impl Table {
         self.directory[id] = rid;
         self.signatures[id] = sig;
         Ok(())
+    }
+
+    /// Remove an outgoing row's synopsis contribution (DELETE/REPLACE):
+    /// one scratch observation per XML cell yields exactly the path counts
+    /// and value statistics the insert path recorded, which are then
+    /// decremented/subtracted so the maintained synopsis stays equal to a
+    /// rebuild over the surviving documents.
+    fn retire_row_synopsis(&mut self, row: &[SqlValue]) {
+        for v in row {
+            if let SqlValue::Xml(n) = v {
+                let mut scratch = PathSynopsis::default();
+                observe_document(n, Some(&mut scratch));
+                for h in scratch.path_hashes() {
+                    self.synopsis.decrement(h);
+                }
+                self.synopsis.subtract_stats_of(&scratch);
+            }
+        }
     }
 
     /// Compact tombstoned records out of this table's mutable heap pages

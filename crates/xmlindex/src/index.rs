@@ -100,6 +100,8 @@ pub struct ProbeStats {
     pub probes: usize,
     /// B+Tree nodes touched: root-to-leaf descent plus leaf-chain advances.
     pub nodes_touched: usize,
+    /// Docid-set intersections performed when AND-combining probes.
+    pub intersections: usize,
 }
 
 /// Encoded index keys extracted from one document, plus the count of

@@ -151,3 +151,22 @@ XQDB_TWIG=off cargo test --workspace -q
 # through continuous eviction, so no DML path may depend on a retired
 # record's page staying resident.
 XQDB_BUFFER_PAGES=4 XQDB_TEST_DML_OPS=2000 cargo test --workspace -q
+
+# Eighth pass with cost-based planning disabled: every index choice falls
+# back to the first-eligible rule, so a costing bug can never hide behind
+# its own optimization being on (mirrors the pre-filter and twig passes).
+XQDB_COST=off cargo test --workspace -q
+
+# Histogram construction is confined to the storage crate: per-path value
+# statistics are recorded in exactly one place — the synopsis Walker on
+# the insert path — so the incrementally maintained histograms can never
+# drift from what a rebuild over the live rows would produce. Everyone
+# else reads ValueStats through the synopsis accessors.
+if grep -rn --include='*.rs' -E '\.(observe|record_value)\(|ValueStats::default\(\)|ValueStats \{' crates tests \
+    | grep -v '^crates/storage/' \
+    | grep -v '^crates/obs/' \
+    | grep -v '/tests/' \
+    | grep -v '^tests/'; then
+  echo "error: value-statistics construction outside crates/storage (histograms are built only by the synopsis Walker)" >&2
+  exit 1
+fi

@@ -110,6 +110,21 @@ fn assert_registry_matches_stats(
         "{label}: buffer pool misses"
     );
     assert_eq!(delta(Counter::PagesEvicted), stats.pages_evicted, "{label}: pages evicted");
+    assert_eq!(
+        delta(Counter::PlansCosted),
+        stats.plans_costed,
+        "{label}: plans costed"
+    );
+    assert_eq!(
+        delta(Counter::IndexCandidatesCosted),
+        stats.index_candidates_costed,
+        "{label}: index candidates costed"
+    );
+    assert_eq!(
+        delta(Counter::MultiIndexIntersections),
+        stats.multi_index_intersections,
+        "{label}: multi-index intersections"
+    );
     assert_eq!(delta(Counter::TwigJoinsExecuted), stats.twig_joins, "{label}: twig joins");
     assert_eq!(
         delta(Counter::TwigCandidates),
@@ -155,7 +170,7 @@ fn assert_registry_matches_stats(
 /// from the stats the run returned — the report and the stats must agree
 /// verbatim.
 fn expected_counter_lines(stats: &ExecStats) -> Vec<String> {
-    vec![
+    let mut lines = vec![
         format!("  index probes: {}\n", stats.index_probes),
         format!("  index entries scanned: {}\n", stats.index_entries_scanned),
         format!("  btree nodes touched: {}\n", stats.btree_nodes_touched),
@@ -184,7 +199,18 @@ fn expected_counter_lines(stats: &ExecStats) -> Vec<String> {
             stats.degraded_sources.len()
         ),
         format!("  workers: {}  shards: {}\n", stats.parallel_workers, stats.parallel_shards),
-    ]
+    ];
+    // The cost line only appears when the planner actually costed the plan.
+    if stats.plans_costed > 0 {
+        lines.push(format!(
+            "  cost: est {} row(s), actual {} ({} candidate(s) scored, {} intersection(s))\n",
+            stats.cost_est_rows,
+            stats.cost_actual_rows,
+            stats.index_candidates_costed,
+            stats.multi_index_intersections
+        ));
+    }
+    lines
 }
 
 /// One family of the matrix: build a catalog, run its query under a shared
